@@ -1,0 +1,77 @@
+//! Criterion bench for Figure 5: AXIOM multi-map vs idiomatic Scala
+//! multi-map (negative lookups are where Scala's memoized hashes win).
+
+use axiom::AxiomMultiMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idiomatic::ScalaMultiMap;
+use paper_bench::build_multimap;
+use std::time::Duration;
+use trie_common::ops::MultiMapOps;
+use workloads::data::multimap_workload;
+
+const SIZES: [usize; 3] = [1 << 4, 1 << 10, 1 << 14];
+
+fn bench_impl<M: MultiMapOps<u32, u32>>(c: &mut Criterion, name: &str) {
+    let mut group = c.benchmark_group(format!("fig5/{name}"));
+    for &size in &SIZES {
+        let w = multimap_workload(size, 23);
+        let mm: M = build_multimap(&w.tuples);
+
+        group.bench_with_input(BenchmarkId::new("lookup", size), &size, |b, _| {
+            b.iter(|| {
+                w.hit_tuples
+                    .iter()
+                    .chain(&w.partial_tuples)
+                    .filter(|(k, v)| mm.contains_tuple(k, v))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lookup_fail", size), &size, |b, _| {
+            b.iter(|| {
+                w.miss_tuples
+                    .iter()
+                    .filter(|(k, v)| mm.contains_tuple(k, v))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("insert", size), &size, |b, _| {
+            b.iter(|| {
+                let mut out = mm.clone();
+                for (k, v) in w
+                    .hit_tuples
+                    .iter()
+                    .chain(&w.partial_tuples)
+                    .chain(&w.miss_tuples)
+                {
+                    out = out.inserted(*k, *v);
+                }
+                out.tuple_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("delete", size), &size, |b, _| {
+            b.iter(|| {
+                let mut out = mm.clone();
+                for (k, v) in w.hit_tuples.iter().chain(&w.partial_tuples) {
+                    out = out.tuple_removed(k, v);
+                }
+                out.tuple_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_impl::<AxiomMultiMap<u32, u32>>(c, "axiom");
+    bench_impl::<ScalaMultiMap<u32, u32>>(c, "scala");
+}
+
+criterion_group! {
+    name = fig5;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
+    targets = benches
+}
+criterion_main!(fig5);

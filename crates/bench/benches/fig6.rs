@@ -1,0 +1,78 @@
+//! Criterion bench for Figure 6: AXIOM as a plain map vs the
+//! special-purpose CHAMP map, including the iteration benchmarks where
+//! AXIOM's grouped layout wins.
+
+use axiom::AxiomMap;
+use champ::ChampMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use trie_common::ops::MapOps;
+use workloads::data::map_workload;
+
+const SIZES: [usize; 3] = [1 << 4, 1 << 10, 1 << 14];
+
+fn bench_impl<M: MapOps<u32, u32>>(c: &mut Criterion, name: &str) {
+    let mut group = c.benchmark_group(format!("fig6/{name}"));
+    for &size in &SIZES {
+        let w = map_workload(size, 47);
+        let mut m = M::empty();
+        for &(k, v) in &w.entries {
+            m = m.inserted(k, v);
+        }
+
+        group.bench_with_input(BenchmarkId::new("lookup", size), &size, |b, _| {
+            b.iter(|| w.hit_keys.iter().filter(|k| m.contains_key(k)).count())
+        });
+        group.bench_with_input(BenchmarkId::new("lookup_fail", size), &size, |b, _| {
+            b.iter(|| w.miss_keys.iter().filter(|k| m.contains_key(k)).count())
+        });
+        group.bench_with_input(BenchmarkId::new("insert", size), &size, |b, _| {
+            b.iter(|| {
+                let mut out = m.clone();
+                for &(k, v) in &w.insert_entries {
+                    out = out.inserted(k, v);
+                }
+                out.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("delete", size), &size, |b, _| {
+            b.iter(|| {
+                let mut out = m.clone();
+                for k in &w.hit_keys {
+                    out = out.removed(k);
+                }
+                out.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("iter_key", size), &size, |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                m.for_each_key(&mut |_| n += 1);
+                n
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("iter_entry", size), &size, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                m.for_each_entry(&mut |k, v| acc = acc.wrapping_add(*k as u64 ^ *v as u64));
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_impl::<AxiomMap<u32, u32>>(c, "axiom");
+    bench_impl::<ChampMap<u32, u32>>(c, "champ");
+}
+
+criterion_group! {
+    name = fig6;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
+    targets = benches
+}
+criterion_main!(fig6);

@@ -1,0 +1,87 @@
+//! Bitmap-level microbenchmarks: the cost of AXIOM's 2-bit machinery
+//! (filter, histogram, relative indexing) and the Listing 1 vs Listing 2
+//! dispatch ablation.
+
+use axiom::bitmap::{Category, SlotBitmap};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn random_bitmaps(n: usize) -> Vec<SlotBitmap> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            SlotBitmap::from_raw(state)
+        })
+        .collect()
+}
+
+fn benches(c: &mut Criterion) {
+    let bitmaps = random_bitmaps(1024);
+    let mut group = c.benchmark_group("ops_micro");
+
+    group.bench_function("tag_extract_switch", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (i, bm) in bitmaps.iter().enumerate() {
+                let mask = (i % 32) as u32;
+                let cat = bm.get(mask);
+                if cat != Category::Empty {
+                    acc += bm.slot_index(cat, mask);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("tag_extract_linear_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (i, bm) in bitmaps.iter().enumerate() {
+                let mask = (i % 32) as u32;
+                let cat = bm.get_linear_scan(mask);
+                if cat != Category::Empty {
+                    acc += bm.slot_index_linear_scan(cat, mask);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("filter_all_categories", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for bm in &bitmaps {
+                for cat in Category::ALL {
+                    acc = acc.wrapping_add(bm.filter(cat));
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("histogram", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for bm in &bitmaps {
+                let h = bm.histogram();
+                acc = acc.wrapping_add(h[0] ^ h[1] ^ h[2] ^ h[3]);
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = ops_micro;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
+    targets = benches
+}
+criterion_main!(ops_micro);

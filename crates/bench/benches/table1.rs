@@ -1,0 +1,52 @@
+//! Criterion bench for Table 1: the dominators fixed point over the
+//! nested-CHAMP multi-map vs the AXIOM multi-map (expected: parity).
+
+use axiom::AxiomMultiMap;
+use cfg_analysis::ast::CfgNode;
+use cfg_analysis::dominators::dominators_relational;
+use cfg_analysis::generate::{generate_corpus, GenConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idiomatic::NestedChampMultiMap;
+use std::time::Duration;
+use trie_common::ops::MultiMapOps;
+
+const CORPUS_SIZES: [usize; 2] = [32, 128];
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/dominators");
+    group.sample_size(10);
+    for &n in &CORPUS_SIZES {
+        let corpus = generate_corpus(n, 1, &GenConfig::default());
+        group.bench_with_input(BenchmarkId::new("champ", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for cfg in &corpus {
+                    let dom: NestedChampMultiMap<CfgNode, CfgNode> = dominators_relational(cfg);
+                    acc += dom.tuple_count();
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("axiom", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for cfg in &corpus {
+                    let dom: AxiomMultiMap<CfgNode, CfgNode> = dominators_relational(cfg);
+                    acc += dom.tuple_count();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = table1;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(table1);

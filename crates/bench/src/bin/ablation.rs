@@ -1,0 +1,145 @@
+//! Ablations of AXIOM's design choices (DESIGN.md §4, last row).
+//!
+//! 1. **Dispatch**: the paper's Listing 2 (2-bit tag extraction + switch)
+//!    against the extrapolated-CHAMP Listing 1 (sequential per-category
+//!    bitmap probes + scattered offset aggregation) — pure bitmap-level
+//!    microbenchmark.
+//! 2. **Iteration layout**: grouped slots with histogram boundaries
+//!    (AXIOM/CHAMP) against mixed slots with per-element type checks (HAMT).
+//! 3. **Canonicalization**: lookup performance after heavy deletion on a
+//!    canonicalizing trie (CHAMP) vs a non-canonicalizing one (HAMT) —
+//!    degenerate paths left by deletion slow subsequent lookups.
+//! 4. **Fusion threshold**: reported by the `footprints` binary.
+
+use axiom::bitmap::{Category, SlotBitmap};
+use axiom::AxiomMap;
+use champ::ChampMap;
+use hamt::HamtMap;
+use paper_bench::HarnessConfig;
+use workloads::data::map_workload;
+use workloads::timing::measure;
+
+fn random_bitmaps(n: usize) -> Vec<SlotBitmap> {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            SlotBitmap::from_raw(state)
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    println!("## Ablation studies");
+    println!();
+
+    // --- 1. dispatch strategy -------------------------------------------
+    let bitmaps = random_bitmaps(4096);
+    let switch = measure(&cfg.opts, || {
+        let mut acc = 0usize;
+        for (i, bm) in bitmaps.iter().enumerate() {
+            let mask = (i % 32) as u32;
+            let cat = bm.get(mask);
+            if cat != Category::Empty {
+                acc += bm.slot_index(cat, mask);
+            }
+        }
+        acc
+    });
+    let linear = measure(&cfg.opts, || {
+        let mut acc = 0usize;
+        for (i, bm) in bitmaps.iter().enumerate() {
+            let mask = (i % 32) as u32;
+            let cat = bm.get_linear_scan(mask);
+            if cat != Category::Empty {
+                acc += bm.slot_index_linear_scan(cat, mask);
+            }
+        }
+        acc
+    });
+    println!("### 1. Dispatch: Listing 2 (switch) vs Listing 1 (linear probing)");
+    println!(
+        "  switch dispatch:      {:10.0} ns / 4096 probes",
+        switch.median_ns
+    );
+    println!(
+        "  linear-scan dispatch: {:10.0} ns / 4096 probes  (x{:.2} of switch)",
+        linear.median_ns,
+        linear.median_ns / switch.median_ns
+    );
+    println!();
+
+    // --- 2. iteration layout --------------------------------------------
+    println!("### 2. Iteration: grouped slots (AXIOM) vs mixed slots (HAMT)");
+    for &size in &cfg.sizes() {
+        if size < 1024 {
+            continue;
+        }
+        let w = map_workload(size, 7);
+        let axiom: AxiomMap<u32, u32> = w.entries.iter().copied().collect();
+        let hamt: HamtMap<u32, u32> = w.entries.iter().copied().collect();
+        let t_axiom = measure(&cfg.opts, || {
+            let mut acc = 0u64;
+            for (k, v) in axiom.iter() {
+                acc = acc.wrapping_add(*k as u64 ^ *v as u64);
+            }
+            acc
+        });
+        let t_hamt = measure(&cfg.opts, || {
+            let mut acc = 0u64;
+            for (k, v) in hamt.iter() {
+                acc = acc.wrapping_add(*k as u64 ^ *v as u64);
+            }
+            acc
+        });
+        println!(
+            "  size {size:>8}: axiom {:>10.0} ns, hamt {:>10.0} ns  (hamt/axiom x{:.2})",
+            t_axiom.median_ns,
+            t_hamt.median_ns,
+            t_hamt.median_ns / t_axiom.median_ns
+        );
+    }
+    println!();
+
+    // --- 3. canonicalization --------------------------------------------
+    println!("### 3. Canonical deletion (CHAMP) vs non-canonical (HAMT)");
+    println!("  (lookup time on a map with 75% of entries deleted)");
+    for &size in &cfg.sizes() {
+        if size < 1024 {
+            continue;
+        }
+        let w = map_workload(size, 13);
+        let mut champ: ChampMap<u32, u32> = w.entries.iter().copied().collect();
+        let mut hamt: HamtMap<u32, u32> = w.entries.iter().copied().collect();
+        for (i, (k, _)) in w.entries.iter().enumerate() {
+            if i % 4 != 0 {
+                champ.remove_mut(k);
+                hamt.remove_mut(k);
+            }
+        }
+        let survivors: Vec<u32> = w
+            .entries
+            .iter()
+            .step_by(4)
+            .map(|(k, _)| *k)
+            .take(256)
+            .collect();
+        let t_champ = measure(&cfg.opts, || {
+            survivors.iter().filter(|k| champ.contains_key(*k)).count()
+        });
+        let t_hamt = measure(&cfg.opts, || {
+            survivors.iter().filter(|k| hamt.contains_key(*k)).count()
+        });
+        println!(
+            "  size {size:>8}: champ {:>10.0} ns, hamt {:>10.0} ns  (hamt/champ x{:.2})",
+            t_champ.median_ns,
+            t_hamt.median_ns,
+            t_hamt.median_ns / t_champ.median_ns
+        );
+    }
+    println!();
+    println!("(Ablation 4 — fusion thresholds — is reported by the `footprints` binary.)");
+}

@@ -1,0 +1,29 @@
+//! Figure 4: AXIOM multi-map vs the idiomatic Clojure multi-map (baseline).
+//!
+//! Paper medians: lookup ×2.68, lookup(fail) ×1.54, insert ×2.17, delete
+//! ×2.23 in AXIOM's favour; footprints ×1.73 (32-bit) / ×1.85 (64-bit).
+
+use idiomatic::ClojureMultiMap;
+use paper_bench::figure::{print_figure, run_figure};
+use paper_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!(
+        "fig4: sizes up to 2^{}, {} seed(s) per size",
+        cfg.max_exp, cfg.seeds
+    );
+    let data = run_figure::<ClojureMultiMap<u32, u32>>(&cfg);
+    print_figure(
+        "Figure 4 — AXIOM multi-map vs idiomatic Clojure multi-map",
+        &data,
+        &[
+            ("Lookup", "x2.68 median", &data.lookup),
+            ("Lookup (Fail)", "x1.54 median", &data.lookup_fail),
+            ("Insert", "x2.17 median", &data.insert),
+            ("Delete", "x2.23 median", &data.delete),
+            ("Footprint 32-bit", "x1.73 median", &data.footprint_32),
+            ("Footprint 64-bit", "x1.85 median", &data.footprint_64),
+        ],
+    );
+}

@@ -1,0 +1,132 @@
+//! AST payloads for control-flow-graph nodes.
+//!
+//! The paper's Table 1 keys are "complex recursive ASTs with arbitrarily
+//! expensive (but linear) complexity for hashCode and equals". [`Ast`] is a
+//! recursive expression tree whose derived `Hash`/`Eq` walk the whole tree,
+//! reproducing that cost profile; [`CfgNode`] wraps one statement per
+//! control-flow node.
+
+use std::sync::Arc;
+
+/// Binary operators appearing in generated statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Comparison.
+    Lt,
+    /// Equality test.
+    Eq,
+}
+
+impl Op {
+    /// All operators, for generator sampling.
+    pub const ALL: [Op; 5] = [Op::Add, Op::Sub, Op::Mul, Op::Lt, Op::Eq];
+}
+
+/// A recursive expression tree. `Hash` and `Eq` are derived and therefore
+/// linear in the tree size — deliberately expensive, like the paper's AST
+/// keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ast {
+    /// A variable reference.
+    Var(u32),
+    /// An integer literal.
+    Lit(i64),
+    /// A binary operation.
+    Bin(Op, Arc<Ast>, Arc<Ast>),
+    /// An assignment `var := expr`.
+    Assign(u32, Arc<Ast>),
+    /// A call with argument expressions.
+    Call(u32, Vec<Arc<Ast>>),
+}
+
+impl Ast {
+    /// Number of nodes in the tree (the cost factor of `Hash`/`Eq`).
+    pub fn size(&self) -> usize {
+        match self {
+            Ast::Var(_) | Ast::Lit(_) => 1,
+            Ast::Bin(_, l, r) => 1 + l.size() + r.size(),
+            Ast::Assign(_, e) => 1 + e.size(),
+            Ast::Call(_, args) => 1 + args.iter().map(|a| a.size()).sum::<usize>(),
+        }
+    }
+}
+
+/// One control-flow-graph node: a statement of a specific function.
+///
+/// `func` and `id` make nodes unique across a corpus; the `stmt` payload
+/// gives `Hash`/`Eq` their linear cost. Equality short-circuits on the
+/// integer fields first (field order in the derive), as real AST nodes
+/// usually do via identity checks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CfgNode {
+    /// Owning function id.
+    pub func: u32,
+    /// Node id within the function.
+    pub id: u32,
+    /// The statement AST.
+    pub stmt: Arc<Ast>,
+}
+
+impl CfgNode {
+    /// Creates a node.
+    pub fn new(func: u32, id: u32, stmt: Arc<Ast>) -> Self {
+        CfgNode { func, id, stmt }
+    }
+}
+
+impl heapmodel::JvmSize for CfgNode {
+    /// Modeled JVM size: the node object plus its (shared) AST, counted as a
+    /// flat object per AST node.
+    fn jvm_size(&self, arch: &heapmodel::JvmArch) -> u64 {
+        arch.object(1, 2, 0) + self.stmt.size() as u64 * arch.object(2, 1, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trie_common::hash::hash32;
+
+    fn sample_tree(depth: u32) -> Arc<Ast> {
+        if depth == 0 {
+            Arc::new(Ast::Var(depth))
+        } else {
+            Arc::new(Ast::Bin(
+                Op::Add,
+                sample_tree(depth - 1),
+                Arc::new(Ast::Lit(depth as i64)),
+            ))
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(Ast::Var(0).size(), 1);
+        assert_eq!(sample_tree(3).size(), 7);
+        let call = Ast::Call(1, vec![sample_tree(1), sample_tree(1)]);
+        assert_eq!(call.size(), 7);
+    }
+
+    #[test]
+    fn equal_trees_hash_equal() {
+        let a = CfgNode::new(1, 2, sample_tree(4));
+        let b = CfgNode::new(1, 2, sample_tree(4));
+        assert_eq!(a, b);
+        assert_eq!(hash32(&a), hash32(&b));
+        let c = CfgNode::new(1, 3, sample_tree(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_payloads_distinguish_nodes() {
+        let a = CfgNode::new(0, 0, Arc::new(Ast::Lit(1)));
+        let b = CfgNode::new(0, 0, Arc::new(Ast::Lit(2)));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Small relational-algebra layer over persistent multi-maps.
+//!
+//! The paper's §6 code "uses projections, and set union and intersection in
+//! a fixed-point loop" over multi-maps; these helpers provide those
+//! operators generically so examples and the case study read like the
+//! relational programs they stand in for (Rascal-style relations).
+
+use std::hash::Hash;
+
+use trie_common::ops::MultiMapOps;
+
+/// The inverse relation: every `(k, v)` becomes `(v, k)`.
+///
+/// Inverting a control-flow `succs` relation yields the `preds` reverse
+/// index — the mostly-one-to-one shape the paper's conclusion highlights as
+/// AXIOM's sweet spot.
+pub fn inverse<K, V, M, N>(rel: &M) -> N
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    M: MultiMapOps<K, V>,
+    N: MultiMapOps<V, K>,
+{
+    let mut out = N::empty();
+    rel.for_each_tuple(&mut |k, v| {
+        out = out.inserted(v.clone(), k.clone());
+    });
+    out
+}
+
+/// The image of a set of keys: all values any of them maps to.
+pub fn image<K, V, M>(rel: &M, keys: &[K]) -> Vec<V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash + Ord,
+    M: MultiMapOps<K, V>,
+{
+    let mut out = Vec::new();
+    for k in keys {
+        rel.for_each_value_of(k, &mut |v| out.push(v.clone()));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Relation composition: `(a, c)` for every `a → b` in `left` and
+/// `b → c` in `right`.
+pub fn compose<A, B, C, L, R, O>(left: &L, right: &R) -> O
+where
+    A: Clone + Eq + Hash,
+    B: Clone + Eq + Hash,
+    C: Clone + Eq + Hash,
+    L: MultiMapOps<A, B>,
+    R: MultiMapOps<B, C>,
+    O: MultiMapOps<A, C>,
+{
+    let mut out = O::empty();
+    left.for_each_tuple(&mut |a, b| {
+        right.for_each_value_of(b, &mut |c| {
+            out = out.inserted(a.clone(), c.clone());
+        });
+    });
+    out
+}
+
+/// Union of two relations over the same key/value types.
+pub fn union<K, V, M>(a: &M, b: &M) -> M
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    M: MultiMapOps<K, V>,
+{
+    let mut out = a.clone();
+    b.for_each_tuple(&mut |k, v| {
+        out = out.inserted(k.clone(), v.clone());
+    });
+    out
+}
+
+/// Domain of the relation (its distinct keys).
+pub fn domain<K, V, M>(rel: &M) -> Vec<K>
+where
+    K: Clone + Eq + Hash + Ord,
+    V: Clone + Eq + Hash,
+    M: MultiMapOps<K, V>,
+{
+    let mut out = Vec::with_capacity(rel.key_count());
+    rel.for_each_key(&mut |k| out.push(k.clone()));
+    out.sort();
+    out
+}
+
+/// Range of the relation (its distinct values).
+pub fn range<K, V, M>(rel: &M) -> Vec<V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash + Ord,
+    M: MultiMapOps<K, V>,
+{
+    let mut out = Vec::new();
+    rel.for_each_tuple(&mut |_, v| out.push(v.clone()));
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axiom::AxiomMultiMap;
+
+    type Rel = AxiomMultiMap<u32, u32>;
+
+    fn sample() -> Rel {
+        [(1, 10), (1, 11), (2, 10), (3, 30)].into_iter().collect()
+    }
+
+    #[test]
+    fn inverse_flips_tuples() {
+        let rel = sample();
+        let inv: Rel = inverse(&rel);
+        assert_eq!(inv.tuple_count(), 4);
+        assert!(inv.contains_tuple(&10, &1));
+        assert!(inv.contains_tuple(&10, &2));
+        assert!(inv.contains_tuple(&30, &3));
+        // Inverting twice is the identity.
+        let back: Rel = inverse(&inv);
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn image_collects_values() {
+        let rel = sample();
+        assert_eq!(image(&rel, &[1, 2]), vec![10, 11]);
+        assert_eq!(image(&rel, &[9]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn composition() {
+        let ab: Rel = [(1, 10), (2, 20)].into_iter().collect();
+        let bc: Rel = [(10, 100), (10, 101), (20, 200)].into_iter().collect();
+        let ac: Rel = compose(&ab, &bc);
+        assert_eq!(ac.tuple_count(), 3);
+        assert!(ac.contains_tuple(&1, &100));
+        assert!(ac.contains_tuple(&1, &101));
+        assert!(ac.contains_tuple(&2, &200));
+    }
+
+    #[test]
+    fn union_and_domain_range() {
+        let a: Rel = [(1, 10)].into_iter().collect();
+        let b: Rel = [(1, 11), (2, 20)].into_iter().collect();
+        let u = union(&a, &b);
+        assert_eq!(u.tuple_count(), 3);
+        assert_eq!(domain(&u), vec![1, 2]);
+        assert_eq!(range(&u), vec![10, 11, 20]);
+    }
+}

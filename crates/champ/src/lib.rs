@@ -1,0 +1,35 @@
+//! **CHAMP** — Compressed Hash-Array Mapped Prefix-trees (OOPSLA 2015), the
+//! special-purpose baseline of the AXIOM paper's §5 and §6.
+//!
+//! CHAMP nodes encode their three branch states (`EMPTY`, payload, sub-trie)
+//! with two disjoint 32-bit bitmaps and keep content permuted — payload
+//! entries first, sub-tries after — and canonical under deletion. AXIOM
+//! strictly generalizes this encoding (the paper's §3.1); measuring both
+//! isolates the cost of that generalization (Figure 6) and the parity of the
+//! dominators case study (Table 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use champ::{ChampMap, ChampSet};
+//!
+//! let m: ChampMap<u32, u32> = (0..8).map(|i| (i, i * i)).collect();
+//! assert_eq!(m.get(&3), Some(&9));
+//!
+//! let s: ChampSet<u32> = m.values().copied().collect();
+//! assert!(s.contains(&49));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod map;
+pub mod set;
+
+mod heap;
+mod ops;
+
+pub use heap::{
+    champ_map_jvm_with, champ_map_rust_with, nested_set_jvm, nested_set_rust, EntryAccount,
+};
+pub use map::ChampMap;
+pub use set::ChampSet;

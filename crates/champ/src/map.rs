@@ -1,0 +1,880 @@
+//! The CHAMP persistent hash map (Steindorfer & Vinju, OOPSLA 2015).
+//!
+//! CHAMP encodes each trie node's three branch states with **two** 32-bit
+//! bitmaps: `datamap` marks branches holding an inlined key/value pair,
+//! `nodemap` marks branches holding a sub-trie, and absence from both means
+//! `EMPTY`. Content is permuted — all payload entries first, then all
+//! sub-tries — and deletion canonicalizes (collapsed sub-tries are inlined
+//! into parents), which is what distinguishes CHAMP from a plain HAMT.
+//!
+//! This is the special-purpose baseline AXIOM is measured against in the
+//! paper's §5 (Figure 6) and §6 (Table 1): AXIOM generalizes this encoding
+//! (`datamap` ≡ `CAT1`, `nodemap` ≡ `NODE` in 2-bit tags).
+//!
+//! # Examples
+//!
+//! ```
+//! use champ::ChampMap;
+//!
+//! let m = ChampMap::<u32, &str>::new().inserted(1, "one");
+//! assert_eq!(m.get(&1), Some(&"one"));
+//! assert!(m.removed(&1).is_empty());
+//! assert_eq!(m.len(), 1); // persistent
+//! ```
+
+use std::borrow::Borrow;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
+use trie_common::hash::hash32;
+
+/// One physical slot: an inlined entry or a sub-trie.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot<K, V> {
+    Entry(K, V),
+    Child(Arc<Node<K, V>>),
+}
+
+/// A CHAMP node: two bitmaps plus dense permuted slots
+/// (`[entries… | children…]`).
+#[derive(Debug, Clone)]
+pub(crate) struct BitmapNode<K, V> {
+    pub(crate) datamap: u32,
+    pub(crate) nodemap: u32,
+    pub(crate) slots: Box<[Slot<K, V>]>,
+}
+
+impl<K, V> BitmapNode<K, V> {
+    #[inline]
+    pub(crate) fn payload_arity(&self) -> usize {
+        self.datamap.count_ones() as usize
+    }
+
+    #[inline]
+    pub(crate) fn node_arity(&self) -> usize {
+        self.nodemap.count_ones() as usize
+    }
+
+    /// Absolute slot index of the payload entry for `bit`.
+    #[inline]
+    fn data_index(&self, bit: u32) -> usize {
+        index_in(self.datamap, bit)
+    }
+
+    /// Absolute slot index of the sub-trie for `bit`.
+    #[inline]
+    fn node_index(&self, bit: u32) -> usize {
+        self.payload_arity() + index_in(self.nodemap, bit)
+    }
+}
+
+/// Hash-collision overflow node.
+#[derive(Debug, Clone)]
+pub(crate) struct CollisionNode<K, V> {
+    pub(crate) hash: u32,
+    pub(crate) entries: Vec<(K, V)>,
+}
+
+/// A trie node.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<K, V> {
+    Bitmap(BitmapNode<K, V>),
+    Collision(CollisionNode<K, V>),
+}
+
+pub(crate) enum Inserted<K, V> {
+    Unchanged,
+    Replaced(Node<K, V>),
+    Added(Node<K, V>),
+}
+
+pub(crate) enum Removed<K, V> {
+    NotFound,
+    Node(Node<K, V>),
+    Single(K, V),
+}
+
+/// Copy-with-edit helpers (CHAMP path copying).
+fn slice_inserted<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    let mut out = Vec::with_capacity(slots.len() + 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.push(item);
+    out.extend_from_slice(&slots[idx..]);
+    out.into_boxed_slice()
+}
+
+fn slice_removed<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
+    let mut out = Vec::with_capacity(slots.len() - 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.extend_from_slice(&slots[idx + 1..]);
+    out.into_boxed_slice()
+}
+
+fn slice_replaced<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    let mut out: Vec<T> = slots.to_vec();
+    out[idx] = item;
+    out.into_boxed_slice()
+}
+
+/// Removes the slot at `from` and inserts `item` at `to` (post-removal
+/// indexing) — the data→node and node→data migrations of CHAMP updates.
+fn slice_migrated<T: Clone>(slots: &[T], from: usize, to: usize, item: T) -> Box<[T]> {
+    let mut out = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.iter().enumerate() {
+        if i == from {
+            continue;
+        }
+        if out.len() == to {
+            out.push(item.clone());
+        }
+        out.push(slot.clone());
+    }
+    if out.len() == to {
+        out.push(item);
+    }
+    out.into_boxed_slice()
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
+    fn empty() -> Node<K, V> {
+        Node::Bitmap(BitmapNode {
+            datamap: 0,
+            nodemap: 0,
+            slots: Box::new([]),
+        })
+    }
+
+    fn pair(h1: u32, k1: K, v1: V, h2: u32, k2: K, v2: V, shift: u32) -> Node<K, V> {
+        if hash_exhausted(shift) {
+            debug_assert_eq!(h1, h2);
+            return Node::Collision(CollisionNode {
+                hash: h1,
+                entries: vec![(k1, v1), (k2, v2)],
+            });
+        }
+        let m1 = mask(h1, shift);
+        let m2 = mask(h2, shift);
+        if m1 == m2 {
+            let child = Node::pair(h1, k1, v1, h2, k2, v2, next_shift(shift));
+            Node::Bitmap(BitmapNode {
+                datamap: 0,
+                nodemap: bit_pos(m1),
+                slots: Box::new([Slot::Child(Arc::new(child))]),
+            })
+        } else {
+            let datamap = bit_pos(m1) | bit_pos(m2);
+            let slots: Box<[Slot<K, V>]> = if m1 < m2 {
+                Box::new([Slot::Entry(k1, v1), Slot::Entry(k2, v2)])
+            } else {
+                Box::new([Slot::Entry(k2, v2), Slot::Entry(k1, v1)])
+            };
+            Node::Bitmap(BitmapNode {
+                datamap,
+                nodemap: 0,
+                slots,
+            })
+        }
+    }
+
+    fn get<Q>(&self, hash: u32, shift: u32, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => c
+                .entries
+                .iter()
+                .find(|(k, _)| k.borrow() == key)
+                .map(|(_, v)| v),
+            Node::Bitmap(b) => {
+                let bit = bit_pos(mask(hash, shift));
+                if b.datamap & bit != 0 {
+                    match &b.slots[b.data_index(bit)] {
+                        Slot::Entry(k, v) if k.borrow() == key => Some(v),
+                        Slot::Entry(..) => None,
+                        Slot::Child(_) => unreachable!("datamap says entry"),
+                    }
+                } else if b.nodemap & bit != 0 {
+                    match &b.slots[b.node_index(bit)] {
+                        Slot::Child(child) => child.get(hash, next_shift(shift), key),
+                        Slot::Entry(..) => unreachable!("nodemap says child"),
+                    }
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn inserted(&self, hash: u32, shift: u32, key: &K, value: &V) -> Inserted<K, V> {
+        match self {
+            Node::Collision(c) => {
+                debug_assert_eq!(c.hash, hash);
+                match c.entries.iter().position(|(k, _)| k == key) {
+                    Some(pos) => {
+                        if c.entries[pos].1 == *value {
+                            return Inserted::Unchanged;
+                        }
+                        let mut entries = c.entries.clone();
+                        entries[pos].1 = value.clone();
+                        Inserted::Replaced(Node::Collision(CollisionNode {
+                            hash: c.hash,
+                            entries,
+                        }))
+                    }
+                    None => {
+                        let mut entries = c.entries.clone();
+                        entries.push((key.clone(), value.clone()));
+                        Inserted::Added(Node::Collision(CollisionNode {
+                            hash: c.hash,
+                            entries,
+                        }))
+                    }
+                }
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let (ek, ev) = match &b.slots[idx] {
+                        Slot::Entry(k, v) => (k, v),
+                        Slot::Child(_) => unreachable!("datamap says entry"),
+                    };
+                    if ek == key {
+                        if ev == value {
+                            return Inserted::Unchanged;
+                        }
+                        return Inserted::Replaced(Node::Bitmap(BitmapNode {
+                            datamap: b.datamap,
+                            nodemap: b.nodemap,
+                            slots: slice_replaced(
+                                &b.slots,
+                                idx,
+                                Slot::Entry(key.clone(), value.clone()),
+                            ),
+                        }));
+                    }
+                    // Entry migrates from the data group to the node group.
+                    let child = Node::pair(
+                        hash32(ek),
+                        ek.clone(),
+                        ev.clone(),
+                        hash,
+                        key.clone(),
+                        value.clone(),
+                        next_shift(shift),
+                    );
+                    let datamap = b.datamap & !bit;
+                    let nodemap = b.nodemap | bit;
+                    let to = (datamap.count_ones() as usize) + index_in(nodemap, bit);
+                    Inserted::Added(Node::Bitmap(BitmapNode {
+                        datamap,
+                        nodemap,
+                        slots: slice_migrated(&b.slots, idx, to, Slot::Child(Arc::new(child))),
+                    }))
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let child = match &b.slots[idx] {
+                        Slot::Child(c) => c,
+                        Slot::Entry(..) => unreachable!("nodemap says child"),
+                    };
+                    let rebuild = |n: Node<K, V>| {
+                        Node::Bitmap(BitmapNode {
+                            datamap: b.datamap,
+                            nodemap: b.nodemap,
+                            slots: slice_replaced(&b.slots, idx, Slot::Child(Arc::new(n))),
+                        })
+                    };
+                    match child.inserted(hash, next_shift(shift), key, value) {
+                        Inserted::Unchanged => Inserted::Unchanged,
+                        Inserted::Replaced(n) => Inserted::Replaced(rebuild(n)),
+                        Inserted::Added(n) => Inserted::Added(rebuild(n)),
+                    }
+                } else {
+                    let datamap = b.datamap | bit;
+                    let idx = index_in(datamap, bit);
+                    Inserted::Added(Node::Bitmap(BitmapNode {
+                        datamap,
+                        nodemap: b.nodemap,
+                        slots: slice_inserted(
+                            &b.slots,
+                            idx,
+                            Slot::Entry(key.clone(), value.clone()),
+                        ),
+                    }))
+                }
+            }
+        }
+    }
+
+    fn removed<Q>(&self, hash: u32, shift: u32, key: &Q) -> Removed<K, V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k.borrow() == key) else {
+                    return Removed::NotFound;
+                };
+                if c.entries.len() == 2 {
+                    let (k, v) = c.entries[1 - pos].clone();
+                    return Removed::Single(k, v);
+                }
+                let mut entries = c.entries.clone();
+                entries.remove(pos);
+                Removed::Node(Node::Collision(CollisionNode {
+                    hash: c.hash,
+                    entries,
+                }))
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let matches = match &b.slots[idx] {
+                        Slot::Entry(k, _) => k.borrow() == key,
+                        Slot::Child(_) => unreachable!("datamap says entry"),
+                    };
+                    if !matches {
+                        return Removed::NotFound;
+                    }
+                    let datamap = b.datamap & !bit;
+                    if shift > 0 && datamap.count_ones() == 1 && b.nodemap == 0 {
+                        // Canonicalization: hand the survivor to the parent.
+                        debug_assert_eq!(b.slots.len(), 2);
+                        let (k, v) = match &b.slots[1 - idx] {
+                            Slot::Entry(k, v) => (k.clone(), v.clone()),
+                            Slot::Child(_) => unreachable!("both slots are payload"),
+                        };
+                        return Removed::Single(k, v);
+                    }
+                    Removed::Node(Node::Bitmap(BitmapNode {
+                        datamap,
+                        nodemap: b.nodemap,
+                        slots: slice_removed(&b.slots, idx),
+                    }))
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let child = match &b.slots[idx] {
+                        Slot::Child(c) => c,
+                        Slot::Entry(..) => unreachable!("nodemap says child"),
+                    };
+                    match child.removed(hash, next_shift(shift), key) {
+                        Removed::NotFound => Removed::NotFound,
+                        Removed::Node(n) => Removed::Node(Node::Bitmap(BitmapNode {
+                            datamap: b.datamap,
+                            nodemap: b.nodemap,
+                            slots: slice_replaced(&b.slots, idx, Slot::Child(Arc::new(n))),
+                        })),
+                        Removed::Single(k, v) => {
+                            if shift > 0 && b.datamap == 0 && b.nodemap.count_ones() == 1 {
+                                // Chain node dissolves.
+                                return Removed::Single(k, v);
+                            }
+                            // Inline: the slot migrates node group → data group.
+                            let datamap = b.datamap | bit;
+                            let nodemap = b.nodemap & !bit;
+                            let to = index_in(datamap, bit);
+                            Removed::Node(Node::Bitmap(BitmapNode {
+                                datamap,
+                                nodemap,
+                                slots: slice_migrated(&b.slots, idx, to, Slot::Entry(k, v)),
+                            }))
+                        }
+                    }
+                } else {
+                    Removed::NotFound
+                }
+            }
+        }
+    }
+}
+
+/// A persistent hash map with the CHAMP encoding. See the
+/// [module documentation](self).
+pub struct ChampMap<K, V> {
+    pub(crate) root: Arc<Node<K, V>>,
+    pub(crate) len: usize,
+}
+
+impl<K, V> Clone for ChampMap<K, V> {
+    fn clone(&self) -> Self {
+        ChampMap {
+            root: Arc::clone(&self.root),
+            len: self.len,
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> ChampMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        ChampMap {
+            root: Arc::new(Node::empty()),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the value bound to `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.root.get(hash32(key), 0, key)
+    }
+
+    /// True if `key` has a binding.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Returns a map with `key` bound to `value`; `self` is unchanged.
+    pub fn inserted(&self, key: K, value: V) -> Self {
+        let mut next = self.clone();
+        next.insert_mut(key, value);
+        next
+    }
+
+    /// Binds `key` to `value` in place (re-pointing this handle). Returns
+    /// true if a new key was added.
+    pub fn insert_mut(&mut self, key: K, value: V) -> bool {
+        match self.root.inserted(hash32(&key), 0, &key, &value) {
+            Inserted::Unchanged => false,
+            Inserted::Replaced(node) => {
+                self.root = Arc::new(node);
+                false
+            }
+            Inserted::Added(node) => {
+                self.root = Arc::new(node);
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Returns a map without a binding for `key`; `self` is unchanged.
+    pub fn removed<Q>(&self, key: &Q) -> Self
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let mut next = self.clone();
+        next.remove_mut(key);
+        next
+    }
+
+    /// Removes `key` in place. Returns true if a binding was removed.
+    pub fn remove_mut<Q>(&mut self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        match self.root.removed(hash32(key), 0, key) {
+            Removed::NotFound => false,
+            Removed::Node(node) => {
+                self.root = Arc::new(node);
+                self.len -= 1;
+                true
+            }
+            Removed::Single(k, v) => {
+                let root = Node::empty();
+                let root = match root.inserted(hash32(&k), 0, &k, &v) {
+                    Inserted::Added(n) => n,
+                    _ => unreachable!("inserting into empty"),
+                };
+                self.root = Arc::new(root);
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// Iterates `(key, value)` entries in unspecified (trie) order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            stack: vec![cursor_of(&self.root)],
+            remaining: self.len,
+        }
+    }
+
+    /// Iterates the keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates the values in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    pub(crate) fn root_node(&self) -> &Node<K, V> {
+        &self.root
+    }
+
+    /// Recursively checks the canonical-form invariants (test support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural invariant is violated.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        let counted = validate(&self.root, 0);
+        assert_eq!(counted, self.len, "len bookkeeping");
+    }
+}
+
+fn validate<K: Clone + Eq + Hash, V: Clone + PartialEq>(node: &Node<K, V>, shift: u32) -> usize {
+    match node {
+        Node::Collision(c) => {
+            assert!(hash_exhausted(shift));
+            assert!(c.entries.len() >= 2);
+            for (k, _) in &c.entries {
+                assert_eq!(hash32(k), c.hash);
+            }
+            c.entries.len()
+        }
+        Node::Bitmap(b) => {
+            assert_eq!(b.datamap & b.nodemap, 0, "maps must be disjoint");
+            assert_eq!(
+                b.slots.len(),
+                b.payload_arity() + b.node_arity(),
+                "slot count"
+            );
+            let mut total = 0;
+            for (i, slot) in b.slots.iter().enumerate() {
+                match slot {
+                    Slot::Entry(k, _) => {
+                        assert!(i < b.payload_arity(), "entry in node region");
+                        let m = mask(hash32(k), shift);
+                        assert!(b.datamap & bit_pos(m) != 0, "entry branch not in datamap");
+                        assert_eq!(b.data_index(bit_pos(m)), i, "entry at wrong index");
+                        total += 1;
+                    }
+                    Slot::Child(child) => {
+                        assert!(i >= b.payload_arity(), "child in data region");
+                        let sub = validate(child, next_shift(shift));
+                        assert!(sub >= 2, "sub-trie with < 2 entries not inlined");
+                        total += sub;
+                    }
+                }
+            }
+            if shift > 0 {
+                assert!(
+                    !(b.payload_arity() == 1 && b.node_arity() == 0),
+                    "non-root singleton payload node must be inlined"
+                );
+            }
+            total
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Default for ChampMap<K, V> {
+    fn default() -> Self {
+        ChampMap::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> PartialEq for ChampMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && node_eq(&self.root, &other.root)
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + Eq> Eq for ChampMap<K, V> {}
+
+fn node_eq<K: Clone + Eq + Hash, V: Clone + PartialEq>(a: &Node<K, V>, b: &Node<K, V>) -> bool {
+    match (a, b) {
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            x.datamap == y.datamap
+                && x.nodemap == y.nodemap
+                && x.slots
+                    .iter()
+                    .zip(y.slots.iter())
+                    .all(|(s, t)| match (s, t) {
+                        (Slot::Entry(k1, v1), Slot::Entry(k2, v2)) => k1 == k2 && v1 == v2,
+                        (Slot::Child(c), Slot::Child(d)) => Arc::ptr_eq(c, d) || node_eq(c, d),
+                        _ => false,
+                    })
+        }
+        (Node::Collision(x), Node::Collision(y)) => {
+            x.hash == y.hash
+                && x.entries.len() == y.entries.len()
+                && x.entries
+                    .iter()
+                    .all(|(k, v)| y.entries.iter().any(|(k2, v2)| k == k2 && v == v2))
+        }
+        _ => false,
+    }
+}
+
+impl<K, V> std::fmt::Debug for ChampMap<K, V>
+where
+    K: std::fmt::Debug + Clone + Eq + Hash,
+    V: std::fmt::Debug + Clone + PartialEq,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> FromIterator<(K, V)> for ChampMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = ChampMap::new();
+        for (k, v) in iter {
+            map.insert_mut(k, v);
+        }
+        map
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Extend<(K, V)> for ChampMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert_mut(k, v);
+        }
+    }
+}
+
+impl<'a, K: Clone + Eq + Hash, V: Clone + PartialEq> IntoIterator for &'a ChampMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+    fn into_iter(self) -> Iter<'a, K, V> {
+        self.iter()
+    }
+}
+
+enum Cursor<'a, K, V> {
+    Bitmap { slots: &'a [Slot<K, V>], idx: usize },
+    Collision { entries: &'a [(K, V)], idx: usize },
+}
+
+fn cursor_of<K, V>(node: &Node<K, V>) -> Cursor<'_, K, V> {
+    match node {
+        Node::Bitmap(b) => Cursor::Bitmap {
+            slots: &b.slots,
+            idx: 0,
+        },
+        Node::Collision(c) => Cursor::Collision {
+            entries: &c.entries,
+            idx: 0,
+        },
+    }
+}
+
+/// Iterator over map entries. Created by [`ChampMap::iter`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<Cursor<'a, K, V>>,
+    remaining: usize,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                Cursor::Collision { entries, idx } => {
+                    if *idx < entries.len() {
+                        let (k, v) = &entries[*idx];
+                        *idx += 1;
+                        self.remaining -= 1;
+                        return Some((k, v));
+                    }
+                    self.stack.pop();
+                }
+                Cursor::Bitmap { slots, idx } => {
+                    if *idx >= slots.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let slot = &slots[*idx];
+                    *idx += 1;
+                    match slot {
+                        Slot::Entry(k, v) => {
+                            self.remaining -= 1;
+                            return Some((k, v));
+                        }
+                        Slot::Child(child) => self.stack.push(cursor_of(child)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Iter<'a, K, V> {}
+
+impl<'a, K, V> std::fmt::Debug for Iter<'a, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Iter")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::Hasher;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Collide {
+        bucket: u32,
+        id: u32,
+    }
+
+    impl Hash for Collide {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            state.write_u32(self.bucket);
+        }
+    }
+
+    #[test]
+    fn basics() {
+        let m = ChampMap::<u32, u32>::new();
+        assert!(m.is_empty());
+        let m = m.inserted(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+        assert_eq!(m.len(), 1);
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn thousand_entries() {
+        let m: ChampMap<u32, u32> = (0..1000).map(|i| (i, i * 7)).collect();
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 7)));
+        }
+        assert!(!m.contains_key(&5000));
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn replace_keeps_len() {
+        let m = ChampMap::new().inserted(1u32, 1u32).inserted(1, 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn noop_insert_shares_root() {
+        let m: ChampMap<u32, u32> = (0..64).map(|i| (i, i)).collect();
+        let m2 = m.inserted(3, 3);
+        assert!(Arc::ptr_eq(&m.root, &m2.root));
+    }
+
+    #[test]
+    fn canonical_removal() {
+        let full: ChampMap<u32, u32> = (0..400).map(|i| (i, i)).collect();
+        let mut m = full.clone();
+        for i in 0..400 {
+            assert!(m.remove_mut(&i));
+            m.assert_invariants();
+        }
+        assert!(m.is_empty());
+        assert_eq!(full.len(), 400);
+    }
+
+    #[test]
+    fn collisions() {
+        let mut m = ChampMap::new();
+        for id in 0..10 {
+            m.insert_mut(Collide { bucket: 5, id }, id);
+        }
+        assert_eq!(m.len(), 10);
+        m.assert_invariants();
+        for id in 0..10 {
+            assert_eq!(m.get(&Collide { bucket: 5, id }), Some(&id));
+        }
+        for id in 0..9 {
+            assert!(m.remove_mut(&Collide { bucket: 5, id }));
+            m.assert_invariants();
+        }
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn model_based_random_ops() {
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        let mut m: ChampMap<u32, u32> = ChampMap::new();
+        let mut state = 42u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..4000 {
+            let op = next() % 3;
+            let key = next() % 150;
+            match op {
+                0 | 1 => {
+                    let val = next();
+                    model.insert(key, val);
+                    m.insert_mut(key, val);
+                }
+                _ => {
+                    model.remove(&key);
+                    m.remove_mut(&key);
+                }
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        m.assert_invariants();
+        for (k, v) in &model {
+            assert_eq!(m.get(k), Some(v));
+        }
+        let collected: HashMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(collected, model);
+    }
+
+    #[test]
+    fn equality() {
+        let a: ChampMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+        let b: ChampMap<u32, u32> = (0..100).rev().map(|i| (i, i)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, b.removed(&7));
+    }
+
+    #[test]
+    fn iteration_is_payload_before_children() {
+        // Grouping invariant: within any node, entries precede children.
+        let m: ChampMap<u32, u32> = (0..2000).map(|i| (i, i)).collect();
+        assert_eq!(m.iter().count(), 2000);
+        assert_eq!(m.keys().count(), 2000);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChampMap<u32, u32>>();
+    }
+}

@@ -1,0 +1,93 @@
+//! Harness-facing trait implementations ([`trie_common::ops`]).
+
+use std::hash::Hash;
+
+use trie_common::ops::{MapOps, SetOps};
+
+use crate::{ChampMap, ChampSet};
+
+impl<K, V> MapOps<K, V> for ChampMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    const NAME: &'static str = "champ-map";
+
+    fn empty() -> Self {
+        ChampMap::new()
+    }
+
+    fn len(&self) -> usize {
+        ChampMap::len(self)
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        ChampMap::get(self, key)
+    }
+
+    fn inserted(&self, key: K, value: V) -> Self {
+        ChampMap::inserted(self, key, value)
+    }
+
+    fn removed(&self, key: &K) -> Self {
+        ChampMap::removed(self, key)
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.keys() {
+            f(k);
+        }
+    }
+}
+
+impl<T> SetOps<T> for ChampSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    const NAME: &'static str = "champ-set";
+
+    fn empty() -> Self {
+        ChampSet::new()
+    }
+
+    fn len(&self) -> usize {
+        ChampSet::len(self)
+    }
+
+    fn contains(&self, value: &T) -> bool {
+        ChampSet::contains(self, value)
+    }
+
+    fn inserted(&self, value: T) -> Self {
+        ChampSet::inserted(self, value)
+    }
+
+    fn removed(&self, value: &T) -> Self {
+        ChampSet::removed(self, value)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.iter() {
+            f(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits_are_wired() {
+        let m = <ChampMap<u32, u32> as MapOps<u32, u32>>::empty().inserted(1, 2);
+        assert_eq!(MapOps::get(&m, &1), Some(&2));
+        let s = <ChampSet<u32> as SetOps<u32>>::empty().inserted(3);
+        assert!(SetOps::contains(&s, &3));
+    }
+}

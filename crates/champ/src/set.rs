@@ -1,0 +1,780 @@
+//! The CHAMP persistent hash set (the map's sibling; see [`crate::map`]).
+//!
+//! Used by the evaluation as the nested collection of the map-of-sets
+//! multi-map baseline (`idiomatic::NestedChampMultiMap`, the "CHAMP" column
+//! of Table 1) and as a standalone set.
+//!
+//! # Examples
+//!
+//! ```
+//! use champ::ChampSet;
+//!
+//! let s: ChampSet<u32> = (0..10).collect();
+//! assert!(s.contains(&7));
+//! assert_eq!(s.removed(&7).len(), 9);
+//! assert_eq!(s.len(), 10); // persistent
+//! ```
+
+use std::borrow::Borrow;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
+use trie_common::hash::hash32;
+
+/// One physical slot: an element or a sub-trie.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot<T> {
+    Elem(T),
+    Child(Arc<Node<T>>),
+}
+
+/// A CHAMP set node.
+#[derive(Debug, Clone)]
+pub(crate) struct BitmapNode<T> {
+    pub(crate) datamap: u32,
+    pub(crate) nodemap: u32,
+    pub(crate) slots: Box<[Slot<T>]>,
+}
+
+impl<T> BitmapNode<T> {
+    #[inline]
+    pub(crate) fn payload_arity(&self) -> usize {
+        self.datamap.count_ones() as usize
+    }
+
+    #[inline]
+    pub(crate) fn node_arity(&self) -> usize {
+        self.nodemap.count_ones() as usize
+    }
+
+    #[inline]
+    fn data_index(&self, bit: u32) -> usize {
+        index_in(self.datamap, bit)
+    }
+
+    #[inline]
+    fn node_index(&self, bit: u32) -> usize {
+        self.payload_arity() + index_in(self.nodemap, bit)
+    }
+}
+
+/// Hash-collision overflow node.
+#[derive(Debug, Clone)]
+pub(crate) struct CollisionNode<T> {
+    pub(crate) hash: u32,
+    pub(crate) elems: Vec<T>,
+}
+
+/// A trie node.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    Bitmap(BitmapNode<T>),
+    Collision(CollisionNode<T>),
+}
+
+pub(crate) enum Removed<T> {
+    NotFound,
+    Node(Node<T>),
+    Single(T),
+}
+
+fn slice_inserted<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    let mut out = Vec::with_capacity(slots.len() + 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.push(item);
+    out.extend_from_slice(&slots[idx..]);
+    out.into_boxed_slice()
+}
+
+fn slice_removed<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
+    let mut out = Vec::with_capacity(slots.len() - 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.extend_from_slice(&slots[idx + 1..]);
+    out.into_boxed_slice()
+}
+
+fn slice_replaced<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    let mut out: Vec<T> = slots.to_vec();
+    out[idx] = item;
+    out.into_boxed_slice()
+}
+
+fn slice_migrated<T: Clone>(slots: &[T], from: usize, to: usize, item: T) -> Box<[T]> {
+    let mut out = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.iter().enumerate() {
+        if i == from {
+            continue;
+        }
+        if out.len() == to {
+            out.push(item.clone());
+        }
+        out.push(slot.clone());
+    }
+    if out.len() == to {
+        out.push(item);
+    }
+    out.into_boxed_slice()
+}
+
+impl<T: Clone + Eq + Hash> Node<T> {
+    fn empty() -> Node<T> {
+        Node::Bitmap(BitmapNode {
+            datamap: 0,
+            nodemap: 0,
+            slots: Box::new([]),
+        })
+    }
+
+    fn pair(h1: u32, e1: T, h2: u32, e2: T, shift: u32) -> Node<T> {
+        if hash_exhausted(shift) {
+            debug_assert_eq!(h1, h2);
+            return Node::Collision(CollisionNode {
+                hash: h1,
+                elems: vec![e1, e2],
+            });
+        }
+        let m1 = mask(h1, shift);
+        let m2 = mask(h2, shift);
+        if m1 == m2 {
+            let child = Node::pair(h1, e1, h2, e2, next_shift(shift));
+            Node::Bitmap(BitmapNode {
+                datamap: 0,
+                nodemap: bit_pos(m1),
+                slots: Box::new([Slot::Child(Arc::new(child))]),
+            })
+        } else {
+            let slots: Box<[Slot<T>]> = if m1 < m2 {
+                Box::new([Slot::Elem(e1), Slot::Elem(e2)])
+            } else {
+                Box::new([Slot::Elem(e2), Slot::Elem(e1)])
+            };
+            Node::Bitmap(BitmapNode {
+                datamap: bit_pos(m1) | bit_pos(m2),
+                nodemap: 0,
+                slots,
+            })
+        }
+    }
+
+    fn contains<Q>(&self, hash: u32, shift: u32, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => c.elems.iter().any(|e| e.borrow() == value),
+            Node::Bitmap(b) => {
+                let bit = bit_pos(mask(hash, shift));
+                if b.datamap & bit != 0 {
+                    match &b.slots[b.data_index(bit)] {
+                        Slot::Elem(e) => e.borrow() == value,
+                        Slot::Child(_) => unreachable!("datamap says element"),
+                    }
+                } else if b.nodemap & bit != 0 {
+                    match &b.slots[b.node_index(bit)] {
+                        Slot::Child(child) => child.contains(hash, next_shift(shift), value),
+                        Slot::Elem(_) => unreachable!("nodemap says child"),
+                    }
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn inserted(&self, hash: u32, shift: u32, value: &T) -> Option<Node<T>> {
+        match self {
+            Node::Collision(c) => {
+                debug_assert_eq!(c.hash, hash);
+                if c.elems.iter().any(|e| e == value) {
+                    return None;
+                }
+                let mut elems = c.elems.clone();
+                elems.push(value.clone());
+                Some(Node::Collision(CollisionNode {
+                    hash: c.hash,
+                    elems,
+                }))
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let existing = match &b.slots[idx] {
+                        Slot::Elem(e) => e,
+                        Slot::Child(_) => unreachable!("datamap says element"),
+                    };
+                    if existing == value {
+                        return None;
+                    }
+                    let child = Node::pair(
+                        hash32(existing),
+                        existing.clone(),
+                        hash,
+                        value.clone(),
+                        next_shift(shift),
+                    );
+                    let datamap = b.datamap & !bit;
+                    let nodemap = b.nodemap | bit;
+                    let to = (datamap.count_ones() as usize) + index_in(nodemap, bit);
+                    Some(Node::Bitmap(BitmapNode {
+                        datamap,
+                        nodemap,
+                        slots: slice_migrated(&b.slots, idx, to, Slot::Child(Arc::new(child))),
+                    }))
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let child = match &b.slots[idx] {
+                        Slot::Child(c) => c,
+                        Slot::Elem(_) => unreachable!("nodemap says child"),
+                    };
+                    let new_child = child.inserted(hash, next_shift(shift), value)?;
+                    Some(Node::Bitmap(BitmapNode {
+                        datamap: b.datamap,
+                        nodemap: b.nodemap,
+                        slots: slice_replaced(&b.slots, idx, Slot::Child(Arc::new(new_child))),
+                    }))
+                } else {
+                    let datamap = b.datamap | bit;
+                    let idx = index_in(datamap, bit);
+                    Some(Node::Bitmap(BitmapNode {
+                        datamap,
+                        nodemap: b.nodemap,
+                        slots: slice_inserted(&b.slots, idx, Slot::Elem(value.clone())),
+                    }))
+                }
+            }
+        }
+    }
+
+    fn removed<Q>(&self, hash: u32, shift: u32, value: &Q) -> Removed<T>
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => {
+                let Some(pos) = c.elems.iter().position(|e| e.borrow() == value) else {
+                    return Removed::NotFound;
+                };
+                if c.elems.len() == 2 {
+                    return Removed::Single(c.elems[1 - pos].clone());
+                }
+                let mut elems = c.elems.clone();
+                elems.remove(pos);
+                Removed::Node(Node::Collision(CollisionNode {
+                    hash: c.hash,
+                    elems,
+                }))
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let matches = match &b.slots[idx] {
+                        Slot::Elem(e) => e.borrow() == value,
+                        Slot::Child(_) => unreachable!("datamap says element"),
+                    };
+                    if !matches {
+                        return Removed::NotFound;
+                    }
+                    let datamap = b.datamap & !bit;
+                    if shift > 0 && datamap.count_ones() == 1 && b.nodemap == 0 {
+                        debug_assert_eq!(b.slots.len(), 2);
+                        let survivor = match &b.slots[1 - idx] {
+                            Slot::Elem(e) => e.clone(),
+                            Slot::Child(_) => unreachable!("both slots are payload"),
+                        };
+                        return Removed::Single(survivor);
+                    }
+                    Removed::Node(Node::Bitmap(BitmapNode {
+                        datamap,
+                        nodemap: b.nodemap,
+                        slots: slice_removed(&b.slots, idx),
+                    }))
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let child = match &b.slots[idx] {
+                        Slot::Child(c) => c,
+                        Slot::Elem(_) => unreachable!("nodemap says child"),
+                    };
+                    match child.removed(hash, next_shift(shift), value) {
+                        Removed::NotFound => Removed::NotFound,
+                        Removed::Node(n) => Removed::Node(Node::Bitmap(BitmapNode {
+                            datamap: b.datamap,
+                            nodemap: b.nodemap,
+                            slots: slice_replaced(&b.slots, idx, Slot::Child(Arc::new(n))),
+                        })),
+                        Removed::Single(e) => {
+                            if shift > 0 && b.datamap == 0 && b.nodemap.count_ones() == 1 {
+                                return Removed::Single(e);
+                            }
+                            let datamap = b.datamap | bit;
+                            let nodemap = b.nodemap & !bit;
+                            let to = index_in(datamap, bit);
+                            Removed::Node(Node::Bitmap(BitmapNode {
+                                datamap,
+                                nodemap,
+                                slots: slice_migrated(&b.slots, idx, to, Slot::Elem(e)),
+                            }))
+                        }
+                    }
+                } else {
+                    Removed::NotFound
+                }
+            }
+        }
+    }
+}
+
+/// A persistent hash set with the CHAMP encoding. See the
+/// [module documentation](self).
+pub struct ChampSet<T> {
+    pub(crate) root: Arc<Node<T>>,
+    pub(crate) len: usize,
+}
+
+impl<T> Clone for ChampSet<T> {
+    fn clone(&self) -> Self {
+        ChampSet {
+            root: Arc::clone(&self.root),
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> ChampSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ChampSet {
+            root: Arc::new(Node::empty()),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.root.contains(hash32(value), 0, value)
+    }
+
+    /// Returns a set including `value`; `self` is unchanged.
+    pub fn inserted(&self, value: T) -> Self {
+        let mut next = self.clone();
+        next.insert_mut(value);
+        next
+    }
+
+    /// Inserts `value` in place (re-pointing this handle). Returns true if
+    /// the set grew.
+    pub fn insert_mut(&mut self, value: T) -> bool {
+        match self.root.inserted(hash32(&value), 0, &value) {
+            Some(node) => {
+                self.root = Arc::new(node);
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns a set excluding `value`; `self` is unchanged.
+    pub fn removed<Q>(&self, value: &Q) -> Self
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let mut next = self.clone();
+        next.remove_mut(value);
+        next
+    }
+
+    /// Removes `value` in place. Returns true if the set shrank.
+    pub fn remove_mut<Q>(&mut self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        match self.root.removed(hash32(value), 0, value) {
+            Removed::NotFound => false,
+            Removed::Node(node) => {
+                self.root = Arc::new(node);
+                self.len -= 1;
+                true
+            }
+            Removed::Single(survivor) => {
+                let root = Node::empty()
+                    .inserted(hash32(&survivor), 0, &survivor)
+                    .expect("inserting into empty");
+                self.root = Arc::new(root);
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// The sole element of a singleton set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set does not hold exactly one element.
+    pub fn sole(&self) -> &T {
+        assert_eq!(self.len, 1, "sole() requires a singleton set");
+        self.iter().next().expect("len == 1")
+    }
+
+    /// Iterates the elements in unspecified (trie) order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            stack: vec![cursor_of(&self.root)],
+            remaining: self.len,
+        }
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &Self) -> Self {
+        let (big, small) = if self.len >= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = big.clone();
+        for v in small.iter() {
+            out.insert_mut(v.clone());
+        }
+        out
+    }
+
+    /// Intersection of two sets.
+    pub fn intersection(&self, other: &Self) -> Self {
+        let (probe, scan) = if self.len >= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = ChampSet::new();
+        for v in scan.iter() {
+            if probe.contains(v) {
+                out.insert_mut(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Elements of `self` not in `other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = ChampSet::new();
+        for v in self.iter() {
+            if !other.contains(v) {
+                out.insert_mut(v.clone());
+            }
+        }
+        out
+    }
+
+    /// True if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.len <= other.len && self.iter().all(|v| other.contains(v))
+    }
+
+    pub(crate) fn root_node(&self) -> &Node<T> {
+        &self.root
+    }
+
+    /// Recursively checks the canonical-form invariants (test support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural invariant is violated.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        let counted = validate(&self.root, 0);
+        assert_eq!(counted, self.len, "len bookkeeping");
+    }
+}
+
+fn validate<T: Clone + Eq + Hash>(node: &Node<T>, shift: u32) -> usize {
+    match node {
+        Node::Collision(c) => {
+            assert!(hash_exhausted(shift));
+            assert!(c.elems.len() >= 2);
+            for e in &c.elems {
+                assert_eq!(hash32(e), c.hash);
+            }
+            c.elems.len()
+        }
+        Node::Bitmap(b) => {
+            assert_eq!(b.datamap & b.nodemap, 0, "maps must be disjoint");
+            assert_eq!(b.slots.len(), b.payload_arity() + b.node_arity());
+            let mut total = 0;
+            for (i, slot) in b.slots.iter().enumerate() {
+                match slot {
+                    Slot::Elem(e) => {
+                        assert!(i < b.payload_arity());
+                        let m = mask(hash32(e), shift);
+                        assert!(b.datamap & bit_pos(m) != 0);
+                        total += 1;
+                    }
+                    Slot::Child(child) => {
+                        assert!(i >= b.payload_arity());
+                        let sub = validate(child, next_shift(shift));
+                        assert!(sub >= 2, "sub-trie with < 2 elements not inlined");
+                        total += sub;
+                    }
+                }
+            }
+            if shift > 0 {
+                assert!(!(b.payload_arity() == 1 && b.node_arity() == 0));
+            }
+            total
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Default for ChampSet<T> {
+    fn default() -> Self {
+        ChampSet::new()
+    }
+}
+
+impl<T: Clone + Eq + Hash> PartialEq for ChampSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && node_eq(&self.root, &other.root)
+    }
+}
+
+impl<T: Clone + Eq + Hash> Eq for ChampSet<T> {}
+
+fn node_eq<T: Clone + Eq + Hash>(a: &Node<T>, b: &Node<T>) -> bool {
+    match (a, b) {
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            x.datamap == y.datamap
+                && x.nodemap == y.nodemap
+                && x.slots
+                    .iter()
+                    .zip(y.slots.iter())
+                    .all(|(s, t)| match (s, t) {
+                        (Slot::Elem(e), Slot::Elem(f)) => e == f,
+                        (Slot::Child(c), Slot::Child(d)) => Arc::ptr_eq(c, d) || node_eq(c, d),
+                        _ => false,
+                    })
+        }
+        (Node::Collision(x), Node::Collision(y)) => {
+            x.hash == y.hash
+                && x.elems.len() == y.elems.len()
+                && x.elems.iter().all(|e| y.elems.contains(e))
+        }
+        _ => false,
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::hash::Hash for ChampSet<T> {
+    /// Order-independent hash (sum of element hashes).
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut acc = 0u64;
+        for v in self.iter() {
+            acc = acc.wrapping_add(hash32(v) as u64);
+        }
+        state.write_u64(acc);
+        state.write_usize(self.len);
+    }
+}
+
+impl<T: std::fmt::Debug + Clone + Eq + Hash> std::fmt::Debug for ChampSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Clone + Eq + Hash> FromIterator<T> for ChampSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = ChampSet::new();
+        for v in iter {
+            set.insert_mut(v);
+        }
+        set
+    }
+}
+
+impl<T: Clone + Eq + Hash> Extend<T> for ChampSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert_mut(v);
+        }
+    }
+}
+
+impl<'a, T: Clone + Eq + Hash> IntoIterator for &'a ChampSet<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+enum Cursor<'a, T> {
+    Bitmap { slots: &'a [Slot<T>], idx: usize },
+    Collision { elems: &'a [T], idx: usize },
+}
+
+fn cursor_of<T>(node: &Node<T>) -> Cursor<'_, T> {
+    match node {
+        Node::Bitmap(b) => Cursor::Bitmap {
+            slots: &b.slots,
+            idx: 0,
+        },
+        Node::Collision(c) => Cursor::Collision {
+            elems: &c.elems,
+            idx: 0,
+        },
+    }
+}
+
+/// Iterator over set elements. Created by [`ChampSet::iter`].
+pub struct Iter<'a, T> {
+    stack: Vec<Cursor<'a, T>>,
+    remaining: usize,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                Cursor::Collision { elems, idx } => {
+                    if *idx < elems.len() {
+                        let out = &elems[*idx];
+                        *idx += 1;
+                        self.remaining -= 1;
+                        return Some(out);
+                    }
+                    self.stack.pop();
+                }
+                Cursor::Bitmap { slots, idx } => {
+                    if *idx >= slots.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let slot = &slots[*idx];
+                    *idx += 1;
+                    match slot {
+                        Slot::Elem(e) => {
+                            self.remaining -= 1;
+                            return Some(e);
+                        }
+                        Slot::Child(child) => self.stack.push(cursor_of(child)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for Iter<'a, T> {}
+
+impl<'a, T> std::fmt::Debug for Iter<'a, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Iter")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::hash::Hasher;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Collide {
+        bucket: u32,
+        id: u32,
+    }
+
+    impl Hash for Collide {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            state.write_u32(self.bucket);
+        }
+    }
+
+    #[test]
+    fn basics_and_roundtrip() {
+        let mut s = ChampSet::new();
+        for i in 0..600u32 {
+            assert!(s.insert_mut(i));
+        }
+        assert_eq!(s.len(), 600);
+        s.assert_invariants();
+        for i in 0..600u32 {
+            assert!(s.contains(&i));
+            assert!(s.remove_mut(&i));
+        }
+        assert!(s.is_empty());
+        s.assert_invariants();
+    }
+
+    #[test]
+    fn collisions() {
+        let mut s = ChampSet::new();
+        for id in 0..8 {
+            s.insert_mut(Collide { bucket: 77, id });
+        }
+        assert_eq!(s.len(), 8);
+        s.assert_invariants();
+        for id in 0..7 {
+            assert!(s.remove_mut(&Collide { bucket: 77, id }));
+            s.assert_invariants();
+        }
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn algebra() {
+        let a: ChampSet<u32> = (0..20).collect();
+        let b: ChampSet<u32> = (10..30).collect();
+        assert_eq!(a.union(&b).len(), 30);
+        assert_eq!(a.intersection(&b).len(), 10);
+        assert_eq!(a.difference(&b).len(), 10);
+        assert!(a.intersection(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn persistence_and_equality() {
+        let v0: ChampSet<u32> = (0..100).collect();
+        let v1 = v0.inserted(200);
+        assert_eq!(v0.len(), 100);
+        assert_ne!(v0, v1);
+        assert_eq!(v0, v1.removed(&200));
+        let elems: BTreeSet<u32> = v0.iter().copied().collect();
+        assert_eq!(elems, (0..100).collect());
+    }
+
+    #[test]
+    fn sole() {
+        let s: ChampSet<u32> = std::iter::once(9).collect();
+        assert_eq!(*s.sole(), 9);
+    }
+}

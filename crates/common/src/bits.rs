@@ -1,0 +1,151 @@
+//! Bit-level helpers shared by every hash-trie node encoding.
+//!
+//! A trie level consumes [`BITS_PER_LEVEL`] bits of the 32-bit key hash; the
+//! extracted value (the *mask* in the paper's terminology) selects one of
+//! [`FANOUT`] logical branches. Compressed nodes translate a branch into a
+//! dense array index by counting occupied branches below it ([`index_in`]).
+
+/// Number of hash bits consumed per trie level (the paper's 5-bit masks).
+pub const BITS_PER_LEVEL: u32 = 5;
+
+/// Branching factor of every trie node (`2^BITS_PER_LEVEL`).
+pub const FANOUT: usize = 1 << BITS_PER_LEVEL as usize;
+
+/// Bit mask that extracts one level's worth of hash bits.
+pub const LEVEL_MASK: u32 = (FANOUT - 1) as u32;
+
+/// Total number of hash bits a trie path can consume before the hash code is
+/// exhausted and collision nodes take over.
+pub const HASH_BITS: u32 = 32;
+
+/// Extracts the 5-bit branch selector ("mask") for the trie level identified
+/// by `shift` (0, 5, 10, … bits already consumed).
+///
+/// # Examples
+///
+/// ```
+/// use trie_common::bits::mask;
+/// assert_eq!(mask(0b00111_00010, 0), 0b00010);
+/// assert_eq!(mask(0b00111_00010, 5), 0b00111);
+/// ```
+#[inline(always)]
+pub fn mask(hash: u32, shift: u32) -> u32 {
+    (hash >> shift) & LEVEL_MASK
+}
+
+/// Single-bit position for a branch selector, usable in 32-bit membership
+/// bitmaps.
+///
+/// # Examples
+///
+/// ```
+/// use trie_common::bits::bit_pos;
+/// assert_eq!(bit_pos(0), 0b001);
+/// assert_eq!(bit_pos(2), 0b100);
+/// ```
+#[inline(always)]
+pub fn bit_pos(mask: u32) -> u32 {
+    1u32 << mask
+}
+
+/// Compressed index of branch `bit` within `bitmap`: the number of occupied
+/// branches strictly below it. This is Bagwell's original popcount indexing.
+///
+/// # Examples
+///
+/// ```
+/// use trie_common::bits::{bit_pos, index_in};
+/// let bitmap = 0b1010_0110;
+/// assert_eq!(index_in(bitmap, bit_pos(1)), 0);
+/// assert_eq!(index_in(bitmap, bit_pos(2)), 1);
+/// assert_eq!(index_in(bitmap, bit_pos(5)), 2);
+/// assert_eq!(index_in(bitmap, bit_pos(7)), 3);
+/// ```
+#[inline(always)]
+pub fn index_in(bitmap: u32, bit: u32) -> usize {
+    (bitmap & bit.wrapping_sub(1)).count_ones() as usize
+}
+
+/// True once `shift` has consumed the entire 32-bit hash code; past this
+/// depth tries must resolve collisions with dedicated collision nodes.
+#[inline(always)]
+pub fn hash_exhausted(shift: u32) -> bool {
+    shift >= HASH_BITS
+}
+
+/// The `shift` value for the next deeper trie level.
+#[inline(always)]
+pub fn next_shift(shift: u32) -> u32 {
+    shift + BITS_PER_LEVEL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_walk_the_hash_five_bits_at_a_time() {
+        // hash from Figure 1b: hash(B) = 2050 = 2 | 0 | 2 in base 32.
+        let h = 2050u32;
+        assert_eq!(mask(h, 0), 2);
+        assert_eq!(mask(h, 5), 0);
+        assert_eq!(mask(h, 10), 2);
+    }
+
+    #[test]
+    fn figure_1b_hash_codes_decompose_as_printed() {
+        // (key, base-10 hash, first three base-32 digits) from the paper.
+        let cases = [
+            (4u32, [4u32, 0, 0]),
+            (2050, [2, 0, 2]),
+            (5122, [2, 0, 5]),
+            (34, [2, 1, 0]),
+            (130, [2, 4, 0]),
+            (7, [7, 0, 0]),
+        ];
+        for (hash, digits) in cases {
+            for (level, expected) in digits.into_iter().enumerate() {
+                assert_eq!(
+                    mask(hash, level as u32 * BITS_PER_LEVEL),
+                    expected,
+                    "hash {hash} level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_pos_sets_exactly_one_bit() {
+        for m in 0..FANOUT as u32 {
+            assert_eq!(bit_pos(m).count_ones(), 1);
+            assert_eq!(bit_pos(m).trailing_zeros(), m);
+        }
+    }
+
+    #[test]
+    fn index_in_counts_bits_below() {
+        let bitmap = 0b1000_0000_0000_0000_0000_0000_0000_0001u32;
+        assert_eq!(index_in(bitmap, bit_pos(0)), 0);
+        assert_eq!(index_in(bitmap, bit_pos(31)), 1);
+        assert_eq!(index_in(bitmap, bit_pos(15)), 1);
+    }
+
+    #[test]
+    fn index_in_is_dense_over_full_bitmap() {
+        let bitmap = u32::MAX;
+        for m in 0..FANOUT as u32 {
+            assert_eq!(index_in(bitmap, bit_pos(m)), m as usize);
+        }
+    }
+
+    #[test]
+    fn exhaustion_happens_after_seven_levels() {
+        let mut shift = 0;
+        let mut levels = 0;
+        while !hash_exhausted(shift) {
+            shift = next_shift(shift);
+            levels += 1;
+        }
+        assert_eq!(levels, 7);
+    }
+}

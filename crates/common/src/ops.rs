@@ -1,0 +1,193 @@
+//! Implementation-agnostic views of the persistent collections.
+//!
+//! The evaluation compares five multi-map designs and three map designs. To
+//! run one benchmark (or the dominators case study) over all of them, the
+//! harness is written against these traits. Concrete types additionally offer
+//! richer inherent APIs (iterators, views, bulk construction); the traits
+//! deliberately stay minimal and object-safe-ish (`for_each` callbacks rather
+//! than associated iterator types) so a new competitor only needs a page of
+//! glue.
+//!
+//! Naming convention: persistent operations use past-participle names
+//! (`inserted`, `removed`) because they *return the updated collection* and
+//! leave `self` untouched.
+
+/// A persistent (immutable, structurally shared) map.
+pub trait MapOps<K, V>: Clone {
+    /// Short human-readable implementation name used in benchmark reports.
+    const NAME: &'static str;
+
+    /// Creates an empty map.
+    fn empty() -> Self;
+
+    /// Number of key/value entries.
+    fn len(&self) -> usize;
+
+    /// True if the map holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the value for `key`.
+    fn get(&self, key: &K) -> Option<&V>;
+
+    /// True if `key` has a mapping.
+    fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns a map with `key` bound to `value` (replacing any previous
+    /// binding); `self` is unchanged.
+    fn inserted(&self, key: K, value: V) -> Self;
+
+    /// Returns a map without any binding for `key`; `self` is unchanged.
+    fn removed(&self, key: &K) -> Self;
+
+    /// Invokes `f` for every entry, in unspecified order.
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V));
+
+    /// Invokes `f` for every key, in unspecified order.
+    fn for_each_key(&self, f: &mut dyn FnMut(&K));
+}
+
+/// A persistent set.
+pub trait SetOps<T>: Clone {
+    /// Short human-readable implementation name used in benchmark reports.
+    const NAME: &'static str;
+
+    /// Creates an empty set.
+    fn empty() -> Self;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// True if the set holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `value` is a member.
+    fn contains(&self, value: &T) -> bool;
+
+    /// Returns a set including `value`; `self` is unchanged.
+    fn inserted(&self, value: T) -> Self;
+
+    /// Returns a set excluding `value`; `self` is unchanged.
+    fn removed(&self, value: &T) -> Self;
+
+    /// Invokes `f` for every element, in unspecified order.
+    fn for_each(&self, f: &mut dyn FnMut(&T));
+}
+
+/// A persistent multi-map: a binary relation with fast by-key access.
+///
+/// Terminology follows the paper: a *tuple* is one `(key, value)` pair; a key
+/// mapped to n values contributes n tuples but one *key*.
+pub trait MultiMapOps<K, V>: Clone {
+    /// Short human-readable implementation name used in benchmark reports.
+    const NAME: &'static str;
+
+    /// Creates an empty multi-map.
+    fn empty() -> Self;
+
+    /// Total number of `(key, value)` tuples.
+    fn tuple_count(&self) -> usize;
+
+    /// Number of distinct keys.
+    fn key_count(&self) -> usize;
+
+    /// True if the multi-map holds no tuples.
+    fn is_empty(&self) -> bool {
+        self.tuple_count() == 0
+    }
+
+    /// True if `key` maps to at least one value.
+    fn contains_key(&self, key: &K) -> bool;
+
+    /// True if the exact tuple `(key, value)` is present.
+    fn contains_tuple(&self, key: &K, value: &V) -> bool;
+
+    /// Number of values associated with `key` (0 if absent).
+    fn value_count(&self, key: &K) -> usize;
+
+    /// Returns a multi-map additionally containing the tuple `(key, value)`;
+    /// `self` is unchanged. Inserting a present tuple is a no-op.
+    fn inserted(&self, key: K, value: V) -> Self;
+
+    /// Returns a multi-map without the tuple `(key, value)`; `self` is
+    /// unchanged. Removing an absent tuple is a no-op.
+    fn tuple_removed(&self, key: &K, value: &V) -> Self;
+
+    /// Returns a multi-map without any tuple for `key`; `self` is unchanged.
+    fn key_removed(&self, key: &K) -> Self;
+
+    /// Invokes `f` for every tuple (the flattened entry sequence of the
+    /// paper's *Iteration (Entry)* benchmark), in unspecified order.
+    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V));
+
+    /// Invokes `f` once per distinct key (the paper's *Iteration (Key)*), in
+    /// unspecified order.
+    fn for_each_key(&self, f: &mut dyn FnMut(&K));
+
+    /// Invokes `f` for every value associated with `key`.
+    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A deliberately naive reference implementation proving the traits are
+    // implementable and that their default methods behave.
+    #[derive(Clone, Default)]
+    struct VecMap(Vec<(u32, u32)>);
+
+    impl MapOps<u32, u32> for VecMap {
+        const NAME: &'static str = "vec-map";
+        fn empty() -> Self {
+            VecMap(Vec::new())
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn get(&self, key: &u32) -> Option<&u32> {
+            self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+        fn inserted(&self, key: u32, value: u32) -> Self {
+            let mut next = self.clone();
+            match next.0.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 = value,
+                None => next.0.push((key, value)),
+            }
+            next
+        }
+        fn removed(&self, key: &u32) -> Self {
+            VecMap(self.0.iter().filter(|(k, _)| k != key).cloned().collect())
+        }
+        fn for_each_entry(&self, f: &mut dyn FnMut(&u32, &u32)) {
+            for (k, v) in &self.0 {
+                f(k, v);
+            }
+        }
+        fn for_each_key(&self, f: &mut dyn FnMut(&u32)) {
+            for (k, _) in &self.0 {
+                f(k);
+            }
+        }
+    }
+
+    #[test]
+    fn default_methods_track_primitives() {
+        let m = VecMap::empty();
+        assert!(m.is_empty());
+        assert!(!m.contains_key(&3));
+        let m = m.inserted(3, 4);
+        assert!(!m.is_empty());
+        assert!(m.contains_key(&3));
+        assert_eq!(m.len(), 1);
+        // Persistence: the original is untouched.
+        let m2 = m.removed(&3);
+        assert!(m2.is_empty());
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! Storage strategies for the values of a `1:n` multi-mapping.
+//!
+//! The multi-map's `CAT2` slots associate a key with *at least two* values.
+//! How those values are stored is a pluggable strategy:
+//!
+//! * [`AxiomSet<V>`](crate::AxiomSet) — the paper's baseline: a nested
+//!   persistent set data structure;
+//! * [`FusedBag<V>`] — the paper's §4.4 *fusion* variant: small value
+//!   collections are stored inline (one flat allocation, no nested-set
+//!   wrapper and no trie indirections), overflowing into a trie set only
+//!   past [`FUSE_MAX`] elements. The paper reports fusion strictly improves
+//!   runtimes "due to less memory indirections" while further shrinking
+//!   footprints (×2.43 over Clojure/Scala on average).
+//!
+//! The [`ValueBag`] trait is sealed: the two strategies above are the ones
+//! the evaluation defines; downstream code selects one via the multi-map's
+//! third type parameter.
+
+use std::hash::Hash;
+
+use crate::set::AxiomSet;
+
+mod sealed {
+    pub trait Sealed {}
+    impl<V> Sealed for crate::set::AxiomSet<V> {}
+    impl<V> Sealed for super::FusedBag<V> {}
+}
+
+/// Outcome of removing one value from a bag.
+#[derive(Debug)]
+pub enum BagRemoved<V, B> {
+    /// The value was not in the bag.
+    NotFound,
+    /// The value was removed; at least two values remain.
+    Bag(B),
+    /// The value was removed and exactly one value survives — the caller
+    /// demotes the `1:n` slot back to an inlined `1:1` pair.
+    Single(V),
+}
+
+/// A collection of ≥ 2 values nested under one multi-map key.
+///
+/// This trait is sealed; see the [module documentation](self) for the two
+/// implementations.
+pub trait ValueBag<V>: Clone + PartialEq + sealed::Sealed {
+    /// Borrowing iterator over the values.
+    type Iter<'a>: Iterator<Item = &'a V>
+    where
+        Self: 'a,
+        V: 'a;
+
+    /// Builds a bag from two *distinct* values (promotion of a `1:1` slot).
+    fn from_two(a: V, b: V) -> Self;
+
+    /// Number of values (always ≥ 2 while stored in a `CAT2` slot).
+    fn len(&self) -> usize;
+
+    /// True if the bag holds no values (never the case inside a multi-map;
+    /// provided for API completeness).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    fn contains(&self, value: &V) -> bool;
+
+    /// Returns the bag with `value` added, or `None` if already present.
+    fn inserted(&self, value: &V) -> Option<Self>;
+
+    /// Removes `value`, reporting demotion when one value remains.
+    fn removed(&self, value: &V) -> BagRemoved<V, Self>;
+
+    /// Iterates the values in unspecified order.
+    fn iter(&self) -> Self::Iter<'_>;
+}
+
+impl<V: Clone + Eq + Hash> ValueBag<V> for AxiomSet<V> {
+    type Iter<'a>
+        = crate::set::Iter<'a, V>
+    where
+        V: 'a;
+
+    fn from_two(a: V, b: V) -> Self {
+        AxiomSet::from_two(a, b)
+    }
+
+    fn len(&self) -> usize {
+        AxiomSet::len(self)
+    }
+
+    fn contains(&self, value: &V) -> bool {
+        AxiomSet::contains(self, value)
+    }
+
+    fn inserted(&self, value: &V) -> Option<Self> {
+        let mut next = self.clone();
+        if next.insert_mut(value.clone()) {
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    fn removed(&self, value: &V) -> BagRemoved<V, Self> {
+        let mut next = self.clone();
+        if !next.remove_mut(value) {
+            return BagRemoved::NotFound;
+        }
+        if next.len() == 1 {
+            BagRemoved::Single(next.sole().clone())
+        } else {
+            BagRemoved::Bag(next)
+        }
+    }
+
+    fn iter(&self) -> Self::Iter<'_> {
+        AxiomSet::iter(self)
+    }
+}
+
+/// Largest value count stored inline by [`FusedBag`] before overflowing into
+/// a trie set. Mirrors the small-collection specialization depth of the JVM
+/// libraries the paper compares against (Scala's `Set1..Set4`).
+pub const FUSE_MAX: usize = 4;
+
+/// Fusion storage: `2..=FUSE_MAX` values live in one flat slice reached
+/// directly from the trie slot; larger collections use a nested
+/// [`AxiomSet`]. Invariant: `Inline` holds `2..=FUSE_MAX` distinct values,
+/// `Trie` holds `> FUSE_MAX`.
+#[derive(Debug)]
+pub enum FusedBag<V> {
+    /// Up to [`FUSE_MAX`] values, stored inline without a nested collection.
+    Inline(Box<[V]>),
+    /// Overflow representation for larger value sets.
+    Trie(AxiomSet<V>),
+}
+
+impl<V: Clone> Clone for FusedBag<V> {
+    fn clone(&self) -> Self {
+        match self {
+            FusedBag::Inline(vs) => FusedBag::Inline(vs.clone()),
+            FusedBag::Trie(s) => FusedBag::Trie(s.clone()),
+        }
+    }
+}
+
+impl<V: Clone + Eq + Hash> PartialEq for FusedBag<V> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (FusedBag::Inline(a), FusedBag::Inline(b)) => {
+                // Inline slices are unordered: compare as sets.
+                a.len() == b.len() && a.iter().all(|v| b.contains(v))
+            }
+            (FusedBag::Trie(a), FusedBag::Trie(b)) => a == b,
+            // Representations are size-segregated, so mixed comparisons are
+            // only reachable between bags of different sizes.
+            _ => false,
+        }
+    }
+}
+
+impl<V: Clone + Eq + Hash> Eq for FusedBag<V> {}
+
+impl<V: Clone + Eq + Hash> ValueBag<V> for FusedBag<V> {
+    type Iter<'a>
+        = FusedIter<'a, V>
+    where
+        V: 'a;
+
+    fn from_two(a: V, b: V) -> Self {
+        debug_assert!(a != b);
+        FusedBag::Inline(Box::new([a, b]))
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            FusedBag::Inline(vs) => vs.len(),
+            FusedBag::Trie(s) => s.len(),
+        }
+    }
+
+    fn contains(&self, value: &V) -> bool {
+        match self {
+            FusedBag::Inline(vs) => vs.iter().any(|v| v == value),
+            FusedBag::Trie(s) => s.contains(value),
+        }
+    }
+
+    fn inserted(&self, value: &V) -> Option<Self> {
+        match self {
+            FusedBag::Inline(vs) => {
+                if vs.iter().any(|v| v == value) {
+                    return None;
+                }
+                if vs.len() < FUSE_MAX {
+                    let mut out = Vec::with_capacity(vs.len() + 1);
+                    out.extend_from_slice(vs);
+                    out.push(value.clone());
+                    Some(FusedBag::Inline(out.into_boxed_slice()))
+                } else {
+                    // Overflow: promote to a trie set.
+                    let mut set: AxiomSet<V> = vs.iter().cloned().collect();
+                    set.insert_mut(value.clone());
+                    Some(FusedBag::Trie(set))
+                }
+            }
+            FusedBag::Trie(s) => {
+                let mut next = s.clone();
+                if next.insert_mut(value.clone()) {
+                    Some(FusedBag::Trie(next))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn removed(&self, value: &V) -> BagRemoved<V, Self> {
+        match self {
+            FusedBag::Inline(vs) => {
+                let Some(pos) = vs.iter().position(|v| v == value) else {
+                    return BagRemoved::NotFound;
+                };
+                if vs.len() == 2 {
+                    return BagRemoved::Single(vs[1 - pos].clone());
+                }
+                let mut out = Vec::with_capacity(vs.len() - 1);
+                out.extend_from_slice(&vs[..pos]);
+                out.extend_from_slice(&vs[pos + 1..]);
+                BagRemoved::Bag(FusedBag::Inline(out.into_boxed_slice()))
+            }
+            FusedBag::Trie(s) => {
+                let mut next = s.clone();
+                if !next.remove_mut(value) {
+                    return BagRemoved::NotFound;
+                }
+                if next.len() <= FUSE_MAX {
+                    // Demote back to the inline representation.
+                    let out: Vec<V> = next.iter().cloned().collect();
+                    BagRemoved::Bag(FusedBag::Inline(out.into_boxed_slice()))
+                } else {
+                    BagRemoved::Bag(FusedBag::Trie(next))
+                }
+            }
+        }
+    }
+
+    fn iter(&self) -> Self::Iter<'_> {
+        match self {
+            FusedBag::Inline(vs) => FusedIter::Slice(vs.iter()),
+            FusedBag::Trie(s) => FusedIter::Trie(s.iter()),
+        }
+    }
+}
+
+/// Iterator over a [`FusedBag`]'s values.
+#[derive(Debug)]
+pub enum FusedIter<'a, V> {
+    /// Iterating an inline slice.
+    Slice(std::slice::Iter<'a, V>),
+    /// Iterating the overflow trie set.
+    Trie(crate::set::Iter<'a, V>),
+}
+
+impl<'a, V> Iterator for FusedIter<'a, V> {
+    type Item = &'a V;
+
+    fn next(&mut self) -> Option<&'a V> {
+        match self {
+            FusedIter::Slice(it) => it.next(),
+            FusedIter::Trie(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            FusedIter::Slice(it) => it.size_hint(),
+            FusedIter::Trie(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<'a, V> ExactSizeIterator for FusedIter<'a, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn elems<B: ValueBag<u32>>(b: &B) -> BTreeSet<u32> {
+        b.iter().copied().collect()
+    }
+
+    #[test]
+    fn set_bag_promote_insert_remove() {
+        let b: AxiomSet<u32> = ValueBag::from_two(1, 2);
+        assert_eq!(ValueBag::len(&b), 2);
+        assert!(ValueBag::contains(&b, &1));
+        assert!(ValueBag::inserted(&b, &1).is_none());
+        let b3 = ValueBag::inserted(&b, &3).unwrap();
+        assert_eq!(elems(&b3), BTreeSet::from([1, 2, 3]));
+        match ValueBag::removed(&b, &1) {
+            BagRemoved::Single(v) => assert_eq!(v, 2),
+            _ => panic!("expected demotion"),
+        }
+        match ValueBag::removed(&b3, &9) {
+            BagRemoved::NotFound => {}
+            _ => panic!("expected NotFound"),
+        }
+    }
+
+    #[test]
+    fn fused_bag_stays_inline_up_to_fuse_max() {
+        let mut b: FusedBag<u32> = ValueBag::from_two(0, 1);
+        for v in 2..FUSE_MAX as u32 {
+            b = b.inserted(&v).unwrap();
+        }
+        assert!(matches!(b, FusedBag::Inline(_)));
+        assert_eq!(b.len(), FUSE_MAX);
+        // One more overflows into the trie.
+        let big = b.inserted(&(FUSE_MAX as u32)).unwrap();
+        assert!(matches!(big, FusedBag::Trie(_)));
+        assert_eq!(big.len(), FUSE_MAX + 1);
+        assert_eq!(elems(&big), (0..=FUSE_MAX as u32).collect());
+    }
+
+    #[test]
+    fn fused_bag_demotes_from_trie_to_inline() {
+        let mut b: FusedBag<u32> = ValueBag::from_two(0, 1);
+        for v in 2..10u32 {
+            b = b.inserted(&v).unwrap();
+        }
+        assert!(matches!(b, FusedBag::Trie(_)));
+        // Remove down to FUSE_MAX: must flip back to Inline.
+        for v in (FUSE_MAX as u32..10).rev() {
+            b = match b.removed(&v) {
+                BagRemoved::Bag(b) => b,
+                _ => panic!("unexpected"),
+            };
+        }
+        assert!(matches!(b, FusedBag::Inline(_)));
+        assert_eq!(elems(&b), (0..FUSE_MAX as u32).collect());
+        // And all the way down to a single survivor.
+        for v in (2..FUSE_MAX as u32).rev() {
+            b = match b.removed(&v) {
+                BagRemoved::Bag(b) => b,
+                _ => panic!("unexpected"),
+            };
+        }
+        match b.removed(&1) {
+            BagRemoved::Single(v) => assert_eq!(v, 0),
+            _ => panic!("expected demotion"),
+        }
+    }
+
+    #[test]
+    fn fused_bag_duplicate_and_missing() {
+        let b: FusedBag<u32> = ValueBag::from_two(5, 6);
+        assert!(b.inserted(&5).is_none());
+        assert!(matches!(b.removed(&99), BagRemoved::NotFound));
+        assert!(!b.contains(&99));
+    }
+
+    #[test]
+    fn both_bags_agree_under_random_ops() {
+        let mut set_bag: AxiomSet<u32> = ValueBag::from_two(0, 1);
+        let mut fused: FusedBag<u32> = ValueBag::from_two(0, 1);
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as u32 % 24
+        };
+        for _ in 0..500 {
+            let v = next();
+            if v % 2 == 0 {
+                if let Some(s) = ValueBag::inserted(&set_bag, &v) {
+                    set_bag = s;
+                    fused = fused.inserted(&v).expect("bags diverged on insert");
+                } else {
+                    assert!(fused.inserted(&v).is_none());
+                }
+            } else if ValueBag::len(&set_bag) > 2 {
+                match (ValueBag::removed(&set_bag, &v), fused.removed(&v)) {
+                    (BagRemoved::NotFound, BagRemoved::NotFound) => {}
+                    (BagRemoved::Bag(s), BagRemoved::Bag(f)) => {
+                        set_bag = s;
+                        fused = f;
+                    }
+                    (BagRemoved::Single(_), BagRemoved::Single(_)) => break,
+                    _ => panic!("bags diverged on remove"),
+                }
+            }
+            assert_eq!(ValueBag::len(&set_bag), fused.len());
+            assert_eq!(elems(&set_bag), elems(&fused));
+        }
+    }
+}

@@ -1,0 +1,902 @@
+//! A persistent hash map built on the AXIOM node encoding.
+//!
+//! [`AxiomMap`] is the paper's §5 subject: AXIOM instantiated with 100 % `1:1`
+//! mappings (categories `EMPTY`, `CAT1` = key/value pair, `NODE`), measured
+//! against the special-purpose CHAMP map to isolate the cost of generalizing
+//! to type-heterogeneity (2-bit tag decoding and bitmap filtering) and the
+//! benefit of grouped slots for iteration.
+//!
+//! # Examples
+//!
+//! ```
+//! use axiom::AxiomMap;
+//!
+//! let m: AxiomMap<u32, &str> = AxiomMap::new().inserted(1, "one").inserted(2, "two");
+//! assert_eq!(m.get(&1), Some(&"one"));
+//! let m2 = m.inserted(1, "uno"); // replaces; `m` is unchanged
+//! assert_eq!(m.get(&1), Some(&"one"));
+//! assert_eq!(m2.get(&1), Some(&"uno"));
+//! ```
+
+use std::borrow::Borrow;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use trie_common::bits::{hash_exhausted, mask, next_shift};
+use trie_common::hash::hash32;
+
+use crate::bitmap::{Category, SlotBitmap};
+use crate::slots::{inserted_at, migrated, removed_at, replaced_at};
+
+/// One physical slot of a map node.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot<K, V> {
+    /// `CAT1`: an inlined key/value pair.
+    Entry(K, V),
+    /// `NODE`: a shared sub-trie.
+    Child(Arc<Node<K, V>>),
+}
+
+/// A compressed trie node: bitmap plus dense permuted slots
+/// (`[entries… | children…]`).
+#[derive(Debug, Clone)]
+pub(crate) struct BitmapNode<K, V> {
+    pub(crate) bitmap: SlotBitmap,
+    pub(crate) slots: Box<[Slot<K, V>]>,
+}
+
+/// Hash-collision overflow node (below the deepest bitmap level).
+#[derive(Debug, Clone)]
+pub(crate) struct CollisionNode<K, V> {
+    pub(crate) hash: u32,
+    pub(crate) entries: Vec<(K, V)>,
+}
+
+/// A trie node.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<K, V> {
+    Bitmap(BitmapNode<K, V>),
+    Collision(CollisionNode<K, V>),
+}
+
+/// Node-level insertion outcome; distinguishes growth from replacement for
+/// size bookkeeping.
+pub(crate) enum Inserted<K, V> {
+    /// Key present with an equal value — structurally a no-op.
+    Unchanged,
+    /// Key present, value replaced.
+    Replaced(Node<K, V>),
+    /// A new key was added.
+    Added(Node<K, V>),
+}
+
+/// Node-level removal outcome (canonicalizing, like the set's).
+pub(crate) enum Removed<K, V> {
+    NotFound,
+    Node(Node<K, V>),
+    /// Sub-tree collapsed to a single entry: inline into the parent.
+    Single(K, V),
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
+    fn empty() -> Node<K, V> {
+        Node::Bitmap(BitmapNode {
+            bitmap: SlotBitmap::EMPTY,
+            slots: Box::new([]),
+        })
+    }
+
+    fn pair(h1: u32, k1: K, v1: V, h2: u32, k2: K, v2: V, shift: u32) -> Node<K, V> {
+        if hash_exhausted(shift) {
+            debug_assert_eq!(h1, h2);
+            return Node::Collision(CollisionNode {
+                hash: h1,
+                entries: vec![(k1, v1), (k2, v2)],
+            });
+        }
+        let m1 = mask(h1, shift);
+        let m2 = mask(h2, shift);
+        if m1 == m2 {
+            let child = Node::pair(h1, k1, v1, h2, k2, v2, next_shift(shift));
+            Node::Bitmap(BitmapNode {
+                bitmap: SlotBitmap::EMPTY.with(m1, Category::Node),
+                slots: Box::new([Slot::Child(Arc::new(child))]),
+            })
+        } else {
+            let bitmap = SlotBitmap::EMPTY
+                .with(m1, Category::Cat1)
+                .with(m2, Category::Cat1);
+            let slots: Box<[Slot<K, V>]> = if m1 < m2 {
+                Box::new([Slot::Entry(k1, v1), Slot::Entry(k2, v2)])
+            } else {
+                Box::new([Slot::Entry(k2, v2), Slot::Entry(k1, v1)])
+            };
+            Node::Bitmap(BitmapNode { bitmap, slots })
+        }
+    }
+
+    fn get<Q>(&self, hash: u32, shift: u32, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => c
+                .entries
+                .iter()
+                .find(|(k, _)| k.borrow() == key)
+                .map(|(_, v)| v),
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => None,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        match &b.slots[idx] {
+                            Slot::Entry(k, v) if k.borrow() == key => Some(v),
+                            Slot::Entry(..) => None,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        }
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        match &b.slots[idx] {
+                            Slot::Child(child) => child.get(hash, next_shift(shift), key),
+                            Slot::Entry(..) => unreachable!("bitmap says NODE"),
+                        }
+                    }
+                    Category::Cat2 => unreachable!("maps never use CAT2"),
+                }
+            }
+        }
+    }
+
+    fn inserted(&self, hash: u32, shift: u32, key: &K, value: &V) -> Inserted<K, V> {
+        match self {
+            Node::Collision(c) => {
+                debug_assert_eq!(c.hash, hash);
+                match c.entries.iter().position(|(k, _)| k == key) {
+                    Some(pos) => {
+                        if c.entries[pos].1 == *value {
+                            return Inserted::Unchanged;
+                        }
+                        let mut entries = c.entries.clone();
+                        entries[pos].1 = value.clone();
+                        Inserted::Replaced(Node::Collision(CollisionNode {
+                            hash: c.hash,
+                            entries,
+                        }))
+                    }
+                    None => {
+                        let mut entries = c.entries.clone();
+                        entries.push((key.clone(), value.clone()));
+                        Inserted::Added(Node::Collision(CollisionNode {
+                            hash: c.hash,
+                            entries,
+                        }))
+                    }
+                }
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => {
+                        let bitmap = b.bitmap.with(m, Category::Cat1);
+                        let idx = bitmap.slot_index(Category::Cat1, m);
+                        Inserted::Added(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: inserted_at(
+                                &b.slots,
+                                idx,
+                                Slot::Entry(key.clone(), value.clone()),
+                            ),
+                        }))
+                    }
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        let (ek, ev) = match &b.slots[idx] {
+                            Slot::Entry(k, v) => (k, v),
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if ek == key {
+                            if ev == value {
+                                return Inserted::Unchanged;
+                            }
+                            return Inserted::Replaced(Node::Bitmap(BitmapNode {
+                                bitmap: b.bitmap,
+                                slots: replaced_at(
+                                    &b.slots,
+                                    idx,
+                                    Slot::Entry(key.clone(), value.clone()),
+                                ),
+                            }));
+                        }
+                        let child = Node::pair(
+                            hash32(ek),
+                            ek.clone(),
+                            ev.clone(),
+                            hash,
+                            key.clone(),
+                            value.clone(),
+                            next_shift(shift),
+                        );
+                        let bitmap = b.bitmap.with(m, Category::Node);
+                        let to = bitmap.slot_index(Category::Node, m);
+                        Inserted::Added(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: migrated(&b.slots, idx, to, Slot::Child(Arc::new(child))),
+                        }))
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        let child = match &b.slots[idx] {
+                            Slot::Child(c) => c,
+                            Slot::Entry(..) => unreachable!("bitmap says NODE"),
+                        };
+                        let rebuild = |n: Node<K, V>| {
+                            Node::Bitmap(BitmapNode {
+                                bitmap: b.bitmap,
+                                slots: replaced_at(&b.slots, idx, Slot::Child(Arc::new(n))),
+                            })
+                        };
+                        match child.inserted(hash, next_shift(shift), key, value) {
+                            Inserted::Unchanged => Inserted::Unchanged,
+                            Inserted::Replaced(n) => Inserted::Replaced(rebuild(n)),
+                            Inserted::Added(n) => Inserted::Added(rebuild(n)),
+                        }
+                    }
+                    Category::Cat2 => unreachable!("maps never use CAT2"),
+                }
+            }
+        }
+    }
+
+    fn removed<Q>(&self, hash: u32, shift: u32, key: &Q) -> Removed<K, V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k.borrow() == key) else {
+                    return Removed::NotFound;
+                };
+                if c.entries.len() == 2 {
+                    let (k, v) = c.entries[1 - pos].clone();
+                    return Removed::Single(k, v);
+                }
+                let mut entries = c.entries.clone();
+                entries.remove(pos);
+                Removed::Node(Node::Collision(CollisionNode {
+                    hash: c.hash,
+                    entries,
+                }))
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => Removed::NotFound,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        let matches = match &b.slots[idx] {
+                            Slot::Entry(k, _) => k.borrow() == key,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if !matches {
+                            return Removed::NotFound;
+                        }
+                        let bitmap = b.bitmap.with(m, Category::Empty);
+                        if shift > 0 && bitmap.payload_arity() == 1 && bitmap.node_arity() == 0 {
+                            debug_assert_eq!(b.slots.len(), 2);
+                            let (k, v) = match &b.slots[1 - idx] {
+                                Slot::Entry(k, v) => (k.clone(), v.clone()),
+                                Slot::Child(_) => unreachable!("both slots are payload"),
+                            };
+                            return Removed::Single(k, v);
+                        }
+                        Removed::Node(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: removed_at(&b.slots, idx),
+                        }))
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        let child = match &b.slots[idx] {
+                            Slot::Child(c) => c,
+                            Slot::Entry(..) => unreachable!("bitmap says NODE"),
+                        };
+                        match child.removed(hash, next_shift(shift), key) {
+                            Removed::NotFound => Removed::NotFound,
+                            Removed::Node(n) => Removed::Node(Node::Bitmap(BitmapNode {
+                                bitmap: b.bitmap,
+                                slots: replaced_at(&b.slots, idx, Slot::Child(Arc::new(n))),
+                            })),
+                            Removed::Single(k, v) => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    return Removed::Single(k, v);
+                                }
+                                let bitmap = b.bitmap.with(m, Category::Cat1);
+                                let to = bitmap.slot_index(Category::Cat1, m);
+                                Removed::Node(Node::Bitmap(BitmapNode {
+                                    bitmap,
+                                    slots: migrated(&b.slots, idx, to, Slot::Entry(k, v)),
+                                }))
+                            }
+                        }
+                    }
+                    Category::Cat2 => unreachable!("maps never use CAT2"),
+                }
+            }
+        }
+    }
+}
+
+/// A persistent (immutable, structurally shared) hash map on the AXIOM
+/// encoding.
+///
+/// See the [module documentation](self) for its role in the evaluation.
+pub struct AxiomMap<K, V> {
+    pub(crate) root: Arc<Node<K, V>>,
+    pub(crate) len: usize,
+}
+
+impl<K, V> Clone for AxiomMap<K, V> {
+    fn clone(&self) -> Self {
+        AxiomMap {
+            root: Arc::clone(&self.root),
+            len: self.len,
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> AxiomMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AxiomMap {
+            root: Arc::new(Node::empty()),
+            len: 0,
+        }
+    }
+
+    /// Number of key/value entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the value bound to `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.root.get(hash32(key), 0, key)
+    }
+
+    /// True if `key` has a binding.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Returns a map with `key` bound to `value` (replacing any previous
+    /// binding); `self` is unchanged.
+    pub fn inserted(&self, key: K, value: V) -> Self {
+        let mut next = self.clone();
+        next.insert_mut(key, value);
+        next
+    }
+
+    /// Binds `key` to `value` in place (re-pointing this handle). Returns
+    /// true if a *new key* was added (false on replacement or no-op).
+    pub fn insert_mut(&mut self, key: K, value: V) -> bool {
+        match self.root.inserted(hash32(&key), 0, &key, &value) {
+            Inserted::Unchanged => false,
+            Inserted::Replaced(node) => {
+                self.root = Arc::new(node);
+                false
+            }
+            Inserted::Added(node) => {
+                self.root = Arc::new(node);
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Returns a map without a binding for `key`; `self` is unchanged.
+    pub fn removed<Q>(&self, key: &Q) -> Self
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let mut next = self.clone();
+        next.remove_mut(key);
+        next
+    }
+
+    /// Removes `key` in place (re-pointing this handle). Returns true if a
+    /// binding was removed.
+    pub fn remove_mut<Q>(&mut self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        match self.root.removed(hash32(key), 0, key) {
+            Removed::NotFound => false,
+            Removed::Node(node) => {
+                self.root = Arc::new(node);
+                self.len -= 1;
+                true
+            }
+            Removed::Single(k, v) => {
+                let root = Node::empty();
+                let root = match root.inserted(hash32(&k), 0, &k, &v) {
+                    Inserted::Added(n) => n,
+                    _ => unreachable!("inserting into empty"),
+                };
+                self.root = Arc::new(root);
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// Iterates `(key, value)` entries in unspecified (trie) order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter::new(&self.root, self.len)
+    }
+
+    /// Iterates the keys in unspecified order.
+    pub fn keys(&self) -> Keys<'_, K, V> {
+        Keys { inner: self.iter() }
+    }
+
+    /// Iterates the values in unspecified order.
+    pub fn values(&self) -> Values<'_, K, V> {
+        Values { inner: self.iter() }
+    }
+
+    pub(crate) fn root_node(&self) -> &Node<K, V> {
+        &self.root
+    }
+
+    /// Recursively checks the canonical-form invariants (test support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural invariant is violated.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self)
+    where
+        V: Eq,
+    {
+        let counted = validate(&self.root, 0);
+        assert_eq!(counted, self.len, "len bookkeeping");
+    }
+}
+
+fn validate<K: Clone + Eq + Hash, V: Clone + PartialEq>(node: &Node<K, V>, shift: u32) -> usize {
+    match node {
+        Node::Collision(c) => {
+            assert!(hash_exhausted(shift), "collision node above max depth");
+            assert!(c.entries.len() >= 2, "collision node with < 2 entries");
+            for (i, (k, _)) in c.entries.iter().enumerate() {
+                assert_eq!(hash32(k), c.hash, "collision member hash");
+                for (k2, _) in &c.entries[i + 1..] {
+                    assert!(k2 != k, "duplicate key in collision node");
+                }
+            }
+            c.entries.len()
+        }
+        Node::Bitmap(b) => {
+            assert_eq!(b.bitmap.count(Category::Cat2), 0, "maps never use CAT2");
+            assert_eq!(b.slots.len(), b.bitmap.arity(), "slot count");
+            let mut total = 0usize;
+            for (i, m) in b.bitmap.masks_of(Category::Cat1).enumerate() {
+                match &b.slots[b.bitmap.offset(Category::Cat1) + i] {
+                    Slot::Entry(k, _) => {
+                        assert_eq!(mask(hash32(k), shift), m, "entry in wrong branch");
+                        total += 1;
+                    }
+                    Slot::Child(_) => panic!("payload slot holds a child"),
+                }
+            }
+            for (i, _) in b.bitmap.masks_of(Category::Node).enumerate() {
+                match &b.slots[b.bitmap.offset(Category::Node) + i] {
+                    Slot::Child(child) => {
+                        let sub = validate(child, next_shift(shift));
+                        assert!(sub >= 2, "sub-trie with < 2 entries not inlined");
+                        total += sub;
+                    }
+                    Slot::Entry(..) => panic!("node slot holds payload"),
+                }
+            }
+            if shift > 0 {
+                assert!(
+                    !(b.bitmap.payload_arity() == 1 && b.bitmap.node_arity() == 0),
+                    "non-root singleton payload node must be inlined"
+                );
+            }
+            total
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Default for AxiomMap<K, V> {
+    fn default() -> Self {
+        AxiomMap::new()
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> PartialEq for AxiomMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && node_eq(&self.root, &other.root)
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + Eq> Eq for AxiomMap<K, V> {}
+
+fn node_eq<K: Clone + Eq + Hash, V: Clone + PartialEq>(a: &Node<K, V>, b: &Node<K, V>) -> bool {
+    match (a, b) {
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            x.bitmap == y.bitmap
+                && x.slots
+                    .iter()
+                    .zip(y.slots.iter())
+                    .all(|(s, t)| match (s, t) {
+                        (Slot::Entry(k1, v1), Slot::Entry(k2, v2)) => k1 == k2 && v1 == v2,
+                        (Slot::Child(c), Slot::Child(d)) => Arc::ptr_eq(c, d) || node_eq(c, d),
+                        _ => false,
+                    })
+        }
+        (Node::Collision(x), Node::Collision(y)) => {
+            x.hash == y.hash
+                && x.entries.len() == y.entries.len()
+                && x.entries
+                    .iter()
+                    .all(|(k, v)| y.entries.iter().any(|(k2, v2)| k == k2 && v == v2))
+        }
+        _ => false,
+    }
+}
+
+impl<K, V> std::fmt::Debug for AxiomMap<K, V>
+where
+    K: std::fmt::Debug + Clone + Eq + Hash,
+    V: std::fmt::Debug + Clone + PartialEq,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> FromIterator<(K, V)> for AxiomMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = AxiomMap::new();
+        for (k, v) in iter {
+            map.insert_mut(k, v);
+        }
+        map
+    }
+}
+
+impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Extend<(K, V)> for AxiomMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert_mut(k, v);
+        }
+    }
+}
+
+impl<'a, K: Clone + Eq + Hash, V: Clone + PartialEq> IntoIterator for &'a AxiomMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+    fn into_iter(self) -> Iter<'a, K, V> {
+        self.iter()
+    }
+}
+
+enum Cursor<'a, K, V> {
+    Bitmap { slots: &'a [Slot<K, V>], idx: usize },
+    Collision { entries: &'a [(K, V)], idx: usize },
+}
+
+/// Iterator over map entries. Created by [`AxiomMap::iter`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<Cursor<'a, K, V>>,
+    remaining: usize,
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn new(root: &'a Node<K, V>, len: usize) -> Self {
+        Iter {
+            stack: vec![cursor_of(root)],
+            remaining: len,
+        }
+    }
+}
+
+fn cursor_of<K, V>(node: &Node<K, V>) -> Cursor<'_, K, V> {
+    match node {
+        Node::Bitmap(b) => Cursor::Bitmap {
+            slots: &b.slots,
+            idx: 0,
+        },
+        Node::Collision(c) => Cursor::Collision {
+            entries: &c.entries,
+            idx: 0,
+        },
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                Cursor::Collision { entries, idx } => {
+                    if *idx < entries.len() {
+                        let (k, v) = &entries[*idx];
+                        *idx += 1;
+                        self.remaining -= 1;
+                        return Some((k, v));
+                    }
+                    self.stack.pop();
+                }
+                Cursor::Bitmap { slots, idx } => {
+                    if *idx >= slots.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let slot = &slots[*idx];
+                    *idx += 1;
+                    match slot {
+                        Slot::Entry(k, v) => {
+                            self.remaining -= 1;
+                            return Some((k, v));
+                        }
+                        Slot::Child(child) => self.stack.push(cursor_of(child)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Iter<'a, K, V> {}
+
+impl<'a, K, V> std::fmt::Debug for Iter<'a, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Iter")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+/// Iterator over map keys. Created by [`AxiomMap::keys`].
+#[derive(Debug)]
+pub struct Keys<'a, K, V> {
+    inner: Iter<'a, K, V>,
+}
+
+impl<'a, K, V> Iterator for Keys<'a, K, V> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<&'a K> {
+        self.inner.next().map(|(k, _)| k)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Keys<'a, K, V> {}
+
+/// Iterator over map values. Created by [`AxiomMap::values`].
+#[derive(Debug)]
+pub struct Values<'a, K, V> {
+    inner: Iter<'a, K, V>,
+}
+
+impl<'a, K, V> Iterator for Values<'a, K, V> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        self.inner.next().map(|(_, v)| v)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Values<'a, K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::Hasher;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Collide {
+        bucket: u32,
+        id: u32,
+    }
+
+    impl Hash for Collide {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            state.write_u32(self.bucket);
+        }
+    }
+
+    #[test]
+    fn empty_map_basics() {
+        let m = AxiomMap::<u32, u32>::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&1), None);
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn insert_get_thousand() {
+        let m: AxiomMap<u32, u32> = (0..1000).map(|i| (i, i * 2)).collect();
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.get(&1000), None);
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn insert_replaces_value() {
+        let m = AxiomMap::new().inserted(1u32, "a").inserted(1, "b");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn insert_same_value_is_structural_noop() {
+        let m: AxiomMap<u32, u32> = (0..64).map(|i| (i, i)).collect();
+        let m2 = m.inserted(10, 10);
+        assert!(
+            Arc::ptr_eq(&m.root, &m2.root),
+            "no-op insert must share the root"
+        );
+    }
+
+    #[test]
+    fn remove_roundtrip_canonical() {
+        let full: AxiomMap<u32, u32> = (0..500).map(|i| (i, i + 1)).collect();
+        let mut m = full.clone();
+        for i in 0..500 {
+            assert!(m.remove_mut(&i));
+            m.assert_invariants();
+        }
+        assert!(m.is_empty());
+        assert_eq!(full.len(), 500);
+    }
+
+    #[test]
+    fn collision_keys_full_lifecycle() {
+        let mut m = AxiomMap::new();
+        for id in 0..12 {
+            m.insert_mut(Collide { bucket: 3, id }, id);
+        }
+        assert_eq!(m.len(), 12);
+        m.assert_invariants();
+        for id in 0..12 {
+            assert_eq!(m.get(&Collide { bucket: 3, id }), Some(&id));
+        }
+        // Replacement inside a collision node.
+        m.insert_mut(Collide { bucket: 3, id: 5 }, 99);
+        assert_eq!(m.len(), 12);
+        assert_eq!(m.get(&Collide { bucket: 3, id: 5 }), Some(&99));
+        for id in 0..11 {
+            assert!(m.remove_mut(&Collide { bucket: 3, id }));
+            m.assert_invariants();
+        }
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn model_based_random_ops() {
+        // Deterministic pseudo-random op sequence checked against HashMap.
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        let mut m: AxiomMap<u32, u32> = AxiomMap::new();
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..4000 {
+            let op = next() % 3;
+            let key = next() % 200;
+            match op {
+                0 | 1 => {
+                    let val = next();
+                    model.insert(key, val);
+                    m.insert_mut(key, val);
+                }
+                _ => {
+                    model.remove(&key);
+                    m.remove_mut(&key);
+                }
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        for (k, v) in &model {
+            assert_eq!(m.get(k), Some(v));
+        }
+        assert_eq!(m.iter().count(), model.len());
+        m.assert_invariants();
+    }
+
+    #[test]
+    fn iteration_consistency() {
+        let m: AxiomMap<u32, u32> = (0..256).map(|i| (i, i * 3)).collect();
+        let collected: HashMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(collected.len(), 256);
+        assert_eq!(m.keys().count(), 256);
+        assert_eq!(m.values().count(), 256);
+        for (k, v) in collected {
+            assert_eq!(v, k * 3);
+        }
+    }
+
+    #[test]
+    fn equality_structural_and_order_independent() {
+        let a: AxiomMap<u32, u32> = (0..128).map(|i| (i, i)).collect();
+        let b: AxiomMap<u32, u32> = (0..128).rev().map(|i| (i, i)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, b.inserted(5, 99));
+        assert_ne!(a, b.removed(&5));
+    }
+
+    #[test]
+    fn persistence_under_heavy_branching() {
+        let v0: AxiomMap<u32, u32> = (0..1024).map(|i| (i, i)).collect();
+        let v1 = v0.inserted(5000, 0);
+        let v2 = v0.removed(&512);
+        assert_eq!(v0.len(), 1024);
+        assert_eq!(v1.len(), 1025);
+        assert_eq!(v2.len(), 1023);
+        assert!(v0.contains_key(&512));
+        assert!(!v2.contains_key(&512));
+        v1.assert_invariants();
+        v2.assert_invariants();
+    }
+
+    #[test]
+    fn borrowed_string_keys() {
+        let m: AxiomMap<String, u32> = [("x".to_string(), 1), ("y".to_string(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.get("x"), Some(&1));
+        assert!(!m.contains_key("z"));
+        assert_eq!(m.removed("x").len(), 1);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AxiomMap<u32, u32>>();
+    }
+}

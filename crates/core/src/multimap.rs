@@ -1,0 +1,1799 @@
+//! The AXIOM persistent multi-map: `1:1`, `n:1` and `n:n` mappings in one
+//! type-heterogeneous hash-trie.
+//!
+//! This is the paper's headline data structure. Every trie node discriminates
+//! four branch states with 2-bit tags (see [`crate::bitmap`]):
+//!
+//! * `CAT1` — a key with an **inlined singleton value** (`1:1` tuple);
+//! * `CAT2` — a key with a **nested collection** of ≥ 2 values (`1:n`);
+//! * `NODE` — a sub-trie; `EMPTY` — unoccupied.
+//!
+//! Content migrates between representations as the relation evolves
+//! (paper §3.2): inserting a second value *promotes* a `CAT1` slot to `CAT2`;
+//! deleting down to one value *demotes* it back; prefix clashes push payload
+//! into fresh sub-tries; deletions canonicalize by inlining collapsed
+//! sub-tries into parents. Memory therefore degrades/improves gracefully as
+//! arities grow or shrink — the skewed-distribution insight the paper
+//! exploits.
+//!
+//! The value-storage strategy is pluggable via [`ValueBag`]: nested
+//! [`AxiomSet`]s (baseline) or [`FusedBag`](crate::bag::FusedBag) (the
+//! paper's fusion variant, see [`AxiomFusedMultiMap`](crate::AxiomFusedMultiMap)).
+//!
+//! # Examples
+//!
+//! ```
+//! use axiom::AxiomMultiMap;
+//!
+//! let mm = AxiomMultiMap::<&str, u32>::new()
+//!     .inserted("D", 4)
+//!     .inserted("D", 5) // "D" promotes to a 1:n mapping
+//!     .inserted("A", 1);
+//! assert_eq!(mm.tuple_count(), 3);
+//! assert_eq!(mm.key_count(), 2);
+//! assert!(mm.contains_tuple(&"D", &5));
+//! assert_eq!(mm.get(&"D").map(|v| v.len()), Some(2));
+//!
+//! let smaller = mm.tuple_removed(&"D", &4); // demotes back to 1:1
+//! assert_eq!(smaller.get(&"D").map(|v| v.len()), Some(1));
+//! assert_eq!(mm.tuple_count(), 3); // original unchanged
+//! ```
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use trie_common::bits::{hash_exhausted, mask, next_shift};
+use trie_common::hash::hash32;
+
+use crate::bag::{BagRemoved, ValueBag};
+use crate::bitmap::{Category, SlotBitmap};
+use crate::set::AxiomSet;
+use crate::slots::{inserted_at, migrated, removed_at, replaced_at};
+
+/// The values bound to one key: an inlined singleton or a nested bag.
+#[derive(Debug, Clone)]
+pub(crate) enum Binding<V, B> {
+    One(V),
+    Many(B),
+}
+
+impl<V: Clone + Eq + Hash, B: ValueBag<V>> Binding<V, B> {
+    fn len(&self) -> usize {
+        match self {
+            Binding::One(_) => 1,
+            Binding::Many(bag) => bag.len(),
+        }
+    }
+
+    /// Adds a value, promoting singletons; `None` when already present.
+    fn inserted(&self, value: &V) -> Option<Binding<V, B>> {
+        match self {
+            Binding::One(v) => {
+                if v == value {
+                    None
+                } else {
+                    Some(Binding::Many(B::from_two(v.clone(), value.clone())))
+                }
+            }
+            Binding::Many(bag) => bag.inserted(value).map(Binding::Many),
+        }
+    }
+
+    /// Removes a value, demoting two-element bags; `Gone` when the binding's
+    /// last value was removed.
+    fn removed(&self, value: &V) -> BindingRemoved<V, B> {
+        match self {
+            Binding::One(v) => {
+                if v == value {
+                    BindingRemoved::Gone
+                } else {
+                    BindingRemoved::NotFound
+                }
+            }
+            Binding::Many(bag) => match bag.removed(value) {
+                BagRemoved::NotFound => BindingRemoved::NotFound,
+                BagRemoved::Bag(b) => BindingRemoved::Keep(Binding::Many(b)),
+                BagRemoved::Single(survivor) => BindingRemoved::Keep(Binding::One(survivor)),
+            },
+        }
+    }
+
+    fn category(&self) -> Category {
+        match self {
+            Binding::One(_) => Category::Cat1,
+            Binding::Many(_) => Category::Cat2,
+        }
+    }
+
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Binding::One(a), Binding::One(b)) => a == b,
+            (Binding::Many(a), Binding::Many(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+enum BindingRemoved<V, B> {
+    NotFound,
+    Keep(Binding<V, B>),
+    Gone,
+}
+
+/// One physical slot of a multi-map node.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot<K, V, B> {
+    /// `CAT1`: inlined `1:1` tuple.
+    One(K, V),
+    /// `CAT2`: key plus nested bag of ≥ 2 values.
+    Many(K, B),
+    /// `NODE`: shared sub-trie.
+    Child(Arc<Node<K, V, B>>),
+}
+
+/// A compressed trie node: bitmap plus dense, permuted slots
+/// (`[1:1 tuples… | 1:n tuples… | children…]`, each group ascending by mask).
+#[derive(Debug, Clone)]
+pub(crate) struct BitmapNode<K, V, B> {
+    pub(crate) bitmap: SlotBitmap,
+    pub(crate) slots: Box<[Slot<K, V, B>]>,
+}
+
+/// Hash-collision overflow node.
+#[derive(Debug, Clone)]
+pub(crate) struct CollisionNode<K, V, B> {
+    pub(crate) hash: u32,
+    pub(crate) entries: Vec<(K, Binding<V, B>)>,
+}
+
+/// A trie node.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<K, V, B> {
+    Bitmap(BitmapNode<K, V, B>),
+    Collision(CollisionNode<K, V, B>),
+}
+
+/// Node-level insertion outcome, for tuple/key bookkeeping.
+enum Inserted<K, V, B> {
+    /// Tuple already present.
+    Unchanged,
+    /// New tuple under an existing key.
+    NewTuple(Node<K, V, B>),
+    /// New key (and tuple).
+    NewKey(Node<K, V, B>),
+}
+
+/// Node-level tuple-removal outcome.
+enum TupleRemoved<K, V, B> {
+    NotFound,
+    Node {
+        node: Node<K, V, B>,
+        key_gone: bool,
+    },
+    /// Sub-tree collapsed to one key's binding: inline into the parent.
+    Single {
+        key: K,
+        binding: Binding<V, B>,
+        key_gone: bool,
+    },
+}
+
+/// Node-level key-removal outcome.
+enum KeyRemoved<K, V, B> {
+    NotFound,
+    Node {
+        node: Node<K, V, B>,
+        tuples_removed: usize,
+    },
+    Single {
+        key: K,
+        binding: Binding<V, B>,
+        tuples_removed: usize,
+    },
+}
+
+impl<K, V, B> Node<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn empty() -> Node<K, V, B> {
+        Node::Bitmap(BitmapNode {
+            bitmap: SlotBitmap::EMPTY,
+            slots: Box::new([]),
+        })
+    }
+
+    fn slot_of(key: K, binding: Binding<V, B>) -> Slot<K, V, B> {
+        match binding {
+            Binding::One(v) => Slot::One(key, v),
+            Binding::Many(bag) => Slot::Many(key, bag),
+        }
+    }
+
+    /// Builds the minimal sub-trie holding two distinct keys' bindings whose
+    /// hash prefixes agree up to `shift`.
+    fn pair(
+        h1: u32,
+        k1: K,
+        b1: Binding<V, B>,
+        h2: u32,
+        k2: K,
+        b2: Binding<V, B>,
+        shift: u32,
+    ) -> Node<K, V, B> {
+        if hash_exhausted(shift) {
+            debug_assert_eq!(h1, h2);
+            return Node::Collision(CollisionNode {
+                hash: h1,
+                entries: vec![(k1, b1), (k2, b2)],
+            });
+        }
+        let m1 = mask(h1, shift);
+        let m2 = mask(h2, shift);
+        if m1 == m2 {
+            let child = Node::pair(h1, k1, b1, h2, k2, b2, next_shift(shift));
+            Node::Bitmap(BitmapNode {
+                bitmap: SlotBitmap::EMPTY.with(m1, Category::Node),
+                slots: Box::new([Slot::Child(Arc::new(child))]),
+            })
+        } else {
+            let c1 = b1.category();
+            let c2 = b2.category();
+            let bitmap = SlotBitmap::EMPTY.with(m1, c1).with(m2, c2);
+            let i1 = bitmap.slot_index(c1, m1);
+            let s1 = Node::slot_of(k1, b1);
+            let s2 = Node::slot_of(k2, b2);
+            let slots: Box<[Slot<K, V, B>]> = if i1 == 0 {
+                Box::new([s1, s2])
+            } else {
+                Box::new([s2, s1])
+            };
+            Node::Bitmap(BitmapNode { bitmap, slots })
+        }
+    }
+
+    fn get(&self, hash: u32, shift: u32, key: &K) -> Option<BindingRef<'_, V, B>> {
+        match self {
+            Node::Collision(c) => c
+                .entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, b)| BindingRef::of(b)),
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => None,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        match &b.slots[idx] {
+                            Slot::One(k, v) if k == key => Some(BindingRef::One(v)),
+                            Slot::One(..) => None,
+                            _ => unreachable!("bitmap says CAT1"),
+                        }
+                    }
+                    Category::Cat2 => {
+                        let idx = b.bitmap.slot_index(Category::Cat2, m);
+                        match &b.slots[idx] {
+                            Slot::Many(k, bag) if k == key => Some(BindingRef::Many(bag)),
+                            Slot::Many(..) => None,
+                            _ => unreachable!("bitmap says CAT2"),
+                        }
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        match &b.slots[idx] {
+                            Slot::Child(child) => child.get(hash, next_shift(shift), key),
+                            _ => unreachable!("bitmap says NODE"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn inserted(&self, hash: u32, shift: u32, key: &K, value: &V) -> Inserted<K, V, B> {
+        match self {
+            Node::Collision(c) => {
+                debug_assert_eq!(c.hash, hash);
+                match c.entries.iter().position(|(k, _)| k == key) {
+                    Some(pos) => match c.entries[pos].1.inserted(value) {
+                        None => Inserted::Unchanged,
+                        Some(binding) => {
+                            let mut entries = c.entries.clone();
+                            entries[pos].1 = binding;
+                            Inserted::NewTuple(Node::Collision(CollisionNode {
+                                hash: c.hash,
+                                entries,
+                            }))
+                        }
+                    },
+                    None => {
+                        let mut entries = c.entries.clone();
+                        entries.push((key.clone(), Binding::One(value.clone())));
+                        Inserted::NewKey(Node::Collision(CollisionNode {
+                            hash: c.hash,
+                            entries,
+                        }))
+                    }
+                }
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => {
+                        let bitmap = b.bitmap.with(m, Category::Cat1);
+                        let idx = bitmap.slot_index(Category::Cat1, m);
+                        Inserted::NewKey(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: inserted_at(
+                                &b.slots,
+                                idx,
+                                Slot::One(key.clone(), value.clone()),
+                            ),
+                        }))
+                    }
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        let (ek, ev) = match &b.slots[idx] {
+                            Slot::One(k, v) => (k, v),
+                            _ => unreachable!("bitmap says CAT1"),
+                        };
+                        if ek == key {
+                            if ev == value {
+                                return Inserted::Unchanged;
+                            }
+                            // Promote 1:1 → 1:n: the slot migrates CAT1 → CAT2.
+                            let bag = B::from_two(ev.clone(), value.clone());
+                            let bitmap = b.bitmap.with(m, Category::Cat2);
+                            let to = bitmap.slot_index(Category::Cat2, m);
+                            return Inserted::NewTuple(Node::Bitmap(BitmapNode {
+                                bitmap,
+                                slots: migrated(&b.slots, idx, to, Slot::Many(key.clone(), bag)),
+                            }));
+                        }
+                        // Prefix clash with a different key: push both down.
+                        let child = Node::pair(
+                            hash32(ek),
+                            ek.clone(),
+                            Binding::One(ev.clone()),
+                            hash,
+                            key.clone(),
+                            Binding::One(value.clone()),
+                            next_shift(shift),
+                        );
+                        let bitmap = b.bitmap.with(m, Category::Node);
+                        let to = bitmap.slot_index(Category::Node, m);
+                        Inserted::NewKey(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: migrated(&b.slots, idx, to, Slot::Child(Arc::new(child))),
+                        }))
+                    }
+                    Category::Cat2 => {
+                        let idx = b.bitmap.slot_index(Category::Cat2, m);
+                        let (ek, bag) = match &b.slots[idx] {
+                            Slot::Many(k, bag) => (k, bag),
+                            _ => unreachable!("bitmap says CAT2"),
+                        };
+                        if ek == key {
+                            return match bag.inserted(value) {
+                                None => Inserted::Unchanged,
+                                Some(bag) => Inserted::NewTuple(Node::Bitmap(BitmapNode {
+                                    bitmap: b.bitmap,
+                                    slots: replaced_at(&b.slots, idx, Slot::Many(key.clone(), bag)),
+                                })),
+                            };
+                        }
+                        let child = Node::pair(
+                            hash32(ek),
+                            ek.clone(),
+                            Binding::Many(bag.clone()),
+                            hash,
+                            key.clone(),
+                            Binding::One(value.clone()),
+                            next_shift(shift),
+                        );
+                        let bitmap = b.bitmap.with(m, Category::Node);
+                        let to = bitmap.slot_index(Category::Node, m);
+                        Inserted::NewKey(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: migrated(&b.slots, idx, to, Slot::Child(Arc::new(child))),
+                        }))
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        let child = match &b.slots[idx] {
+                            Slot::Child(c) => c,
+                            _ => unreachable!("bitmap says NODE"),
+                        };
+                        let rebuild = |n: Node<K, V, B>| {
+                            Node::Bitmap(BitmapNode {
+                                bitmap: b.bitmap,
+                                slots: replaced_at(&b.slots, idx, Slot::Child(Arc::new(n))),
+                            })
+                        };
+                        match child.inserted(hash, next_shift(shift), key, value) {
+                            Inserted::Unchanged => Inserted::Unchanged,
+                            Inserted::NewTuple(n) => Inserted::NewTuple(rebuild(n)),
+                            Inserted::NewKey(n) => Inserted::NewKey(rebuild(n)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes one payload slot (whatever its category), canonicalizing:
+    /// below the root, a node left with a single payload slot hands that
+    /// payload to the parent for inlining instead of surviving.
+    fn slot_removed(
+        b: &BitmapNode<K, V, B>,
+        m: u32,
+        idx: usize,
+        shift: u32,
+    ) -> SlotRemoved<K, V, B> {
+        let bitmap = b.bitmap.with(m, Category::Empty);
+        if shift > 0 && bitmap.payload_arity() == 1 && bitmap.node_arity() == 0 {
+            // Exactly one payload slot survives: offer it for inlining.
+            debug_assert_eq!(b.slots.len(), 2);
+            let (key, binding) = match &b.slots[1 - idx] {
+                Slot::One(k, v) => (k.clone(), Binding::One(v.clone())),
+                Slot::Many(k, bag) => (k.clone(), Binding::Many(bag.clone())),
+                Slot::Child(_) => unreachable!("both slots are payload"),
+            };
+            SlotRemoved::Single { key, binding }
+        } else {
+            SlotRemoved::Node(Node::Bitmap(BitmapNode {
+                bitmap,
+                slots: removed_at(&b.slots, idx),
+            }))
+        }
+    }
+
+    fn tuple_removed(&self, hash: u32, shift: u32, key: &K, value: &V) -> TupleRemoved<K, V, B> {
+        match self {
+            Node::Collision(c) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k == key) else {
+                    return TupleRemoved::NotFound;
+                };
+                match c.entries[pos].1.removed(value) {
+                    BindingRemoved::NotFound => TupleRemoved::NotFound,
+                    BindingRemoved::Keep(binding) => {
+                        let mut entries = c.entries.clone();
+                        entries[pos].1 = binding;
+                        TupleRemoved::Node {
+                            node: Node::Collision(CollisionNode {
+                                hash: c.hash,
+                                entries,
+                            }),
+                            key_gone: false,
+                        }
+                    }
+                    BindingRemoved::Gone => {
+                        if c.entries.len() == 2 {
+                            let (k, b) = c.entries[1 - pos].clone();
+                            return TupleRemoved::Single {
+                                key: k,
+                                binding: b,
+                                key_gone: true,
+                            };
+                        }
+                        let mut entries = c.entries.clone();
+                        entries.remove(pos);
+                        TupleRemoved::Node {
+                            node: Node::Collision(CollisionNode {
+                                hash: c.hash,
+                                entries,
+                            }),
+                            key_gone: true,
+                        }
+                    }
+                }
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => TupleRemoved::NotFound,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        let matches = match &b.slots[idx] {
+                            Slot::One(k, v) => k == key && v == value,
+                            _ => unreachable!("bitmap says CAT1"),
+                        };
+                        if !matches {
+                            return TupleRemoved::NotFound;
+                        }
+                        match Node::slot_removed(b, m, idx, shift) {
+                            SlotRemoved::Node(node) => TupleRemoved::Node {
+                                node,
+                                key_gone: true,
+                            },
+                            SlotRemoved::Single { key, binding } => TupleRemoved::Single {
+                                key,
+                                binding,
+                                key_gone: true,
+                            },
+                        }
+                    }
+                    Category::Cat2 => {
+                        let idx = b.bitmap.slot_index(Category::Cat2, m);
+                        let (ek, bag) = match &b.slots[idx] {
+                            Slot::Many(k, bag) => (k, bag),
+                            _ => unreachable!("bitmap says CAT2"),
+                        };
+                        if ek != key {
+                            return TupleRemoved::NotFound;
+                        }
+                        match bag.removed(value) {
+                            BagRemoved::NotFound => TupleRemoved::NotFound,
+                            BagRemoved::Bag(bag) => TupleRemoved::Node {
+                                node: Node::Bitmap(BitmapNode {
+                                    bitmap: b.bitmap,
+                                    slots: replaced_at(&b.slots, idx, Slot::Many(key.clone(), bag)),
+                                }),
+                                key_gone: false,
+                            },
+                            BagRemoved::Single(survivor) => {
+                                // Demote 1:n → 1:1: the slot migrates CAT2 → CAT1.
+                                let bitmap = b.bitmap.with(m, Category::Cat1);
+                                let to = bitmap.slot_index(Category::Cat1, m);
+                                TupleRemoved::Node {
+                                    node: Node::Bitmap(BitmapNode {
+                                        bitmap,
+                                        slots: migrated(
+                                            &b.slots,
+                                            idx,
+                                            to,
+                                            Slot::One(key.clone(), survivor),
+                                        ),
+                                    }),
+                                    key_gone: false,
+                                }
+                            }
+                        }
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        let child = match &b.slots[idx] {
+                            Slot::Child(c) => c,
+                            _ => unreachable!("bitmap says NODE"),
+                        };
+                        match child.tuple_removed(hash, next_shift(shift), key, value) {
+                            TupleRemoved::NotFound => TupleRemoved::NotFound,
+                            TupleRemoved::Node { node, key_gone } => TupleRemoved::Node {
+                                node: Node::Bitmap(BitmapNode {
+                                    bitmap: b.bitmap,
+                                    slots: replaced_at(&b.slots, idx, Slot::Child(Arc::new(node))),
+                                }),
+                                key_gone,
+                            },
+                            TupleRemoved::Single {
+                                key: k,
+                                binding,
+                                key_gone,
+                            } => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    return TupleRemoved::Single {
+                                        key: k,
+                                        binding,
+                                        key_gone,
+                                    };
+                                }
+                                let cat = binding.category();
+                                let bitmap = b.bitmap.with(m, cat);
+                                let to = bitmap.slot_index(cat, m);
+                                TupleRemoved::Node {
+                                    node: Node::Bitmap(BitmapNode {
+                                        bitmap,
+                                        slots: migrated(
+                                            &b.slots,
+                                            idx,
+                                            to,
+                                            Node::slot_of(k, binding),
+                                        ),
+                                    }),
+                                    key_gone,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn key_removed(&self, hash: u32, shift: u32, key: &K) -> KeyRemoved<K, V, B> {
+        match self {
+            Node::Collision(c) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k == key) else {
+                    return KeyRemoved::NotFound;
+                };
+                let tuples_removed = c.entries[pos].1.len();
+                if c.entries.len() == 2 {
+                    let (k, b) = c.entries[1 - pos].clone();
+                    return KeyRemoved::Single {
+                        key: k,
+                        binding: b,
+                        tuples_removed,
+                    };
+                }
+                let mut entries = c.entries.clone();
+                entries.remove(pos);
+                KeyRemoved::Node {
+                    node: Node::Collision(CollisionNode {
+                        hash: c.hash,
+                        entries,
+                    }),
+                    tuples_removed,
+                }
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                let (cat, idx, tuples_removed) = match b.bitmap.get(m) {
+                    Category::Empty => return KeyRemoved::NotFound,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        match &b.slots[idx] {
+                            Slot::One(k, _) if k == key => (Category::Cat1, idx, 1),
+                            Slot::One(..) => return KeyRemoved::NotFound,
+                            _ => unreachable!("bitmap says CAT1"),
+                        }
+                    }
+                    Category::Cat2 => {
+                        let idx = b.bitmap.slot_index(Category::Cat2, m);
+                        match &b.slots[idx] {
+                            Slot::Many(k, bag) if k == key => (Category::Cat2, idx, bag.len()),
+                            Slot::Many(..) => return KeyRemoved::NotFound,
+                            _ => unreachable!("bitmap says CAT2"),
+                        }
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        let child = match &b.slots[idx] {
+                            Slot::Child(c) => c,
+                            _ => unreachable!("bitmap says NODE"),
+                        };
+                        return match child.key_removed(hash, next_shift(shift), key) {
+                            KeyRemoved::NotFound => KeyRemoved::NotFound,
+                            KeyRemoved::Node {
+                                node,
+                                tuples_removed,
+                            } => KeyRemoved::Node {
+                                node: Node::Bitmap(BitmapNode {
+                                    bitmap: b.bitmap,
+                                    slots: replaced_at(&b.slots, idx, Slot::Child(Arc::new(node))),
+                                }),
+                                tuples_removed,
+                            },
+                            KeyRemoved::Single {
+                                key: k,
+                                binding,
+                                tuples_removed,
+                            } => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    return KeyRemoved::Single {
+                                        key: k,
+                                        binding,
+                                        tuples_removed,
+                                    };
+                                }
+                                let cat = binding.category();
+                                let bitmap = b.bitmap.with(m, cat);
+                                let to = bitmap.slot_index(cat, m);
+                                KeyRemoved::Node {
+                                    node: Node::Bitmap(BitmapNode {
+                                        bitmap,
+                                        slots: migrated(
+                                            &b.slots,
+                                            idx,
+                                            to,
+                                            Node::slot_of(k, binding),
+                                        ),
+                                    }),
+                                    tuples_removed,
+                                }
+                            }
+                        };
+                    }
+                };
+                let _ = cat;
+                match Node::slot_removed(b, m, idx, shift) {
+                    SlotRemoved::Node(node) => KeyRemoved::Node {
+                        node,
+                        tuples_removed,
+                    },
+                    SlotRemoved::Single { key, binding } => KeyRemoved::Single {
+                        key,
+                        binding,
+                        tuples_removed,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of [`Node::slot_removed`].
+enum SlotRemoved<K, V, B> {
+    Node(Node<K, V, B>),
+    Single { key: K, binding: Binding<V, B> },
+}
+
+/// Borrowed view of one key's values. Returned by [`AxiomMultiMap::get`].
+#[derive(Debug)]
+pub enum BindingRef<'a, V, B> {
+    /// The key maps to exactly one (inlined) value.
+    One(&'a V),
+    /// The key maps to a nested bag of ≥ 2 values.
+    Many(&'a B),
+}
+
+impl<'a, V, B> Clone for BindingRef<'a, V, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'a, V, B> Copy for BindingRef<'a, V, B> {}
+
+impl<'a, V: Clone + Eq + Hash, B: ValueBag<V>> BindingRef<'a, V, B> {
+    fn of(binding: &'a Binding<V, B>) -> Self {
+        match binding {
+            Binding::One(v) => BindingRef::One(v),
+            Binding::Many(bag) => BindingRef::Many(bag),
+        }
+    }
+
+    /// Number of values in the binding.
+    pub fn len(&self) -> usize {
+        match self {
+            BindingRef::One(_) => 1,
+            BindingRef::Many(bag) => bag.len(),
+        }
+    }
+
+    /// Always false: bindings hold at least one value.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `value` is among the binding's values.
+    pub fn contains(&self, value: &V) -> bool {
+        match self {
+            BindingRef::One(v) => *v == value,
+            BindingRef::Many(bag) => bag.contains(value),
+        }
+    }
+
+    /// Iterates the binding's values.
+    pub fn iter(&self) -> BindingIter<'a, V, B> {
+        match self {
+            BindingRef::One(v) => BindingIter::One(std::iter::once(*v)),
+            BindingRef::Many(bag) => BindingIter::Many(bag.iter()),
+        }
+    }
+}
+
+/// Iterator over one binding's values. Created by [`BindingRef::iter`].
+pub enum BindingIter<'a, V: 'a, B: ValueBag<V> + 'a> {
+    /// Singleton value.
+    One(std::iter::Once<&'a V>),
+    /// Nested bag.
+    Many(B::Iter<'a>),
+}
+
+impl<'a, V, B: ValueBag<V>> Iterator for BindingIter<'a, V, B> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        match self {
+            BindingIter::One(it) => it.next(),
+            BindingIter::Many(it) => it.next(),
+        }
+    }
+}
+
+impl<'a, V, B: ValueBag<V>> std::fmt::Debug for BindingIter<'a, V, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BindingIter { .. }")
+    }
+}
+
+/// A persistent (immutable, structurally shared) multi-map on the AXIOM
+/// encoding. See the [module documentation](self).
+///
+/// The third type parameter selects the `1:n` value-storage strategy and
+/// defaults to nested [`AxiomSet`]s; [`crate::AxiomFusedMultiMap`] selects
+/// the fusion strategy.
+pub struct AxiomMultiMap<K, V, B = AxiomSet<V>> {
+    pub(crate) root: Arc<Node<K, V, B>>,
+    pub(crate) tuples: usize,
+    pub(crate) keys: usize,
+    marker: PhantomData<fn() -> B>,
+}
+
+impl<K, V, B> Clone for AxiomMultiMap<K, V, B> {
+    fn clone(&self) -> Self {
+        AxiomMultiMap {
+            root: Arc::clone(&self.root),
+            tuples: self.tuples,
+            keys: self.keys,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<K, V, B> AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    /// Creates an empty multi-map.
+    pub fn new() -> Self {
+        AxiomMultiMap {
+            root: Arc::new(Node::empty()),
+            tuples: 0,
+            keys: 0,
+            marker: PhantomData,
+        }
+    }
+
+    /// Total number of `(key, value)` tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.keys
+    }
+
+    /// Alias for [`AxiomMultiMap::tuple_count`], matching conventional `len`.
+    pub fn len(&self) -> usize {
+        self.tuples
+    }
+
+    /// True if no tuple is stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// Borrowed view of the values bound to `key`.
+    pub fn get(&self, key: &K) -> Option<BindingRef<'_, V, B>> {
+        self.root.get(hash32(key), 0, key)
+    }
+
+    /// True if `key` maps to at least one value.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// True if the exact tuple `(key, value)` is present.
+    pub fn contains_tuple(&self, key: &K, value: &V) -> bool {
+        match self.get(key) {
+            Some(binding) => binding.contains(value),
+            None => false,
+        }
+    }
+
+    /// Number of values bound to `key` (0 if absent).
+    pub fn value_count(&self, key: &K) -> usize {
+        self.get(key).map_or(0, |b| b.len())
+    }
+
+    /// Returns a multi-map additionally containing `(key, value)`; `self` is
+    /// unchanged. Inserting a present tuple returns an identical multi-map.
+    pub fn inserted(&self, key: K, value: V) -> Self {
+        let mut next = self.clone();
+        next.insert_mut(key, value);
+        next
+    }
+
+    /// Inserts `(key, value)` in place (re-pointing this handle). Returns
+    /// true if the relation grew.
+    pub fn insert_mut(&mut self, key: K, value: V) -> bool {
+        match self.root.inserted(hash32(&key), 0, &key, &value) {
+            Inserted::Unchanged => false,
+            Inserted::NewTuple(node) => {
+                self.root = Arc::new(node);
+                self.tuples += 1;
+                true
+            }
+            Inserted::NewKey(node) => {
+                self.root = Arc::new(node);
+                self.tuples += 1;
+                self.keys += 1;
+                true
+            }
+        }
+    }
+
+    /// Returns a multi-map without the tuple `(key, value)`; `self` is
+    /// unchanged.
+    pub fn tuple_removed(&self, key: &K, value: &V) -> Self {
+        let mut next = self.clone();
+        next.remove_tuple_mut(key, value);
+        next
+    }
+
+    /// Removes the tuple `(key, value)` in place. Returns true if present.
+    pub fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
+        match self.root.tuple_removed(hash32(key), 0, key, value) {
+            TupleRemoved::NotFound => false,
+            TupleRemoved::Node { node, key_gone } => {
+                self.root = Arc::new(node);
+                self.tuples -= 1;
+                if key_gone {
+                    self.keys -= 1;
+                }
+                true
+            }
+            TupleRemoved::Single {
+                key: k,
+                binding,
+                key_gone,
+            } => {
+                self.root = Arc::new(root_with_single_binding(k, binding));
+                self.tuples -= 1;
+                if key_gone {
+                    self.keys -= 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Returns a multi-map without any tuple for `key`; `self` is unchanged.
+    pub fn key_removed(&self, key: &K) -> Self {
+        let mut next = self.clone();
+        next.remove_key_mut(key);
+        next
+    }
+
+    /// Removes every tuple for `key` in place. Returns the number of tuples
+    /// removed.
+    pub fn remove_key_mut(&mut self, key: &K) -> usize {
+        match self.root.key_removed(hash32(key), 0, key) {
+            KeyRemoved::NotFound => 0,
+            KeyRemoved::Node {
+                node,
+                tuples_removed,
+            } => {
+                self.root = Arc::new(node);
+                self.tuples -= tuples_removed;
+                self.keys -= 1;
+                tuples_removed
+            }
+            KeyRemoved::Single {
+                key: k,
+                binding,
+                tuples_removed,
+            } => {
+                self.root = Arc::new(root_with_single_binding(k, binding));
+                self.tuples -= tuples_removed;
+                self.keys -= 1;
+                tuples_removed
+            }
+        }
+    }
+
+    /// Iterates all `(key, value)` tuples — the paper's flattened
+    /// *Iteration (Entry)* sequence — in unspecified order.
+    pub fn iter(&self) -> Tuples<'_, K, V, B> {
+        Tuples::new(&self.root, self.tuples)
+    }
+
+    /// Iterates distinct keys — the paper's *Iteration (Key)* — in
+    /// unspecified order.
+    pub fn keys(&self) -> Keys<'_, K, V, B> {
+        Keys {
+            stack: vec![cursor_of(&self.root)],
+            remaining: self.keys,
+        }
+    }
+
+    /// Iterates `(key, values-view)` groups in unspecified order.
+    pub fn entries(&self) -> Entries<'_, K, V, B> {
+        Entries {
+            stack: vec![cursor_of(&self.root)],
+            remaining: self.keys,
+        }
+    }
+
+    pub(crate) fn root_node(&self) -> &Node<K, V, B> {
+        &self.root
+    }
+
+    /// The root node's content histogram: branch counts per category
+    /// (`[EMPTY, CAT1, CAT2, NODE]`, paper §3.3) — introspection for
+    /// analyzing how a relation's skew maps onto the encoding.
+    ///
+    /// Returns `None` if the root has degenerated to a hash-collision node
+    /// (only possible when every key shares one 32-bit hash).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axiom::AxiomMultiMap;
+    ///
+    /// let mm = AxiomMultiMap::<u32, u32>::new().inserted(1, 10).inserted(1, 11);
+    /// let hist = mm.root_histogram().unwrap();
+    /// assert_eq!(hist[2], 1); // one 1:n branch (CAT2)
+    /// assert_eq!(hist[0], 31); // the rest empty
+    /// ```
+    pub fn root_histogram(&self) -> Option<[u32; 4]> {
+        match &*self.root {
+            Node::Bitmap(b) => Some(b.bitmap.histogram()),
+            Node::Collision(_) => None,
+        }
+    }
+
+    /// Recursively checks the canonical-form invariants (test support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural invariant is violated.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        let (keys, tuples) = validate(&self.root, 0);
+        assert_eq!(keys, self.keys, "key bookkeeping");
+        assert_eq!(tuples, self.tuples, "tuple bookkeeping");
+    }
+}
+
+/// Rebuilds a root node around a binding that collapsed out of the trie.
+fn root_with_single_binding<K, V, B>(key: K, binding: Binding<V, B>) -> Node<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    let m = mask(hash32(&key), 0);
+    let cat = binding.category();
+    Node::Bitmap(BitmapNode {
+        bitmap: SlotBitmap::EMPTY.with(m, cat),
+        slots: Box::new([Node::slot_of(key, binding)]),
+    })
+}
+
+/// Validates canonical form; returns `(keys, tuples)` below `node`.
+fn validate<K, V, B>(node: &Node<K, V, B>, shift: u32) -> (usize, usize)
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    match node {
+        Node::Collision(c) => {
+            assert!(hash_exhausted(shift), "collision node above max depth");
+            assert!(c.entries.len() >= 2, "collision node with < 2 keys");
+            let mut tuples = 0;
+            for (i, (k, b)) in c.entries.iter().enumerate() {
+                assert_eq!(hash32(k), c.hash, "collision member hash");
+                if let Binding::Many(bag) = b {
+                    assert!(bag.len() >= 2, "CAT2 bag with < 2 values");
+                }
+                tuples += b.len();
+                for (k2, _) in &c.entries[i + 1..] {
+                    assert!(k2 != k, "duplicate key in collision node");
+                }
+            }
+            (c.entries.len(), tuples)
+        }
+        Node::Bitmap(b) => {
+            assert_eq!(b.slots.len(), b.bitmap.arity(), "slot count");
+            let mut keys = 0usize;
+            let mut tuples = 0usize;
+            for (i, m) in b.bitmap.masks_of(Category::Cat1).enumerate() {
+                match &b.slots[b.bitmap.offset(Category::Cat1) + i] {
+                    Slot::One(k, _) => {
+                        assert_eq!(mask(hash32(k), shift), m, "CAT1 key in wrong branch");
+                        keys += 1;
+                        tuples += 1;
+                    }
+                    _ => panic!("CAT1 slot holds wrong variant"),
+                }
+            }
+            for (i, m) in b.bitmap.masks_of(Category::Cat2).enumerate() {
+                match &b.slots[b.bitmap.offset(Category::Cat2) + i] {
+                    Slot::Many(k, bag) => {
+                        assert_eq!(mask(hash32(k), shift), m, "CAT2 key in wrong branch");
+                        assert!(bag.len() >= 2, "CAT2 bag with < 2 values");
+                        keys += 1;
+                        tuples += bag.len();
+                    }
+                    _ => panic!("CAT2 slot holds wrong variant"),
+                }
+            }
+            for (i, _) in b.bitmap.masks_of(Category::Node).enumerate() {
+                match &b.slots[b.bitmap.offset(Category::Node) + i] {
+                    Slot::Child(child) => {
+                        let (k, t) = validate(child, next_shift(shift));
+                        assert!(k >= 2, "sub-trie with < 2 keys not inlined");
+                        keys += k;
+                        tuples += t;
+                    }
+                    _ => panic!("NODE slot holds payload"),
+                }
+            }
+            if shift > 0 {
+                assert!(
+                    !(b.bitmap.payload_arity() == 1 && b.bitmap.node_arity() == 0),
+                    "non-root singleton payload node must be inlined"
+                );
+            }
+            (keys, tuples)
+        }
+    }
+}
+
+impl<K, V, B> Default for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn default() -> Self {
+        AxiomMultiMap::new()
+    }
+}
+
+impl<K, V, B> PartialEq for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples && self.keys == other.keys && node_eq(&self.root, &other.root)
+    }
+}
+
+impl<K, V, B> Eq for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+}
+
+fn node_eq<K, V, B>(a: &Node<K, V, B>, b: &Node<K, V, B>) -> bool
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    match (a, b) {
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            x.bitmap == y.bitmap
+                && x.slots
+                    .iter()
+                    .zip(y.slots.iter())
+                    .all(|(s, t)| match (s, t) {
+                        (Slot::One(k1, v1), Slot::One(k2, v2)) => k1 == k2 && v1 == v2,
+                        (Slot::Many(k1, b1), Slot::Many(k2, b2)) => k1 == k2 && b1 == b2,
+                        (Slot::Child(c), Slot::Child(d)) => Arc::ptr_eq(c, d) || node_eq(c, d),
+                        _ => false,
+                    })
+        }
+        (Node::Collision(x), Node::Collision(y)) => {
+            x.hash == y.hash
+                && x.entries.len() == y.entries.len()
+                && x.entries.iter().all(|(k, bind)| {
+                    y.entries
+                        .iter()
+                        .any(|(k2, bind2)| k == k2 && bind.eq(bind2))
+                })
+        }
+        _ => false,
+    }
+}
+
+impl<K, V, B> std::fmt::Debug for AxiomMultiMap<K, V, B>
+where
+    K: std::fmt::Debug + Clone + Eq + Hash,
+    V: std::fmt::Debug + Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<K, V, B> FromIterator<(K, V)> for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut mm = AxiomMultiMap::new();
+        for (k, v) in iter {
+            mm.insert_mut(k, v);
+        }
+        mm
+    }
+}
+
+impl<K, V, B> Extend<(K, V)> for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert_mut(k, v);
+        }
+    }
+}
+
+impl<'a, K, V, B> IntoIterator for &'a AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    type Item = (&'a K, &'a V);
+    type IntoIter = Tuples<'a, K, V, B>;
+    fn into_iter(self) -> Tuples<'a, K, V, B> {
+        self.iter()
+    }
+}
+
+enum Cursor<'a, K, V, B> {
+    Bitmap {
+        slots: &'a [Slot<K, V, B>],
+        idx: usize,
+    },
+    Collision {
+        entries: &'a [(K, Binding<V, B>)],
+        idx: usize,
+    },
+}
+
+fn cursor_of<K, V, B>(node: &Node<K, V, B>) -> Cursor<'_, K, V, B> {
+    match node {
+        Node::Bitmap(b) => Cursor::Bitmap {
+            slots: &b.slots,
+            idx: 0,
+        },
+        Node::Collision(c) => Cursor::Collision {
+            entries: &c.entries,
+            idx: 0,
+        },
+    }
+}
+
+/// Iterator over all `(key, value)` tuples. Created by
+/// [`AxiomMultiMap::iter`].
+pub struct Tuples<'a, K, V: 'a, B: ValueBag<V> + 'a> {
+    stack: Vec<Cursor<'a, K, V, B>>,
+    current: Option<(&'a K, B::Iter<'a>)>,
+    remaining: usize,
+}
+
+impl<'a, K, V, B: ValueBag<V>> Tuples<'a, K, V, B> {
+    fn new(root: &'a Node<K, V, B>, tuples: usize) -> Self {
+        Tuples {
+            stack: vec![cursor_of(root)],
+            current: None,
+            remaining: tuples,
+        }
+    }
+}
+
+impl<'a, K, V, B> Iterator for Tuples<'a, K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            if let Some((k, it)) = &mut self.current {
+                if let Some(v) = it.next() {
+                    self.remaining -= 1;
+                    return Some((k, v));
+                }
+                self.current = None;
+            }
+            let top = self.stack.last_mut()?;
+            match top {
+                Cursor::Collision { entries, idx } => {
+                    if *idx >= entries.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let (k, binding) = &entries[*idx];
+                    *idx += 1;
+                    match binding {
+                        Binding::One(v) => {
+                            self.remaining -= 1;
+                            return Some((k, v));
+                        }
+                        Binding::Many(bag) => self.current = Some((k, bag.iter())),
+                    }
+                }
+                Cursor::Bitmap { slots, idx } => {
+                    if *idx >= slots.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let slot = &slots[*idx];
+                    *idx += 1;
+                    match slot {
+                        Slot::One(k, v) => {
+                            self.remaining -= 1;
+                            return Some((k, v));
+                        }
+                        Slot::Many(k, bag) => self.current = Some((k, bag.iter())),
+                        Slot::Child(child) => self.stack.push(cursor_of(child)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, K, V, B> ExactSizeIterator for Tuples<'a, K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+}
+
+impl<'a, K, V, B: ValueBag<V>> std::fmt::Debug for Tuples<'a, K, V, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tuples")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+/// Iterator over distinct keys. Created by [`AxiomMultiMap::keys`].
+pub struct Keys<'a, K, V, B> {
+    stack: Vec<Cursor<'a, K, V, B>>,
+    remaining: usize,
+}
+
+impl<'a, K, V, B> Iterator for Keys<'a, K, V, B> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<&'a K> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                Cursor::Collision { entries, idx } => {
+                    if *idx >= entries.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let (k, _) = &entries[*idx];
+                    *idx += 1;
+                    self.remaining -= 1;
+                    return Some(k);
+                }
+                Cursor::Bitmap { slots, idx } => {
+                    if *idx >= slots.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let slot = &slots[*idx];
+                    *idx += 1;
+                    match slot {
+                        Slot::One(k, _) | Slot::Many(k, _) => {
+                            self.remaining -= 1;
+                            return Some(k);
+                        }
+                        Slot::Child(child) => self.stack.push(cursor_of(child)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, K, V, B> ExactSizeIterator for Keys<'a, K, V, B> {}
+
+impl<'a, K, V, B> std::fmt::Debug for Keys<'a, K, V, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Keys")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+/// Iterator over `(key, values-view)` groups. Created by
+/// [`AxiomMultiMap::entries`].
+pub struct Entries<'a, K, V, B> {
+    stack: Vec<Cursor<'a, K, V, B>>,
+    remaining: usize,
+}
+
+impl<'a, K, V, B> Iterator for Entries<'a, K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    type Item = (&'a K, BindingRef<'a, V, B>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                Cursor::Collision { entries, idx } => {
+                    if *idx >= entries.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let (k, binding) = &entries[*idx];
+                    *idx += 1;
+                    self.remaining -= 1;
+                    return Some((k, BindingRef::of(binding)));
+                }
+                Cursor::Bitmap { slots, idx } => {
+                    if *idx >= slots.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let slot = &slots[*idx];
+                    *idx += 1;
+                    match slot {
+                        Slot::One(k, v) => {
+                            self.remaining -= 1;
+                            return Some((k, BindingRef::One(v)));
+                        }
+                        Slot::Many(k, bag) => {
+                            self.remaining -= 1;
+                            return Some((k, BindingRef::Many(bag)));
+                        }
+                        Slot::Child(child) => self.stack.push(cursor_of(child)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, K, V, B> ExactSizeIterator for Entries<'a, K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+}
+
+impl<'a, K, V, B> std::fmt::Debug for Entries<'a, K, V, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entries")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bag::FusedBag;
+    use std::collections::{BTreeSet, HashMap};
+    use std::hash::Hasher;
+
+    type Mm = AxiomMultiMap<u32, u32>;
+    type FusedMm = AxiomMultiMap<u32, u32, FusedBag<u32>>;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Collide {
+        bucket: u32,
+        id: u32,
+    }
+
+    impl Hash for Collide {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            state.write_u32(self.bucket);
+        }
+    }
+
+    #[test]
+    fn empty_multimap_basics() {
+        let mm = Mm::new();
+        assert!(mm.is_empty());
+        assert_eq!(mm.tuple_count(), 0);
+        assert_eq!(mm.key_count(), 0);
+        assert!(!mm.contains_key(&1));
+        assert!(!mm.contains_tuple(&1, &2));
+        mm.assert_invariants();
+    }
+
+    #[test]
+    fn paper_figure_3_construction_sequence() {
+        // Figure 3: A↦1, B↦2, then C↦3, then D↦4, E↦5, then D↦-4, F↦6.
+        // We use the tuple/key counts and promotion behaviour it illustrates.
+        let mm = AxiomMultiMap::<&str, i32>::new()
+            .inserted("A", 1)
+            .inserted("B", 2)
+            .inserted("C", 3)
+            .inserted("D", 4)
+            .inserted("E", 5)
+            .inserted("D", -4) // promotes D to a 1:n mapping
+            .inserted("F", 6);
+        assert_eq!(mm.key_count(), 6);
+        assert_eq!(mm.tuple_count(), 7);
+        assert_eq!(mm.value_count(&"D"), 2);
+        assert!(mm.contains_tuple(&"D", &4));
+        assert!(mm.contains_tuple(&"D", &-4));
+        assert_eq!(mm.value_count(&"A"), 1);
+        mm.assert_invariants();
+    }
+
+    #[test]
+    fn promotion_and_demotion_roundtrip() {
+        let mm = Mm::new().inserted(1, 10).inserted(1, 20);
+        assert!(matches!(mm.get(&1), Some(BindingRef::Many(_))));
+        let mm2 = mm.tuple_removed(&1, &10);
+        assert!(matches!(mm2.get(&1), Some(BindingRef::One(&20))));
+        assert_eq!(mm2.tuple_count(), 1);
+        assert_eq!(mm2.key_count(), 1);
+        let mm3 = mm2.tuple_removed(&1, &20);
+        assert!(mm3.is_empty());
+        assert_eq!(mm3.key_count(), 0);
+        // Original chain is untouched.
+        assert_eq!(mm.tuple_count(), 2);
+        mm.assert_invariants();
+        mm2.assert_invariants();
+        mm3.assert_invariants();
+    }
+
+    #[test]
+    fn duplicate_tuple_insert_is_noop() {
+        let mm = Mm::new().inserted(1, 10).inserted(1, 10);
+        assert_eq!(mm.tuple_count(), 1);
+        let mm2 = mm.inserted(1, 20).inserted(1, 20);
+        assert_eq!(mm2.tuple_count(), 2);
+    }
+
+    #[test]
+    fn skewed_distribution_bulk() {
+        // 50% 1:1, 50% 1:2 — the paper's microbenchmark shape.
+        let mut mm = Mm::new();
+        for k in 0..1000u32 {
+            mm.insert_mut(k, k * 10);
+            if k % 2 == 0 {
+                mm.insert_mut(k, k * 10 + 1);
+            }
+        }
+        assert_eq!(mm.key_count(), 1000);
+        assert_eq!(mm.tuple_count(), 1500);
+        for k in 0..1000u32 {
+            assert!(mm.contains_tuple(&k, &(k * 10)));
+            assert_eq!(mm.value_count(&k), if k % 2 == 0 { 2 } else { 1 });
+        }
+        mm.assert_invariants();
+    }
+
+    #[test]
+    fn remove_key_drops_all_values() {
+        let mut mm = Mm::new();
+        for v in 0..10 {
+            mm.insert_mut(7, v);
+        }
+        mm.insert_mut(8, 0);
+        assert_eq!(mm.tuple_count(), 11);
+        let removed = mm.remove_key_mut(&7);
+        assert_eq!(removed, 10);
+        assert_eq!(mm.tuple_count(), 1);
+        assert_eq!(mm.key_count(), 1);
+        assert!(!mm.contains_key(&7));
+        mm.assert_invariants();
+    }
+
+    #[test]
+    fn model_based_random_ops() {
+        let mut model: HashMap<u32, BTreeSet<u32>> = HashMap::new();
+        let mut mm = Mm::new();
+        let mut state = 0xdeadbeefu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for step in 0..6000 {
+            let op = next() % 5;
+            let key = next() % 120;
+            let value = next() % 8;
+            match op {
+                0..=2 => {
+                    let grew = model.entry(key).or_default().insert(value);
+                    assert_eq!(mm.insert_mut(key, value), grew, "step {step}");
+                }
+                3 => {
+                    let had = model.get_mut(&key).is_some_and(|s| s.remove(&value));
+                    if let Some(s) = model.get(&key) {
+                        if s.is_empty() {
+                            model.remove(&key);
+                        }
+                    }
+                    assert_eq!(mm.remove_tuple_mut(&key, &value), had, "step {step}");
+                }
+                _ => {
+                    let removed = model.remove(&key).map_or(0, |s| s.len());
+                    assert_eq!(mm.remove_key_mut(&key), removed, "step {step}");
+                }
+            }
+            let tuples: usize = model.values().map(|s| s.len()).sum();
+            assert_eq!(mm.tuple_count(), tuples);
+            assert_eq!(mm.key_count(), model.len());
+        }
+        mm.assert_invariants();
+        for (k, vs) in &model {
+            assert_eq!(mm.value_count(k), vs.len());
+            for v in vs {
+                assert!(mm.contains_tuple(k, v));
+            }
+        }
+        // Iteration agrees with the model.
+        let mut seen: HashMap<u32, BTreeSet<u32>> = HashMap::new();
+        for (k, v) in mm.iter() {
+            assert!(seen.entry(*k).or_default().insert(*v), "dup tuple in iter");
+        }
+        assert_eq!(seen, model);
+    }
+
+    #[test]
+    fn fused_multimap_agrees_with_nested() {
+        let mut nested = Mm::new();
+        let mut fused = FusedMm::new();
+        let mut state = 7u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            (state >> 35) as u32
+        };
+        for _ in 0..3000 {
+            let op = next() % 4;
+            let key = next() % 60;
+            let value = next() % 12;
+            match op {
+                0 | 1 => {
+                    assert_eq!(nested.insert_mut(key, value), fused.insert_mut(key, value));
+                }
+                2 => {
+                    assert_eq!(
+                        nested.remove_tuple_mut(&key, &value),
+                        fused.remove_tuple_mut(&key, &value)
+                    );
+                }
+                _ => {
+                    assert_eq!(nested.remove_key_mut(&key), fused.remove_key_mut(&key));
+                }
+            }
+            assert_eq!(nested.tuple_count(), fused.tuple_count());
+            assert_eq!(nested.key_count(), fused.key_count());
+        }
+        nested.assert_invariants();
+        fused.assert_invariants();
+        let a: BTreeSet<(u32, u32)> = nested.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: BTreeSet<(u32, u32)> = fused.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collision_keys_with_multivalues() {
+        let mut mm: AxiomMultiMap<Collide, u32> = AxiomMultiMap::new();
+        for id in 0..6 {
+            let k = Collide { bucket: 11, id };
+            mm.insert_mut(k.clone(), 0);
+            mm.insert_mut(k, 1);
+        }
+        assert_eq!(mm.key_count(), 6);
+        assert_eq!(mm.tuple_count(), 12);
+        mm.assert_invariants();
+        for id in 0..6 {
+            let k = Collide { bucket: 11, id };
+            assert_eq!(mm.value_count(&k), 2);
+            assert!(mm.remove_tuple_mut(&k, &0));
+            mm.assert_invariants();
+        }
+        assert_eq!(mm.tuple_count(), 6);
+        for id in 0..5 {
+            assert_eq!(mm.remove_key_mut(&Collide { bucket: 11, id }), 1);
+            mm.assert_invariants();
+        }
+        assert_eq!(mm.key_count(), 1);
+    }
+
+    #[test]
+    fn iteration_counts() {
+        let mut mm = Mm::new();
+        for k in 0..200u32 {
+            mm.insert_mut(k, 0);
+            if k % 2 == 0 {
+                mm.insert_mut(k, 1);
+            }
+        }
+        assert_eq!(mm.iter().count(), 300);
+        assert_eq!(mm.keys().count(), 200);
+        assert_eq!(mm.entries().count(), 200);
+        assert_eq!(mm.iter().len(), 300);
+        let grouped_tuples: usize = mm.entries().map(|(_, b)| b.len()).sum();
+        assert_eq!(grouped_tuples, 300);
+    }
+
+    #[test]
+    fn equality_and_order_independence() {
+        let a: Mm = (0..100u32).flat_map(|k| [(k, 0), (k, 1)]).collect();
+        let b: Mm = (0..100u32).rev().flat_map(|k| [(k, 1), (k, 0)]).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, b.inserted(5, 9));
+        assert_ne!(a, b.tuple_removed(&5, &0));
+    }
+
+    #[test]
+    fn persistence_of_versions() {
+        let v0: Mm = (0..500u32).map(|k| (k % 100, k)).collect();
+        let v1 = v0.inserted(1000, 1);
+        let v2 = v0.key_removed(&50);
+        assert_eq!(v0.key_count(), 100);
+        assert_eq!(v1.key_count(), 101);
+        assert_eq!(v2.key_count(), 99);
+        assert!(v0.contains_key(&50));
+        assert!(!v2.contains_key(&50));
+        v0.assert_invariants();
+        v1.assert_invariants();
+        v2.assert_invariants();
+    }
+
+    #[test]
+    fn get_views() {
+        let mm = Mm::new().inserted(1, 10).inserted(2, 20).inserted(2, 21);
+        match mm.get(&1) {
+            Some(BindingRef::One(v)) => assert_eq!(*v, 10),
+            _ => panic!("expected inlined singleton"),
+        }
+        match mm.get(&2) {
+            Some(BindingRef::Many(bag)) => {
+                let vs: BTreeSet<u32> = crate::bag::ValueBag::iter(bag).copied().collect();
+                assert_eq!(vs, BTreeSet::from([20, 21]));
+            }
+            _ => panic!("expected nested bag"),
+        }
+        assert!(mm.get(&3).is_none());
+        let view = mm.get(&2).unwrap();
+        assert_eq!(view.len(), 2);
+        assert!(view.contains(&21));
+        assert_eq!(view.iter().count(), 2);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mm>();
+        assert_send_sync::<FusedMm>();
+    }
+}

@@ -1,0 +1,188 @@
+//! Harness-facing trait implementations ([`trie_common::ops`]).
+
+use std::hash::Hash;
+
+use trie_common::ops::{MapOps, MultiMapOps, SetOps};
+
+use crate::bag::ValueBag;
+use crate::map::AxiomMap;
+use crate::multimap::AxiomMultiMap;
+use crate::set::AxiomSet;
+
+impl<K, V> MapOps<K, V> for AxiomMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    const NAME: &'static str = "axiom-map";
+
+    fn empty() -> Self {
+        AxiomMap::new()
+    }
+
+    fn len(&self) -> usize {
+        AxiomMap::len(self)
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        AxiomMap::get(self, key)
+    }
+
+    fn inserted(&self, key: K, value: V) -> Self {
+        AxiomMap::inserted(self, key, value)
+    }
+
+    fn removed(&self, key: &K) -> Self {
+        AxiomMap::removed(self, key)
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.keys() {
+            f(k);
+        }
+    }
+}
+
+impl<T> SetOps<T> for AxiomSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    const NAME: &'static str = "axiom-set";
+
+    fn empty() -> Self {
+        AxiomSet::new()
+    }
+
+    fn len(&self) -> usize {
+        AxiomSet::len(self)
+    }
+
+    fn contains(&self, value: &T) -> bool {
+        AxiomSet::contains(self, value)
+    }
+
+    fn inserted(&self, value: T) -> Self {
+        AxiomSet::inserted(self, value)
+    }
+
+    fn removed(&self, value: &T) -> Self {
+        AxiomSet::removed(self, value)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.iter() {
+            f(v);
+        }
+    }
+}
+
+impl<K, V, B> MultiMapOps<K, V> for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    const NAME: &'static str = "axiom-multimap";
+
+    fn empty() -> Self {
+        AxiomMultiMap::new()
+    }
+
+    fn tuple_count(&self) -> usize {
+        AxiomMultiMap::tuple_count(self)
+    }
+
+    fn key_count(&self) -> usize {
+        AxiomMultiMap::key_count(self)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        AxiomMultiMap::contains_key(self, key)
+    }
+
+    fn contains_tuple(&self, key: &K, value: &V) -> bool {
+        AxiomMultiMap::contains_tuple(self, key, value)
+    }
+
+    fn value_count(&self, key: &K) -> usize {
+        AxiomMultiMap::value_count(self, key)
+    }
+
+    fn inserted(&self, key: K, value: V) -> Self {
+        AxiomMultiMap::inserted(self, key, value)
+    }
+
+    fn tuple_removed(&self, key: &K, value: &V) -> Self {
+        AxiomMultiMap::tuple_removed(self, key, value)
+    }
+
+    fn key_removed(&self, key: &K) -> Self {
+        AxiomMultiMap::key_removed(self, key)
+    }
+
+    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.keys() {
+            f(k);
+        }
+    }
+
+    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
+        if let Some(binding) = self.get(key) {
+            for v in binding.iter() {
+                f(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_map<M: MapOps<u32, u32>>() {
+        let m = M::empty().inserted(1, 2).inserted(3, 4);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1), Some(&2));
+        let m = m.removed(&1);
+        assert_eq!(m.len(), 1);
+        let mut n = 0;
+        m.for_each_entry(&mut |_, _| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    fn exercise_multimap<M: MultiMapOps<u32, u32>>() {
+        let m = M::empty().inserted(1, 2).inserted(1, 3).inserted(5, 6);
+        assert_eq!(m.tuple_count(), 3);
+        assert_eq!(m.key_count(), 2);
+        assert!(m.contains_tuple(&1, &3));
+        assert_eq!(m.value_count(&1), 2);
+        let m = m.tuple_removed(&1, &2);
+        assert_eq!(m.tuple_count(), 2);
+        let m = m.key_removed(&1);
+        assert_eq!(m.key_count(), 1);
+        let mut vals = Vec::new();
+        m.for_each_value_of(&5, &mut |v| vals.push(*v));
+        assert_eq!(vals, vec![6]);
+    }
+
+    #[test]
+    fn traits_are_wired() {
+        exercise_map::<AxiomMap<u32, u32>>();
+        exercise_multimap::<AxiomMultiMap<u32, u32>>();
+        exercise_multimap::<crate::AxiomFusedMultiMap<u32, u32>>();
+        let s = <AxiomSet<u32> as SetOps<u32>>::empty().inserted(1);
+        assert!(SetOps::contains(&s, &1));
+    }
+}

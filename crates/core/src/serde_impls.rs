@@ -1,0 +1,133 @@
+//! Optional Serde support (behind the `serde` feature, per C-SERDE).
+//!
+//! Collections serialize as flat sequences — a set as its elements, a map as
+//! `(key, value)` pairs, a multi-map as its flattened `(key, value)` tuples —
+//! and deserialize by rebuilding the trie, so the wire format is independent
+//! of trie-internal ordering and of the value-bag strategy.
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use serde::de::{SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::bag::ValueBag;
+use crate::{AxiomMap, AxiomMultiMap, AxiomSet};
+
+impl<T: Serialize + Clone + Eq + Hash> Serialize for AxiomSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for v in self.iter() {
+            seq.serialize_element(v)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Clone + Eq + Hash> Deserialize<'de> for AxiomSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Clone + Eq + Hash> Visitor<'de> for V<T> {
+            type Value = AxiomSet<T>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a sequence of set elements")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = AxiomSet::new();
+                while let Some(v) = seq.next_element()? {
+                    out.insert_mut(v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<K, V> Serialize for AxiomMap<K, V>
+where
+    K: Serialize + Clone + Eq + Hash,
+    V: Serialize + Clone + PartialEq,
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for (k, v) in self.iter() {
+            seq.serialize_element(&(k, v))?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for AxiomMap<K, V>
+where
+    K: Deserialize<'de> + Clone + Eq + Hash,
+    V: Deserialize<'de> + Clone + PartialEq,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V2<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for V2<K, V>
+        where
+            K: Deserialize<'de> + Clone + Eq + Hash,
+            V: Deserialize<'de> + Clone + PartialEq,
+        {
+            type Value = AxiomMap<K, V>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a sequence of (key, value) pairs")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = AxiomMap::new();
+                while let Some((k, v)) = seq.next_element()? {
+                    out.insert_mut(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V2(PhantomData))
+    }
+}
+
+impl<K, V, B> Serialize for AxiomMultiMap<K, V, B>
+where
+    K: Serialize + Clone + Eq + Hash,
+    V: Serialize + Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.tuple_count()))?;
+        for (k, v) in self.iter() {
+            seq.serialize_element(&(k, v))?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, K, V, B> Deserialize<'de> for AxiomMultiMap<K, V, B>
+where
+    K: Deserialize<'de> + Clone + Eq + Hash,
+    V: Deserialize<'de> + Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V3<K, V, B>(PhantomData<(K, V, B)>);
+        impl<'de, K, V, B> Visitor<'de> for V3<K, V, B>
+        where
+            K: Deserialize<'de> + Clone + Eq + Hash,
+            V: Deserialize<'de> + Clone + Eq + Hash,
+            B: ValueBag<V>,
+        {
+            type Value = AxiomMultiMap<K, V, B>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a sequence of (key, value) tuples")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = AxiomMultiMap::new();
+                while let Some((k, v)) = seq.next_element()? {
+                    out.insert_mut(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V3(PhantomData))
+    }
+}

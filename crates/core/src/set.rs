@@ -1,0 +1,1024 @@
+//! A persistent hash set built on the AXIOM node encoding.
+//!
+//! [`AxiomSet`] serves two roles: it is the nested collection behind the
+//! multi-map's `1:n` mappings (paper §3: "1:n mappings allocate and nest a
+//! set data structure"), and a standalone persistent set used by the static
+//! analysis case study's relational algebra.
+//!
+//! Sets are the homogeneous instance of AXIOM: only categories `EMPTY`,
+//! `CAT1` (an element) and `NODE` are populated, which is exactly the CHAMP
+//! special case of the encoding (paper §3.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use axiom::AxiomSet;
+//!
+//! let a: AxiomSet<u32> = (0..100).collect();
+//! let b = a.inserted(200);
+//! assert_eq!(a.len(), 100); // persistent: `a` is unchanged
+//! assert_eq!(b.len(), 101);
+//! assert!(b.contains(&200));
+//! let c = b.removed(&200);
+//! assert_eq!(a, c);
+//! ```
+
+use std::borrow::Borrow;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use trie_common::bits::{hash_exhausted, mask, next_shift};
+use trie_common::hash::hash32;
+
+use crate::bitmap::{Category, SlotBitmap};
+use crate::slots::{inserted_at, migrated, removed_at, replaced_at};
+
+/// One physical slot of a set node: an inlined element or a sub-trie.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot<T> {
+    /// `CAT1`: an inlined element.
+    Elem(T),
+    /// `NODE`: a shared sub-trie.
+    Child(Arc<Node<T>>),
+}
+
+/// A compressed trie node: the 2-bit bitmap plus the dense, permuted slot
+/// array (`[elements… | children…]`, each group ascending by mask).
+#[derive(Debug, Clone)]
+pub(crate) struct BitmapNode<T> {
+    pub(crate) bitmap: SlotBitmap,
+    pub(crate) slots: Box<[Slot<T>]>,
+}
+
+/// A node that resolves full 32-bit hash collisions past the deepest trie
+/// level by linear search.
+#[derive(Debug, Clone)]
+pub(crate) struct CollisionNode<T> {
+    pub(crate) hash: u32,
+    pub(crate) elems: Vec<T>,
+}
+
+/// A trie node.
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T> {
+    Bitmap(BitmapNode<T>),
+    Collision(CollisionNode<T>),
+}
+
+/// Result of a node-level removal, driving CHAMP-style canonicalization:
+/// a sub-tree reduced to a single element is handed to the parent for
+/// inlining instead of being kept as a degenerate path.
+pub(crate) enum Removed<T> {
+    NotFound,
+    Node(Node<T>),
+    Single(T),
+}
+
+impl<T: Clone + Eq + Hash> Node<T> {
+    fn empty() -> Node<T> {
+        Node::Bitmap(BitmapNode {
+            bitmap: SlotBitmap::EMPTY,
+            slots: Box::new([]),
+        })
+    }
+
+    /// Builds the minimal sub-trie holding two *distinct* elements whose
+    /// hash prefixes agree up to `shift`.
+    fn pair(h1: u32, e1: T, h2: u32, e2: T, shift: u32) -> Node<T> {
+        if hash_exhausted(shift) {
+            debug_assert_eq!(h1, h2);
+            return Node::Collision(CollisionNode {
+                hash: h1,
+                elems: vec![e1, e2],
+            });
+        }
+        let m1 = mask(h1, shift);
+        let m2 = mask(h2, shift);
+        if m1 == m2 {
+            let child = Node::pair(h1, e1, h2, e2, next_shift(shift));
+            Node::Bitmap(BitmapNode {
+                bitmap: SlotBitmap::EMPTY.with(m1, Category::Node),
+                slots: Box::new([Slot::Child(Arc::new(child))]),
+            })
+        } else {
+            let bitmap = SlotBitmap::EMPTY
+                .with(m1, Category::Cat1)
+                .with(m2, Category::Cat1);
+            let slots: Box<[Slot<T>]> = if m1 < m2 {
+                Box::new([Slot::Elem(e1), Slot::Elem(e2)])
+            } else {
+                Box::new([Slot::Elem(e2), Slot::Elem(e1)])
+            };
+            Node::Bitmap(BitmapNode { bitmap, slots })
+        }
+    }
+
+    fn contains<Q>(&self, hash: u32, shift: u32, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => c.elems.iter().any(|e| e.borrow() == value),
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => false,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        match &b.slots[idx] {
+                            Slot::Elem(e) => e.borrow() == value,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        }
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        match &b.slots[idx] {
+                            Slot::Child(child) => child.contains(hash, next_shift(shift), value),
+                            Slot::Elem(_) => unreachable!("bitmap says NODE"),
+                        }
+                    }
+                    Category::Cat2 => unreachable!("sets never use CAT2"),
+                }
+            }
+        }
+    }
+
+    fn get<Q>(&self, hash: u32, shift: u32, value: &Q) -> Option<&T>
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => c.elems.iter().find(|e| (*e).borrow() == value),
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => None,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        match &b.slots[idx] {
+                            Slot::Elem(e) if e.borrow() == value => Some(e),
+                            _ => None,
+                        }
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        match &b.slots[idx] {
+                            Slot::Child(child) => child.get(hash, next_shift(shift), value),
+                            Slot::Elem(_) => unreachable!("bitmap says NODE"),
+                        }
+                    }
+                    Category::Cat2 => unreachable!("sets never use CAT2"),
+                }
+            }
+        }
+    }
+
+    /// Returns the updated node, or `None` when `value` was already present.
+    fn inserted(&self, hash: u32, shift: u32, value: &T) -> Option<Node<T>> {
+        match self {
+            Node::Collision(c) => {
+                debug_assert_eq!(c.hash, hash, "collision nodes sit below exhausted hashes");
+                if c.elems.iter().any(|e| e == value) {
+                    return None;
+                }
+                let mut elems = c.elems.clone();
+                elems.push(value.clone());
+                Some(Node::Collision(CollisionNode {
+                    hash: c.hash,
+                    elems,
+                }))
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => {
+                        let bitmap = b.bitmap.with(m, Category::Cat1);
+                        let idx = bitmap.slot_index(Category::Cat1, m);
+                        Some(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: inserted_at(&b.slots, idx, Slot::Elem(value.clone())),
+                        }))
+                    }
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        let existing = match &b.slots[idx] {
+                            Slot::Elem(e) => e,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if existing == value {
+                            return None;
+                        }
+                        // Prefix clash: both elements descend into a fresh
+                        // sub-trie; the slot migrates CAT1 → NODE.
+                        let child = Node::pair(
+                            hash32(existing),
+                            existing.clone(),
+                            hash,
+                            value.clone(),
+                            next_shift(shift),
+                        );
+                        let bitmap = b.bitmap.with(m, Category::Node);
+                        let to = bitmap.slot_index(Category::Node, m);
+                        Some(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: migrated(&b.slots, idx, to, Slot::Child(Arc::new(child))),
+                        }))
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        let child = match &b.slots[idx] {
+                            Slot::Child(c) => c,
+                            Slot::Elem(_) => unreachable!("bitmap says NODE"),
+                        };
+                        let new_child = child.inserted(hash, next_shift(shift), value)?;
+                        Some(Node::Bitmap(BitmapNode {
+                            bitmap: b.bitmap,
+                            slots: replaced_at(&b.slots, idx, Slot::Child(Arc::new(new_child))),
+                        }))
+                    }
+                    Category::Cat2 => unreachable!("sets never use CAT2"),
+                }
+            }
+        }
+    }
+
+    fn removed<Q>(&self, hash: u32, shift: u32, value: &Q) -> Removed<T>
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match self {
+            Node::Collision(c) => {
+                let Some(pos) = c.elems.iter().position(|e| e.borrow() == value) else {
+                    return Removed::NotFound;
+                };
+                if c.elems.len() == 2 {
+                    let survivor = c.elems[1 - pos].clone();
+                    return Removed::Single(survivor);
+                }
+                let mut elems = c.elems.clone();
+                elems.remove(pos);
+                Removed::Node(Node::Collision(CollisionNode {
+                    hash: c.hash,
+                    elems,
+                }))
+            }
+            Node::Bitmap(b) => {
+                let m = mask(hash, shift);
+                match b.bitmap.get(m) {
+                    Category::Empty => Removed::NotFound,
+                    Category::Cat1 => {
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        let matches = match &b.slots[idx] {
+                            Slot::Elem(e) => e.borrow() == value,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if !matches {
+                            return Removed::NotFound;
+                        }
+                        let bitmap = b.bitmap.with(m, Category::Empty);
+                        if shift > 0 && bitmap.payload_arity() == 1 && bitmap.node_arity() == 0 {
+                            // The node held exactly two elements; hand the
+                            // survivor to the parent for inlining.
+                            debug_assert_eq!(b.slots.len(), 2);
+                            let survivor = match &b.slots[1 - idx] {
+                                Slot::Elem(e) => e.clone(),
+                                Slot::Child(_) => unreachable!("both slots are payload"),
+                            };
+                            return Removed::Single(survivor);
+                        }
+                        Removed::Node(Node::Bitmap(BitmapNode {
+                            bitmap,
+                            slots: removed_at(&b.slots, idx),
+                        }))
+                    }
+                    Category::Node => {
+                        let idx = b.bitmap.slot_index(Category::Node, m);
+                        let child = match &b.slots[idx] {
+                            Slot::Child(c) => c,
+                            Slot::Elem(_) => unreachable!("bitmap says NODE"),
+                        };
+                        match child.removed(hash, next_shift(shift), value) {
+                            Removed::NotFound => Removed::NotFound,
+                            Removed::Node(n) => Removed::Node(Node::Bitmap(BitmapNode {
+                                bitmap: b.bitmap,
+                                slots: replaced_at(&b.slots, idx, Slot::Child(Arc::new(n))),
+                            })),
+                            Removed::Single(e) => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    // A pure chain node dissolves: keep
+                                    // propagating the survivor upward.
+                                    return Removed::Single(e);
+                                }
+                                // Inline the survivor: slot migrates NODE → CAT1.
+                                let bitmap = b.bitmap.with(m, Category::Cat1);
+                                let to = bitmap.slot_index(Category::Cat1, m);
+                                Removed::Node(Node::Bitmap(BitmapNode {
+                                    bitmap,
+                                    slots: migrated(&b.slots, idx, to, Slot::Elem(e)),
+                                }))
+                            }
+                        }
+                    }
+                    Category::Cat2 => unreachable!("sets never use CAT2"),
+                }
+            }
+        }
+    }
+}
+
+/// A persistent (immutable, structurally shared) hash set.
+///
+/// Cheap to clone (`O(1)`, bumps one reference count); every update returns a
+/// new set sharing unchanged sub-tries with its ancestors. See the
+/// [module documentation](self) for the encoding.
+pub struct AxiomSet<T> {
+    pub(crate) root: Arc<Node<T>>,
+    pub(crate) len: usize,
+}
+
+impl<T> Clone for AxiomSet<T> {
+    fn clone(&self) -> Self {
+        AxiomSet {
+            root: Arc::clone(&self.root),
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> AxiomSet<T> {
+    /// Creates an empty set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = axiom::AxiomSet::<u32>::new();
+    /// assert!(s.is_empty());
+    /// ```
+    pub fn new() -> Self {
+        AxiomSet {
+            root: Arc::new(Node::empty()),
+            len: 0,
+        }
+    }
+
+    /// Creates the two-element set used when a `1:1` multi-map slot is
+    /// promoted to `1:n`. `a` and `b` must be distinct.
+    pub(crate) fn from_two(a: T, b: T) -> Self {
+        debug_assert!(a != b);
+        let root = Node::pair(hash32(&a), a, hash32(&b), b, 0);
+        AxiomSet {
+            root: Arc::new(root),
+            len: 2,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s: axiom::AxiomSet<String> = ["a".to_string()].into_iter().collect();
+    /// assert!(s.contains("a")); // borrowed-form lookup
+    /// ```
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.root.contains(hash32(value), 0, value)
+    }
+
+    /// Returns a reference to the stored element equal to `value`, if any.
+    pub fn get<Q>(&self, value: &Q) -> Option<&T>
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.root.get(hash32(value), 0, value)
+    }
+
+    /// Returns a set additionally containing `value`; `self` is unchanged.
+    pub fn inserted(&self, value: T) -> Self {
+        let mut next = self.clone();
+        next.insert_mut(value);
+        next
+    }
+
+    /// Inserts `value` in place (re-pointing this handle; other handles to
+    /// the previous version are unaffected). Returns true if the set grew.
+    pub fn insert_mut(&mut self, value: T) -> bool {
+        match self.root.inserted(hash32(&value), 0, &value) {
+            Some(node) => {
+                self.root = Arc::new(node);
+                self.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns a set without `value`; `self` is unchanged.
+    pub fn removed<Q>(&self, value: &Q) -> Self
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let mut next = self.clone();
+        next.remove_mut(value);
+        next
+    }
+
+    /// Removes `value` in place (re-pointing this handle). Returns true if
+    /// the set shrank.
+    pub fn remove_mut<Q>(&mut self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        match self.root.removed(hash32(value), 0, value) {
+            Removed::NotFound => false,
+            Removed::Node(node) => {
+                self.root = Arc::new(node);
+                self.len -= 1;
+                true
+            }
+            Removed::Single(survivor) => {
+                // Only reachable when the root collapses to one element.
+                let root = Node::empty();
+                let root = root
+                    .inserted(hash32(&survivor), 0, &survivor)
+                    .expect("inserting into empty");
+                self.root = Arc::new(root);
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// The sole element of a singleton set (multi-map demotion helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set does not hold exactly one element.
+    pub(crate) fn sole(&self) -> &T {
+        assert_eq!(self.len, 1, "sole() requires a singleton set");
+        self.iter().next().expect("len == 1")
+    }
+
+    /// Iterates the elements in unspecified (trie) order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter::new(&self.root, self.len)
+    }
+
+    /// Union of two sets: iterates the smaller into the larger.
+    pub fn union(&self, other: &Self) -> Self {
+        let (big, small) = if self.len >= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = big.clone();
+        for v in small.iter() {
+            out.insert_mut(v.clone());
+        }
+        out
+    }
+
+    /// Intersection of two sets: scans the smaller, probes the larger.
+    pub fn intersection(&self, other: &Self) -> Self {
+        let (probe, scan) = if self.len >= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = AxiomSet::new();
+        for v in scan.iter() {
+            if probe.contains(v) {
+                out.insert_mut(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Elements of `self` not in `other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = AxiomSet::new();
+        for v in self.iter() {
+            if !other.contains(v) {
+                out.insert_mut(v.clone());
+            }
+        }
+        out
+    }
+
+    /// True if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.len <= other.len && self.iter().all(|v| other.contains(v))
+    }
+
+    /// True if the sets share no element.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        let (probe, scan) = if self.len >= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        scan.iter().all(|v| !probe.contains(v))
+    }
+
+    pub(crate) fn root_node(&self) -> &Node<T> {
+        &self.root
+    }
+
+    /// Recursively checks the canonical-form invariants (test support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any structural invariant is violated.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        let counted = validate(&self.root, 0, None);
+        assert_eq!(counted, self.len, "len bookkeeping");
+    }
+}
+
+/// Validates canonical form below `node`; returns the element count.
+fn validate<T: Clone + Eq + Hash>(node: &Node<T>, shift: u32, prefix: Option<u32>) -> usize {
+    match node {
+        Node::Collision(c) => {
+            assert!(hash_exhausted(shift), "collision node above max depth");
+            assert!(c.elems.len() >= 2, "collision node with < 2 elements");
+            for (i, e) in c.elems.iter().enumerate() {
+                assert_eq!(hash32(e), c.hash, "collision member hash");
+                for later in &c.elems[i + 1..] {
+                    assert!(later != e, "duplicate in collision node");
+                }
+            }
+            if let Some(p) = prefix {
+                assert_eq!(c.hash, p, "collision hash disagrees with path");
+            }
+            c.elems.len()
+        }
+        Node::Bitmap(b) => {
+            assert!(!hash_exhausted(shift), "bitmap node below max depth");
+            assert_eq!(b.bitmap.count(Category::Cat2), 0, "sets never use CAT2");
+            assert_eq!(b.slots.len(), b.bitmap.arity(), "slot count");
+            let mut total = 0usize;
+            for (i, m) in b.bitmap.masks_of(Category::Cat1).enumerate() {
+                match &b.slots[b.bitmap.offset(Category::Cat1) + i] {
+                    Slot::Elem(e) => {
+                        assert_eq!(mask(hash32(e), shift), m, "element in wrong branch");
+                        total += 1;
+                    }
+                    Slot::Child(_) => panic!("payload slot holds a child"),
+                }
+            }
+            for (i, m) in b.bitmap.masks_of(Category::Node).enumerate() {
+                match &b.slots[b.bitmap.offset(Category::Node) + i] {
+                    Slot::Child(child) => {
+                        let sub = validate(child, next_shift(shift), prefix);
+                        assert!(sub >= 2, "sub-trie with < 2 elements not inlined");
+                        let _ = m;
+                        total += sub;
+                    }
+                    Slot::Elem(_) => panic!("node slot holds payload"),
+                }
+            }
+            if shift > 0 {
+                assert!(
+                    !(b.bitmap.payload_arity() == 1 && b.bitmap.node_arity() == 0),
+                    "non-root singleton payload node must be inlined"
+                );
+                assert!(b.bitmap.arity() >= 1, "empty non-root node");
+            }
+            total
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Default for AxiomSet<T> {
+    fn default() -> Self {
+        AxiomSet::new()
+    }
+}
+
+impl<T: Clone + Eq + Hash> PartialEq for AxiomSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && node_eq(&self.root, &other.root)
+    }
+}
+
+impl<T: Clone + Eq + Hash> Eq for AxiomSet<T> {}
+
+fn node_eq<T: Clone + Eq + Hash>(a: &Node<T>, b: &Node<T>) -> bool {
+    match (a, b) {
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            x.bitmap == y.bitmap
+                && x.slots
+                    .iter()
+                    .zip(y.slots.iter())
+                    .all(|(s, t)| match (s, t) {
+                        (Slot::Elem(e), Slot::Elem(f)) => e == f,
+                        (Slot::Child(c), Slot::Child(d)) => {
+                            // CHAMP-style short-circuit on shared sub-tries.
+                            Arc::ptr_eq(c, d) || node_eq(c, d)
+                        }
+                        _ => false,
+                    })
+        }
+        (Node::Collision(x), Node::Collision(y)) => {
+            x.hash == y.hash
+                && x.elems.len() == y.elems.len()
+                && x.elems.iter().all(|e| y.elems.contains(e))
+        }
+        _ => false,
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::hash::Hash for AxiomSet<T> {
+    /// Order-independent hash: the sum of per-element hashes, so equal sets
+    /// hash equally regardless of trie-internal ordering.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut acc = 0u64;
+        for v in self.iter() {
+            acc = acc.wrapping_add(hash32(v) as u64);
+        }
+        state.write_u64(acc);
+        state.write_usize(self.len);
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for AxiomSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set()
+            .entries(Iter::new(&self.root, self.len))
+            .finish()
+    }
+}
+
+impl<T: Clone + Eq + Hash> FromIterator<T> for AxiomSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = AxiomSet::new();
+        for v in iter {
+            set.insert_mut(v);
+        }
+        set
+    }
+}
+
+impl<T: Clone + Eq + Hash> Extend<T> for AxiomSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert_mut(v);
+        }
+    }
+}
+
+impl<'a, T: Clone + Eq + Hash> IntoIterator for &'a AxiomSet<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Depth-first cursor into one node's slots.
+enum Cursor<'a, T> {
+    Bitmap { slots: &'a [Slot<T>], idx: usize },
+    Collision { elems: &'a [T], idx: usize },
+}
+
+/// Iterator over the elements of an [`AxiomSet`]. Created by
+/// [`AxiomSet::iter`].
+///
+/// Because slots are permuted by category, all of a node's inlined elements
+/// are yielded before any sub-trie is entered — the paper's histogram-driven
+/// batch iteration (§3.3) falls out of the grouping for free.
+pub struct Iter<'a, T> {
+    stack: Vec<Cursor<'a, T>>,
+    remaining: usize,
+}
+
+impl<'a, T> Iter<'a, T> {
+    pub(crate) fn new(root: &'a Node<T>, len: usize) -> Self {
+        let mut stack = Vec::with_capacity(8);
+        stack.push(cursor_of(root));
+        Iter {
+            stack,
+            remaining: len,
+        }
+    }
+}
+
+fn cursor_of<T>(node: &Node<T>) -> Cursor<'_, T> {
+    match node {
+        Node::Bitmap(b) => Cursor::Bitmap {
+            slots: &b.slots,
+            idx: 0,
+        },
+        Node::Collision(c) => Cursor::Collision {
+            elems: &c.elems,
+            idx: 0,
+        },
+    }
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                Cursor::Collision { elems, idx } => {
+                    if *idx < elems.len() {
+                        let out = &elems[*idx];
+                        *idx += 1;
+                        self.remaining -= 1;
+                        return Some(out);
+                    }
+                    self.stack.pop();
+                }
+                Cursor::Bitmap { slots, idx } => {
+                    if *idx >= slots.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let slot = &slots[*idx];
+                    *idx += 1;
+                    match slot {
+                        Slot::Elem(e) => {
+                            self.remaining -= 1;
+                            return Some(e);
+                        }
+                        Slot::Child(child) => self.stack.push(cursor_of(child)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for Iter<'a, T> {}
+
+impl<'a, T> std::fmt::Debug for Iter<'a, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Iter")
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+/// Owning iterator over an [`AxiomSet`] (materializes the elements).
+#[derive(Debug)]
+pub struct IntoIter<T> {
+    inner: std::vec::IntoIter<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<T: Clone + Eq + Hash> IntoIterator for AxiomSet<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter {
+            inner: self.iter().cloned().collect::<Vec<_>>().into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::hash::Hasher;
+
+    /// Key with a controllable hash: only `bucket` feeds the hasher, so equal
+    /// buckets collide on all 32 hash bits while `id` keeps keys distinct.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct Collide {
+        bucket: u32,
+        id: u32,
+    }
+
+    impl Hash for Collide {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            state.write_u32(self.bucket);
+        }
+    }
+
+    #[test]
+    fn empty_set_basics() {
+        let s = AxiomSet::<u32>::new();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert!(!s.contains(&1));
+        assert_eq!(s.iter().count(), 0);
+        s.assert_invariants();
+    }
+
+    #[test]
+    fn insert_lookup_thousand() {
+        let mut s = AxiomSet::new();
+        for i in 0..1000u32 {
+            assert!(s.insert_mut(i));
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..1000u32 {
+            assert!(s.contains(&i), "{i}");
+        }
+        for i in 1000..1100u32 {
+            assert!(!s.contains(&i), "{i}");
+        }
+        s.assert_invariants();
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let s: AxiomSet<u32> = (0..50).collect();
+        let t = s.inserted(7);
+        assert_eq!(s, t);
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let full: AxiomSet<u32> = (0..300).collect();
+        let mut s = full.clone();
+        for i in (0..300u32).rev() {
+            assert!(s.remove_mut(&i));
+            assert!(!s.contains(&i));
+            s.assert_invariants();
+        }
+        assert!(s.is_empty());
+        // Persistence: the original version is untouched.
+        assert_eq!(full.len(), 300);
+        full.assert_invariants();
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let s: AxiomSet<u32> = (0..20).collect();
+        let t = s.removed(&999);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn persistence_keeps_old_versions_valid() {
+        let v0: AxiomSet<u32> = (0..100).collect();
+        let v1 = v0.inserted(100);
+        let v2 = v1.removed(&0);
+        assert!(v0.contains(&0) && !v0.contains(&100));
+        assert!(v1.contains(&0) && v1.contains(&100));
+        assert!(!v2.contains(&0) && v2.contains(&100));
+        for v in [&v0, &v1, &v2] {
+            v.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn full_hash_collisions_resolve() {
+        let mut s = AxiomSet::new();
+        for id in 0..10 {
+            assert!(s.insert_mut(Collide { bucket: 42, id }));
+        }
+        for id in 0..10 {
+            assert!(s.contains(&Collide { bucket: 42, id }));
+        }
+        assert!(!s.contains(&Collide { bucket: 42, id: 10 }));
+        assert_eq!(s.len(), 10);
+        s.assert_invariants();
+
+        for id in 0..9 {
+            assert!(s.remove_mut(&Collide { bucket: 42, id }));
+            s.assert_invariants();
+        }
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Collide { bucket: 42, id: 9 }));
+    }
+
+    #[test]
+    fn mixed_collisions_and_regular_keys() {
+        let mut s = AxiomSet::new();
+        for id in 0..8 {
+            s.insert_mut(Collide { bucket: 1, id });
+            s.insert_mut(Collide { bucket: 2, id });
+            s.insert_mut(Collide {
+                bucket: 1000 + id,
+                id,
+            });
+        }
+        assert_eq!(s.len(), 24);
+        s.assert_invariants();
+        let as_btree: BTreeSet<_> = s.iter().cloned().collect();
+        assert_eq!(as_btree.len(), 24);
+    }
+
+    #[test]
+    fn iteration_yields_every_element_once() {
+        let s: AxiomSet<u32> = (0..512).collect();
+        let seen: BTreeSet<u32> = s.iter().copied().collect();
+        assert_eq!(seen.len(), 512);
+        assert_eq!(s.iter().len(), 512);
+        assert_eq!(seen, (0..512).collect());
+    }
+
+    #[test]
+    fn equality_is_order_independent() {
+        let a: AxiomSet<u32> = (0..100).collect();
+        let b: AxiomSet<u32> = (0..100).rev().collect();
+        assert_eq!(a, b);
+        let c = b.inserted(200);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn equal_sets_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        let a: AxiomSet<u32> = (0..64).collect();
+        let b: AxiomSet<u32> = (0..64).rev().collect();
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: AxiomSet<u32> = (0..10).collect();
+        let b: AxiomSet<u32> = (5..15).collect();
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        let diff = a.difference(&b);
+        assert_eq!(union.len(), 15);
+        assert_eq!(inter.len(), 5);
+        assert_eq!(diff.len(), 5);
+        assert!(inter.is_subset(&a) && inter.is_subset(&b));
+        assert!(diff.is_disjoint(&b));
+        assert!(a.is_subset(&union));
+        union.assert_invariants();
+        inter.assert_invariants();
+    }
+
+    #[test]
+    fn from_two_builds_canonical_pair() {
+        let s = AxiomSet::from_two(1u32, 2u32);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&1) && s.contains(&2));
+        s.assert_invariants();
+        // Colliding pair lands in a collision chain.
+        let c = AxiomSet::from_two(Collide { bucket: 9, id: 0 }, Collide { bucket: 9, id: 1 });
+        assert_eq!(c.len(), 2);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn sole_returns_singleton_element() {
+        let s: AxiomSet<u32> = std::iter::once(7).collect();
+        assert_eq!(*s.sole(), 7);
+    }
+
+    #[test]
+    fn borrowed_lookup_for_strings() {
+        let s: AxiomSet<String> = ["alpha", "beta"].iter().map(|s| s.to_string()).collect();
+        assert!(s.contains("alpha"));
+        assert!(!s.contains("gamma"));
+        assert_eq!(s.get("beta").map(String::as_str), Some("beta"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AxiomSet<u32>>();
+        assert_send_sync::<Iter<'static, u32>>();
+    }
+}

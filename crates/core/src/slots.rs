@@ -1,0 +1,107 @@
+//! Dense slot-array editing helpers shared by all AXIOM node kinds.
+//!
+//! Persistent updates never mutate an existing node's slot array; they build
+//! a fresh `Box<[T]>` with the edit applied (path copying). These helpers
+//! centralize the copy loops so every node implementation stays free of
+//! index arithmetic bugs.
+
+/// Returns a copy of `slots` with `item` inserted at `idx`.
+pub(crate) fn inserted_at<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    debug_assert!(idx <= slots.len());
+    let mut out = Vec::with_capacity(slots.len() + 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.push(item);
+    out.extend_from_slice(&slots[idx..]);
+    out.into_boxed_slice()
+}
+
+/// Returns a copy of `slots` with the element at `idx` removed.
+pub(crate) fn removed_at<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
+    debug_assert!(idx < slots.len());
+    let mut out = Vec::with_capacity(slots.len() - 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.extend_from_slice(&slots[idx + 1..]);
+    out.into_boxed_slice()
+}
+
+/// Returns a copy of `slots` with the element at `idx` replaced by `item`.
+pub(crate) fn replaced_at<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    debug_assert!(idx < slots.len());
+    let mut out: Vec<T> = slots.to_vec();
+    out[idx] = item;
+    out.into_boxed_slice()
+}
+
+/// Returns a copy of `slots` with the element at `from` removed and `item`
+/// inserted so that it lands at index `to` *of the resulting array*.
+///
+/// This is the slot *migration* primitive behind AXIOM's category changes
+/// (paper §3.2): promoting a `1:1` slot to `1:n`, demoting back, or replacing
+/// an inlined payload with a sub-node — the entry leaves one category group
+/// and joins another, so its physical position moves while all other slots
+/// keep their relative order.
+pub(crate) fn migrated<T: Clone>(slots: &[T], from: usize, to: usize, item: T) -> Box<[T]> {
+    debug_assert!(from < slots.len());
+    debug_assert!(to < slots.len());
+    let mut out = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.iter().enumerate() {
+        if i == from {
+            continue;
+        }
+        if out.len() == to {
+            out.push(item.clone());
+        }
+        out.push(slot.clone());
+    }
+    if out.len() == to {
+        out.push(item);
+    }
+    debug_assert_eq!(out.len(), slots.len());
+    out.into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_at_boundaries_and_middle() {
+        let base = [1, 2, 3];
+        assert_eq!(&*inserted_at(&base, 0, 0), &[0, 1, 2, 3]);
+        assert_eq!(&*inserted_at(&base, 2, 9), &[1, 2, 9, 3]);
+        assert_eq!(&*inserted_at(&base, 3, 4), &[1, 2, 3, 4]);
+        assert_eq!(&*inserted_at(&[] as &[i32], 0, 7), &[7]);
+    }
+
+    #[test]
+    fn removed_at_boundaries_and_middle() {
+        let base = [1, 2, 3];
+        assert_eq!(&*removed_at(&base, 0), &[2, 3]);
+        assert_eq!(&*removed_at(&base, 1), &[1, 3]);
+        assert_eq!(&*removed_at(&base, 2), &[1, 2]);
+    }
+
+    #[test]
+    fn replaced_at_keeps_length() {
+        let base = [1, 2, 3];
+        assert_eq!(&*replaced_at(&base, 1, 9), &[1, 9, 3]);
+    }
+
+    #[test]
+    fn migrated_moves_forward_and_backward() {
+        let base = [10, 20, 30, 40];
+        // Move slot 0's entry so the replacement lands at index 2.
+        assert_eq!(&*migrated(&base, 0, 2, 99), &[20, 30, 99, 40]);
+        // Move slot 3's entry so the replacement lands at index 0.
+        assert_eq!(&*migrated(&base, 3, 0, 99), &[99, 10, 20, 30]);
+        // Same position.
+        assert_eq!(&*migrated(&base, 1, 1, 99), &[10, 99, 30, 40]);
+        // Move to the very end.
+        assert_eq!(&*migrated(&base, 0, 3, 99), &[20, 30, 40, 99]);
+    }
+
+    #[test]
+    fn migrated_on_singleton() {
+        assert_eq!(&*migrated(&[5], 0, 0, 6), &[6]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Edge-case integration tests for the AXIOM collections: hash exhaustion,
+//! deep prefix chains, collision-canonicalization interplay, root corner
+//! cases, borrowed lookups and iterator exactness.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet, BindingRef, FUSE_MAX};
+
+/// Key whose hash is fully controllable: only `hash_bits` feeds the hasher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CtrlKey {
+    hash_bits: u32,
+    id: u32,
+}
+
+impl CtrlKey {
+    fn new(hash_bits: u32, id: u32) -> Self {
+        CtrlKey { hash_bits, id }
+    }
+}
+
+impl Hash for CtrlKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.hash_bits);
+    }
+}
+
+#[test]
+fn deep_prefix_chains_build_and_canonicalize() {
+    // Many keys sharing the same hash bucket form a maximal-depth chain
+    // ending in a collision node; removals must canonicalize all the way up.
+    let mut set: AxiomSet<CtrlKey> = AxiomSet::new();
+    for id in 0..20 {
+        assert!(set.insert_mut(CtrlKey::new(0xdead_beef, id)));
+    }
+    // A disjoint bucket too.
+    for id in 0..20 {
+        assert!(set.insert_mut(CtrlKey::new(0x1234_5678, id)));
+    }
+    assert_eq!(set.len(), 40);
+    set.assert_invariants();
+
+    // Drain the first bucket entirely.
+    for id in 0..20 {
+        assert!(set.remove_mut(&CtrlKey::new(0xdead_beef, id)));
+        set.assert_invariants();
+    }
+    assert_eq!(set.len(), 20);
+    for id in 0..20 {
+        assert!(set.contains(&CtrlKey::new(0x1234_5678, id)));
+    }
+}
+
+#[test]
+fn collision_node_multimap_promotions() {
+    // Colliding keys whose bindings promote and demote inside the collision
+    // node exercise the Binding logic off the bitmap path.
+    let mut mm: AxiomMultiMap<CtrlKey, u32> = AxiomMultiMap::new();
+    let a = CtrlKey::new(7, 0);
+    let b = CtrlKey::new(7, 1);
+    for v in 0..5 {
+        mm.insert_mut(a.clone(), v);
+    }
+    mm.insert_mut(b.clone(), 100);
+    assert_eq!(mm.key_count(), 2);
+    assert_eq!(mm.tuple_count(), 6);
+    mm.assert_invariants();
+
+    // Demote `a` back to a singleton inside the collision node.
+    for v in 1..5 {
+        assert!(mm.remove_tuple_mut(&a, &v));
+    }
+    assert!(matches!(mm.get(&a), Some(BindingRef::One(&0))));
+    mm.assert_invariants();
+
+    // Remove the last `a` tuple: the collision node collapses and `b`
+    // inlines upward into a bitmap node.
+    assert!(mm.remove_tuple_mut(&a, &0));
+    assert_eq!(mm.key_count(), 1);
+    assert!(mm.contains_tuple(&b, &100));
+    mm.assert_invariants();
+}
+
+#[test]
+fn root_corner_cases() {
+    // Root with a single entry: removing it empties the trie.
+    let mm = AxiomMultiMap::<u32, u32>::new().inserted(1, 2);
+    let empty = mm.tuple_removed(&1, &2);
+    assert!(empty.is_empty());
+    assert_eq!(empty, AxiomMultiMap::new());
+
+    // Root with two entries in distinct branches: removal keeps the root
+    // as a one-payload node (roots are exempt from inlining).
+    let two = AxiomMultiMap::<u32, u32>::new()
+        .inserted(1, 1)
+        .inserted(2, 2);
+    let one = two.tuple_removed(&1, &1);
+    assert_eq!(one.tuple_count(), 1);
+    one.assert_invariants();
+
+    // remove_key on an absent key is a no-op clone.
+    assert_eq!(two.key_removed(&999), two);
+}
+
+#[test]
+fn fused_bag_boundary_at_fuse_max() {
+    let mut mm: AxiomFusedMultiMap<u32, u32> = AxiomFusedMultiMap::new();
+    // Fill a key exactly to the inline boundary, then step over and back.
+    for v in 0..FUSE_MAX as u32 {
+        mm.insert_mut(42, v);
+    }
+    assert_eq!(mm.value_count(&42), FUSE_MAX);
+    mm.assert_invariants();
+    mm.insert_mut(42, FUSE_MAX as u32); // inline → trie
+    assert_eq!(mm.value_count(&42), FUSE_MAX + 1);
+    mm.assert_invariants();
+    mm.remove_tuple_mut(&42, &(FUSE_MAX as u32)); // trie → inline
+    assert_eq!(mm.value_count(&42), FUSE_MAX);
+    mm.assert_invariants();
+    // All the way down to demotion.
+    for v in (1..FUSE_MAX as u32).rev() {
+        mm.remove_tuple_mut(&42, &v);
+    }
+    assert!(matches!(mm.get(&42), Some(BindingRef::One(&0))));
+    mm.assert_invariants();
+}
+
+#[test]
+fn string_keys_and_values() {
+    let mm: AxiomMultiMap<String, String> = [("alpha", "one"), ("alpha", "two"), ("beta", "three")]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    assert_eq!(mm.tuple_count(), 3);
+    assert!(mm.contains_tuple(&"alpha".to_string(), &"two".to_string()));
+    let pruned = mm.key_removed(&"alpha".to_string());
+    assert_eq!(pruned.key_count(), 1);
+    mm.assert_invariants();
+}
+
+#[test]
+fn map_borrowed_queries_and_arc_keys() {
+    let m: AxiomMap<Arc<str>, u32> = [("x", 1u32), ("y", 2)]
+        .into_iter()
+        .map(|(k, v)| (Arc::<str>::from(k), v))
+        .collect();
+    assert_eq!(m.get("x"), Some(&1));
+    assert!(m.contains_key("y"));
+    assert!(!m.contains_key("z"));
+    assert_eq!(m.removed("x").len(), 1);
+}
+
+#[test]
+fn iterator_size_hints_are_exact() {
+    let mm: AxiomMultiMap<u32, u32> = (0..150u32).map(|i| (i % 50, i)).collect();
+    let it = mm.iter();
+    assert_eq!(it.size_hint(), (150, Some(150)));
+    assert_eq!(it.count(), 150);
+    let keys = mm.keys();
+    assert_eq!(keys.size_hint(), (50, Some(50)));
+    assert_eq!(keys.count(), 50);
+    let entries = mm.entries();
+    assert_eq!(entries.size_hint(), (50, Some(50)));
+    assert_eq!(entries.count(), 50);
+
+    // Partially consumed hints stay exact.
+    let mut it = mm.iter();
+    for _ in 0..37 {
+        it.next();
+    }
+    assert_eq!(it.size_hint(), (113, Some(113)));
+
+    let set: AxiomSet<u32> = (0..99).collect();
+    let mut si = set.iter();
+    si.next();
+    assert_eq!(si.len(), 98);
+}
+
+#[test]
+fn debug_representations_are_never_empty() {
+    // C-DEBUG-NONEMPTY: even empty collections print something.
+    assert_eq!(format!("{:?}", AxiomSet::<u32>::new()), "{}");
+    assert_eq!(format!("{:?}", AxiomMap::<u32, u32>::new()), "{}");
+    assert_eq!(format!("{:?}", AxiomMultiMap::<u32, u32>::new()), "{}");
+    let s: AxiomSet<u32> = std::iter::once(1).collect();
+    assert_eq!(format!("{s:?}"), "{1}");
+    let mm = AxiomMultiMap::<u32, u32>::new().inserted(1, 2);
+    assert_eq!(format!("{mm:?}"), "{(1, 2)}");
+}
+
+#[test]
+fn default_equals_new() {
+    assert_eq!(AxiomSet::<u32>::default(), AxiomSet::new());
+    assert_eq!(AxiomMap::<u32, u32>::default(), AxiomMap::new());
+    assert_eq!(AxiomMultiMap::<u32, u32>::default(), AxiomMultiMap::new());
+}
+
+#[test]
+fn values_view_api() {
+    let mm = AxiomMultiMap::<u32, u32>::new()
+        .inserted(1, 10)
+        .inserted(2, 20)
+        .inserted(2, 21)
+        .inserted(2, 22);
+    let one = mm.get(&1).unwrap();
+    assert_eq!(one.len(), 1);
+    assert!(!one.is_empty());
+    assert!(one.contains(&10) && !one.contains(&11));
+    assert_eq!(one.iter().copied().collect::<Vec<_>>(), vec![10]);
+
+    let many = mm.get(&2).unwrap();
+    assert_eq!(many.len(), 3);
+    let mut vs: Vec<u32> = many.iter().copied().collect();
+    vs.sort();
+    assert_eq!(vs, vec![20, 21, 22]);
+}
+
+#[test]
+fn extend_and_from_iterator_agree() {
+    let tuples: Vec<(u32, u32)> = (0..100u32).map(|i| (i % 20, i)).collect();
+    let a: AxiomMultiMap<u32, u32> = tuples.iter().copied().collect();
+    let mut b = AxiomMultiMap::new();
+    b.extend(tuples);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn large_scale_smoke() {
+    // 100k tuples with a heavy-tail key distribution.
+    let mut mm: AxiomMultiMap<u32, u32> = AxiomMultiMap::new();
+    for i in 0..100_000u32 {
+        mm.insert_mut(i % 30_000, i);
+    }
+    assert_eq!(mm.key_count(), 30_000);
+    assert_eq!(mm.tuple_count(), 100_000);
+    assert_eq!(mm.iter().count(), 100_000);
+    mm.assert_invariants();
+}

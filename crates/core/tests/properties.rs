@@ -1,0 +1,189 @@
+//! Property-based tests specific to the AXIOM encoding: bitmap laws, slot
+//! grouping, collision-heavy multi-map sequences, and the canonical-form
+//! invariant under adversarial hash distributions.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+use axiom::bitmap::{Category, SlotBitmap};
+use axiom::{AxiomFusedMultiMap, AxiomMultiMap, AxiomSet};
+use proptest::prelude::*;
+
+/// Key with only 5 effective hash bits: every trie level collides heavily
+/// and hash exhaustion (collision nodes) is routinely reached.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct NarrowKey(u16);
+
+impl Hash for NarrowKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32((self.0 & 0x1f) as u32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ---------------- bitmap laws (the paper's Listings 2-3) ----------------
+
+    #[test]
+    fn bitmap_filters_partition(raw in any::<u64>()) {
+        let bm = SlotBitmap::from_raw(raw);
+        let union = Category::ALL.iter().fold(0u64, |acc, &c| acc | bm.filter(c));
+        // Every branch appears in exactly one category's filter.
+        prop_assert_eq!(union, 0x5555_5555_5555_5555);
+        for (i, &a) in Category::ALL.iter().enumerate() {
+            for &b in &Category::ALL[i + 1..] {
+                prop_assert_eq!(bm.filter(a) & bm.filter(b), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_histogram_equals_filter_counts(raw in any::<u64>()) {
+        let bm = SlotBitmap::from_raw(raw);
+        let hist = bm.histogram();
+        for cat in Category::ALL {
+            prop_assert_eq!(hist[cat as usize] as usize, bm.count(cat));
+        }
+        prop_assert_eq!(hist.iter().sum::<u32>(), 32);
+        prop_assert_eq!(bm.arity(), 32 - hist[0] as usize);
+    }
+
+    #[test]
+    fn bitmap_indexing_is_dense_and_ordered(raw in any::<u64>()) {
+        let bm = SlotBitmap::from_raw(raw);
+        // Within every category, slot indices enumerate 0..count in mask order.
+        for cat in [Category::Cat1, Category::Cat2, Category::Node] {
+            let mut expected = 0usize;
+            for mask in bm.masks_of(cat) {
+                prop_assert_eq!(bm.index(cat, mask), expected);
+                prop_assert_eq!(bm.slot_index(cat, mask), bm.offset(cat) + expected);
+                expected += 1;
+            }
+            prop_assert_eq!(expected, bm.count(cat));
+        }
+        // Group ranges are contiguous and non-overlapping.
+        prop_assert_eq!(bm.offset(Category::Cat1), 0);
+        prop_assert_eq!(bm.offset(Category::Cat2), bm.count(Category::Cat1));
+        prop_assert_eq!(
+            bm.offset(Category::Node),
+            bm.count(Category::Cat1) + bm.count(Category::Cat2)
+        );
+    }
+
+    #[test]
+    fn bitmap_with_is_pointwise(raw in any::<u64>(), mask in 0u32..32, cat_idx in 0usize..4) {
+        let bm = SlotBitmap::from_raw(raw);
+        let cat = Category::ALL[cat_idx];
+        let updated = bm.with(mask, cat);
+        prop_assert_eq!(updated.get(mask), cat);
+        for other in (0..32).filter(|&m| m != mask) {
+            prop_assert_eq!(updated.get(other), bm.get(other));
+        }
+    }
+
+    #[test]
+    fn linear_scan_dispatch_equals_switch(raw in any::<u64>(), mask in 0u32..32) {
+        let bm = SlotBitmap::from_raw(raw);
+        prop_assert_eq!(bm.get(mask), bm.get_linear_scan(mask));
+        let cat = bm.get(mask);
+        if cat != Category::Empty {
+            prop_assert_eq!(
+                bm.slot_index(cat, mask),
+                bm.slot_index_linear_scan(cat, mask)
+            );
+        }
+    }
+
+    // ---------------- structural properties under narrow hashes ------------
+
+    #[test]
+    fn multimap_with_narrow_hashes(ops in prop::collection::vec(
+        (any::<u16>(), any::<u8>(), any::<bool>()), 0..250))
+    {
+        let mut model: BTreeMap<NarrowKey, BTreeSet<u8>> = BTreeMap::new();
+        let mut mm = AxiomMultiMap::<NarrowKey, u8>::new();
+        for (k, v, remove) in ops {
+            let key = NarrowKey(k % 100);
+            let v = v % 6;
+            if remove {
+                if let Some(s) = model.get_mut(&key) {
+                    s.remove(&v);
+                    if s.is_empty() {
+                        model.remove(&key);
+                    }
+                }
+                mm.remove_tuple_mut(&key, &v);
+            } else {
+                model.entry(key.clone()).or_default().insert(v);
+                mm.insert_mut(key, v);
+            }
+            mm.assert_invariants();
+        }
+        prop_assert_eq!(mm.key_count(), model.len());
+        for (k, vs) in &model {
+            prop_assert_eq!(mm.value_count(k), vs.len());
+        }
+    }
+
+    #[test]
+    fn fused_and_nested_agree_under_narrow_hashes(ops in prop::collection::vec(
+        (any::<u16>(), any::<u8>(), any::<bool>()), 0..200))
+    {
+        let mut nested = AxiomMultiMap::<NarrowKey, u8>::new();
+        let mut fused = AxiomFusedMultiMap::<NarrowKey, u8>::new();
+        for (k, v, remove) in ops {
+            let key = NarrowKey(k % 64);
+            let v = v % 8;
+            if remove {
+                prop_assert_eq!(
+                    nested.remove_tuple_mut(&key, &v),
+                    fused.remove_tuple_mut(&key, &v)
+                );
+            } else {
+                prop_assert_eq!(
+                    nested.insert_mut(key.clone(), v),
+                    fused.insert_mut(key, v)
+                );
+            }
+        }
+        prop_assert_eq!(nested.tuple_count(), fused.tuple_count());
+        prop_assert_eq!(nested.key_count(), fused.key_count());
+        nested.assert_invariants();
+        fused.assert_invariants();
+    }
+
+    #[test]
+    fn set_hash_law(a in prop::collection::btree_set(any::<u16>(), 0..100)) {
+        // Equal sets hash equal regardless of construction order.
+        use std::collections::hash_map::DefaultHasher;
+        let forward: AxiomSet<u16> = a.iter().copied().collect();
+        let backward: AxiomSet<u16> = a.iter().rev().copied().collect();
+        prop_assert_eq!(&forward, &backward);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        forward.hash(&mut h1);
+        backward.hash(&mut h2);
+        prop_assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn key_removed_equals_repeated_tuple_removed(
+        entries in prop::collection::btree_map(any::<u16>(), prop::collection::btree_set(any::<u8>(), 1..6), 1..40),
+        victim_idx in any::<prop::sample::Index>(),
+    ) {
+        let mut mm = AxiomMultiMap::<u16, u8>::new();
+        for (k, vs) in &entries {
+            for v in vs {
+                mm.insert_mut(*k, *v);
+            }
+        }
+        let victim = *entries.keys().nth(victim_idx.index(entries.len())).unwrap();
+        let by_key = mm.key_removed(&victim);
+        let mut by_tuples = mm.clone();
+        for v in &entries[&victim] {
+            by_tuples.remove_tuple_mut(&victim, v);
+        }
+        prop_assert_eq!(by_key, by_tuples);
+    }
+}

@@ -1,0 +1,84 @@
+//! Round-trip tests for the optional `serde` feature: every collection
+//! serializes as a flat tuple/element sequence and rebuilds to an equal
+//! structure, independent of trie-internal ordering and of the value-bag
+//! strategy.
+#![cfg(feature = "serde")]
+
+use axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+
+#[test]
+fn set_roundtrips_through_json() {
+    let set: AxiomSet<u32> = (0..500).collect();
+    let json = serde_json::to_string(&set).unwrap();
+    let back: AxiomSet<u32> = serde_json::from_str(&json).unwrap();
+    assert_eq!(set, back);
+    back.assert_invariants();
+}
+
+#[test]
+fn empty_collections_roundtrip() {
+    let set: AxiomSet<u32> = AxiomSet::new();
+    let back: AxiomSet<u32> = serde_json::from_str(&serde_json::to_string(&set).unwrap()).unwrap();
+    assert!(back.is_empty());
+
+    let mm: AxiomMultiMap<u32, u32> = AxiomMultiMap::new();
+    let back: AxiomMultiMap<u32, u32> =
+        serde_json::from_str(&serde_json::to_string(&mm).unwrap()).unwrap();
+    assert!(back.is_empty());
+}
+
+#[test]
+fn map_roundtrips_through_json() {
+    let map: AxiomMap<String, u32> = (0..100).map(|i| (format!("k{i}"), i)).collect();
+    let json = serde_json::to_string(&map).unwrap();
+    let back: AxiomMap<String, u32> = serde_json::from_str(&json).unwrap();
+    assert_eq!(map, back);
+    back.assert_invariants();
+}
+
+#[test]
+fn multimap_roundtrips_preserving_multiplicities() {
+    let mm: AxiomMultiMap<u32, u32> = (0..300u32).map(|i| (i % 60, i)).collect();
+    let json = serde_json::to_string(&mm).unwrap();
+    let back: AxiomMultiMap<u32, u32> = serde_json::from_str(&json).unwrap();
+    assert_eq!(mm, back);
+    assert_eq!(back.key_count(), 60);
+    assert_eq!(back.tuple_count(), 300);
+    back.assert_invariants();
+}
+
+#[test]
+fn wire_format_is_bag_strategy_independent() {
+    // A nested multi-map's JSON deserializes into the fused variant and
+    // vice versa: the format is the flattened tuple sequence.
+    let nested: AxiomMultiMap<u32, u32> = (0..200u32).map(|i| (i % 25, i)).collect();
+    let json = serde_json::to_string(&nested).unwrap();
+    let fused: AxiomFusedMultiMap<u32, u32> = serde_json::from_str(&json).unwrap();
+    assert_eq!(fused.tuple_count(), nested.tuple_count());
+    assert_eq!(fused.key_count(), nested.key_count());
+    for (k, v) in nested.iter() {
+        assert!(fused.contains_tuple(k, v));
+    }
+    // And back again.
+    let json2 = serde_json::to_string(&fused).unwrap();
+    let again: AxiomMultiMap<u32, u32> = serde_json::from_str(&json2).unwrap();
+    assert_eq!(again, nested);
+}
+
+#[test]
+fn serialized_form_is_a_plain_sequence() {
+    let set: AxiomSet<u32> = [5, 6].into_iter().collect();
+    let value: serde_json::Value = serde_json::to_value(&set).unwrap();
+    let arr = value.as_array().expect("sets serialize as arrays");
+    assert_eq!(arr.len(), 2);
+
+    let mm: AxiomMultiMap<u32, u32> = [(1, 2), (1, 3)].into_iter().collect();
+    let value: serde_json::Value = serde_json::to_value(&mm).unwrap();
+    let arr = value
+        .as_array()
+        .expect("multi-maps serialize as tuple arrays");
+    assert_eq!(arr.len(), 2);
+    assert!(arr
+        .iter()
+        .all(|t| t.as_array().is_some_and(|p| p.len() == 2)));
+}

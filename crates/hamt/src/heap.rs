@@ -1,0 +1,405 @@
+//! Footprint walkers for the HAMT collections (see `heapmodel`).
+//!
+//! Modeled JVM layouts follow the libraries each flavour stands in for:
+//!
+//! * **Clojure** `BitmapIndexedNode`: node object (1 int bitmap, 1 array ref)
+//!   plus an `Object[2·arity]` — entries occupy `(key, value)` pairs and
+//!   sub-nodes occupy `(null, node)` pairs, so *every* branch costs two
+//!   slots. Sets store the element in both slots (one payload box).
+//! * **Scala** `HashTrieMap`: node object (1 int bitmap, 1 int size, 1 array
+//!   ref) plus `Object[arity]`, where each payload branch references a
+//!   separate `HashMap1` leaf object (hash int + key/value refs + cached
+//!   tuple ref) — the leaf objects are what make Scala's maps heavy.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use heapmodel::{
+    arc_alloc_bytes, boxed_slice_bytes, Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy,
+    RustFootprint,
+};
+
+use crate::map::{self, HamtMap};
+use crate::memo::{self, MemoHamtMap};
+use crate::set::{HamtSet, MemoHamtSet};
+
+/// Per-entry payload accounting callback used by the `*_with` walkers so
+/// composite structures (multi-maps with structured values) can recurse.
+pub type EntryAccount<'a, K, V> = &'a mut dyn FnMut(&K, &V, &mut Accounting);
+
+fn hamt_nodes_jvm_with<K, V>(
+    node: &map::Node<K, V>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) {
+    match node {
+        map::Node::Bitmap(b) => {
+            let arity = b.slots.len() as u64;
+            if arity > 16 {
+                // Clojure converts nodes past 16 branches into an ArrayNode:
+                // a fixed Object[32] of child references *with empty cells*
+                // (the paper's Hypothesis 3: "Clojure's simple compression
+                // may contain empty array cells"). Inlined entries at this
+                // level are pushed down into single-pair BitmapIndexedNodes.
+                acc.structure(arch.object(1, 1, 0) + arch.ref_array(32));
+                for slot in b.slots.iter() {
+                    match slot {
+                        map::Slot::Entry(k, v) => {
+                            acc.structure(arch.object(1, 1, 0) + arch.ref_array(2));
+                            entry(k, v, acc);
+                        }
+                        map::Slot::Child(child) => {
+                            hamt_nodes_jvm_with(child, arch, policy, acc, entry)
+                        }
+                    }
+                }
+            } else {
+                // BitmapIndexedNode: two array slots per branch, whatever it
+                // holds ((key, value) pairs or (null, node) pairs).
+                acc.structure(policy.node_size(arch, 2 * arity, 1, 0));
+                for slot in b.slots.iter() {
+                    match slot {
+                        map::Slot::Entry(k, v) => entry(k, v, acc),
+                        map::Slot::Child(child) => {
+                            hamt_nodes_jvm_with(child, arch, policy, acc, entry)
+                        }
+                    }
+                }
+            }
+        }
+        map::Node::Collision(c) => {
+            acc.structure(arch.object(1, 1, 0) + arch.ref_array(2 * c.entries.len() as u64));
+            for (k, v) in &c.entries {
+                entry(k, v, acc);
+            }
+        }
+    }
+}
+
+/// Walks a [`HamtMap`]'s modeled JVM structure, delegating per-entry payload
+/// accounting to `entry` (for composite values like nested collections).
+pub fn hamt_map_jvm_with<K, V>(
+    map: &HamtMap<K, V>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    acc.structure(arch.object(1, 2, 0));
+    hamt_nodes_jvm_with(map.root_node(), arch, policy, acc, entry);
+}
+
+fn hamt_nodes_jvm<K: JvmSize, V: JvmSize>(
+    node: &map::Node<K, V>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+    is_set: bool,
+) {
+    hamt_nodes_jvm_with(node, arch, policy, acc, &mut |k, v, acc| {
+        acc.payload(k.jvm_size(arch));
+        if !is_set {
+            acc.payload(v.jvm_size(arch));
+        }
+    });
+}
+
+impl<K, V> JvmFootprint for HamtMap<K, V>
+where
+    K: Clone + Eq + Hash + JvmSize,
+    V: Clone + PartialEq + JvmSize,
+{
+    fn jvm_footprint(&self, arch: &JvmArch, policy: &LayoutPolicy, acc: &mut Accounting) {
+        acc.structure(arch.object(1, 2, 0));
+        hamt_nodes_jvm(self.root_node(), arch, policy, acc, false);
+    }
+}
+
+impl<T> JvmFootprint for HamtSet<T>
+where
+    T: Clone + Eq + Hash + JvmSize,
+{
+    fn jvm_footprint(&self, arch: &JvmArch, policy: &LayoutPolicy, acc: &mut Accounting) {
+        acc.structure(arch.object(1, 2, 0));
+        hamt_nodes_jvm(self.inner().root_node(), arch, policy, acc, true);
+    }
+}
+
+/// Nested-set measurement without the outer wrapper (for composite
+/// multi-maps whose wrapper is governed by the enclosing [`LayoutPolicy`]).
+pub fn nested_hamt_set_jvm<T: Clone + Eq + Hash + JvmSize>(
+    set: &HamtSet<T>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+) {
+    hamt_nodes_jvm(set.inner().root_node(), arch, policy, acc, true);
+}
+
+fn hamt_nodes_rust_with<K, V>(
+    node: &Arc<map::Node<K, V>>,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) {
+    if !acc.first_visit(Arc::as_ptr(node)) {
+        return;
+    }
+    acc.structure(arc_alloc_bytes::<map::Node<K, V>>());
+    match &**node {
+        map::Node::Bitmap(b) => {
+            acc.structure(boxed_slice_bytes::<map::Slot<K, V>>(b.slots.len()));
+            for slot in b.slots.iter() {
+                match slot {
+                    map::Slot::Child(child) => hamt_nodes_rust_with(child, acc, entry),
+                    map::Slot::Entry(k, v) => entry(k, v, acc),
+                }
+            }
+        }
+        map::Node::Collision(c) => {
+            acc.structure(boxed_slice_bytes::<(K, V)>(c.entries.len()));
+            for (k, v) in &c.entries {
+                entry(k, v, acc);
+            }
+        }
+    }
+}
+
+/// Native-allocation walk with per-entry recursion hook.
+pub fn hamt_map_rust_with<K, V>(
+    map: &HamtMap<K, V>,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    hamt_nodes_rust_with(&map.root, acc, entry);
+}
+
+fn hamt_nodes_rust<K, V>(node: &Arc<map::Node<K, V>>, acc: &mut Accounting) {
+    hamt_nodes_rust_with(node, acc, &mut |_, _, _| {});
+}
+
+impl<K, V> RustFootprint for HamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn rust_footprint(&self, acc: &mut Accounting) {
+        hamt_nodes_rust(&self.root, acc);
+    }
+}
+
+impl<T: Clone + Eq + Hash> RustFootprint for HamtSet<T> {
+    fn rust_footprint(&self, acc: &mut Accounting) {
+        hamt_nodes_rust(&self.inner().root, acc);
+    }
+}
+
+/// Native-allocation counterpart of [`nested_hamt_set_jvm`].
+pub fn nested_hamt_set_rust<T: Clone + Eq + Hash>(set: &HamtSet<T>, acc: &mut Accounting) {
+    hamt_nodes_rust(&set.inner().root, acc);
+}
+
+fn memo_nodes_jvm_with<K, V>(
+    node: &memo::Node<K, V>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) {
+    match node {
+        memo::Node::Bitmap(b) => {
+            // Scala HashTrieMap: node object (bitmap + size + array ref) and
+            // one array slot per branch; payload branches reference separate
+            // leaf objects whose size the `entry` callback accounts.
+            acc.structure(policy.node_size(arch, b.slots.len() as u64, 2, 0));
+            for slot in b.slots.iter() {
+                match slot {
+                    memo::Slot::Entry(_, k, v) => entry(k, v, acc),
+                    memo::Slot::Child(child) => {
+                        memo_nodes_jvm_with(child, arch, policy, acc, entry)
+                    }
+                }
+            }
+        }
+        memo::Node::Collision(c) => {
+            acc.structure(arch.object(2, 1, 0) + arch.ref_array(2 * c.entries.len() as u64));
+            for (k, v) in &c.entries {
+                entry(k, v, acc);
+            }
+        }
+    }
+}
+
+/// Walks a [`MemoHamtMap`]'s modeled JVM structure with a per-entry payload
+/// callback. The callback must also account for the per-entry leaf object
+/// (Scala's `HashMap1`): `arch.object(3, 1, 0)` for plain map entries.
+pub fn memo_map_jvm_with<K, V>(
+    map: &MemoHamtMap<K, V>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    acc.structure(arch.object(1, 2, 0));
+    memo_nodes_jvm_with(map.root_node(), arch, policy, acc, entry);
+}
+
+fn memo_nodes_jvm<K: JvmSize, V: JvmSize>(
+    node: &memo::Node<K, V>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+    is_set: bool,
+) {
+    memo_nodes_jvm_with(node, arch, policy, acc, &mut |k, v, acc| {
+        // A HashMap1 leaf: hash int + key + value + cached tuple ref
+        // (HashSet1 for sets: hash int + elem).
+        if is_set {
+            acc.structure(arch.object(1, 1, 0));
+            acc.payload(k.jvm_size(arch));
+        } else {
+            acc.structure(arch.object(3, 1, 0));
+            acc.payload(k.jvm_size(arch));
+            acc.payload(v.jvm_size(arch));
+        }
+    });
+}
+
+impl<K, V> JvmFootprint for MemoHamtMap<K, V>
+where
+    K: Clone + Eq + Hash + JvmSize,
+    V: Clone + PartialEq + JvmSize,
+{
+    fn jvm_footprint(&self, arch: &JvmArch, policy: &LayoutPolicy, acc: &mut Accounting) {
+        acc.structure(arch.object(1, 2, 0));
+        memo_nodes_jvm(self.root_node(), arch, policy, acc, false);
+    }
+}
+
+impl<T> JvmFootprint for MemoHamtSet<T>
+where
+    T: Clone + Eq + Hash + JvmSize,
+{
+    fn jvm_footprint(&self, arch: &JvmArch, policy: &LayoutPolicy, acc: &mut Accounting) {
+        acc.structure(arch.object(1, 2, 0));
+        memo_nodes_jvm(self.inner().root_node(), arch, policy, acc, true);
+    }
+}
+
+/// Nested-set measurement without the outer wrapper.
+pub fn nested_memo_set_jvm<T: Clone + Eq + Hash + JvmSize>(
+    set: &MemoHamtSet<T>,
+    arch: &JvmArch,
+    policy: &LayoutPolicy,
+    acc: &mut Accounting,
+) {
+    memo_nodes_jvm(set.inner().root_node(), arch, policy, acc, true);
+}
+
+fn memo_nodes_rust_with<K, V>(
+    node: &Arc<memo::Node<K, V>>,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) {
+    if !acc.first_visit(Arc::as_ptr(node)) {
+        return;
+    }
+    acc.structure(arc_alloc_bytes::<memo::Node<K, V>>());
+    match &**node {
+        memo::Node::Bitmap(b) => {
+            acc.structure(boxed_slice_bytes::<memo::Slot<K, V>>(b.slots.len()));
+            for slot in b.slots.iter() {
+                match slot {
+                    memo::Slot::Child(child) => memo_nodes_rust_with(child, acc, entry),
+                    memo::Slot::Entry(_, k, v) => entry(k, v, acc),
+                }
+            }
+        }
+        memo::Node::Collision(c) => {
+            acc.structure(boxed_slice_bytes::<(K, V)>(c.entries.len()));
+            for (k, v) in &c.entries {
+                entry(k, v, acc);
+            }
+        }
+    }
+}
+
+/// Native-allocation walk with per-entry recursion hook.
+pub fn memo_map_rust_with<K, V>(
+    map: &MemoHamtMap<K, V>,
+    acc: &mut Accounting,
+    entry: EntryAccount<'_, K, V>,
+) where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    memo_nodes_rust_with(&map.root, acc, entry);
+}
+
+fn memo_nodes_rust<K, V>(node: &Arc<memo::Node<K, V>>, acc: &mut Accounting) {
+    memo_nodes_rust_with(node, acc, &mut |_, _, _| {});
+}
+
+impl<K, V> RustFootprint for MemoHamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn rust_footprint(&self, acc: &mut Accounting) {
+        memo_nodes_rust(&self.root, acc);
+    }
+}
+
+impl<T: Clone + Eq + Hash> RustFootprint for MemoHamtSet<T> {
+    fn rust_footprint(&self, acc: &mut Accounting) {
+        memo_nodes_rust(&self.inner().root, acc);
+    }
+}
+
+/// Native-allocation counterpart of [`nested_memo_set_jvm`].
+pub fn nested_memo_set_rust<T: Clone + Eq + Hash>(set: &MemoHamtSet<T>, acc: &mut Accounting) {
+    memo_nodes_rust(&set.inner().root, acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scala_style_leaves_cost_more_than_clojure_pairs() {
+        // The per-entry leaf objects make the memoizing layout heavier for
+        // maps of the same content (paper §4.4 Discussion).
+        let clj: HamtMap<u32, u32> = (0..256).map(|i| (i, i)).collect();
+        let scala: MemoHamtMap<u32, u32> = (0..256).map(|i| (i, i)).collect();
+        let arch = JvmArch::COMPRESSED_OOPS;
+        let c = clj.jvm_bytes(&arch, &LayoutPolicy::BASELINE);
+        let s = scala.jvm_bytes(&arch, &LayoutPolicy::BASELINE);
+        assert!(s.structure > c.structure, "scala {s:?} vs clojure {c:?}");
+    }
+
+    #[test]
+    fn set_counts_single_payload_box() {
+        let s: HamtSet<u32> = (0..100).collect();
+        let fp = s.jvm_bytes(&JvmArch::COMPRESSED_OOPS, &LayoutPolicy::BASELINE);
+        assert_eq!(fp.payload, 100 * 16);
+    }
+
+    #[test]
+    fn rust_footprints_nonzero_and_scale() {
+        let small: HamtMap<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        let large: HamtMap<u32, u32> = (0..1000).map(|i| (i, i)).collect();
+        assert!(large.rust_bytes() > small.rust_bytes());
+        let ms: MemoHamtSet<u32> = (0..50).collect();
+        assert!(ms.rust_bytes() > 0);
+    }
+}

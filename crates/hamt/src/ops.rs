@@ -1,0 +1,152 @@
+//! Harness-facing trait implementations ([`trie_common::ops`]).
+
+use std::hash::Hash;
+
+use trie_common::ops::{MapOps, SetOps};
+
+use crate::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+
+impl<K, V> MapOps<K, V> for HamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    const NAME: &'static str = "hamt-map";
+
+    fn empty() -> Self {
+        HamtMap::new()
+    }
+    fn len(&self) -> usize {
+        HamtMap::len(self)
+    }
+    fn get(&self, key: &K) -> Option<&V> {
+        HamtMap::get(self, key)
+    }
+    fn inserted(&self, key: K, value: V) -> Self {
+        HamtMap::inserted(self, key, value)
+    }
+    fn removed(&self, key: &K) -> Self {
+        HamtMap::removed(self, key)
+    }
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.keys() {
+            f(k);
+        }
+    }
+}
+
+impl<K, V> MapOps<K, V> for MemoHamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    const NAME: &'static str = "memo-hamt-map";
+
+    fn empty() -> Self {
+        MemoHamtMap::new()
+    }
+    fn len(&self) -> usize {
+        MemoHamtMap::len(self)
+    }
+    fn get(&self, key: &K) -> Option<&V> {
+        MemoHamtMap::get(self, key)
+    }
+    fn inserted(&self, key: K, value: V) -> Self {
+        MemoHamtMap::inserted(self, key, value)
+    }
+    fn removed(&self, key: &K) -> Self {
+        MemoHamtMap::removed(self, key)
+    }
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.keys() {
+            f(k);
+        }
+    }
+}
+
+impl<T> SetOps<T> for HamtSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    const NAME: &'static str = "hamt-set";
+
+    fn empty() -> Self {
+        HamtSet::new()
+    }
+    fn len(&self) -> usize {
+        HamtSet::len(self)
+    }
+    fn contains(&self, value: &T) -> bool {
+        HamtSet::contains(self, value)
+    }
+    fn inserted(&self, value: T) -> Self {
+        HamtSet::inserted(self, value)
+    }
+    fn removed(&self, value: &T) -> Self {
+        HamtSet::removed(self, value)
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.iter() {
+            f(v);
+        }
+    }
+}
+
+impl<T> SetOps<T> for MemoHamtSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    const NAME: &'static str = "memo-hamt-set";
+
+    fn empty() -> Self {
+        MemoHamtSet::new()
+    }
+    fn len(&self) -> usize {
+        MemoHamtSet::len(self)
+    }
+    fn contains(&self, value: &T) -> bool {
+        MemoHamtSet::contains(self, value)
+    }
+    fn inserted(&self, value: T) -> Self {
+        MemoHamtSet::inserted(self, value)
+    }
+    fn removed(&self, value: &T) -> Self {
+        MemoHamtSet::removed(self, value)
+    }
+    fn for_each(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.iter() {
+            f(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<M: MapOps<u32, u32>>() {
+        let m = M::empty().inserted(1, 2).inserted(3, 4).removed(&1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&3), Some(&4));
+    }
+
+    #[test]
+    fn traits_are_wired() {
+        exercise::<HamtMap<u32, u32>>();
+        exercise::<MemoHamtMap<u32, u32>>();
+        let s = <HamtSet<u32> as SetOps<u32>>::empty().inserted(1);
+        assert!(SetOps::contains(&s, &1));
+        let s = <MemoHamtSet<u32> as SetOps<u32>>::empty().inserted(1);
+        assert!(SetOps::contains(&s, &1));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for both HAMT flavours: oracle agreement under
+//! random op sequences (with and without collision-heavy hashing), the
+//! Clojure flavour's tolerance of degenerate shapes, and the Scala
+//! flavour's canonical form plus memoized-hash consistency.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use hamt::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct NarrowKey(u16);
+
+impl Hash for NarrowKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32((self.0 & 0x1f) as u32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn both_flavours_match_btreemap(ops in prop::collection::vec(
+        (any::<u16>(), any::<u16>(), any::<bool>()), 0..400))
+    {
+        let mut model = BTreeMap::new();
+        let mut plain = HamtMap::<u16, u16>::new();
+        let mut memo = MemoHamtMap::<u16, u16>::new();
+        for (k, v, remove) in ops {
+            let k = k % 128;
+            if remove {
+                let had = model.remove(&k).is_some();
+                prop_assert_eq!(plain.remove_mut(&k), had);
+                prop_assert_eq!(memo.remove_mut(&k), had);
+            } else {
+                let fresh = model.insert(k, v).is_none();
+                prop_assert_eq!(plain.insert_mut(k, v), fresh);
+                prop_assert_eq!(memo.insert_mut(k, v), fresh);
+            }
+        }
+        plain.assert_invariants();
+        memo.assert_invariants();
+        prop_assert_eq!(plain.len(), model.len());
+        prop_assert_eq!(memo.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(plain.get(k), Some(v));
+            prop_assert_eq!(memo.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn collision_heavy_sequences(ops in prop::collection::vec(
+        (any::<u16>(), any::<bool>()), 0..250))
+    {
+        let mut model = BTreeMap::new();
+        let mut plain = HamtMap::<NarrowKey, u16>::new();
+        let mut memo = MemoHamtMap::<NarrowKey, u16>::new();
+        for (k, remove) in ops {
+            let key = NarrowKey(k % 150);
+            if remove {
+                model.remove(&key);
+                plain.remove_mut(&key);
+                memo.remove_mut(&key);
+            } else {
+                model.insert(key.clone(), k);
+                plain.insert_mut(key.clone(), k);
+                memo.insert_mut(key, k);
+            }
+            plain.assert_invariants();
+            memo.assert_invariants();
+        }
+        prop_assert_eq!(plain.len(), model.len());
+        prop_assert_eq!(memo.len(), model.len());
+    }
+
+    #[test]
+    fn degenerate_paths_do_not_lose_entries(keys in prop::collection::btree_set(any::<u16>(), 2..150)) {
+        // Build up, remove all but one key: the plain HAMT may keep
+        // degenerate single-entry paths — content must still be exact.
+        let mut plain: HamtMap<u16, u16> = keys.iter().map(|k| (*k, *k)).collect();
+        let keep = *keys.iter().next().unwrap();
+        for k in keys.iter().skip(1) {
+            prop_assert!(plain.remove_mut(k));
+            plain.assert_invariants();
+        }
+        prop_assert_eq!(plain.len(), 1);
+        prop_assert_eq!(plain.get(&keep), Some(&keep));
+        // Re-inserting everything restores full content.
+        for k in &keys {
+            plain.insert_mut(*k, *k);
+        }
+        prop_assert_eq!(plain.len(), keys.len());
+    }
+
+    #[test]
+    fn sets_mirror_their_maps(elems in prop::collection::btree_set(any::<u16>(), 0..200)) {
+        let plain: HamtSet<u16> = elems.iter().copied().collect();
+        let memo: MemoHamtSet<u16> = elems.iter().copied().collect();
+        prop_assert_eq!(plain.len(), elems.len());
+        prop_assert_eq!(memo.len(), elems.len());
+        for e in &elems {
+            prop_assert!(plain.contains(e));
+            prop_assert!(memo.contains(e));
+        }
+        let missing = elems.iter().max().map(|m| m.wrapping_add(1)).unwrap_or(1);
+        if !elems.contains(&missing) {
+            prop_assert!(!plain.contains(&missing));
+            prop_assert!(!memo.contains(&missing));
+        }
+    }
+
+    #[test]
+    fn content_equality_across_histories(
+        base in prop::collection::btree_map(any::<u16>(), any::<u16>(), 0..100),
+        extra in prop::collection::btree_set(any::<u16>(), 0..40),
+    ) {
+        // Insert extra keys then remove them again: equal content, possibly
+        // different shapes (non-canonical) — equality must be content-based.
+        let direct: HamtMap<u16, u16> = base.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut detour = direct.clone();
+        for e in &extra {
+            if !base.contains_key(e) {
+                detour.insert_mut(*e, 0);
+            }
+        }
+        for e in &extra {
+            if !base.contains_key(e) {
+                detour.remove_mut(e);
+            }
+        }
+        prop_assert_eq!(direct, detour);
+    }
+}

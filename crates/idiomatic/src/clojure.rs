@@ -1,0 +1,383 @@
+//! The idiomatic Clojure multi-map (Figure 4's baseline).
+//!
+//! VanderHart & Neufeld's protocol-based multi-map stores, for each key,
+//! either a bare value or a nested set — *untyped* on the JVM, so every
+//! operation performs a dynamic type check to discover which case it holds
+//! (the [`ClojureVal`] enum's `match` below). Singletons are inlined (like
+//! AXIOM), but the substrate is Clojure's plain HAMT with its simple one-bit
+//! compression and non-canonical deletion.
+
+use std::hash::Hash;
+
+use hamt::{HamtMap, HamtSet};
+use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
+use trie_common::ops::MultiMapOps;
+
+/// A key's binding: the dynamic either-value-or-set the Clojure protocol
+/// dispatches on.
+#[derive(Debug)]
+pub enum ClojureVal<V> {
+    /// A bare singleton value.
+    Single(V),
+    /// A nested set of ≥ 2 values.
+    SetOf(HamtSet<V>),
+}
+
+impl<V: Clone> Clone for ClojureVal<V> {
+    fn clone(&self) -> Self {
+        match self {
+            ClojureVal::Single(v) => ClojureVal::Single(v.clone()),
+            ClojureVal::SetOf(s) => ClojureVal::SetOf(s.clone()),
+        }
+    }
+}
+
+impl<V: Clone + Eq + Hash> PartialEq for ClojureVal<V> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ClojureVal::Single(a), ClojureVal::Single(b)) => a == b,
+            (ClojureVal::SetOf(a), ClojureVal::SetOf(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl<V: Clone + Eq + Hash> ClojureVal<V> {
+    fn len(&self) -> usize {
+        match self {
+            ClojureVal::Single(_) => 1,
+            ClojureVal::SetOf(s) => s.len(),
+        }
+    }
+
+    fn contains(&self, value: &V) -> bool {
+        match self {
+            ClojureVal::Single(v) => v == value,
+            ClojureVal::SetOf(s) => s.contains(value),
+        }
+    }
+}
+
+/// A persistent multi-map in the idiomatic Clojure style: a [`HamtMap`] whose
+/// values are dynamically either a bare value or a [`HamtSet`].
+///
+/// # Examples
+///
+/// ```
+/// use idiomatic::ClojureMultiMap;
+/// use trie_common::ops::MultiMapOps;
+///
+/// let mm = ClojureMultiMap::<u32, u32>::empty()
+///     .inserted(1, 10)
+///     .inserted(1, 11);
+/// assert_eq!(mm.tuple_count(), 2);
+/// assert_eq!(mm.key_count(), 1);
+/// ```
+pub struct ClojureMultiMap<K, V> {
+    map: HamtMap<K, ClojureVal<V>>,
+    tuples: usize,
+}
+
+impl<K, V: Clone> Clone for ClojureMultiMap<K, V> {
+    fn clone(&self) -> Self {
+        ClojureMultiMap {
+            map: self.map.clone(),
+            tuples: self.tuples,
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for ClojureMultiMap<K, V>
+where
+    K: std::fmt::Debug + Clone + Eq + Hash,
+    V: std::fmt::Debug + Clone + Eq + Hash,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.map.iter()).finish()
+    }
+}
+
+impl<K, V> ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    /// Creates an empty multi-map.
+    pub fn new() -> Self {
+        ClojureMultiMap {
+            map: HamtMap::new(),
+            tuples: 0,
+        }
+    }
+
+    /// Borrowed view of the binding for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&ClojureVal<V>> {
+        self.map.get(key)
+    }
+
+    /// Inserts `(key, value)` in place. Returns true if the relation grew.
+    pub fn insert_mut(&mut self, key: K, value: V) -> bool {
+        // Protocol dispatch: the stored value's dynamic type decides.
+        match self.map.get(&key) {
+            None => {
+                self.map.insert_mut(key, ClojureVal::Single(value));
+                self.tuples += 1;
+                true
+            }
+            Some(ClojureVal::Single(v)) => {
+                if *v == value {
+                    return false;
+                }
+                let set: HamtSet<V> = [v.clone(), value].into_iter().collect();
+                self.map.insert_mut(key, ClojureVal::SetOf(set));
+                self.tuples += 1;
+                true
+            }
+            Some(ClojureVal::SetOf(s)) => {
+                if s.contains(&value) {
+                    return false;
+                }
+                let s = s.inserted(value);
+                self.map.insert_mut(key, ClojureVal::SetOf(s));
+                self.tuples += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `(key, value)` in place. Returns true if present.
+    pub fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
+        match self.map.get(key) {
+            None => false,
+            Some(ClojureVal::Single(v)) => {
+                if v != value {
+                    return false;
+                }
+                self.map.remove_mut(key);
+                self.tuples -= 1;
+                true
+            }
+            Some(ClojureVal::SetOf(s)) => {
+                if !s.contains(value) {
+                    return false;
+                }
+                let s = s.removed(value);
+                let new_val = if s.len() == 1 {
+                    // Demote to an inlined singleton (the protocol's
+                    // `to-one` case).
+                    ClojureVal::Single(s.sole().clone())
+                } else {
+                    ClojureVal::SetOf(s)
+                };
+                self.map.insert_mut(key.clone(), new_val);
+                self.tuples -= 1;
+                true
+            }
+        }
+    }
+
+    /// Removes every tuple for `key` in place. Returns the number removed.
+    pub fn remove_key_mut(&mut self, key: &K) -> usize {
+        let removed = self.map.get(key).map_or(0, ClojureVal::len);
+        if removed > 0 {
+            self.map.remove_mut(key);
+            self.tuples -= removed;
+        }
+        removed
+    }
+}
+
+impl<K, V> Default for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn default() -> Self {
+        ClojureMultiMap::new()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut mm = ClojureMultiMap::new();
+        for (k, v) in iter {
+            mm.insert_mut(k, v);
+        }
+        mm
+    }
+}
+
+impl<K, V> MultiMapOps<K, V> for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    const NAME: &'static str = "clojure-multimap";
+
+    fn empty() -> Self {
+        ClojureMultiMap::new()
+    }
+
+    fn tuple_count(&self) -> usize {
+        self.tuples
+    }
+
+    fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn contains_tuple(&self, key: &K, value: &V) -> bool {
+        self.map.get(key).is_some_and(|b| b.contains(value))
+    }
+
+    fn value_count(&self, key: &K) -> usize {
+        self.map.get(key).map_or(0, ClojureVal::len)
+    }
+
+    fn inserted(&self, key: K, value: V) -> Self {
+        let mut next = self.clone();
+        next.insert_mut(key, value);
+        next
+    }
+
+    fn tuple_removed(&self, key: &K, value: &V) -> Self {
+        let mut next = self.clone();
+        next.remove_tuple_mut(key, value);
+        next
+    }
+
+    fn key_removed(&self, key: &K) -> Self {
+        let mut next = self.clone();
+        next.remove_key_mut(key);
+        next
+    }
+
+    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, binding) in self.map.iter() {
+            match binding {
+                ClojureVal::Single(v) => f(k, v),
+                ClojureVal::SetOf(s) => {
+                    for v in s.iter() {
+                        f(k, v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.map.keys() {
+            f(k);
+        }
+    }
+
+    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
+        match self.map.get(key) {
+            None => {}
+            Some(ClojureVal::Single(v)) => f(v),
+            Some(ClojureVal::SetOf(s)) => {
+                for v in s.iter() {
+                    f(v);
+                }
+            }
+        }
+    }
+}
+
+impl<K, V> JvmFootprint for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash + JvmSize,
+    V: Clone + Eq + Hash + JvmSize,
+{
+    fn jvm_footprint(&self, arch: &JvmArch, policy: &LayoutPolicy, acc: &mut Accounting) {
+        hamt::hamt_map_jvm_with(&self.map, arch, policy, acc, &mut |k, binding, acc| {
+            acc.payload(k.jvm_size(arch));
+            match binding {
+                ClojureVal::Single(v) => acc.payload(v.jvm_size(arch)),
+                ClojureVal::SetOf(s) => {
+                    // Clojure's nested set is a PersistentHashSet (meta ref,
+                    // impl-map ref, two cached hash ints) wrapping a full
+                    // PersistentHashMap object (count, root ref, null-key
+                    // fields, meta, cached hashes) — heavy fixed costs per
+                    // nested collection on the real JVM.
+                    acc.structure(arch.object(2, 2, 0) + arch.object(3, 4, 0));
+                    hamt::nested_hamt_set_jvm(s, arch, policy, acc);
+                }
+            }
+        });
+    }
+}
+
+impl<K, V> RustFootprint for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn rust_footprint(&self, acc: &mut Accounting) {
+        hamt::hamt_map_rust_with(&self.map, acc, &mut |_, binding, acc| {
+            if let ClojureVal::SetOf(s) = binding {
+                hamt::nested_hamt_set_rust(s, acc);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Mm = ClojureMultiMap<u32, u32>;
+
+    #[test]
+    fn promote_demote() {
+        let mm = Mm::empty().inserted(1, 10).inserted(1, 20);
+        assert!(matches!(mm.get(&1), Some(ClojureVal::SetOf(_))));
+        let mm = mm.tuple_removed(&1, &10);
+        assert!(matches!(mm.get(&1), Some(ClojureVal::Single(20))));
+        assert_eq!(mm.tuple_count(), 1);
+        let mm = mm.tuple_removed(&1, &20);
+        assert!(mm.is_empty());
+    }
+
+    #[test]
+    fn counts_on_skewed_data() {
+        let mut mm = Mm::empty();
+        for k in 0..200u32 {
+            mm.insert_mut(k, 0);
+            if k % 2 == 0 {
+                mm.insert_mut(k, 1);
+            }
+        }
+        assert_eq!(mm.key_count(), 200);
+        assert_eq!(mm.tuple_count(), 300);
+        let mut n = 0;
+        mm.for_each_tuple(&mut |_, _| n += 1);
+        assert_eq!(n, 300);
+    }
+
+    #[test]
+    fn remove_key() {
+        let mut mm = Mm::empty();
+        for v in 0..5 {
+            mm.insert_mut(9, v);
+        }
+        assert_eq!(mm.remove_key_mut(&9), 5);
+        assert!(mm.is_empty());
+    }
+
+    #[test]
+    fn footprints() {
+        let mm: Mm = (0..200u32).map(|k| (k / 2, k)).collect();
+        let fp = mm.jvm_bytes(&JvmArch::COMPRESSED_OOPS, &LayoutPolicy::BASELINE);
+        assert!(fp.total() > 0);
+        assert!(mm.rust_bytes() > 0);
+    }
+}

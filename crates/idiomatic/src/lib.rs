@@ -1,0 +1,26 @@
+//! **Idiomatic multi-map baselines** — the competitors AXIOM is measured
+//! against in the paper's evaluation.
+//!
+//! Neither Clojure nor Scala ships a native immutable multi-map; both suggest
+//! hoisting a polymorphic map of nested sets. This crate reproduces those
+//! idioms (plus the map-of-CHAMP-sets configuration of Table 1):
+//!
+//! | type | paper role | substrate |
+//! |---|---|---|
+//! | [`ClojureMultiMap`] | Figure 4 baseline | plain HAMT; values dynamically either a bare value or a nested set |
+//! | [`ScalaMultiMap`] | Figure 5 baseline | hash-memoizing HAMT; values always sets, `Set1..Set4` specialized |
+//! | [`NestedChampMultiMap`] | Table 1 "CHAMP" column | CHAMP map of CHAMP sets, no singleton inlining |
+//!
+//! All three implement [`trie_common::ops::MultiMapOps`], the heap-model
+//! traits, and `FromIterator`, so the benchmark harness and the dominators
+//! case study treat them interchangeably with the AXIOM multi-maps.
+
+#![warn(missing_docs)]
+
+mod clojure;
+mod nested;
+mod scala;
+
+pub use clojure::{ClojureMultiMap, ClojureVal};
+pub use nested::NestedChampMultiMap;
+pub use scala::{ScalaMultiMap, ScalaSet};

@@ -1,0 +1,293 @@
+//! The nested-CHAMP multi-map: a CHAMP map of CHAMP sets.
+//!
+//! This is the "CHAMP" configuration of the paper's Table 1 (and of the
+//! earlier OOPSLA'15 dominators study): sets nested as the values of a
+//! polymorphic map to simulate multi-maps with basic collection types.
+//! Unlike AXIOM and the Clojure protocol, singletons are **not** inlined —
+//! every key pays for a nested set, which is exactly what AXIOM's `preds`
+//! compression (≈4.4×) exploits on mostly-1:1 relations.
+
+use std::hash::Hash;
+
+use champ::{ChampMap, ChampSet};
+use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
+use trie_common::ops::MultiMapOps;
+
+/// A persistent multi-map as a [`ChampMap`] from keys to non-empty
+/// [`ChampSet`]s.
+///
+/// # Examples
+///
+/// ```
+/// use idiomatic::NestedChampMultiMap;
+/// use trie_common::ops::MultiMapOps;
+///
+/// let mm = NestedChampMultiMap::<u32, u32>::empty().inserted(1, 10);
+/// assert_eq!(mm.tuple_count(), 1);
+/// assert!(mm.contains_tuple(&1, &10));
+/// ```
+pub struct NestedChampMultiMap<K, V> {
+    map: ChampMap<K, ChampSet<V>>,
+    tuples: usize,
+}
+
+impl<K, V> Clone for NestedChampMultiMap<K, V> {
+    fn clone(&self) -> Self {
+        NestedChampMultiMap {
+            map: self.map.clone(),
+            tuples: self.tuples,
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for NestedChampMultiMap<K, V>
+where
+    K: std::fmt::Debug + Clone + Eq + Hash,
+    V: std::fmt::Debug + Clone + Eq + Hash,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.map.iter()).finish()
+    }
+}
+
+impl<K, V> NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    /// Creates an empty multi-map.
+    pub fn new() -> Self {
+        NestedChampMultiMap {
+            map: ChampMap::new(),
+            tuples: 0,
+        }
+    }
+
+    /// Borrowed view of the value set for `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&ChampSet<V>> {
+        self.map.get(key)
+    }
+
+    /// Inserts `(key, value)` in place. Returns true if the relation grew.
+    pub fn insert_mut(&mut self, key: K, value: V) -> bool {
+        match self.map.get(&key) {
+            None => {
+                let set: ChampSet<V> = std::iter::once(value).collect();
+                self.map.insert_mut(key, set);
+                self.tuples += 1;
+                true
+            }
+            Some(set) => {
+                if set.contains(&value) {
+                    return false;
+                }
+                let set = set.inserted(value);
+                self.map.insert_mut(key, set);
+                self.tuples += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `(key, value)` in place. Returns true if present. Keys whose
+    /// set empties are removed.
+    pub fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
+        match self.map.get(key) {
+            None => false,
+            Some(set) => {
+                if !set.contains(value) {
+                    return false;
+                }
+                if set.len() == 1 {
+                    self.map.remove_mut(key);
+                } else {
+                    let set = set.removed(value);
+                    self.map.insert_mut(key.clone(), set);
+                }
+                self.tuples -= 1;
+                true
+            }
+        }
+    }
+
+    /// Removes every tuple for `key` in place. Returns the number removed.
+    pub fn remove_key_mut(&mut self, key: &K) -> usize {
+        let removed = self.map.get(key).map_or(0, ChampSet::len);
+        if removed > 0 {
+            self.map.remove_mut(key);
+            self.tuples -= removed;
+        }
+        removed
+    }
+}
+
+impl<K, V> Default for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn default() -> Self {
+        NestedChampMultiMap::new()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut mm = NestedChampMultiMap::new();
+        for (k, v) in iter {
+            mm.insert_mut(k, v);
+        }
+        mm
+    }
+}
+
+impl<K, V> MultiMapOps<K, V> for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    const NAME: &'static str = "nested-champ-multimap";
+
+    fn empty() -> Self {
+        NestedChampMultiMap::new()
+    }
+
+    fn tuple_count(&self) -> usize {
+        self.tuples
+    }
+
+    fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn contains_tuple(&self, key: &K, value: &V) -> bool {
+        self.map.get(key).is_some_and(|s| s.contains(value))
+    }
+
+    fn value_count(&self, key: &K) -> usize {
+        self.map.get(key).map_or(0, ChampSet::len)
+    }
+
+    fn inserted(&self, key: K, value: V) -> Self {
+        let mut next = self.clone();
+        next.insert_mut(key, value);
+        next
+    }
+
+    fn tuple_removed(&self, key: &K, value: &V) -> Self {
+        let mut next = self.clone();
+        next.remove_tuple_mut(key, value);
+        next
+    }
+
+    fn key_removed(&self, key: &K) -> Self {
+        let mut next = self.clone();
+        next.remove_key_mut(key);
+        next
+    }
+
+    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, set) in self.map.iter() {
+            for v in set.iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.map.keys() {
+            f(k);
+        }
+    }
+
+    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
+        if let Some(set) = self.map.get(key) {
+            for v in set.iter() {
+                f(v);
+            }
+        }
+    }
+}
+
+impl<K, V> JvmFootprint for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash + JvmSize,
+    V: Clone + Eq + Hash + JvmSize,
+{
+    fn jvm_footprint(&self, arch: &JvmArch, policy: &LayoutPolicy, acc: &mut Accounting) {
+        champ::champ_map_jvm_with(&self.map, arch, policy, acc, &mut |k, set, acc| {
+            acc.payload(k.jvm_size(arch));
+            // Nested set wrapper (size + cached hash + root ref).
+            acc.structure(arch.object(1, 2, 0));
+            champ::nested_set_jvm(set, arch, policy, acc);
+        });
+    }
+}
+
+impl<K, V> RustFootprint for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn rust_footprint(&self, acc: &mut Accounting) {
+        champ::champ_map_rust_with(&self.map, acc, &mut |_, set, acc| {
+            champ::nested_set_rust(set, acc);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Mm = NestedChampMultiMap<u32, u32>;
+
+    #[test]
+    fn singletons_still_pay_for_sets() {
+        let mm = Mm::empty().inserted(1, 10);
+        assert_eq!(mm.get(&1).map(ChampSet::len), Some(1));
+        assert_eq!(mm.tuple_count(), 1);
+        assert_eq!(mm.key_count(), 1);
+    }
+
+    #[test]
+    fn tuple_lifecycle() {
+        let mut mm = Mm::empty();
+        assert!(mm.insert_mut(1, 10));
+        assert!(mm.insert_mut(1, 11));
+        assert!(!mm.insert_mut(1, 10));
+        assert_eq!(mm.tuple_count(), 2);
+        assert!(mm.remove_tuple_mut(&1, &10));
+        assert!(!mm.remove_tuple_mut(&1, &10));
+        assert_eq!(mm.tuple_count(), 1);
+        assert!(mm.remove_tuple_mut(&1, &11));
+        assert!(!mm.contains_key(&1));
+    }
+
+    #[test]
+    fn nested_footprint_exceeds_flat_axiom_on_singletons() {
+        // The whole point of AXIOM's 1:1 inlining: map-of-sets pays a nested
+        // set per key even when all mappings are 1:1.
+        use axiom::AxiomMultiMap;
+        let data: Vec<(u32, u32)> = (0..256).map(|k| (k, k)).collect();
+        let nested: Mm = data.iter().copied().collect();
+        let flat: AxiomMultiMap<u32, u32> = data.into_iter().collect();
+        let arch = JvmArch::COMPRESSED_OOPS;
+        let n = nested.jvm_bytes(&arch, &LayoutPolicy::BASELINE);
+        let a = flat.jvm_bytes(&arch, &LayoutPolicy::BASELINE);
+        assert!(
+            n.structure > a.structure,
+            "nested {} must exceed axiom {}",
+            n.structure,
+            a.structure
+        );
+    }
+}

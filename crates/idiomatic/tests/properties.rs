@@ -1,0 +1,163 @@
+//! Property-based tests for the idiomatic multi-map baselines: oracle
+//! agreement, representation-specific invariants (Clojure's dynamic
+//! value-or-set, Scala's Set1..Set4 ladder, nested-CHAMP's always-set), and
+//! cross-baseline agreement with the AXIOM reference.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use axiom::AxiomMultiMap;
+use idiomatic::{ClojureMultiMap, ClojureVal, NestedChampMultiMap, ScalaMultiMap, ScalaSet};
+use proptest::prelude::*;
+use trie_common::ops::MultiMapOps;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u8),
+    RemoveTuple(u16, u8),
+    RemoveKey(u16),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 48, v % 8)),
+            2 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::RemoveTuple(k % 48, v % 8)),
+            1 => any::<u16>().prop_map(|k| Op::RemoveKey(k % 48)),
+        ],
+        0..250,
+    )
+}
+
+fn drive<M: MultiMapOps<u16, u8>>(ops: &[Op]) -> M {
+    let mut mm = M::empty();
+    for op in ops {
+        mm = match op {
+            Op::Insert(k, v) => mm.inserted(*k, *v),
+            Op::RemoveTuple(k, v) => mm.tuple_removed(k, v),
+            Op::RemoveKey(k) => mm.key_removed(k),
+        };
+    }
+    mm
+}
+
+fn model_of(ops: &[Op]) -> BTreeMap<u16, BTreeSet<u8>> {
+    let mut model: BTreeMap<u16, BTreeSet<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                model.entry(*k).or_default().insert(*v);
+            }
+            Op::RemoveTuple(k, v) => {
+                if let Some(s) = model.get_mut(k) {
+                    s.remove(v);
+                    if s.is_empty() {
+                        model.remove(k);
+                    }
+                }
+            }
+            Op::RemoveKey(k) => {
+                model.remove(k);
+            }
+        }
+    }
+    model
+}
+
+fn assert_matches<M: MultiMapOps<u16, u8>>(mm: &M, model: &BTreeMap<u16, BTreeSet<u8>>) {
+    assert_eq!(mm.key_count(), model.len());
+    assert_eq!(
+        mm.tuple_count(),
+        model.values().map(BTreeSet::len).sum::<usize>()
+    );
+    for (k, vs) in model {
+        assert_eq!(mm.value_count(k), vs.len());
+        for v in vs {
+            assert!(mm.contains_tuple(k, v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clojure_matches_model(ops in ops_strategy()) {
+        let mm: ClojureMultiMap<u16, u8> = drive(&ops);
+        assert_matches(&mm, &model_of(&ops));
+    }
+
+    #[test]
+    fn scala_matches_model(ops in ops_strategy()) {
+        let mm: ScalaMultiMap<u16, u8> = drive(&ops);
+        assert_matches(&mm, &model_of(&ops));
+    }
+
+    #[test]
+    fn nested_champ_matches_model(ops in ops_strategy()) {
+        let mm: NestedChampMultiMap<u16, u8> = drive(&ops);
+        assert_matches(&mm, &model_of(&ops));
+    }
+
+    #[test]
+    fn clojure_singletons_are_inlined(ops in ops_strategy()) {
+        // Invariant of the protocol representation: exactly the keys with
+        // one value hold Single, all others SetOf with ≥ 2 elements.
+        let mm: ClojureMultiMap<u16, u8> = drive(&ops);
+        let model = model_of(&ops);
+        for (k, vs) in &model {
+            match mm.get(k).expect("key present") {
+                ClojureVal::Single(v) => {
+                    prop_assert_eq!(vs.len(), 1);
+                    prop_assert!(vs.contains(v));
+                }
+                ClojureVal::SetOf(s) => {
+                    prop_assert!(s.len() >= 2, "SetOf with {} values", s.len());
+                    prop_assert_eq!(s.len(), vs.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scala_ladder_shape_matches_cardinality(ops in ops_strategy()) {
+        // SetN holds exactly N; the trie only appears past 4 values (and may
+        // persist at lower cardinalities after shrinking — Scala-faithful).
+        let mm: ScalaMultiMap<u16, u8> = drive(&ops);
+        let model = model_of(&ops);
+        for (k, vs) in &model {
+            let set = mm.get(k).expect("key present");
+            prop_assert_eq!(set.len(), vs.len());
+            match set {
+                ScalaSet::S1(..) => prop_assert_eq!(vs.len(), 1),
+                ScalaSet::S2(..) => prop_assert_eq!(vs.len(), 2),
+                ScalaSet::S3(..) => prop_assert_eq!(vs.len(), 3),
+                ScalaSet::S4(..) => prop_assert_eq!(vs.len(), 4),
+                ScalaSet::Trie(_) => prop_assert!(!vs.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn all_baselines_agree_with_axiom(ops in ops_strategy()) {
+        let reference: AxiomMultiMap<u16, u8> = drive(&ops);
+        let clojure: ClojureMultiMap<u16, u8> = drive(&ops);
+        let scala: ScalaMultiMap<u16, u8> = drive(&ops);
+        let nested: NestedChampMultiMap<u16, u8> = drive(&ops);
+        for mm in [
+            (clojure.key_count(), clojure.tuple_count()),
+            (scala.key_count(), scala.tuple_count()),
+            (nested.key_count(), nested.tuple_count()),
+        ] {
+            prop_assert_eq!(mm, (reference.key_count(), reference.tuple_count()));
+        }
+        let mut tuples: BTreeSet<(u16, u8)> = BTreeSet::new();
+        reference.for_each_tuple(&mut |k, v| {
+            tuples.insert((*k, *v));
+        });
+        for (k, v) in &tuples {
+            prop_assert!(clojure.contains_tuple(k, v));
+            prop_assert!(scala.contains_tuple(k, v));
+            prop_assert!(nested.contains_tuple(k, v));
+        }
+    }
+}

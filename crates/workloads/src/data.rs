@@ -1,0 +1,326 @@
+//! Random test-data generation following the paper's §4.3 methodology.
+//!
+//! * collections of size `2^x`; random `u32` keys model the hash-code
+//!   distribution (a uniform distribution models a good `hashCode`);
+//! * for multi-map benchmarks, 50 % of keys carry one value and 50 % carry
+//!   two (the fixed `1:2` size isolates the singleton case, promotions and
+//!   demotions; §4.1);
+//! * for map benchmarks, 100 % `1:1` (§5.1);
+//! * every experiment is repeated over multiple seeds — "each time we use a
+//!   different input tree generated from a unique seed" — to protect
+//!   against accidental trie shapes;
+//! * operations run in bursts of 8 parameters: full matches, partial
+//!   matches (key present, value absent) and no matches (§4.1, footnote 8:
+//!   for sizes < 8 the samples are duplicated until 8 are reached).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of parameters per operation burst (paper §4.1).
+pub const BURST: usize = 8;
+
+/// A generated multi-map workload for one `(size, seed)` data point.
+#[derive(Debug, Clone)]
+pub struct MultiMapWorkload {
+    /// Distinct keys (`size` of them).
+    pub keys: Vec<u32>,
+    /// The tuples to build the collection from: every key maps to one value,
+    /// every even-indexed key to a second one (50 % / 50 %).
+    pub tuples: Vec<(u32, u32)>,
+    /// Burst: present `(key, value)` tuples (full matches).
+    pub hit_tuples: Vec<(u32, u32)>,
+    /// Burst: present key with absent value (partial matches).
+    pub partial_tuples: Vec<(u32, u32)>,
+    /// Burst: absent keys (no matches).
+    pub miss_tuples: Vec<(u32, u32)>,
+}
+
+fn distinct_values(rng: &mut StdRng, n: usize, forbidden: impl Fn(u32) -> bool) -> Vec<u32> {
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v = rng.gen::<u32>();
+        if !forbidden(v) && seen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn burst_from(rng: &mut StdRng, pool: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    // Paper footnote 8: duplicate samples until BURST are reached.
+    (0..BURST)
+        .map(|_| pool[rng.gen_range(0..pool.len())])
+        .collect()
+}
+
+/// Distribution of values-per-key for multi-map workload generation.
+///
+/// The paper fixes nested sets to size 2 ("the effect of larger value sets
+/// on memory usage and time can be inferred from that"); the extra variants
+/// measure that inference directly (the `valuesets` experiment binary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueDist {
+    /// The paper's §4.1 shape: 50 % of keys with one value, 50 % with two.
+    HalfOneHalfTwo,
+    /// Every key carries exactly `n` values.
+    Fixed(usize),
+    /// Geometric tail: `P(count = k) ∝ (1-p)^(k-1)`, capped at 64. Models
+    /// the skewed distributions of program-dependence graphs (§1).
+    Geometric(f64),
+}
+
+impl ValueDist {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        match self {
+            ValueDist::HalfOneHalfTwo => unreachable!("handled positionally"),
+            ValueDist::Fixed(n) => (*n).max(1),
+            ValueDist::Geometric(p) => {
+                let mut count = 1usize;
+                while count < 64 && !rng.gen_bool(p.clamp(0.01, 1.0)) {
+                    count += 1;
+                }
+                count
+            }
+        }
+    }
+}
+
+/// Generates a multi-map workload with a custom values-per-key distribution.
+pub fn multimap_workload_with(size: usize, seed: u64, dist: ValueDist) -> MultiMapWorkload {
+    assert!(size >= 1);
+    if dist == ValueDist::HalfOneHalfTwo {
+        return multimap_workload(size, seed);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0f00);
+    let keys = distinct_values(&mut rng, size, |_| false);
+    let key_set: std::collections::HashSet<u32> = keys.iter().copied().collect();
+
+    let mut tuples = Vec::new();
+    for &k in &keys {
+        let n = dist.sample(&mut rng);
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        while seen.len() < n {
+            seen.insert(rng.gen::<u32>());
+        }
+        tuples.extend(seen.into_iter().map(|v| (k, v)));
+    }
+
+    let hit_tuples = burst_from(&mut rng, &tuples);
+    let partial_pool: Vec<(u32, u32)> = keys.iter().map(|&k| (k, 0xdead_0000 ^ k)).collect();
+    let partial_tuples = burst_from(&mut rng, &partial_pool);
+    let missing_keys = distinct_values(&mut rng, BURST, |v| key_set.contains(&v));
+    let miss_tuples = missing_keys.into_iter().map(|k| (k, k)).collect();
+
+    MultiMapWorkload {
+        keys,
+        tuples,
+        hit_tuples,
+        partial_tuples,
+        miss_tuples,
+    }
+}
+
+/// Generates the multi-map workload for `size` keys under `seed`.
+pub fn multimap_workload(size: usize, seed: u64) -> MultiMapWorkload {
+    assert!(size >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = distinct_values(&mut rng, size, |_| false);
+    let key_set: std::collections::HashSet<u32> = keys.iter().copied().collect();
+
+    let mut tuples = Vec::with_capacity(size + size / 2);
+    for (i, &k) in keys.iter().enumerate() {
+        let v1 = rng.gen::<u32>();
+        tuples.push((k, v1));
+        if i % 2 == 0 {
+            // 1:2 mapping: second distinct value.
+            let mut v2 = rng.gen::<u32>();
+            while v2 == v1 {
+                v2 = rng.gen::<u32>();
+            }
+            tuples.push((k, v2));
+        }
+    }
+
+    let hit_tuples = burst_from(&mut rng, &tuples);
+    let partial_pool: Vec<(u32, u32)> = keys
+        .iter()
+        .map(|&k| (k, 0xdead_0000 ^ k)) // value extremely unlikely to collide
+        .collect();
+    let partial_tuples = burst_from(&mut rng, &partial_pool);
+    let missing_keys = distinct_values(&mut rng, BURST, |v| key_set.contains(&v));
+    let miss_tuples = missing_keys.into_iter().map(|k| (k, k)).collect();
+
+    MultiMapWorkload {
+        keys,
+        tuples,
+        hit_tuples,
+        partial_tuples,
+        miss_tuples,
+    }
+}
+
+/// A generated map workload (100 % `1:1`) for one `(size, seed)` point.
+#[derive(Debug, Clone)]
+pub struct MapWorkload {
+    /// The entries to build the map from.
+    pub entries: Vec<(u32, u32)>,
+    /// Burst: present keys.
+    pub hit_keys: Vec<u32>,
+    /// Burst: absent keys.
+    pub miss_keys: Vec<u32>,
+    /// Burst: fresh entries to insert (absent keys).
+    pub insert_entries: Vec<(u32, u32)>,
+}
+
+/// Generates the map workload for `size` entries under `seed`.
+pub fn map_workload(size: usize, seed: u64) -> MapWorkload {
+    assert!(size >= 1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd_ef01);
+    let keys = distinct_values(&mut rng, size, |_| false);
+    let key_set: std::collections::HashSet<u32> = keys.iter().copied().collect();
+    let entries: Vec<(u32, u32)> = keys.iter().map(|&k| (k, rng.gen())).collect();
+    let hit_keys = (0..BURST)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect();
+    let fresh = distinct_values(&mut rng, 2 * BURST, |v| key_set.contains(&v));
+    let miss_keys = fresh[..BURST].to_vec();
+    let insert_entries = fresh[BURST..].iter().map(|&k| (k, k ^ 0xffff)).collect();
+    MapWorkload {
+        entries,
+        hit_keys,
+        miss_keys,
+        insert_entries,
+    }
+}
+
+/// The size sweep used by the paper: `2^x for x ∈ [1, 23]`, optionally
+/// truncated for quicker runs.
+pub fn size_sweep(max_exp: u32) -> Vec<usize> {
+    (1..=max_exp).map(|x| 1usize << x).collect()
+}
+
+/// The paper repeats each data point with five distinct seeds.
+pub const SEEDS: [u64; 5] = [11, 23, 47, 89, 178];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn multimap_workload_has_paper_shape() {
+        let w = multimap_workload(1000, 7);
+        assert_eq!(w.keys.len(), 1000);
+        assert_eq!(w.tuples.len(), 1500); // 50% 1:1, 50% 1:2
+        let mut per_key: HashMap<u32, usize> = HashMap::new();
+        for (k, _) in &w.tuples {
+            *per_key.entry(*k).or_default() += 1;
+        }
+        let singles = per_key.values().filter(|&&c| c == 1).count();
+        let doubles = per_key.values().filter(|&&c| c == 2).count();
+        assert_eq!(singles, 500);
+        assert_eq!(doubles, 500);
+    }
+
+    #[test]
+    fn bursts_have_eight_parameters() {
+        let w = multimap_workload(4, 3);
+        assert_eq!(w.hit_tuples.len(), BURST);
+        assert_eq!(w.partial_tuples.len(), BURST);
+        assert_eq!(w.miss_tuples.len(), BURST);
+    }
+
+    #[test]
+    fn miss_keys_are_truly_absent() {
+        let w = multimap_workload(512, 9);
+        let keys: HashSet<u32> = w.keys.iter().copied().collect();
+        for (k, _) in &w.miss_tuples {
+            assert!(!keys.contains(k));
+        }
+        // Partial tuples have present keys but absent values.
+        let tuples: HashSet<(u32, u32)> = w.tuples.iter().copied().collect();
+        for t in &w.partial_tuples {
+            assert!(keys.contains(&t.0));
+            assert!(!tuples.contains(t));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = multimap_workload(64, 5);
+        let b = multimap_workload(64, 5);
+        assert_eq!(a.tuples, b.tuples);
+        let c = multimap_workload(64, 6);
+        assert_ne!(a.tuples, c.tuples);
+    }
+
+    #[test]
+    fn map_workload_sane() {
+        let w = map_workload(256, 1);
+        assert_eq!(w.entries.len(), 256);
+        let keys: HashSet<u32> = w.entries.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys.len(), 256);
+        for k in &w.miss_keys {
+            assert!(!keys.contains(k));
+        }
+        for (k, _) in &w.insert_entries {
+            assert!(!keys.contains(k));
+        }
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        assert_eq!(size_sweep(4), vec![2, 4, 8, 16]);
+        assert_eq!(size_sweep(23).len(), 23);
+    }
+
+    #[test]
+    fn fixed_value_dist_shapes() {
+        for n in [1usize, 3, 8] {
+            let w = multimap_workload_with(100, 5, ValueDist::Fixed(n));
+            assert_eq!(w.keys.len(), 100);
+            assert_eq!(w.tuples.len(), 100 * n);
+            let mut per_key: HashMap<u32, usize> = HashMap::new();
+            for (k, _) in &w.tuples {
+                *per_key.entry(*k).or_default() += 1;
+            }
+            assert!(per_key.values().all(|&c| c == n));
+        }
+    }
+
+    #[test]
+    fn geometric_dist_is_skewed() {
+        let w = multimap_workload_with(2000, 9, ValueDist::Geometric(0.6));
+        let mut per_key: HashMap<u32, usize> = HashMap::new();
+        for (k, _) in &w.tuples {
+            *per_key.entry(*k).or_default() += 1;
+        }
+        let singles = per_key.values().filter(|&&c| c == 1).count();
+        let multi = per_key.values().filter(|&&c| c > 2).count();
+        // Majority singletons with a real tail of larger sets.
+        assert!(singles > 1000, "singles: {singles}");
+        assert!(multi > 50, "multi: {multi}");
+        assert!(per_key.values().all(|&c| c <= 64));
+    }
+
+    #[test]
+    fn custom_dist_falls_back_to_paper_shape() {
+        let a = multimap_workload_with(64, 3, ValueDist::HalfOneHalfTwo);
+        let b = multimap_workload(64, 3);
+        assert_eq!(a.tuples, b.tuples);
+    }
+
+    #[test]
+    fn custom_dist_bursts_are_consistent() {
+        let w = multimap_workload_with(128, 7, ValueDist::Fixed(4));
+        let tuples: HashSet<(u32, u32)> = w.tuples.iter().copied().collect();
+        for t in &w.hit_tuples {
+            assert!(tuples.contains(t));
+        }
+        let keys: HashSet<u32> = w.keys.iter().copied().collect();
+        for (k, _) in &w.miss_tuples {
+            assert!(!keys.contains(k));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! **workloads** — paper-faithful workload generation and measurement.
+//!
+//! Three pieces drive every experiment in `paper-bench`:
+//!
+//! * [`data`] — the §4.3 random-data methodology: `2^x` sizes, five seeds
+//!   per data point, skewed 50 %/50 % `1:1`/`1:2` multi-map distributions,
+//!   100 % `1:1` map distributions, and 8-parameter operation bursts with
+//!   full/partial/no matches;
+//! * [`timing`] — JMH-like warmup + measurement iterations with median/MAD
+//!   statistics and box-plot-style ratio summaries;
+//! * [`report`] — markdown table emission so the binaries regenerate the
+//!   tables recorded in EXPERIMENTS.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::data::multimap_workload;
+//! use workloads::timing::{measure, BenchOptions};
+//!
+//! let w = multimap_workload(64, 11);
+//! let stats = measure(&BenchOptions::QUICK, || w.tuples.iter().count());
+//! assert!(stats.median_ns >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod report;
+pub mod timing;
+
+pub use data::{
+    map_workload, multimap_workload, multimap_workload_with, size_sweep, MapWorkload,
+    MultiMapWorkload, ValueDist, BURST, SEEDS,
+};
+pub use report::{expectation_line, fmt_bytes, fmt_ns, Table};
+pub use timing::{measure, BenchOptions, RatioSummary, Stats};

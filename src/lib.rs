@@ -1,0 +1,23 @@
+//! **axiom-repro** — umbrella crate of the AXIOM (PLDI 2018) reproduction.
+//!
+//! Re-exports the workspace's public surface so examples and integration
+//! tests read like downstream user code. See `README.md` for the tour and
+//! `DESIGN.md` for the system inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use axiom_repro::axiom::AxiomMultiMap;
+//!
+//! let mm = AxiomMultiMap::<&str, u32>::new().inserted("k", 1).inserted("k", 2);
+//! assert_eq!(mm.value_count(&"k"), 2);
+//! ```
+
+pub use axiom;
+pub use cfg_analysis;
+pub use champ;
+pub use hamt;
+pub use heapmodel;
+pub use idiomatic;
+pub use trie_common;
+pub use workloads;

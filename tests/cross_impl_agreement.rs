@@ -1,0 +1,140 @@
+//! Cross-implementation agreement: all five multi-map designs must expose
+//! identical relation semantics on identical operation sequences, whatever
+//! their internal encodings do (inlining, promotion, canonicalization...).
+
+use std::collections::{BTreeSet, HashMap};
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMultiMap};
+use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use axiom_repro::trie_common::ops::MultiMapOps;
+
+/// Deterministic op stream driving every implementation plus an oracle.
+fn op_stream(len: usize, seed: u64) -> Vec<(u8, u32, u32)> {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..len)
+        .map(|_| ((next() % 6) as u8, next() % 200, next() % 10))
+        .collect()
+}
+
+fn drive<M: MultiMapOps<u32, u32>>(ops: &[(u8, u32, u32)]) -> M {
+    let mut mm = M::empty();
+    for &(op, k, v) in ops {
+        mm = match op {
+            0..=2 => mm.inserted(k, v),
+            3 | 4 => mm.tuple_removed(&k, &v),
+            _ => mm.key_removed(&k),
+        };
+    }
+    mm
+}
+
+fn oracle(ops: &[(u8, u32, u32)]) -> HashMap<u32, BTreeSet<u32>> {
+    let mut model: HashMap<u32, BTreeSet<u32>> = HashMap::new();
+    for &(op, k, v) in ops {
+        match op {
+            0..=2 => {
+                model.entry(k).or_default().insert(v);
+            }
+            3 | 4 => {
+                if let Some(s) = model.get_mut(&k) {
+                    s.remove(&v);
+                    if s.is_empty() {
+                        model.remove(&k);
+                    }
+                }
+            }
+            _ => {
+                model.remove(&k);
+            }
+        }
+    }
+    model
+}
+
+fn check_against_oracle<M: MultiMapOps<u32, u32>>(ops: &[(u8, u32, u32)], label: &str) {
+    let mm: M = drive(ops);
+    let model = oracle(ops);
+    let tuples: usize = model.values().map(BTreeSet::len).sum();
+    assert_eq!(mm.key_count(), model.len(), "{label}: key count");
+    assert_eq!(mm.tuple_count(), tuples, "{label}: tuple count");
+    for (k, vs) in &model {
+        assert_eq!(mm.value_count(k), vs.len(), "{label}: values of {k}");
+        for v in vs {
+            assert!(mm.contains_tuple(k, v), "{label}: tuple ({k},{v})");
+        }
+    }
+    // Iteration yields exactly the model's tuples.
+    let mut seen: HashMap<u32, BTreeSet<u32>> = HashMap::new();
+    mm.for_each_tuple(&mut |k, v| {
+        assert!(seen.entry(*k).or_default().insert(*v), "{label}: dup tuple");
+    });
+    assert_eq!(seen, model, "{label}: iterated content");
+}
+
+#[test]
+fn all_multimaps_match_the_oracle() {
+    for seed in [1u64, 2, 3, 42, 99] {
+        let ops = op_stream(3000, seed);
+        check_against_oracle::<AxiomMultiMap<u32, u32>>(&ops, "axiom");
+        check_against_oracle::<AxiomFusedMultiMap<u32, u32>>(&ops, "axiom-fused");
+        check_against_oracle::<ClojureMultiMap<u32, u32>>(&ops, "clojure");
+        check_against_oracle::<ScalaMultiMap<u32, u32>>(&ops, "scala");
+        check_against_oracle::<NestedChampMultiMap<u32, u32>>(&ops, "nested-champ");
+    }
+}
+
+#[test]
+fn axiom_invariants_hold_under_the_stream() {
+    for seed in [7u64, 8] {
+        let ops = op_stream(2500, seed);
+        let mm: AxiomMultiMap<u32, u32> = drive(&ops);
+        mm.assert_invariants();
+        let fused: AxiomFusedMultiMap<u32, u32> = drive(&ops);
+        fused.assert_invariants();
+    }
+}
+
+#[test]
+fn pairwise_equality_of_axiom_variants() {
+    // Both AXIOM variants, built along different op orders that produce the
+    // same relation, compare equal to a canonically rebuilt twin.
+    let ops = op_stream(2000, 5);
+    let mm: AxiomMultiMap<u32, u32> = drive(&ops);
+    let mut rebuilt = AxiomMultiMap::<u32, u32>::new();
+    let mut tuples: Vec<(u32, u32)> = mm.iter().map(|(k, v)| (*k, *v)).collect();
+    tuples.sort_by(|a, b| b.cmp(a)); // reversed insertion order
+    for (k, v) in tuples {
+        rebuilt.insert_mut(k, v);
+    }
+    assert_eq!(mm, rebuilt);
+}
+
+#[test]
+fn burst_semantics_match_paper_workload() {
+    // The §4.1 bursts: full matches are no-ops on insert and hits on lookup;
+    // partial matches trigger promotions; misses add keys.
+    let w = axiom_repro::workloads::multimap_workload(512, 11);
+    let base: AxiomMultiMap<u32, u32> = w.tuples.iter().copied().collect();
+
+    for (k, v) in &w.hit_tuples {
+        assert!(base.contains_tuple(k, v));
+        assert_eq!(base.inserted(*k, *v).tuple_count(), base.tuple_count());
+    }
+    for (k, v) in &w.partial_tuples {
+        assert!(base.contains_key(k) && !base.contains_tuple(k, v));
+        let grown = base.inserted(*k, *v);
+        assert_eq!(grown.tuple_count(), base.tuple_count() + 1);
+        assert_eq!(grown.key_count(), base.key_count());
+    }
+    for (k, v) in &w.miss_tuples {
+        assert!(!base.contains_key(k));
+        let grown = base.inserted(*k, *v);
+        assert_eq!(grown.key_count(), base.key_count() + 1);
+    }
+}

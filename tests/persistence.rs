@@ -1,0 +1,113 @@
+//! Persistence guarantees across every structure in the workspace: updates
+//! never disturb earlier versions, and structural sharing keeps derivation
+//! chains cheap.
+
+use axiom_repro::axiom::{AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, MemoHamtMap};
+use axiom_repro::heapmodel::{Accounting, RustFootprint};
+
+#[test]
+fn multimap_version_chain_stays_intact() {
+    let mut versions = vec![AxiomMultiMap::<u32, u32>::new()];
+    for i in 0..200u32 {
+        let next = versions.last().unwrap().inserted(i % 50, i);
+        versions.push(next);
+    }
+    // Every version still answers exactly for its own prefix of inserts.
+    for (n, v) in versions.iter().enumerate() {
+        assert_eq!(v.tuple_count(), n);
+    }
+    // Deleting from the newest version leaves all ancestors untouched.
+    let last = versions.last().unwrap().clone();
+    let pruned = last.key_removed(&0);
+    assert!(pruned.tuple_count() < last.tuple_count());
+    assert_eq!(versions[200].tuple_count(), 200);
+    versions[200].assert_invariants();
+    pruned.assert_invariants();
+}
+
+#[test]
+fn maps_and_sets_are_persistent() {
+    let base_map: AxiomMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+    let modified = base_map.inserted(5, 999).removed(&6);
+    assert_eq!(base_map.get(&5), Some(&5));
+    assert_eq!(base_map.get(&6), Some(&6));
+    assert_eq!(modified.get(&5), Some(&999));
+    assert_eq!(modified.get(&6), None);
+
+    let champ_map: ChampMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+    let m2 = champ_map.removed(&0);
+    assert!(champ_map.contains_key(&0) && !m2.contains_key(&0));
+
+    let hamt_map: HamtMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+    let h2 = hamt_map.removed(&0);
+    assert!(hamt_map.contains_key(&0) && !h2.contains_key(&0));
+
+    let memo_map: MemoHamtMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+    let mm2 = memo_map.removed(&0);
+    assert!(memo_map.contains_key(&0) && !mm2.contains_key(&0));
+
+    let set: AxiomSet<u32> = (0..100).collect();
+    let s2 = set.removed(&0);
+    assert!(set.contains(&0) && !s2.contains(&0));
+
+    let cset: ChampSet<u32> = (0..100).collect();
+    let c2 = cset.inserted(1000);
+    assert!(!cset.contains(&1000) && c2.contains(&1000));
+}
+
+#[test]
+fn derived_versions_share_structure() {
+    // Measuring two versions together must cost far less than twice one
+    // version: the walker deduplicates shared Arc'd sub-tries.
+    let v1: AxiomMultiMap<u32, u32> = (0..4096u32).map(|i| (i, i)).collect();
+    let v2 = v1.inserted(90_000, 1);
+
+    let solo = v1.rust_bytes();
+
+    let mut acc = Accounting::new();
+    v1.rust_footprint(&mut acc);
+    v2.rust_footprint(&mut acc);
+    let both = acc.footprint.total();
+
+    // v2 shares all but one root-to-leaf path with v1.
+    assert!(
+        both < solo + solo / 4,
+        "no structural sharing detected: solo={solo} both={both}"
+    );
+}
+
+#[test]
+fn cheap_clone_is_constant_size() {
+    let big: AxiomMultiMap<u32, u32> = (0..10_000u32).map(|i| (i, i)).collect();
+    let clone = big.clone();
+    // Clones share everything.
+    let mut acc = Accounting::new();
+    big.rust_footprint(&mut acc);
+    clone.rust_footprint(&mut acc);
+    assert_eq!(acc.footprint.total(), big.rust_bytes());
+}
+
+#[test]
+fn concurrent_readers_across_threads() {
+    let mm: AxiomMultiMap<u32, u32> = (0..2000u32).map(|i| (i % 500, i)).collect();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let view = mm.clone();
+            std::thread::spawn(move || {
+                let mut hits = 0usize;
+                for k in 0..500u32 {
+                    if view.contains_key(&k) {
+                        hits += 1;
+                    }
+                }
+                (t, hits)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (_, hits) = h.join().unwrap();
+        assert_eq!(hits, 500);
+    }
+}

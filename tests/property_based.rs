@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) over the core data structures: canonical
+//! invariants, oracle agreement, persistence, equality laws and
+//! promote/demote round-trips under arbitrary operation sequences.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, MemoHamtMap};
+use axiom_repro::trie_common::ops::MultiMapOps;
+
+/// One multi-map operation.
+#[derive(Debug, Clone)]
+enum MmOp {
+    Insert(u16, u8),
+    RemoveTuple(u16, u8),
+    RemoveKey(u16),
+}
+
+fn mm_ops() -> impl Strategy<Value = Vec<MmOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| MmOp::Insert(k % 64, v % 8)),
+            2 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| MmOp::RemoveTuple(k % 64, v % 8)),
+            1 => any::<u16>().prop_map(|k| MmOp::RemoveKey(k % 64)),
+        ],
+        0..300,
+    )
+}
+
+fn apply_model(model: &mut BTreeMap<u16, BTreeSet<u8>>, op: &MmOp) {
+    match op {
+        MmOp::Insert(k, v) => {
+            model.entry(*k).or_default().insert(*v);
+        }
+        MmOp::RemoveTuple(k, v) => {
+            if let Some(s) = model.get_mut(k) {
+                s.remove(v);
+                if s.is_empty() {
+                    model.remove(k);
+                }
+            }
+        }
+        MmOp::RemoveKey(k) => {
+            model.remove(k);
+        }
+    }
+}
+
+fn apply_mm<M: MultiMapOps<u16, u8>>(mm: M, op: &MmOp) -> M {
+    match op {
+        MmOp::Insert(k, v) => mm.inserted(*k, *v),
+        MmOp::RemoveTuple(k, v) => mm.tuple_removed(k, v),
+        MmOp::RemoveKey(k) => mm.key_removed(k),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn axiom_multimap_matches_model(ops in mm_ops()) {
+        let mut model = BTreeMap::new();
+        let mut mm = AxiomMultiMap::<u16, u8>::new();
+        for op in &ops {
+            apply_model(&mut model, op);
+            mm = apply_mm(mm, op);
+            prop_assert_eq!(mm.key_count(), model.len());
+            prop_assert_eq!(
+                mm.tuple_count(),
+                model.values().map(BTreeSet::len).sum::<usize>()
+            );
+        }
+        mm.assert_invariants();
+        for (k, vs) in &model {
+            for v in vs {
+                prop_assert!(mm.contains_tuple(k, v));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_multimap_matches_model(ops in mm_ops()) {
+        let mut model = BTreeMap::new();
+        let mut mm = AxiomFusedMultiMap::<u16, u8>::new();
+        for op in &ops {
+            apply_model(&mut model, op);
+            mm = apply_mm(mm, op);
+        }
+        mm.assert_invariants();
+        prop_assert_eq!(mm.key_count(), model.len());
+        let mut collected: BTreeMap<u16, BTreeSet<u8>> = BTreeMap::new();
+        mm.for_each_tuple(&mut |k, v| {
+            collected.entry(*k).or_default().insert(*v);
+        });
+        prop_assert_eq!(collected, model);
+    }
+
+    #[test]
+    fn multimap_equality_is_content_based(ops in mm_ops()) {
+        let mut mm = AxiomMultiMap::<u16, u8>::new();
+        for op in &ops {
+            mm = apply_mm(mm, op);
+        }
+        // Rebuild from iterated tuples in sorted order: must compare equal.
+        let mut tuples: Vec<(u16, u8)> = mm.iter().map(|(k, v)| (*k, *v)).collect();
+        tuples.sort();
+        let rebuilt: AxiomMultiMap<u16, u8> = tuples.into_iter().collect();
+        prop_assert_eq!(&mm, &rebuilt);
+    }
+
+    #[test]
+    fn persistence_under_random_updates(ops in mm_ops()) {
+        let mut versions: Vec<AxiomMultiMap<u16, u8>> = vec![AxiomMultiMap::new()];
+        let mut counts = vec![0usize];
+        for op in &ops {
+            let next = apply_mm(versions.last().unwrap().clone(), op);
+            counts.push(next.tuple_count());
+            versions.push(next);
+        }
+        // Every historical version still reports its recorded size.
+        for (v, &c) in versions.iter().zip(&counts) {
+            prop_assert_eq!(v.tuple_count(), c);
+        }
+    }
+
+    #[test]
+    fn set_behaves_like_btreeset(elems in prop::collection::vec(any::<u16>(), 0..400)) {
+        let mut model = BTreeSet::new();
+        let mut set = AxiomSet::<u16>::new();
+        for (i, e) in elems.iter().enumerate() {
+            if i % 3 == 2 {
+                prop_assert_eq!(set.remove_mut(e), model.remove(e));
+            } else {
+                prop_assert_eq!(set.insert_mut(*e), model.insert(*e));
+            }
+        }
+        set.assert_invariants();
+        prop_assert_eq!(set.len(), model.len());
+        let collected: BTreeSet<u16> = set.iter().copied().collect();
+        prop_assert_eq!(collected, model);
+    }
+
+    #[test]
+    fn champ_set_algebra_laws(
+        a in prop::collection::btree_set(any::<u16>(), 0..100),
+        b in prop::collection::btree_set(any::<u16>(), 0..100),
+    ) {
+        let sa: ChampSet<u16> = a.iter().copied().collect();
+        let sb: ChampSet<u16> = b.iter().copied().collect();
+        let union = sa.union(&sb);
+        let inter = sa.intersection(&sb);
+        let diff = sa.difference(&sb);
+        prop_assert_eq!(union.len(), a.union(&b).count());
+        prop_assert_eq!(inter.len(), a.intersection(&b).count());
+        prop_assert_eq!(diff.len(), a.difference(&b).count());
+        prop_assert!(inter.is_subset(&sa));
+        prop_assert!(inter.is_subset(&sb));
+        prop_assert!(diff.is_subset(&sa));
+        union.assert_invariants();
+    }
+
+    #[test]
+    fn axiom_set_algebra_laws(
+        a in prop::collection::btree_set(any::<u16>(), 0..100),
+        b in prop::collection::btree_set(any::<u16>(), 0..100),
+    ) {
+        let sa: AxiomSet<u16> = a.iter().copied().collect();
+        let sb: AxiomSet<u16> = b.iter().copied().collect();
+        prop_assert_eq!(sa.union(&sb).len(), a.union(&b).count());
+        prop_assert_eq!(sa.intersection(&sb).len(), a.intersection(&b).count());
+        prop_assert_eq!(sa.difference(&sb).len(), a.difference(&b).count());
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn all_maps_agree_on_random_ops(ops in prop::collection::vec(
+        (any::<u16>(), any::<u16>(), any::<bool>()), 0..300))
+    {
+        let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+        let mut axiom = AxiomMap::<u16, u16>::new();
+        let mut champ = ChampMap::<u16, u16>::new();
+        let mut hamt = HamtMap::<u16, u16>::new();
+        let mut memo = MemoHamtMap::<u16, u16>::new();
+        for (k, v, remove) in &ops {
+            let k = k % 96;
+            if *remove {
+                model.remove(&k);
+                axiom.remove_mut(&k);
+                champ.remove_mut(&k);
+                hamt.remove_mut(&k);
+                memo.remove_mut(&k);
+            } else {
+                model.insert(k, *v);
+                axiom.insert_mut(k, *v);
+                champ.insert_mut(k, *v);
+                hamt.insert_mut(k, *v);
+                memo.insert_mut(k, *v);
+            }
+        }
+        prop_assert_eq!(axiom.len(), model.len());
+        prop_assert_eq!(champ.len(), model.len());
+        prop_assert_eq!(hamt.len(), model.len());
+        prop_assert_eq!(memo.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(axiom.get(k), Some(v));
+            prop_assert_eq!(champ.get(k), Some(v));
+            prop_assert_eq!(hamt.get(k), Some(v));
+            prop_assert_eq!(memo.get(k), Some(v));
+        }
+        axiom.assert_invariants();
+        champ.assert_invariants();
+        hamt.assert_invariants();
+        memo.assert_invariants();
+    }
+
+    #[test]
+    fn promote_demote_roundtrip(k in any::<u16>(), vs in prop::collection::btree_set(any::<u8>(), 2..20)) {
+        // Insert all values for one key, then remove all but one: the slot
+        // must end as an inlined 1:1 pair with the surviving value.
+        let mut mm = AxiomMultiMap::<u16, u8>::new();
+        for v in &vs {
+            mm.insert_mut(k, *v);
+        }
+        prop_assert_eq!(mm.value_count(&k), vs.len());
+        let survivor = *vs.iter().next().unwrap();
+        for v in vs.iter().skip(1) {
+            mm.remove_tuple_mut(&k, v);
+        }
+        mm.assert_invariants();
+        prop_assert_eq!(mm.value_count(&k), 1);
+        prop_assert!(mm.contains_tuple(&k, &survivor));
+        prop_assert!(matches!(
+            mm.get(&k),
+            Some(axiom_repro::axiom::BindingRef::One(_))
+        ));
+    }
+}
