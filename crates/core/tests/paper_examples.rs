@@ -90,7 +90,11 @@ fn figure_3_construction_shapes() {
         .inserted(a.clone(), 1)
         .inserted(b.clone(), 2);
     let hist = mm.root_histogram().unwrap();
-    assert_eq!(hist[Category::Cat1 as usize], 2, "fig 3a: two CAT1 branches");
+    assert_eq!(
+        hist[Category::Cat1 as usize],
+        2,
+        "fig 3a: two CAT1 branches"
+    );
     assert_eq!(hist[Category::Node as usize], 0);
 
     // Figure 3b: adding C ↦ 3 clashes with B on prefix 2 — "A ↦ 1 swaps
@@ -116,7 +120,11 @@ fn figure_3_construction_shapes() {
     let mm = mm.inserted(d.clone(), -4).inserted(f.clone(), 6);
     let hist = mm.root_histogram().unwrap();
     assert_eq!(hist[Category::Cat1 as usize], 2, "fig 3d: A and F inlined");
-    assert_eq!(hist[Category::Cat2 as usize], 0, "1:n entry is nested deeper");
+    assert_eq!(
+        hist[Category::Cat2 as usize],
+        0,
+        "1:n entry is nested deeper"
+    );
     assert_eq!(hist[Category::Node as usize], 1);
     assert_eq!(mm.key_count(), 6);
     assert_eq!(mm.tuple_count(), 7);

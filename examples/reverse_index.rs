@@ -80,10 +80,10 @@ fn main() {
     let axiom_bytes = rows[3].1 .1;
     for (name, (tuples, bytes)) in rows {
         println!(
-            "  {name:<20} {:>9} B total, {:>6.2} B/tuple ({}x of axiom)",
+            "  {name:<20} {:>9} B total, {:>6.2} B/tuple ({:.2}x of axiom)",
             bytes,
             bytes as f64 / tuples as f64,
-            format!("{:.2}", bytes as f64 / axiom_bytes as f64),
+            bytes as f64 / axiom_bytes as f64,
         );
     }
 

@@ -1,0 +1,109 @@
+//! Workspace wiring smoke test: the umbrella crate's re-exports resolve, and
+//! every headline collection round-trips a few operations through the shared
+//! `MapOps` / `MultiMapOps` traits. Guards the Cargo workspace itself — if a
+//! crate boundary or re-export breaks, this is the first test to fail.
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, MemoHamtMap};
+use axiom_repro::heapmodel::JvmArch;
+use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use axiom_repro::trie_common::ops::{MapOps, MultiMapOps};
+use axiom_repro::trie_common::{bit_pos, hash32, index_in, mask};
+use axiom_repro::workloads::multimap_workload;
+
+/// Insert/lookup/remove round-trip through the `MapOps` trait, as the bench
+/// harness drives every map implementation.
+fn map_roundtrip<M: MapOps<u32, u32>>() {
+    let mut m = M::empty();
+    for k in 0..100u32 {
+        m = m.inserted(k, k * 2);
+    }
+    assert_eq!(m.len(), 100);
+    assert_eq!(m.get(&40), Some(&80));
+    assert!(m.contains_key(&99));
+    assert!(!m.contains_key(&100));
+    for k in 0..50u32 {
+        m = m.removed(&k);
+    }
+    assert_eq!(m.len(), 50);
+    assert!(!m.contains_key(&0));
+    assert_eq!(m.get(&70), Some(&140));
+    let mut n = 0;
+    m.for_each_entry(&mut |_, _| n += 1);
+    assert_eq!(n, 50);
+}
+
+/// Insert/lookup/remove round-trip through the `MultiMapOps` trait.
+fn multimap_roundtrip<M: MultiMapOps<u32, u32>>() {
+    let mut mm = M::empty();
+    for k in 0..50u32 {
+        mm = mm.inserted(k, 1);
+        if k % 2 == 0 {
+            mm = mm.inserted(k, 2); // promote half the keys to 1:n
+        }
+    }
+    assert_eq!(mm.key_count(), 50);
+    assert_eq!(mm.tuple_count(), 75);
+    assert!(mm.contains_tuple(&0, &2));
+    assert!(!mm.contains_tuple(&1, &2));
+    assert_eq!(mm.value_count(&0), 2);
+    assert_eq!(mm.value_count(&1), 1);
+
+    mm = mm.tuple_removed(&0, &2); // demote back to 1:1
+    assert_eq!(mm.value_count(&0), 1);
+    mm = mm.key_removed(&1);
+    assert_eq!(mm.key_count(), 49);
+    assert_eq!(mm.tuple_count(), 73);
+}
+
+#[test]
+fn all_map_impls_roundtrip() {
+    map_roundtrip::<AxiomMap<u32, u32>>();
+    map_roundtrip::<ChampMap<u32, u32>>();
+    map_roundtrip::<HamtMap<u32, u32>>();
+    map_roundtrip::<MemoHamtMap<u32, u32>>();
+}
+
+#[test]
+fn all_multimap_impls_roundtrip() {
+    multimap_roundtrip::<AxiomMultiMap<u32, u32>>();
+    multimap_roundtrip::<AxiomFusedMultiMap<u32, u32>>();
+    multimap_roundtrip::<ClojureMultiMap<u32, u32>>();
+    multimap_roundtrip::<ScalaMultiMap<u32, u32>>();
+    multimap_roundtrip::<NestedChampMultiMap<u32, u32>>();
+}
+
+#[test]
+fn sets_and_direct_apis_resolve() {
+    let set: AxiomSet<u32> = (0..64).collect();
+    assert_eq!(set.len(), 64);
+    assert!(set.contains(&63));
+
+    let champ_set: ChampSet<u32> = (0..64).collect();
+    assert_eq!(champ_set.intersection(&champ_set).len(), 64);
+
+    // Inherent (non-trait) API of the headline type.
+    let mm = AxiomMultiMap::<&str, u32>::new()
+        .inserted("k", 1)
+        .inserted("k", 2);
+    assert_eq!(mm.value_count(&"k"), 2);
+    assert_eq!(mm.key_removed(&"k").key_count(), 0);
+}
+
+#[test]
+fn support_crates_resolve() {
+    // trie_common bit machinery.
+    let hash = hash32(&42u32);
+    let m = mask(hash, 0);
+    assert!(m < 32);
+    assert_eq!(index_in(bit_pos(m), bit_pos(m)), 0);
+
+    // workloads generation.
+    let w = multimap_workload(64, 11);
+    assert_eq!(w.keys.len(), 64);
+    assert_eq!(w.tuples.len(), 96); // 50% 1:1, 50% 1:2
+
+    // heapmodel arithmetic.
+    assert_eq!(JvmArch::COMPRESSED_OOPS.object(0, 1, 0), 16);
+}

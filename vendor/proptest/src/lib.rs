@@ -1,0 +1,145 @@
+//! Offline shim for the `proptest` 1.x API subset used by this workspace.
+//!
+//! Implements randomized property testing without shrinking: the
+//! [`proptest!`] macro runs each property over `ProptestConfig::cases`
+//! deterministic random cases (seeded per test name), and failures panic
+//! with the standard assertion message. The strategy combinators cover what
+//! this repository's tests use: [`arbitrary::any`], integer ranges, tuples,
+//! [`collection`] strategies, weighted [`prop_oneof!`] unions, `prop_map`,
+//! and [`sample::Index`].
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+use rand::{RngCore, SeedableRng};
+
+/// Runtime configuration of a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is executed for.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving test-case generation.
+///
+/// Seeded from the property's name so every test function owns an
+/// independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    /// Creates the generator for the named property.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(rand::StdRng::seed_from_u64(seed))
+    }
+
+    /// Returns the next random 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Everything a test module conventionally imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestRng};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item expands to a `#[test]` running the body over randomly generated
+/// inputs. An optional leading `#![proptest_config(expr)]` sets the case
+/// count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*
+    ) => {
+        $($crate::proptest!(@one ($config); $(#[$meta])*; $name; ($($args)*); $body);)*
+    };
+
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $($crate::proptest!(
+            @one (<$crate::ProptestConfig as ::core::default::Default>::default());
+            $(#[$meta])*; $name; ($($args)*); $body);)*
+    };
+
+    (@one ($config:expr); $(#[$meta:meta])*; $name:ident;
+     ($($pat:pat in $strategy:expr),+ $(,)?); $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    };
+}
+
+/// `assert!` under the name property tests conventionally use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under the name property tests conventionally use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under the name property tests conventionally use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Builds a strategy choosing between alternatives, optionally weighted
+/// (`weight => strategy`). All alternatives must produce the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}

@@ -1,0 +1,24 @@
+//! Sampling helpers: the [`Index`] type.
+
+use crate::arbitrary::Arbitrary;
+use crate::TestRng;
+
+/// A position into a collection whose length is only known at use time.
+///
+/// Generated via `any::<Index>()`; resolve with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps this sample onto `0..len`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,269 @@
+//! Deserialization half of the data model.
+
+use std::marker::PhantomData;
+
+/// Errors produced by deserializers.
+pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+    /// Builds an error carrying a custom message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format driver feeding values into [`Visitor`]s.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of this format.
+    type Error: Error;
+
+    /// Drives `visitor` with whatever value comes next in the input.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Drives `visitor` with the sequence that comes next in the input.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Receiver of values produced by a [`Deserializer`].
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Writes a description of what the visitor expects, for errors.
+    fn expecting(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+        Err(E::custom(ExpectedBy(self)))
+    }
+
+    /// Visits an unsigned integer.
+    fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+        Err(E::custom(ExpectedBy(self)))
+    }
+
+    /// Visits a signed integer.
+    fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+        Err(E::custom(ExpectedBy(self)))
+    }
+
+    /// Visits a floating-point number.
+    fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+        Err(E::custom(ExpectedBy(self)))
+    }
+
+    /// Visits a string.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(E::custom(ExpectedBy(self)))
+    }
+
+    /// Visits the unit value.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(ExpectedBy(self)))
+    }
+
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom(ExpectedBy(self)))
+    }
+}
+
+/// Renders a visitor's `expecting` message ("invalid type: expected ...").
+struct ExpectedBy<V>(V);
+
+impl<'de, V: Visitor<'de>> std::fmt::Display for ExpectedBy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid type: expected ")?;
+        self.0.expecting(f)
+    }
+}
+
+/// Streaming access to the elements of a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// Error type of this format.
+    type Error: Error;
+
+    /// Deserializes the next element, or `None` at the end of the sequence.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty => $name:literal),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str($name)
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        let truncated = v as u64;
+                        if truncated as f64 == v {
+                            <$t>::try_from(truncated)
+                                .map_err(|_| E::custom("integer out of range"))
+                        } else {
+                            Err(E::custom("expected an integer"))
+                        }
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8 => "u8", u16 => "u16", u32 => "u32", u64 => "u64", usize => "usize");
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty => $name:literal),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str($name)
+                    }
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v).map_err(|_| E::custom("integer out of range"))
+                    }
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        i64::try_from(v)
+                            .ok()
+                            .and_then(|v| <$t>::try_from(v).ok())
+                            .ok_or_else(|| E::custom("integer out of range"))
+                    }
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        let truncated = v as i64;
+                        if truncated as f64 == v {
+                            <$t>::try_from(truncated)
+                                .map_err(|_| E::custom("integer out of range"))
+                        } else {
+                            Err(E::custom("expected an integer"))
+                        }
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8 => "i8", i16 => "i16", i32 => "i32", i64 => "i64", isize => "isize");
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("bool")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = f64;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("f64")
+            }
+            fn visit_f64<E: Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::new();
+                while let Some(v) = seq.next_element()? {
+                    out.push(v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        $(let $name = seq
+                            .next_element()?
+                            .ok_or_else(|| Acc::Error::custom("tuple too short"))?;)+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_seq(V(PhantomData))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1; T0)
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+}

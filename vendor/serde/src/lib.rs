@@ -1,0 +1,18 @@
+//! Offline shim for the `serde` 1.x data-model subset used by this
+//! workspace.
+//!
+//! The collections in `axiom` serialize exclusively as flat sequences, so
+//! this shim models just that slice of serde: primitives, strings, tuples
+//! and sequences, with the familiar trait split ([`Serialize`] /
+//! [`Serializer`] / [`ser::SerializeSeq`] on one side, [`Deserialize`] /
+//! [`Deserializer`] / [`de::Visitor`] / [`de::SeqAccess`] on the other).
+//! Formats (such as the in-tree `serde_json` shim) implement the same
+//! traits, so the `axiom` impls are source-compatible with real serde.
+
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};

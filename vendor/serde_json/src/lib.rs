@@ -1,0 +1,253 @@
+//! Offline shim for the `serde_json` 1.x API subset used by this workspace:
+//! [`to_string`], [`from_str`], [`to_value`] and an array/number/string
+//! [`Value`]. Objects are parsed but (like the rest of the tree) never
+//! produced by the collections under test, which serialize as flat
+//! sequences.
+
+#![warn(missing_docs)]
+
+mod parse;
+mod value;
+
+pub use value::Value;
+
+use serde::de::{self, Deserialize};
+use serde::ser::{self, Serialize, SerializeSeq, Serializer};
+
+/// Error type shared by serialization and deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(JsonWriter { out: &mut out })?;
+    Ok(out)
+}
+
+/// Serializes `value` into an in-memory [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueBuilder)
+}
+
+/// Deserializes a `T` out of a JSON string.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize(value)
+}
+
+// ---------------------------------------------------------------- writing
+
+struct JsonWriter<'a> {
+    out: &'a mut String,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonSeqWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeSeq for JsonSeqWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonWriter { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+impl<'a> Serializer for JsonWriter<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = JsonSeqWriter<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        } else {
+            Err(ser::Error::custom(
+                "JSON cannot represent non-finite floats",
+            ))
+        }
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeqWriter<'a>, Error> {
+        self.out.push('[');
+        Ok(JsonSeqWriter {
+            out: self.out,
+            first: true,
+        })
+    }
+}
+
+// ----------------------------------------------------------- value building
+
+struct ValueBuilder;
+
+struct ValueSeqBuilder {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for ValueSeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueBuilder)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+impl Serializer for ValueBuilder {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = ValueSeqBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqBuilder, Error> {
+        Ok(ValueSeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_tuples() {
+        let data: Vec<(String, u32)> = vec![("a\"b".into(), 1), ("c\\d".into(), 2)];
+        let json = to_string(&data).unwrap();
+        let back: Vec<(String, u32)> = from_str(&json).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn to_value_builds_arrays() {
+        let v = to_value(&vec![(1u32, 2u32), (3, 4)]).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert!(arr.iter().all(|t| t.as_array().is_some()));
+    }
+
+    #[test]
+    fn parses_whitespace_and_negatives() {
+        let back: Vec<i64> = from_str(" [ 1 , -2 ,\n 3 ] ").unwrap();
+        assert_eq!(back, vec![1, -2, 3]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Vec<u32>>("[1, 2").is_err());
+        assert!(from_str::<Vec<u32>>("nope").is_err());
+        assert!(from_str::<u32>("[1]").is_err());
+    }
+
+    #[test]
+    fn unicode_strings_roundtrip() {
+        let data = vec!["héllo ☃".to_string(), "\tworld\n".to_string()];
+        let back: Vec<String> = from_str(&to_string(&data).unwrap()).unwrap();
+        assert_eq!(back, data);
+    }
+}

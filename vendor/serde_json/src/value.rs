@@ -1,0 +1,113 @@
+//! The in-memory JSON tree and its deserializer impl.
+
+use crate::Error;
+use serde::de::{self, Deserializer, SeqAccess, Visitor};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, exact for |n| ≤ 2⁵³).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `f64` if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+struct ValueSeqAccess {
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> SeqAccess<'de> for ValueSeqAccess {
+    type Error = Error;
+
+    fn next_element<T: de::Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.iter.next() {
+            Some(value) => T::deserialize(value).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Number(n) => visitor.visit_f64(n),
+            Value::String(s) => visitor.visit_str(&s),
+            Value::Array(items) => visitor.visit_seq(ValueSeqAccess {
+                iter: items.into_iter(),
+            }),
+            Value::Object(_) => Err(de::Error::custom(
+                "objects are not supported by this serde_json shim",
+            )),
+        }
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Array(items) => visitor.visit_seq(ValueSeqAccess {
+                iter: items.into_iter(),
+            }),
+            other => Err(de::Error::custom(format!(
+                "expected an array, found {other:?}"
+            ))),
+        }
+    }
+}
