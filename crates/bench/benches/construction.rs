@@ -1,0 +1,73 @@
+//! Criterion bench for bulk construction: the persistent fold-of-`inserted`
+//! path vs the transient builder protocol, across the multi-map designs.
+//!
+//! The CHAMP lineage's transients exist because bulk construction through
+//! the persistent path pays one handle clone (and, on the JVM, one path
+//! copy) per element; the transient path batches `insert_mut` edits against
+//! a uniquely-owned handle and freezes once. Both paths here share trie
+//! nodes identically, so the expected gap is the per-tuple handle overhead
+//! — small but strictly nonnegative.
+
+use axiom::{AxiomFusedMultiMap, AxiomMultiMap};
+use champ::ChampMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use std::time::Duration;
+use trie_common::ops::{MapOps, MultiMapOps, TransientOps};
+use workloads::build::{map_persistent, map_transient, multimap_persistent, multimap_transient};
+use workloads::data::{map_workload, multimap_workload};
+
+const SIZES: [usize; 2] = [1 << 10, 1 << 14];
+
+fn bench_multimap<M>(c: &mut Criterion, name: &str)
+where
+    M: MultiMapOps<u32, u32> + TransientOps<(u32, u32)>,
+{
+    let mut group = c.benchmark_group(format!("construction/{name}"));
+    for &size in &SIZES {
+        let w = multimap_workload(size, 11);
+        group.bench_with_input(BenchmarkId::new("persistent", size), &size, |b, _| {
+            b.iter(|| multimap_persistent::<M>(&w.tuples).tuple_count())
+        });
+        group.bench_with_input(BenchmarkId::new("transient", size), &size, |b, _| {
+            b.iter(|| multimap_transient::<M>(&w.tuples).tuple_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_map<M>(c: &mut Criterion, name: &str)
+where
+    M: MapOps<u32, u32> + TransientOps<(u32, u32)>,
+{
+    let mut group = c.benchmark_group(format!("construction/{name}"));
+    for &size in &SIZES {
+        let w = map_workload(size, 11);
+        group.bench_with_input(BenchmarkId::new("persistent", size), &size, |b, _| {
+            b.iter(|| map_persistent::<M>(&w.entries).len())
+        });
+        group.bench_with_input(BenchmarkId::new("transient", size), &size, |b, _| {
+            b.iter(|| map_transient::<M>(&w.entries).len())
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_multimap::<AxiomMultiMap<u32, u32>>(c, "axiom");
+    bench_multimap::<AxiomFusedMultiMap<u32, u32>>(c, "axiom-fused");
+    bench_multimap::<ClojureMultiMap<u32, u32>>(c, "clojure");
+    bench_multimap::<ScalaMultiMap<u32, u32>>(c, "scala");
+    bench_multimap::<NestedChampMultiMap<u32, u32>>(c, "nested-champ");
+    bench_map::<ChampMap<u32, u32>>(c, "champ-map");
+}
+
+criterion_group! {
+    name = construction;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700));
+    targets = benches
+}
+criterion_main!(construction);

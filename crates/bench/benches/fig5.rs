@@ -4,18 +4,21 @@
 use axiom::AxiomMultiMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use idiomatic::ScalaMultiMap;
-use paper_bench::build_multimap;
 use std::time::Duration;
-use trie_common::ops::MultiMapOps;
+use trie_common::ops::{MultiMapOps, TransientOps};
+use workloads::build::multimap_transient;
 use workloads::data::multimap_workload;
 
 const SIZES: [usize; 3] = [1 << 4, 1 << 10, 1 << 14];
 
-fn bench_impl<M: MultiMapOps<u32, u32>>(c: &mut Criterion, name: &str) {
+fn bench_impl<M>(c: &mut Criterion, name: &str)
+where
+    M: MultiMapOps<u32, u32> + TransientOps<(u32, u32)>,
+{
     let mut group = c.benchmark_group(format!("fig5/{name}"));
     for &size in &SIZES {
         let w = multimap_workload(size, 23);
-        let mm: M = build_multimap(&w.tuples);
+        let mm: M = multimap_transient(&w.tuples);
 
         group.bench_with_input(BenchmarkId::new("lookup", size), &size, |b, _| {
             b.iter(|| {

@@ -6,19 +6,20 @@ use axiom::AxiomMap;
 use champ::ChampMap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use trie_common::ops::MapOps;
+use trie_common::ops::{MapOps, TransientOps};
+use workloads::build::map_transient;
 use workloads::data::map_workload;
 
 const SIZES: [usize; 3] = [1 << 4, 1 << 10, 1 << 14];
 
-fn bench_impl<M: MapOps<u32, u32>>(c: &mut Criterion, name: &str) {
+fn bench_impl<M>(c: &mut Criterion, name: &str)
+where
+    M: MapOps<u32, u32> + TransientOps<(u32, u32)>,
+{
     let mut group = c.benchmark_group(format!("fig6/{name}"));
     for &size in &SIZES {
         let w = map_workload(size, 47);
-        let mut m = M::empty();
-        for &(k, v) in &w.entries {
-            m = m.inserted(k, v);
-        }
+        let m: M = map_transient(&w.entries);
 
         group.bench_with_input(BenchmarkId::new("lookup", size), &size, |b, _| {
             b.iter(|| w.hit_keys.iter().filter(|k| m.contains_key(k)).count())
@@ -45,17 +46,12 @@ fn bench_impl<M: MapOps<u32, u32>>(c: &mut Criterion, name: &str) {
             })
         });
         group.bench_with_input(BenchmarkId::new("iter_key", size), &size, |b, _| {
-            b.iter(|| {
-                let mut n = 0usize;
-                m.for_each_key(&mut |_| n += 1);
-                n
-            })
+            b.iter(|| m.keys().count())
         });
         group.bench_with_input(BenchmarkId::new("iter_entry", size), &size, |b, _| {
             b.iter(|| {
-                let mut acc = 0u64;
-                m.for_each_entry(&mut |k, v| acc = acc.wrapping_add(*k as u64 ^ *v as u64));
-                acc
+                m.entries()
+                    .fold(0u64, |acc, (k, v)| acc.wrapping_add(*k as u64 ^ *v as u64))
             })
         });
     }

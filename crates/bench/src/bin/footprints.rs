@@ -12,20 +12,20 @@
 use axiom::{AxiomFusedMultiMap, AxiomMultiMap};
 use heapmodel::{JvmArch, JvmFootprint, LayoutPolicy};
 use idiomatic::{ClojureMultiMap, ScalaMultiMap};
-use paper_bench::{build_multimap, multimap_times, HarnessConfig};
-use trie_common::ops::MultiMapOps;
+use paper_bench::{multimap_times, HarnessConfig};
+use trie_common::ops::{MultiMapOps, TransientOps};
+use workloads::build::multimap_transient;
 use workloads::data::multimap_workload;
 use workloads::timing::RatioSummary;
 use workloads::{Table, SEEDS};
 
 /// Structure bytes only — the paper's "key-value storage overhead" metric
 /// (boxed payload is identical across all designs and would dilute ratios).
-fn structure<M: MultiMapOps<u32, u32> + JvmFootprint>(
-    tuples: &[(u32, u32)],
-    arch: &JvmArch,
-    policy: &LayoutPolicy,
-) -> u64 {
-    let mm: M = build_multimap(tuples);
+fn structure<M>(tuples: &[(u32, u32)], arch: &JvmArch, policy: &LayoutPolicy) -> u64
+where
+    M: MultiMapOps<u32, u32> + TransientOps<(u32, u32)> + JvmFootprint,
+{
+    let mm: M = multimap_transient(tuples);
     mm.jvm_bytes(arch, policy).structure
 }
 

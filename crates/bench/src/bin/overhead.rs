@@ -9,17 +9,16 @@
 use axiom::{AxiomFusedMultiMap, AxiomMultiMap};
 use heapmodel::{JvmArch, JvmFootprint, LayoutPolicy};
 use idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
-use paper_bench::build_multimap;
-use trie_common::ops::MultiMapOps;
+use trie_common::ops::{MultiMapOps, TransientOps};
+use workloads::build::multimap_transient;
 use workloads::data::multimap_workload;
 use workloads::Table;
 
-fn overhead<M: MultiMapOps<u32, u32> + JvmFootprint>(
-    tuples: &[(u32, u32)],
-    arch: &JvmArch,
-    policy: &LayoutPolicy,
-) -> f64 {
-    let mm: M = build_multimap(tuples);
+fn overhead<M>(tuples: &[(u32, u32)], arch: &JvmArch, policy: &LayoutPolicy) -> f64
+where
+    M: MultiMapOps<u32, u32> + TransientOps<(u32, u32)> + JvmFootprint,
+{
+    let mm: M = multimap_transient(tuples);
     let fp = mm.jvm_bytes(arch, policy);
     fp.overhead_per_tuple(mm.tuple_count())
 }

@@ -10,13 +10,17 @@
 use axiom::{AxiomFusedMultiMap, AxiomMultiMap};
 use heapmodel::{JvmArch, JvmFootprint, LayoutPolicy};
 use idiomatic::NestedChampMultiMap;
-use paper_bench::{build_multimap, multimap_times, HarnessConfig};
-use trie_common::ops::MultiMapOps;
+use paper_bench::{multimap_times, HarnessConfig};
+use trie_common::ops::{MultiMapOps, TransientOps};
+use workloads::build::multimap_transient;
 use workloads::data::{multimap_workload_with, ValueDist};
 use workloads::Table;
 
-fn overhead<M: MultiMapOps<u32, u32> + JvmFootprint>(tuples: &[(u32, u32)]) -> f64 {
-    let mm: M = build_multimap(tuples);
+fn overhead<M>(tuples: &[(u32, u32)]) -> f64
+where
+    M: MultiMapOps<u32, u32> + TransientOps<(u32, u32)> + JvmFootprint,
+{
+    let mm: M = multimap_transient(tuples);
     mm.jvm_bytes(&JvmArch::COMPRESSED_OOPS, &LayoutPolicy::BASELINE)
         .overhead_per_tuple(mm.tuple_count())
 }

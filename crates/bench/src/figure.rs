@@ -7,12 +7,13 @@
 
 use axiom::AxiomMultiMap;
 use heapmodel::{JvmFootprint, LayoutPolicy};
-use trie_common::ops::MultiMapOps;
+use trie_common::ops::{MultiMapOps, TransientOps};
+use workloads::build::multimap_transient;
 use workloads::data::multimap_workload;
 use workloads::timing::RatioSummary;
 use workloads::{Table, SEEDS};
 
-use crate::{build_multimap, multimap_times, HarnessConfig};
+use crate::{multimap_times, HarnessConfig};
 
 /// Collected speedup/footprint ratios for one figure.
 #[derive(Debug)]
@@ -46,7 +47,7 @@ fn median_of(mut xs: Vec<f64>) -> f64 {
 /// Runs the figure comparison against baseline `B`.
 pub fn run_figure<B>(cfg: &HarnessConfig) -> FigureData
 where
-    B: MultiMapOps<u32, u32> + JvmFootprint,
+    B: MultiMapOps<u32, u32> + TransientOps<(u32, u32)> + JvmFootprint,
 {
     let mut table = Table::new(&[
         "size", "lookup", "miss", "insert", "delete", "mem32", "mem64",
@@ -77,9 +78,10 @@ where
 
             // The paper's footprint metric is the overhead of the encoding
             // itself ("key-value storage overhead"), so compare structure
-            // bytes — boxed payload is identical on both sides.
-            let axiom_mm: AxiomMultiMap<u32, u32> = build_multimap(&w.tuples);
-            let base_mm: B = build_multimap(&w.tuples);
+            // bytes — boxed payload is identical on both sides. Construction
+            // here is not timed, so take the cheap transient path.
+            let axiom_mm: AxiomMultiMap<u32, u32> = multimap_transient(&w.tuples);
+            let base_mm: B = multimap_transient(&w.tuples);
             let arch32 = heapmodel::JvmArch::COMPRESSED_OOPS;
             let arch64 = heapmodel::JvmArch::UNCOMPRESSED;
             let policy = LayoutPolicy::BASELINE;

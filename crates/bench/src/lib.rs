@@ -24,7 +24,8 @@
 pub mod figure;
 
 use heapmodel::{JvmArch, JvmFootprint, LayoutPolicy};
-use trie_common::ops::{MapOps, MultiMapOps};
+use trie_common::ops::{MapOps, MultiMapOps, TransientOps};
+use workloads::build::{map_persistent, multimap_persistent, multimap_transient};
 use workloads::data::{MapWorkload, MultiMapWorkload};
 use workloads::timing::{measure, BenchOptions, Stats};
 
@@ -45,22 +46,12 @@ pub struct MultiMapTimes {
     pub iter_entry: Stats,
 }
 
-/// Builds a multi-map implementation through its persistent insertion path
-/// (the construction the paper measures).
-pub fn build_multimap<M: MultiMapOps<u32, u32>>(tuples: &[(u32, u32)]) -> M {
-    let mut mm = M::empty();
-    for &(k, v) in tuples {
-        mm = mm.inserted(k, v);
-    }
-    mm
-}
-
 /// Runs the §4.1 operation bursts against `M` on workload `w`.
 pub fn multimap_times<M: MultiMapOps<u32, u32>>(
     w: &MultiMapWorkload,
     opts: &BenchOptions,
 ) -> MultiMapTimes {
-    let mm: M = build_multimap(&w.tuples);
+    let mm: M = multimap_persistent(&w.tuples);
 
     let lookup = measure(opts, || {
         let mut hits = 0usize;
@@ -103,16 +94,11 @@ pub fn multimap_times<M: MultiMapOps<u32, u32>>(
         out.tuple_count()
     });
 
-    let iter_key = measure(opts, || {
-        let mut n = 0usize;
-        mm.for_each_key(&mut |_| n += 1);
-        n
-    });
+    let iter_key = measure(opts, || mm.keys().count());
 
     let iter_entry = measure(opts, || {
-        let mut acc = 0u64;
-        mm.for_each_tuple(&mut |k, v| acc = acc.wrapping_add(*k as u64 ^ *v as u64));
-        acc
+        mm.tuples()
+            .fold(0u64, |acc, (k, v)| acc.wrapping_add(*k as u64 ^ *v as u64))
     });
 
     MultiMapTimes {
@@ -122,6 +108,35 @@ pub fn multimap_times<M: MultiMapOps<u32, u32>>(
         delete,
         iter_key,
         iter_entry,
+    }
+}
+
+/// Timings of the two bulk-construction paths of one multi-map.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstructionTimes {
+    /// Fold of persistent `inserted` calls (one new root per tuple).
+    pub persistent: Stats,
+    /// Transient builder: bulk `insert_mut` batch, one freeze.
+    pub transient: Stats,
+}
+
+/// Measures persistent-fold vs transient-builder construction of `M` from
+/// `tuples`.
+pub fn construction_times<M>(tuples: &[(u32, u32)], opts: &BenchOptions) -> ConstructionTimes
+where
+    M: MultiMapOps<u32, u32> + TransientOps<(u32, u32)>,
+{
+    let persistent = measure(opts, || {
+        let mm: M = multimap_persistent(tuples);
+        mm.tuple_count()
+    });
+    let transient = measure(opts, || {
+        let mm: M = multimap_transient(tuples);
+        mm.tuple_count()
+    });
+    ConstructionTimes {
+        persistent,
+        transient,
     }
 }
 
@@ -161,10 +176,7 @@ pub struct MapTimes {
 
 /// Runs the §5.1 operation suite against map `M` on workload `w`.
 pub fn map_times<M: MapOps<u32, u32>>(w: &MapWorkload, opts: &BenchOptions) -> MapTimes {
-    let mut m = M::empty();
-    for &(k, v) in &w.entries {
-        m = m.inserted(k, v);
-    }
+    let m: M = map_persistent(&w.entries);
 
     let lookup = measure(opts, || {
         let mut hits = 0usize;
@@ -205,16 +217,11 @@ pub fn map_times<M: MapOps<u32, u32>>(w: &MapWorkload, opts: &BenchOptions) -> M
         out.len()
     });
 
-    let iter_key = measure(opts, || {
-        let mut n = 0usize;
-        m.for_each_key(&mut |_| n += 1);
-        n
-    });
+    let iter_key = measure(opts, || m.keys().count());
 
     let iter_entry = measure(opts, || {
-        let mut acc = 0u64;
-        m.for_each_entry(&mut |k, v| acc = acc.wrapping_add(*k as u64 ^ *v as u64));
-        acc
+        m.entries()
+            .fold(0u64, |acc, (k, v)| acc.wrapping_add(*k as u64 ^ *v as u64))
     });
 
     MapTimes {
@@ -293,16 +300,32 @@ mod tests {
         assert!(a.lookup.median_ns > 0.0);
         assert!(c.insert.median_ns > 0.0);
         // Both built the same relation.
-        let am: AxiomMultiMap<u32, u32> = build_multimap(&w.tuples);
-        let cm: ClojureMultiMap<u32, u32> = build_multimap(&w.tuples);
+        let am: AxiomMultiMap<u32, u32> = multimap_persistent(&w.tuples);
+        let cm: ClojureMultiMap<u32, u32> = multimap_persistent(&w.tuples);
         assert_eq!(am.tuple_count(), cm.tuple_count());
         assert_eq!(am.key_count(), cm.key_count());
     }
 
     #[test]
+    fn construction_suite_runs_and_paths_agree() {
+        let w = multimap_workload(256, 7);
+        let opts = BenchOptions {
+            warmup_iters: 1,
+            measure_iters: 2,
+            inner_reps: 1,
+        };
+        let times = construction_times::<AxiomMultiMap<u32, u32>>(&w.tuples, &opts);
+        assert!(times.persistent.median_ns > 0.0);
+        assert!(times.transient.median_ns > 0.0);
+        let p: AxiomMultiMap<u32, u32> = multimap_persistent(&w.tuples);
+        let t: AxiomMultiMap<u32, u32> = multimap_transient(&w.tuples);
+        assert_eq!(p, t);
+    }
+
+    #[test]
     fn footprints_are_ordered_by_arch() {
         let w = multimap_workload(256, 3);
-        let mm: AxiomMultiMap<u32, u32> = build_multimap(&w.tuples);
+        let mm: AxiomMultiMap<u32, u32> = multimap_persistent(&w.tuples);
         let fp = footprints_of(&mm, &LayoutPolicy::BASELINE);
         assert!(fp.bytes_64 > fp.bytes_32);
     }

@@ -13,7 +13,7 @@
 //!   as an independent oracle in tests (and by the well-known dominator-tree
 //!   derivation [`dominator_tree`]).
 
-use trie_common::ops::MultiMapOps;
+use trie_common::ops::{MultiMapOps, TransientOps};
 
 use crate::ast::CfgNode;
 use crate::graph::Cfg;
@@ -21,8 +21,12 @@ use crate::graph::Cfg;
 /// Solves the dominance equations over a persistent multi-map `M`.
 ///
 /// The result maps every reachable node to its full dominator set (including
-/// itself), as a multi-map `node ↦ {dominators}`.
-pub fn dominators_relational<M: MultiMapOps<CfgNode, CfgNode>>(cfg: &Cfg) -> M {
+/// itself), as a multi-map `node ↦ {dominators}`. Each solution rewrite
+/// batches the node's new dominator set through the transient builder.
+pub fn dominators_relational<M>(cfg: &Cfg) -> M
+where
+    M: MultiMapOps<CfgNode, CfgNode> + TransientOps<(CfgNode, CfgNode)>,
+{
     let rpo = cfg.reverse_postorder();
     let preds_idx = cfg.pred_indices();
     let nodes = &cfg.nodes;
@@ -44,9 +48,7 @@ pub fn dominators_relational<M: MultiMapOps<CfgNode, CfgNode>>(cfg: &Cfg) -> M {
                 }
                 match &mut candidate {
                     None => {
-                        let mut vs = Vec::with_capacity(dom.value_count(&nodes[p]));
-                        dom.for_each_value_of(&nodes[p], &mut |v| vs.push(v.clone()));
-                        candidate = Some(vs);
+                        candidate = Some(dom.values_of(&nodes[p]).cloned().collect());
                     }
                     Some(vs) => {
                         vs.retain(|d| dom.contains_tuple(&nodes[p], d));
@@ -63,10 +65,9 @@ pub fn dominators_relational<M: MultiMapOps<CfgNode, CfgNode>>(cfg: &Cfg) -> M {
             let unchanged = dom.value_count(&nodes[n]) == new_dom.len()
                 && new_dom.iter().all(|d| dom.contains_tuple(&nodes[n], d));
             if !unchanged {
-                dom = dom.key_removed(&nodes[n]);
-                for d in new_dom {
-                    dom = dom.inserted(nodes[n].clone(), d);
-                }
+                dom = dom
+                    .key_removed(&nodes[n])
+                    .bulk_inserted(new_dom.into_iter().map(|d| (nodes[n].clone(), d)));
                 changed = true;
             }
         }

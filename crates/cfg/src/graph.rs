@@ -155,12 +155,7 @@ impl RelationShape {
 pub fn relation_shape<K, V, M: MultiMapOps<K, V>>(mm: &M) -> RelationShape {
     let keys = mm.key_count();
     let tuples = mm.tuple_count();
-    let mut singles = 0usize;
-    mm.for_each_key(&mut |k| {
-        if mm.value_count(k) == 1 {
-            singles += 1;
-        }
-    });
+    let singles = mm.keys().filter(|k| mm.value_count(k) == 1).count();
     RelationShape {
         keys,
         tuples,

@@ -7,25 +7,22 @@
 
 use std::hash::Hash;
 
-use trie_common::ops::MultiMapOps;
+use trie_common::ops::{MultiMapOps, TransientOps};
 
 /// The inverse relation: every `(k, v)` becomes `(v, k)`.
 ///
 /// Inverting a control-flow `succs` relation yields the `preds` reverse
 /// index — the mostly-one-to-one shape the paper's conclusion highlights as
-/// AXIOM's sweet spot.
+/// AXIOM's sweet spot. Bulk-built through the transient protocol: one
+/// builder, one freeze.
 pub fn inverse<K, V, M, N>(rel: &M) -> N
 where
     K: Clone + Eq + Hash,
     V: Clone + Eq + Hash,
     M: MultiMapOps<K, V>,
-    N: MultiMapOps<V, K>,
+    N: MultiMapOps<V, K> + TransientOps<(V, K)>,
 {
-    let mut out = N::empty();
-    rel.for_each_tuple(&mut |k, v| {
-        out = out.inserted(v.clone(), k.clone());
-    });
-    out
+    N::built_from(rel.tuples().map(|(k, v)| (v.clone(), k.clone())))
 }
 
 /// The image of a set of keys: all values any of them maps to.
@@ -35,17 +32,17 @@ where
     V: Clone + Eq + Hash + Ord,
     M: MultiMapOps<K, V>,
 {
-    let mut out = Vec::new();
-    for k in keys {
-        rel.for_each_value_of(k, &mut |v| out.push(v.clone()));
-    }
+    let mut out: Vec<V> = keys
+        .iter()
+        .flat_map(|k| rel.values_of(k).cloned())
+        .collect();
     out.sort();
     out.dedup();
     out
 }
 
 /// Relation composition: `(a, c)` for every `a → b` in `left` and
-/// `b → c` in `right`.
+/// `b → c` in `right`. Bulk-built through the transient protocol.
 pub fn compose<A, B, C, L, R, O>(left: &L, right: &R) -> O
 where
     A: Clone + Eq + Hash,
@@ -53,29 +50,24 @@ where
     C: Clone + Eq + Hash,
     L: MultiMapOps<A, B>,
     R: MultiMapOps<B, C>,
-    O: MultiMapOps<A, C>,
+    O: MultiMapOps<A, C> + TransientOps<(A, C)>,
 {
-    let mut out = O::empty();
-    left.for_each_tuple(&mut |a, b| {
-        right.for_each_value_of(b, &mut |c| {
-            out = out.inserted(a.clone(), c.clone());
-        });
-    });
-    out
+    O::built_from(
+        left.tuples()
+            .flat_map(|(a, b)| right.values_of(b).map(move |c| (a.clone(), c.clone()))),
+    )
 }
 
-/// Union of two relations over the same key/value types.
+/// Union of two relations over the same key/value types: the left relation
+/// bulk-extended with the right one's tuples.
 pub fn union<K, V, M>(a: &M, b: &M) -> M
 where
     K: Clone + Eq + Hash,
     V: Clone + Eq + Hash,
-    M: MultiMapOps<K, V>,
+    M: MultiMapOps<K, V> + TransientOps<(K, V)>,
 {
-    let mut out = a.clone();
-    b.for_each_tuple(&mut |k, v| {
-        out = out.inserted(k.clone(), v.clone());
-    });
-    out
+    a.clone()
+        .bulk_inserted(b.tuples().map(|(k, v)| (k.clone(), v.clone())))
 }
 
 /// Domain of the relation (its distinct keys).
@@ -85,8 +77,7 @@ where
     V: Clone + Eq + Hash,
     M: MultiMapOps<K, V>,
 {
-    let mut out = Vec::with_capacity(rel.key_count());
-    rel.for_each_key(&mut |k| out.push(k.clone()));
+    let mut out: Vec<K> = rel.keys().cloned().collect();
     out.sort();
     out
 }
@@ -98,8 +89,7 @@ where
     V: Clone + Eq + Hash + Ord,
     M: MultiMapOps<K, V>,
 {
-    let mut out = Vec::new();
-    rel.for_each_tuple(&mut |_, v| out.push(v.clone()));
+    let mut out: Vec<V> = rel.tuples().map(|(_, v)| v.clone()).collect();
     out.sort();
     out.dedup();
     out

@@ -1,10 +1,14 @@
 //! Harness-facing trait implementations ([`trie_common::ops`]).
+//!
+//! Thin forwarding shims: the associated iterator types are the inherent
+//! iterators of [`ChampMap`]/[`ChampSet`], and the transient builder rides
+//! the `Rc`-uniqueness `insert_mut` path via [`EditInPlace`].
 
 use std::hash::Hash;
 
-use trie_common::ops::{MapOps, SetOps};
+use trie_common::ops::{EditInPlace, MapOps, SetOps};
 
-use crate::{ChampMap, ChampSet};
+use crate::{map, set, ChampMap, ChampSet};
 
 impl<K, V> MapOps<K, V> for ChampMap<K, V>
 where
@@ -12,6 +16,25 @@ where
     V: Clone + PartialEq,
 {
     const NAME: &'static str = "champ-map";
+
+    type Entries<'a>
+        = map::Iter<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = map::Keys<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Values<'a>
+        = map::Values<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         ChampMap::new()
@@ -33,16 +56,26 @@ where
         ChampMap::removed(self, key)
     }
 
-    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, v) in self.iter() {
-            f(k, v);
-        }
+    fn entries(&self) -> Self::Entries<'_> {
+        ChampMap::iter(self)
     }
 
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        ChampMap::keys(self)
+    }
+
+    fn values(&self) -> Self::Values<'_> {
+        ChampMap::values(self)
+    }
+}
+
+impl<K, V> EditInPlace<(K, V)> for ChampMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
@@ -51,6 +84,12 @@ where
     T: Clone + Eq + Hash,
 {
     const NAME: &'static str = "champ-set";
+
+    type Elems<'a>
+        = set::Iter<'a, T>
+    where
+        Self: 'a,
+        T: 'a;
 
     fn empty() -> Self {
         ChampSet::new()
@@ -72,16 +111,24 @@ where
         ChampSet::removed(self, value)
     }
 
-    fn for_each(&self, f: &mut dyn FnMut(&T)) {
-        for v in self.iter() {
-            f(v);
-        }
+    fn iter(&self) -> Self::Elems<'_> {
+        ChampSet::iter(self)
+    }
+}
+
+impl<T> EditInPlace<T> for ChampSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn edit_insert(&mut self, value: T) -> bool {
+        self.insert_mut(value)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trie_common::ops::{Builder, TransientOps};
 
     #[test]
     fn traits_are_wired() {
@@ -89,5 +136,34 @@ mod tests {
         assert_eq!(MapOps::get(&m, &1), Some(&2));
         let s = <ChampSet<u32> as SetOps<u32>>::empty().inserted(3);
         assert!(SetOps::contains(&s, &3));
+    }
+
+    #[test]
+    fn trait_iterators_forward_to_inherent() {
+        let m: ChampMap<u32, u32> = (0..64).map(|i| (i, i * 2)).collect();
+        let mut entries: Vec<(u32, u32)> = MapOps::entries(&m).map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable();
+        assert_eq!(entries, (0..64).map(|i| (i, i * 2)).collect::<Vec<_>>());
+        assert_eq!(MapOps::keys(&m).count(), 64);
+        assert_eq!(MapOps::values(&m).count(), 64);
+
+        let s: ChampSet<u32> = (0..32).collect();
+        assert_eq!(SetOps::iter(&s).count(), 32);
+    }
+
+    #[test]
+    fn transient_builder_roundtrip() {
+        let mut t = ChampMap::<u32, u32>::transient_builder();
+        assert_eq!(t.insert_all_mut((0..100).map(|i| (i, i))), 100);
+        assert!(!t.insert_mut((0, 9))); // replacement, no growth
+        let m = t.build();
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&0), Some(&9));
+
+        // persistent → transient → freeze keeps old handles intact.
+        let old = m.clone();
+        let grown = m.bulk_inserted([(200, 1), (201, 2)]);
+        assert_eq!(grown.len(), 102);
+        assert_eq!(old.len(), 100);
     }
 }

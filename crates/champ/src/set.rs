@@ -604,19 +604,13 @@ impl<T: std::fmt::Debug + Clone + Eq + Hash> std::fmt::Debug for ChampSet<T> {
 
 impl<T: Clone + Eq + Hash> FromIterator<T> for ChampSet<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        let mut set = ChampSet::new();
-        for v in iter {
-            set.insert_mut(v);
-        }
-        set
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
 impl<T: Clone + Eq + Hash> Extend<T> for ChampSet<T> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        for v in iter {
-            self.insert_mut(v);
-        }
+        trie_common::ops::extend_via(self, iter);
     }
 }
 

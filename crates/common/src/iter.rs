@@ -1,0 +1,158 @@
+//! Reusable iterator adapters for the trait layer in [`crate::ops`].
+//!
+//! The iterator-first traits require *nameable* associated iterator types.
+//! Implementations whose natural iteration shape is "an outer map of nested
+//! value collections" (every map-of-sets multi-map in this workspace) would
+//! otherwise each hand-roll the same two adapters; they live here instead so
+//! a trait impl stays a thin forwarding shim.
+
+/// Flattens an iterator of `(&key, &values)` groups into `(&key, &value)`
+/// tuples.
+///
+/// `S` is the nested value collection; any `S` whose *reference* is
+/// iterable (`&S: IntoIterator`) works, so the same adapter serves CHAMP
+/// sets, HAMT sets and the small-set enums of the idiomatic multi-maps.
+///
+/// # Examples
+///
+/// ```
+/// use trie_common::iter::TuplesOf;
+///
+/// let groups = vec![(1u32, vec![10u32, 11]), (2, vec![20])];
+/// let tuples: Vec<(u32, u32)> = TuplesOf::new(groups.iter().map(|(k, vs)| (k, vs)))
+///     .map(|(k, v)| (*k, *v))
+///     .collect();
+/// assert_eq!(tuples, vec![(1, 10), (1, 11), (2, 20)]);
+/// ```
+pub struct TuplesOf<'a, K, S, I>
+where
+    &'a S: IntoIterator,
+    K: 'a,
+    S: 'a,
+{
+    outer: I,
+    current: Option<(&'a K, <&'a S as IntoIterator>::IntoIter)>,
+}
+
+impl<'a, K, S, I> TuplesOf<'a, K, S, I>
+where
+    &'a S: IntoIterator,
+    I: Iterator<Item = (&'a K, &'a S)>,
+{
+    /// Wraps an iterator of `(&key, &values)` groups.
+    pub fn new(outer: I) -> Self {
+        TuplesOf {
+            outer,
+            current: None,
+        }
+    }
+}
+
+impl<'a, K, S, I> Iterator for TuplesOf<'a, K, S, I>
+where
+    &'a S: IntoIterator,
+    I: Iterator<Item = (&'a K, &'a S)>,
+{
+    type Item = (&'a K, <&'a S as IntoIterator>::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((k, inner)) = &mut self.current {
+                if let Some(v) = inner.next() {
+                    return Some((k, v));
+                }
+            }
+            let (k, s) = self.outer.next()?;
+            self.current = Some((k, s.into_iter()));
+        }
+    }
+}
+
+impl<'a, K, S, I> std::fmt::Debug for TuplesOf<'a, K, S, I>
+where
+    &'a S: IntoIterator,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TuplesOf { .. }")
+    }
+}
+
+/// An iterator that may be absent: yields the inner iterator's items, or
+/// nothing at all.
+///
+/// This is the return shape of `values_of(key)` — a present key iterates its
+/// values, an absent key iterates nothing — without boxing and without an
+/// `Option` in the caller's type.
+///
+/// # Examples
+///
+/// ```
+/// use trie_common::iter::MaybeIter;
+///
+/// let hit: Vec<u32> = MaybeIter::some([1u32, 2].into_iter()).collect();
+/// assert_eq!(hit, vec![1, 2]);
+/// let miss: Vec<u32> = MaybeIter::<std::array::IntoIter<u32, 2>>::none().collect();
+/// assert!(miss.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaybeIter<I> {
+    inner: Option<I>,
+}
+
+impl<I> MaybeIter<I> {
+    /// A present iterator.
+    pub fn some(inner: I) -> Self {
+        MaybeIter { inner: Some(inner) }
+    }
+
+    /// The empty iterator.
+    pub fn none() -> Self {
+        MaybeIter { inner: None }
+    }
+}
+
+impl<I: Iterator> MaybeIter<I> {
+    /// Wraps an optional iterator.
+    pub fn of(inner: Option<I>) -> Self {
+        MaybeIter { inner }
+    }
+}
+
+impl<I: Iterator> Iterator for MaybeIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.as_mut()?.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            Some(it) => it.size_hint(),
+            None => (0, Some(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_of_flattens_in_group_order() {
+        let groups: Vec<(u32, Vec<u32>)> = vec![(1, vec![]), (2, vec![20, 21]), (3, vec![30])];
+        // Empty groups are legal for the adapter (even though the collections
+        // in this workspace never store one) and yield nothing.
+        let flat: Vec<(u32, u32)> = TuplesOf::new(groups.iter().map(|(k, vs)| (k, vs)))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        assert_eq!(flat, vec![(2, 20), (2, 21), (3, 30)]);
+    }
+
+    #[test]
+    fn maybe_iter_size_hints() {
+        let it = MaybeIter::some([1u32, 2, 3].into_iter());
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        let it = MaybeIter::<std::array::IntoIter<u32, 3>>::none();
+        assert_eq!(it.size_hint(), (0, Some(0)));
+    }
+}

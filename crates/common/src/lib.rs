@@ -8,9 +8,12 @@
 //! * [`bits`] — 5-bit mask extraction, one-bit positions and popcount-based
 //!   compressed indexing shared by all node encodings;
 //! * [`hash`] — a deterministic, dependency-free 32-bit key hasher;
-//! * [`ops`] — the `MapOps` / `SetOps` / `MultiMapOps` traits that let the
-//!   benchmark harness and the static-analysis case study run the *same*
-//!   algorithm over every competing implementation.
+//! * [`ops`] — the iterator-first `MapOps` / `SetOps` / `MultiMapOps` traits
+//!   that let the benchmark harness and the static-analysis case study run
+//!   the *same* algorithm over every competing implementation, plus the
+//!   `TransientOps`/`Builder` bulk-construction protocol;
+//! * [`iter`] — reusable adapters backing the map-of-sets implementations'
+//!   associated iterator types.
 //!
 //! [HAMT]: https://en.wikipedia.org/wiki/Hash_array_mapped_trie
 //! [CHAMP]: https://doi.org/10.1145/2814270.2814312
@@ -35,8 +38,9 @@
 
 pub mod bits;
 pub mod hash;
+pub mod iter;
 pub mod ops;
 
 pub use bits::{bit_pos, index_in, mask, BITS_PER_LEVEL, FANOUT, HASH_BITS, LEVEL_MASK};
 pub use hash::hash32;
-pub use ops::{MapOps, MultiMapOps, SetOps};
+pub use ops::{Builder, EditInPlace, MapOps, MultiMapOps, SetOps, Transient, TransientOps};

@@ -1,21 +1,53 @@
 //! Implementation-agnostic views of the persistent collections.
 //!
-//! The evaluation compares five multi-map designs and three map designs. To
-//! run one benchmark (or the dominators case study) over all of them, the
-//! harness is written against these traits. Concrete types additionally offer
-//! richer inherent APIs (iterators, views, bulk construction); the traits
-//! deliberately stay minimal and object-safe-ish (`for_each` callbacks rather
-//! than associated iterator types) so a new competitor only needs a page of
-//! glue.
+//! The evaluation compares five multi-map and four map designs. To run one
+//! benchmark (or the dominators case study) over all of them, the harness is
+//! written against these traits. The surface is **iterator-first**: every
+//! trait names its iterator types (`Entries`, `Keys`, `Tuples`, `ValuesOf`,
+//! …) as generic associated types and exposes `iter()`-style methods; the
+//! historical `for_each_*` callbacks survive as default methods layered on
+//! top of the iterators, so callback-style call sites keep compiling while
+//! new code composes with `Iterator` adapters.
+//!
+//! The second half of the module is the **transient builder protocol**
+//! ([`TransientOps`] / [`Builder`]): persistent → transient → bulk
+//! `insert_mut` batches → freeze back to persistent. Implementations whose
+//! handles support `Rc`-uniqueness in-place editing opt in through the
+//! one-method [`EditInPlace`] bridge and get the whole protocol (plus
+//! `FromIterator`/`Extend` plumbing via [`from_iter_via`]/[`extend_via`])
+//! for free; implementations without in-place editing implement
+//! [`TransientOps`] by hand over the [`Accumulate`] fallback builder.
 //!
 //! Naming convention: persistent operations use past-participle names
 //! (`inserted`, `removed`) because they *return the updated collection* and
-//! leave `self` untouched.
+//! leave `self` untouched; transient operations use `_mut` names and edit in
+//! place.
 
 /// A persistent (immutable, structurally shared) map.
 pub trait MapOps<K, V>: Clone {
     /// Short human-readable implementation name used in benchmark reports.
     const NAME: &'static str;
+
+    /// Borrowing iterator over `(key, value)` entries, in unspecified order.
+    type Entries<'a>: Iterator<Item = (&'a K, &'a V)>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    /// Borrowing iterator over keys, in unspecified order.
+    type Keys<'a>: Iterator<Item = &'a K>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    /// Borrowing iterator over values, in unspecified order.
+    type Values<'a>: Iterator<Item = &'a V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     /// Creates an empty map.
     fn empty() -> Self;
@@ -43,17 +75,43 @@ pub trait MapOps<K, V>: Clone {
     /// Returns a map without any binding for `key`; `self` is unchanged.
     fn removed(&self, key: &K) -> Self;
 
+    /// Iterates the `(key, value)` entries.
+    fn entries(&self) -> Self::Entries<'_>;
+
+    /// Iterates the keys.
+    fn keys(&self) -> Self::Keys<'_>;
+
+    /// Iterates the values.
+    fn values(&self) -> Self::Values<'_>;
+
     /// Invokes `f` for every entry, in unspecified order.
-    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V));
+    ///
+    /// Default method on top of [`MapOps::entries`], kept for callback-style
+    /// call sites.
+    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.entries() {
+            f(k, v);
+        }
+    }
 
     /// Invokes `f` for every key, in unspecified order.
-    fn for_each_key(&self, f: &mut dyn FnMut(&K));
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.keys() {
+            f(k);
+        }
+    }
 }
 
 /// A persistent set.
 pub trait SetOps<T>: Clone {
     /// Short human-readable implementation name used in benchmark reports.
     const NAME: &'static str;
+
+    /// Borrowing iterator over the elements, in unspecified order.
+    type Elems<'a>: Iterator<Item = &'a T>
+    where
+        Self: 'a,
+        T: 'a;
 
     /// Creates an empty set.
     fn empty() -> Self;
@@ -75,8 +133,15 @@ pub trait SetOps<T>: Clone {
     /// Returns a set excluding `value`; `self` is unchanged.
     fn removed(&self, value: &T) -> Self;
 
+    /// Iterates the elements.
+    fn iter(&self) -> Self::Elems<'_>;
+
     /// Invokes `f` for every element, in unspecified order.
-    fn for_each(&self, f: &mut dyn FnMut(&T));
+    fn for_each(&self, f: &mut dyn FnMut(&T)) {
+        for v in self.iter() {
+            f(v);
+        }
+    }
 }
 
 /// A persistent multi-map: a binary relation with fast by-key access.
@@ -86,6 +151,30 @@ pub trait SetOps<T>: Clone {
 pub trait MultiMapOps<K, V>: Clone {
     /// Short human-readable implementation name used in benchmark reports.
     const NAME: &'static str;
+
+    /// Borrowing iterator over flattened `(key, value)` tuples — the paper's
+    /// *Iteration (Entry)* sequence — in unspecified order.
+    type Tuples<'a>: Iterator<Item = (&'a K, &'a V)>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    /// Borrowing iterator over distinct keys — the paper's *Iteration (Key)*
+    /// — in unspecified order.
+    type Keys<'a>: Iterator<Item = &'a K>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    /// Borrowing iterator over the values of one key; empty when the key is
+    /// absent.
+    type ValuesOf<'a>: Iterator<Item = &'a V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     /// Creates an empty multi-map.
     fn empty() -> Self;
@@ -121,16 +210,230 @@ pub trait MultiMapOps<K, V>: Clone {
     /// Returns a multi-map without any tuple for `key`; `self` is unchanged.
     fn key_removed(&self, key: &K) -> Self;
 
-    /// Invokes `f` for every tuple (the flattened entry sequence of the
-    /// paper's *Iteration (Entry)* benchmark), in unspecified order.
-    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V));
+    /// Iterates all `(key, value)` tuples.
+    fn tuples(&self) -> Self::Tuples<'_>;
 
-    /// Invokes `f` once per distinct key (the paper's *Iteration (Key)*), in
-    /// unspecified order.
-    fn for_each_key(&self, f: &mut dyn FnMut(&K));
+    /// Iterates the distinct keys.
+    fn keys(&self) -> Self::Keys<'_>;
+
+    /// Iterates the values associated with `key` (nothing if absent).
+    fn values_of<'a>(&'a self, key: &K) -> Self::ValuesOf<'a>;
+
+    /// Invokes `f` for every tuple, in unspecified order.
+    ///
+    /// Default method on top of [`MultiMapOps::tuples`], kept for
+    /// callback-style call sites.
+    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.tuples() {
+            f(k, v);
+        }
+    }
+
+    /// Invokes `f` once per distinct key, in unspecified order.
+    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
+        for k in self.keys() {
+            f(k);
+        }
+    }
 
     /// Invokes `f` for every value associated with `key`.
-    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V));
+    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
+        for v in self.values_of(key) {
+            f(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The transient builder protocol.
+// ---------------------------------------------------------------------------
+
+/// A transient builder: the mutable phase of a persistent collection.
+///
+/// Obtained from [`TransientOps::transient`] (seeded with a collection's
+/// contents) or [`TransientOps::transient_builder`] (empty). Batches of
+/// [`Builder::insert_mut`] edit the transient in place; [`Builder::build`]
+/// freezes it back into the persistent type. `Item` is the collection's
+/// element shape: `(K, V)` for maps and multi-maps, `T` for sets.
+pub trait Builder<Item>: Sized {
+    /// The persistent collection this builder freezes into.
+    type Persistent;
+
+    /// Inserts one item in place. Returns true if the collection grew (the
+    /// same contract as the inherent `insert_mut` methods; the
+    /// [`Accumulate`] fallback cannot observe growth and always reports
+    /// true).
+    fn insert_mut(&mut self, item: Item) -> bool;
+
+    /// Bulk-inserts a batch, returning how many insertions reported growth.
+    fn insert_all_mut<I: IntoIterator<Item = Item>>(&mut self, items: I) -> usize {
+        items
+            .into_iter()
+            .map(|item| self.insert_mut(item))
+            .filter(|grew| *grew)
+            .count()
+    }
+
+    /// Freezes the transient back into a persistent collection.
+    fn build(self) -> Self::Persistent;
+}
+
+/// Persistent collections that support the transient builder protocol:
+/// persistent → transient → bulk `insert_mut` batches → freeze.
+///
+/// Every collection in this workspace implements it through the blanket
+/// impl over [`EditInPlace`]; a collection without in-place editing would
+/// instead implement it by hand with [`Accumulate`] as its
+/// [`TransientOps::Transient`] type.
+pub trait TransientOps<Item>: Sized {
+    /// The builder type of this collection.
+    type Transient: Builder<Item, Persistent = Self>;
+
+    /// Converts this persistent collection into a transient seeded with its
+    /// contents. Consumes the handle — other handles to the same structure
+    /// remain valid and unaffected (structural sharing).
+    fn transient(self) -> Self::Transient;
+
+    /// An empty transient builder.
+    fn transient_builder() -> Self::Transient;
+
+    /// Bulk-builds a collection from scratch through the transient path.
+    fn built_from<I: IntoIterator<Item = Item>>(items: I) -> Self {
+        let mut t = Self::transient_builder();
+        t.insert_all_mut(items);
+        t.build()
+    }
+
+    /// Returns this collection extended with a batch of items, built through
+    /// the transient path; `self` is consumed (clone first to keep the old
+    /// version).
+    fn bulk_inserted<I: IntoIterator<Item = Item>>(self, items: I) -> Self {
+        let mut t = self.transient();
+        t.insert_all_mut(items);
+        t.build()
+    }
+}
+
+/// One-method bridge into the blanket [`TransientOps`] impl: collections
+/// whose handles support in-place editing backed by `Rc`/`Arc` uniqueness
+/// (the inherent `insert_mut` family) implement this and get the whole
+/// builder protocol for free.
+pub trait EditInPlace<Item>: Default {
+    /// Inserts one item in place. Returns true if the collection grew.
+    fn edit_insert(&mut self, item: Item) -> bool;
+}
+
+/// The transient handle of an [`EditInPlace`] collection.
+///
+/// A thin newtype: the wrapped collection *is* the transient state, edited
+/// through its `Rc`-uniqueness `_mut` methods, and [`Builder::build`] is a
+/// zero-cost unwrap. The wrapper exists so the mutable phase is a distinct
+/// type — persistent handles can never alias a transient under edit.
+#[derive(Debug, Clone, Default)]
+pub struct Transient<C> {
+    inner: C,
+}
+
+impl<C> Transient<C> {
+    /// Read-only view of the collection being built.
+    pub fn as_inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<Item, C: EditInPlace<Item>> Builder<Item> for Transient<C> {
+    type Persistent = C;
+
+    fn insert_mut(&mut self, item: Item) -> bool {
+        self.inner.edit_insert(item)
+    }
+
+    fn build(self) -> C {
+        self.inner
+    }
+}
+
+impl<Item, C: EditInPlace<Item>> TransientOps<Item> for C {
+    type Transient = Transient<C>;
+
+    fn transient(self) -> Transient<C> {
+        Transient { inner: self }
+    }
+
+    fn transient_builder() -> Transient<C> {
+        Transient {
+            inner: C::default(),
+        }
+    }
+}
+
+/// Fallback builder for collections *without* in-place editing: accumulates
+/// the batch in a `Vec` and replays it through `Extend` at freeze time.
+///
+/// [`Builder::insert_mut`] cannot observe whether the collection will grow
+/// (the items are still pending), so it always reports true.
+///
+/// Because [`Builder::build`] replays through `Extend`, a collection whose
+/// `TransientOps` rides `Accumulate` must implement `Extend` *directly* —
+/// routing its `Extend` through [`extend_via`] would recurse
+/// (`extend` → `transient` → `build` → `extend` → …).
+#[derive(Debug, Clone)]
+pub struct Accumulate<C, Item> {
+    base: C,
+    pending: Vec<Item>,
+}
+
+impl<C, Item> Accumulate<C, Item> {
+    /// A builder that will extend `base` with the accumulated items.
+    pub fn over(base: C) -> Self {
+        Accumulate {
+            base,
+            pending: Vec::new(),
+        }
+    }
+}
+
+impl<C: Extend<Item>, Item> Builder<Item> for Accumulate<C, Item> {
+    type Persistent = C;
+
+    fn insert_mut(&mut self, item: Item) -> bool {
+        self.pending.push(item);
+        true
+    }
+
+    fn build(mut self) -> C {
+        self.base.extend(self.pending);
+        self.base
+    }
+}
+
+/// `FromIterator` plumbing for implementors: collect through the transient
+/// builder. Concrete collections write
+/// `fn from_iter(iter: I) -> Self { ops::from_iter_via(iter) }`.
+pub fn from_iter_via<C, Item, I>(items: I) -> C
+where
+    C: TransientOps<Item>,
+    I: IntoIterator<Item = Item>,
+{
+    C::built_from(items)
+}
+
+/// `Extend` plumbing for implementors: batch-extend in place through the
+/// transient builder.
+///
+/// Only for [`EditInPlace`]-backed collections (persistent handles are O(1)
+/// to clone, and [`Accumulate`]-backed types must implement `Extend`
+/// directly — see [`Accumulate`]). The clone keeps the operation
+/// panic-safe: if the item iterator (or an element's `Clone`/`Hash`)
+/// panics mid-batch, `collection` still holds its previous contents.
+pub fn extend_via<C, Item, I>(collection: &mut C, items: I)
+where
+    C: TransientOps<Item> + Clone,
+    I: IntoIterator<Item = Item>,
+{
+    let mut t = collection.clone().transient();
+    t.insert_all_mut(items);
+    *collection = t.build();
 }
 
 #[cfg(test)]
@@ -138,12 +441,19 @@ mod tests {
     use super::*;
 
     // A deliberately naive reference implementation proving the traits are
-    // implementable and that their default methods behave.
+    // implementable and that their default methods behave. It has no `_mut`
+    // editing path, so its `TransientOps` rides the `Accumulate` fallback —
+    // the one collection in the workspace exercising that branch.
     #[derive(Clone, Default)]
     struct VecMap(Vec<(u32, u32)>);
 
     impl MapOps<u32, u32> for VecMap {
         const NAME: &'static str = "vec-map";
+
+        type Entries<'a> = std::iter::Map<std::slice::Iter<'a, (u32, u32)>, EntryOf>;
+        type Keys<'a> = std::iter::Map<std::slice::Iter<'a, (u32, u32)>, KeyOf>;
+        type Values<'a> = std::iter::Map<std::slice::Iter<'a, (u32, u32)>, ValueOf>;
+
         fn empty() -> Self {
             VecMap(Vec::new())
         }
@@ -164,15 +474,50 @@ mod tests {
         fn removed(&self, key: &u32) -> Self {
             VecMap(self.0.iter().filter(|(k, _)| k != key).cloned().collect())
         }
-        fn for_each_entry(&self, f: &mut dyn FnMut(&u32, &u32)) {
-            for (k, v) in &self.0 {
-                f(k, v);
+        fn entries(&self) -> Self::Entries<'_> {
+            self.0.iter().map(entry_of)
+        }
+        fn keys(&self) -> Self::Keys<'_> {
+            self.0.iter().map(key_of)
+        }
+        fn values(&self) -> Self::Values<'_> {
+            self.0.iter().map(value_of)
+        }
+    }
+
+    // Named function-pointer types make the closure-free GATs nameable.
+    type EntryOf = fn(&(u32, u32)) -> (&u32, &u32);
+    type KeyOf = fn(&(u32, u32)) -> &u32;
+    type ValueOf = fn(&(u32, u32)) -> &u32;
+    fn entry_of(e: &(u32, u32)) -> (&u32, &u32) {
+        (&e.0, &e.1)
+    }
+    fn key_of(e: &(u32, u32)) -> &u32 {
+        &e.0
+    }
+    fn value_of(e: &(u32, u32)) -> &u32 {
+        &e.1
+    }
+
+    impl Extend<(u32, u32)> for VecMap {
+        fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+            for (k, v) in iter {
+                *self = self.inserted(k, v);
             }
         }
-        fn for_each_key(&self, f: &mut dyn FnMut(&u32)) {
-            for (k, _) in &self.0 {
-                f(k);
-            }
+    }
+
+    // The accumulate-then-build transient path for a collection without
+    // in-place editing.
+    impl TransientOps<(u32, u32)> for VecMap {
+        type Transient = Accumulate<VecMap, (u32, u32)>;
+
+        fn transient(self) -> Self::Transient {
+            Accumulate::over(self)
+        }
+
+        fn transient_builder() -> Self::Transient {
+            Accumulate::over(VecMap::empty())
         }
     }
 
@@ -189,5 +534,44 @@ mod tests {
         let m2 = m.removed(&3);
         assert!(m2.is_empty());
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn for_each_defaults_agree_with_iterators() {
+        let m = VecMap::empty().inserted(1, 10).inserted(2, 20);
+        let mut via_callback = Vec::new();
+        m.for_each_entry(&mut |k, v| via_callback.push((*k, *v)));
+        let via_iter: Vec<(u32, u32)> = m.entries().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(via_callback, via_iter);
+
+        let keys: Vec<u32> = m.keys().copied().collect();
+        let values: Vec<u32> = m.values().copied().collect();
+        assert_eq!(keys, vec![1, 2]);
+        assert_eq!(values, vec![10, 20]);
+    }
+
+    #[test]
+    fn accumulate_builder_roundtrip() {
+        let built = VecMap::built_from([(1, 10), (2, 20), (1, 11)]);
+        assert_eq!(built.len(), 2);
+        assert_eq!(built.get(&1), Some(&11)); // later batch item wins, map semantics
+
+        let extended = built.bulk_inserted([(3, 30)]);
+        assert_eq!(extended.len(), 3);
+
+        let mut t = VecMap::transient_builder();
+        assert!(t.insert_mut((7, 70))); // Accumulate always reports growth
+        assert_eq!(t.insert_all_mut([(8, 80), (9, 90)]), 2);
+        assert_eq!(t.build().len(), 3);
+    }
+
+    #[test]
+    fn plumbing_helpers_route_through_the_builder() {
+        let m: VecMap = from_iter_via([(1u32, 2u32), (3, 4)]);
+        assert_eq!(m.len(), 2);
+        let mut m = m;
+        extend_via(&mut m, [(5, 6)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&5), Some(&6));
     }
 }

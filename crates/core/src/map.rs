@@ -583,19 +583,13 @@ where
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> FromIterator<(K, V)> for AxiomMap<K, V> {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let mut map = AxiomMap::new();
-        for (k, v) in iter {
-            map.insert_mut(k, v);
-        }
-        map
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Extend<(K, V)> for AxiomMap<K, V> {
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
-        for (k, v) in iter {
-            self.insert_mut(k, v);
-        }
+        trie_common::ops::extend_via(self, iter);
     }
 }
 

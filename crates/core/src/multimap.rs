@@ -806,6 +806,25 @@ impl<'a, V, B: ValueBag<V>> std::fmt::Debug for BindingIter<'a, V, B> {
     }
 }
 
+/// Iterator over the values bound to one key; empty when the key is absent.
+/// Created by [`AxiomMultiMap::values_of`].
+pub struct ValuesOf<'a, V: 'a, B: ValueBag<V> + 'a> {
+    inner: Option<BindingIter<'a, V, B>>,
+}
+
+impl<'a, V, B: ValueBag<V>> Iterator for ValuesOf<'a, V, B> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        self.inner.as_mut()?.next()
+    }
+}
+
+impl<'a, V, B: ValueBag<V>> std::fmt::Debug for ValuesOf<'a, V, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ValuesOf { .. }")
+    }
+}
+
 /// A persistent (immutable, structurally shared) multi-map on the AXIOM
 /// encoding. See the [module documentation](self).
 ///
@@ -1005,6 +1024,13 @@ where
         Entries {
             stack: vec![cursor_of(&self.root)],
             remaining: self.keys,
+        }
+    }
+
+    /// Iterates the values bound to `key` (nothing if the key is absent).
+    pub fn values_of(&self, key: &K) -> ValuesOf<'_, V, B> {
+        ValuesOf {
+            inner: self.get(key).map(|binding| binding.iter()),
         }
     }
 
@@ -1215,11 +1241,7 @@ where
     B: ValueBag<V>,
 {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let mut mm = AxiomMultiMap::new();
-        for (k, v) in iter {
-            mm.insert_mut(k, v);
-        }
-        mm
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
@@ -1230,9 +1252,7 @@ where
     B: ValueBag<V>,
 {
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
-        for (k, v) in iter {
-            self.insert_mut(k, v);
-        }
+        trie_common::ops::extend_via(self, iter);
     }
 }
 

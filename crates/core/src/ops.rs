@@ -1,13 +1,19 @@
 //! Harness-facing trait implementations ([`trie_common::ops`]).
+//!
+//! Thin forwarding shims: the associated iterator types are the inherent
+//! AXIOM iterators, and the transient builder rides the `Rc`-uniqueness
+//! `insert_mut` path via [`EditInPlace`]. The multi-map impl is generic over
+//! the [`ValueBag`] strategy, so [`crate::AxiomFusedMultiMap`] gets the same
+//! surface for free.
 
 use std::hash::Hash;
 
-use trie_common::ops::{MapOps, MultiMapOps, SetOps};
+use trie_common::ops::{EditInPlace, MapOps, MultiMapOps, SetOps};
 
 use crate::bag::ValueBag;
-use crate::map::AxiomMap;
-use crate::multimap::AxiomMultiMap;
-use crate::set::AxiomSet;
+use crate::map::{self, AxiomMap};
+use crate::multimap::{self, AxiomMultiMap};
+use crate::set::{self, AxiomSet};
 
 impl<K, V> MapOps<K, V> for AxiomMap<K, V>
 where
@@ -15,6 +21,25 @@ where
     V: Clone + PartialEq,
 {
     const NAME: &'static str = "axiom-map";
+
+    type Entries<'a>
+        = map::Iter<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = map::Keys<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Values<'a>
+        = map::Values<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         AxiomMap::new()
@@ -36,16 +61,26 @@ where
         AxiomMap::removed(self, key)
     }
 
-    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, v) in self.iter() {
-            f(k, v);
-        }
+    fn entries(&self) -> Self::Entries<'_> {
+        AxiomMap::iter(self)
     }
 
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        AxiomMap::keys(self)
+    }
+
+    fn values(&self) -> Self::Values<'_> {
+        AxiomMap::values(self)
+    }
+}
+
+impl<K, V> EditInPlace<(K, V)> for AxiomMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
@@ -54,6 +89,12 @@ where
     T: Clone + Eq + Hash,
 {
     const NAME: &'static str = "axiom-set";
+
+    type Elems<'a>
+        = set::Iter<'a, T>
+    where
+        Self: 'a,
+        T: 'a;
 
     fn empty() -> Self {
         AxiomSet::new()
@@ -75,10 +116,17 @@ where
         AxiomSet::removed(self, value)
     }
 
-    fn for_each(&self, f: &mut dyn FnMut(&T)) {
-        for v in self.iter() {
-            f(v);
-        }
+    fn iter(&self) -> Self::Elems<'_> {
+        AxiomSet::iter(self)
+    }
+}
+
+impl<T> EditInPlace<T> for AxiomSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn edit_insert(&mut self, value: T) -> bool {
+        self.insert_mut(value)
     }
 }
 
@@ -89,6 +137,25 @@ where
     B: ValueBag<V>,
 {
     const NAME: &'static str = "axiom-multimap";
+
+    type Tuples<'a>
+        = multimap::Tuples<'a, K, V, B>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = multimap::Keys<'a, K, V, B>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type ValuesOf<'a>
+        = multimap::ValuesOf<'a, V, B>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         AxiomMultiMap::new()
@@ -126,30 +193,34 @@ where
         AxiomMultiMap::key_removed(self, key)
     }
 
-    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, v) in self.iter() {
-            f(k, v);
-        }
+    fn tuples(&self) -> Self::Tuples<'_> {
+        AxiomMultiMap::iter(self)
     }
 
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        AxiomMultiMap::keys(self)
     }
 
-    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
-        if let Some(binding) = self.get(key) {
-            for v in binding.iter() {
-                f(v);
-            }
-        }
+    fn values_of<'a>(&'a self, key: &K) -> Self::ValuesOf<'a> {
+        AxiomMultiMap::values_of(self, key)
+    }
+}
+
+impl<K, V, B> EditInPlace<(K, V)> for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trie_common::ops::{Builder, TransientOps};
 
     fn exercise_map<M: MapOps<u32, u32>>() {
         let m = M::empty().inserted(1, 2).inserted(3, 4);
@@ -160,6 +231,7 @@ mod tests {
         let mut n = 0;
         m.for_each_entry(&mut |_, _| n += 1);
         assert_eq!(n, 1);
+        assert_eq!(m.entries().count(), 1);
     }
 
     fn exercise_multimap<M: MultiMapOps<u32, u32>>() {
@@ -168,6 +240,10 @@ mod tests {
         assert_eq!(m.key_count(), 2);
         assert!(m.contains_tuple(&1, &3));
         assert_eq!(m.value_count(&1), 2);
+        assert_eq!(m.tuples().count(), 3);
+        assert_eq!(m.keys().count(), 2);
+        assert_eq!(m.values_of(&1).count(), 2);
+        assert_eq!(m.values_of(&99).count(), 0);
         let m = m.tuple_removed(&1, &2);
         assert_eq!(m.tuple_count(), 2);
         let m = m.key_removed(&1);
@@ -184,5 +260,22 @@ mod tests {
         exercise_multimap::<crate::AxiomFusedMultiMap<u32, u32>>();
         let s = <AxiomSet<u32> as SetOps<u32>>::empty().inserted(1);
         assert!(SetOps::contains(&s, &1));
+    }
+
+    #[test]
+    fn transient_builder_matches_fold() {
+        let tuples: Vec<(u32, u32)> = (0..200).map(|i| (i / 2, i)).collect();
+        let folded = tuples
+            .iter()
+            .fold(AxiomMultiMap::<u32, u32>::new(), |mm, &(k, v)| {
+                mm.inserted(k, v)
+            });
+        let built = AxiomMultiMap::<u32, u32>::built_from(tuples.iter().copied());
+        assert_eq!(folded, built);
+
+        let mut t = AxiomMultiMap::<u32, u32>::transient_builder();
+        assert_eq!(t.insert_all_mut(tuples.iter().copied()), tuples.len());
+        assert_eq!(t.insert_all_mut(tuples.iter().copied()), 0); // re-insert: no growth
+        assert_eq!(t.build(), folded);
     }
 }

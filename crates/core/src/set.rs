@@ -674,19 +674,13 @@ impl<T: std::fmt::Debug> std::fmt::Debug for AxiomSet<T> {
 
 impl<T: Clone + Eq + Hash> FromIterator<T> for AxiomSet<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        let mut set = AxiomSet::new();
-        for v in iter {
-            set.insert_mut(v);
-        }
-        set
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
 impl<T: Clone + Eq + Hash> Extend<T> for AxiomSet<T> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        for v in iter {
-            self.insert_mut(v);
-        }
+        trie_common::ops::extend_via(self, iter);
     }
 }
 

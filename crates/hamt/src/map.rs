@@ -341,13 +341,13 @@ impl<K, V> HamtMap<K, V> {
     }
 
     /// Iterates the keys in unspecified order.
-    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
-        self.iter().map(|(k, _)| k)
+    pub fn keys(&self) -> Keys<'_, K, V> {
+        Keys { inner: self.iter() }
     }
 
     /// Iterates the values in unspecified order.
-    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
-        self.iter().map(|(_, v)| v)
+    pub fn values(&self) -> Values<'_, K, V> {
+        Values { inner: self.iter() }
     }
 }
 
@@ -514,19 +514,13 @@ where
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> FromIterator<(K, V)> for HamtMap<K, V> {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let mut map = HamtMap::new();
-        for (k, v) in iter {
-            map.insert_mut(k, v);
-        }
-        map
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Extend<(K, V)> for HamtMap<K, V> {
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
-        for (k, v) in iter {
-            self.insert_mut(k, v);
-        }
+        trie_common::ops::extend_via(self, iter);
     }
 }
 
@@ -615,6 +609,42 @@ impl<'a, K, V> std::fmt::Debug for Iter<'a, K, V> {
             .finish()
     }
 }
+
+/// Iterator over map keys. Created by [`HamtMap::keys`].
+#[derive(Debug)]
+pub struct Keys<'a, K, V> {
+    inner: Iter<'a, K, V>,
+}
+
+impl<'a, K, V> Iterator for Keys<'a, K, V> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<&'a K> {
+        self.inner.next().map(|(k, _)| k)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Keys<'a, K, V> {}
+
+/// Iterator over map values. Created by [`HamtMap::values`].
+#[derive(Debug)]
+pub struct Values<'a, K, V> {
+    inner: Iter<'a, K, V>,
+}
+
+impl<'a, K, V> Iterator for Values<'a, K, V> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        self.inner.next().map(|(_, v)| v)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Values<'a, K, V> {}
 
 #[cfg(test)]
 mod tests {

@@ -356,8 +356,13 @@ impl<K, V> MemoHamtMap<K, V> {
     }
 
     /// Iterates the keys in unspecified order.
-    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
-        self.iter().map(|(k, _)| k)
+    pub fn keys(&self) -> Keys<'_, K, V> {
+        Keys { inner: self.iter() }
+    }
+
+    /// Iterates the values in unspecified order.
+    pub fn values(&self) -> Values<'_, K, V> {
+        Values { inner: self.iter() }
     }
 }
 
@@ -534,19 +539,21 @@ where
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> FromIterator<(K, V)> for MemoHamtMap<K, V> {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let mut map = MemoHamtMap::new();
-        for (k, v) in iter {
-            map.insert_mut(k, v);
-        }
-        map
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Extend<(K, V)> for MemoHamtMap<K, V> {
     fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
-        for (k, v) in iter {
-            self.insert_mut(k, v);
-        }
+        trie_common::ops::extend_via(self, iter);
+    }
+}
+
+impl<'a, K: Clone + Eq + Hash, V: Clone + PartialEq> IntoIterator for &'a MemoHamtMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+    fn into_iter(self) -> Iter<'a, K, V> {
+        self.iter()
     }
 }
 
@@ -623,6 +630,42 @@ impl<'a, K, V> std::fmt::Debug for Iter<'a, K, V> {
             .finish()
     }
 }
+
+/// Iterator over map keys. Created by [`MemoHamtMap::keys`].
+#[derive(Debug)]
+pub struct Keys<'a, K, V> {
+    inner: Iter<'a, K, V>,
+}
+
+impl<'a, K, V> Iterator for Keys<'a, K, V> {
+    type Item = &'a K;
+    fn next(&mut self) -> Option<&'a K> {
+        self.inner.next().map(|(k, _)| k)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Keys<'a, K, V> {}
+
+/// Iterator over map values. Created by [`MemoHamtMap::values`].
+#[derive(Debug)]
+pub struct Values<'a, K, V> {
+    inner: Iter<'a, K, V>,
+}
+
+impl<'a, K, V> Iterator for Values<'a, K, V> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        self.inner.next().map(|(_, v)| v)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, K, V> ExactSizeIterator for Values<'a, K, V> {}
 
 #[cfg(test)]
 mod tests {

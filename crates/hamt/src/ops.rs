@@ -1,10 +1,14 @@
 //! Harness-facing trait implementations ([`trie_common::ops`]).
+//!
+//! Thin forwarding shims: the associated iterator types are the inherent
+//! iterators of the HAMT maps and sets, and the transient builder rides the
+//! `Rc`-uniqueness `insert_mut` path via [`EditInPlace`].
 
 use std::hash::Hash;
 
-use trie_common::ops::{MapOps, SetOps};
+use trie_common::ops::{EditInPlace, MapOps, SetOps};
 
-use crate::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+use crate::{map, memo, set, HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
 
 impl<K, V> MapOps<K, V> for HamtMap<K, V>
 where
@@ -12,6 +16,25 @@ where
     V: Clone + PartialEq,
 {
     const NAME: &'static str = "hamt-map";
+
+    type Entries<'a>
+        = map::Iter<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = map::Keys<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Values<'a>
+        = map::Values<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         HamtMap::new()
@@ -28,15 +51,24 @@ where
     fn removed(&self, key: &K) -> Self {
         HamtMap::removed(self, key)
     }
-    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, v) in self.iter() {
-            f(k, v);
-        }
+    fn entries(&self) -> Self::Entries<'_> {
+        HamtMap::iter(self)
     }
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        HamtMap::keys(self)
+    }
+    fn values(&self) -> Self::Values<'_> {
+        HamtMap::values(self)
+    }
+}
+
+impl<K, V> EditInPlace<(K, V)> for HamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
@@ -46,6 +78,25 @@ where
     V: Clone + PartialEq,
 {
     const NAME: &'static str = "memo-hamt-map";
+
+    type Entries<'a>
+        = memo::Iter<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = memo::Keys<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Values<'a>
+        = memo::Values<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         MemoHamtMap::new()
@@ -62,15 +113,24 @@ where
     fn removed(&self, key: &K) -> Self {
         MemoHamtMap::removed(self, key)
     }
-    fn for_each_entry(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, v) in self.iter() {
-            f(k, v);
-        }
+    fn entries(&self) -> Self::Entries<'_> {
+        MemoHamtMap::iter(self)
     }
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        MemoHamtMap::keys(self)
+    }
+    fn values(&self) -> Self::Values<'_> {
+        MemoHamtMap::values(self)
+    }
+}
+
+impl<K, V> EditInPlace<(K, V)> for MemoHamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
@@ -79,6 +139,12 @@ where
     T: Clone + Eq + Hash,
 {
     const NAME: &'static str = "hamt-set";
+
+    type Elems<'a>
+        = set::Iter<'a, T>
+    where
+        Self: 'a,
+        T: 'a;
 
     fn empty() -> Self {
         HamtSet::new()
@@ -95,10 +161,17 @@ where
     fn removed(&self, value: &T) -> Self {
         HamtSet::removed(self, value)
     }
-    fn for_each(&self, f: &mut dyn FnMut(&T)) {
-        for v in self.iter() {
-            f(v);
-        }
+    fn iter(&self) -> Self::Elems<'_> {
+        HamtSet::iter(self)
+    }
+}
+
+impl<T> EditInPlace<T> for HamtSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn edit_insert(&mut self, value: T) -> bool {
+        self.insert_mut(value)
     }
 }
 
@@ -107,6 +180,12 @@ where
     T: Clone + Eq + Hash,
 {
     const NAME: &'static str = "memo-hamt-set";
+
+    type Elems<'a>
+        = set::MemoIter<'a, T>
+    where
+        Self: 'a,
+        T: 'a;
 
     fn empty() -> Self {
         MemoHamtSet::new()
@@ -123,21 +202,32 @@ where
     fn removed(&self, value: &T) -> Self {
         MemoHamtSet::removed(self, value)
     }
-    fn for_each(&self, f: &mut dyn FnMut(&T)) {
-        for v in self.iter() {
-            f(v);
-        }
+    fn iter(&self) -> Self::Elems<'_> {
+        MemoHamtSet::iter(self)
+    }
+}
+
+impl<T> EditInPlace<T> for MemoHamtSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn edit_insert(&mut self, value: T) -> bool {
+        self.insert_mut(value)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trie_common::ops::{Builder, TransientOps};
 
     fn exercise<M: MapOps<u32, u32>>() {
         let m = M::empty().inserted(1, 2).inserted(3, 4).removed(&1);
         assert_eq!(m.len(), 1);
         assert_eq!(m.get(&3), Some(&4));
+        assert_eq!(m.entries().count(), 1);
+        assert_eq!(m.keys().count(), 1);
+        assert_eq!(m.values().count(), 1);
     }
 
     #[test]
@@ -146,7 +236,19 @@ mod tests {
         exercise::<MemoHamtMap<u32, u32>>();
         let s = <HamtSet<u32> as SetOps<u32>>::empty().inserted(1);
         assert!(SetOps::contains(&s, &1));
+        assert_eq!(SetOps::iter(&s).count(), 1);
         let s = <MemoHamtSet<u32> as SetOps<u32>>::empty().inserted(1);
         assert!(SetOps::contains(&s, &1));
+        assert_eq!(SetOps::iter(&s).count(), 1);
+    }
+
+    #[test]
+    fn transient_builders_roundtrip() {
+        let m = MemoHamtMap::<u32, u32>::built_from((0..50).map(|i| (i, i)));
+        assert_eq!(m.len(), 50);
+        let mut t = HamtSet::<u32>::transient_builder();
+        assert_eq!(t.insert_all_mut(0..20), 20);
+        assert!(!t.insert_mut(0));
+        assert_eq!(t.build().len(), 20);
     }
 }

@@ -43,8 +43,10 @@ impl<T> HamtSet<T> {
     }
 
     /// Iterates the elements in unspecified (trie) order.
-    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
-        self.map.keys()
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            inner: self.map.keys(),
+        }
     }
 }
 
@@ -144,21 +146,41 @@ impl<T: std::fmt::Debug> std::fmt::Debug for HamtSet<T> {
 
 impl<T: Clone + Eq + Hash> FromIterator<T> for HamtSet<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        let mut set = HamtSet::new();
-        for v in iter {
-            set.insert_mut(v);
-        }
-        set
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
 impl<T: Clone + Eq + Hash> Extend<T> for HamtSet<T> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        for v in iter {
-            self.insert_mut(v);
-        }
+        trie_common::ops::extend_via(self, iter);
     }
 }
+
+impl<'a, T> IntoIterator for &'a HamtSet<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`HamtSet`]'s elements. Created by [`HamtSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    inner: crate::map::Keys<'a, T, ()>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, T> ExactSizeIterator for Iter<'a, T> {}
 
 /// A persistent hash set over the Scala-flavoured memoizing HAMT.
 ///
@@ -187,8 +209,10 @@ impl<T> MemoHamtSet<T> {
     }
 
     /// Iterates the elements in unspecified (trie) order.
-    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
-        self.map.keys()
+    pub fn iter(&self) -> MemoIter<'_, T> {
+        MemoIter {
+            inner: self.map.keys(),
+        }
     }
 }
 
@@ -288,21 +312,42 @@ impl<T: std::fmt::Debug> std::fmt::Debug for MemoHamtSet<T> {
 
 impl<T: Clone + Eq + Hash> FromIterator<T> for MemoHamtSet<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        let mut set = MemoHamtSet::new();
-        for v in iter {
-            set.insert_mut(v);
-        }
-        set
+        trie_common::ops::from_iter_via(iter)
     }
 }
 
 impl<T: Clone + Eq + Hash> Extend<T> for MemoHamtSet<T> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        for v in iter {
-            self.insert_mut(v);
-        }
+        trie_common::ops::extend_via(self, iter);
     }
 }
+
+impl<'a, T> IntoIterator for &'a MemoHamtSet<T> {
+    type Item = &'a T;
+    type IntoIter = MemoIter<'a, T>;
+    fn into_iter(self) -> MemoIter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`MemoHamtSet`]'s elements. Created by
+/// [`MemoHamtSet::iter`].
+#[derive(Debug)]
+pub struct MemoIter<'a, T> {
+    inner: crate::memo::Keys<'a, T, ()>,
+}
+
+impl<'a, T> Iterator for MemoIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        self.inner.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, T> ExactSizeIterator for MemoIter<'a, T> {}
 
 #[cfg(test)]
 mod tests {

@@ -11,7 +11,8 @@ use std::hash::Hash;
 
 use hamt::{HamtMap, HamtSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
-use trie_common::ops::MultiMapOps;
+use trie_common::iter::{MaybeIter, TuplesOf};
+use trie_common::ops::{EditInPlace, MultiMapOps};
 
 /// A key's binding: the dynamic either-value-or-set the Clojure protocol
 /// dispatches on.
@@ -54,6 +55,44 @@ impl<V: Clone + Eq + Hash> ClojureVal<V> {
         match self {
             ClojureVal::Single(v) => v == value,
             ClojureVal::SetOf(s) => s.contains(value),
+        }
+    }
+}
+
+impl<V> ClojureVal<V> {
+    /// Iterates the binding's values (one for a bare singleton).
+    pub fn iter(&self) -> ClojureValIter<'_, V> {
+        match self {
+            ClojureVal::Single(v) => ClojureValIter::Single(std::iter::once(v)),
+            ClojureVal::SetOf(s) => ClojureValIter::SetOf(s.iter()),
+        }
+    }
+}
+
+impl<'a, V> IntoIterator for &'a ClojureVal<V> {
+    type Item = &'a V;
+    type IntoIter = ClojureValIter<'a, V>;
+    fn into_iter(self) -> ClojureValIter<'a, V> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`ClojureVal`] binding's values. Created by
+/// [`ClojureVal::iter`].
+#[derive(Debug)]
+pub enum ClojureValIter<'a, V> {
+    /// The bare-singleton case.
+    Single(std::iter::Once<&'a V>),
+    /// The nested-set case.
+    SetOf(hamt::set::Iter<'a, V>),
+}
+
+impl<'a, V> Iterator for ClojureValIter<'a, V> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        match self {
+            ClojureValIter::Single(it) => it.next(),
+            ClojureValIter::SetOf(it) => it.next(),
         }
     }
 }
@@ -185,6 +224,38 @@ where
         }
         removed
     }
+
+    /// Iterates all `(key, value)` tuples in unspecified order.
+    pub fn iter(&self) -> ClojureTuples<'_, K, V> {
+        TuplesOf::new(self.map.iter())
+    }
+
+    /// Iterates the distinct keys in unspecified order.
+    pub fn keys(&self) -> hamt::map::Keys<'_, K, ClojureVal<V>> {
+        self.map.keys()
+    }
+
+    /// Iterates the values bound to `key` (nothing if the key is absent).
+    pub fn values_of(&self, key: &K) -> MaybeIter<ClojureValIter<'_, V>> {
+        MaybeIter::of(self.map.get(key).map(ClojureVal::iter))
+    }
+}
+
+/// Iterator over a [`ClojureMultiMap`]'s flattened tuples. Created by
+/// [`ClojureMultiMap::iter`].
+pub type ClojureTuples<'a, K, V> =
+    TuplesOf<'a, K, ClojureVal<V>, hamt::map::Iter<'a, K, ClojureVal<V>>>;
+
+impl<'a, K, V> IntoIterator for &'a ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    type Item = (&'a K, &'a V);
+    type IntoIter = ClojureTuples<'a, K, V>;
+    fn into_iter(self) -> ClojureTuples<'a, K, V> {
+        self.iter()
+    }
 }
 
 impl<K, V> Default for ClojureMultiMap<K, V>
@@ -203,11 +274,27 @@ where
     V: Clone + Eq + Hash,
 {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let mut mm = ClojureMultiMap::new();
-        for (k, v) in iter {
-            mm.insert_mut(k, v);
-        }
-        mm
+        trie_common::ops::from_iter_via(iter)
+    }
+}
+
+impl<K, V> Extend<(K, V)> for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        trie_common::ops::extend_via(self, iter);
+    }
+}
+
+impl<K, V> EditInPlace<(K, V)> for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
@@ -217,6 +304,25 @@ where
     V: Clone + Eq + Hash,
 {
     const NAME: &'static str = "clojure-multimap";
+
+    type Tuples<'a>
+        = ClojureTuples<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = hamt::map::Keys<'a, K, ClojureVal<V>>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type ValuesOf<'a>
+        = MaybeIter<ClojureValIter<'a, V>>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         ClojureMultiMap::new()
@@ -260,35 +366,16 @@ where
         next
     }
 
-    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, binding) in self.map.iter() {
-            match binding {
-                ClojureVal::Single(v) => f(k, v),
-                ClojureVal::SetOf(s) => {
-                    for v in s.iter() {
-                        f(k, v);
-                    }
-                }
-            }
-        }
+    fn tuples(&self) -> Self::Tuples<'_> {
+        self.iter()
     }
 
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.map.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        ClojureMultiMap::keys(self)
     }
 
-    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
-        match self.map.get(key) {
-            None => {}
-            Some(ClojureVal::Single(v)) => f(v),
-            Some(ClojureVal::SetOf(s)) => {
-                for v in s.iter() {
-                    f(v);
-                }
-            }
-        }
+    fn values_of<'a>(&'a self, key: &K) -> Self::ValuesOf<'a> {
+        ClojureMultiMap::values_of(self, key)
     }
 }
 

@@ -11,8 +11,10 @@
 //! | [`ScalaMultiMap`] | Figure 5 baseline | hash-memoizing HAMT; values always sets, `Set1..Set4` specialized |
 //! | [`NestedChampMultiMap`] | Table 1 "CHAMP" column | CHAMP map of CHAMP sets, no singleton inlining |
 //!
-//! All three implement [`trie_common::ops::MultiMapOps`], the heap-model
-//! traits, and `FromIterator`, so the benchmark harness and the dominators
+//! All three implement [`trie_common::ops::MultiMapOps`] (iterator-first,
+//! with inherent `iter()`/`keys()`/`values_of()` and `IntoIterator`
+//! support), the transient builder protocol, the heap-model traits, and
+//! `FromIterator`/`Extend`, so the benchmark harness and the dominators
 //! case study treat them interchangeably with the AXIOM multi-maps.
 
 #![warn(missing_docs)]
@@ -21,6 +23,6 @@ mod clojure;
 mod nested;
 mod scala;
 
-pub use clojure::{ClojureMultiMap, ClojureVal};
-pub use nested::NestedChampMultiMap;
-pub use scala::{ScalaMultiMap, ScalaSet};
+pub use clojure::{ClojureMultiMap, ClojureTuples, ClojureVal, ClojureValIter};
+pub use nested::{NestedChampMultiMap, NestedTuples};
+pub use scala::{ScalaMultiMap, ScalaSet, ScalaSetIter, ScalaTuples};

@@ -11,7 +11,8 @@ use std::hash::Hash;
 
 use champ::{ChampMap, ChampSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
-use trie_common::ops::MultiMapOps;
+use trie_common::iter::{MaybeIter, TuplesOf};
+use trie_common::ops::{EditInPlace, MultiMapOps};
 
 /// A persistent multi-map as a [`ChampMap`] from keys to non-empty
 /// [`ChampSet`]s.
@@ -119,6 +120,38 @@ where
         }
         removed
     }
+
+    /// Iterates all `(key, value)` tuples in unspecified order.
+    pub fn iter(&self) -> NestedTuples<'_, K, V> {
+        TuplesOf::new(self.map.iter())
+    }
+
+    /// Iterates the distinct keys in unspecified order.
+    pub fn keys(&self) -> champ::map::Keys<'_, K, ChampSet<V>> {
+        self.map.keys()
+    }
+
+    /// Iterates the values bound to `key` (nothing if the key is absent).
+    pub fn values_of(&self, key: &K) -> MaybeIter<champ::set::Iter<'_, V>> {
+        MaybeIter::of(self.map.get(key).map(ChampSet::iter))
+    }
+}
+
+/// Iterator over a [`NestedChampMultiMap`]'s flattened tuples. Created by
+/// [`NestedChampMultiMap::iter`].
+pub type NestedTuples<'a, K, V> =
+    TuplesOf<'a, K, ChampSet<V>, champ::map::Iter<'a, K, ChampSet<V>>>;
+
+impl<'a, K, V> IntoIterator for &'a NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    type Item = (&'a K, &'a V);
+    type IntoIter = NestedTuples<'a, K, V>;
+    fn into_iter(self) -> NestedTuples<'a, K, V> {
+        self.iter()
+    }
 }
 
 impl<K, V> Default for NestedChampMultiMap<K, V>
@@ -137,11 +170,27 @@ where
     V: Clone + Eq + Hash,
 {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let mut mm = NestedChampMultiMap::new();
-        for (k, v) in iter {
-            mm.insert_mut(k, v);
-        }
-        mm
+        trie_common::ops::from_iter_via(iter)
+    }
+}
+
+impl<K, V> Extend<(K, V)> for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        trie_common::ops::extend_via(self, iter);
+    }
+}
+
+impl<K, V> EditInPlace<(K, V)> for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
@@ -151,6 +200,25 @@ where
     V: Clone + Eq + Hash,
 {
     const NAME: &'static str = "nested-champ-multimap";
+
+    type Tuples<'a>
+        = NestedTuples<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = champ::map::Keys<'a, K, ChampSet<V>>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type ValuesOf<'a>
+        = MaybeIter<champ::set::Iter<'a, V>>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         NestedChampMultiMap::new()
@@ -194,26 +262,16 @@ where
         next
     }
 
-    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, set) in self.map.iter() {
-            for v in set.iter() {
-                f(k, v);
-            }
-        }
+    fn tuples(&self) -> Self::Tuples<'_> {
+        self.iter()
     }
 
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.map.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        NestedChampMultiMap::keys(self)
     }
 
-    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
-        if let Some(set) = self.map.get(key) {
-            for v in set.iter() {
-                f(v);
-            }
-        }
+    fn values_of<'a>(&'a self, key: &K) -> Self::ValuesOf<'a> {
+        NestedChampMultiMap::values_of(self, key)
     }
 }
 

@@ -16,7 +16,8 @@ use std::hash::Hash;
 
 use hamt::{MemoHamtMap, MemoHamtSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
-use trie_common::ops::MultiMapOps;
+use trie_common::iter::{MaybeIter, TuplesOf};
+use trie_common::ops::{EditInPlace, MultiMapOps};
 
 /// An immutable Scala-style set: `Set1..Set4` field specializations with a
 /// hash-trie overflow (`HashSet`) beyond four elements.
@@ -58,6 +59,61 @@ impl<V: Clone + Eq + Hash> PartialEq for ScalaSet<V> {
         let mut equal = true;
         self.for_each(&mut |v| equal = equal && other.contains(v));
         equal
+    }
+}
+
+impl<V> ScalaSet<V> {
+    /// Iterates the set's elements in unspecified order.
+    pub fn iter(&self) -> ScalaSetIter<'_, V> {
+        match self {
+            ScalaSet::S1(a) => ScalaSetIter::small([Some(a), None, None, None]),
+            ScalaSet::S2(a, b) => ScalaSetIter::small([Some(a), Some(b), None, None]),
+            ScalaSet::S3(a, b, c) => ScalaSetIter::small([Some(a), Some(b), Some(c), None]),
+            ScalaSet::S4(a, b, c, d) => ScalaSetIter::small([Some(a), Some(b), Some(c), Some(d)]),
+            ScalaSet::Trie(s) => ScalaSetIter::Trie(s.iter()),
+        }
+    }
+}
+
+impl<'a, V> IntoIterator for &'a ScalaSet<V> {
+    type Item = &'a V;
+    type IntoIter = ScalaSetIter<'a, V>;
+    fn into_iter(self) -> ScalaSetIter<'a, V> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`ScalaSet`]'s elements. Created by [`ScalaSet::iter`].
+#[derive(Debug)]
+pub enum ScalaSetIter<'a, V> {
+    /// Iterating the fields of a `Set1..Set4` specialization.
+    Small {
+        /// The (up to four) borrowed elements.
+        items: [Option<&'a V>; 4],
+        /// Next field to yield.
+        idx: usize,
+    },
+    /// Iterating the hash-trie overflow set.
+    Trie(hamt::set::MemoIter<'a, V>),
+}
+
+impl<'a, V> ScalaSetIter<'a, V> {
+    fn small(items: [Option<&'a V>; 4]) -> Self {
+        ScalaSetIter::Small { items, idx: 0 }
+    }
+}
+
+impl<'a, V> Iterator for ScalaSetIter<'a, V> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        match self {
+            ScalaSetIter::Small { items, idx } => {
+                let out = items.get(*idx).copied().flatten();
+                *idx += 1;
+                out
+            }
+            ScalaSetIter::Trie(it) => it.next(),
+        }
     }
 }
 
@@ -152,28 +208,8 @@ impl<V: Clone + Eq + Hash> ScalaSet<V> {
 
     /// Invokes `f` for every element.
     pub fn for_each(&self, f: &mut dyn FnMut(&V)) {
-        match self {
-            ScalaSet::S1(a) => f(a),
-            ScalaSet::S2(a, b) => {
-                f(a);
-                f(b);
-            }
-            ScalaSet::S3(a, b, c) => {
-                f(a);
-                f(b);
-                f(c);
-            }
-            ScalaSet::S4(a, b, c, d) => {
-                f(a);
-                f(b);
-                f(c);
-                f(d);
-            }
-            ScalaSet::Trie(s) => {
-                for v in s.iter() {
-                    f(v);
-                }
-            }
+        for v in self.iter() {
+            f(v);
         }
     }
 }
@@ -282,6 +318,37 @@ where
         }
         removed
     }
+
+    /// Iterates all `(key, value)` tuples in unspecified order.
+    pub fn iter(&self) -> ScalaTuples<'_, K, V> {
+        TuplesOf::new(self.map.iter())
+    }
+
+    /// Iterates the distinct keys in unspecified order.
+    pub fn keys(&self) -> hamt::memo::Keys<'_, K, ScalaSet<V>> {
+        self.map.keys()
+    }
+
+    /// Iterates the values bound to `key` (nothing if the key is absent).
+    pub fn values_of(&self, key: &K) -> MaybeIter<ScalaSetIter<'_, V>> {
+        MaybeIter::of(self.map.get(key).map(ScalaSet::iter))
+    }
+}
+
+/// Iterator over a [`ScalaMultiMap`]'s flattened tuples. Created by
+/// [`ScalaMultiMap::iter`].
+pub type ScalaTuples<'a, K, V> = TuplesOf<'a, K, ScalaSet<V>, hamt::memo::Iter<'a, K, ScalaSet<V>>>;
+
+impl<'a, K, V> IntoIterator for &'a ScalaMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    type Item = (&'a K, &'a V);
+    type IntoIter = ScalaTuples<'a, K, V>;
+    fn into_iter(self) -> ScalaTuples<'a, K, V> {
+        self.iter()
+    }
 }
 
 impl<K, V> Default for ScalaMultiMap<K, V>
@@ -300,11 +367,27 @@ where
     V: Clone + Eq + Hash,
 {
     fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
-        let mut mm = ScalaMultiMap::new();
-        for (k, v) in iter {
-            mm.insert_mut(k, v);
-        }
-        mm
+        trie_common::ops::from_iter_via(iter)
+    }
+}
+
+impl<K, V> Extend<(K, V)> for ScalaMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        trie_common::ops::extend_via(self, iter);
+    }
+}
+
+impl<K, V> EditInPlace<(K, V)> for ScalaMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
+        self.insert_mut(key, value)
     }
 }
 
@@ -314,6 +397,25 @@ where
     V: Clone + Eq + Hash,
 {
     const NAME: &'static str = "scala-multimap";
+
+    type Tuples<'a>
+        = ScalaTuples<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type Keys<'a>
+        = hamt::memo::Keys<'a, K, ScalaSet<V>>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+    type ValuesOf<'a>
+        = MaybeIter<ScalaSetIter<'a, V>>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
 
     fn empty() -> Self {
         ScalaMultiMap::new()
@@ -357,22 +459,16 @@ where
         next
     }
 
-    fn for_each_tuple(&self, f: &mut dyn FnMut(&K, &V)) {
-        for (k, set) in self.map.iter() {
-            set.for_each(&mut |v| f(k, v));
-        }
+    fn tuples(&self) -> Self::Tuples<'_> {
+        self.iter()
     }
 
-    fn for_each_key(&self, f: &mut dyn FnMut(&K)) {
-        for k in self.map.keys() {
-            f(k);
-        }
+    fn keys(&self) -> Self::Keys<'_> {
+        ScalaMultiMap::keys(self)
     }
 
-    fn for_each_value_of(&self, key: &K, f: &mut dyn FnMut(&V)) {
-        if let Some(set) = self.map.get(key) {
-            set.for_each(f);
-        }
+    fn values_of<'a>(&'a self, key: &K) -> Self::ValuesOf<'a> {
+        ScalaMultiMap::values_of(self, key)
     }
 }
 

@@ -1,11 +1,14 @@
 //! **workloads** — paper-faithful workload generation and measurement.
 //!
-//! Three pieces drive every experiment in `paper-bench`:
+//! Four pieces drive every experiment in `paper-bench`:
 //!
 //! * [`data`] — the §4.3 random-data methodology: `2^x` sizes, five seeds
 //!   per data point, skewed 50 %/50 % `1:1`/`1:2` multi-map distributions,
 //!   100 % `1:1` map distributions, and 8-parameter operation bursts with
 //!   full/partial/no matches;
+//! * [`build`] — generic construction of the structures under test
+//!   (persistent fold vs transient builder), written once against the
+//!   [`trie_common::ops`] traits;
 //! * [`timing`] — JMH-like warmup + measurement iterations with median/MAD
 //!   statistics and box-plot-style ratio summaries;
 //! * [`report`] — markdown table emission so the binaries regenerate the
@@ -24,10 +27,12 @@
 
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod data;
 pub mod report;
 pub mod timing;
 
+pub use build::{map_persistent, map_transient, multimap_persistent, multimap_transient};
 pub use data::{
     map_workload, multimap_workload, multimap_workload_with, size_sweep, MapWorkload,
     MultiMapWorkload, ValueDist, BURST, SEEDS,

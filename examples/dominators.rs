@@ -36,8 +36,7 @@ fn main() {
     let dom: AxiomMultiMap<CfgNode, CfgNode> = dominators_relational(&cfg);
     println!("Figure 7: dominator sets (Dom(n) = ∩ Dom(preds) ∪ {{n}}):");
     for (i, node) in cfg.nodes.iter().enumerate() {
-        let mut ds: Vec<&str> = Vec::new();
-        dom.for_each_value_of(node, &mut |d| ds.push(names[d.id as usize]));
+        let mut ds: Vec<&str> = dom.values_of(node).map(|d| names[d.id as usize]).collect();
         ds.sort();
         println!("  Dom({}) = {{{}}}", names[i], ds.join(", "));
     }

@@ -1,0 +1,24 @@
+//! Guards the README's quick-start snippet: this file mirrors it verbatim,
+//! so if the public API drifts, this test fails before the docs rot.
+use axiom_repro::axiom::AxiomMultiMap;
+use axiom_repro::trie_common::ops::{Builder, MultiMapOps, TransientOps};
+
+#[test]
+fn readme_quick_start() {
+    let deps = AxiomMultiMap::<&str, &str>::built_from([
+        ("typeck", "parser"),
+        ("codegen", "typeck"),
+        ("codegen", "layout"),
+    ]);
+    assert_eq!(deps.value_count(&"codegen"), 2);
+    let mut co: Vec<&str> = deps.values_of(&"codegen").copied().collect();
+    co.sort();
+    assert_eq!(co, ["layout", "typeck"]);
+    assert_eq!(deps.tuples().count(), 3);
+    let pruned = deps.key_removed(&"codegen");
+    assert_eq!(pruned.key_count(), 1);
+    assert_eq!(deps.key_count(), 2);
+    let mut t = pruned.transient();
+    t.insert_all_mut([("parser", "lexer"), ("lexer", "unicode")]);
+    assert_eq!(t.build().key_count(), 3);
+}

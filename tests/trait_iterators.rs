@@ -1,0 +1,252 @@
+//! Property tests for the iterator-first trait layer: for every
+//! implementation, the associated trait iterators must agree with the
+//! `for_each_*` default methods and with a `BTreeMap<K, BTreeSet<V>>` model
+//! under random insert/remove sequences.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use axiom_repro::trie_common::ops::{MapOps, MultiMapOps, SetOps};
+
+/// One multi-map operation (keys clamped to a small range so removals hit).
+#[derive(Debug, Clone)]
+enum MmOp {
+    Insert(u16, u8),
+    RemoveTuple(u16, u8),
+    RemoveKey(u16),
+}
+
+fn mm_ops() -> impl Strategy<Value = Vec<MmOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| MmOp::Insert(k % 48, v % 8)),
+            2 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| MmOp::RemoveTuple(k % 48, v % 8)),
+            1 => any::<u16>().prop_map(|k| MmOp::RemoveKey(k % 48)),
+        ],
+        0..250,
+    )
+}
+
+type Model = BTreeMap<u16, BTreeSet<u8>>;
+
+fn run_ops<M: MultiMapOps<u16, u8>>(ops: &[MmOp]) -> (M, Model) {
+    let mut model = Model::new();
+    let mut mm = M::empty();
+    for op in ops {
+        match op {
+            MmOp::Insert(k, v) => {
+                model.entry(*k).or_default().insert(*v);
+                mm = mm.inserted(*k, *v);
+            }
+            MmOp::RemoveTuple(k, v) => {
+                if let Some(s) = model.get_mut(k) {
+                    s.remove(v);
+                    if s.is_empty() {
+                        model.remove(k);
+                    }
+                }
+                mm = mm.tuple_removed(k, v);
+            }
+            MmOp::RemoveKey(k) => {
+                model.remove(k);
+                mm = mm.key_removed(k);
+            }
+        }
+    }
+    (mm, model)
+}
+
+/// The heart of the satellite: trait iterators ≡ `for_each_*` defaults ≡
+/// the model, for one implementation.
+fn check_multimap_iterators<M: MultiMapOps<u16, u8>>(ops: &[MmOp]) {
+    let (mm, model) = run_ops::<M>(ops);
+
+    // Counts match the model.
+    assert_eq!(mm.key_count(), model.len(), "{}: key_count", M::NAME);
+    let model_tuples: usize = model.values().map(BTreeSet::len).sum();
+    assert_eq!(mm.tuple_count(), model_tuples, "{}: tuple_count", M::NAME);
+
+    // tuples() against the model and against for_each_tuple.
+    let mut via_iter = Model::new();
+    for (k, v) in mm.tuples() {
+        assert!(
+            via_iter.entry(*k).or_default().insert(*v),
+            "{}: duplicate tuple",
+            M::NAME
+        );
+    }
+    assert_eq!(via_iter, model, "{}: tuples() vs model", M::NAME);
+    let mut via_callback = Model::new();
+    mm.for_each_tuple(&mut |k, v| {
+        via_callback.entry(*k).or_default().insert(*v);
+    });
+    assert_eq!(
+        via_callback,
+        via_iter,
+        "{}: for_each_tuple vs tuples()",
+        M::NAME
+    );
+
+    // keys() against the model and against for_each_key.
+    let mut keys_iter: Vec<u16> = mm.keys().copied().collect();
+    keys_iter.sort_unstable();
+    let keys_model: Vec<u16> = model.keys().copied().collect();
+    assert_eq!(keys_iter, keys_model, "{}: keys() vs model", M::NAME);
+    let mut keys_callback = Vec::new();
+    mm.for_each_key(&mut |k| keys_callback.push(*k));
+    keys_callback.sort_unstable();
+    assert_eq!(
+        keys_callback,
+        keys_iter,
+        "{}: for_each_key vs keys()",
+        M::NAME
+    );
+
+    // values_of() against the model, for_each_value_of, and a guaranteed
+    // miss (keys are generated below 48).
+    for (k, vs) in &model {
+        let got: BTreeSet<u8> = mm.values_of(k).copied().collect();
+        assert_eq!(&got, vs, "{}: values_of({k})", M::NAME);
+        assert_eq!(mm.value_count(k), vs.len(), "{}: value_count({k})", M::NAME);
+        let mut cb = BTreeSet::new();
+        mm.for_each_value_of(k, &mut |v| {
+            cb.insert(*v);
+        });
+        assert_eq!(cb, got, "{}: for_each_value_of({k})", M::NAME);
+    }
+    assert_eq!(
+        mm.values_of(&999).count(),
+        0,
+        "{}: values_of(miss)",
+        M::NAME
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn axiom_multimap_iterators(ops in mm_ops()) {
+        check_multimap_iterators::<AxiomMultiMap<u16, u8>>(&ops);
+    }
+
+    #[test]
+    fn fused_multimap_iterators(ops in mm_ops()) {
+        check_multimap_iterators::<AxiomFusedMultiMap<u16, u8>>(&ops);
+    }
+
+    #[test]
+    fn clojure_multimap_iterators(ops in mm_ops()) {
+        check_multimap_iterators::<ClojureMultiMap<u16, u8>>(&ops);
+    }
+
+    #[test]
+    fn scala_multimap_iterators(ops in mm_ops()) {
+        check_multimap_iterators::<ScalaMultiMap<u16, u8>>(&ops);
+    }
+
+    #[test]
+    fn nested_champ_multimap_iterators(ops in mm_ops()) {
+        check_multimap_iterators::<NestedChampMultiMap<u16, u8>>(&ops);
+    }
+}
+
+/// Map-side check: entries()/keys()/values() ≡ defaults ≡ `BTreeMap` model.
+fn check_map_iterators<M: MapOps<u16, u16>>(ops: &[(u16, u16, bool)]) {
+    let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+    let mut m = M::empty();
+    for (k, v, remove) in ops {
+        let k = k % 64;
+        if *remove {
+            model.remove(&k);
+            m = m.removed(&k);
+        } else {
+            model.insert(k, *v);
+            m = m.inserted(k, *v);
+        }
+    }
+    assert_eq!(m.len(), model.len(), "{}: len", M::NAME);
+
+    let mut entries: Vec<(u16, u16)> = m.entries().map(|(k, v)| (*k, *v)).collect();
+    entries.sort_unstable();
+    let model_entries: Vec<(u16, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(entries, model_entries, "{}: entries() vs model", M::NAME);
+
+    let mut via_callback = Vec::new();
+    m.for_each_entry(&mut |k, v| via_callback.push((*k, *v)));
+    via_callback.sort_unstable();
+    assert_eq!(
+        via_callback,
+        entries,
+        "{}: for_each_entry vs entries()",
+        M::NAME
+    );
+
+    let mut keys: Vec<u16> = m.keys().copied().collect();
+    keys.sort_unstable();
+    assert_eq!(
+        keys,
+        model.keys().copied().collect::<Vec<_>>(),
+        "{}: keys()",
+        M::NAME
+    );
+
+    let mut values: Vec<u16> = m.values().copied().collect();
+    values.sort_unstable();
+    let mut model_values: Vec<u16> = model.values().copied().collect();
+    model_values.sort_unstable();
+    assert_eq!(values, model_values, "{}: values()", M::NAME);
+}
+
+/// Set-side check: iter() ≡ for_each ≡ `BTreeSet` model.
+fn check_set_iterators<S: SetOps<u16>>(ops: &[(u16, bool)]) {
+    let mut model: BTreeSet<u16> = BTreeSet::new();
+    let mut s = S::empty();
+    for (e, remove) in ops {
+        let e = e % 64;
+        if *remove {
+            model.remove(&e);
+            s = s.removed(&e);
+        } else {
+            model.insert(e);
+            s = s.inserted(e);
+        }
+    }
+    assert_eq!(s.len(), model.len(), "{}: len", S::NAME);
+    let elems: BTreeSet<u16> = SetOps::iter(&s).copied().collect();
+    assert_eq!(elems, model, "{}: iter() vs model", S::NAME);
+    let mut cb = BTreeSet::new();
+    s.for_each(&mut |e| {
+        cb.insert(*e);
+    });
+    assert_eq!(cb, elems, "{}: for_each vs iter()", S::NAME);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_map_impls_iterators(ops in prop::collection::vec(
+        (any::<u16>(), any::<u16>(), any::<bool>()), 0..250))
+    {
+        check_map_iterators::<AxiomMap<u16, u16>>(&ops);
+        check_map_iterators::<ChampMap<u16, u16>>(&ops);
+        check_map_iterators::<HamtMap<u16, u16>>(&ops);
+        check_map_iterators::<MemoHamtMap<u16, u16>>(&ops);
+    }
+
+    #[test]
+    fn all_set_impls_iterators(ops in prop::collection::vec(
+        (any::<u16>(), any::<bool>()), 0..250))
+    {
+        check_set_iterators::<AxiomSet<u16>>(&ops);
+        check_set_iterators::<ChampSet<u16>>(&ops);
+        check_set_iterators::<HamtSet<u16>>(&ops);
+        check_set_iterators::<MemoHamtSet<u16>>(&ops);
+    }
+}

@@ -1,0 +1,153 @@
+//! The transient builder protocol, end to end: for every implementation,
+//! bulk construction through `TransientOps` must produce the same relation
+//! as a fold of persistent `inserted` calls — and for the headline
+//! `AxiomMultiMap`, bulk-building 100k tuples through the builder must be
+//! measurably no slower than the fold (the protocol's reason to exist).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use axiom_repro::trie_common::ops::{Builder, MapOps, MultiMapOps, SetOps, TransientOps};
+use axiom_repro::workloads::{multimap_persistent, multimap_transient, multimap_workload};
+
+/// Transient bulk-build ≡ fold of `inserted`, compared semantically (not all
+/// impls define `PartialEq`).
+fn check_multimap_builder<M>(tuples: &[(u16, u8)])
+where
+    M: MultiMapOps<u16, u8> + TransientOps<(u16, u8)>,
+{
+    let folded = tuples
+        .iter()
+        .fold(M::empty(), |mm, &(k, v)| mm.inserted(k, v));
+    let built = M::built_from(tuples.iter().copied());
+
+    assert_eq!(built.tuple_count(), folded.tuple_count(), "{}", M::NAME);
+    assert_eq!(built.key_count(), folded.key_count(), "{}", M::NAME);
+    let as_model = |m: &M| -> BTreeMap<u16, BTreeSet<u8>> {
+        let mut out: BTreeMap<u16, BTreeSet<u8>> = BTreeMap::new();
+        for (k, v) in m.tuples() {
+            out.entry(*k).or_default().insert(*v);
+        }
+        out
+    };
+    assert_eq!(as_model(&built), as_model(&folded), "{}", M::NAME);
+
+    // Batch-extending a frozen version leaves the original untouched
+    // (structural sharing across the persistent/transient boundary).
+    let before = folded.tuple_count();
+    let mut t = folded.clone().transient();
+    t.insert_mut((999, 1));
+    t.insert_mut((999, 2));
+    let grown = t.build();
+    assert_eq!(
+        folded.tuple_count(),
+        before,
+        "{}: old handle mutated",
+        M::NAME
+    );
+    assert_eq!(grown.value_count(&999), 2, "{}", M::NAME);
+}
+
+fn check_map_builder<M>(entries: &[(u16, u16)])
+where
+    M: MapOps<u16, u16> + TransientOps<(u16, u16)>,
+{
+    let folded = entries
+        .iter()
+        .fold(M::empty(), |m, &(k, v)| m.inserted(k, v));
+    let built = M::built_from(entries.iter().copied());
+    assert_eq!(built.len(), folded.len(), "{}", M::NAME);
+    let as_model = |m: &M| -> BTreeMap<u16, u16> { m.entries().map(|(k, v)| (*k, *v)).collect() };
+    assert_eq!(as_model(&built), as_model(&folded), "{}", M::NAME);
+}
+
+fn check_set_builder<S>(elems: &[u16])
+where
+    S: SetOps<u16> + TransientOps<u16>,
+{
+    let folded = elems.iter().fold(S::empty(), |s, &e| s.inserted(e));
+    let built = S::built_from(elems.iter().copied());
+    assert_eq!(built.len(), folded.len(), "{}", S::NAME);
+    let as_model = |s: &S| -> BTreeSet<u16> { s.iter().copied().collect() };
+    assert_eq!(as_model(&built), as_model(&folded), "{}", S::NAME);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_multimap_builder_equals_fold(tuples in prop::collection::vec(
+        (any::<u16>(), any::<u8>()), 0..200))
+    {
+        let tuples: Vec<(u16, u8)> = tuples.into_iter().map(|(k, v)| (k % 64, v % 8)).collect();
+        check_multimap_builder::<AxiomMultiMap<u16, u8>>(&tuples);
+        check_multimap_builder::<AxiomFusedMultiMap<u16, u8>>(&tuples);
+        check_multimap_builder::<ClojureMultiMap<u16, u8>>(&tuples);
+        check_multimap_builder::<ScalaMultiMap<u16, u8>>(&tuples);
+        check_multimap_builder::<NestedChampMultiMap<u16, u8>>(&tuples);
+    }
+
+    #[test]
+    fn every_map_and_set_builder_equals_fold(entries in prop::collection::vec(
+        (any::<u16>(), any::<u16>()), 0..200))
+    {
+        check_map_builder::<AxiomMap<u16, u16>>(&entries);
+        check_map_builder::<ChampMap<u16, u16>>(&entries);
+        check_map_builder::<HamtMap<u16, u16>>(&entries);
+        check_map_builder::<MemoHamtMap<u16, u16>>(&entries);
+        let elems: Vec<u16> = entries.iter().map(|(k, _)| *k).collect();
+        check_set_builder::<AxiomSet<u16>>(&elems);
+        check_set_builder::<ChampSet<u16>>(&elems);
+        check_set_builder::<HamtSet<u16>>(&elems);
+        check_set_builder::<MemoHamtSet<u16>>(&elems);
+    }
+}
+
+/// Acceptance gate: bulk construction of a ≥100k-tuple multi-map through
+/// the transient builder is measurably no slower than fold-of-`inserted`.
+/// Best-of-three on each path, with a generous noise margin — the builder
+/// skips one persistent handle clone per tuple, so it can only win.
+#[test]
+fn transient_bulk_build_100k_no_slower_than_fold() {
+    // 67k keys at the paper's 50/50 1:1/1:2 shape ≈ 100k tuples.
+    let w = multimap_workload(66_700, 11);
+    assert!(
+        w.tuples.len() >= 100_000,
+        "workload too small: {}",
+        w.tuples.len()
+    );
+
+    let best_of = |f: &dyn Fn() -> usize| -> Duration {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let n = f();
+                let dt = t0.elapsed();
+                assert_eq!(n, w.tuples.len());
+                dt
+            })
+            .min()
+            .unwrap()
+    };
+
+    let fold = best_of(&|| {
+        let mm: AxiomMultiMap<u32, u32> = multimap_persistent(&w.tuples);
+        mm.tuple_count()
+    });
+    let transient = best_of(&|| {
+        let mm: AxiomMultiMap<u32, u32> = multimap_transient(&w.tuples);
+        mm.tuple_count()
+    });
+
+    // "No slower" with headroom for timer noise on loaded CI machines.
+    assert!(
+        transient.as_secs_f64() <= fold.as_secs_f64() * 1.5,
+        "transient bulk build ({transient:?}) slower than fold of inserted ({fold:?})"
+    );
+}

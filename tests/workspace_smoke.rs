@@ -5,16 +5,16 @@
 
 use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
 use axiom_repro::champ::{ChampMap, ChampSet};
-use axiom_repro::hamt::{HamtMap, MemoHamtMap};
+use axiom_repro::hamt::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
 use axiom_repro::heapmodel::JvmArch;
 use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
-use axiom_repro::trie_common::ops::{MapOps, MultiMapOps};
+use axiom_repro::trie_common::ops::{Builder, MapOps, MultiMapOps, SetOps, TransientOps};
 use axiom_repro::trie_common::{bit_pos, hash32, index_in, mask};
 use axiom_repro::workloads::multimap_workload;
 
 /// Insert/lookup/remove round-trip through the `MapOps` trait, as the bench
-/// harness drives every map implementation.
-fn map_roundtrip<M: MapOps<u32, u32>>() {
+/// harness drives every map implementation — iterators included.
+fn map_roundtrip<M: MapOps<u32, u32> + TransientOps<(u32, u32)>>() {
     let mut m = M::empty();
     for k in 0..100u32 {
         m = m.inserted(k, k * 2);
@@ -29,13 +29,25 @@ fn map_roundtrip<M: MapOps<u32, u32>>() {
     assert_eq!(m.len(), 50);
     assert!(!m.contains_key(&0));
     assert_eq!(m.get(&70), Some(&140));
+
+    // Iterator-first surface, and the for_each defaults layered on it.
+    assert_eq!(m.entries().count(), 50);
+    assert_eq!(m.keys().count(), 50);
+    assert_eq!(m.values().count(), 50);
     let mut n = 0;
     m.for_each_entry(&mut |_, _| n += 1);
     assert_eq!(n, 50);
+
+    // Transient builder protocol.
+    let built = M::built_from((0..100u32).map(|k| (k, k * 2)));
+    assert_eq!(built.len(), 100);
+    let mut t = built.transient();
+    t.insert_all_mut((100..110u32).map(|k| (k, k)));
+    assert_eq!(t.build().len(), 110);
 }
 
 /// Insert/lookup/remove round-trip through the `MultiMapOps` trait.
-fn multimap_roundtrip<M: MultiMapOps<u32, u32>>() {
+fn multimap_roundtrip<M: MultiMapOps<u32, u32> + TransientOps<(u32, u32)>>() {
     let mut mm = M::empty();
     for k in 0..50u32 {
         mm = mm.inserted(k, 1);
@@ -50,11 +62,35 @@ fn multimap_roundtrip<M: MultiMapOps<u32, u32>>() {
     assert_eq!(mm.value_count(&0), 2);
     assert_eq!(mm.value_count(&1), 1);
 
+    // Iterator-first surface.
+    assert_eq!(mm.tuples().count(), 75);
+    assert_eq!(mm.keys().count(), 50);
+    assert_eq!(mm.values_of(&0).count(), 2);
+    assert_eq!(mm.values_of(&1234).count(), 0);
+
     mm = mm.tuple_removed(&0, &2); // demote back to 1:1
     assert_eq!(mm.value_count(&0), 1);
     mm = mm.key_removed(&1);
     assert_eq!(mm.key_count(), 49);
     assert_eq!(mm.tuple_count(), 73);
+
+    // Transient builder protocol: same relation, one freeze.
+    let built = M::built_from(mm.tuples().map(|(k, v)| (*k, *v)));
+    assert_eq!(built.tuple_count(), 73);
+    assert_eq!(built.key_count(), 49);
+}
+
+/// Set round-trip through the `SetOps` trait and the builder.
+fn set_roundtrip<S: SetOps<u32> + TransientOps<u32>>() {
+    let s = S::built_from(0..64u32);
+    assert_eq!(s.len(), 64);
+    assert!(s.contains(&63));
+    assert_eq!(s.iter().count(), 64);
+    let s = s.removed(&0).inserted(100);
+    assert_eq!(s.len(), 64);
+    let mut n = 0;
+    s.for_each(&mut |_| n += 1);
+    assert_eq!(n, 64);
 }
 
 #[test]
@@ -72,6 +108,14 @@ fn all_multimap_impls_roundtrip() {
     multimap_roundtrip::<ClojureMultiMap<u32, u32>>();
     multimap_roundtrip::<ScalaMultiMap<u32, u32>>();
     multimap_roundtrip::<NestedChampMultiMap<u32, u32>>();
+}
+
+#[test]
+fn all_set_impls_roundtrip() {
+    set_roundtrip::<AxiomSet<u32>>();
+    set_roundtrip::<ChampSet<u32>>();
+    set_roundtrip::<HamtSet<u32>>();
+    set_roundtrip::<MemoHamtSet<u32>>();
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! deterministic random cases (seeded per test name), and failures panic
 //! with the standard assertion message. The strategy combinators cover what
 //! this repository's tests use: [`arbitrary::any`], integer ranges, tuples,
-//! [`collection`] strategies, weighted [`prop_oneof!`] unions, `prop_map`,
+//! [`collection`] strategies, weighted [`prop_oneof!`](crate::prop_oneof) unions, `prop_map`,
 //! and [`sample::Index`].
 
 #![warn(missing_docs)]

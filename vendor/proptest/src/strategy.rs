@@ -82,7 +82,7 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
-/// Weighted choice between boxed alternatives (the [`prop_oneof!`] macro).
+/// Weighted choice between boxed alternatives (the [`prop_oneof!`](crate::prop_oneof) macro).
 #[derive(Debug)]
 pub struct Union<T> {
     arms: Vec<(u32, BoxedStrategy<T>)>,
