@@ -28,6 +28,10 @@ use std::sync::Arc;
 
 use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
 use trie_common::hash::hash32;
+use trie_common::slices::{
+    inserted_at as slice_inserted, inserted_at_owned, migrate_map, migrated as slice_migrated,
+    removed_at as slice_removed, replaced_at as slice_replaced,
+};
 
 /// One physical slot: an inlined entry or a sub-trie.
 #[derive(Debug, Clone)]
@@ -95,45 +99,11 @@ pub(crate) enum Removed<K, V> {
     Single(K, V),
 }
 
-/// Copy-with-edit helpers (CHAMP path copying).
-fn slice_inserted<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len() + 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.push(item);
-    out.extend_from_slice(&slots[idx..]);
-    out.into_boxed_slice()
-}
-
-fn slice_removed<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len() - 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.extend_from_slice(&slots[idx + 1..]);
-    out.into_boxed_slice()
-}
-
-fn slice_replaced<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    let mut out: Vec<T> = slots.to_vec();
-    out[idx] = item;
-    out.into_boxed_slice()
-}
-
-/// Removes the slot at `from` and inserts `item` at `to` (post-removal
-/// indexing) — the data→node and node→data migrations of CHAMP updates.
-fn slice_migrated<T: Clone>(slots: &[T], from: usize, to: usize, item: T) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len());
-    for (i, slot) in slots.iter().enumerate() {
-        if i == from {
-            continue;
-        }
-        if out.len() == to {
-            out.push(item.clone());
-        }
-        out.push(slot.clone());
-    }
-    if out.len() == to {
-        out.push(item);
-    }
-    out.into_boxed_slice()
+/// In-place insertion outcome (the node is edited where it stands).
+pub(crate) enum EditInserted {
+    Unchanged,
+    Replaced,
+    Added,
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
@@ -310,6 +280,105 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
         }
     }
 
+    /// In-place insert driven by `Arc` uniqueness: a uniquely-owned node is
+    /// edited directly (slots moved, never cloned), a shared node falls back
+    /// to the persistent path copy for its whole subtree. This is what makes
+    /// the transient builder's bulk `insert_mut` batches O(1)-amortized in
+    /// allocations instead of one path copy per tuple.
+    fn insert_in_place(
+        this: &mut Arc<Node<K, V>>,
+        hash: u32,
+        shift: u32,
+        key: K,
+        value: V,
+    ) -> EditInserted {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                debug_assert_eq!(c.hash, hash);
+                match c.entries.iter().position(|(k, _)| *k == key) {
+                    Some(pos) => {
+                        if c.entries[pos].1 == value {
+                            return EditInserted::Unchanged;
+                        }
+                        c.entries[pos].1 = value;
+                        EditInserted::Replaced
+                    }
+                    None => {
+                        c.entries.push((key, value));
+                        EditInserted::Added
+                    }
+                }
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let (ek, ev) = match &b.slots[idx] {
+                        Slot::Entry(k, v) => (k, v),
+                        Slot::Child(_) => unreachable!("datamap says entry"),
+                    };
+                    if *ek == key {
+                        if *ev == value {
+                            return EditInserted::Unchanged;
+                        }
+                        // Replace in place: zero allocations, zero clones.
+                        b.slots[idx] = Slot::Entry(key, value);
+                        return EditInserted::Replaced;
+                    }
+                    // The entry migrates data group → node group in place.
+                    let existing_hash = hash32(ek);
+                    let datamap = b.datamap & !bit;
+                    let nodemap = b.nodemap | bit;
+                    let to = (datamap.count_ones() as usize) + index_in(nodemap, bit);
+                    b.datamap = datamap;
+                    b.nodemap = nodemap;
+                    migrate_map(&mut b.slots, idx, to, |slot| {
+                        let Slot::Entry(ek, ev) = slot else {
+                            unreachable!("datamap says entry")
+                        };
+                        Slot::Child(Arc::new(Node::pair(
+                            existing_hash,
+                            ek,
+                            ev,
+                            hash,
+                            key,
+                            value,
+                            next_shift(shift),
+                        )))
+                    });
+                    EditInserted::Added
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let Slot::Child(child) = &mut b.slots[idx] else {
+                        unreachable!("nodemap says child")
+                    };
+                    Node::insert_in_place(child, hash, next_shift(shift), key, value)
+                } else {
+                    b.datamap |= bit;
+                    let idx = index_in(b.datamap, bit);
+                    b.slots = inserted_at_owned(
+                        std::mem::take(&mut b.slots),
+                        idx,
+                        Slot::Entry(key, value),
+                    );
+                    EditInserted::Added
+                }
+            }
+            None => match this.inserted(hash, shift, &key, &value) {
+                Inserted::Unchanged => EditInserted::Unchanged,
+                Inserted::Replaced(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::Replaced
+                }
+                Inserted::Added(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::Added
+                }
+            },
+        }
+    }
+
     fn removed<Q>(&self, hash: u32, shift: u32, key: &Q) -> Removed<K, V>
     where
         K: Borrow<Q>,
@@ -455,17 +524,14 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> ChampMap<K, V> {
         next
     }
 
-    /// Binds `key` to `value` in place (re-pointing this handle). Returns
-    /// true if a new key was added.
+    /// Binds `key` to `value` in place: uniquely-owned trie nodes along the
+    /// spine are edited directly, shared nodes are path-copied. Returns true
+    /// if a new key was added.
     pub fn insert_mut(&mut self, key: K, value: V) -> bool {
-        match self.root.inserted(hash32(&key), 0, &key, &value) {
-            Inserted::Unchanged => false,
-            Inserted::Replaced(node) => {
-                self.root = Arc::new(node);
-                false
-            }
-            Inserted::Added(node) => {
-                self.root = Arc::new(node);
+        let hash = hash32(&key);
+        match Node::insert_in_place(&mut self.root, hash, 0, key, value) {
+            EditInserted::Unchanged | EditInserted::Replaced => false,
+            EditInserted::Added => {
                 self.len += 1;
                 true
             }

@@ -21,6 +21,10 @@ use std::sync::Arc;
 
 use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
 use trie_common::hash::hash32;
+use trie_common::slices::{
+    inserted_at as slice_inserted, inserted_at_owned, migrate_map, migrated as slice_migrated,
+    removed_at as slice_removed, replaced_at as slice_replaced,
+};
 
 /// One physical slot: an element or a sub-trie.
 #[derive(Debug, Clone)]
@@ -77,44 +81,6 @@ pub(crate) enum Removed<T> {
     NotFound,
     Node(Node<T>),
     Single(T),
-}
-
-fn slice_inserted<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len() + 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.push(item);
-    out.extend_from_slice(&slots[idx..]);
-    out.into_boxed_slice()
-}
-
-fn slice_removed<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len() - 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.extend_from_slice(&slots[idx + 1..]);
-    out.into_boxed_slice()
-}
-
-fn slice_replaced<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    let mut out: Vec<T> = slots.to_vec();
-    out[idx] = item;
-    out.into_boxed_slice()
-}
-
-fn slice_migrated<T: Clone>(slots: &[T], from: usize, to: usize, item: T) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len());
-    for (i, slot) in slots.iter().enumerate() {
-        if i == from {
-            continue;
-        }
-        if out.len() == to {
-            out.push(item.clone());
-        }
-        out.push(slot.clone());
-    }
-    if out.len() == to {
-        out.push(item);
-    }
-    out.into_boxed_slice()
 }
 
 impl<T: Clone + Eq + Hash> Node<T> {
@@ -246,6 +212,76 @@ impl<T: Clone + Eq + Hash> Node<T> {
                     }))
                 }
             }
+        }
+    }
+
+    /// In-place insert driven by `Arc` uniqueness: a uniquely-owned node is
+    /// edited directly (slots moved, never cloned), a shared node falls back
+    /// to the persistent path copy for its whole subtree. Returns true if
+    /// the set grew.
+    fn insert_in_place(this: &mut Arc<Node<T>>, hash: u32, shift: u32, value: T) -> bool {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                debug_assert_eq!(c.hash, hash);
+                if c.elems.contains(&value) {
+                    return false;
+                }
+                c.elems.push(value);
+                true
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let existing = match &b.slots[idx] {
+                        Slot::Elem(e) => e,
+                        Slot::Child(_) => unreachable!("datamap says element"),
+                    };
+                    if *existing == value {
+                        return false;
+                    }
+                    // The element migrates data group → node group in place.
+                    let existing_hash = hash32(existing);
+                    let datamap = b.datamap & !bit;
+                    let nodemap = b.nodemap | bit;
+                    let to = (datamap.count_ones() as usize) + index_in(nodemap, bit);
+                    b.datamap = datamap;
+                    b.nodemap = nodemap;
+                    migrate_map(&mut b.slots, idx, to, |slot| {
+                        let Slot::Elem(existing) = slot else {
+                            unreachable!("datamap says element")
+                        };
+                        Slot::Child(Arc::new(Node::pair(
+                            existing_hash,
+                            existing,
+                            hash,
+                            value,
+                            next_shift(shift),
+                        )))
+                    });
+                    true
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let Slot::Child(child) = &mut b.slots[idx] else {
+                        unreachable!("nodemap says child")
+                    };
+                    Node::insert_in_place(child, hash, next_shift(shift), value)
+                } else {
+                    b.datamap |= bit;
+                    let idx = index_in(b.datamap, bit);
+                    b.slots =
+                        inserted_at_owned(std::mem::take(&mut b.slots), idx, Slot::Elem(value));
+                    true
+                }
+            }
+            None => match this.inserted(hash, shift, &value) {
+                Some(node) => {
+                    *this = Arc::new(node);
+                    true
+                }
+                None => false,
+            },
         }
     }
 
@@ -381,16 +417,16 @@ impl<T: Clone + Eq + Hash> ChampSet<T> {
         next
     }
 
-    /// Inserts `value` in place (re-pointing this handle). Returns true if
+    /// Inserts `value` in place: uniquely-owned trie nodes along the spine
+    /// are edited directly, shared nodes are path-copied. Returns true if
     /// the set grew.
     pub fn insert_mut(&mut self, value: T) -> bool {
-        match self.root.inserted(hash32(&value), 0, &value) {
-            Some(node) => {
-                self.root = Arc::new(node);
-                self.len += 1;
-                true
-            }
-            None => false,
+        let hash = hash32(&value);
+        if Node::insert_in_place(&mut self.root, hash, 0, value) {
+            self.len += 1;
+            true
+        } else {
+            false
         }
     }
 

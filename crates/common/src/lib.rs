@@ -13,7 +13,9 @@
 //!   the *same* algorithm over every competing implementation, plus the
 //!   `TransientOps`/`Builder` bulk-construction protocol;
 //! * [`iter`] — reusable adapters backing the map-of-sets implementations'
-//!   associated iterator types.
+//!   associated iterator types;
+//! * [`slices`] — dense slot-array edit helpers (borrowed path-copying and
+//!   owned in-place families) shared by the CHAMP/HAMT node encodings.
 //!
 //! [HAMT]: https://en.wikipedia.org/wiki/Hash_array_mapped_trie
 //! [CHAMP]: https://doi.org/10.1145/2814270.2814312
@@ -40,6 +42,7 @@ pub mod bits;
 pub mod hash;
 pub mod iter;
 pub mod ops;
+pub mod slices;
 
 pub use bits::{bit_pos, index_in, mask, BITS_PER_LEVEL, FANOUT, HASH_BITS, LEVEL_MASK};
 pub use hash::hash32;

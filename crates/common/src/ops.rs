@@ -12,8 +12,9 @@
 //! The second half of the module is the **transient builder protocol**
 //! ([`TransientOps`] / [`Builder`]): persistent → transient → bulk
 //! `insert_mut` batches → freeze back to persistent. Implementations whose
-//! handles support `Rc`-uniqueness in-place editing opt in through the
-//! one-method [`EditInPlace`] bridge and get the whole protocol (plus
+//! `_mut` methods edit `Arc`-unique nodes genuinely in place (copying only
+//! nodes shared with other handles) opt in through the one-method
+//! [`EditInPlace`] bridge and get the whole protocol (plus
 //! `FromIterator`/`Extend` plumbing via [`from_iter_via`]/[`extend_via`])
 //! for free; implementations without in-place editing implement
 //! [`TransientOps`] by hand over the [`Accumulate`] fallback builder.
@@ -318,6 +319,17 @@ pub trait TransientOps<Item>: Sized {
 /// whose handles support in-place editing backed by `Rc`/`Arc` uniqueness
 /// (the inherent `insert_mut` family) implement this and get the whole
 /// builder protocol for free.
+///
+/// # Contract
+///
+/// `edit_insert` must be **aliasing-safe and amortized-in-place**: trie
+/// nodes the handle owns uniquely are edited directly (no path copy, no
+/// node reallocation along an existing spine), while nodes shared with any
+/// other handle are copied on first write so no other handle ever observes
+/// a mutation. Under that contract a bulk build from scratch — where every
+/// node is uniquely owned — performs O(1) amortized allocations per item,
+/// which is the performance premise of [`TransientOps::built_from`] and the
+/// construction benchmarks; a structural no-op must not copy anything.
 pub trait EditInPlace<Item>: Default {
     /// Inserts one item in place. Returns true if the collection grew.
     fn edit_insert(&mut self, item: Item) -> bool;

@@ -1,0 +1,165 @@
+//! Dense slot-array editing helpers shared by every node implementation in
+//! the workspace (AXIOM re-exports them as `axiom::slots`; CHAMP and HAMT
+//! import them directly).
+//!
+//! Two families, one per ownership regime:
+//!
+//! * **Borrowed** (`inserted_at`, `removed_at`, `replaced_at`, `migrated`):
+//!   persistent path copying — the input node is shared, so a fresh
+//!   `Box<[T]>` is built with the edit applied and untouched slots cloned.
+//! * **Owned** (`inserted_at_owned`, `removed_at_owned`, `migrate_map`):
+//!   transient in-place editing — the caller holds the node uniquely (via
+//!   `Arc::get_mut`), so slots are *moved*, never cloned; arity-preserving
+//!   edits reuse the existing allocation.
+
+/// Returns a copy of `slots` with `item` inserted at `idx`.
+pub fn inserted_at<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    debug_assert!(idx <= slots.len());
+    let mut out = Vec::with_capacity(slots.len() + 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.push(item);
+    out.extend_from_slice(&slots[idx..]);
+    out.into_boxed_slice()
+}
+
+/// Returns a copy of `slots` with the element at `idx` removed.
+pub fn removed_at<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
+    debug_assert!(idx < slots.len());
+    let mut out = Vec::with_capacity(slots.len() - 1);
+    out.extend_from_slice(&slots[..idx]);
+    out.extend_from_slice(&slots[idx + 1..]);
+    out.into_boxed_slice()
+}
+
+/// Returns a copy of `slots` with the element at `idx` replaced by `item`.
+/// The displaced slot is skipped, not cloned-then-overwritten.
+pub fn replaced_at<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
+    debug_assert!(idx < slots.len());
+    let mut out = Vec::with_capacity(slots.len());
+    out.extend_from_slice(&slots[..idx]);
+    out.push(item);
+    out.extend_from_slice(&slots[idx + 1..]);
+    out.into_boxed_slice()
+}
+
+/// Returns a copy of `slots` with the element at `from` removed and `item`
+/// inserted so that it lands at index `to` *of the resulting array* — the
+/// data→node and node→data migrations of CHAMP-style updates.
+pub fn migrated<T: Clone>(slots: &[T], from: usize, to: usize, item: T) -> Box<[T]> {
+    debug_assert!(from < slots.len());
+    debug_assert!(to < slots.len());
+    let mut item = Some(item);
+    let mut out = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.iter().enumerate() {
+        if i == from {
+            continue;
+        }
+        if out.len() == to {
+            out.push(item.take().expect("item placed once"));
+        }
+        out.push(slot.clone());
+    }
+    if let Some(item) = item {
+        debug_assert_eq!(out.len(), to);
+        out.push(item);
+    }
+    debug_assert_eq!(out.len(), slots.len());
+    out.into_boxed_slice()
+}
+
+/// Owned sibling of [`inserted_at`]: consumes the slot array and builds the
+/// grown one by *moving* every element (one allocation, zero clones).
+pub fn inserted_at_owned<T>(slots: Box<[T]>, idx: usize, item: T) -> Box<[T]> {
+    debug_assert!(idx <= slots.len());
+    let mut out = Vec::with_capacity(slots.len() + 1);
+    let mut rest = slots.into_vec().into_iter();
+    out.extend(rest.by_ref().take(idx));
+    out.push(item);
+    out.extend(rest);
+    out.into_boxed_slice()
+}
+
+/// Owned sibling of [`removed_at`]: consumes the slot array and builds the
+/// shrunk one by moving the survivors. The removed element is dropped.
+pub fn removed_at_owned<T>(slots: Box<[T]>, idx: usize) -> Box<[T]> {
+    debug_assert!(idx < slots.len());
+    let mut out = Vec::with_capacity(slots.len() - 1);
+    let mut rest = slots.into_vec().into_iter();
+    out.extend(rest.by_ref().take(idx));
+    drop(rest.next());
+    out.extend(rest);
+    out.into_boxed_slice()
+}
+
+/// Owned, allocation-free sibling of [`migrated`]: shifts the slots between
+/// `from` and `to` inside the existing allocation and rewrites the migrating
+/// slot *through* `f`, which receives the old slot by value and returns its
+/// replacement (`from == to` degenerates to an in-place slot transform).
+pub fn migrate_map<T>(slots: &mut Box<[T]>, from: usize, to: usize, f: impl FnOnce(T) -> T) {
+    debug_assert!(from < slots.len());
+    debug_assert!(to < slots.len());
+    let mut v = std::mem::take(slots).into_vec();
+    let old = v.remove(from);
+    v.insert(to, f(old));
+    debug_assert_eq!(v.len(), v.capacity());
+    *slots = v.into_boxed_slice();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrowed_family_roundtrip() {
+        let base = [1, 2, 3];
+        assert_eq!(&*inserted_at(&base, 1, 9), &[1, 9, 2, 3]);
+        assert_eq!(&*removed_at(&base, 1), &[1, 3]);
+        assert_eq!(&*replaced_at(&base, 2, 9), &[1, 2, 9]);
+        assert_eq!(&*migrated(&base, 0, 2, 9), &[2, 3, 9]);
+        assert_eq!(&*migrated(&base, 2, 0, 9), &[9, 1, 2]);
+    }
+
+    #[test]
+    fn migrated_boundary_to_is_last_index() {
+        let base = [10, 20, 30, 40];
+        for from in 0..base.len() {
+            let out = migrated(&base, from, base.len() - 1, 99);
+            assert_eq!(out[base.len() - 1], 99, "from {from}");
+        }
+    }
+
+    #[test]
+    fn owned_family_moves_without_clone() {
+        // Box<u32> is not bounded by Clone here: compiling proves the owned
+        // family moves.
+        let slots: Box<[Box<u32>]> = Box::new([Box::new(1), Box::new(2)]);
+        let grown = inserted_at_owned(slots, 2, Box::new(3));
+        assert_eq!(&*grown, &[Box::new(1), Box::new(2), Box::new(3)]);
+        let mut slots = grown;
+        migrate_map(&mut slots, 1, 1, |old| Box::new(*old * 10));
+        assert_eq!(&*slots, &[Box::new(1), Box::new(20), Box::new(3)]);
+        let shrunk = removed_at_owned(slots, 0);
+        assert_eq!(&*shrunk, &[Box::new(20), Box::new(3)]);
+    }
+
+    #[test]
+    fn owned_matches_borrowed() {
+        let base: Box<[i32]> = Box::new([1, 2, 3, 4]);
+        for idx in 0..=base.len() {
+            assert_eq!(
+                inserted_at_owned(base.clone(), idx, 9),
+                inserted_at(&base, idx, 9)
+            );
+        }
+        for idx in 0..base.len() {
+            assert_eq!(removed_at_owned(base.clone(), idx), removed_at(&base, idx));
+        }
+        for from in 0..base.len() {
+            for to in 0..base.len() {
+                let mut slots = base.clone();
+                migrate_map(&mut slots, from, to, |_| 9);
+                assert_eq!(slots, migrated(&base, from, to, 9), "{from}->{to}");
+            }
+        }
+    }
+}

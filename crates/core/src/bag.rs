@@ -38,6 +38,20 @@ pub enum BagRemoved<V, B> {
     Single(V),
 }
 
+/// Outcome of the in-place [`ValueBag::remove_mut`].
+#[derive(Debug)]
+pub enum BagEdited<V> {
+    /// The value was not in the bag; the bag is unchanged.
+    NotFound,
+    /// The value was removed in place; at least two values remain.
+    Shrunk,
+    /// The value was removed and exactly one value survives. The bag itself
+    /// is left in a degenerate (< 2 values) state and **must be discarded**:
+    /// the caller demotes the `1:n` slot to an inlined `1:1` pair holding
+    /// the returned survivor.
+    Single(V),
+}
+
 /// A collection of ≥ 2 values nested under one multi-map key.
 ///
 /// This trait is sealed; see the [module documentation](self) for the two
@@ -69,6 +83,16 @@ pub trait ValueBag<V>: Clone + PartialEq + sealed::Sealed {
 
     /// Removes `value`, reporting demotion when one value remains.
     fn removed(&self, value: &V) -> BagRemoved<V, Self>;
+
+    /// Adds `value` in place (for uniquely-owned `CAT2` slots under
+    /// transient editing). Returns true if the bag grew; a present value is
+    /// dropped and the bag left untouched.
+    fn insert_mut(&mut self, value: V) -> bool;
+
+    /// Removes `value` in place, reporting demotion through
+    /// [`BagEdited::Single`] (after which the bag is degenerate and must be
+    /// discarded by the caller).
+    fn remove_mut(&mut self, value: &V) -> BagEdited<V>;
 
     /// Iterates the values in unspecified order.
     fn iter(&self) -> Self::Iter<'_>;
@@ -110,6 +134,21 @@ impl<V: Clone + Eq + Hash> ValueBag<V> for AxiomSet<V> {
             BagRemoved::Single(next.sole().clone())
         } else {
             BagRemoved::Bag(next)
+        }
+    }
+
+    fn insert_mut(&mut self, value: V) -> bool {
+        AxiomSet::insert_mut(self, value)
+    }
+
+    fn remove_mut(&mut self, value: &V) -> BagEdited<V> {
+        if !AxiomSet::remove_mut(self, value) {
+            return BagEdited::NotFound;
+        }
+        if self.len() == 1 {
+            BagEdited::Single(self.sole().clone())
+        } else {
+            BagEdited::Shrunk
         }
     }
 
@@ -241,6 +280,57 @@ impl<V: Clone + Eq + Hash> ValueBag<V> for FusedBag<V> {
                 } else {
                     BagRemoved::Bag(FusedBag::Trie(next))
                 }
+            }
+        }
+    }
+
+    fn insert_mut(&mut self, value: V) -> bool {
+        match self {
+            FusedBag::Inline(vs) => {
+                if vs.contains(&value) {
+                    return false;
+                }
+                if vs.len() < FUSE_MAX {
+                    let idx = vs.len();
+                    *vs = crate::slots::inserted_at_owned(std::mem::take(vs), idx, value);
+                } else {
+                    // Overflow: move the inline values into a trie set.
+                    let mut set = AxiomSet::new();
+                    for v in std::mem::take(vs).into_vec() {
+                        set.insert_mut(v);
+                    }
+                    set.insert_mut(value);
+                    *self = FusedBag::Trie(set);
+                }
+                true
+            }
+            FusedBag::Trie(s) => s.insert_mut(value),
+        }
+    }
+
+    fn remove_mut(&mut self, value: &V) -> BagEdited<V> {
+        match self {
+            FusedBag::Inline(vs) => {
+                let Some(pos) = vs.iter().position(|v| v == value) else {
+                    return BagEdited::NotFound;
+                };
+                if vs.len() == 2 {
+                    let mut v = std::mem::take(vs).into_vec();
+                    return BagEdited::Single(v.swap_remove(1 - pos));
+                }
+                *vs = crate::slots::removed_at_owned(std::mem::take(vs), pos);
+                BagEdited::Shrunk
+            }
+            FusedBag::Trie(s) => {
+                if !s.remove_mut(value) {
+                    return BagEdited::NotFound;
+                }
+                if s.len() <= FUSE_MAX {
+                    // Demote back to the inline representation.
+                    let out: Vec<V> = s.iter().cloned().collect();
+                    *self = FusedBag::Inline(out.into_boxed_slice());
+                }
+                BagEdited::Shrunk
             }
         }
     }

@@ -230,6 +230,36 @@ impl SlotBitmap {
         }
     }
 
+    /// Fused dispatch: category **and** absolute slot index of branch `mask`
+    /// in one pass over the bitmap.
+    ///
+    /// [`SlotBitmap::get`] followed by [`SlotBitmap::slot_index`] re-derives
+    /// the per-category filters up to four times (once for the index, once
+    /// per lower category for the group offset). `locate` computes the two
+    /// half-bitmap masks once and reuses them for the tag, the group offset
+    /// and the in-group rank — one `filter`-style reduction plus popcounts.
+    /// The returned index is meaningless (zero) for `EMPTY` branches.
+    #[inline(always)]
+    pub fn locate(self, mask: u32) -> (Category, usize) {
+        debug_assert!(mask < 32);
+        let shift = mask << 1;
+        let cat = Category::from_bits(self.0 >> shift);
+        let masked0 = LSB & self.0;
+        let masked1 = LSB & (self.0 >> 1);
+        let cat1 = masked0 & (masked1 ^ LSB);
+        let (offset, filtered) = match cat {
+            Category::Empty => return (Category::Empty, 0),
+            Category::Cat1 => (0, cat1),
+            Category::Cat2 => (cat1.count_ones(), masked1 & (masked0 ^ LSB)),
+            Category::Node => (
+                (cat1 | (masked1 & (masked0 ^ LSB))).count_ones(),
+                masked0 & masked1,
+            ),
+        };
+        let below = (filtered & ((1u64 << shift) - 1)).count_ones();
+        (cat, (offset + below) as usize)
+    }
+
     /// Like [`SlotBitmap::get`] but dispatching with the *extrapolated-CHAMP*
     /// strategy of paper Listing 1: sequential membership probes against each
     /// category's (filtered) bitmap instead of direct tag extraction. Only
@@ -440,6 +470,31 @@ mod tests {
                     bm.slot_index(cat, mask),
                     bm.slot_index_linear_scan(cat, mask)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_get_plus_slot_index() {
+        // Dense pseudo-random bitmaps plus the documented worked example.
+        let mut bitmaps = vec![figure_3d_root(), SlotBitmap::EMPTY];
+        for salt in 0..8u32 {
+            let mut bm = SlotBitmap::EMPTY;
+            for mask in 0..32u32 {
+                bm = bm.with(
+                    mask,
+                    Category::ALL[((mask * 7 + salt * 5 + 3) % 4) as usize],
+                );
+            }
+            bitmaps.push(bm);
+        }
+        for bm in bitmaps {
+            for mask in 0..32 {
+                let (cat, idx) = bm.locate(mask);
+                assert_eq!(cat, bm.get(mask));
+                if cat != Empty {
+                    assert_eq!(idx, bm.slot_index(cat, mask), "{bm:?} mask {mask}");
+                }
             }
         }
     }

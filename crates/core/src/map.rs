@@ -26,7 +26,10 @@ use trie_common::bits::{hash_exhausted, mask, next_shift};
 use trie_common::hash::hash32;
 
 use crate::bitmap::{Category, SlotBitmap};
-use crate::slots::{inserted_at, migrated, removed_at, replaced_at};
+use crate::slots::{
+    inserted_at, inserted_at_owned, migrate_map, migrated, removed_at, removed_at_owned,
+    replaced_at,
+};
 
 /// One physical slot of a map node.
 #[derive(Debug, Clone)]
@@ -75,6 +78,23 @@ pub(crate) enum Removed<K, V> {
     NotFound,
     Node(Node<K, V>),
     /// Sub-tree collapsed to a single entry: inline into the parent.
+    Single(K, V),
+}
+
+/// In-place insertion outcome: the node is edited where it stands, so only
+/// the bookkeeping flag travels.
+pub(crate) enum EditInserted {
+    Unchanged,
+    Replaced,
+    Added,
+}
+
+/// In-place removal outcome.
+pub(crate) enum EditRemoved<K, V> {
+    NotFound,
+    Removed,
+    /// Sub-tree collapsed to a single entry (the node is consumed; the
+    /// parent drops it and inlines the survivor).
     Single(K, V),
 }
 
@@ -127,25 +147,19 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
                 .find(|(k, _)| k.borrow() == key)
                 .map(|(_, v)| v),
             Node::Bitmap(b) => {
-                let m = mask(hash, shift);
-                match b.bitmap.get(m) {
-                    Category::Empty => None,
-                    Category::Cat1 => {
-                        let idx = b.bitmap.slot_index(Category::Cat1, m);
-                        match &b.slots[idx] {
-                            Slot::Entry(k, v) if k.borrow() == key => Some(v),
-                            Slot::Entry(..) => None,
-                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
-                        }
-                    }
-                    Category::Node => {
-                        let idx = b.bitmap.slot_index(Category::Node, m);
-                        match &b.slots[idx] {
-                            Slot::Child(child) => child.get(hash, next_shift(shift), key),
-                            Slot::Entry(..) => unreachable!("bitmap says NODE"),
-                        }
-                    }
-                    Category::Cat2 => unreachable!("maps never use CAT2"),
+                // Fused dispatch: category and slot index from one pass.
+                match b.bitmap.locate(mask(hash, shift)) {
+                    (Category::Empty, _) => None,
+                    (Category::Cat1, idx) => match &b.slots[idx] {
+                        Slot::Entry(k, v) if k.borrow() == key => Some(v),
+                        Slot::Entry(..) => None,
+                        Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                    },
+                    (Category::Node, idx) => match &b.slots[idx] {
+                        Slot::Child(child) => child.get(hash, next_shift(shift), key),
+                        Slot::Entry(..) => unreachable!("bitmap says NODE"),
+                    },
+                    (Category::Cat2, _) => unreachable!("maps never use CAT2"),
                 }
             }
         }
@@ -248,6 +262,190 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
                     Category::Cat2 => unreachable!("maps never use CAT2"),
                 }
             }
+        }
+    }
+
+    /// In-place insert driven by `Arc` uniqueness: a uniquely-owned node is
+    /// edited directly, a shared node falls back to the persistent path copy
+    /// for its whole subtree. Takes `key`/`value` by ownership so the common
+    /// paths move them into their final slot without cloning.
+    fn insert_in_place(
+        this: &mut Arc<Node<K, V>>,
+        hash: u32,
+        shift: u32,
+        key: K,
+        value: V,
+    ) -> EditInserted {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                debug_assert_eq!(c.hash, hash);
+                match c.entries.iter().position(|(k, _)| *k == key) {
+                    Some(pos) => {
+                        if c.entries[pos].1 == value {
+                            return EditInserted::Unchanged;
+                        }
+                        c.entries[pos].1 = value;
+                        EditInserted::Replaced
+                    }
+                    None => {
+                        c.entries.push((key, value));
+                        EditInserted::Added
+                    }
+                }
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let (cat, idx) = b.bitmap.locate(m);
+                match cat {
+                    Category::Empty => {
+                        b.bitmap = b.bitmap.with(m, Category::Cat1);
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        b.slots = inserted_at_owned(
+                            std::mem::take(&mut b.slots),
+                            idx,
+                            Slot::Entry(key, value),
+                        );
+                        EditInserted::Added
+                    }
+                    Category::Cat1 => {
+                        let (ek, ev) = match &b.slots[idx] {
+                            Slot::Entry(k, v) => (k, v),
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if *ek == key {
+                            if *ev == value {
+                                return EditInserted::Unchanged;
+                            }
+                            // Replace in place: zero allocations, zero clones.
+                            b.slots[idx] = Slot::Entry(key, value);
+                            return EditInserted::Replaced;
+                        }
+                        // Prefix clash: the slot migrates CAT1 → NODE in
+                        // place; both entries move into the fresh sub-trie.
+                        let existing_hash = hash32(ek);
+                        b.bitmap = b.bitmap.with(m, Category::Node);
+                        let to = b.bitmap.slot_index(Category::Node, m);
+                        migrate_map(&mut b.slots, idx, to, |slot| {
+                            let Slot::Entry(ek, ev) = slot else {
+                                unreachable!("bitmap says CAT1")
+                            };
+                            Slot::Child(Arc::new(Node::pair(
+                                existing_hash,
+                                ek,
+                                ev,
+                                hash,
+                                key,
+                                value,
+                                next_shift(shift),
+                            )))
+                        });
+                        EditInserted::Added
+                    }
+                    Category::Node => {
+                        let Slot::Child(child) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says NODE")
+                        };
+                        Node::insert_in_place(child, hash, next_shift(shift), key, value)
+                    }
+                    Category::Cat2 => unreachable!("maps never use CAT2"),
+                }
+            }
+            None => match this.inserted(hash, shift, &key, &value) {
+                Inserted::Unchanged => EditInserted::Unchanged,
+                Inserted::Replaced(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::Replaced
+                }
+                Inserted::Added(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::Added
+                }
+            },
+        }
+    }
+
+    /// In-place removal with the same ownership discipline and the same
+    /// canonicalization as [`Node::removed`].
+    fn remove_in_place<Q>(
+        this: &mut Arc<Node<K, V>>,
+        hash: u32,
+        shift: u32,
+        key: &Q,
+    ) -> EditRemoved<K, V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k.borrow() == key) else {
+                    return EditRemoved::NotFound;
+                };
+                if c.entries.len() == 2 {
+                    let (k, v) = c.entries.swap_remove(1 - pos);
+                    return EditRemoved::Single(k, v);
+                }
+                c.entries.swap_remove(pos);
+                EditRemoved::Removed
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let (cat, idx) = b.bitmap.locate(m);
+                match cat {
+                    Category::Empty => EditRemoved::NotFound,
+                    Category::Cat1 => {
+                        let matches = match &b.slots[idx] {
+                            Slot::Entry(k, _) => k.borrow() == key,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if !matches {
+                            return EditRemoved::NotFound;
+                        }
+                        let bitmap = b.bitmap.with(m, Category::Empty);
+                        if shift > 0 && bitmap.payload_arity() == 1 && bitmap.node_arity() == 0 {
+                            debug_assert_eq!(b.slots.len(), 2);
+                            let mut slots = std::mem::take(&mut b.slots).into_vec();
+                            let Slot::Entry(k, v) = slots.swap_remove(1 - idx) else {
+                                unreachable!("both slots are payload")
+                            };
+                            return EditRemoved::Single(k, v);
+                        }
+                        b.bitmap = bitmap;
+                        b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+                        EditRemoved::Removed
+                    }
+                    Category::Node => {
+                        let Slot::Child(child) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says NODE")
+                        };
+                        match Node::remove_in_place(child, hash, next_shift(shift), key) {
+                            EditRemoved::NotFound => EditRemoved::NotFound,
+                            EditRemoved::Removed => EditRemoved::Removed,
+                            EditRemoved::Single(k, v) => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    return EditRemoved::Single(k, v);
+                                }
+                                b.bitmap = b.bitmap.with(m, Category::Cat1);
+                                let to = b.bitmap.slot_index(Category::Cat1, m);
+                                migrate_map(&mut b.slots, idx, to, |_child| Slot::Entry(k, v));
+                                EditRemoved::Removed
+                            }
+                        }
+                    }
+                    Category::Cat2 => unreachable!("maps never use CAT2"),
+                }
+            }
+            None => match this.removed(hash, shift, key) {
+                Removed::NotFound => EditRemoved::NotFound,
+                Removed::Node(n) => {
+                    *this = Arc::new(n);
+                    EditRemoved::Removed
+                }
+                Removed::Single(k, v) => EditRemoved::Single(k, v),
+            },
         }
     }
 
@@ -397,17 +595,15 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> AxiomMap<K, V> {
         next
     }
 
-    /// Binds `key` to `value` in place (re-pointing this handle). Returns
-    /// true if a *new key* was added (false on replacement or no-op).
+    /// Binds `key` to `value` in place: uniquely-owned trie nodes along the
+    /// spine are edited directly, shared nodes are path-copied (other
+    /// handles keep their version). Returns true if a *new key* was added
+    /// (false on replacement or no-op).
     pub fn insert_mut(&mut self, key: K, value: V) -> bool {
-        match self.root.inserted(hash32(&key), 0, &key, &value) {
-            Inserted::Unchanged => false,
-            Inserted::Replaced(node) => {
-                self.root = Arc::new(node);
-                false
-            }
-            Inserted::Added(node) => {
-                self.root = Arc::new(node);
+        let hash = hash32(&key);
+        match Node::insert_in_place(&mut self.root, hash, 0, key, value) {
+            EditInserted::Unchanged | EditInserted::Replaced => false,
+            EditInserted::Added => {
                 self.len += 1;
                 true
             }
@@ -425,21 +621,20 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> AxiomMap<K, V> {
         next
     }
 
-    /// Removes `key` in place (re-pointing this handle). Returns true if a
-    /// binding was removed.
+    /// Removes `key` in place (editing uniquely-owned nodes, path-copying
+    /// shared ones). Returns true if a binding was removed.
     pub fn remove_mut<Q>(&mut self, key: &Q) -> bool
     where
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        match self.root.removed(hash32(key), 0, key) {
-            Removed::NotFound => false,
-            Removed::Node(node) => {
-                self.root = Arc::new(node);
+        match Node::remove_in_place(&mut self.root, hash32(key), 0, key) {
+            EditRemoved::NotFound => false,
+            EditRemoved::Removed => {
                 self.len -= 1;
                 true
             }
-            Removed::Single(k, v) => {
+            EditRemoved::Single(k, v) => {
                 let root = Node::empty();
                 let root = match root.inserted(hash32(&k), 0, &k, &v) {
                     Inserted::Added(n) => n,

@@ -46,10 +46,13 @@ use std::sync::Arc;
 use trie_common::bits::{hash_exhausted, mask, next_shift};
 use trie_common::hash::hash32;
 
-use crate::bag::{BagRemoved, ValueBag};
+use crate::bag::{BagEdited, BagRemoved, ValueBag};
 use crate::bitmap::{Category, SlotBitmap};
 use crate::set::AxiomSet;
-use crate::slots::{inserted_at, migrated, removed_at, replaced_at};
+use crate::slots::{
+    inserted_at, inserted_at_owned, migrate_map, migrated, removed_at, removed_at_owned,
+    replaced_at,
+};
 
 /// The values bound to one key: an inlined singleton or a nested bag.
 #[derive(Debug, Clone)]
@@ -193,6 +196,42 @@ enum KeyRemoved<K, V, B> {
     },
 }
 
+/// In-place insertion outcome: nodes are edited where they stand, so only
+/// the tuple/key bookkeeping flag travels.
+enum EditInserted {
+    Unchanged,
+    NewTuple,
+    NewKey,
+}
+
+/// In-place tuple-removal outcome.
+enum EditTupleRemoved<K, V, B> {
+    NotFound,
+    Removed {
+        key_gone: bool,
+    },
+    /// Sub-tree collapsed to one key's binding (the node is consumed; the
+    /// parent drops it and inlines the binding).
+    Single {
+        key: K,
+        binding: Binding<V, B>,
+        key_gone: bool,
+    },
+}
+
+/// In-place key-removal outcome.
+enum EditKeyRemoved<K, V, B> {
+    NotFound,
+    Removed {
+        tuples_removed: usize,
+    },
+    Single {
+        key: K,
+        binding: Binding<V, B>,
+        tuples_removed: usize,
+    },
+}
+
 impl<K, V, B> Node<K, V, B>
 where
     K: Clone + Eq + Hash,
@@ -263,32 +302,23 @@ where
                 .find(|(k, _)| k == key)
                 .map(|(_, b)| BindingRef::of(b)),
             Node::Bitmap(b) => {
-                let m = mask(hash, shift);
-                match b.bitmap.get(m) {
-                    Category::Empty => None,
-                    Category::Cat1 => {
-                        let idx = b.bitmap.slot_index(Category::Cat1, m);
-                        match &b.slots[idx] {
-                            Slot::One(k, v) if k == key => Some(BindingRef::One(v)),
-                            Slot::One(..) => None,
-                            _ => unreachable!("bitmap says CAT1"),
-                        }
-                    }
-                    Category::Cat2 => {
-                        let idx = b.bitmap.slot_index(Category::Cat2, m);
-                        match &b.slots[idx] {
-                            Slot::Many(k, bag) if k == key => Some(BindingRef::Many(bag)),
-                            Slot::Many(..) => None,
-                            _ => unreachable!("bitmap says CAT2"),
-                        }
-                    }
-                    Category::Node => {
-                        let idx = b.bitmap.slot_index(Category::Node, m);
-                        match &b.slots[idx] {
-                            Slot::Child(child) => child.get(hash, next_shift(shift), key),
-                            _ => unreachable!("bitmap says NODE"),
-                        }
-                    }
+                // Fused dispatch: category and slot index from one pass.
+                match b.bitmap.locate(mask(hash, shift)) {
+                    (Category::Empty, _) => None,
+                    (Category::Cat1, idx) => match &b.slots[idx] {
+                        Slot::One(k, v) if k == key => Some(BindingRef::One(v)),
+                        Slot::One(..) => None,
+                        _ => unreachable!("bitmap says CAT1"),
+                    },
+                    (Category::Cat2, idx) => match &b.slots[idx] {
+                        Slot::Many(k, bag) if k == key => Some(BindingRef::Many(bag)),
+                        Slot::Many(..) => None,
+                        _ => unreachable!("bitmap says CAT2"),
+                    },
+                    (Category::Node, idx) => match &b.slots[idx] {
+                        Slot::Child(child) => child.get(hash, next_shift(shift), key),
+                        _ => unreachable!("bitmap says NODE"),
+                    },
                 }
             }
         }
@@ -422,6 +452,448 @@ where
                     }
                 }
             }
+        }
+    }
+
+    /// In-place insert driven by `Arc` uniqueness: a uniquely-owned node is
+    /// edited directly (slot payloads moved, never cloned; `CAT2` bags
+    /// edited through [`ValueBag::insert_mut`]); a shared node falls back to
+    /// the persistent path copy for its whole subtree. Takes the tuple by
+    /// ownership so the common paths are clone-free.
+    fn insert_in_place(
+        this: &mut Arc<Node<K, V, B>>,
+        hash: u32,
+        shift: u32,
+        key: K,
+        value: V,
+    ) -> EditInserted {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                debug_assert_eq!(c.hash, hash);
+                match c.entries.iter().position(|(k, _)| *k == key) {
+                    Some(pos) => {
+                        // Move the entry out (capacity is preserved, so the
+                        // push below cannot reallocate), edit, put it back.
+                        let (k, binding) = c.entries.swap_remove(pos);
+                        match binding {
+                            Binding::One(v) if v == value => {
+                                c.entries.push((k, Binding::One(v)));
+                                EditInserted::Unchanged
+                            }
+                            Binding::One(v) => {
+                                c.entries.push((k, Binding::Many(B::from_two(v, value))));
+                                EditInserted::NewTuple
+                            }
+                            Binding::Many(mut bag) => {
+                                let grew = bag.insert_mut(value);
+                                c.entries.push((k, Binding::Many(bag)));
+                                if grew {
+                                    EditInserted::NewTuple
+                                } else {
+                                    EditInserted::Unchanged
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        c.entries.push((key, Binding::One(value)));
+                        EditInserted::NewKey
+                    }
+                }
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let (cat, idx) = b.bitmap.locate(m);
+                match cat {
+                    Category::Empty => {
+                        b.bitmap = b.bitmap.with(m, Category::Cat1);
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        b.slots = inserted_at_owned(
+                            std::mem::take(&mut b.slots),
+                            idx,
+                            Slot::One(key, value),
+                        );
+                        EditInserted::NewKey
+                    }
+                    Category::Cat1 => {
+                        let (ek, ev) = match &b.slots[idx] {
+                            Slot::One(k, v) => (k, v),
+                            _ => unreachable!("bitmap says CAT1"),
+                        };
+                        if *ek == key {
+                            if *ev == value {
+                                return EditInserted::Unchanged;
+                            }
+                            // Promote 1:1 → 1:n in place: CAT1 → CAT2, the
+                            // existing value moving into the fresh bag.
+                            b.bitmap = b.bitmap.with(m, Category::Cat2);
+                            let to = b.bitmap.slot_index(Category::Cat2, m);
+                            migrate_map(&mut b.slots, idx, to, |slot| {
+                                let Slot::One(k, v) = slot else {
+                                    unreachable!("bitmap says CAT1")
+                                };
+                                Slot::Many(k, B::from_two(v, value))
+                            });
+                            return EditInserted::NewTuple;
+                        }
+                        // Prefix clash: both bindings descend; CAT1 → NODE.
+                        let existing_hash = hash32(ek);
+                        b.bitmap = b.bitmap.with(m, Category::Node);
+                        let to = b.bitmap.slot_index(Category::Node, m);
+                        migrate_map(&mut b.slots, idx, to, |slot| {
+                            let Slot::One(k, v) = slot else {
+                                unreachable!("bitmap says CAT1")
+                            };
+                            Slot::Child(Arc::new(Node::pair(
+                                existing_hash,
+                                k,
+                                Binding::One(v),
+                                hash,
+                                key,
+                                Binding::One(value),
+                                next_shift(shift),
+                            )))
+                        });
+                        EditInserted::NewKey
+                    }
+                    Category::Cat2 => {
+                        let (ek, _) = match &b.slots[idx] {
+                            Slot::Many(k, bag) => (k, bag),
+                            _ => unreachable!("bitmap says CAT2"),
+                        };
+                        if *ek == key {
+                            let Slot::Many(_, bag) = &mut b.slots[idx] else {
+                                unreachable!("bitmap says CAT2")
+                            };
+                            return if bag.insert_mut(value) {
+                                EditInserted::NewTuple
+                            } else {
+                                EditInserted::Unchanged
+                            };
+                        }
+                        let existing_hash = hash32(ek);
+                        b.bitmap = b.bitmap.with(m, Category::Node);
+                        let to = b.bitmap.slot_index(Category::Node, m);
+                        migrate_map(&mut b.slots, idx, to, |slot| {
+                            let Slot::Many(k, bag) = slot else {
+                                unreachable!("bitmap says CAT2")
+                            };
+                            Slot::Child(Arc::new(Node::pair(
+                                existing_hash,
+                                k,
+                                Binding::Many(bag),
+                                hash,
+                                key,
+                                Binding::One(value),
+                                next_shift(shift),
+                            )))
+                        });
+                        EditInserted::NewKey
+                    }
+                    Category::Node => {
+                        let Slot::Child(child) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says NODE")
+                        };
+                        Node::insert_in_place(child, hash, next_shift(shift), key, value)
+                    }
+                }
+            }
+            None => match this.inserted(hash, shift, &key, &value) {
+                Inserted::Unchanged => EditInserted::Unchanged,
+                Inserted::NewTuple(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::NewTuple
+                }
+                Inserted::NewKey(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::NewKey
+                }
+            },
+        }
+    }
+
+    /// In-place twin of [`Node::slot_removed`] for uniquely-owned nodes:
+    /// removes payload slot `idx`, or — when canonicalization demands it —
+    /// hands back the surviving binding (moved out) for the parent to
+    /// inline, leaving `b` consumed.
+    fn slot_removed_in_place(
+        b: &mut BitmapNode<K, V, B>,
+        m: u32,
+        idx: usize,
+        shift: u32,
+    ) -> Option<(K, Binding<V, B>)> {
+        let bitmap = b.bitmap.with(m, Category::Empty);
+        if shift > 0 && bitmap.payload_arity() == 1 && bitmap.node_arity() == 0 {
+            // Exactly one payload slot survives: offer it for inlining.
+            debug_assert_eq!(b.slots.len(), 2);
+            let mut slots = std::mem::take(&mut b.slots).into_vec();
+            return Some(match slots.swap_remove(1 - idx) {
+                Slot::One(k, v) => (k, Binding::One(v)),
+                Slot::Many(k, bag) => (k, Binding::Many(bag)),
+                Slot::Child(_) => unreachable!("both slots are payload"),
+            });
+        }
+        b.bitmap = bitmap;
+        b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+        None
+    }
+
+    /// In-place tuple removal (same ownership discipline and the same
+    /// canonicalization as [`Node::tuple_removed`]).
+    fn tuple_remove_in_place(
+        this: &mut Arc<Node<K, V, B>>,
+        hash: u32,
+        shift: u32,
+        key: &K,
+        value: &V,
+    ) -> EditTupleRemoved<K, V, B> {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k == key) else {
+                    return EditTupleRemoved::NotFound;
+                };
+                match &mut c.entries[pos].1 {
+                    Binding::One(v) => {
+                        if v != value {
+                            return EditTupleRemoved::NotFound;
+                        }
+                        c.entries.swap_remove(pos);
+                        if c.entries.len() == 1 {
+                            let (k, b) = c.entries.pop().expect("len == 1");
+                            return EditTupleRemoved::Single {
+                                key: k,
+                                binding: b,
+                                key_gone: true,
+                            };
+                        }
+                        EditTupleRemoved::Removed { key_gone: true }
+                    }
+                    Binding::Many(bag) => match bag.remove_mut(value) {
+                        BagEdited::NotFound => EditTupleRemoved::NotFound,
+                        BagEdited::Shrunk => EditTupleRemoved::Removed { key_gone: false },
+                        BagEdited::Single(survivor) => {
+                            c.entries[pos].1 = Binding::One(survivor);
+                            EditTupleRemoved::Removed { key_gone: false }
+                        }
+                    },
+                }
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let (cat, idx) = b.bitmap.locate(m);
+                match cat {
+                    Category::Empty => EditTupleRemoved::NotFound,
+                    Category::Cat1 => {
+                        let matches = match &b.slots[idx] {
+                            Slot::One(k, v) => k == key && v == value,
+                            _ => unreachable!("bitmap says CAT1"),
+                        };
+                        if !matches {
+                            return EditTupleRemoved::NotFound;
+                        }
+                        match Node::slot_removed_in_place(b, m, idx, shift) {
+                            None => EditTupleRemoved::Removed { key_gone: true },
+                            Some((k, binding)) => EditTupleRemoved::Single {
+                                key: k,
+                                binding,
+                                key_gone: true,
+                            },
+                        }
+                    }
+                    Category::Cat2 => {
+                        let matches = match &b.slots[idx] {
+                            Slot::Many(k, _) => k == key,
+                            _ => unreachable!("bitmap says CAT2"),
+                        };
+                        if !matches {
+                            return EditTupleRemoved::NotFound;
+                        }
+                        let Slot::Many(_, bag) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says CAT2")
+                        };
+                        match bag.remove_mut(value) {
+                            BagEdited::NotFound => EditTupleRemoved::NotFound,
+                            BagEdited::Shrunk => EditTupleRemoved::Removed { key_gone: false },
+                            BagEdited::Single(survivor) => {
+                                // Demote 1:n → 1:1 in place: CAT2 → CAT1,
+                                // dropping the consumed bag.
+                                b.bitmap = b.bitmap.with(m, Category::Cat1);
+                                let to = b.bitmap.slot_index(Category::Cat1, m);
+                                migrate_map(&mut b.slots, idx, to, |slot| {
+                                    let Slot::Many(k, _) = slot else {
+                                        unreachable!("bitmap says CAT2")
+                                    };
+                                    Slot::One(k, survivor)
+                                });
+                                EditTupleRemoved::Removed { key_gone: false }
+                            }
+                        }
+                    }
+                    Category::Node => {
+                        let Slot::Child(child) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says NODE")
+                        };
+                        match Node::tuple_remove_in_place(
+                            child,
+                            hash,
+                            next_shift(shift),
+                            key,
+                            value,
+                        ) {
+                            EditTupleRemoved::NotFound => EditTupleRemoved::NotFound,
+                            EditTupleRemoved::Removed { key_gone } => {
+                                EditTupleRemoved::Removed { key_gone }
+                            }
+                            EditTupleRemoved::Single {
+                                key: k,
+                                binding,
+                                key_gone,
+                            } => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    return EditTupleRemoved::Single {
+                                        key: k,
+                                        binding,
+                                        key_gone,
+                                    };
+                                }
+                                let cat = binding.category();
+                                b.bitmap = b.bitmap.with(m, cat);
+                                let to = b.bitmap.slot_index(cat, m);
+                                migrate_map(&mut b.slots, idx, to, |_child| {
+                                    Node::slot_of(k, binding)
+                                });
+                                EditTupleRemoved::Removed { key_gone }
+                            }
+                        }
+                    }
+                }
+            }
+            None => match this.tuple_removed(hash, shift, key, value) {
+                TupleRemoved::NotFound => EditTupleRemoved::NotFound,
+                TupleRemoved::Node { node, key_gone } => {
+                    *this = Arc::new(node);
+                    EditTupleRemoved::Removed { key_gone }
+                }
+                TupleRemoved::Single {
+                    key,
+                    binding,
+                    key_gone,
+                } => EditTupleRemoved::Single {
+                    key,
+                    binding,
+                    key_gone,
+                },
+            },
+        }
+    }
+
+    /// In-place key removal (same ownership discipline and the same
+    /// canonicalization as [`Node::key_removed`]).
+    fn key_remove_in_place(
+        this: &mut Arc<Node<K, V, B>>,
+        hash: u32,
+        shift: u32,
+        key: &K,
+    ) -> EditKeyRemoved<K, V, B> {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k == key) else {
+                    return EditKeyRemoved::NotFound;
+                };
+                let tuples_removed = c.entries[pos].1.len();
+                c.entries.swap_remove(pos);
+                if c.entries.len() == 1 {
+                    let (k, b) = c.entries.pop().expect("len == 1");
+                    return EditKeyRemoved::Single {
+                        key: k,
+                        binding: b,
+                        tuples_removed,
+                    };
+                }
+                EditKeyRemoved::Removed { tuples_removed }
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let (cat, idx) = b.bitmap.locate(m);
+                let tuples_removed = match cat {
+                    Category::Empty => return EditKeyRemoved::NotFound,
+                    Category::Cat1 => match &b.slots[idx] {
+                        Slot::One(k, _) if k == key => 1,
+                        Slot::One(..) => return EditKeyRemoved::NotFound,
+                        _ => unreachable!("bitmap says CAT1"),
+                    },
+                    Category::Cat2 => match &b.slots[idx] {
+                        Slot::Many(k, bag) if k == key => bag.len(),
+                        Slot::Many(..) => return EditKeyRemoved::NotFound,
+                        _ => unreachable!("bitmap says CAT2"),
+                    },
+                    Category::Node => {
+                        let Slot::Child(child) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says NODE")
+                        };
+                        return match Node::key_remove_in_place(child, hash, next_shift(shift), key)
+                        {
+                            EditKeyRemoved::NotFound => EditKeyRemoved::NotFound,
+                            EditKeyRemoved::Removed { tuples_removed } => {
+                                EditKeyRemoved::Removed { tuples_removed }
+                            }
+                            EditKeyRemoved::Single {
+                                key: k,
+                                binding,
+                                tuples_removed,
+                            } => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    return EditKeyRemoved::Single {
+                                        key: k,
+                                        binding,
+                                        tuples_removed,
+                                    };
+                                }
+                                let cat = binding.category();
+                                b.bitmap = b.bitmap.with(m, cat);
+                                let to = b.bitmap.slot_index(cat, m);
+                                migrate_map(&mut b.slots, idx, to, |_child| {
+                                    Node::slot_of(k, binding)
+                                });
+                                EditKeyRemoved::Removed { tuples_removed }
+                            }
+                        };
+                    }
+                };
+                match Node::slot_removed_in_place(b, m, idx, shift) {
+                    None => EditKeyRemoved::Removed { tuples_removed },
+                    Some((k, binding)) => EditKeyRemoved::Single {
+                        key: k,
+                        binding,
+                        tuples_removed,
+                    },
+                }
+            }
+            None => match this.key_removed(hash, shift, key) {
+                KeyRemoved::NotFound => EditKeyRemoved::NotFound,
+                KeyRemoved::Node {
+                    node,
+                    tuples_removed,
+                } => {
+                    *this = Arc::new(node);
+                    EditKeyRemoved::Removed { tuples_removed }
+                }
+                KeyRemoved::Single {
+                    key,
+                    binding,
+                    tuples_removed,
+                } => EditKeyRemoved::Single {
+                    key,
+                    binding,
+                    tuples_removed,
+                },
+            },
         }
     }
 
@@ -916,18 +1388,18 @@ where
         next
     }
 
-    /// Inserts `(key, value)` in place (re-pointing this handle). Returns
-    /// true if the relation grew.
+    /// Inserts `(key, value)` in place: uniquely-owned trie nodes along the
+    /// spine are edited directly, shared nodes are path-copied (other
+    /// handles keep their version). Returns true if the relation grew.
     pub fn insert_mut(&mut self, key: K, value: V) -> bool {
-        match self.root.inserted(hash32(&key), 0, &key, &value) {
-            Inserted::Unchanged => false,
-            Inserted::NewTuple(node) => {
-                self.root = Arc::new(node);
+        let hash = hash32(&key);
+        match Node::insert_in_place(&mut self.root, hash, 0, key, value) {
+            EditInserted::Unchanged => false,
+            EditInserted::NewTuple => {
                 self.tuples += 1;
                 true
             }
-            Inserted::NewKey(node) => {
-                self.root = Arc::new(node);
+            EditInserted::NewKey => {
                 self.tuples += 1;
                 self.keys += 1;
                 true
@@ -943,19 +1415,19 @@ where
         next
     }
 
-    /// Removes the tuple `(key, value)` in place. Returns true if present.
+    /// Removes the tuple `(key, value)` in place (editing uniquely-owned
+    /// nodes, path-copying shared ones). Returns true if present.
     pub fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
-        match self.root.tuple_removed(hash32(key), 0, key, value) {
-            TupleRemoved::NotFound => false,
-            TupleRemoved::Node { node, key_gone } => {
-                self.root = Arc::new(node);
+        match Node::tuple_remove_in_place(&mut self.root, hash32(key), 0, key, value) {
+            EditTupleRemoved::NotFound => false,
+            EditTupleRemoved::Removed { key_gone } => {
                 self.tuples -= 1;
                 if key_gone {
                     self.keys -= 1;
                 }
                 true
             }
-            TupleRemoved::Single {
+            EditTupleRemoved::Single {
                 key: k,
                 binding,
                 key_gone,
@@ -977,21 +1449,17 @@ where
         next
     }
 
-    /// Removes every tuple for `key` in place. Returns the number of tuples
-    /// removed.
+    /// Removes every tuple for `key` in place (editing uniquely-owned nodes,
+    /// path-copying shared ones). Returns the number of tuples removed.
     pub fn remove_key_mut(&mut self, key: &K) -> usize {
-        match self.root.key_removed(hash32(key), 0, key) {
-            KeyRemoved::NotFound => 0,
-            KeyRemoved::Node {
-                node,
-                tuples_removed,
-            } => {
-                self.root = Arc::new(node);
+        match Node::key_remove_in_place(&mut self.root, hash32(key), 0, key) {
+            EditKeyRemoved::NotFound => 0,
+            EditKeyRemoved::Removed { tuples_removed } => {
                 self.tuples -= tuples_removed;
                 self.keys -= 1;
                 tuples_removed
             }
-            KeyRemoved::Single {
+            EditKeyRemoved::Single {
                 key: k,
                 binding,
                 tuples_removed,

@@ -31,7 +31,10 @@ use trie_common::bits::{hash_exhausted, mask, next_shift};
 use trie_common::hash::hash32;
 
 use crate::bitmap::{Category, SlotBitmap};
-use crate::slots::{inserted_at, migrated, removed_at, replaced_at};
+use crate::slots::{
+    inserted_at, inserted_at_owned, migrate_map, migrated, removed_at, removed_at_owned,
+    replaced_at,
+};
 
 /// One physical slot of a set node: an inlined element or a sub-trie.
 #[derive(Debug, Clone)]
@@ -71,6 +74,16 @@ pub(crate) enum Node<T> {
 pub(crate) enum Removed<T> {
     NotFound,
     Node(Node<T>),
+    Single(T),
+}
+
+/// Result of an in-place node-level removal: edited nodes stay where they
+/// are, so only the canonicalization payload travels.
+pub(crate) enum EditRemoved<T> {
+    NotFound,
+    Removed,
+    /// The sub-tree collapsed to one element (left in a consumed state; the
+    /// parent drops it and inlines the survivor).
     Single(T),
 }
 
@@ -121,24 +134,18 @@ impl<T: Clone + Eq + Hash> Node<T> {
         match self {
             Node::Collision(c) => c.elems.iter().any(|e| e.borrow() == value),
             Node::Bitmap(b) => {
-                let m = mask(hash, shift);
-                match b.bitmap.get(m) {
-                    Category::Empty => false,
-                    Category::Cat1 => {
-                        let idx = b.bitmap.slot_index(Category::Cat1, m);
-                        match &b.slots[idx] {
-                            Slot::Elem(e) => e.borrow() == value,
-                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
-                        }
-                    }
-                    Category::Node => {
-                        let idx = b.bitmap.slot_index(Category::Node, m);
-                        match &b.slots[idx] {
-                            Slot::Child(child) => child.contains(hash, next_shift(shift), value),
-                            Slot::Elem(_) => unreachable!("bitmap says NODE"),
-                        }
-                    }
-                    Category::Cat2 => unreachable!("sets never use CAT2"),
+                // Fused dispatch: category and slot index from one pass.
+                match b.bitmap.locate(mask(hash, shift)) {
+                    (Category::Empty, _) => false,
+                    (Category::Cat1, idx) => match &b.slots[idx] {
+                        Slot::Elem(e) => e.borrow() == value,
+                        Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                    },
+                    (Category::Node, idx) => match &b.slots[idx] {
+                        Slot::Child(child) => child.contains(hash, next_shift(shift), value),
+                        Slot::Elem(_) => unreachable!("bitmap says NODE"),
+                    },
+                    (Category::Cat2, _) => unreachable!("sets never use CAT2"),
                 }
             }
         }
@@ -151,27 +158,18 @@ impl<T: Clone + Eq + Hash> Node<T> {
     {
         match self {
             Node::Collision(c) => c.elems.iter().find(|e| (*e).borrow() == value),
-            Node::Bitmap(b) => {
-                let m = mask(hash, shift);
-                match b.bitmap.get(m) {
-                    Category::Empty => None,
-                    Category::Cat1 => {
-                        let idx = b.bitmap.slot_index(Category::Cat1, m);
-                        match &b.slots[idx] {
-                            Slot::Elem(e) if e.borrow() == value => Some(e),
-                            _ => None,
-                        }
-                    }
-                    Category::Node => {
-                        let idx = b.bitmap.slot_index(Category::Node, m);
-                        match &b.slots[idx] {
-                            Slot::Child(child) => child.get(hash, next_shift(shift), value),
-                            Slot::Elem(_) => unreachable!("bitmap says NODE"),
-                        }
-                    }
-                    Category::Cat2 => unreachable!("sets never use CAT2"),
-                }
-            }
+            Node::Bitmap(b) => match b.bitmap.locate(mask(hash, shift)) {
+                (Category::Empty, _) => None,
+                (Category::Cat1, idx) => match &b.slots[idx] {
+                    Slot::Elem(e) if e.borrow() == value => Some(e),
+                    _ => None,
+                },
+                (Category::Node, idx) => match &b.slots[idx] {
+                    Slot::Child(child) => child.get(hash, next_shift(shift), value),
+                    Slot::Elem(_) => unreachable!("bitmap says NODE"),
+                },
+                (Category::Cat2, _) => unreachable!("sets never use CAT2"),
+            },
         }
     }
 
@@ -241,6 +239,169 @@ impl<T: Clone + Eq + Hash> Node<T> {
                     Category::Cat2 => unreachable!("sets never use CAT2"),
                 }
             }
+        }
+    }
+
+    /// In-place insert driven by `Arc` uniqueness: a uniquely-owned node is
+    /// edited directly (slots moved, never cloned); a shared node falls back
+    /// to the persistent path copy for its whole subtree. Takes `value` by
+    /// ownership — the common paths move it into its final slot with zero
+    /// clones. Returns true if the set grew.
+    fn insert_in_place(this: &mut Arc<Node<T>>, hash: u32, shift: u32, value: T) -> bool {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                debug_assert_eq!(c.hash, hash, "collision nodes sit below exhausted hashes");
+                if c.elems.contains(&value) {
+                    return false;
+                }
+                c.elems.push(value);
+                true
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let (cat, idx) = b.bitmap.locate(m);
+                match cat {
+                    Category::Empty => {
+                        b.bitmap = b.bitmap.with(m, Category::Cat1);
+                        let idx = b.bitmap.slot_index(Category::Cat1, m);
+                        b.slots =
+                            inserted_at_owned(std::mem::take(&mut b.slots), idx, Slot::Elem(value));
+                        true
+                    }
+                    Category::Cat1 => {
+                        let existing = match &b.slots[idx] {
+                            Slot::Elem(e) => e,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if *existing == value {
+                            return false;
+                        }
+                        // Prefix clash: both elements descend into a fresh
+                        // sub-trie; the slot migrates CAT1 → NODE in place.
+                        let existing_hash = hash32(existing);
+                        b.bitmap = b.bitmap.with(m, Category::Node);
+                        let to = b.bitmap.slot_index(Category::Node, m);
+                        migrate_map(&mut b.slots, idx, to, |slot| {
+                            let Slot::Elem(existing) = slot else {
+                                unreachable!("bitmap says CAT1")
+                            };
+                            Slot::Child(Arc::new(Node::pair(
+                                existing_hash,
+                                existing,
+                                hash,
+                                value,
+                                next_shift(shift),
+                            )))
+                        });
+                        true
+                    }
+                    Category::Node => {
+                        let Slot::Child(child) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says NODE")
+                        };
+                        Node::insert_in_place(child, hash, next_shift(shift), value)
+                    }
+                    Category::Cat2 => unreachable!("sets never use CAT2"),
+                }
+            }
+            None => match this.inserted(hash, shift, &value) {
+                Some(node) => {
+                    *this = Arc::new(node);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// In-place removal (same ownership discipline as
+    /// [`Node::insert_in_place`]), canonicalizing exactly like
+    /// [`Node::removed`].
+    fn remove_in_place<Q>(
+        this: &mut Arc<Node<T>>,
+        hash: u32,
+        shift: u32,
+        value: &Q,
+    ) -> EditRemoved<T>
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                let Some(pos) = c.elems.iter().position(|e| e.borrow() == value) else {
+                    return EditRemoved::NotFound;
+                };
+                if c.elems.len() == 2 {
+                    return EditRemoved::Single(c.elems.swap_remove(1 - pos));
+                }
+                c.elems.swap_remove(pos);
+                EditRemoved::Removed
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let (cat, idx) = b.bitmap.locate(m);
+                match cat {
+                    Category::Empty => EditRemoved::NotFound,
+                    Category::Cat1 => {
+                        let matches = match &b.slots[idx] {
+                            Slot::Elem(e) => e.borrow() == value,
+                            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+                        };
+                        if !matches {
+                            return EditRemoved::NotFound;
+                        }
+                        let bitmap = b.bitmap.with(m, Category::Empty);
+                        if shift > 0 && bitmap.payload_arity() == 1 && bitmap.node_arity() == 0 {
+                            // The node held exactly two elements; hand the
+                            // survivor (moved out) to the parent for inlining.
+                            debug_assert_eq!(b.slots.len(), 2);
+                            let mut slots = std::mem::take(&mut b.slots).into_vec();
+                            let Slot::Elem(survivor) = slots.swap_remove(1 - idx) else {
+                                unreachable!("both slots are payload")
+                            };
+                            return EditRemoved::Single(survivor);
+                        }
+                        b.bitmap = bitmap;
+                        b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+                        EditRemoved::Removed
+                    }
+                    Category::Node => {
+                        let Slot::Child(child) = &mut b.slots[idx] else {
+                            unreachable!("bitmap says NODE")
+                        };
+                        match Node::remove_in_place(child, hash, next_shift(shift), value) {
+                            EditRemoved::NotFound => EditRemoved::NotFound,
+                            EditRemoved::Removed => EditRemoved::Removed,
+                            EditRemoved::Single(e) => {
+                                if shift > 0
+                                    && b.bitmap.payload_arity() == 0
+                                    && b.bitmap.node_arity() == 1
+                                {
+                                    // A pure chain node dissolves: keep
+                                    // propagating the survivor upward.
+                                    return EditRemoved::Single(e);
+                                }
+                                // Inline the survivor: NODE → CAT1 in place,
+                                // dropping the collapsed child.
+                                b.bitmap = b.bitmap.with(m, Category::Cat1);
+                                let to = b.bitmap.slot_index(Category::Cat1, m);
+                                migrate_map(&mut b.slots, idx, to, |_child| Slot::Elem(e));
+                                EditRemoved::Removed
+                            }
+                        }
+                    }
+                    Category::Cat2 => unreachable!("sets never use CAT2"),
+                }
+            }
+            None => match this.removed(hash, shift, value) {
+                Removed::NotFound => EditRemoved::NotFound,
+                Removed::Node(n) => {
+                    *this = Arc::new(n);
+                    EditRemoved::Removed
+                }
+                Removed::Single(e) => EditRemoved::Single(e),
+            },
         }
     }
 
@@ -420,16 +581,17 @@ impl<T: Clone + Eq + Hash> AxiomSet<T> {
         next
     }
 
-    /// Inserts `value` in place (re-pointing this handle; other handles to
-    /// the previous version are unaffected). Returns true if the set grew.
+    /// Inserts `value` in place. Uniquely-owned trie nodes along the spine
+    /// are edited directly; nodes shared with other handles are path-copied,
+    /// so other handles to the previous version are unaffected. Returns true
+    /// if the set grew.
     pub fn insert_mut(&mut self, value: T) -> bool {
-        match self.root.inserted(hash32(&value), 0, &value) {
-            Some(node) => {
-                self.root = Arc::new(node);
-                self.len += 1;
-                true
-            }
-            None => false,
+        let hash = hash32(&value);
+        if Node::insert_in_place(&mut self.root, hash, 0, value) {
+            self.len += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -444,21 +606,20 @@ impl<T: Clone + Eq + Hash> AxiomSet<T> {
         next
     }
 
-    /// Removes `value` in place (re-pointing this handle). Returns true if
-    /// the set shrank.
+    /// Removes `value` in place (editing uniquely-owned nodes, path-copying
+    /// shared ones). Returns true if the set shrank.
     pub fn remove_mut<Q>(&mut self, value: &Q) -> bool
     where
         T: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        match self.root.removed(hash32(value), 0, value) {
-            Removed::NotFound => false,
-            Removed::Node(node) => {
-                self.root = Arc::new(node);
+        match Node::remove_in_place(&mut self.root, hash32(value), 0, value) {
+            EditRemoved::NotFound => false,
+            EditRemoved::Removed => {
                 self.len -= 1;
                 true
             }
-            Removed::Single(survivor) => {
+            EditRemoved::Single(survivor) => {
                 // Only reachable when the root collapses to one element.
                 let root = Node::empty();
                 let root = root

@@ -1,64 +1,26 @@
 //! Dense slot-array editing helpers shared by all AXIOM node kinds.
 //!
-//! Persistent updates never mutate an existing node's slot array; they build
-//! a fresh `Box<[T]>` with the edit applied (path copying). These helpers
-//! centralize the copy loops so every node implementation stays free of
-//! index arithmetic bugs.
+//! The implementations live in [`trie_common::slices`] (shared with the
+//! CHAMP/HAMT crates); this module re-exports them crate-privately and
+//! keeps the AXIOM-flavoured test suite, including the three-category
+//! migration boundary cases the multi-map relies on.
+//!
+//! Two families, one per ownership regime:
+//!
+//! * **Borrowed** (`inserted_at`, `removed_at`, `replaced_at`, `migrated`):
+//!   persistent path copying. The input node is shared, so a fresh
+//!   `Box<[T]>` is built with the edit applied and every untouched slot
+//!   cloned.
+//! * **Owned** (`inserted_at_owned`, `removed_at_owned`, `migrate_map`):
+//!   transient in-place editing. The caller holds the node uniquely (via
+//!   `Arc::get_mut`), so slots are *moved*, never cloned; arity-preserving
+//!   edits reuse the existing allocation and arity-changing edits pay
+//!   exactly one new array allocation.
 
-/// Returns a copy of `slots` with `item` inserted at `idx`.
-pub(crate) fn inserted_at<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    debug_assert!(idx <= slots.len());
-    let mut out = Vec::with_capacity(slots.len() + 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.push(item);
-    out.extend_from_slice(&slots[idx..]);
-    out.into_boxed_slice()
-}
-
-/// Returns a copy of `slots` with the element at `idx` removed.
-pub(crate) fn removed_at<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
-    debug_assert!(idx < slots.len());
-    let mut out = Vec::with_capacity(slots.len() - 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.extend_from_slice(&slots[idx + 1..]);
-    out.into_boxed_slice()
-}
-
-/// Returns a copy of `slots` with the element at `idx` replaced by `item`.
-pub(crate) fn replaced_at<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    debug_assert!(idx < slots.len());
-    let mut out: Vec<T> = slots.to_vec();
-    out[idx] = item;
-    out.into_boxed_slice()
-}
-
-/// Returns a copy of `slots` with the element at `from` removed and `item`
-/// inserted so that it lands at index `to` *of the resulting array*.
-///
-/// This is the slot *migration* primitive behind AXIOM's category changes
-/// (paper §3.2): promoting a `1:1` slot to `1:n`, demoting back, or replacing
-/// an inlined payload with a sub-node — the entry leaves one category group
-/// and joins another, so its physical position moves while all other slots
-/// keep their relative order.
-pub(crate) fn migrated<T: Clone>(slots: &[T], from: usize, to: usize, item: T) -> Box<[T]> {
-    debug_assert!(from < slots.len());
-    debug_assert!(to < slots.len());
-    let mut out = Vec::with_capacity(slots.len());
-    for (i, slot) in slots.iter().enumerate() {
-        if i == from {
-            continue;
-        }
-        if out.len() == to {
-            out.push(item.clone());
-        }
-        out.push(slot.clone());
-    }
-    if out.len() == to {
-        out.push(item);
-    }
-    debug_assert_eq!(out.len(), slots.len());
-    out.into_boxed_slice()
-}
+pub(crate) use trie_common::slices::{
+    inserted_at, inserted_at_owned, migrate_map, migrated, removed_at, removed_at_owned,
+    replaced_at,
+};
 
 #[cfg(test)]
 mod tests {
@@ -84,7 +46,25 @@ mod tests {
     #[test]
     fn replaced_at_keeps_length() {
         let base = [1, 2, 3];
+        assert_eq!(&*replaced_at(&base, 0, 9), &[9, 2, 3]);
         assert_eq!(&*replaced_at(&base, 1, 9), &[1, 9, 3]);
+        assert_eq!(&*replaced_at(&base, 2, 9), &[1, 2, 9]);
+    }
+
+    #[test]
+    fn replaced_at_never_clones_the_displaced_slot() {
+        // A type whose Clone panics: the replaced slot must not be touched.
+        #[derive(Debug, PartialEq)]
+        struct NoClone(u32, bool);
+        impl Clone for NoClone {
+            fn clone(&self) -> Self {
+                assert!(self.1, "cloned the displaced slot");
+                NoClone(self.0, self.1)
+            }
+        }
+        let base = [NoClone(1, true), NoClone(2, false), NoClone(3, true)];
+        let out = replaced_at(&base, 1, NoClone(9, true));
+        assert_eq!(out[1], NoClone(9, true));
     }
 
     #[test]
@@ -103,5 +83,97 @@ mod tests {
     #[test]
     fn migrated_on_singleton() {
         assert_eq!(&*migrated(&[5], 0, 0, 6), &[6]);
+    }
+
+    #[test]
+    fn migrated_to_last_index_from_everywhere() {
+        // Boundary `to == slots.len() - 1`: the item is appended after the
+        // loop body, the branch the `Option` refactor must keep intact.
+        let base = [10, 20, 30, 40];
+        for from in 0..base.len() {
+            let out = migrated(&base, from, base.len() - 1, 99);
+            assert_eq!(out.len(), base.len());
+            assert_eq!(out[base.len() - 1], 99, "from {from}");
+            let survivors: Vec<i32> = base
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != from)
+                .map(|(_, v)| *v)
+                .collect();
+            assert_eq!(&out[..base.len() - 1], &survivors[..], "from {from}");
+        }
+    }
+
+    #[test]
+    fn migrated_moves_item_without_cloning_on_interior_target() {
+        #[derive(Debug, PartialEq)]
+        struct CountClone(u32, std::rc::Rc<std::cell::Cell<u32>>);
+        impl Clone for CountClone {
+            fn clone(&self) -> Self {
+                self.1.set(self.1.get() + 1);
+                CountClone(self.0, self.1.clone())
+            }
+        }
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mk = |n| CountClone(n, clones.clone());
+        let base = [mk(1), mk(2), mk(3)];
+        clones.set(0);
+        // Interior target: the item lands inside the loop, and must be moved
+        // there, not cloned (only the two surviving slots are cloned).
+        let out = migrated(&base, 2, 0, mk(9));
+        assert_eq!(out[0].0, 9);
+        assert_eq!(clones.get(), 2, "only survivors may be cloned");
+    }
+
+    #[test]
+    fn owned_insert_and_remove_match_borrowed() {
+        let base = vec![1, 2, 3].into_boxed_slice();
+        assert_eq!(
+            &*inserted_at_owned(base.clone(), 1, 9),
+            &*inserted_at(&base, 1, 9)
+        );
+        assert_eq!(
+            &*inserted_at_owned(base.clone(), 3, 9),
+            &*inserted_at(&base, 3, 9)
+        );
+        assert_eq!(&*removed_at_owned(base.clone(), 0), &*removed_at(&base, 0));
+        assert_eq!(&*removed_at_owned(base.clone(), 2), &*removed_at(&base, 2));
+        assert_eq!(&*inserted_at_owned(Box::new([]), 0, 7), &[7]);
+    }
+
+    #[test]
+    fn migrate_map_matches_migrated_for_all_pairs() {
+        let base = [10, 20, 30, 40, 50];
+        for from in 0..base.len() {
+            for to in 0..base.len() {
+                let expected = migrated(&base, from, to, 99);
+                let mut slots: Box<[i32]> = Box::new(base);
+                migrate_map(&mut slots, from, to, |old| {
+                    assert_eq!(old, base[from], "wrong slot migrated");
+                    99
+                });
+                assert_eq!(slots, expected, "from {from} to {to}");
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_map_to_last_index_boundary() {
+        let mut slots: Box<[i32]> = Box::new([10, 20, 30, 40]);
+        migrate_map(&mut slots, 1, 3, |old| old + 1);
+        assert_eq!(&*slots, &[10, 30, 40, 21]);
+    }
+
+    #[test]
+    fn migrate_map_moves_without_cloning() {
+        // Box<T> has no Clone bound here: compiling at all proves the owned
+        // family never clones.
+        let mut slots: Box<[Box<u32>]> = Box::new([Box::new(1), Box::new(2), Box::new(3)]);
+        migrate_map(&mut slots, 0, 2, |old| Box::new(*old + 100));
+        assert_eq!(&*slots, &[Box::new(2), Box::new(3), Box::new(101)]);
+        let grown = inserted_at_owned(std::mem::take(&mut slots), 0, Box::new(0));
+        assert_eq!(grown.len(), 4);
+        let shrunk = removed_at_owned(grown, 3);
+        assert_eq!(&*shrunk, &[Box::new(0), Box::new(2), Box::new(3)]);
     }
 }

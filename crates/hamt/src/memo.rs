@@ -21,6 +21,10 @@ use std::sync::Arc;
 
 use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
 use trie_common::hash::hash32;
+use trie_common::slices::{
+    inserted_at as slice_inserted, inserted_at_owned, migrate_map, removed_at as slice_removed,
+    replaced_at as slice_replaced,
+};
 
 /// One slot: a leaf entry (with memoized hash) or a sub-trie.
 #[derive(Debug, Clone)]
@@ -65,25 +69,11 @@ pub(crate) enum Removed<K, V> {
     Single(u32, K, V),
 }
 
-fn slice_inserted<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len() + 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.push(item);
-    out.extend_from_slice(&slots[idx..]);
-    out.into_boxed_slice()
-}
-
-fn slice_removed<T: Clone>(slots: &[T], idx: usize) -> Box<[T]> {
-    let mut out = Vec::with_capacity(slots.len() - 1);
-    out.extend_from_slice(&slots[..idx]);
-    out.extend_from_slice(&slots[idx + 1..]);
-    out.into_boxed_slice()
-}
-
-fn slice_replaced<T: Clone>(slots: &[T], idx: usize, item: T) -> Box<[T]> {
-    let mut out: Vec<T> = slots.to_vec();
-    out[idx] = item;
-    out.into_boxed_slice()
+/// In-place insertion outcome (the node is edited where it stands).
+pub(crate) enum EditInserted {
+    Unchanged,
+    Replaced,
+    Added,
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
@@ -240,6 +230,95 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
                     }
                 }
             }
+        }
+    }
+
+    /// In-place insert driven by `Arc` uniqueness: a uniquely-owned node is
+    /// edited directly, a shared node falls back to the persistent path copy
+    /// for its whole subtree. The memoized hash travels with the entry, so
+    /// the existing key is never re-hashed.
+    fn insert_in_place(
+        this: &mut Arc<Node<K, V>>,
+        hash: u32,
+        shift: u32,
+        key: K,
+        value: V,
+    ) -> EditInserted {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                debug_assert_eq!(c.hash, hash);
+                match c.entries.iter().position(|(k, _)| *k == key) {
+                    Some(pos) => {
+                        if c.entries[pos].1 == value {
+                            return EditInserted::Unchanged;
+                        }
+                        c.entries[pos].1 = value;
+                        EditInserted::Replaced
+                    }
+                    None => {
+                        c.entries.push((key, value));
+                        EditInserted::Added
+                    }
+                }
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.bitmap & bit == 0 {
+                    b.bitmap |= bit;
+                    let idx = index_in(b.bitmap, bit);
+                    b.slots = inserted_at_owned(
+                        std::mem::take(&mut b.slots),
+                        idx,
+                        Slot::Entry(hash, key, value),
+                    );
+                    return EditInserted::Added;
+                }
+                let idx = index_in(b.bitmap, bit);
+                match &mut b.slots[idx] {
+                    Slot::Entry(eh, ek, ev) => {
+                        if *eh == hash && *ek == key {
+                            if *ev == value {
+                                return EditInserted::Unchanged;
+                            }
+                            b.slots[idx] = Slot::Entry(hash, key, value);
+                            return EditInserted::Replaced;
+                        }
+                        // `from == to` migration: Entry → Child in place,
+                        // both entries (and the memoized hash) moving into
+                        // the fresh sub-trie.
+                        migrate_map(&mut b.slots, idx, idx, |slot| {
+                            let Slot::Entry(eh, ek, ev) = slot else {
+                                unreachable!("just matched an entry")
+                            };
+                            Slot::Child(Arc::new(Node::pair(
+                                eh,
+                                ek,
+                                ev,
+                                hash,
+                                key,
+                                value,
+                                next_shift(shift),
+                            )))
+                        });
+                        EditInserted::Added
+                    }
+                    Slot::Child(child) => {
+                        Node::insert_in_place(child, hash, next_shift(shift), key, value)
+                    }
+                }
+            }
+            None => match this.inserted(hash, shift, &key, &value) {
+                Inserted::Unchanged => EditInserted::Unchanged,
+                Inserted::Replaced(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::Replaced
+                }
+                Inserted::Added(n) => {
+                    *this = Arc::new(n);
+                    EditInserted::Added
+                }
+            },
         }
     }
 
@@ -402,14 +481,10 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> MemoHamtMap<K, V> {
 
     /// Binds `key` to `value` in place. Returns true if a new key was added.
     pub fn insert_mut(&mut self, key: K, value: V) -> bool {
-        match self.root.inserted(hash32(&key), 0, &key, &value) {
-            Inserted::Unchanged => false,
-            Inserted::Replaced(node) => {
-                self.root = Arc::new(node);
-                false
-            }
-            Inserted::Added(node) => {
-                self.root = Arc::new(node);
+        let hash = hash32(&key);
+        match Node::insert_in_place(&mut self.root, hash, 0, key, value) {
+            EditInserted::Unchanged | EditInserted::Replaced => false,
+            EditInserted::Added => {
                 self.len += 1;
                 true
             }

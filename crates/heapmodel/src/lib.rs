@@ -27,6 +27,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc_counter;
+
 /// JVM architecture parameters that determine object sizes.
 ///
 /// The two constants mirror the paper's two footprint configurations:

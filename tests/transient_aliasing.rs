@@ -1,0 +1,347 @@
+//! Aliasing safety of the in-place `_mut` families.
+//!
+//! The `Arc::get_mut` editing discipline promises: a `_mut` edit through one
+//! handle NEVER changes what any other handle observes — uniquely-owned
+//! nodes are edited in place precisely because no one else can see them,
+//! and every shared node is path-copied. These properties drill that from
+//! the outside: clone a handle (sharing the whole trie), run a random
+//! `_mut` edit script on one copy, and assert the other copy is unchanged
+//! while both still agree with a `BTreeMap`/`BTreeSet` model.
+//!
+//! A mid-script snapshot re-shares the partially-edited (and by then
+//! partially uniquely-owned) trie, exercising the mixed unique/shared spine
+//! states the discipline must handle.
+//!
+//! Keys are used both verbatim and wrapped in [`FewBuckets`] (a
+//! deliberately colliding `Hash`), so the collision-node editing paths get
+//! the same treatment.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use axiom_repro::trie_common::ops::{MapOps, MultiMapOps, SetOps};
+
+/// Key wrapper hashing into very few buckets: forces sub-trie chains and
+/// full-hash collision nodes even for small scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct FewBuckets(u16);
+
+impl Hash for FewBuckets {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u16(self.0 % 7);
+    }
+}
+
+/// One scripted edit, decoded from a raw `(selector, key, value)` triple.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u16, u16),
+    RemoveTuple(u16, u16),
+    RemoveKey(u16),
+}
+
+fn decode(script: &[(u8, u16, u16)]) -> Vec<Op> {
+    script
+        .iter()
+        .map(|&(sel, k, v)| match sel % 4 {
+            0 | 1 => Op::Insert(k % 48, v % 6),
+            2 => Op::RemoveTuple(k % 48, v % 6),
+            _ => Op::RemoveKey(k % 48),
+        })
+        .collect()
+}
+
+type MmModel<K> = BTreeMap<K, BTreeSet<u16>>;
+
+fn mm_model<K: Ord + Clone, M: MultiMapOps<K, u16>>(m: &M) -> MmModel<K> {
+    let mut out: MmModel<K> = BTreeMap::new();
+    for (k, v) in m.tuples() {
+        assert!(
+            out.entry(k.clone()).or_default().insert(*v),
+            "duplicate tuple while iterating"
+        );
+    }
+    assert_eq!(
+        m.tuple_count(),
+        out.values().map(BTreeSet::len).sum::<usize>()
+    );
+    assert_eq!(m.key_count(), out.len());
+    out
+}
+
+/// Runs the script on one clone of a shared trie; every snapshot taken
+/// along the way must stay exactly what it was.
+macro_rules! check_multimap {
+    ($ty:ty, $mk_key:expr, $base:expr, $script:expr) => {{
+        let mk = $mk_key;
+        let mut edited: $ty = MultiMapOps::empty();
+        for &(k, v) in $base {
+            edited.insert_mut(mk(k % 48), v % 6);
+        }
+        let mut model = mm_model(&edited);
+        let frozen = edited.clone();
+        let frozen_model = model.clone();
+        let mut mid: Option<($ty, MmModel<_>)> = None;
+        let half = $script.len() / 2;
+        for (i, op) in $script.iter().enumerate() {
+            if i == half {
+                mid = Some((edited.clone(), model.clone()));
+            }
+            match *op {
+                Op::Insert(k, v) => {
+                    let k = mk(k);
+                    let grew = model.entry(k.clone()).or_default().insert(v);
+                    assert_eq!(edited.insert_mut(k, v), grew, "{}", stringify!($ty));
+                }
+                Op::RemoveTuple(k, v) => {
+                    let k = mk(k);
+                    let had = model.get_mut(&k).is_some_and(|s| s.remove(&v));
+                    if model.get(&k).is_some_and(BTreeSet::is_empty) {
+                        model.remove(&k);
+                    }
+                    assert_eq!(edited.remove_tuple_mut(&k, &v), had, "{}", stringify!($ty));
+                }
+                Op::RemoveKey(k) => {
+                    let k = mk(k);
+                    let removed = model.remove(&k).map_or(0, |s| s.len());
+                    assert_eq!(edited.remove_key_mut(&k), removed, "{}", stringify!($ty));
+                }
+            }
+        }
+        assert_eq!(
+            mm_model(&frozen),
+            frozen_model,
+            "{}: shared handle mutated by the edit script",
+            stringify!($ty)
+        );
+        if let Some((mid_handle, mid_model)) = mid {
+            assert_eq!(
+                mm_model(&mid_handle),
+                mid_model,
+                "{}: mid-script snapshot mutated",
+                stringify!($ty)
+            );
+        }
+        assert_eq!(
+            mm_model(&edited),
+            model,
+            "{}: edited copy diverged from the model",
+            stringify!($ty)
+        );
+    }};
+}
+
+macro_rules! check_map {
+    ($ty:ty, $mk_key:expr, $base:expr, $script:expr) => {{
+        let mk = $mk_key;
+        let mut edited: $ty = MapOps::empty();
+        for &(k, v) in $base {
+            edited.insert_mut(mk(k % 48), v);
+        }
+        let model_of = |m: &$ty| -> BTreeMap<_, u16> {
+            let out: BTreeMap<_, u16> = m.entries().map(|(k, v)| (k.clone(), *v)).collect();
+            assert_eq!(out.len(), MapOps::len(m));
+            out
+        };
+        let mut model = model_of(&edited);
+        let frozen = edited.clone();
+        let frozen_model = model.clone();
+        let mut mid = None;
+        let half = $script.len() / 2;
+        for (i, op) in $script.iter().enumerate() {
+            if i == half {
+                mid = Some((edited.clone(), model.clone()));
+            }
+            match *op {
+                Op::Insert(k, v) => {
+                    let k = mk(k);
+                    model.insert(k.clone(), v);
+                    edited.insert_mut(k, v);
+                }
+                Op::RemoveTuple(k, _) | Op::RemoveKey(k) => {
+                    let k = mk(k);
+                    assert_eq!(
+                        edited.remove_mut(&k),
+                        model.remove(&k).is_some(),
+                        "{}",
+                        stringify!($ty)
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            model_of(&frozen),
+            frozen_model,
+            "{}: shared handle mutated",
+            stringify!($ty)
+        );
+        if let Some((mid_handle, mid_model)) = mid {
+            assert_eq!(
+                model_of(&mid_handle),
+                mid_model,
+                "{}: mid snapshot mutated",
+                stringify!($ty)
+            );
+        }
+        assert_eq!(
+            model_of(&edited),
+            model,
+            "{}: edited copy diverged",
+            stringify!($ty)
+        );
+    }};
+}
+
+macro_rules! check_set {
+    ($ty:ty, $mk_key:expr, $base:expr, $script:expr) => {{
+        let mk = $mk_key;
+        let mut edited: $ty = SetOps::empty();
+        for &(k, _) in $base {
+            edited.insert_mut(mk(k % 48));
+        }
+        let model_of = |s: &$ty| -> BTreeSet<_> {
+            let out: BTreeSet<_> = s.iter().cloned().collect();
+            assert_eq!(out.len(), SetOps::len(s));
+            out
+        };
+        let mut model = model_of(&edited);
+        let frozen = edited.clone();
+        let frozen_model = model.clone();
+        for op in $script {
+            match *op {
+                Op::Insert(k, _) => {
+                    let k = mk(k);
+                    assert_eq!(
+                        edited.insert_mut(k.clone()),
+                        model.insert(k),
+                        "{}",
+                        stringify!($ty)
+                    );
+                }
+                Op::RemoveTuple(k, _) | Op::RemoveKey(k) => {
+                    let k = mk(k);
+                    assert_eq!(
+                        edited.remove_mut(&k),
+                        model.remove(&k),
+                        "{}",
+                        stringify!($ty)
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            model_of(&frozen),
+            frozen_model,
+            "{}: shared handle mutated",
+            stringify!($ty)
+        );
+        assert_eq!(
+            model_of(&edited),
+            model,
+            "{}: edited copy diverged",
+            stringify!($ty)
+        );
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multimap_mut_scripts_never_touch_shared_handles(
+        base in prop::collection::vec((any::<u16>(), any::<u16>()), 0..80),
+        raw in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..120),
+    ) {
+        let script = decode(&raw);
+        check_multimap!(AxiomMultiMap<u16, u16>, |k: u16| k, &base, &script);
+        check_multimap!(AxiomFusedMultiMap<u16, u16>, |k: u16| k, &base, &script);
+        check_multimap!(ClojureMultiMap<u16, u16>, |k: u16| k, &base, &script);
+        check_multimap!(ScalaMultiMap<u16, u16>, |k: u16| k, &base, &script);
+        check_multimap!(NestedChampMultiMap<u16, u16>, |k: u16| k, &base, &script);
+        // Colliding keys: the same scripts through collision-node editing.
+        check_multimap!(AxiomMultiMap<FewBuckets, u16>, FewBuckets, &base, &script);
+        check_multimap!(AxiomFusedMultiMap<FewBuckets, u16>, FewBuckets, &base, &script);
+    }
+
+    #[test]
+    fn map_and_set_mut_scripts_never_touch_shared_handles(
+        base in prop::collection::vec((any::<u16>(), any::<u16>()), 0..80),
+        raw in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..120),
+    ) {
+        let script = decode(&raw);
+        check_map!(AxiomMap<u16, u16>, |k: u16| k, &base, &script);
+        check_map!(ChampMap<u16, u16>, |k: u16| k, &base, &script);
+        check_map!(HamtMap<u16, u16>, |k: u16| k, &base, &script);
+        check_map!(MemoHamtMap<u16, u16>, |k: u16| k, &base, &script);
+        check_map!(AxiomMap<FewBuckets, u16>, FewBuckets, &base, &script);
+        check_map!(ChampMap<FewBuckets, u16>, FewBuckets, &base, &script);
+        check_map!(HamtMap<FewBuckets, u16>, FewBuckets, &base, &script);
+        check_map!(MemoHamtMap<FewBuckets, u16>, FewBuckets, &base, &script);
+
+        check_set!(AxiomSet<u16>, |k: u16| k, &base, &script);
+        check_set!(ChampSet<u16>, |k: u16| k, &base, &script);
+        check_set!(HamtSet<u16>, |k: u16| k, &base, &script);
+        check_set!(MemoHamtSet<u16>, |k: u16| k, &base, &script);
+        check_set!(AxiomSet<FewBuckets>, FewBuckets, &base, &script);
+        check_set!(ChampSet<FewBuckets>, FewBuckets, &base, &script);
+    }
+}
+
+/// Deterministic smoke check of the axiom structural invariants under a
+/// shared-then-edited spine (proptest shrinking does not cover
+/// `assert_invariants`, so drive it directly).
+#[test]
+fn axiom_invariants_hold_after_shared_edits() {
+    let mut mm: AxiomMultiMap<u16, u16> = AxiomMultiMap::new();
+    for k in 0..200u16 {
+        mm.insert_mut(k, 0);
+        if k % 2 == 0 {
+            mm.insert_mut(k, 1);
+        }
+    }
+    let frozen = mm.clone();
+    for k in 0..200u16 {
+        mm.insert_mut(k, 2);
+        if k % 3 == 0 {
+            mm.remove_tuple_mut(&k, &0);
+        }
+        if k % 5 == 0 {
+            mm.remove_key_mut(&k);
+        }
+    }
+    mm.assert_invariants();
+    frozen.assert_invariants();
+    assert_eq!(frozen.tuple_count(), 300);
+
+    let mut set: AxiomSet<u16> = (0..300).collect();
+    let shared = set.clone();
+    for k in 0..300u16 {
+        if k % 2 == 0 {
+            set.remove_mut(&k);
+        } else {
+            set.insert_mut(k + 1000);
+        }
+    }
+    set.assert_invariants();
+    shared.assert_invariants();
+    assert_eq!(shared.len(), 300);
+
+    let mut map: AxiomMap<u16, u16> = (0..300).map(|k| (k, k)).collect();
+    let shared = map.clone();
+    for k in 0..300u16 {
+        if k % 2 == 0 {
+            map.remove_mut(&k);
+        } else {
+            map.insert_mut(k, k + 1);
+        }
+    }
+    map.assert_invariants();
+    shared.assert_invariants();
+    assert_eq!(shared.len(), 300);
+}
