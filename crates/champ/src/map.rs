@@ -30,7 +30,7 @@ use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
 use trie_common::hash::hash32;
 use trie_common::slices::{
     inserted_at as slice_inserted, inserted_at_owned, migrate_map, migrated as slice_migrated,
-    removed_at as slice_removed, replaced_at as slice_replaced,
+    removed_at as slice_removed, removed_at_owned, replaced_at as slice_replaced,
 };
 
 /// One physical slot: an inlined entry or a sub-trie.
@@ -104,6 +104,16 @@ pub(crate) enum EditInserted {
     Unchanged,
     Replaced,
     Added,
+}
+
+/// In-place removal outcome: edited nodes stay where they are, so only the
+/// canonicalization payload travels upward.
+pub(crate) enum EditRemoved<K, V> {
+    NotFound,
+    Removed,
+    /// The sub-tree collapsed to one entry (left in a consumed state; the
+    /// parent drops it and inlines the survivor).
+    Single(K, V),
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
@@ -379,6 +389,99 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
         }
     }
 
+    /// In-place removal (same `Arc`-uniqueness discipline as
+    /// [`Node::insert_in_place`]), canonicalizing exactly like
+    /// [`Node::removed`]: uniquely-owned nodes are edited where they stand,
+    /// shared subtrees fall back to the persistent path copy.
+    fn remove_in_place<Q>(
+        this: &mut Arc<Node<K, V>>,
+        hash: u32,
+        shift: u32,
+        key: &Q,
+    ) -> EditRemoved<K, V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k.borrow() == key) else {
+                    return EditRemoved::NotFound;
+                };
+                if c.entries.len() == 2 {
+                    let (k, v) = c.entries.swap_remove(1 - pos);
+                    return EditRemoved::Single(k, v);
+                }
+                c.entries.swap_remove(pos);
+                EditRemoved::Removed
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let matches = match &b.slots[idx] {
+                        Slot::Entry(k, _) => k.borrow() == key,
+                        Slot::Child(_) => unreachable!("datamap says entry"),
+                    };
+                    if !matches {
+                        return EditRemoved::NotFound;
+                    }
+                    let datamap = b.datamap & !bit;
+                    if shift > 0 && datamap.count_ones() == 1 && b.nodemap == 0 {
+                        // The node held exactly two entries; hand the
+                        // survivor (moved out) to the parent for inlining.
+                        debug_assert_eq!(b.slots.len(), 2);
+                        let mut slots = std::mem::take(&mut b.slots).into_vec();
+                        let Slot::Entry(k, v) = slots.swap_remove(1 - idx) else {
+                            unreachable!("both slots are payload")
+                        };
+                        return EditRemoved::Single(k, v);
+                    }
+                    b.datamap = datamap;
+                    b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+                    EditRemoved::Removed
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let Slot::Child(child) = &mut b.slots[idx] else {
+                        unreachable!("nodemap says child")
+                    };
+                    match Node::remove_in_place(child, hash, next_shift(shift), key) {
+                        EditRemoved::NotFound => EditRemoved::NotFound,
+                        EditRemoved::Removed => EditRemoved::Removed,
+                        EditRemoved::Single(k, v) => {
+                            if shift > 0 && b.datamap == 0 && b.nodemap.count_ones() == 1 {
+                                // A pure chain node dissolves: keep
+                                // propagating the survivor upward.
+                                return EditRemoved::Single(k, v);
+                            }
+                            // Inline the survivor: the slot migrates node
+                            // group → data group in place, dropping the
+                            // collapsed child.
+                            let datamap = b.datamap | bit;
+                            let nodemap = b.nodemap & !bit;
+                            let to = index_in(datamap, bit);
+                            b.datamap = datamap;
+                            b.nodemap = nodemap;
+                            migrate_map(&mut b.slots, idx, to, |_child| Slot::Entry(k, v));
+                            EditRemoved::Removed
+                        }
+                    }
+                } else {
+                    EditRemoved::NotFound
+                }
+            }
+            None => match this.removed(hash, shift, key) {
+                Removed::NotFound => EditRemoved::NotFound,
+                Removed::Node(n) => {
+                    *this = Arc::new(n);
+                    EditRemoved::Removed
+                }
+                Removed::Single(k, v) => EditRemoved::Single(k, v),
+            },
+        }
+    }
+
     fn removed<Q>(&self, hash: u32, shift: u32, key: &Q) -> Removed<K, V>
     where
         K: Borrow<Q>,
@@ -549,20 +652,21 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> ChampMap<K, V> {
         next
     }
 
-    /// Removes `key` in place. Returns true if a binding was removed.
+    /// Removes `key` in place: uniquely-owned trie nodes along the spine are
+    /// edited directly, shared nodes are path-copied. Returns true if a
+    /// binding was removed.
     pub fn remove_mut<Q>(&mut self, key: &Q) -> bool
     where
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        match self.root.removed(hash32(key), 0, key) {
-            Removed::NotFound => false,
-            Removed::Node(node) => {
-                self.root = Arc::new(node);
+        match Node::remove_in_place(&mut self.root, hash32(key), 0, key) {
+            EditRemoved::NotFound => false,
+            EditRemoved::Removed => {
                 self.len -= 1;
                 true
             }
-            Removed::Single(k, v) => {
+            EditRemoved::Single(k, v) => {
                 let root = Node::empty();
                 let root = match root.inserted(hash32(&k), 0, &k, &v) {
                     Inserted::Added(n) => n,

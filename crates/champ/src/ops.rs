@@ -6,7 +6,7 @@
 
 use std::hash::Hash;
 
-use trie_common::ops::{EditInPlace, MapOps, SetOps};
+use trie_common::ops::{EditInPlace, MapMutOps, MapOps, SetMutOps, SetOps};
 
 use crate::{map, set, ChampMap, ChampSet};
 
@@ -79,6 +79,20 @@ where
     }
 }
 
+impl<K, V> MapMutOps<K, V> for ChampMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        ChampMap::insert_mut(self, key, value)
+    }
+
+    fn remove_mut(&mut self, key: &K) -> bool {
+        ChampMap::remove_mut(self, key)
+    }
+}
+
 impl<T> SetOps<T> for ChampSet<T>
 where
     T: Clone + Eq + Hash,
@@ -113,6 +127,19 @@ where
 
     fn iter(&self) -> Self::Elems<'_> {
         ChampSet::iter(self)
+    }
+}
+
+impl<T> SetMutOps<T> for ChampSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn insert_mut(&mut self, value: T) -> bool {
+        ChampSet::insert_mut(self, value)
+    }
+
+    fn remove_mut(&mut self, value: &T) -> bool {
+        ChampSet::remove_mut(self, value)
     }
 }
 

@@ -23,7 +23,7 @@ use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
 use trie_common::hash::hash32;
 use trie_common::slices::{
     inserted_at as slice_inserted, inserted_at_owned, migrate_map, migrated as slice_migrated,
-    removed_at as slice_removed, replaced_at as slice_replaced,
+    removed_at as slice_removed, removed_at_owned, replaced_at as slice_replaced,
 };
 
 /// One physical slot: an element or a sub-trie.
@@ -80,6 +80,16 @@ pub(crate) enum Node<T> {
 pub(crate) enum Removed<T> {
     NotFound,
     Node(Node<T>),
+    Single(T),
+}
+
+/// In-place removal outcome: edited nodes stay where they are, so only the
+/// canonicalization payload travels upward.
+pub(crate) enum EditRemoved<T> {
+    NotFound,
+    Removed,
+    /// The sub-tree collapsed to one element (left in a consumed state; the
+    /// parent drops it and inlines the survivor).
     Single(T),
 }
 
@@ -285,6 +295,96 @@ impl<T: Clone + Eq + Hash> Node<T> {
         }
     }
 
+    /// In-place removal (same `Arc`-uniqueness discipline as
+    /// [`Node::insert_in_place`]), canonicalizing exactly like
+    /// [`Node::removed`].
+    fn remove_in_place<Q>(
+        this: &mut Arc<Node<T>>,
+        hash: u32,
+        shift: u32,
+        value: &Q,
+    ) -> EditRemoved<T>
+    where
+        T: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                let Some(pos) = c.elems.iter().position(|e| e.borrow() == value) else {
+                    return EditRemoved::NotFound;
+                };
+                if c.elems.len() == 2 {
+                    return EditRemoved::Single(c.elems.swap_remove(1 - pos));
+                }
+                c.elems.swap_remove(pos);
+                EditRemoved::Removed
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.datamap & bit != 0 {
+                    let idx = b.data_index(bit);
+                    let matches = match &b.slots[idx] {
+                        Slot::Elem(e) => e.borrow() == value,
+                        Slot::Child(_) => unreachable!("datamap says element"),
+                    };
+                    if !matches {
+                        return EditRemoved::NotFound;
+                    }
+                    let datamap = b.datamap & !bit;
+                    if shift > 0 && datamap.count_ones() == 1 && b.nodemap == 0 {
+                        // The node held exactly two elements; hand the
+                        // survivor (moved out) to the parent for inlining.
+                        debug_assert_eq!(b.slots.len(), 2);
+                        let mut slots = std::mem::take(&mut b.slots).into_vec();
+                        let Slot::Elem(survivor) = slots.swap_remove(1 - idx) else {
+                            unreachable!("both slots are payload")
+                        };
+                        return EditRemoved::Single(survivor);
+                    }
+                    b.datamap = datamap;
+                    b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+                    EditRemoved::Removed
+                } else if b.nodemap & bit != 0 {
+                    let idx = b.node_index(bit);
+                    let Slot::Child(child) = &mut b.slots[idx] else {
+                        unreachable!("nodemap says child")
+                    };
+                    match Node::remove_in_place(child, hash, next_shift(shift), value) {
+                        EditRemoved::NotFound => EditRemoved::NotFound,
+                        EditRemoved::Removed => EditRemoved::Removed,
+                        EditRemoved::Single(e) => {
+                            if shift > 0 && b.datamap == 0 && b.nodemap.count_ones() == 1 {
+                                // A pure chain node dissolves: keep
+                                // propagating the survivor upward.
+                                return EditRemoved::Single(e);
+                            }
+                            // Inline the survivor: node group → data group
+                            // in place, dropping the collapsed child.
+                            let datamap = b.datamap | bit;
+                            let nodemap = b.nodemap & !bit;
+                            let to = index_in(datamap, bit);
+                            b.datamap = datamap;
+                            b.nodemap = nodemap;
+                            migrate_map(&mut b.slots, idx, to, |_child| Slot::Elem(e));
+                            EditRemoved::Removed
+                        }
+                    }
+                } else {
+                    EditRemoved::NotFound
+                }
+            }
+            None => match this.removed(hash, shift, value) {
+                Removed::NotFound => EditRemoved::NotFound,
+                Removed::Node(n) => {
+                    *this = Arc::new(n);
+                    EditRemoved::Removed
+                }
+                Removed::Single(e) => EditRemoved::Single(e),
+            },
+        }
+    }
+
     fn removed<Q>(&self, hash: u32, shift: u32, value: &Q) -> Removed<T>
     where
         T: Borrow<Q>,
@@ -441,20 +541,21 @@ impl<T: Clone + Eq + Hash> ChampSet<T> {
         next
     }
 
-    /// Removes `value` in place. Returns true if the set shrank.
+    /// Removes `value` in place: uniquely-owned trie nodes along the spine
+    /// are edited directly, shared nodes are path-copied. Returns true if
+    /// the set shrank.
     pub fn remove_mut<Q>(&mut self, value: &Q) -> bool
     where
         T: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        match self.root.removed(hash32(value), 0, value) {
-            Removed::NotFound => false,
-            Removed::Node(node) => {
-                self.root = Arc::new(node);
+        match Node::remove_in_place(&mut self.root, hash32(value), 0, value) {
+            EditRemoved::NotFound => false,
+            EditRemoved::Removed => {
                 self.len -= 1;
                 true
             }
-            Removed::Single(survivor) => {
+            EditRemoved::Single(survivor) => {
                 let root = Node::empty()
                     .inserted(hash32(&survivor), 0, &survivor)
                     .expect("inserting into empty");

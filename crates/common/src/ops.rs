@@ -246,6 +246,132 @@ pub trait MultiMapOps<K, V>: Clone {
 }
 
 // ---------------------------------------------------------------------------
+// The in-place mutation surface (`_mut` families).
+// ---------------------------------------------------------------------------
+
+/// The in-place mutation surface of a persistent map: the inherent `_mut`
+/// family, lifted to a trait so generic layers (the sharded wrappers, the
+/// workload drivers) can batch edits without naming a concrete trie.
+///
+/// Every method follows the `Rc`/`Arc`-uniqueness discipline documented on
+/// [`EditInPlace`]: uniquely-owned nodes are edited in place, shared nodes
+/// are path-copied, so no other handle ever observes a mutation.
+pub trait MapMutOps<K, V>: MapOps<K, V> {
+    /// Binds `key` to `value` in place. Returns true if a new key was added.
+    fn insert_mut(&mut self, key: K, value: V) -> bool;
+
+    /// Removes `key` in place. Returns true if a binding was removed.
+    fn remove_mut(&mut self, key: &K) -> bool;
+
+    /// Applies one scripted edit; returns the entry-count delta (±1 or 0).
+    fn apply_mut(&mut self, edit: MapEdit<K, V>) -> isize {
+        match edit {
+            MapEdit::Insert(k, v) => self.insert_mut(k, v) as isize,
+            MapEdit::Remove(k) => -(self.remove_mut(&k) as isize),
+        }
+    }
+}
+
+/// The in-place mutation surface of a persistent set (see [`MapMutOps`]).
+pub trait SetMutOps<T>: SetOps<T> {
+    /// Inserts `value` in place. Returns true if the set grew.
+    fn insert_mut(&mut self, value: T) -> bool;
+
+    /// Removes `value` in place. Returns true if the set shrank.
+    fn remove_mut(&mut self, value: &T) -> bool;
+
+    /// Applies one scripted edit; returns the element-count delta (±1 or 0).
+    fn apply_mut(&mut self, edit: SetEdit<T>) -> isize {
+        match edit {
+            SetEdit::Insert(v) => self.insert_mut(v) as isize,
+            SetEdit::Remove(v) => -(self.remove_mut(&v) as isize),
+        }
+    }
+}
+
+/// The in-place mutation surface of a persistent multi-map (see
+/// [`MapMutOps`]).
+pub trait MultiMapMutOps<K, V>: MultiMapOps<K, V> {
+    /// Inserts the tuple `(key, value)` in place. Returns true if the
+    /// relation grew (inserting a present tuple is a no-op).
+    fn insert_mut(&mut self, key: K, value: V) -> bool;
+
+    /// Removes the tuple `(key, value)` in place. Returns true if present.
+    fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool;
+
+    /// Removes every tuple for `key` in place. Returns how many were
+    /// removed.
+    fn remove_key_mut(&mut self, key: &K) -> usize;
+
+    /// Applies one scripted edit; returns the tuple-count delta.
+    fn apply_mut(&mut self, edit: MultiMapEdit<K, V>) -> isize {
+        match edit {
+            MultiMapEdit::Insert(k, v) => self.insert_mut(k, v) as isize,
+            MultiMapEdit::RemoveTuple(k, v) => -(self.remove_tuple_mut(&k, &v) as isize),
+            MultiMapEdit::RemoveKey(k) => -(self.remove_key_mut(&k) as isize),
+        }
+    }
+}
+
+/// One scripted map edit — the batch currency of generic write layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapEdit<K, V> {
+    /// Bind `key` to `value` (replacing any previous binding).
+    Insert(K, V),
+    /// Drop any binding for the key.
+    Remove(K),
+}
+
+/// One scripted set edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetEdit<T> {
+    /// Add the element.
+    Insert(T),
+    /// Drop the element.
+    Remove(T),
+}
+
+/// One scripted multi-map edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiMapEdit<K, V> {
+    /// Add the tuple `(key, value)`.
+    Insert(K, V),
+    /// Drop exactly the tuple `(key, value)`.
+    RemoveTuple(K, V),
+    /// Drop every tuple for the key.
+    RemoveKey(K),
+}
+
+impl<K, V> MapEdit<K, V> {
+    /// The key this edit routes on (what a sharded layer partitions by).
+    pub fn key(&self) -> &K {
+        match self {
+            MapEdit::Insert(k, _) | MapEdit::Remove(k) => k,
+        }
+    }
+}
+
+impl<T> SetEdit<T> {
+    /// The element this edit routes on.
+    pub fn key(&self) -> &T {
+        match self {
+            SetEdit::Insert(v) | SetEdit::Remove(v) => v,
+        }
+    }
+}
+
+impl<K, V> MultiMapEdit<K, V> {
+    /// The key this edit routes on (what a sharded layer partitions by).
+    pub fn key(&self) -> &K {
+        match self {
+            MultiMapEdit::Insert(k, _)
+            | MultiMapEdit::RemoveTuple(k, _)
+            | MultiMapEdit::RemoveKey(k) => k,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The transient builder protocol.
 // ---------------------------------------------------------------------------
 

@@ -8,7 +8,9 @@
 
 use std::hash::Hash;
 
-use trie_common::ops::{EditInPlace, MapOps, MultiMapOps, SetOps};
+use trie_common::ops::{
+    EditInPlace, MapMutOps, MapOps, MultiMapMutOps, MultiMapOps, SetMutOps, SetOps,
+};
 
 use crate::bag::ValueBag;
 use crate::map::{self, AxiomMap};
@@ -84,6 +86,20 @@ where
     }
 }
 
+impl<K, V> MapMutOps<K, V> for AxiomMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        AxiomMap::insert_mut(self, key, value)
+    }
+
+    fn remove_mut(&mut self, key: &K) -> bool {
+        AxiomMap::remove_mut(self, key)
+    }
+}
+
 impl<T> SetOps<T> for AxiomSet<T>
 where
     T: Clone + Eq + Hash,
@@ -127,6 +143,19 @@ where
 {
     fn edit_insert(&mut self, value: T) -> bool {
         self.insert_mut(value)
+    }
+}
+
+impl<T> SetMutOps<T> for AxiomSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn insert_mut(&mut self, value: T) -> bool {
+        AxiomSet::insert_mut(self, value)
+    }
+
+    fn remove_mut(&mut self, value: &T) -> bool {
+        AxiomSet::remove_mut(self, value)
     }
 }
 
@@ -203,6 +232,25 @@ where
 
     fn values_of<'a>(&'a self, key: &K) -> Self::ValuesOf<'a> {
         AxiomMultiMap::values_of(self, key)
+    }
+}
+
+impl<K, V, B> MultiMapMutOps<K, V> for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        AxiomMultiMap::insert_mut(self, key, value)
+    }
+
+    fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
+        AxiomMultiMap::remove_tuple_mut(self, key, value)
+    }
+
+    fn remove_key_mut(&mut self, key: &K) -> usize {
+        AxiomMultiMap::remove_key_mut(self, key)
     }
 }
 

@@ -25,7 +25,7 @@ use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
 use trie_common::hash::hash32;
 use trie_common::slices::{
     inserted_at as slice_inserted, inserted_at_owned, migrate_map, removed_at as slice_removed,
-    replaced_at as slice_replaced,
+    removed_at_owned, replaced_at as slice_replaced,
 };
 
 /// One slot: an inlined entry or a sub-trie, dynamically discriminated.
@@ -75,6 +75,15 @@ pub(crate) enum EditInserted {
     Unchanged,
     Replaced,
     Added,
+}
+
+/// In-place removal outcome. Mirrors [`Removed`] without carrying nodes:
+/// edited nodes stay where they stand, and `Empty` tells the parent to drop
+/// the branch (the emptied node is left consumed).
+pub(crate) enum EditRemoved {
+    NotFound,
+    Removed,
+    Empty,
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
@@ -319,6 +328,76 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
         }
     }
 
+    /// In-place removal (same `Arc`-uniqueness discipline as
+    /// [`Node::insert_in_place`]): uniquely-owned nodes are edited where
+    /// they stand, shared subtrees fall back to the persistent path copy.
+    /// Deletion stays non-canonical, exactly like [`Node::removed`].
+    fn remove_in_place<Q>(this: &mut Arc<Node<K, V>>, hash: u32, shift: u32, key: &Q) -> EditRemoved
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                let Some(pos) = c.entries.iter().position(|(k, _)| k.borrow() == key) else {
+                    return EditRemoved::NotFound;
+                };
+                if c.entries.len() == 1 {
+                    return EditRemoved::Empty;
+                }
+                // Non-canonical: a 1-entry collision node may survive.
+                c.entries.swap_remove(pos);
+                EditRemoved::Removed
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.bitmap & bit == 0 {
+                    return EditRemoved::NotFound;
+                }
+                let idx = index_in(b.bitmap, bit);
+                match &mut b.slots[idx] {
+                    Slot::Entry(k, _) => {
+                        if (*k).borrow() != key {
+                            return EditRemoved::NotFound;
+                        }
+                        if b.slots.len() == 1 {
+                            return EditRemoved::Empty;
+                        }
+                        // Non-canonical: no inlining of a surviving single
+                        // entry into the parent.
+                        b.bitmap &= !bit;
+                        b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+                        EditRemoved::Removed
+                    }
+                    Slot::Child(child) => {
+                        match Node::remove_in_place(child, hash, next_shift(shift), key) {
+                            EditRemoved::NotFound => EditRemoved::NotFound,
+                            EditRemoved::Removed => EditRemoved::Removed,
+                            EditRemoved::Empty => {
+                                if b.slots.len() == 1 {
+                                    return EditRemoved::Empty;
+                                }
+                                // Drop the emptied branch.
+                                b.bitmap &= !bit;
+                                b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+                                EditRemoved::Removed
+                            }
+                        }
+                    }
+                }
+            }
+            None => match this.removed(hash, shift, key) {
+                Removed::NotFound => EditRemoved::NotFound,
+                Removed::Node(n) => {
+                    *this = Arc::new(n);
+                    EditRemoved::Removed
+                }
+                Removed::Empty => EditRemoved::Empty,
+            },
+        }
+    }
+
     fn removed<Q>(&self, hash: u32, shift: u32, key: &Q) -> Removed<K, V>
     where
         K: Borrow<Q>,
@@ -489,20 +568,21 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> HamtMap<K, V> {
         next
     }
 
-    /// Removes `key` in place. Returns true if a binding was removed.
+    /// Removes `key` in place: uniquely-owned trie nodes along the spine
+    /// are edited directly, shared nodes are path-copied. Returns true if a
+    /// binding was removed.
     pub fn remove_mut<Q>(&mut self, key: &Q) -> bool
     where
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        match self.root.removed(hash32(key), 0, key) {
-            Removed::NotFound => false,
-            Removed::Node(node) => {
-                self.root = Arc::new(node);
+        match Node::remove_in_place(&mut self.root, hash32(key), 0, key) {
+            EditRemoved::NotFound => false,
+            EditRemoved::Removed => {
                 self.len -= 1;
                 true
             }
-            Removed::Empty => {
+            EditRemoved::Empty => {
                 self.root = Arc::new(Node::empty());
                 self.len -= 1;
                 true

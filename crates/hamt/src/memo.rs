@@ -23,7 +23,7 @@ use trie_common::bits::{bit_pos, hash_exhausted, index_in, mask, next_shift};
 use trie_common::hash::hash32;
 use trie_common::slices::{
     inserted_at as slice_inserted, inserted_at_owned, migrate_map, removed_at as slice_removed,
-    replaced_at as slice_replaced,
+    removed_at_owned, replaced_at as slice_replaced,
 };
 
 /// One slot: a leaf entry (with memoized hash) or a sub-trie.
@@ -74,6 +74,16 @@ pub(crate) enum EditInserted {
     Unchanged,
     Replaced,
     Added,
+}
+
+/// In-place removal outcome: edited nodes stay where they are, so only the
+/// canonicalization payload (survivor + memoized hash) travels upward.
+pub(crate) enum EditRemoved<K, V> {
+    NotFound,
+    Removed,
+    /// The sub-tree collapsed to one entry (left in a consumed state; the
+    /// parent drops it and inlines the survivor with its memoized hash).
+    Single(u32, K, V),
 }
 
 impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
@@ -322,6 +332,90 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
         }
     }
 
+    /// In-place removal (same `Arc`-uniqueness discipline as
+    /// [`Node::insert_in_place`]), canonicalizing exactly like
+    /// [`Node::removed`]; the survivor's memoized hash travels with it, so
+    /// no key is ever re-hashed.
+    fn remove_in_place<Q>(
+        this: &mut Arc<Node<K, V>>,
+        hash: u32,
+        shift: u32,
+        key: &Q,
+    ) -> EditRemoved<K, V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        match Arc::get_mut(this) {
+            Some(Node::Collision(c)) => {
+                if c.hash != hash {
+                    return EditRemoved::NotFound;
+                }
+                let Some(pos) = c.entries.iter().position(|(k, _)| k.borrow() == key) else {
+                    return EditRemoved::NotFound;
+                };
+                if c.entries.len() == 2 {
+                    let (k, v) = c.entries.swap_remove(1 - pos);
+                    return EditRemoved::Single(c.hash, k, v);
+                }
+                c.entries.swap_remove(pos);
+                EditRemoved::Removed
+            }
+            Some(Node::Bitmap(b)) => {
+                let m = mask(hash, shift);
+                let bit = bit_pos(m);
+                if b.bitmap & bit == 0 {
+                    return EditRemoved::NotFound;
+                }
+                let idx = index_in(b.bitmap, bit);
+                match &mut b.slots[idx] {
+                    Slot::Entry(eh, ek, _) => {
+                        if *eh != hash || (*ek).borrow() != key {
+                            return EditRemoved::NotFound;
+                        }
+                        // Canonicalize: a lone surviving entry moves up.
+                        if shift > 0 && b.slots.len() == 2 {
+                            if let Slot::Entry(..) = &b.slots[1 - idx] {
+                                let mut slots = std::mem::take(&mut b.slots).into_vec();
+                                let Slot::Entry(h, k, v) = slots.swap_remove(1 - idx) else {
+                                    unreachable!("just matched an entry")
+                                };
+                                return EditRemoved::Single(h, k, v);
+                            }
+                        }
+                        b.bitmap &= !bit;
+                        b.slots = removed_at_owned(std::mem::take(&mut b.slots), idx);
+                        EditRemoved::Removed
+                    }
+                    Slot::Child(child) => {
+                        match Node::remove_in_place(child, hash, next_shift(shift), key) {
+                            EditRemoved::NotFound => EditRemoved::NotFound,
+                            EditRemoved::Removed => EditRemoved::Removed,
+                            EditRemoved::Single(h, k, v) => {
+                                if shift > 0 && b.slots.len() == 1 {
+                                    // A pure chain node dissolves.
+                                    return EditRemoved::Single(h, k, v);
+                                }
+                                // Inline: overwrite the collapsed child's
+                                // slot with the surviving entry in place.
+                                b.slots[idx] = Slot::Entry(h, k, v);
+                                EditRemoved::Removed
+                            }
+                        }
+                    }
+                }
+            }
+            None => match this.removed(hash, shift, key) {
+                Removed::NotFound => EditRemoved::NotFound,
+                Removed::Node(n) => {
+                    *this = Arc::new(n);
+                    EditRemoved::Removed
+                }
+                Removed::Single(h, k, v) => EditRemoved::Single(h, k, v),
+            },
+        }
+    }
+
     fn removed<Q>(&self, hash: u32, shift: u32, key: &Q) -> Removed<K, V>
     where
         K: Borrow<Q>,
@@ -502,20 +596,21 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> MemoHamtMap<K, V> {
         next
     }
 
-    /// Removes `key` in place. Returns true if a binding was removed.
+    /// Removes `key` in place: uniquely-owned trie nodes along the spine
+    /// are edited directly, shared nodes are path-copied. Returns true if a
+    /// binding was removed.
     pub fn remove_mut<Q>(&mut self, key: &Q) -> bool
     where
         K: Borrow<Q>,
         Q: Eq + Hash + ?Sized,
     {
-        match self.root.removed(hash32(key), 0, key) {
-            Removed::NotFound => false,
-            Removed::Node(node) => {
-                self.root = Arc::new(node);
+        match Node::remove_in_place(&mut self.root, hash32(key), 0, key) {
+            EditRemoved::NotFound => false,
+            EditRemoved::Removed => {
                 self.len -= 1;
                 true
             }
-            Removed::Single(h, k, v) => {
+            EditRemoved::Single(h, k, v) => {
                 let m = mask(h, 0);
                 self.root = Arc::new(Node::Bitmap(BitmapNode {
                     bitmap: bit_pos(m),

@@ -6,7 +6,7 @@
 
 use std::hash::Hash;
 
-use trie_common::ops::{EditInPlace, MapOps, SetOps};
+use trie_common::ops::{EditInPlace, MapMutOps, MapOps, SetMutOps, SetOps};
 
 use crate::{map, memo, set, HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
 
@@ -72,6 +72,20 @@ where
     }
 }
 
+impl<K, V> MapMutOps<K, V> for HamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        HamtMap::insert_mut(self, key, value)
+    }
+
+    fn remove_mut(&mut self, key: &K) -> bool {
+        HamtMap::remove_mut(self, key)
+    }
+}
+
 impl<K, V> MapOps<K, V> for MemoHamtMap<K, V>
 where
     K: Clone + Eq + Hash,
@@ -134,6 +148,20 @@ where
     }
 }
 
+impl<K, V> MapMutOps<K, V> for MemoHamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        MemoHamtMap::insert_mut(self, key, value)
+    }
+
+    fn remove_mut(&mut self, key: &K) -> bool {
+        MemoHamtMap::remove_mut(self, key)
+    }
+}
+
 impl<T> SetOps<T> for HamtSet<T>
 where
     T: Clone + Eq + Hash,
@@ -175,6 +203,19 @@ where
     }
 }
 
+impl<T> SetMutOps<T> for HamtSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn insert_mut(&mut self, value: T) -> bool {
+        HamtSet::insert_mut(self, value)
+    }
+
+    fn remove_mut(&mut self, value: &T) -> bool {
+        HamtSet::remove_mut(self, value)
+    }
+}
+
 impl<T> SetOps<T> for MemoHamtSet<T>
 where
     T: Clone + Eq + Hash,
@@ -204,6 +245,19 @@ where
     }
     fn iter(&self) -> Self::Elems<'_> {
         MemoHamtSet::iter(self)
+    }
+}
+
+impl<T> SetMutOps<T> for MemoHamtSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn insert_mut(&mut self, value: T) -> bool {
+        MemoHamtSet::insert_mut(self, value)
+    }
+
+    fn remove_mut(&mut self, value: &T) -> bool {
+        MemoHamtSet::remove_mut(self, value)
     }
 }
 

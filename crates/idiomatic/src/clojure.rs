@@ -12,7 +12,7 @@ use std::hash::Hash;
 use hamt::{HamtMap, HamtSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
 use trie_common::iter::{MaybeIter, TuplesOf};
-use trie_common::ops::{EditInPlace, MultiMapOps};
+use trie_common::ops::{EditInPlace, MultiMapMutOps, MultiMapOps};
 
 /// A key's binding: the dynamic either-value-or-set the Clojure protocol
 /// dispatches on.
@@ -295,6 +295,24 @@ where
 {
     fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
         self.insert_mut(key, value)
+    }
+}
+
+impl<K, V> MultiMapMutOps<K, V> for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        ClojureMultiMap::insert_mut(self, key, value)
+    }
+
+    fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
+        ClojureMultiMap::remove_tuple_mut(self, key, value)
+    }
+
+    fn remove_key_mut(&mut self, key: &K) -> usize {
+        ClojureMultiMap::remove_key_mut(self, key)
     }
 }
 

@@ -12,7 +12,7 @@ use std::hash::Hash;
 use champ::{ChampMap, ChampSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
 use trie_common::iter::{MaybeIter, TuplesOf};
-use trie_common::ops::{EditInPlace, MultiMapOps};
+use trie_common::ops::{EditInPlace, MultiMapMutOps, MultiMapOps};
 
 /// A persistent multi-map as a [`ChampMap`] from keys to non-empty
 /// [`ChampSet`]s.
@@ -191,6 +191,24 @@ where
 {
     fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
         self.insert_mut(key, value)
+    }
+}
+
+impl<K, V> MultiMapMutOps<K, V> for NestedChampMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        NestedChampMultiMap::insert_mut(self, key, value)
+    }
+
+    fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
+        NestedChampMultiMap::remove_tuple_mut(self, key, value)
+    }
+
+    fn remove_key_mut(&mut self, key: &K) -> usize {
+        NestedChampMultiMap::remove_key_mut(self, key)
     }
 }
 

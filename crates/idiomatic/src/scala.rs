@@ -17,7 +17,7 @@ use std::hash::Hash;
 use hamt::{MemoHamtMap, MemoHamtSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
 use trie_common::iter::{MaybeIter, TuplesOf};
-use trie_common::ops::{EditInPlace, MultiMapOps};
+use trie_common::ops::{EditInPlace, MultiMapMutOps, MultiMapOps};
 
 /// An immutable Scala-style set: `Set1..Set4` field specializations with a
 /// hash-trie overflow (`HashSet`) beyond four elements.
@@ -388,6 +388,24 @@ where
 {
     fn edit_insert(&mut self, (key, value): (K, V)) -> bool {
         self.insert_mut(key, value)
+    }
+}
+
+impl<K, V> MultiMapMutOps<K, V> for ScalaMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
+    fn insert_mut(&mut self, key: K, value: V) -> bool {
+        ScalaMultiMap::insert_mut(self, key, value)
+    }
+
+    fn remove_tuple_mut(&mut self, key: &K, value: &V) -> bool {
+        ScalaMultiMap::remove_tuple_mut(self, key, value)
+    }
+
+    fn remove_key_mut(&mut self, key: &K) -> usize {
+        ScalaMultiMap::remove_key_mut(self, key)
     }
 }
 

@@ -1,0 +1,103 @@
+//! **sharded** — concurrent, shard-partitioned wrappers over the persistent
+//! hash tries.
+//!
+//! The persistent collections in this workspace ([`axiom`], `champ`, `hamt`,
+//! `idiomatic`) are single-writer values: cheap to clone, lock-free to read,
+//! but a `&mut` handle serializes all writers. This crate scales them to
+//! concurrent traffic with a classic three-phase design, using exactly the
+//! hooks the rest of the workspace already provides:
+//!
+//! 1. **Partition** — keys route to one of `N` (power-of-two) shards by the
+//!    *top* `log2(N)` bits of the same 32-bit [`trie_common::hash::hash32`]
+//!    the tries consume. Tries eat hash bits bottom-up, so shard routing is
+//!    invisible to each shard's internal structure, and a key's shard never
+//!    changes.
+//! 2. **Shard-local transients** — bulk construction partitions the input
+//!    and builds every shard through the
+//!    [`TransientOps`](trie_common::ops::TransientOps) builder protocol on
+//!    its own scoped worker thread ([`std::thread::scope`]); incremental
+//!    writers stage batches of edits on a shard-local successor through the
+//!    in-place `_mut` protocol
+//!    ([`MultiMapMutOps`](trie_common::ops::MultiMapMutOps) and friends).
+//!    Nothing concurrent ever touches a trie under mutation: successors are
+//!    thread-private until frozen.
+//! 3. **Atomic publish** — a finished shard value is frozen into an
+//!    `Arc` snapshot and installed with one pointer swap
+//!    (`publish`). Readers grab the `Arc` (one refcount bump) and query the
+//!    immutable trie lock-free for as long as they like; they always see a
+//!    complete shard, never a partial batch.
+//!
+//! # Consistency model
+//!
+//! Per-shard linearizable, cross-shard fuzzy: every key lives in exactly one
+//! shard, so all single-key operations (and any batch touching one shard)
+//! are atomic. A multi-shard [`ShardedMultiMap::snapshot`] collects each
+//! shard's current snapshot in sequence; it is a *consistent cut per shard*,
+//! not a global serialization point — the standard trade of sharded stores.
+//!
+//! # `Send`/`Sync` reasoning
+//!
+//! `ShardedMultiMap<K, V, M>` is `Send + Sync` whenever `M` is: shard state
+//! is `Mutex<Arc<M>>` + `AtomicU64` (both `Send + Sync` for `M: Send +
+//! Sync`), and the trie handles themselves are `Arc`-based persistent
+//! structures that are `Send + Sync` for `Send + Sync` element types. The
+//! aliasing discipline that makes this sound is the `Arc::get_mut`
+//! uniqueness protocol of the `_mut` families: a writer's staged successor
+//! shares nodes with published snapshots, and precisely those shared nodes
+//! are path-copied on write — verified from the outside by the
+//! `tests/sharded_aliasing.rs` cross-thread property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use sharded::ShardedMultiMap;
+//! use trie_common::ops::MultiMapEdit;
+//!
+//! // Parallel bulk build: partition once, one builder thread per shard.
+//! let mm: ShardedMultiMap<u32, u32> =
+//!     ShardedMultiMap::build_parallel(4, (0..1000u32).map(|i| (i % 100, i)));
+//! assert_eq!(mm.tuple_count(), 1000);
+//!
+//! // Readers work on frozen snapshots, unaffected by later writes.
+//! let snap = mm.snapshot();
+//! mm.apply((0..50u32).map(MultiMapEdit::RemoveKey));
+//! assert_eq!(snap.tuple_count(), 1000);
+//! assert_eq!(mm.key_count(), 50);
+//! ```
+
+#![warn(missing_docs)]
+
+mod map;
+mod multimap;
+mod partition;
+mod publish;
+mod set;
+mod shards;
+
+pub use map::{MapSnapshot, ShardedMap, SnapshotEntries};
+pub use multimap::{MultiMapSnapshot, ShardedMultiMap, SnapshotTuples};
+pub use partition::{partition_by, partition_tuples, Partition, MAX_SHARDS};
+pub use set::{SetSnapshot, ShardedSet, SnapshotElems};
+
+/// Default shard count: the available parallelism rounded up to a power of
+/// two (capped at [`MAX_SHARDS`]; 1 when parallelism cannot be queried).
+pub fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .min(MAX_SHARDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shard_count_is_a_valid_partition() {
+        let n = default_shard_count();
+        assert!(n.is_power_of_two());
+        assert!((1..=MAX_SHARDS).contains(&n));
+        let _ = Partition::new(n);
+    }
+}

@@ -1,0 +1,322 @@
+//! The concurrent sharded map (see the [crate documentation](crate); same
+//! architecture as [`crate::ShardedMultiMap`], keyed map semantics).
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use axiom::AxiomMap;
+use trie_common::ops::{Builder, MapEdit, MapMutOps, MapOps, TransientOps};
+
+use crate::default_shard_count;
+use crate::partition::Partition;
+use crate::shards::ShardSet;
+
+/// A concurrent map: `N` persistent trie maps published as atomically
+/// swappable snapshots. Defaults to [`AxiomMap`] shards.
+///
+/// # Examples
+///
+/// ```
+/// use sharded::ShardedMap;
+///
+/// let m: ShardedMap<u32, &str> = ShardedMap::with_shards(2);
+/// m.insert(1, "one");
+/// let snap = m.snapshot();
+/// m.remove(&1);
+/// assert_eq!(snap.get(&1), Some(&"one")); // the snapshot is unaffected
+/// assert_eq!(m.len(), 0);
+/// ```
+pub struct ShardedMap<K, V, M = AxiomMap<K, V>> {
+    core: ShardSet<M>,
+    _entry: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, M> ShardedMap<K, V, M>
+where
+    K: Hash,
+    M: MapOps<K, V>,
+{
+    /// Creates an empty sharded map with one shard per available CPU
+    /// (rounded up to a power of two).
+    pub fn new() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+
+    /// Creates an empty sharded map over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` is a power of two in
+    /// `1..=`[`crate::MAX_SHARDS`].
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedMap {
+            core: ShardSet::filled(Partition::new(shards), M::empty),
+            _entry: PhantomData,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.count()
+    }
+
+    /// Takes a consistent-per-shard snapshot (lock-free to query).
+    pub fn snapshot(&self) -> MapSnapshot<K, V, M> {
+        MapSnapshot {
+            shards: self.core.load_all(),
+            partition: self.core.partition(),
+            _entry: PhantomData,
+        }
+    }
+
+    /// Number of entries (sums the current shard snapshots).
+    pub fn len(&self) -> usize {
+        self.core.sum_loaded(M::len)
+    }
+
+    /// True if no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `key` has a binding.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.core.shard_for(key).load().contains_key(key)
+    }
+
+    /// Looks up `key`, cloning the value out of the current shard snapshot
+    /// (borrowing reads go through [`ShardedMap::snapshot`]).
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.core.shard_for(key).load().get(key).cloned()
+    }
+}
+
+impl<K, V, M> ShardedMap<K, V, M>
+where
+    K: Hash,
+    M: MapOps<K, V> + MapMutOps<K, V> + Clone,
+{
+    /// Binds `key` to `value`. Returns true if a new key was added.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        self.core.shard_for(&key).update(|m| {
+            let mut next = m.clone();
+            let grew = next.insert_mut(key, value);
+            (next, grew)
+        })
+    }
+
+    /// Removes `key`. Returns true if a binding was removed.
+    pub fn remove(&self, key: &K) -> bool {
+        self.core.update_for(key, |m| m.remove_mut(key))
+    }
+
+    /// Applies a batch of edits grouped by shard; each touched shard
+    /// publishes once. Returns the entry-count delta.
+    pub fn apply<I: IntoIterator<Item = MapEdit<K, V>>>(&self, batch: I) -> isize {
+        self.core
+            .apply_grouped(batch, |e| self.core.shard_of(e.key()), M::apply_mut)
+    }
+}
+
+impl<K, V, M> ShardedMap<K, V, M>
+where
+    K: Hash + Send,
+    V: Send,
+    M: MapOps<K, V> + TransientOps<(K, V)> + Send,
+{
+    /// Bulk-builds a sharded map: partition, then one scoped builder thread
+    /// per non-empty shard through the transient protocol.
+    pub fn build_parallel(shards: usize, entries: impl IntoIterator<Item = (K, V)>) -> Self {
+        let partition = Partition::new(shards);
+        let parts = crate::partition_tuples(shards, entries);
+        ShardedMap {
+            core: ShardSet::build_parallel(partition, parts, M::built_from),
+            _entry: PhantomData,
+        }
+    }
+
+    /// Bulk-extends in place, one scoped worker per touched shard. Returns
+    /// how many insertions reported growth.
+    pub fn extend_parallel(&self, entries: impl IntoIterator<Item = (K, V)>) -> usize
+    where
+        M: Clone + Sync,
+    {
+        let parts = crate::partition_tuples(self.core.count(), entries);
+        self.core.extend_parallel(parts, |m, part| {
+            let mut t = m.clone().transient();
+            let grew = t.insert_all_mut(part);
+            (t.build(), grew)
+        })
+    }
+}
+
+impl<K, V, M> Default for ShardedMap<K, V, M>
+where
+    K: Hash,
+    M: MapOps<K, V>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, M> std::fmt::Debug for ShardedMap<K, V, M>
+where
+    K: Hash,
+    M: MapOps<K, V>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.core.count())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// An immutable point-in-time view of a [`ShardedMap`].
+pub struct MapSnapshot<K, V, M = AxiomMap<K, V>> {
+    shards: Box<[Arc<M>]>,
+    partition: Partition,
+    _entry: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, M> Clone for MapSnapshot<K, V, M> {
+    fn clone(&self) -> Self {
+        MapSnapshot {
+            shards: self.shards.clone(),
+            partition: self.partition,
+            _entry: PhantomData,
+        }
+    }
+}
+
+impl<K, V, M> MapSnapshot<K, V, M>
+where
+    K: Hash,
+    M: MapOps<K, V>,
+{
+    fn shard_for(&self, key: &K) -> &M {
+        &self.shards[self.partition.shard_of(key)]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow of one shard's frozen trie.
+    pub fn shard(&self, index: usize) -> &M {
+        &self.shards[index]
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|m| m.len()).sum()
+    }
+
+    /// True if the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the value bound to `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.shard_for(key).get(key)
+    }
+
+    /// True if `key` has a binding.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard_for(key).contains_key(key)
+    }
+
+    /// Iterates all `(key, value)` entries, shard by shard.
+    pub fn entries(&self) -> SnapshotEntries<'_, K, V, M> {
+        SnapshotEntries {
+            rest: self.shards.iter(),
+            current: None,
+            _entry: PhantomData,
+        }
+    }
+}
+
+/// Flattened entry iterator over every shard of a [`MapSnapshot`].
+pub struct SnapshotEntries<'a, K, V, M>
+where
+    M: MapOps<K, V> + 'a,
+    K: 'a,
+    V: 'a,
+{
+    rest: std::slice::Iter<'a, Arc<M>>,
+    current: Option<M::Entries<'a>>,
+    _entry: PhantomData<fn() -> (K, V)>,
+}
+
+impl<'a, K, V, M> Iterator for SnapshotEntries<'a, K, V, M>
+where
+    M: MapOps<K, V>,
+{
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            if let Some(entries) = &mut self.current {
+                if let Some(e) = entries.next() {
+                    return Some(e);
+                }
+            }
+            self.current = Some(self.rest.next()?.entries());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_semantics_across_shards() {
+        let m: ShardedMap<u32, u32> = ShardedMap::with_shards(4);
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(1, 11)); // replacement
+        assert_eq!(m.get_cloned(&1), Some(11));
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.apply([
+                MapEdit::Insert(2, 2),
+                MapEdit::Insert(3, 3),
+                MapEdit::Remove(1)
+            ]),
+            1
+        );
+        assert_eq!(m.len(), 2);
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn parallel_build_and_snapshot_reads() {
+        use champ::ChampMap;
+        let entries: Vec<(u32, u32)> = (0..3000).map(|i| (i, i * 2)).collect();
+        let m: ShardedMap<u32, u32, ChampMap<u32, u32>> =
+            ShardedMap::build_parallel(8, entries.iter().copied());
+        assert_eq!(m.len(), 3000);
+        let snap = m.snapshot();
+        for (k, v) in &entries {
+            assert_eq!(snap.get(k), Some(v));
+        }
+        assert_eq!(snap.entries().count(), 3000);
+        assert_eq!(m.extend_parallel((3000..3100).map(|i| (i, i))), 100);
+        assert_eq!(m.len(), 3100);
+        assert_eq!(snap.len(), 3000);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ShardedMap<u32, u32>>();
+        check::<MapSnapshot<u32, u32>>();
+    }
+}

@@ -1,0 +1,448 @@
+//! The concurrent sharded multi-map.
+//!
+//! See the [crate documentation](crate) for the architecture; this module
+//! holds the write-side handle [`ShardedMultiMap`], the read-side
+//! [`MultiMapSnapshot`], and the snapshot's flattened tuple iterator. The
+//! shard-array machinery itself (routing, batching, the scoped-thread
+//! drivers) lives once in the crate-private `ShardSet`.
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use axiom::AxiomMultiMap;
+use trie_common::ops::{Builder, MultiMapEdit, MultiMapMutOps, MultiMapOps, TransientOps};
+
+use crate::default_shard_count;
+use crate::partition::Partition;
+use crate::shards::ShardSet;
+
+/// A concurrent multi-map: `N` persistent tries (one per slice of the key
+/// space), each published as an atomically swappable snapshot.
+///
+/// Writers batch edits into shard-local successors built through the `_mut`
+/// protocol and publish per shard with one pointer swap; readers take
+/// [`MultiMapSnapshot`]s and query them lock-free. The backing trie `M`
+/// defaults to [`AxiomMultiMap`] but any [`MultiMapOps`] +
+/// [`MultiMapMutOps`] + [`TransientOps`] implementation works.
+///
+/// # Examples
+///
+/// ```
+/// use sharded::ShardedMultiMap;
+///
+/// let mm: ShardedMultiMap<u32, u32> = ShardedMultiMap::with_shards(4);
+/// mm.insert(1, 10);
+/// mm.insert(1, 11);
+/// mm.insert(2, 20);
+/// assert_eq!(mm.tuple_count(), 3);
+///
+/// let snap = mm.snapshot();       // immutable, lock-free to query
+/// mm.remove_key(&1);
+/// assert_eq!(snap.value_count(&1), 2); // the snapshot is unaffected
+/// assert_eq!(mm.tuple_count(), 1);
+/// ```
+pub struct ShardedMultiMap<K, V, M = AxiomMultiMap<K, V>> {
+    core: ShardSet<M>,
+    _tuple: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, M> ShardedMultiMap<K, V, M>
+where
+    K: Hash,
+    M: MultiMapOps<K, V>,
+{
+    /// Creates an empty sharded multi-map with one shard per available CPU
+    /// (rounded up to a power of two).
+    pub fn new() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+
+    /// Creates an empty sharded multi-map over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` is a power of two in
+    /// `1..=`[`crate::MAX_SHARDS`].
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedMultiMap {
+            core: ShardSet::filled(Partition::new(shards), M::empty),
+            _tuple: PhantomData,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.count()
+    }
+
+    /// The shard a key routes to (top bits of its 32-bit trie hash).
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.core.shard_of(key)
+    }
+
+    /// Takes a consistent-per-shard snapshot: each shard is the complete
+    /// result of some prefix of its published batches. Acquisition costs one
+    /// `Arc` clone per shard; all queries on the snapshot are lock-free.
+    pub fn snapshot(&self) -> MultiMapSnapshot<K, V, M> {
+        MultiMapSnapshot {
+            shards: self.core.load_all(),
+            partition: self.core.partition(),
+            _tuple: PhantomData,
+        }
+    }
+
+    /// Sum of the shard publication counters; changes whenever any shard
+    /// publishes, so cached readers can cheaply detect staleness.
+    pub fn version(&self) -> u64 {
+        self.core.version()
+    }
+
+    /// Total number of tuples (sums the current shard snapshots).
+    pub fn tuple_count(&self) -> usize {
+        self.core.sum_loaded(M::tuple_count)
+    }
+
+    /// Number of distinct keys (keys never span shards, so the sum is
+    /// exact).
+    pub fn key_count(&self) -> usize {
+        self.core.sum_loaded(M::key_count)
+    }
+
+    /// True if no shard holds a tuple.
+    pub fn is_empty(&self) -> bool {
+        self.tuple_count() == 0
+    }
+
+    /// True if `key` maps to at least one value.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.core.shard_for(key).load().contains_key(key)
+    }
+
+    /// True if the exact tuple `(key, value)` is present.
+    pub fn contains_tuple(&self, key: &K, value: &V) -> bool {
+        self.core.shard_for(key).load().contains_tuple(key, value)
+    }
+
+    /// Number of values associated with `key` (0 if absent).
+    pub fn value_count(&self, key: &K) -> usize {
+        self.core.shard_for(key).load().value_count(key)
+    }
+}
+
+impl<K, V, M> ShardedMultiMap<K, V, M>
+where
+    K: Hash,
+    M: MultiMapOps<K, V> + MultiMapMutOps<K, V> + Clone,
+{
+    /// Inserts one tuple. Returns true if the relation grew.
+    ///
+    /// One-tuple batches pay a full shard publication each; prefer
+    /// [`ShardedMultiMap::apply`] for anything that arrives in groups.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        self.core.shard_for(&key).update(|m| {
+            let mut next = m.clone();
+            let grew = next.insert_mut(key, value);
+            (next, grew)
+        })
+    }
+
+    /// Removes one tuple. Returns true if it was present.
+    pub fn remove_tuple(&self, key: &K, value: &V) -> bool {
+        self.core
+            .update_for(key, |m| m.remove_tuple_mut(key, value))
+    }
+
+    /// Removes every tuple for `key`. Returns how many were removed.
+    pub fn remove_key(&self, key: &K) -> usize {
+        self.core.update_for(key, |m| m.remove_key_mut(key))
+    }
+
+    /// Applies a batch of edits: groups them by shard (preserving input
+    /// order within each shard), stages every group on a shard-local
+    /// successor through the `_mut` protocol, and publishes each touched
+    /// shard atomically. Returns the total tuple-count delta.
+    ///
+    /// Concurrent `apply` calls to disjoint shards run fully in parallel;
+    /// calls touching the same shard serialize on that shard's write lock.
+    pub fn apply<I: IntoIterator<Item = MultiMapEdit<K, V>>>(&self, batch: I) -> isize {
+        self.core
+            .apply_grouped(batch, |e| self.core.shard_of(e.key()), M::apply_mut)
+    }
+}
+
+impl<K, V, M> ShardedMultiMap<K, V, M>
+where
+    K: Hash + Send,
+    V: Send,
+    M: MultiMapOps<K, V> + TransientOps<(K, V)> + Send,
+{
+    /// Bulk-builds a sharded multi-map: partitions the tuples by shard,
+    /// then builds every shard **in parallel** (one scoped worker thread
+    /// per non-empty shard) through the transient builder protocol.
+    pub fn build_parallel(shards: usize, tuples: impl IntoIterator<Item = (K, V)>) -> Self {
+        let partition = Partition::new(shards);
+        let parts = crate::partition_tuples(shards, tuples);
+        ShardedMultiMap {
+            core: ShardSet::build_parallel(partition, parts, M::built_from),
+            _tuple: PhantomData,
+        }
+    }
+
+    /// Bulk-extends in place: partitions the batch, then every touched
+    /// shard clones its snapshot into a transient, bulk-inserts its slice
+    /// on a scoped worker thread, and publishes. Returns how many insertions
+    /// reported growth.
+    pub fn extend_parallel(&self, tuples: impl IntoIterator<Item = (K, V)>) -> usize
+    where
+        M: Clone + Sync,
+    {
+        let parts = crate::partition_tuples(self.core.count(), tuples);
+        self.core.extend_parallel(parts, |m, part| {
+            let mut t = m.clone().transient();
+            let grew = t.insert_all_mut(part);
+            (t.build(), grew)
+        })
+    }
+}
+
+impl<K, V, M> Default for ShardedMultiMap<K, V, M>
+where
+    K: Hash,
+    M: MultiMapOps<K, V>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V, M> std::fmt::Debug for ShardedMultiMap<K, V, M>
+where
+    K: Hash,
+    M: MultiMapOps<K, V>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMultiMap")
+            .field("shards", &self.core.count())
+            .field("tuples", &self.tuple_count())
+            .finish()
+    }
+}
+
+/// An immutable point-in-time view of a [`ShardedMultiMap`]: one frozen
+/// persistent trie per shard. Every query is lock-free; the snapshot stays
+/// valid (and unchanged) no matter what writers publish afterwards.
+pub struct MultiMapSnapshot<K, V, M = AxiomMultiMap<K, V>> {
+    shards: Box<[Arc<M>]>,
+    partition: Partition,
+    _tuple: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, M> Clone for MultiMapSnapshot<K, V, M> {
+    fn clone(&self) -> Self {
+        MultiMapSnapshot {
+            shards: self.shards.clone(),
+            partition: self.partition,
+            _tuple: PhantomData,
+        }
+    }
+}
+
+impl<K, V, M> MultiMapSnapshot<K, V, M>
+where
+    K: Hash,
+    M: MultiMapOps<K, V>,
+{
+    fn shard_for(&self, key: &K) -> &M {
+        &self.shards[self.partition.shard_of(key)]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow of one shard's frozen trie (e.g. to run per-shard analytics).
+    pub fn shard(&self, index: usize) -> &M {
+        &self.shards[index]
+    }
+
+    /// Total number of tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.shards.iter().map(|m| m.tuple_count()).sum()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.shards.iter().map(|m| m.key_count()).sum()
+    }
+
+    /// True if the snapshot holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuple_count() == 0
+    }
+
+    /// True if `key` maps to at least one value.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard_for(key).contains_key(key)
+    }
+
+    /// True if the exact tuple `(key, value)` is present.
+    pub fn contains_tuple(&self, key: &K, value: &V) -> bool {
+        self.shard_for(key).contains_tuple(key, value)
+    }
+
+    /// Number of values associated with `key` (0 if absent).
+    pub fn value_count(&self, key: &K) -> usize {
+        self.shard_for(key).value_count(key)
+    }
+
+    /// Iterates the values bound to `key` (nothing if absent).
+    pub fn values_of<'a>(&'a self, key: &K) -> M::ValuesOf<'a> {
+        self.shard_for(key).values_of(key)
+    }
+
+    /// Iterates all `(key, value)` tuples, shard by shard.
+    pub fn tuples(&self) -> SnapshotTuples<'_, K, V, M> {
+        SnapshotTuples {
+            rest: self.shards.iter(),
+            current: None,
+            _tuple: PhantomData,
+        }
+    }
+}
+
+/// Flattened tuple iterator over every shard of a [`MultiMapSnapshot`].
+pub struct SnapshotTuples<'a, K, V, M>
+where
+    M: MultiMapOps<K, V> + 'a,
+    K: 'a,
+    V: 'a,
+{
+    rest: std::slice::Iter<'a, Arc<M>>,
+    current: Option<M::Tuples<'a>>,
+    _tuple: PhantomData<fn() -> (K, V)>,
+}
+
+impl<'a, K, V, M> Iterator for SnapshotTuples<'a, K, V, M>
+where
+    M: MultiMapOps<K, V>,
+{
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        loop {
+            if let Some(tuples) = &mut self.current {
+                if let Some(t) = tuples.next() {
+                    return Some(t);
+                }
+            }
+            self.current = Some(self.rest.next()?.tuples());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    type Mm = ShardedMultiMap<u32, u32>;
+
+    #[test]
+    fn routing_and_point_ops() {
+        let mm = Mm::with_shards(8);
+        assert!(mm.is_empty());
+        assert!(mm.insert(1, 10));
+        assert!(mm.insert(1, 11));
+        assert!(!mm.insert(1, 10)); // duplicate tuple
+        assert!(mm.insert(2, 20));
+        assert_eq!(mm.tuple_count(), 3);
+        assert_eq!(mm.key_count(), 2);
+        assert_eq!(mm.value_count(&1), 2);
+        assert!(mm.contains_tuple(&1, &11));
+        assert!(mm.remove_tuple(&1, &11));
+        assert!(!mm.remove_tuple(&1, &11));
+        assert_eq!(mm.remove_key(&1), 1);
+        assert_eq!(mm.tuple_count(), 1);
+    }
+
+    #[test]
+    fn snapshots_are_frozen() {
+        let mm = Mm::with_shards(4);
+        mm.apply((0..100).map(|i| MultiMapEdit::Insert(i, i)));
+        let snap = mm.snapshot();
+        assert_eq!(snap.tuple_count(), 100);
+        mm.apply((0..50).map(MultiMapEdit::RemoveKey));
+        assert_eq!(mm.tuple_count(), 50);
+        assert_eq!(snap.tuple_count(), 100); // unmoved
+        let seen: BTreeSet<u32> = snap.tuples().map(|(k, _)| *k).collect();
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn apply_returns_tuple_delta() {
+        let mm = Mm::with_shards(2);
+        let delta = mm.apply([
+            MultiMapEdit::Insert(1, 1),
+            MultiMapEdit::Insert(1, 2),
+            MultiMapEdit::Insert(2, 1),
+            MultiMapEdit::RemoveTuple(1, 2),
+            MultiMapEdit::RemoveTuple(9, 9), // absent: no effect
+        ]);
+        assert_eq!(delta, 2);
+        assert_eq!(mm.tuple_count(), 2);
+        assert_eq!(mm.apply([MultiMapEdit::RemoveKey(1)]), -1);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let tuples: Vec<(u32, u32)> = (0..5000).map(|i| (i / 3, i)).collect();
+        let sharded = Mm::build_parallel(8, tuples.iter().copied());
+        let reference = AxiomMultiMap::<u32, u32>::built_from(tuples.iter().copied());
+        assert_eq!(sharded.tuple_count(), reference.tuple_count());
+        assert_eq!(sharded.key_count(), reference.key_count());
+        let snap = sharded.snapshot();
+        for (k, v) in &tuples {
+            assert!(snap.contains_tuple(k, v));
+        }
+        assert_eq!(snap.tuples().count(), reference.tuple_count());
+    }
+
+    #[test]
+    fn skewed_parallel_build_leaves_empty_shards_valid() {
+        // One single key routes to one shard; the other 7 stay empty.
+        let sharded = Mm::build_parallel(8, std::iter::repeat_n((42u32, 1u32), 3));
+        assert_eq!(sharded.tuple_count(), 1); // duplicate tuples collapse
+        assert_eq!(sharded.key_count(), 1);
+        assert_eq!(sharded.snapshot().tuples().count(), 1);
+    }
+
+    #[test]
+    fn extend_parallel_grows_in_place() {
+        let mm = Mm::build_parallel(4, (0..100u32).map(|i| (i, i)));
+        let snap = mm.snapshot();
+        let grew = mm.extend_parallel((0..200u32).map(|i| (i, i + 1)));
+        assert_eq!(grew, 200);
+        assert_eq!(mm.tuple_count(), 300);
+        assert_eq!(snap.tuple_count(), 100); // pre-extend snapshot frozen
+    }
+
+    #[test]
+    fn works_over_other_tries() {
+        use idiomatic::NestedChampMultiMap;
+        let mm: ShardedMultiMap<u32, u32, NestedChampMultiMap<u32, u32>> =
+            ShardedMultiMap::build_parallel(2, (0..500u32).map(|i| (i % 100, i)));
+        assert_eq!(mm.tuple_count(), 500);
+        assert_eq!(mm.key_count(), 100);
+        mm.apply([MultiMapEdit::RemoveKey(5)]);
+        assert_eq!(mm.key_count(), 99);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Mm>();
+        check::<MultiMapSnapshot<u32, u32>>();
+    }
+}

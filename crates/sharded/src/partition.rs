@@ -1,0 +1,125 @@
+//! Key → shard routing by the **top** bits of the 32-bit trie hash.
+//!
+//! The tries consume hash bits from the *bottom* up (5 bits per level,
+//! [`trie_common::bits`]), so routing on the top bits leaves every shard's
+//! internal branch distribution untouched: a shard's trie looks exactly
+//! like a standalone trie over its subset of keys. Using the same
+//! [`hash32`] the tries use also means partitioning costs one hash that the
+//! shard build would have computed anyway.
+
+use std::hash::Hash;
+
+use trie_common::hash::hash32;
+
+/// Largest supported shard count (2⁸; more shards than this stops paying
+/// for itself long before the routing bits would collide with trie levels).
+pub const MAX_SHARDS: usize = 256;
+
+/// The shard-routing function: `count` is a power of two and a key's shard
+/// is the top `log2(count)` bits of its 32-bit trie hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    bits: u32,
+}
+
+impl Partition {
+    /// Creates a partition over `count` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `count` is a power of two in `1..=MAX_SHARDS`.
+    pub fn new(count: usize) -> Partition {
+        assert!(
+            count.is_power_of_two() && (1..=MAX_SHARDS).contains(&count),
+            "shard count must be a power of two in 1..={MAX_SHARDS}, got {count}"
+        );
+        Partition {
+            bits: count.trailing_zeros(),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn count(&self) -> usize {
+        1 << self.bits
+    }
+
+    /// Shard index for a precomputed 32-bit trie hash.
+    #[inline]
+    pub fn shard_of_hash(&self, hash: u32) -> usize {
+        if self.bits == 0 {
+            0
+        } else {
+            (hash >> (32 - self.bits)) as usize
+        }
+    }
+
+    /// Shard index for a key (hashes with the tries' [`hash32`]).
+    #[inline]
+    pub fn shard_of<K: Hash + ?Sized>(&self, key: &K) -> usize {
+        self.shard_of_hash(hash32(key))
+    }
+}
+
+/// Splits an item stream into per-shard vectors, routing each item on the
+/// key `key_of` projects out (the first phase of a parallel bulk build;
+/// order within each shard preserves input order).
+pub fn partition_by<I, K: Hash + ?Sized>(
+    shards: usize,
+    items: impl IntoIterator<Item = I>,
+    key_of: impl Fn(&I) -> &K,
+) -> Vec<Vec<I>> {
+    let partition = Partition::new(shards);
+    let mut parts: Vec<Vec<I>> = (0..shards).map(|_| Vec::new()).collect();
+    for item in items {
+        parts[partition.shard_of(key_of(&item))].push(item);
+    }
+    parts
+}
+
+/// [`partition_by`] specialized to `(key, value)` tuples routed on the key.
+pub fn partition_tuples<K: Hash, V>(
+    shards: usize,
+    tuples: impl IntoIterator<Item = (K, V)>,
+) -> Vec<Vec<(K, V)>> {
+    partition_by(shards, tuples, |(k, _)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shard_takes_everything() {
+        let p = Partition::new(1);
+        for h in [0u32, 1, u32::MAX, 0x8000_0000] {
+            assert_eq!(p.shard_of_hash(h), 0);
+        }
+    }
+
+    #[test]
+    fn top_bits_route() {
+        let p = Partition::new(8);
+        assert_eq!(p.shard_of_hash(0), 0);
+        assert_eq!(p.shard_of_hash(u32::MAX), 7);
+        assert_eq!(p.shard_of_hash(0x2000_0000), 1);
+        assert_eq!(p.shard_of_hash(0xE000_0000), 7);
+    }
+
+    #[test]
+    fn partitioning_is_total_and_balanced() {
+        let tuples: Vec<(u32, u32)> = (0..10_000).map(|i| (i, i)).collect();
+        let parts = partition_tuples(8, tuples);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 10_000);
+        for (i, part) in parts.iter().enumerate() {
+            // A uniform hash spreads dense keys across every shard.
+            assert!(part.len() > 500, "shard {i} got only {}", part.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Partition::new(6);
+    }
+}

@@ -1,0 +1,293 @@
+//! The concurrent sharded set (see the [crate documentation](crate); same
+//! architecture as [`crate::ShardedMultiMap`], set semantics).
+
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use axiom::AxiomSet;
+use trie_common::ops::{Builder, SetEdit, SetMutOps, SetOps, TransientOps};
+
+use crate::default_shard_count;
+use crate::partition::Partition;
+use crate::shards::ShardSet;
+
+/// A concurrent set: `N` persistent trie sets published as atomically
+/// swappable snapshots. Defaults to [`AxiomSet`] shards.
+///
+/// # Examples
+///
+/// ```
+/// use sharded::ShardedSet;
+///
+/// let s: ShardedSet<u32> = ShardedSet::with_shards(2);
+/// s.insert(7);
+/// let snap = s.snapshot();
+/// s.remove(&7);
+/// assert!(snap.contains(&7)); // the snapshot is unaffected
+/// assert!(s.is_empty());
+/// ```
+pub struct ShardedSet<T, S = AxiomSet<T>> {
+    core: ShardSet<S>,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T, S> ShardedSet<T, S>
+where
+    T: Hash,
+    S: SetOps<T>,
+{
+    /// Creates an empty sharded set with one shard per available CPU
+    /// (rounded up to a power of two).
+    pub fn new() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+
+    /// Creates an empty sharded set over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` is a power of two in
+    /// `1..=`[`crate::MAX_SHARDS`].
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedSet {
+            core: ShardSet::filled(Partition::new(shards), S::empty),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.count()
+    }
+
+    /// Takes a consistent-per-shard snapshot (lock-free to query).
+    pub fn snapshot(&self) -> SetSnapshot<T, S> {
+        SetSnapshot {
+            shards: self.core.load_all(),
+            partition: self.core.partition(),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Number of elements (sums the current shard snapshots).
+    pub fn len(&self) -> usize {
+        self.core.sum_loaded(S::len)
+    }
+
+    /// True if no shard holds an element.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test against the current shard snapshot.
+    pub fn contains(&self, value: &T) -> bool {
+        self.core.shard_for(value).load().contains(value)
+    }
+}
+
+impl<T, S> ShardedSet<T, S>
+where
+    T: Hash,
+    S: SetOps<T> + SetMutOps<T> + Clone,
+{
+    /// Inserts `value`. Returns true if the set grew.
+    pub fn insert(&self, value: T) -> bool {
+        self.core.shard_for(&value).update(|s| {
+            let mut next = s.clone();
+            let grew = next.insert_mut(value);
+            (next, grew)
+        })
+    }
+
+    /// Removes `value`. Returns true if the set shrank.
+    pub fn remove(&self, value: &T) -> bool {
+        self.core.update_for(value, |s| s.remove_mut(value))
+    }
+
+    /// Applies a batch of edits grouped by shard; each touched shard
+    /// publishes once. Returns the element-count delta.
+    pub fn apply<I: IntoIterator<Item = SetEdit<T>>>(&self, batch: I) -> isize {
+        self.core
+            .apply_grouped(batch, |e| self.core.shard_of(e.key()), S::apply_mut)
+    }
+}
+
+impl<T, S> ShardedSet<T, S>
+where
+    T: Hash + Send,
+    S: SetOps<T> + TransientOps<T> + Send,
+{
+    /// Bulk-builds a sharded set: partition, then one scoped builder thread
+    /// per non-empty shard through the transient protocol.
+    pub fn build_parallel(shards: usize, elems: impl IntoIterator<Item = T>) -> Self {
+        let partition = Partition::new(shards);
+        let parts = crate::partition_by(shards, elems, |v| v);
+        ShardedSet {
+            core: ShardSet::build_parallel(partition, parts, S::built_from),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Bulk-extends in place, one scoped worker per touched shard. Returns
+    /// how many insertions reported growth.
+    pub fn extend_parallel(&self, elems: impl IntoIterator<Item = T>) -> usize
+    where
+        S: Clone + Sync,
+    {
+        let parts = crate::partition_by(self.core.count(), elems, |v| v);
+        self.core.extend_parallel(parts, |s, part| {
+            let mut t = s.clone().transient();
+            let grew = t.insert_all_mut(part);
+            (t.build(), grew)
+        })
+    }
+}
+
+impl<T, S> Default for ShardedSet<T, S>
+where
+    T: Hash,
+    S: SetOps<T>,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, S> std::fmt::Debug for ShardedSet<T, S>
+where
+    T: Hash,
+    S: SetOps<T>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSet")
+            .field("shards", &self.core.count())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// An immutable point-in-time view of a [`ShardedSet`].
+pub struct SetSnapshot<T, S = AxiomSet<T>> {
+    shards: Box<[Arc<S>]>,
+    partition: Partition,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T, S> Clone for SetSnapshot<T, S> {
+    fn clone(&self) -> Self {
+        SetSnapshot {
+            shards: self.shards.clone(),
+            partition: self.partition,
+            _elem: PhantomData,
+        }
+    }
+}
+
+impl<T, S> SetSnapshot<T, S>
+where
+    T: Hash,
+    S: SetOps<T>,
+{
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow of one shard's frozen trie.
+    pub fn shard(&self, index: usize) -> &S {
+        &self.shards[index]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if the snapshot holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: &T) -> bool {
+        self.shards[self.partition.shard_of(value)].contains(value)
+    }
+
+    /// Iterates all elements, shard by shard.
+    pub fn iter(&self) -> SnapshotElems<'_, T, S> {
+        SnapshotElems {
+            rest: self.shards.iter(),
+            current: None,
+            _elem: PhantomData,
+        }
+    }
+}
+
+/// Flattened element iterator over every shard of a [`SetSnapshot`].
+pub struct SnapshotElems<'a, T, S>
+where
+    S: SetOps<T> + 'a,
+    T: 'a,
+{
+    rest: std::slice::Iter<'a, Arc<S>>,
+    current: Option<S::Elems<'a>>,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<'a, T, S> Iterator for SnapshotElems<'a, T, S>
+where
+    S: SetOps<T>,
+{
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        loop {
+            if let Some(elems) = &mut self.current {
+                if let Some(e) = elems.next() {
+                    return Some(e);
+                }
+            }
+            self.current = Some(self.rest.next()?.iter());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics_across_shards() {
+        let s: ShardedSet<u32> = ShardedSet::with_shards(4);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(&1));
+        assert_eq!(
+            s.apply([SetEdit::Insert(2), SetEdit::Insert(3), SetEdit::Remove(1)]),
+            1
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn parallel_build_and_frozen_snapshots() {
+        let s: ShardedSet<u32> = ShardedSet::build_parallel(8, 0..2000);
+        assert_eq!(s.len(), 2000);
+        let snap = s.snapshot();
+        assert_eq!(snap.iter().count(), 2000);
+        assert_eq!(s.extend_parallel(2000..2500), 500);
+        assert_eq!(snap.len(), 2000);
+        assert_eq!(s.len(), 2500);
+        for v in 0..2500 {
+            assert!(s.contains(&v));
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ShardedSet<u32>>();
+        check::<SetSnapshot<u32>>();
+    }
+}

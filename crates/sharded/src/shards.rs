@@ -1,0 +1,214 @@
+//! The shared shard-array machinery behind all three public wrappers.
+//!
+//! [`ShardSet`] owns the `Box<[Shard<C>]>` + [`Partition`] pair and
+//! implements everything that does not depend on collection semantics: key
+//! routing, snapshot acquisition, the group-by-shard batch loop, and the
+//! scoped-thread parallel build/extend drivers. The multimap/map/set
+//! modules stay thin delegations, so the concurrency-critical code exists
+//! exactly once.
+
+use std::hash::Hash;
+use std::sync::Arc;
+use std::thread;
+
+use crate::partition::Partition;
+use crate::publish::Shard;
+
+/// A partitioned array of published shards (see the module docs).
+#[derive(Debug)]
+pub(crate) struct ShardSet<C> {
+    shards: Box<[Shard<C>]>,
+    partition: Partition,
+}
+
+impl<C> ShardSet<C> {
+    /// Builds a shard set from one collection per shard.
+    pub(crate) fn new(partition: Partition, parts: impl IntoIterator<Item = C>) -> Self {
+        let shards: Box<[Shard<C>]> = parts.into_iter().map(Shard::new).collect();
+        assert_eq!(shards.len(), partition.count(), "one collection per shard");
+        ShardSet { shards, partition }
+    }
+
+    /// Builds a shard set by invoking `make` once per shard.
+    pub(crate) fn filled(partition: Partition, mut make: impl FnMut() -> C) -> Self {
+        let count = partition.count();
+        Self::new(partition, (0..count).map(|_| make()))
+    }
+
+    pub(crate) fn count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    pub(crate) fn shard_of<K: Hash + ?Sized>(&self, key: &K) -> usize {
+        self.partition.shard_of(key)
+    }
+
+    /// The publication cell a key routes to.
+    pub(crate) fn shard_for<K: Hash + ?Sized>(&self, key: &K) -> &Shard<C> {
+        &self.shards[self.partition.shard_of(key)]
+    }
+
+    /// Current snapshot of every shard (one `Arc` clone each).
+    pub(crate) fn load_all(&self) -> Box<[Arc<C>]> {
+        self.shards.iter().map(Shard::load).collect()
+    }
+
+    /// Sum of the shard publication counters.
+    pub(crate) fn version(&self) -> u64 {
+        self.shards.iter().map(Shard::version).sum()
+    }
+
+    /// Folds a read over every shard's current snapshot (used for the
+    /// aggregate counts).
+    pub(crate) fn sum_loaded(&self, f: impl Fn(&C) -> usize) -> usize {
+        self.shards.iter().map(|s| f(&s.load())).sum()
+    }
+}
+
+impl<C: Clone> ShardSet<C> {
+    /// One single-key read-modify-write: clone the key's shard, edit the
+    /// clone, publish.
+    pub(crate) fn update_for<K: Hash + ?Sized, R>(
+        &self,
+        key: &K,
+        edit: impl FnOnce(&mut C) -> R,
+    ) -> R {
+        self.shard_for(key).update(|c| {
+            let mut next = c.clone();
+            let out = edit(&mut next);
+            (next, out)
+        })
+    }
+
+    /// The batched write path: groups `batch` by shard (preserving input
+    /// order within each shard), stages every group on a shard-local clone
+    /// through `apply`, and publishes each touched shard once. Returns the
+    /// summed per-edit deltas.
+    pub(crate) fn apply_grouped<E>(
+        &self,
+        batch: impl IntoIterator<Item = E>,
+        shard_of: impl Fn(&E) -> usize,
+        mut apply: impl FnMut(&mut C, E) -> isize,
+    ) -> isize {
+        let mut groups: Vec<Vec<E>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for edit in batch {
+            groups[shard_of(&edit)].push(edit);
+        }
+        let mut delta = 0;
+        for (shard, group) in self.shards.iter().zip(groups) {
+            if group.is_empty() {
+                continue;
+            }
+            delta += shard.update(|c| {
+                let mut next = c.clone();
+                let d = group
+                    .into_iter()
+                    .map(|e| apply(&mut next, e))
+                    .sum::<isize>();
+                (next, d)
+            });
+        }
+        delta
+    }
+}
+
+impl<C: Send> ShardSet<C> {
+    /// The parallel bulk-build driver: one scoped worker thread per
+    /// *non-empty* partition (empty shards are created inline — no point
+    /// spawning a thread to build nothing).
+    pub(crate) fn build_parallel<I: Send>(
+        partition: Partition,
+        parts: Vec<Vec<I>>,
+        build: impl Fn(Vec<I>) -> C + Sync,
+    ) -> Self {
+        assert_eq!(parts.len(), partition.count(), "one partition per shard");
+        let build = &build;
+        let built: Vec<C> = thread::scope(|scope| {
+            let workers: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    if part.is_empty() {
+                        None
+                    } else {
+                        Some(scope.spawn(move || build(part)))
+                    }
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|worker| match worker {
+                    Some(handle) => handle.join().expect("shard builder panicked"),
+                    None => build(Vec::new()),
+                })
+                .collect()
+        });
+        Self::new(partition, built)
+    }
+}
+
+impl<C: Send + Sync> ShardSet<C> {
+    /// The parallel bulk-extend driver: one scoped worker per touched
+    /// shard, each staging through `extend` and publishing. Returns the
+    /// summed per-shard results.
+    pub(crate) fn extend_parallel<I: Send>(
+        &self,
+        parts: Vec<Vec<I>>,
+        extend: impl Fn(&C, Vec<I>) -> (C, usize) + Sync,
+    ) -> usize {
+        assert_eq!(parts.len(), self.shards.len(), "one partition per shard");
+        let extend = &extend;
+        thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .shards
+                .iter()
+                .zip(parts)
+                .filter(|(_, part)| !part.is_empty())
+                .map(|(shard, part)| scope.spawn(move || shard.update(|c| extend(c, part))))
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard extender panicked"))
+                .sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parallel_skips_threads_for_empty_parts() {
+        // 3 of 4 partitions empty: must still produce 4 shards, with the
+        // empty ones built inline.
+        let parts = vec![vec![1u32, 2, 3], Vec::new(), Vec::new(), Vec::new()];
+        let set: ShardSet<Vec<u32>> = ShardSet::build_parallel(Partition::new(4), parts, |p| p);
+        assert_eq!(set.count(), 4);
+        let snaps = set.load_all();
+        assert_eq!(snaps[0].len(), 3);
+        assert!(snaps[1..].iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn apply_grouped_routes_and_sums() {
+        let set: ShardSet<Vec<u32>> = ShardSet::filled(Partition::new(2), Vec::new);
+        let delta = set.apply_grouped(
+            [0usize, 1, 1, 0],
+            |&target| target,
+            |shard, e| {
+                shard.push(e as u32);
+                1
+            },
+        );
+        assert_eq!(delta, 4);
+        let snaps = set.load_all();
+        assert_eq!(snaps[0].len(), 2);
+        assert_eq!(snaps[1].len(), 2);
+        // Order within a shard preserves input order.
+        assert_eq!(&*snaps[1], &vec![1, 1]);
+    }
+}

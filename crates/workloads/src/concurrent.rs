@@ -1,0 +1,150 @@
+//! Workload generation for the concurrent sharded layer: parallel bulk
+//! builds and mixed read/write traffic.
+//!
+//! Two scenario shapes, both deterministic per seed (same discipline as
+//! [`crate::data`]):
+//!
+//! * **parallel build** — the [`crate::data::multimap_workload`] tuple sets
+//!   reused at larger sizes; the sharded harness partitions them and builds
+//!   shard-locally, so no extra generation is needed beyond sizing;
+//! * **mixed read/write** — a base relation plus writer batch scripts
+//!   ([`MultiMapEdit`] sequences skewed toward inserts) and a read probe
+//!   sequence mixing present and absent keys, modelling a query-heavy
+//!   service taking a steady trickle of updates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trie_common::ops::MultiMapEdit;
+
+use crate::data::multimap_workload;
+
+/// A generated mixed read/write scenario over one `(size, seed)` point.
+#[derive(Debug, Clone)]
+pub struct ConcurrentWorkload {
+    /// The tuples the relation is bulk-loaded with before traffic starts.
+    pub base: Vec<(u32, u32)>,
+    /// Writer traffic: batches of edits, to be applied in order (per
+    /// writer). Inserts dominate; tuple and key removals keep the relation
+    /// from growing without bound.
+    pub batches: Vec<Vec<MultiMapEdit<u32, u32>>>,
+    /// Reader traffic: key probes, 3:1 present-to-absent.
+    pub read_keys: Vec<u32>,
+}
+
+/// Share of batch operations that are inserts (the rest split between
+/// tuple and key removals).
+pub const INSERT_SHARE: f64 = 0.6;
+
+/// Number of read probes generated per scenario.
+pub const READ_PROBES: usize = 256;
+
+/// Generates a mixed read/write scenario: a `size`-key base relation (the
+/// paper's 50 %/50 % `1:1`/`1:2` shape), `batches` writer batches of
+/// `batch_len` edits each, and [`READ_PROBES`] read probes.
+pub fn concurrent_workload(
+    size: usize,
+    batches: usize,
+    batch_len: usize,
+    seed: u64,
+) -> ConcurrentWorkload {
+    let w = multimap_workload(size, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0c0_11ec);
+
+    let edit_batches: Vec<Vec<MultiMapEdit<u32, u32>>> = (0..batches)
+        .map(|_| {
+            (0..batch_len)
+                .map(|_| {
+                    let roll = rng.gen::<f64>();
+                    if roll < INSERT_SHARE {
+                        // Fresh value on an existing key: exercises 1:n
+                        // promotion without unbounded key growth.
+                        let k = w.keys[rng.gen_range(0..w.keys.len())];
+                        MultiMapEdit::Insert(k, rng.gen())
+                    } else if roll < INSERT_SHARE + 0.25 {
+                        let (k, v) = w.tuples[rng.gen_range(0..w.tuples.len())];
+                        MultiMapEdit::RemoveTuple(k, v)
+                    } else {
+                        MultiMapEdit::RemoveKey(w.keys[rng.gen_range(0..w.keys.len())])
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let read_keys = (0..READ_PROBES)
+        .map(|i| {
+            if i % 4 == 3 {
+                // Miss probe (key absent from the base relation).
+                w.miss_tuples[rng.gen_range(0..w.miss_tuples.len())].0
+            } else {
+                w.keys[rng.gen_range(0..w.keys.len())]
+            }
+        })
+        .collect();
+
+    ConcurrentWorkload {
+        base: w.tuples,
+        batches: edit_batches,
+        read_keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shapes_are_as_requested() {
+        let w = concurrent_workload(500, 8, 32, 7);
+        assert_eq!(w.base.len(), 750); // 50% 1:1, 50% 1:2
+        assert_eq!(w.batches.len(), 8);
+        assert!(w.batches.iter().all(|b| b.len() == 32));
+        assert_eq!(w.read_keys.len(), READ_PROBES);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = concurrent_workload(100, 4, 16, 3);
+        let b = concurrent_workload(100, 4, 16, 3);
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.read_keys, b.read_keys);
+        let c = concurrent_workload(100, 4, 16, 4);
+        assert_ne!(a.batches, c.batches);
+    }
+
+    #[test]
+    fn batch_mix_has_all_op_kinds_and_valid_keys() {
+        let w = concurrent_workload(300, 6, 64, 11);
+        let base_keys: HashSet<u32> = w.base.iter().map(|(k, _)| *k).collect();
+        let (mut ins, mut rt, mut rk) = (0, 0, 0);
+        for op in w.batches.iter().flatten() {
+            match op {
+                MultiMapEdit::Insert(k, _) => {
+                    assert!(base_keys.contains(k));
+                    ins += 1;
+                }
+                MultiMapEdit::RemoveTuple(k, _) => {
+                    assert!(base_keys.contains(k));
+                    rt += 1;
+                }
+                MultiMapEdit::RemoveKey(k) => {
+                    assert!(base_keys.contains(k));
+                    rk += 1;
+                }
+            }
+        }
+        assert!(ins > rt && rt > 0 && rk > 0, "{ins}/{rt}/{rk}");
+    }
+
+    #[test]
+    fn read_probes_mix_hits_and_misses() {
+        let w = concurrent_workload(200, 1, 1, 9);
+        let base_keys: HashSet<u32> = w.base.iter().map(|(k, _)| *k).collect();
+        let hits = w.read_keys.iter().filter(|k| base_keys.contains(k)).count();
+        let misses = w.read_keys.len() - hits;
+        assert!(hits > misses, "{hits} hits vs {misses} misses");
+        assert!(misses > 0);
+    }
+}

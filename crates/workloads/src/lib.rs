@@ -9,6 +9,9 @@
 //! * [`build`] — generic construction of the structures under test
 //!   (persistent fold vs transient builder), written once against the
 //!   [`trie_common::ops`] traits;
+//! * [`concurrent`] — scenarios for the sharded layer: parallel bulk-build
+//!   sizing and mixed read/write traffic (writer batch scripts + read
+//!   probes);
 //! * [`timing`] — JMH-like warmup + measurement iterations with median/MAD
 //!   statistics and box-plot-style ratio summaries;
 //! * [`report`] — markdown table emission so the binaries regenerate the
@@ -28,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod concurrent;
 pub mod data;
 pub mod report;
 pub mod timing;
 
 pub use build::{map_persistent, map_transient, multimap_persistent, multimap_transient};
+pub use concurrent::{concurrent_workload, ConcurrentWorkload};
 pub use data::{
     map_workload, multimap_workload, multimap_workload_with, size_sweep, MapWorkload,
     MultiMapWorkload, ValueDist, BURST, SEEDS,

@@ -19,5 +19,6 @@ pub use champ;
 pub use hamt;
 pub use heapmodel;
 pub use idiomatic;
+pub use sharded;
 pub use trie_common;
 pub use workloads;

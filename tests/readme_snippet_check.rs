@@ -4,6 +4,22 @@ use axiom_repro::axiom::AxiomMultiMap;
 use axiom_repro::trie_common::ops::{Builder, MultiMapOps, TransientOps};
 
 #[test]
+fn readme_sharded_quick_start() {
+    use axiom_repro::sharded::ShardedMultiMap;
+    use axiom_repro::trie_common::ops::MultiMapEdit;
+
+    let mm: ShardedMultiMap<u32, u32> =
+        ShardedMultiMap::build_parallel(4, (0..1000u32).map(|i| (i % 100, i)));
+    assert_eq!(mm.tuple_count(), 1000);
+
+    let snap = mm.snapshot();
+    mm.apply((0..50u32).map(MultiMapEdit::RemoveKey));
+    assert_eq!(snap.tuple_count(), 1000);
+    assert_eq!(mm.key_count(), 50);
+    assert!(snap.contains_key(&7));
+}
+
+#[test]
 fn readme_quick_start() {
     let deps = AxiomMultiMap::<&str, &str>::built_from([
         ("typeck", "parser"),

@@ -1,0 +1,219 @@
+//! Cross-thread aliasing safety of the sharded concurrent layer.
+//!
+//! The sharded wrappers stack two promises:
+//!
+//! 1. the `_mut` families' `Arc::get_mut` discipline — an edit staged on a
+//!    writer's successor never changes what any published snapshot
+//!    observes;
+//! 2. atomic per-shard publication — a reader's snapshot is always a
+//!    complete shard value, never a partial batch.
+//!
+//! These properties drill both from the outside, with real threads: take a
+//! pre-freeze snapshot, run random per-shard `_mut` edit scripts
+//! concurrently under [`std::thread::scope`] (one writer per shard, plus a
+//! verifying reader), and assert that (a) the pre-freeze snapshot's exact
+//! tuple sequence — iteration order is a function of trie structure, so an
+//! unchanged sequence means untouched bytes — is what it was, (b) every
+//! mid-flight snapshot is internally consistent, and (c) the merged final
+//! state equals a `BTreeMap` model (shards partition the key space, so
+//! replaying the scripts shard-by-shard on the model is order-faithful).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+use proptest::prelude::*;
+
+use axiom_repro::axiom::AxiomMultiMap;
+use axiom_repro::sharded::{MultiMapSnapshot, ShardedMultiMap};
+use axiom_repro::trie_common::ops::{MultiMapEdit, MultiMapOps, TransientOps};
+
+type Mm = ShardedMultiMap<u16, u16, AxiomMultiMap<u16, u16>>;
+type Model = BTreeMap<u16, BTreeSet<u16>>;
+
+fn decode(raw: &[(u8, u16, u16)]) -> Vec<MultiMapEdit<u16, u16>> {
+    raw.iter()
+        .map(|&(sel, k, v)| match sel % 4 {
+            0 | 1 => MultiMapEdit::Insert(k % 64, v % 8),
+            2 => MultiMapEdit::RemoveTuple(k % 64, v % 8),
+            _ => MultiMapEdit::RemoveKey(k % 64),
+        })
+        .collect()
+}
+
+fn apply_model(model: &mut Model, edit: &MultiMapEdit<u16, u16>) {
+    match *edit {
+        MultiMapEdit::Insert(k, v) => {
+            model.entry(k).or_default().insert(v);
+        }
+        MultiMapEdit::RemoveTuple(k, v) => {
+            if let Some(set) = model.get_mut(&k) {
+                set.remove(&v);
+                if set.is_empty() {
+                    model.remove(&k);
+                }
+            }
+        }
+        MultiMapEdit::RemoveKey(k) => {
+            model.remove(&k);
+        }
+    }
+}
+
+fn model_of(snap: &MultiMapSnapshot<u16, u16, AxiomMultiMap<u16, u16>>) -> Model {
+    let mut out: Model = BTreeMap::new();
+    for (k, v) in snap.tuples() {
+        assert!(out.entry(*k).or_default().insert(*v), "duplicate tuple");
+    }
+    assert_eq!(
+        snap.tuple_count(),
+        out.values().map(BTreeSet::len).sum::<usize>(),
+        "tuple_count disagrees with iteration"
+    );
+    assert_eq!(snap.key_count(), out.len(), "key_count disagrees");
+    out
+}
+
+/// The exact flattened tuple sequence: a structural fingerprint (iteration
+/// order is determined by trie shape, which only mutation can change).
+fn tuple_sequence(snap: &MultiMapSnapshot<u16, u16, AxiomMultiMap<u16, u16>>) -> Vec<(u16, u16)> {
+    snap.tuples().map(|(k, v)| (*k, *v)).collect()
+}
+
+fn run_scenario(shards: usize, base: &[(u16, u16)], script: Vec<MultiMapEdit<u16, u16>>) {
+    let mm: Mm =
+        ShardedMultiMap::build_parallel(shards, base.iter().map(|&(k, v)| (k % 64, v % 8)));
+
+    let pre_freeze = mm.snapshot();
+    let pre_model = model_of(&pre_freeze);
+    let pre_sequence = tuple_sequence(&pre_freeze);
+
+    // Partition the script per shard; the expected model replays the shard
+    // scripts sequentially (key spaces are disjoint, so any inter-shard
+    // interleaving yields the same merged result).
+    let mut shard_scripts: Vec<Vec<MultiMapEdit<u16, u16>>> =
+        (0..shards).map(|_| Vec::new()).collect();
+    for edit in script {
+        shard_scripts[mm.shard_of(edit.key())].push(edit);
+    }
+    let mut expected = pre_model.clone();
+    for script in &shard_scripts {
+        for edit in script {
+            apply_model(&mut expected, edit);
+        }
+    }
+
+    // One writer thread per shard (small batches, so shards publish many
+    // intermediate states) racing a reader that checks every mid-flight
+    // snapshot for internal consistency. The inner scope joins all writers
+    // before the reader is told to stop.
+    let done = AtomicBool::new(false);
+    thread::scope(|outer| {
+        outer.spawn(|| {
+            while !done.load(Ordering::Relaxed) {
+                let snap = mm.snapshot();
+                let _ = model_of(&snap); // panics on any inconsistency
+            }
+        });
+        thread::scope(|writers| {
+            for script in shard_scripts {
+                let mm = &mm;
+                writers.spawn(move || {
+                    for chunk in script.chunks(5) {
+                        mm.apply(chunk.iter().cloned());
+                    }
+                });
+            }
+        });
+        done.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(
+        tuple_sequence(&pre_freeze),
+        pre_sequence,
+        "pre-freeze snapshot's structure changed under concurrent edits"
+    );
+    assert_eq!(
+        model_of(&pre_freeze),
+        pre_model,
+        "pre-freeze snapshot's content changed under concurrent edits"
+    );
+    assert_eq!(
+        model_of(&mm.snapshot()),
+        expected,
+        "merged result diverged from the BTreeMap model"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn per_shard_scripts_under_threads_preserve_snapshots(
+        base in prop::collection::vec((any::<u16>(), any::<u16>()), 0..150),
+        raw in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..200),
+        shard_exp in 0u32..4,
+    ) {
+        run_scenario(1 << shard_exp, &base, decode(&raw));
+    }
+}
+
+/// Deterministic heavier run: all four shard counts, bigger volume, and a
+/// final exhaustive tuple-level cross-check against an unsharded replay.
+#[test]
+fn deterministic_cross_thread_volume() {
+    let base: Vec<(u16, u16)> = (0..400u16).map(|i| (i % 64, i % 8)).collect();
+    let script: Vec<MultiMapEdit<u16, u16>> = (0..900u16)
+        .map(|i| match i % 5 {
+            0..=2 => MultiMapEdit::Insert(i % 64, (i / 3) % 8),
+            3 => MultiMapEdit::RemoveTuple(i % 64, i % 8),
+            _ => MultiMapEdit::RemoveKey(i % 64),
+        })
+        .collect();
+
+    // Unsharded replay in input order. This is equivalent to any per-shard
+    // concurrent application: edits to different keys commute, and same-key
+    // edits (always within one shard) keep their input order.
+    let mut reference: AxiomMultiMap<u16, u16> = AxiomMultiMap::built_from(base.iter().copied());
+    for e in &script {
+        match *e {
+            MultiMapEdit::Insert(k, v) => {
+                reference.insert_mut(k, v);
+            }
+            MultiMapEdit::RemoveTuple(k, v) => {
+                reference.remove_tuple_mut(&k, &v);
+            }
+            MultiMapEdit::RemoveKey(k) => {
+                reference.remove_key_mut(&k);
+            }
+        }
+    }
+
+    for shards in [1usize, 2, 4, 8] {
+        run_scenario(shards, &base, script.clone());
+
+        let mm: Mm = ShardedMultiMap::build_parallel(shards, base.iter().copied());
+        let mut scripts: Vec<Vec<MultiMapEdit<u16, u16>>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for e in script.clone() {
+            scripts[mm.shard_of(e.key())].push(e);
+        }
+        thread::scope(|scope| {
+            for s in scripts {
+                scope.spawn(|| mm.apply(s));
+            }
+        });
+        let snap = mm.snapshot();
+        assert_eq!(
+            snap.tuple_count(),
+            reference.tuple_count(),
+            "{shards} shards"
+        );
+        for (k, v) in reference.tuples() {
+            assert!(
+                snap.contains_tuple(k, v),
+                "{shards} shards: missing ({k},{v})"
+            );
+        }
+    }
+}
