@@ -1,0 +1,234 @@
+//! Machine-readable benchmark for the snapshot persistence layer
+//! (`BENCH_snapshot.json` at the repository root): save and restore a
+//! sharded multi-map, sweeping the restore-side shard count, against the
+//! fresh single-threaded transient build as the baseline.
+//!
+//! Every restore is verified against the scenario's probe oracle (present
+//! tuples hit, partial matches stay partial, misses miss) and the expected
+//! tuple count — a fast-but-wrong restore fails the run outright.
+//!
+//! Knobs via environment:
+//!
+//! * `AXIOM_SNAPSHOT_PROFILE` — `quick` (CI smoke: the 100k-tuple
+//!   instance) or `thorough` (default: checked-in numbers, up to ~1M
+//!   tuples);
+//! * `AXIOM_SNAPSHOT_OUT` — output path (default `BENCH_snapshot.json`;
+//!   `-` for stdout only);
+//! * `AXIOM_SNAPSHOT_GATE` — when set, exit nonzero unless at the largest
+//!   size the 8-shard restore takes at most `AXIOM_SNAPSHOT_MAX_FACTOR`
+//!   (default 3.0) times the fresh transient build.
+
+use std::time::Instant;
+
+use axiom::AxiomMultiMap;
+use sharded::ShardedMultiMap;
+use trie_common::snapshot::inspect;
+use trie_common::snapshot::SnapshotRead;
+use workloads::multimap_transient;
+use workloads::snapshot::{snapshot_workload, verify_restore, SnapshotWorkload, SAVE_SHARDS};
+
+const SEED: u64 = 11;
+
+type Mm = AxiomMultiMap<u32, u32>;
+type Sharded = ShardedMultiMap<u32, u32>;
+
+/// Best-of-`reps` wall time of `f`, in ns.
+fn best_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+struct SizeReport {
+    keys: usize,
+    items: usize,
+    bytes: usize,
+    bytes_per_tuple: f64,
+    fresh_build_ns: f64,
+    save_ns: f64,
+    restores: Vec<RestoreRow>,
+}
+
+struct RestoreRow {
+    shards: usize,
+    restore_ns: f64,
+    vs_fresh_build: f64,
+}
+
+impl SizeReport {
+    fn json(&self) -> String {
+        let restores: Vec<String> = self
+            .restores
+            .iter()
+            .map(|r| {
+                format!(
+                    "      {{\"shards\": {}, \"restore_ns_per_item\": {:.2}, \
+                     \"restore_vs_fresh_build\": {:.3}}}",
+                    r.shards,
+                    r.restore_ns / self.items as f64,
+                    r.vs_fresh_build
+                )
+            })
+            .collect();
+        format!(
+            "    {{\"keys\": {}, \"items\": {}, \"snapshot_bytes\": {}, \
+             \"bytes_per_tuple\": {:.2}, \"fresh_build_ns_per_item\": {:.2}, \
+             \"save_ns_per_item\": {:.2}, \"save_shards\": {SAVE_SHARDS}, \"restores\": [\n{}\n    ]}}",
+            self.keys,
+            self.items,
+            self.bytes,
+            self.bytes_per_tuple,
+            self.fresh_build_ns / self.items as f64,
+            self.save_ns / self.items as f64,
+            restores.join(",\n")
+        )
+    }
+}
+
+/// Probe-verifies a sharded restore with the same oracle
+/// [`workloads::snapshot::verify_restore`] applies to plain restores
+/// (hits present, partials stay partial, misses miss on both the key and
+/// tuple axes).
+fn verify_sharded(restored: &Sharded, w: &SnapshotWorkload) -> Result<(), String> {
+    if restored.tuple_count() != w.tuples.len() {
+        return Err(format!(
+            "tuple count {} != expected {}",
+            restored.tuple_count(),
+            w.tuples.len()
+        ));
+    }
+    let snap = restored.snapshot();
+    for (k, v) in &w.probe_hits {
+        if !snap.contains_tuple(k, v) {
+            return Err(format!("lost tuple ({k}, {v})"));
+        }
+    }
+    for (k, v) in &w.probe_partial {
+        if !snap.contains_key(k) || snap.contains_tuple(k, v) {
+            return Err(format!("partial probe ({k}, {v}) diverged"));
+        }
+    }
+    for (k, v) in &w.probe_misses {
+        if snap.contains_key(k) || snap.contains_tuple(k, v) {
+            return Err(format!("invented key {k}"));
+        }
+    }
+    Ok(())
+}
+
+fn bench_size(keys: usize, reps: usize) -> SizeReport {
+    let w = snapshot_workload(keys, SEED);
+    let items = w.tuples.len();
+    eprintln!("snapshot round-trip at {keys} keys / {items} tuples");
+
+    let fresh_build_ns = best_ns(reps, || multimap_transient::<Mm>(&w.tuples).tuple_count());
+
+    let source = Sharded::build_parallel(SAVE_SHARDS, w.tuples.iter().copied());
+    let save_ns = best_ns(reps, || source.save_snapshot().expect("save").len());
+    let bytes = source.save_snapshot().expect("save");
+    let info = inspect(&bytes).expect("framing validates");
+    assert_eq!(info.items() as usize, items, "save lost tuples");
+
+    // Cross-layer check through the canonical workloads oracle: the same
+    // bytes must restore into a plain unsharded trie.
+    let plain: Mm = Mm::read_snapshot(&bytes).expect("plain restore");
+    if let Err(why) = verify_restore(&plain, &w) {
+        eprintln!("FATAL: plain restore of the sharded snapshot is corrupt: {why}");
+        std::process::exit(2);
+    }
+
+    let mut restores = Vec::new();
+    for &shards in &w.restore_shards {
+        let restore_ns = best_ns(reps, || {
+            Sharded::load_snapshot(&bytes, shards)
+                .expect("restore")
+                .tuple_count()
+        });
+        let restored = Sharded::load_snapshot(&bytes, shards).expect("restore");
+        if let Err(why) = verify_sharded(&restored, &w) {
+            eprintln!("FATAL: restore at {shards} shards is corrupt: {why}");
+            std::process::exit(2);
+        }
+        let row = RestoreRow {
+            shards,
+            restore_ns,
+            vs_fresh_build: restore_ns / fresh_build_ns,
+        };
+        eprintln!(
+            "  restore at {shards} shard(s): x{:.2} of the fresh transient build",
+            row.vs_fresh_build
+        );
+        restores.push(row);
+    }
+
+    SizeReport {
+        keys,
+        items,
+        bytes_per_tuple: bytes.len() as f64 / items as f64,
+        bytes: bytes.len(),
+        fresh_build_ns,
+        save_ns,
+        restores,
+    }
+}
+
+fn main() {
+    let profile = std::env::var("AXIOM_SNAPSHOT_PROFILE").unwrap_or_else(|_| "thorough".into());
+    // 66.7k keys at the 50/50 1:1/1:2 shape ≈ 100k tuples.
+    let (sizes, reps) = match profile.as_str() {
+        "quick" => (vec![66_700usize], 2),
+        _ => (vec![66_700, 667_000], 3),
+    };
+
+    let reports: Vec<SizeReport> = sizes.iter().map(|&keys| bench_size(keys, reps)).collect();
+
+    let body: Vec<String> = reports.iter().map(SizeReport::json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"axiom-snapshot-v1\",\n  \"profile\": \"{}\",\n  \"seed\": {},\n  \
+         \"cpus\": {},\n  \"note\": \"save at {SAVE_SHARDS} shards (parallel per-shard encode); \
+         restores re-route elements through the new partition and bulk-build via the transient \
+         protocol; every restore is probe-verified before timing is reported\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        profile,
+        SEED,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        body.join(",\n")
+    );
+    print!("{json}");
+
+    let out = std::env::var("AXIOM_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_snapshot.json".into());
+    if out != "-" {
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        eprintln!("wrote {out}");
+    }
+
+    if std::env::var("AXIOM_SNAPSHOT_GATE").is_ok() {
+        let max_factor: f64 = std::env::var("AXIOM_SNAPSHOT_MAX_FACTOR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3.0);
+        let largest = reports.last().expect("sizes nonempty");
+        let row = largest
+            .restores
+            .iter()
+            .find(|r| r.shards == SAVE_SHARDS)
+            .expect("8-shard restore measured");
+        if row.vs_fresh_build > max_factor {
+            eprintln!(
+                "GATE FAILED: 8-shard restore of {} tuples is x{:.2} of a fresh transient \
+                 build (allowed x{max_factor:.2})",
+                largest.items, row.vs_fresh_build
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate ok: 8-shard restore of {} tuples is x{:.2} of a fresh transient build \
+             (allowed x{max_factor:.2}); snapshot is {:.1} bytes/tuple",
+            largest.items, row.vs_fresh_build, largest.bytes_per_tuple
+        );
+    }
+}

@@ -27,6 +27,7 @@ pub mod set;
 
 mod heap;
 mod ops;
+mod snapshot;
 
 pub use heap::{
     champ_map_jvm_with, champ_map_rust_with, nested_set_jvm, nested_set_rust, EntryAccount,

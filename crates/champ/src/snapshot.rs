@@ -1,0 +1,73 @@
+//! Snapshot persistence ([`SnapshotWrite`] / [`SnapshotRead`]) for the
+//! CHAMP collections. CHAMP is canonical under deletion, so a decoded
+//! snapshot is structurally identical to (and `==`) the source trie.
+
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+use trie_common::ops::{MapOps, SetOps};
+use trie_common::snapshot::{self, Kind, SnapshotError, SnapshotRead, SnapshotWrite};
+
+use crate::{ChampMap, ChampSet};
+
+impl<K, V> SnapshotWrite for ChampMap<K, V>
+where
+    K: Serialize + Clone + Eq + Hash,
+    V: Serialize + Clone + PartialEq,
+{
+    const KIND: Kind = Kind::Map;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        snapshot::write_collection(Kind::Map, MapOps::entries(self), out)
+    }
+}
+
+impl<K, V> SnapshotRead for ChampMap<K, V>
+where
+    K: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+    V: for<'de> Deserialize<'de> + Clone + PartialEq,
+{
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::read_collection(Kind::Map, bytes)
+    }
+}
+
+impl<T> SnapshotWrite for ChampSet<T>
+where
+    T: Serialize + Clone + Eq + Hash,
+{
+    const KIND: Kind = Kind::Set;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        snapshot::write_collection(Kind::Set, SetOps::iter(self), out)
+    }
+}
+
+impl<T> SnapshotRead for ChampSet<T>
+where
+    T: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+{
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::read_collection(Kind::Set, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn champ_collections_roundtrip() {
+        let map: ChampMap<u32, u32> = (0..400).map(|i| (i, i * 2)).collect();
+        assert_eq!(
+            ChampMap::read_snapshot(&map.snapshot_bytes().unwrap()).unwrap(),
+            map
+        );
+
+        let set: ChampSet<String> = (0..200).map(|i| format!("e{i}")).collect();
+        assert_eq!(
+            ChampSet::read_snapshot(&set.snapshot_bytes().unwrap()).unwrap(),
+            set
+        );
+    }
+}

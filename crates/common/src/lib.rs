@@ -15,7 +15,10 @@
 //! * [`iter`] — reusable adapters backing the map-of-sets implementations'
 //!   associated iterator types;
 //! * [`slices`] — dense slot-array edit helpers (borrowed path-copying and
-//!   owned in-place families) shared by the CHAMP/HAMT node encodings.
+//!   owned in-place families) shared by the CHAMP/HAMT node encodings;
+//! * [`snapshot`] — the versioned binary snapshot codec
+//!   (`SnapshotWrite`/`SnapshotRead`) every collection and the sharded
+//!   layer persist through.
 //!
 //! [HAMT]: https://en.wikipedia.org/wiki/Hash_array_mapped_trie
 //! [CHAMP]: https://doi.org/10.1145/2814270.2814312
@@ -43,7 +46,9 @@ pub mod hash;
 pub mod iter;
 pub mod ops;
 pub mod slices;
+pub mod snapshot;
 
 pub use bits::{bit_pos, index_in, mask, BITS_PER_LEVEL, FANOUT, HASH_BITS, LEVEL_MASK};
 pub use hash::hash32;
 pub use ops::{Builder, EditInPlace, MapOps, MultiMapOps, SetOps, Transient, TransientOps};
+pub use snapshot::{SnapshotError, SnapshotRead, SnapshotWrite};

@@ -58,6 +58,7 @@ mod ops;
 #[cfg(feature = "serde")]
 mod serde_impls;
 mod slots;
+mod snapshot;
 
 pub use bag::{BagRemoved, FusedBag, ValueBag, FUSE_MAX};
 pub use map::AxiomMap;

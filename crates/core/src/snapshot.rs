@@ -1,0 +1,134 @@
+//! Snapshot persistence ([`SnapshotWrite`] / [`SnapshotRead`]) for the
+//! AXIOM collections.
+//!
+//! A snapshot stores the flat element sequence only — trie shape, slot
+//! categories and the value-bag strategy stay implementation-private —
+//! and restore rebuilds through the transient bulk path, so the decoded
+//! trie is canonical and `==` to the source. `AxiomMultiMap` is generic
+//! over its bag, which means a snapshot written with one bag strategy
+//! restores under another (or under a different multi-map entirely).
+
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+use trie_common::ops::{MapOps, MultiMapOps, SetOps};
+use trie_common::snapshot::{self, Kind, SnapshotError, SnapshotRead, SnapshotWrite};
+
+use crate::bag::ValueBag;
+use crate::{AxiomMap, AxiomMultiMap, AxiomSet};
+
+impl<T> SnapshotWrite for AxiomSet<T>
+where
+    T: Serialize + Clone + Eq + Hash,
+{
+    const KIND: Kind = Kind::Set;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        snapshot::write_collection(Kind::Set, SetOps::iter(self), out)
+    }
+}
+
+impl<T> SnapshotRead for AxiomSet<T>
+where
+    T: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+{
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::read_collection(Kind::Set, bytes)
+    }
+}
+
+impl<K, V> SnapshotWrite for AxiomMap<K, V>
+where
+    K: Serialize + Clone + Eq + Hash,
+    V: Serialize + Clone + PartialEq,
+{
+    const KIND: Kind = Kind::Map;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        snapshot::write_collection(Kind::Map, MapOps::entries(self), out)
+    }
+}
+
+impl<K, V> SnapshotRead for AxiomMap<K, V>
+where
+    K: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+    V: for<'de> Deserialize<'de> + Clone + PartialEq,
+{
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::read_collection(Kind::Map, bytes)
+    }
+}
+
+impl<K, V, B> SnapshotWrite for AxiomMultiMap<K, V, B>
+where
+    K: Serialize + Clone + Eq + Hash,
+    V: Serialize + Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    const KIND: Kind = Kind::MultiMap;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        snapshot::write_collection(Kind::MultiMap, MultiMapOps::tuples(self), out)
+    }
+}
+
+impl<K, V, B> SnapshotRead for AxiomMultiMap<K, V, B>
+where
+    K: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+    V: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        snapshot::read_collection(Kind::MultiMap, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AxiomFusedMultiMap;
+
+    #[test]
+    fn axiom_collections_roundtrip() {
+        let set: AxiomSet<u32> = (0..500).collect();
+        assert_eq!(
+            AxiomSet::read_snapshot(&set.snapshot_bytes().unwrap()).unwrap(),
+            set
+        );
+
+        let map: AxiomMap<u32, String> = (0..300).map(|i| (i, format!("v{i}"))).collect();
+        assert_eq!(
+            AxiomMap::read_snapshot(&map.snapshot_bytes().unwrap()).unwrap(),
+            map
+        );
+
+        let mm: AxiomMultiMap<u32, u32> = (0..600).map(|i| (i / 3, i)).collect();
+        assert_eq!(
+            AxiomMultiMap::read_snapshot(&mm.snapshot_bytes().unwrap()).unwrap(),
+            mm
+        );
+    }
+
+    #[test]
+    fn snapshots_transfer_across_bag_strategies() {
+        let mm: AxiomMultiMap<u32, u32> = (0..200).map(|i| (i / 4, i)).collect();
+        let bytes = mm.snapshot_bytes().unwrap();
+        let fused: AxiomFusedMultiMap<u32, u32> =
+            AxiomFusedMultiMap::read_snapshot(&bytes).unwrap();
+        assert_eq!(fused.tuple_count(), mm.tuple_count());
+        assert_eq!(fused.key_count(), mm.key_count());
+        for (k, v) in mm.iter() {
+            assert!(fused.contains_tuple(k, v));
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let set: AxiomSet<u32> = (0..10).collect();
+        let bytes = set.snapshot_bytes().unwrap();
+        assert!(matches!(
+            AxiomMap::<u32, u32>::read_snapshot(&bytes),
+            Err(SnapshotError::WrongKind { .. })
+        ));
+    }
+}

@@ -28,6 +28,7 @@ pub mod set;
 
 mod heap;
 mod ops;
+mod snapshot;
 
 pub use heap::{
     hamt_map_jvm_with, hamt_map_rust_with, memo_map_jvm_with, memo_map_rust_with,

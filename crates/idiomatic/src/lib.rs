@@ -22,6 +22,7 @@
 mod clojure;
 mod nested;
 mod scala;
+mod snapshot;
 
 pub use clojure::{ClojureMultiMap, ClojureTuples, ClojureVal, ClojureValIter};
 pub use nested::{NestedChampMultiMap, NestedTuples};

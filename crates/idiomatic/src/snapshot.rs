@@ -1,0 +1,79 @@
+//! Snapshot persistence ([`SnapshotWrite`] / [`SnapshotRead`]) for the
+//! idiomatic multi-map baselines. All three share the multi-map wire kind,
+//! so snapshots transfer freely between them (and to/from the AXIOM
+//! multi-maps): the format stores flattened `(key, value)` tuples only.
+
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+use trie_common::ops::MultiMapOps;
+use trie_common::snapshot::{self, Kind, SnapshotError, SnapshotRead, SnapshotWrite};
+
+use crate::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+
+macro_rules! impl_multimap_snapshot {
+    ($ty:ident) => {
+        impl<K, V> SnapshotWrite for $ty<K, V>
+        where
+            K: Serialize + Clone + Eq + Hash,
+            V: Serialize + Clone + Eq + Hash,
+        {
+            const KIND: Kind = Kind::MultiMap;
+
+            fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+                snapshot::write_collection(Kind::MultiMap, MultiMapOps::tuples(self), out)
+            }
+        }
+
+        impl<K, V> SnapshotRead for $ty<K, V>
+        where
+            K: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+            V: for<'de> Deserialize<'de> + Clone + Eq + Hash,
+        {
+            fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+                snapshot::read_collection(Kind::MultiMap, bytes)
+            }
+        }
+    };
+}
+
+impl_multimap_snapshot!(ClojureMultiMap);
+impl_multimap_snapshot!(ScalaMultiMap);
+impl_multimap_snapshot!(NestedChampMultiMap);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn model<M: MultiMapOps<u32, u32>>(m: &M) -> BTreeSet<(u32, u32)> {
+        m.tuples().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    #[test]
+    fn idiomatic_multimaps_roundtrip_and_transfer() {
+        let tuples: Vec<(u32, u32)> = (0..500).map(|i| (i / 3, i)).collect();
+        let clojure: ClojureMultiMap<u32, u32> = tuples.iter().copied().collect();
+        let scala: ScalaMultiMap<u32, u32> = tuples.iter().copied().collect();
+        let nested: NestedChampMultiMap<u32, u32> = tuples.iter().copied().collect();
+
+        let bytes = clojure.snapshot_bytes().unwrap();
+        let back: ClojureMultiMap<u32, u32> = ClojureMultiMap::read_snapshot(&bytes).unwrap();
+        assert_eq!(model(&back), model(&clojure));
+
+        // The wire format is implementation-agnostic: a Clojure-idiom
+        // snapshot restores as the Scala idiom or the nested-CHAMP layout.
+        let as_scala: ScalaMultiMap<u32, u32> = ScalaMultiMap::read_snapshot(&bytes).unwrap();
+        assert_eq!(model(&as_scala), model(&scala));
+        let as_nested: NestedChampMultiMap<u32, u32> =
+            NestedChampMultiMap::read_snapshot(&bytes).unwrap();
+        assert_eq!(model(&as_nested), model(&nested));
+
+        let back: ScalaMultiMap<u32, u32> =
+            ScalaMultiMap::read_snapshot(&scala.snapshot_bytes().unwrap()).unwrap();
+        assert_eq!(model(&back), model(&scala));
+        let back: NestedChampMultiMap<u32, u32> =
+            NestedChampMultiMap::read_snapshot(&nested.snapshot_bytes().unwrap()).unwrap();
+        assert_eq!(model(&back), model(&nested));
+    }
+}

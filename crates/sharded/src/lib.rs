@@ -73,6 +73,7 @@ mod partition;
 mod publish;
 mod set;
 mod shards;
+mod snapshot;
 
 pub use map::{MapSnapshot, ShardedMap, SnapshotEntries};
 pub use multimap::{MultiMapSnapshot, ShardedMultiMap, SnapshotTuples};

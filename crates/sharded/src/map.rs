@@ -32,6 +32,16 @@ pub struct ShardedMap<K, V, M = AxiomMap<K, V>> {
     _entry: PhantomData<fn() -> (K, V)>,
 }
 
+impl<K, V, M> ShardedMap<K, V, M> {
+    /// Wraps a pre-built shard set (the restore path in `snapshot.rs`).
+    pub(crate) fn from_core(core: ShardSet<M>) -> Self {
+        ShardedMap {
+            core,
+            _entry: PhantomData,
+        }
+    }
+}
+
 impl<K, V, M> ShardedMap<K, V, M>
 where
     K: Hash,

@@ -47,6 +47,16 @@ pub struct ShardedMultiMap<K, V, M = AxiomMultiMap<K, V>> {
     _tuple: PhantomData<fn() -> (K, V)>,
 }
 
+impl<K, V, M> ShardedMultiMap<K, V, M> {
+    /// Wraps a pre-built shard set (the restore path in `snapshot.rs`).
+    pub(crate) fn from_core(core: ShardSet<M>) -> Self {
+        ShardedMultiMap {
+            core,
+            _tuple: PhantomData,
+        }
+    }
+}
+
 impl<K, V, M> ShardedMultiMap<K, V, M>
 where
     K: Hash,

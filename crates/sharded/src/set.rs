@@ -32,6 +32,16 @@ pub struct ShardedSet<T, S = AxiomSet<T>> {
     _elem: PhantomData<fn() -> T>,
 }
 
+impl<T, S> ShardedSet<T, S> {
+    /// Wraps a pre-built shard set (the restore path in `snapshot.rs`).
+    pub(crate) fn from_core(core: ShardSet<S>) -> Self {
+        ShardedSet {
+            core,
+            _elem: PhantomData,
+        }
+    }
+}
+
 impl<T, S> ShardedSet<T, S>
 where
     T: Hash,

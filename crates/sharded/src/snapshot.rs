@@ -1,0 +1,512 @@
+//! Durable snapshots for the sharded wrappers: `save_snapshot` /
+//! `load_snapshot` over the [`trie_common::snapshot`] format.
+//!
+//! A sharded save serializes each shard's published `Arc` snapshot as its
+//! own section of the frame — every shard encodes **in parallel** on a
+//! scoped worker thread, and readers are completely unaffected (the save
+//! works on frozen persistent tries; writers can keep publishing
+//! mid-save, the saved cut is simply the snapshot acquired at the start).
+//!
+//! A load validates the framing first (shard table, payload bounds), then
+//! decodes every stored section in parallel, **re-routing each element
+//! through the partition function of the new shard count** and
+//! bulk-building the target shards through the transient protocol. The
+//! shard count is therefore a restore-time choice: a snapshot saved at 8
+//! shards restores at 1, 2 or 256 — the first step toward resharding.
+//! Because the wire format stores only elements (kind-tagged, not
+//! topology-bound), plain collections can read sharded snapshots and vice
+//! versa.
+
+use std::hash::Hash;
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+use trie_common::ops::{MapOps, MultiMapOps, SetOps, TransientOps};
+use trie_common::snapshot::{
+    encode_section, write_frame, Frame, FrameSection, Kind, Section, SnapshotError, SnapshotRead,
+    SnapshotWrite,
+};
+
+use crate::partition::{Partition, MAX_SHARDS};
+use crate::shards::ShardSet;
+use crate::{MapSnapshot, MultiMapSnapshot, SetSnapshot, ShardedMap, ShardedMultiMap, ShardedSet};
+
+// ------------------------------------------------------ shared machinery
+
+/// Encodes one section per shard, in parallel (one scoped worker per
+/// non-trivial shard; trivially-empty shards encode inline), and appends
+/// the framed result to `out` (no intermediate whole-snapshot buffer).
+fn save_parallel<C: Sync>(
+    kind: Kind,
+    shards: &[&C],
+    is_empty: impl Fn(&C) -> bool,
+    encode: impl Fn(&C) -> Result<Section, SnapshotError> + Sync,
+    out: &mut Vec<u8>,
+) -> Result<(), SnapshotError> {
+    let encode = &encode;
+    let sections: Vec<Result<Section, SnapshotError>> = thread::scope(|scope| {
+        let workers: Vec<_> = shards
+            .iter()
+            .map(|&shard| {
+                if is_empty(shard) {
+                    None
+                } else {
+                    Some(scope.spawn(move || encode(shard)))
+                }
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|worker| match worker {
+                Some(handle) => handle.join().expect("snapshot encoder panicked"),
+                None => encode_section(std::iter::empty::<()>()),
+            })
+            .collect()
+    });
+    let sections = sections.into_iter().collect::<Result<Vec<_>, _>>()?;
+    write_frame(kind, &sections, out)
+}
+
+/// Decodes every stored section in parallel, routing each element into one
+/// of `new_count` buckets; returns the merged per-new-shard parts.
+fn decode_and_route<Item>(
+    sections: &[FrameSection<'_>],
+    new_count: usize,
+    route: impl Fn(&Item) -> usize + Sync,
+) -> Result<Vec<Vec<Item>>, SnapshotError>
+where
+    Item: Send + for<'de> Deserialize<'de>,
+{
+    let route = &route;
+    let routed: Vec<Result<Vec<Vec<Item>>, SnapshotError>> = thread::scope(|scope| {
+        let workers: Vec<_> = sections
+            .iter()
+            .map(|&section| {
+                if section.count == 0 && section.byte_len() == 0 {
+                    None
+                } else {
+                    Some(scope.spawn(move || {
+                        let mut buckets: Vec<Vec<Item>> =
+                            (0..new_count).map(|_| Vec::new()).collect();
+                        section.decode_each(|item| buckets[route(&item)].push(item))?;
+                        Ok(buckets)
+                    }))
+                }
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|worker| match worker {
+                Some(handle) => handle.join().expect("snapshot decoder panicked"),
+                None => Ok((0..new_count).map(|_| Vec::new()).collect()),
+            })
+            .collect()
+    });
+    let mut parts: Vec<Vec<Item>> = (0..new_count).map(|_| Vec::new()).collect();
+    for buckets in routed {
+        for (part, bucket) in parts.iter_mut().zip(buckets?) {
+            part.extend(bucket);
+        }
+    }
+    Ok(parts)
+}
+
+/// Validates a *stored* shard count as a partition without panicking
+/// (corrupt or foreign snapshots must error, not abort).
+fn stored_partition(count: usize) -> Result<Partition, SnapshotError> {
+    if count.is_power_of_two() && (1..=MAX_SHARDS).contains(&count) {
+        Ok(Partition::new(count))
+    } else {
+        Err(SnapshotError::Codec(format!(
+            "stored shard count {count} is not a power of two in 1..={MAX_SHARDS}"
+        )))
+    }
+}
+
+fn parse_expecting<'a>(bytes: &'a [u8], kind: Kind) -> Result<Frame<'a>, SnapshotError> {
+    let frame = Frame::parse(bytes)?;
+    frame.expect_kind(kind)?;
+    Ok(frame)
+}
+
+// ----------------------------------------------------------- multi-map
+
+impl<K, V, M> MultiMapSnapshot<K, V, M>
+where
+    K: Hash + Serialize,
+    V: Serialize,
+    M: MultiMapOps<K, V> + Sync,
+{
+    /// Serializes this frozen snapshot, one frame section per shard,
+    /// encoding shards in parallel.
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut out = Vec::new();
+        self.write_snapshot_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the snapshot to `out` (the allocation-free-at-the-seam
+    /// variant backing [`SnapshotWrite`]).
+    fn write_snapshot_into(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        let shards: Vec<&M> = (0..self.shard_count()).map(|i| self.shard(i)).collect();
+        save_parallel(
+            Kind::MultiMap,
+            &shards,
+            |m| m.is_empty(),
+            |m| encode_section(m.tuples()),
+            out,
+        )
+    }
+}
+
+impl<K, V, M> ShardedMultiMap<K, V, M>
+where
+    K: Hash + Serialize,
+    V: Serialize,
+    M: MultiMapOps<K, V> + Sync,
+{
+    /// Takes a consistent-per-shard snapshot and serializes it (see
+    /// [`MultiMapSnapshot::save_snapshot`]). Concurrent writers are never
+    /// blocked: the save works on the frozen `Arc` snapshots acquired up
+    /// front.
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.snapshot().save_snapshot()
+    }
+}
+
+impl<K, V, M> ShardedMultiMap<K, V, M>
+where
+    K: Hash + Send + for<'de> Deserialize<'de>,
+    V: Send + for<'de> Deserialize<'de>,
+    M: MultiMapOps<K, V> + TransientOps<(K, V)> + Send,
+{
+    /// Restores a snapshot at `shards` shards — any power of two in
+    /// `1..=`[`crate::MAX_SHARDS`], independent of the count it was saved
+    /// with. Stored sections decode in parallel, elements re-route through
+    /// the new partition, and every target shard bulk-builds through the
+    /// transient protocol on its own worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is not a valid partition size (same contract as
+    /// [`ShardedMultiMap::with_shards`]); corrupt `bytes` never panic.
+    pub fn load_snapshot(bytes: &[u8], shards: usize) -> Result<Self, SnapshotError> {
+        let frame = parse_expecting(bytes, Kind::MultiMap)?;
+        let partition = Partition::new(shards);
+        let parts = decode_and_route(frame.sections(), partition.count(), |(k, _): &(K, V)| {
+            partition.shard_of(k)
+        })?;
+        Ok(Self::from_core(ShardSet::build_parallel(
+            partition,
+            parts,
+            M::built_from,
+        )))
+    }
+}
+
+impl<K, V, M> SnapshotWrite for ShardedMultiMap<K, V, M>
+where
+    K: Hash + Serialize,
+    V: Serialize,
+    M: MultiMapOps<K, V> + Sync,
+{
+    const KIND: Kind = Kind::MultiMap;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        self.snapshot().write_snapshot_into(out)
+    }
+}
+
+impl<K, V, M> SnapshotRead for ShardedMultiMap<K, V, M>
+where
+    K: Hash + Send + for<'de> Deserialize<'de>,
+    V: Send + for<'de> Deserialize<'de>,
+    M: MultiMapOps<K, V> + TransientOps<(K, V)> + Send,
+{
+    /// Restores at the snapshot's stored shard count (errors — never
+    /// panics — if that count is not a valid partition; use
+    /// [`ShardedMultiMap::load_snapshot`] to reshard).
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let frame = parse_expecting(bytes, Kind::MultiMap)?;
+        let partition = stored_partition(frame.sections().len())?;
+        let parts = decode_and_route(frame.sections(), partition.count(), |(k, _): &(K, V)| {
+            partition.shard_of(k)
+        })?;
+        Ok(Self::from_core(ShardSet::build_parallel(
+            partition,
+            parts,
+            M::built_from,
+        )))
+    }
+}
+
+// ----------------------------------------------------------------- map
+
+impl<K, V, M> MapSnapshot<K, V, M>
+where
+    K: Hash + Serialize,
+    V: Serialize,
+    M: MapOps<K, V> + Sync,
+{
+    /// Serializes this frozen snapshot, one frame section per shard,
+    /// encoding shards in parallel.
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut out = Vec::new();
+        self.write_snapshot_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the snapshot to `out` (the allocation-free-at-the-seam
+    /// variant backing [`SnapshotWrite`]).
+    fn write_snapshot_into(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        let shards: Vec<&M> = (0..self.shard_count()).map(|i| self.shard(i)).collect();
+        save_parallel(
+            Kind::Map,
+            &shards,
+            |m| m.is_empty(),
+            |m| encode_section(m.entries()),
+            out,
+        )
+    }
+}
+
+impl<K, V, M> ShardedMap<K, V, M>
+where
+    K: Hash + Serialize,
+    V: Serialize,
+    M: MapOps<K, V> + Sync,
+{
+    /// Takes a consistent-per-shard snapshot and serializes it (see
+    /// [`MapSnapshot::save_snapshot`]).
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.snapshot().save_snapshot()
+    }
+}
+
+impl<K, V, M> ShardedMap<K, V, M>
+where
+    K: Hash + Send + for<'de> Deserialize<'de>,
+    V: Send + for<'de> Deserialize<'de>,
+    M: MapOps<K, V> + TransientOps<(K, V)> + Send,
+{
+    /// Restores a snapshot at `shards` shards (see
+    /// [`ShardedMultiMap::load_snapshot`] for the contract).
+    pub fn load_snapshot(bytes: &[u8], shards: usize) -> Result<Self, SnapshotError> {
+        let frame = parse_expecting(bytes, Kind::Map)?;
+        let partition = Partition::new(shards);
+        let parts = decode_and_route(frame.sections(), partition.count(), |(k, _): &(K, V)| {
+            partition.shard_of(k)
+        })?;
+        Ok(Self::from_core(ShardSet::build_parallel(
+            partition,
+            parts,
+            M::built_from,
+        )))
+    }
+}
+
+impl<K, V, M> SnapshotWrite for ShardedMap<K, V, M>
+where
+    K: Hash + Serialize,
+    V: Serialize,
+    M: MapOps<K, V> + Sync,
+{
+    const KIND: Kind = Kind::Map;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        self.snapshot().write_snapshot_into(out)
+    }
+}
+
+impl<K, V, M> SnapshotRead for ShardedMap<K, V, M>
+where
+    K: Hash + Send + for<'de> Deserialize<'de>,
+    V: Send + for<'de> Deserialize<'de>,
+    M: MapOps<K, V> + TransientOps<(K, V)> + Send,
+{
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let frame = parse_expecting(bytes, Kind::Map)?;
+        let partition = stored_partition(frame.sections().len())?;
+        let parts = decode_and_route(frame.sections(), partition.count(), |(k, _): &(K, V)| {
+            partition.shard_of(k)
+        })?;
+        Ok(Self::from_core(ShardSet::build_parallel(
+            partition,
+            parts,
+            M::built_from,
+        )))
+    }
+}
+
+// ----------------------------------------------------------------- set
+
+impl<T, S> SetSnapshot<T, S>
+where
+    T: Hash + Serialize,
+    S: SetOps<T> + Sync,
+{
+    /// Serializes this frozen snapshot, one frame section per shard,
+    /// encoding shards in parallel.
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut out = Vec::new();
+        self.write_snapshot_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Appends the snapshot to `out` (the allocation-free-at-the-seam
+    /// variant backing [`SnapshotWrite`]).
+    fn write_snapshot_into(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        let shards: Vec<&S> = (0..self.shard_count()).map(|i| self.shard(i)).collect();
+        save_parallel(
+            Kind::Set,
+            &shards,
+            |s| s.is_empty(),
+            |s| encode_section(s.iter()),
+            out,
+        )
+    }
+}
+
+impl<T, S> ShardedSet<T, S>
+where
+    T: Hash + Serialize,
+    S: SetOps<T> + Sync,
+{
+    /// Takes a consistent-per-shard snapshot and serializes it (see
+    /// [`SetSnapshot::save_snapshot`]).
+    pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.snapshot().save_snapshot()
+    }
+}
+
+impl<T, S> ShardedSet<T, S>
+where
+    T: Hash + Send + for<'de> Deserialize<'de>,
+    S: SetOps<T> + TransientOps<T> + Send,
+{
+    /// Restores a snapshot at `shards` shards (see
+    /// [`ShardedMultiMap::load_snapshot`] for the contract).
+    pub fn load_snapshot(bytes: &[u8], shards: usize) -> Result<Self, SnapshotError> {
+        let frame = parse_expecting(bytes, Kind::Set)?;
+        let partition = Partition::new(shards);
+        let parts = decode_and_route(frame.sections(), partition.count(), |t: &T| {
+            partition.shard_of(t)
+        })?;
+        Ok(Self::from_core(ShardSet::build_parallel(
+            partition,
+            parts,
+            S::built_from,
+        )))
+    }
+}
+
+impl<T, S> SnapshotWrite for ShardedSet<T, S>
+where
+    T: Hash + Serialize,
+    S: SetOps<T> + Sync,
+{
+    const KIND: Kind = Kind::Set;
+
+    fn write_snapshot(&self, out: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        self.snapshot().write_snapshot_into(out)
+    }
+}
+
+impl<T, S> SnapshotRead for ShardedSet<T, S>
+where
+    T: Hash + Send + for<'de> Deserialize<'de>,
+    S: SetOps<T> + TransientOps<T> + Send,
+{
+    fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let frame = parse_expecting(bytes, Kind::Set)?;
+        let partition = stored_partition(frame.sections().len())?;
+        let parts = decode_and_route(frame.sections(), partition.count(), |t: &T| {
+            partition.shard_of(t)
+        })?;
+        Ok(Self::from_core(ShardSet::build_parallel(
+            partition,
+            parts,
+            S::built_from,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn multimap_save_restore_across_shard_counts() {
+        let tuples: Vec<(u32, u32)> = (0..3000).map(|i| (i / 3, i)).collect();
+        let mm: ShardedMultiMap<u32, u32> = ShardedMultiMap::build_parallel(8, tuples.clone());
+        let bytes = mm.save_snapshot().unwrap();
+
+        for shards in [1usize, 2, 8, 32] {
+            let back: ShardedMultiMap<u32, u32> =
+                ShardedMultiMap::load_snapshot(&bytes, shards).unwrap();
+            assert_eq!(back.shard_count(), shards);
+            assert_eq!(back.tuple_count(), mm.tuple_count());
+            assert_eq!(back.key_count(), mm.key_count());
+            let snap = back.snapshot();
+            for (k, v) in &tuples {
+                assert!(snap.contains_tuple(k, v), "{shards} shards lost ({k},{v})");
+            }
+        }
+
+        // SnapshotRead restores at the stored count.
+        let same: ShardedMultiMap<u32, u32> = ShardedMultiMap::read_snapshot(&bytes).unwrap();
+        assert_eq!(same.shard_count(), 8);
+        assert_eq!(same.tuple_count(), mm.tuple_count());
+    }
+
+    #[test]
+    fn map_and_set_save_restore() {
+        let m: ShardedMap<u32, String> =
+            ShardedMap::build_parallel(4, (0..800u32).map(|i| (i, format!("v{i}"))));
+        let bytes = m.save_snapshot().unwrap();
+        let back: ShardedMap<u32, String> = ShardedMap::load_snapshot(&bytes, 2).unwrap();
+        assert_eq!(back.len(), 800);
+        assert_eq!(back.get_cloned(&17), Some("v17".into()));
+
+        let s: ShardedSet<u32> = ShardedSet::build_parallel(4, 0..500u32);
+        let bytes = s.save_snapshot().unwrap();
+        let back: ShardedSet<u32> = ShardedSet::load_snapshot(&bytes, 8).unwrap();
+        assert_eq!(back.len(), 500);
+        let snap = back.snapshot();
+        let elems: BTreeSet<u32> = snap.iter().copied().collect();
+        assert_eq!(elems.len(), 500);
+    }
+
+    #[test]
+    fn empty_and_skewed_instances_roundtrip() {
+        let empty: ShardedMultiMap<u32, u32> = ShardedMultiMap::with_shards(8);
+        let bytes = empty.save_snapshot().unwrap();
+        let back: ShardedMultiMap<u32, u32> = ShardedMultiMap::load_snapshot(&bytes, 2).unwrap();
+        assert!(back.is_empty());
+
+        // One key: 7 of 8 sections are empty.
+        let skewed: ShardedMultiMap<u32, u32> =
+            ShardedMultiMap::build_parallel(8, [(42u32, 1u32), (42, 2)]);
+        let back: ShardedMultiMap<u32, u32> =
+            ShardedMultiMap::load_snapshot(&skewed.save_snapshot().unwrap(), 1).unwrap();
+        assert_eq!(back.tuple_count(), 2);
+        assert_eq!(back.value_count(&42), 2);
+    }
+
+    #[test]
+    fn foreign_shard_counts_error_on_read_snapshot() {
+        // A plain (1-section) snapshot restores fine; a hand-built 3-section
+        // frame is not a valid partition and must error, not panic.
+        use trie_common::snapshot::{encode_section, write_frame};
+        let sections: Vec<_> = (0..3)
+            .map(|i| encode_section([(i as u32, i as u32)]).unwrap())
+            .collect();
+        let mut bytes = Vec::new();
+        write_frame(Kind::MultiMap, &sections, &mut bytes).unwrap();
+        assert!(ShardedMultiMap::<u32, u32>::read_snapshot(&bytes).is_err());
+        // But an explicit reshard target accepts any frame.
+        let back: ShardedMultiMap<u32, u32> = ShardedMultiMap::load_snapshot(&bytes, 2).unwrap();
+        assert_eq!(back.tuple_count(), 3);
+    }
+}

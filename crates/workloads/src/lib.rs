@@ -12,6 +12,8 @@
 //! * [`concurrent`] — scenarios for the sharded layer: parallel bulk-build
 //!   sizing and mixed read/write traffic (writer batch scripts + read
 //!   probes);
+//! * [`snapshot`] — save/restore scenarios for the persistence layer
+//!   (sized relations plus hit/partial/miss probe oracles);
 //! * [`timing`] — JMH-like warmup + measurement iterations with median/MAD
 //!   statistics and box-plot-style ratio summaries;
 //! * [`report`] — markdown table emission so the binaries regenerate the
@@ -34,6 +36,7 @@ pub mod build;
 pub mod concurrent;
 pub mod data;
 pub mod report;
+pub mod snapshot;
 pub mod timing;
 
 pub use build::{map_persistent, map_transient, multimap_persistent, multimap_transient};
@@ -43,4 +46,5 @@ pub use data::{
     MultiMapWorkload, ValueDist, BURST, SEEDS,
 };
 pub use report::{expectation_line, fmt_bytes, fmt_ns, Table};
+pub use snapshot::{snapshot_workload, verify_restore, SnapshotWorkload};
 pub use timing::{measure, BenchOptions, RatioSummary, Stats};

@@ -20,6 +20,34 @@ fn readme_sharded_quick_start() {
 }
 
 #[test]
+fn readme_snapshot_quick_start() {
+    use axiom_repro::axiom::AxiomMultiMap;
+    use axiom_repro::sharded::ShardedMultiMap;
+    use axiom_repro::trie_common::snapshot::{SnapshotRead, SnapshotWrite};
+
+    let mm: ShardedMultiMap<u32, u32> =
+        ShardedMultiMap::build_parallel(8, (0..1000u32).map(|i| (i % 100, i)));
+
+    // Parallel per-shard encode; readers/writers are never blocked.
+    let bytes = mm.save_snapshot().unwrap();
+
+    // Restore at a different shard count: elements re-route automatically.
+    let narrow: ShardedMultiMap<u32, u32> = ShardedMultiMap::load_snapshot(&bytes, 2).unwrap();
+    assert_eq!(narrow.tuple_count(), 1000);
+
+    // The same bytes restore into a plain (unsharded) trie, and back.
+    let plain: AxiomMultiMap<u32, u32> = AxiomMultiMap::read_snapshot(&bytes).unwrap();
+    assert_eq!(plain.tuple_count(), 1000);
+    let rebytes = plain.snapshot_bytes().unwrap();
+    assert_eq!(
+        ShardedMultiMap::<u32, u32>::load_snapshot(&rebytes, 8)
+            .unwrap()
+            .key_count(),
+        100
+    );
+}
+
+#[test]
 fn readme_quick_start() {
     let deps = AxiomMultiMap::<&str, &str>::built_from([
         ("typeck", "parser"),

@@ -1,0 +1,356 @@
+//! Differential round-trip suite for the snapshot codec.
+//!
+//! For every collection in the workspace: build from a random edit script
+//! (inserts *and* removals, so non-canonical HAMT shapes and canonicalized
+//! CHAMP/AXIOM removal paths both feed the encoder), snapshot, restore, and
+//! require
+//!
+//! 1. `decode(encode(c)) == c` where the type has `PartialEq` (for the
+//!    canonical tries this is *structural* equality — the extensional
+//!    round-trip guarantee of canonical representations);
+//! 2. the decoded collection's content model equals the original's, and
+//!    both equal an independently-maintained `BTreeMap`/`BTreeSet` model;
+//! 3. the byte buffer itself validates under `inspect` with the right
+//!    kind and item count.
+//!
+//! Keys run both verbatim and wrapped in [`FewBuckets`] (a deliberately
+//! colliding `Hash`), so collision-node encodings round-trip too; the
+//! multi-map scripts mix 1-value keys (CAT1 inlined slots) and ≥2-value
+//! keys (CAT2 nested bags), exercising both categories plus promotions.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use axiom_repro::trie_common::ops::{MapOps, MultiMapOps, SetOps};
+use axiom_repro::trie_common::snapshot::{inspect, Kind, SnapshotRead, SnapshotWrite};
+
+/// Key wrapper hashing into very few buckets: forces sub-trie chains and
+/// full-hash collision nodes even for small scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct FewBuckets(u16);
+
+impl Hash for FewBuckets {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u16(self.0 % 7);
+    }
+}
+
+// FewBuckets must cross the wire; encode as its inner number.
+impl serde::Serialize for FewBuckets {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for FewBuckets {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u16::deserialize(deserializer).map(FewBuckets)
+    }
+}
+
+/// One scripted edit, decoded from a raw `(selector, key, value)` triple.
+/// Inserts dominate so collections grow; `v % 6` keeps several values per
+/// key likely (CAT2 bags) while `RemoveTuple` can demote a bag back to a
+/// singleton (CAT1).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u16, u16),
+    RemoveTuple(u16, u16),
+    RemoveKey(u16),
+}
+
+fn decode_script(script: &[(u8, u16, u16)]) -> Vec<Op> {
+    script
+        .iter()
+        .map(|&(sel, k, v)| match sel % 5 {
+            0..=2 => Op::Insert(k % 48, v % 6),
+            3 => Op::RemoveTuple(k % 48, v % 6),
+            _ => Op::RemoveKey(k % 48),
+        })
+        .collect()
+}
+
+type MmModel<K> = BTreeMap<K, BTreeSet<u16>>;
+
+fn mm_model<K: Ord + Clone, M: MultiMapOps<K, u16>>(m: &M) -> MmModel<K> {
+    let mut out: MmModel<K> = BTreeMap::new();
+    for (k, v) in m.tuples() {
+        assert!(out.entry(k.clone()).or_default().insert(*v));
+    }
+    assert_eq!(m.key_count(), out.len());
+    out
+}
+
+/// Builds the collection plus its model from the script, snapshots,
+/// restores, and checks the three differential properties. `$eq` adds the
+/// `decoded == original` check for types with `PartialEq`.
+macro_rules! check_multimap {
+    ($ty:ty, $mk_key:expr, $script:expr $(, $eq:tt)?) => {{
+        let mk = $mk_key;
+        let mut original: $ty = MultiMapOps::empty();
+        let mut model: MmModel<_> = BTreeMap::new();
+        for op in $script {
+            match *op {
+                Op::Insert(k, v) => {
+                    let k = mk(k);
+                    model.entry(k.clone()).or_default().insert(v);
+                    original.insert_mut(k, v);
+                }
+                Op::RemoveTuple(k, v) => {
+                    let k = mk(k);
+                    if let Some(s) = model.get_mut(&k) {
+                        s.remove(&v);
+                        if s.is_empty() {
+                            model.remove(&k);
+                        }
+                    }
+                    original.remove_tuple_mut(&k, &v);
+                }
+                Op::RemoveKey(k) => {
+                    let k = mk(k);
+                    model.remove(&k);
+                    original.remove_key_mut(&k);
+                }
+            }
+        }
+        let bytes = original.snapshot_bytes().expect("encode");
+        let info = inspect(&bytes).expect("inspect");
+        assert_eq!(info.kind, Kind::MultiMap, "{}", stringify!($ty));
+        assert_eq!(info.items(), original.tuple_count() as u64, "{}", stringify!($ty));
+        let decoded = <$ty>::read_snapshot(&bytes).expect("decode");
+        assert_eq!(mm_model(&original), model, "{}: original vs model", stringify!($ty));
+        assert_eq!(mm_model(&decoded), model, "{}: decoded vs model", stringify!($ty));
+        $(check_multimap!(@eq $eq decoded original $ty);)?
+    }};
+    (@eq == $decoded:ident $original:ident $ty:ty) => {
+        assert_eq!($decoded, $original, "{}: decoded != original", stringify!($ty));
+    };
+}
+
+macro_rules! check_map {
+    ($ty:ty, $mk_key:expr, $script:expr) => {{
+        let mk = $mk_key;
+        let mut original: $ty = MapOps::empty();
+        let mut model = BTreeMap::new();
+        for op in $script {
+            match *op {
+                Op::Insert(k, v) => {
+                    let k = mk(k);
+                    model.insert(k.clone(), v);
+                    original.insert_mut(k, v);
+                }
+                Op::RemoveTuple(k, _) | Op::RemoveKey(k) => {
+                    let k = mk(k);
+                    model.remove(&k);
+                    original.remove_mut(&k);
+                }
+            }
+        }
+        let bytes = original.snapshot_bytes().expect("encode");
+        let info = inspect(&bytes).expect("inspect");
+        assert_eq!(info.kind, Kind::Map, "{}", stringify!($ty));
+        assert_eq!(
+            info.items(),
+            MapOps::len(&original) as u64,
+            "{}",
+            stringify!($ty)
+        );
+        let decoded = <$ty>::read_snapshot(&bytes).expect("decode");
+        let model_of =
+            |m: &$ty| -> BTreeMap<_, u16> { m.entries().map(|(k, v)| (k.clone(), *v)).collect() };
+        assert_eq!(
+            model_of(&original),
+            model,
+            "{}: original vs model",
+            stringify!($ty)
+        );
+        assert_eq!(
+            model_of(&decoded),
+            model,
+            "{}: decoded vs model",
+            stringify!($ty)
+        );
+        assert_eq!(
+            decoded,
+            original,
+            "{}: decoded != original",
+            stringify!($ty)
+        );
+    }};
+}
+
+macro_rules! check_set {
+    ($ty:ty, $mk_key:expr, $script:expr) => {{
+        let mk = $mk_key;
+        let mut original: $ty = SetOps::empty();
+        let mut model = BTreeSet::new();
+        for op in $script {
+            match *op {
+                Op::Insert(k, _) => {
+                    let k = mk(k);
+                    model.insert(k.clone());
+                    original.insert_mut(k);
+                }
+                Op::RemoveTuple(k, _) | Op::RemoveKey(k) => {
+                    let k = mk(k);
+                    model.remove(&k);
+                    original.remove_mut(&k);
+                }
+            }
+        }
+        let bytes = original.snapshot_bytes().expect("encode");
+        let info = inspect(&bytes).expect("inspect");
+        assert_eq!(info.kind, Kind::Set, "{}", stringify!($ty));
+        assert_eq!(
+            info.items(),
+            SetOps::len(&original) as u64,
+            "{}",
+            stringify!($ty)
+        );
+        let decoded = <$ty>::read_snapshot(&bytes).expect("decode");
+        let model_of = |s: &$ty| -> BTreeSet<_> { s.iter().cloned().collect() };
+        assert_eq!(
+            model_of(&original),
+            model,
+            "{}: original vs model",
+            stringify!($ty)
+        );
+        assert_eq!(
+            model_of(&decoded),
+            model,
+            "{}: decoded vs model",
+            stringify!($ty)
+        );
+        assert_eq!(
+            decoded,
+            original,
+            "{}: decoded != original",
+            stringify!($ty)
+        );
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multimaps_roundtrip_differentially(
+        raw in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..160),
+    ) {
+        let script = decode_script(&raw);
+        check_multimap!(AxiomMultiMap<u16, u16>, |k: u16| k, &script, ==);
+        check_multimap!(AxiomFusedMultiMap<u16, u16>, |k: u16| k, &script, ==);
+        check_multimap!(ClojureMultiMap<u16, u16>, |k: u16| k, &script);
+        check_multimap!(ScalaMultiMap<u16, u16>, |k: u16| k, &script);
+        check_multimap!(NestedChampMultiMap<u16, u16>, |k: u16| k, &script);
+        // Colliding keys: collision-node encodings round-trip too.
+        check_multimap!(AxiomMultiMap<FewBuckets, u16>, FewBuckets, &script, ==);
+        check_multimap!(AxiomFusedMultiMap<FewBuckets, u16>, FewBuckets, &script, ==);
+    }
+
+    #[test]
+    fn maps_and_sets_roundtrip_differentially(
+        raw in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..160),
+    ) {
+        let script = decode_script(&raw);
+        check_map!(AxiomMap<u16, u16>, |k: u16| k, &script);
+        check_map!(ChampMap<u16, u16>, |k: u16| k, &script);
+        check_map!(HamtMap<u16, u16>, |k: u16| k, &script);
+        check_map!(MemoHamtMap<u16, u16>, |k: u16| k, &script);
+        check_map!(AxiomMap<FewBuckets, u16>, FewBuckets, &script);
+        check_map!(ChampMap<FewBuckets, u16>, FewBuckets, &script);
+        check_map!(HamtMap<FewBuckets, u16>, FewBuckets, &script);
+        check_map!(MemoHamtMap<FewBuckets, u16>, FewBuckets, &script);
+
+        check_set!(AxiomSet<u16>, |k: u16| k, &script);
+        check_set!(ChampSet<u16>, |k: u16| k, &script);
+        check_set!(HamtSet<u16>, |k: u16| k, &script);
+        check_set!(MemoHamtSet<u16>, |k: u16| k, &script);
+        check_set!(AxiomSet<FewBuckets>, FewBuckets, &script);
+        check_set!(ChampSet<FewBuckets>, FewBuckets, &script);
+    }
+
+    #[test]
+    fn string_payloads_roundtrip(
+        entries in prop::collection::vec((any::<u16>(), any::<u16>()), 0..40),
+    ) {
+        // Heap-allocated, variable-length values (incl. escapes and
+        // non-ASCII) through the same path.
+        let mut original: AxiomMap<u16, String> = AxiomMap::new();
+        for (k, v) in &entries {
+            let value = match v % 4 {
+                0 => String::new(),
+                1 => format!("v{v}"),
+                2 => format!("é☃{}\n\"quoted\"", v / 7),
+                _ => "x".repeat((v % 200) as usize),
+            };
+            original.insert_mut(*k, value);
+        }
+        let decoded = AxiomMap::read_snapshot(&original.snapshot_bytes().unwrap()).unwrap();
+        prop_assert_eq!(decoded, original);
+    }
+}
+
+/// Deterministic CAT1/CAT2 coverage (independent of proptest's draws): a
+/// multi-map holding exactly one singleton key, one promoted key, and one
+/// collision-heavy key must round-trip structurally.
+#[test]
+fn cat1_and_cat2_bags_roundtrip() {
+    let mut mm: AxiomMultiMap<u16, u16> = AxiomMultiMap::new();
+    mm.insert_mut(1, 10); // CAT1: stays a singleton
+    mm.insert_mut(2, 20); // CAT2: promoted by the second value
+    mm.insert_mut(2, 21);
+    for v in 0..40 {
+        mm.insert_mut(3, v); // CAT2: large bag (nested-set representation)
+    }
+    let decoded = AxiomMultiMap::read_snapshot(&mm.snapshot_bytes().unwrap()).unwrap();
+    assert_eq!(decoded, mm);
+    assert_eq!(decoded.value_count(&1), 1);
+    assert_eq!(decoded.value_count(&2), 2);
+    assert_eq!(decoded.value_count(&3), 40);
+
+    let fused: AxiomFusedMultiMap<u16, u16> =
+        AxiomFusedMultiMap::read_snapshot(&mm.snapshot_bytes().unwrap()).unwrap();
+    assert_eq!(fused.tuple_count(), mm.tuple_count());
+}
+
+/// The restored trie is canonical even when the source was not: a
+/// Clojure-style HAMT left non-canonical by deletions re-encodes to the
+/// same bytes as its canonical rebuild (extensionality on the wire).
+#[test]
+fn snapshots_are_extensional() {
+    let mut hamt: HamtMap<u16, u16> = (0..200).map(|i| (i, i)).collect();
+    for i in 0..100u16 {
+        hamt.remove_mut(&(i * 2));
+    }
+    let bytes_from_edited = hamt.snapshot_bytes().unwrap();
+    let rebuilt = HamtMap::read_snapshot(&bytes_from_edited).unwrap();
+    let bytes_from_rebuilt = rebuilt.snapshot_bytes().unwrap();
+    // Decode→encode is a fixpoint: both decode to equal maps, and the
+    // re-encoded form is stable.
+    let again = HamtMap::read_snapshot(&bytes_from_rebuilt).unwrap();
+    assert_eq!(again, rebuilt);
+    assert_eq!(rebuilt, hamt);
+    assert_eq!(
+        bytes_from_rebuilt,
+        again.snapshot_bytes().unwrap(),
+        "canonical rebuilds must re-encode identically"
+    );
+
+    // For the canonical AXIOM trie the fixpoint holds from the start:
+    // edit-history-independent bytes.
+    let mut a: AxiomSet<u16> = (0..300).collect();
+    for i in 0..150u16 {
+        a.remove_mut(&(i * 2));
+    }
+    // Same contents as `a`, built without ever removing.
+    let b: AxiomSet<u16> = (0..300u16).filter(|v| v % 2 == 1).collect();
+    assert_eq!(a, b);
+    assert_eq!(a.snapshot_bytes().unwrap(), b.snapshot_bytes().unwrap());
+}

@@ -24,6 +24,9 @@ pub trait Deserializer<'de>: Sized {
 
     /// Drives `visitor` with the sequence that comes next in the input.
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Drives `visitor` with the map that comes next in the input.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
 }
 
 /// Receiver of values produced by a [`Deserializer`].
@@ -68,6 +71,11 @@ pub trait Visitor<'de>: Sized {
     fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
         Err(A::Error::custom(ExpectedBy(self)))
     }
+
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom(ExpectedBy(self)))
+    }
 }
 
 /// Renders a visitor's `expecting` message ("invalid type: expected ...").
@@ -87,6 +95,19 @@ pub trait SeqAccess<'de> {
 
     /// Deserializes the next element, or `None` at the end of the sequence.
     fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+}
+
+/// Streaming access to the entries of a map being deserialized.
+pub trait MapAccess<'de> {
+    /// Error type of this format.
+    type Error: Error;
+
+    /// Deserializes the next `(key, value)` entry, or `None` at the end of
+    /// the map.
+    fn next_entry<K, V>(&mut self) -> Result<Option<(K, V)>, Self::Error>
+    where
+        K: Deserialize<'de>,
+        V: Deserialize<'de>;
 }
 
 macro_rules! impl_deserialize_uint {
@@ -231,6 +252,62 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
             }
         }
         deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for Vis<K, V>
+        where
+            K: Deserialize<'de> + Ord,
+            V: Deserialize<'de>,
+        {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for Vis<K, V>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+        {
+            type Value = std::collections::HashMap<K, V>;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
     }
 }
 

@@ -1,13 +1,15 @@
 //! Offline shim for the `serde` 1.x data-model subset used by this
 //! workspace.
 //!
-//! The collections in `axiom` serialize exclusively as flat sequences, so
-//! this shim models just that slice of serde: primitives, strings, tuples
-//! and sequences, with the familiar trait split ([`Serialize`] /
-//! [`Serializer`] / [`ser::SerializeSeq`] on one side, [`Deserialize`] /
-//! [`Deserializer`] / [`de::Visitor`] / [`de::SeqAccess`] on the other).
-//! Formats (such as the in-tree `serde_json` shim) implement the same
-//! traits, so the `axiom` impls are source-compatible with real serde.
+//! The collections in this workspace serialize as flat sequences (and the
+//! report tooling as maps), so this shim models just that slice of serde:
+//! primitives, strings, tuples, sequences and maps, with the familiar trait
+//! split ([`Serialize`] / [`Serializer`] / [`ser::SerializeSeq`] /
+//! [`ser::SerializeMap`] on one side, [`Deserialize`] / [`Deserializer`] /
+//! [`de::Visitor`] / [`de::SeqAccess`] / [`de::MapAccess`] on the other).
+//! Formats (the in-tree `serde_json` shim, the `trie_common::snapshot`
+//! binary codec) implement the same traits, so the collection impls are
+//! source-compatible with real serde.
 
 #![warn(missing_docs)]
 

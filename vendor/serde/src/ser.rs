@@ -20,6 +20,8 @@ pub trait Serializer: Sized {
     type Error: Error;
     /// Sub-serializer for sequences.
     type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
 
     /// Serializes a `bool`.
     fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
@@ -35,6 +37,8 @@ pub trait Serializer: Sized {
     fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
     /// Begins a (possibly length-hinted) sequence.
     fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a (possibly length-hinted) map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
 }
 
 /// Incremental serialization of a sequence's elements.
@@ -47,6 +51,22 @@ pub trait SerializeSeq {
     /// Serializes one element.
     fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
     /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serialization of a map's entries.
+pub trait SerializeMap {
+    /// Value returned on success.
+    type Ok;
+    /// Error type of this format.
+    type Error: Error;
+
+    /// Serializes one `(key, value)` entry.
+    fn serialize_entry<K, V>(&mut self, key: &K, value: &V) -> Result<(), Self::Error>
+    where
+        K: Serialize + ?Sized,
+        V: Serialize + ?Sized;
+    /// Finishes the map.
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }
 
@@ -132,6 +152,26 @@ impl<T: Serialize> Serialize for Vec<T> {
             seq.serialize_element(item)?;
         }
         seq.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S2> Serialize for std::collections::HashMap<K, V, S2> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
     }
 }
 

@@ -1,18 +1,31 @@
 //! Offline shim for the `serde_json` 1.x API subset used by this workspace:
-//! [`to_string`], [`from_str`], [`to_value`] and an array/number/string
-//! [`Value`]. Objects are parsed but (like the rest of the tree) never
-//! produced by the collections under test, which serialize as flat
-//! sequences.
+//! [`to_string`], [`from_str`], [`to_value`] and a full JSON [`Value`]
+//! (arrays, numbers, strings and objects).
+//!
+//! # Map keys
+//!
+//! JSON object keys are strings, so maps with non-string keys need a
+//! convention. Real `serde_json` refuses them ("key must be a string");
+//! this shim instead writes every non-string key as its **compact JSON
+//! text** used verbatim as the object key (`{1: 2}` → `{"1":2}`), and on
+//! deserialization re-parses each key string: key text that parses as a
+//! non-string JSON value is fed to the visitor as that value, anything
+//! else as a plain string. The residual ambiguity — a *string* key whose
+//! text is itself valid JSON of another type (`"123"`, `"true"`) comes
+//! back as that type, not as a string — is inherent to the JSON object
+//! encoding and documented here; the binary snapshot codec in
+//! `trie_common::snapshot` routes around it entirely by tagging key types
+//! on the wire.
 
 #![warn(missing_docs)]
 
-mod parse;
+pub(crate) mod parse;
 mod value;
 
 pub use value::Value;
 
 use serde::de::{self, Deserialize};
-use serde::ser::{self, Serialize, SerializeSeq, Serializer};
+use serde::ser::{self, Serialize, SerializeMap, SerializeSeq, Serializer};
 
 /// Error type shared by serialization and deserialization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +75,7 @@ struct JsonWriter<'a> {
     out: &'a mut String,
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -103,10 +116,48 @@ impl SerializeSeq for JsonSeqWriter<'_> {
     }
 }
 
+struct JsonMapWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeMap for JsonMapWriter<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K, V>(&mut self, key: &K, value: &V) -> Result<(), Error>
+    where
+        K: Serialize + ?Sized,
+        V: Serialize + ?Sized,
+    {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        // Keys must land as JSON strings: a key that serializes to a JSON
+        // string is used verbatim, anything else is embedded as its compact
+        // JSON text (see the crate docs on map keys).
+        let key_json = to_string(key)?;
+        if key_json.starts_with('"') {
+            self.out.push_str(&key_json);
+        } else {
+            write_escaped(self.out, &key_json);
+        }
+        self.out.push(':');
+        value.serialize(JsonWriter { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+
 impl<'a> Serializer for JsonWriter<'a> {
     type Ok = ();
     type Error = Error;
     type SerializeSeq = JsonSeqWriter<'a>;
+    type SerializeMap = JsonMapWriter<'a>;
 
     fn serialize_bool(self, v: bool) -> Result<(), Error> {
         self.out.push_str(if v { "true" } else { "false" });
@@ -151,6 +202,14 @@ impl<'a> Serializer for JsonWriter<'a> {
             first: true,
         })
     }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<JsonMapWriter<'a>, Error> {
+        self.out.push('{');
+        Ok(JsonMapWriter {
+            out: self.out,
+            first: true,
+        })
+    }
 }
 
 // ----------------------------------------------------------- value building
@@ -175,10 +234,39 @@ impl SerializeSeq for ValueSeqBuilder {
     }
 }
 
+struct ValueMapBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+impl SerializeMap for ValueMapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_entry<K, V>(&mut self, key: &K, value: &V) -> Result<(), Error>
+    where
+        K: Serialize + ?Sized,
+        V: Serialize + ?Sized,
+    {
+        // Same key convention as the JSON writer: string keys verbatim,
+        // everything else as its compact JSON text.
+        let key = match key.serialize(ValueBuilder)? {
+            Value::String(s) => s,
+            other => other.to_json_text(),
+        };
+        self.entries.push((key, value.serialize(ValueBuilder)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.entries))
+    }
+}
+
 impl Serializer for ValueBuilder {
     type Ok = Value;
     type Error = Error;
     type SerializeSeq = ValueSeqBuilder;
+    type SerializeMap = ValueMapBuilder;
 
     fn serialize_bool(self, v: bool) -> Result<Value, Error> {
         Ok(Value::Bool(v))
@@ -207,6 +295,12 @@ impl Serializer for ValueBuilder {
     fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqBuilder, Error> {
         Ok(ValueSeqBuilder {
             items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<ValueMapBuilder, Error> {
+        Ok(ValueMapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
         })
     }
 }
@@ -249,5 +343,81 @@ mod tests {
         let data = vec!["héllo ☃".to_string(), "\tworld\n".to_string()];
         let back: Vec<String> = from_str(&to_string(&data).unwrap()).unwrap();
         assert_eq!(back, data);
+    }
+
+    // --- regression tests: map (object) support, incl. non-string keys ---
+
+    #[test]
+    fn non_string_map_keys_roundtrip() {
+        // Real serde_json refuses non-string keys; the shim embeds them as
+        // their JSON text and re-parses on the way back.
+        let mut data = std::collections::BTreeMap::new();
+        data.insert(1u32, vec![10u32, 11]);
+        data.insert(2, vec![20]);
+        let json = to_string(&data).unwrap();
+        assert_eq!(json, "{\"1\":[10,11],\"2\":[20]}");
+        let back: std::collections::BTreeMap<u32, Vec<u32>> = from_str(&json).unwrap();
+        assert_eq!(back, data);
+
+        let mut signed = std::collections::BTreeMap::new();
+        signed.insert(-3i64, true);
+        signed.insert(7, false);
+        let back: std::collections::BTreeMap<i64, bool> =
+            from_str(&to_string(&signed).unwrap()).unwrap();
+        assert_eq!(back, signed);
+    }
+
+    #[test]
+    fn string_map_keys_roundtrip() {
+        let mut data = std::collections::BTreeMap::new();
+        data.insert("a\"b".to_string(), 1u32);
+        data.insert("plain".to_string(), 2);
+        let back: std::collections::BTreeMap<String, u32> =
+            from_str(&to_string(&data).unwrap()).unwrap();
+        assert_eq!(back, data);
+
+        let mut hashed = std::collections::HashMap::new();
+        hashed.insert("x".to_string(), 9u64);
+        let back: std::collections::HashMap<String, u64> =
+            from_str(&to_string(&hashed).unwrap()).unwrap();
+        assert_eq!(back, hashed);
+    }
+
+    #[test]
+    fn to_value_builds_objects_with_text_keys() {
+        let mut data = std::collections::BTreeMap::new();
+        data.insert(5u32, "five".to_string());
+        let v = to_value(&data).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 1);
+        assert_eq!(obj[0].0, "5");
+        assert_eq!(obj[0].1.as_str(), Some("five"));
+    }
+
+    #[test]
+    fn ambiguous_string_keys_are_documented_not_silent() {
+        // The documented limitation: a *string* key whose text is valid JSON
+        // of another type comes back as that type, so deserializing it as a
+        // string map errors instead of silently corrupting.
+        let mut data = std::collections::BTreeMap::new();
+        data.insert("123".to_string(), 1u32);
+        let json = to_string(&data).unwrap();
+        assert_eq!(json, "{\"123\":1}");
+        assert!(from_str::<std::collections::BTreeMap<String, u32>>(&json).is_err());
+        // The same wire text is fine under the numeric-key reading.
+        let as_numeric: std::collections::BTreeMap<u32, u32> = from_str(&json).unwrap();
+        assert_eq!(as_numeric.get(&123), Some(&1));
+    }
+
+    #[test]
+    fn parsed_objects_deserialize() {
+        let back: std::collections::BTreeMap<String, Vec<i64>> =
+            from_str(" { \"a\" : [1, 2] , \"b\" : [] } ").unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back["a"], vec![1, 2]);
+        assert!(back["b"].is_empty());
+        // Mismatched shapes error rather than panic.
+        assert!(from_str::<std::collections::BTreeMap<String, u32>>("[1]").is_err());
+        assert!(from_str::<Vec<u32>>("{\"a\":1}").is_err());
     }
 }

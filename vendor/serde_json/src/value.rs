@@ -1,7 +1,7 @@
 //! The in-memory JSON tree and its deserializer impl.
 
 use crate::Error;
-use serde::de::{self, Deserializer, SeqAccess, Visitor};
+use serde::de::{self, Deserializer, MapAccess, SeqAccess, Visitor};
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +65,53 @@ impl Value {
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
+
+    /// Returns the entries if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Renders this value as compact JSON text (the writer half of the
+    /// shim produces identical text for the same data).
+    pub(crate) fn to_json_text(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => crate::write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    crate::write_escaped(out, k);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 struct ValueSeqAccess {
@@ -82,6 +129,69 @@ impl<'de> SeqAccess<'de> for ValueSeqAccess {
     }
 }
 
+struct ValueMapAccess {
+    iter: std::vec::IntoIter<(String, Value)>,
+}
+
+impl<'de> MapAccess<'de> for ValueMapAccess {
+    type Error = Error;
+
+    fn next_entry<K, V>(&mut self) -> Result<Option<(K, V)>, Error>
+    where
+        K: de::Deserialize<'de>,
+        V: de::Deserialize<'de>,
+    {
+        match self.iter.next() {
+            Some((key, value)) => {
+                let key = K::deserialize(KeyDeserializer(key))?;
+                let value = V::deserialize(value)?;
+                Ok(Some((key, value)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Deserializer for one object key: the writer embeds non-string keys as
+/// their compact JSON text, so key text that parses as a non-string JSON
+/// value is replayed as that value, anything else as a plain string (see
+/// the crate docs on map keys).
+struct KeyDeserializer(String);
+
+impl KeyDeserializer {
+    fn reparse(&self) -> Option<Value> {
+        match crate::parse::parse(&self.0) {
+            Ok(Value::String(_)) | Err(_) => None,
+            Ok(other) => Some(other),
+        }
+    }
+}
+
+impl<'de> Deserializer<'de> for KeyDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.reparse() {
+            Some(value) => value.deserialize_any(visitor),
+            None => visitor.visit_str(&self.0),
+        }
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.reparse() {
+            Some(value) => value.deserialize_seq(visitor),
+            None => Err(de::Error::custom("map key is not a JSON array")),
+        }
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.reparse() {
+            Some(value) => value.deserialize_map(visitor),
+            None => Err(de::Error::custom("map key is not a JSON object")),
+        }
+    }
+}
+
 impl<'de> Deserializer<'de> for Value {
     type Error = Error;
 
@@ -94,9 +204,9 @@ impl<'de> Deserializer<'de> for Value {
             Value::Array(items) => visitor.visit_seq(ValueSeqAccess {
                 iter: items.into_iter(),
             }),
-            Value::Object(_) => Err(de::Error::custom(
-                "objects are not supported by this serde_json shim",
-            )),
+            Value::Object(entries) => visitor.visit_map(ValueMapAccess {
+                iter: entries.into_iter(),
+            }),
         }
     }
 
@@ -107,6 +217,17 @@ impl<'de> Deserializer<'de> for Value {
             }),
             other => Err(de::Error::custom(format!(
                 "expected an array, found {other:?}"
+            ))),
+        }
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self {
+            Value::Object(entries) => visitor.visit_map(ValueMapAccess {
+                iter: entries.into_iter(),
+            }),
+            other => Err(de::Error::custom(format!(
+                "expected an object, found {other:?}"
             ))),
         }
     }
