@@ -13,7 +13,7 @@
 //!   as an independent oracle in tests (and by the well-known dominator-tree
 //!   derivation [`dominator_tree`]).
 
-use trie_common::ops::{MultiMapOps, TransientOps};
+use trie_common::ops::{MultiMapAlgebraOps, MultiMapOps, TransientOps};
 
 use crate::ast::CfgNode;
 use crate::graph::Cfg;
@@ -22,10 +22,15 @@ use crate::graph::Cfg;
 ///
 /// The result maps every reachable node to its full dominator set (including
 /// itself), as a multi-map `node ↦ {dominators}`. Each solution rewrite
-/// batches the node's new dominator set through the transient builder.
+/// batches the node's new dominator set through the transient builder, and
+/// the fixed point is detected by
+/// [`MultiMapAlgebraOps::diff`] against the
+/// previous sweep's relation: successive sweeps share every untouched
+/// subtree, so a structural `diff` implementation prices the convergence
+/// check at O(tuples rewritten this sweep), not O(relation size).
 pub fn dominators_relational<M>(cfg: &Cfg) -> M
 where
-    M: MultiMapOps<CfgNode, CfgNode> + TransientOps<(CfgNode, CfgNode)>,
+    M: MultiMapAlgebraOps<CfgNode, CfgNode> + TransientOps<(CfgNode, CfgNode)>,
 {
     let rpo = cfg.reverse_postorder();
     let preds_idx = cfg.pred_indices();
@@ -35,9 +40,8 @@ where
     // behaves as the full set in the intersection.
     let mut dom = M::empty().inserted(nodes[0].clone(), nodes[0].clone());
 
-    let mut changed = true;
-    while changed {
-        changed = false;
+    loop {
+        let prev = dom.clone();
         for &n in rpo.iter().skip(1) {
             // Stage the intersection: first produce the set of predecessor
             // dominator sets (skipping still-unknown ones), then intersect.
@@ -68,11 +72,13 @@ where
                 dom = dom
                     .key_removed(&nodes[n])
                     .bulk_inserted(new_dom.into_iter().map(|d| (nodes[n].clone(), d)));
-                changed = true;
             }
         }
+        // Fixed point: the sweep left the relation unchanged.
+        if prev.diff(&dom).is_empty() {
+            return dom;
+        }
     }
-    dom
 }
 
 /// Reference algorithm: iterative dominator sets over index bitsets.

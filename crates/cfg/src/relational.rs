@@ -1,9 +1,16 @@
 //! Small relational-algebra layer over persistent multi-maps.
 //!
 //! The paper's §6 code "uses projections, and set union and intersection in
-//! a fixed-point loop" over multi-maps; these helpers provide those
-//! operators generically so examples and the case study read like the
+//! a fixed-point loop" over multi-maps; these helpers provide the
+//! *projection-shaped* operators (inverse, composition, image, domain,
+//! range) generically so examples and the case study read like the
 //! relational programs they stand in for (Rascal-style relations).
+//!
+//! Union, intersection and difference of same-typed relations are **not**
+//! free functions here any more: they live on
+//! [`MultiMapAlgebraOps`](trie_common::ops::MultiMapAlgebraOps), where the
+//! hash tries override the tuple-level `diff` with a structural lockstep
+//! walk, so `a.union(&b)` skips the subtrees the two relations share.
 
 use std::hash::Hash;
 
@@ -56,18 +63,6 @@ where
         left.tuples()
             .flat_map(|(a, b)| right.values_of(b).map(move |c| (a.clone(), c.clone()))),
     )
-}
-
-/// Union of two relations over the same key/value types: the left relation
-/// bulk-extended with the right one's tuples.
-pub fn union<K, V, M>(a: &M, b: &M) -> M
-where
-    K: Clone + Eq + Hash,
-    V: Clone + Eq + Hash,
-    M: MultiMapOps<K, V> + TransientOps<(K, V)>,
-{
-    a.clone()
-        .bulk_inserted(b.tuples().map(|(k, v)| (k.clone(), v.clone())))
 }
 
 /// Domain of the relation (its distinct keys).
@@ -141,7 +136,9 @@ mod tests {
     fn union_and_domain_range() {
         let a: Rel = [(1, 10)].into_iter().collect();
         let b: Rel = [(1, 11), (2, 20)].into_iter().collect();
-        let u = union(&a, &b);
+        // `union` comes from the relation algebra surface (inherent on
+        // AxiomMultiMap, generic via MultiMapAlgebraOps).
+        let u = a.union(&b);
         assert_eq!(u.tuple_count(), 3);
         assert_eq!(domain(&u), vec![1, 2]);
         assert_eq!(range(&u), vec![10, 11, 20]);

@@ -567,6 +567,143 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> Node<K, V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Structural diff: a lockstep walk that skips pointer-shared subtrees
+// (mirrors `axiom::map`, with the split datamap/nodemap bitmaps). The
+// derived algebra in `trie_common::ops::MapMergeOps` routes
+// `merged`/`intersect`/`difference` through this walk.
+// ---------------------------------------------------------------------------
+
+/// What one lockstep walk found at a mask position.
+enum At<'a, K, V> {
+    Nothing,
+    Entry(&'a K, &'a V),
+    Sub(&'a Arc<Node<K, V>>),
+}
+
+fn at<'a, K, V>(b: &'a BitmapNode<K, V>, bit: u32) -> At<'a, K, V> {
+    if b.datamap & bit != 0 {
+        match &b.slots[b.data_index(bit)] {
+            Slot::Entry(k, v) => At::Entry(k, v),
+            Slot::Child(_) => unreachable!("datamap says entry"),
+        }
+    } else if b.nodemap & bit != 0 {
+        match &b.slots[b.node_index(bit)] {
+            Slot::Child(c) => At::Sub(c),
+            Slot::Entry(..) => unreachable!("nodemap says child"),
+        }
+    } else {
+        At::Nothing
+    }
+}
+
+fn for_each_entry_node<K, V>(node: &Node<K, V>, f: &mut impl FnMut(&K, &V)) {
+    match node {
+        Node::Collision(c) => c.entries.iter().for_each(|(k, v)| f(k, v)),
+        Node::Bitmap(b) => {
+            for s in &b.slots {
+                match s {
+                    Slot::Entry(k, v) => f(k, v),
+                    Slot::Child(c) => for_each_entry_node(c, f),
+                }
+            }
+        }
+    }
+}
+
+/// Lockstep diff (`a` old, `b` new): pointer-identical subtrees emit
+/// nothing; a surviving key with a different value lands in `changed`.
+fn diff_nodes<K: Clone + Eq + Hash, V: Clone + PartialEq>(
+    a: &Node<K, V>,
+    b: &Node<K, V>,
+    shift: u32,
+    out: &mut trie_common::ops::MapDiff<K, V>,
+) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            for (k, v) in &x.entries {
+                match y.entries.iter().find(|(yk, _)| yk == k) {
+                    None => out.removed.push((k.clone(), v.clone())),
+                    Some((_, yv)) if yv != v => {
+                        out.changed.push((k.clone(), v.clone(), yv.clone()));
+                    }
+                    Some(_) => {}
+                }
+            }
+            for (k, v) in &y.entries {
+                if !x.entries.iter().any(|(xk, _)| xk == k) {
+                    out.added.push((k.clone(), v.clone()));
+                }
+            }
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            for m in 0..32u32 {
+                let bit = bit_pos(m);
+                match (at(x, bit), at(y, bit)) {
+                    (At::Nothing, At::Nothing) => {}
+                    (At::Entry(k, v), At::Nothing) => out.removed.push((k.clone(), v.clone())),
+                    (At::Nothing, At::Entry(k, v)) => out.added.push((k.clone(), v.clone())),
+                    (At::Sub(ac), At::Nothing) => {
+                        for_each_entry_node(ac, &mut |k, v| {
+                            out.removed.push((k.clone(), v.clone()));
+                        });
+                    }
+                    (At::Nothing, At::Sub(bc)) => {
+                        for_each_entry_node(bc, &mut |k, v| {
+                            out.added.push((k.clone(), v.clone()));
+                        });
+                    }
+                    (At::Entry(ka, va), At::Entry(kb, vb)) => {
+                        if ka == kb {
+                            if va != vb {
+                                out.changed.push((ka.clone(), va.clone(), vb.clone()));
+                            }
+                        } else {
+                            out.removed.push((ka.clone(), va.clone()));
+                            out.added.push((kb.clone(), vb.clone()));
+                        }
+                    }
+                    (At::Entry(ka, va), At::Sub(bc)) => {
+                        match bc.get(hash32(ka), next_shift(shift), ka) {
+                            None => out.removed.push((ka.clone(), va.clone())),
+                            Some(vb) if vb != va => {
+                                out.changed.push((ka.clone(), va.clone(), vb.clone()));
+                            }
+                            Some(_) => {}
+                        }
+                        for_each_entry_node(bc, &mut |k, v| {
+                            if k != ka {
+                                out.added.push((k.clone(), v.clone()));
+                            }
+                        });
+                    }
+                    (At::Sub(ac), At::Entry(kb, vb)) => {
+                        match ac.get(hash32(kb), next_shift(shift), kb) {
+                            None => out.added.push((kb.clone(), vb.clone())),
+                            Some(va) if va != vb => {
+                                out.changed.push((kb.clone(), va.clone(), vb.clone()));
+                            }
+                            Some(_) => {}
+                        }
+                        for_each_entry_node(ac, &mut |k, v| {
+                            if k != kb {
+                                out.removed.push((k.clone(), v.clone()));
+                            }
+                        });
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        if !Arc::ptr_eq(ac, bc) {
+                            diff_nodes(ac, bc, next_shift(shift), out);
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
 /// A persistent hash map with the CHAMP encoding. See the
 /// [module documentation](self).
 pub struct ChampMap<K, V> {
@@ -695,6 +832,28 @@ impl<K: Clone + Eq + Hash, V: Clone + PartialEq> ChampMap<K, V> {
     /// Iterates the values in unspecified order.
     pub fn values(&self) -> Values<'_, K, V> {
         Values { inner: self.iter() }
+    }
+
+    /// What changed between `self` (old) and `other` (new), via a lockstep
+    /// structural walk: pointer-shared subtrees emit nothing, so output and
+    /// walk are both O(changed).
+    pub fn diff(&self, other: &Self) -> trie_common::ops::MapDiff<K, V> {
+        let mut out = trie_common::ops::MapDiff::new();
+        if Arc::ptr_eq(&self.root, &other.root) {
+            return out;
+        }
+        if self.is_empty() {
+            out.added
+                .extend(other.iter().map(|(k, v)| (k.clone(), v.clone())));
+            return out;
+        }
+        if other.is_empty() {
+            out.removed
+                .extend(self.iter().map(|(k, v)| (k.clone(), v.clone())));
+            return out;
+        }
+        diff_nodes(&self.root, &other.root, 0, &mut out);
+        out
     }
 
     pub(crate) fn root_node(&self) -> &Node<K, V> {

@@ -6,7 +6,9 @@
 
 use std::hash::Hash;
 
-use trie_common::ops::{EditInPlace, MapMutOps, MapOps, SetMutOps, SetOps};
+use trie_common::ops::{
+    EditInPlace, MapDiff, MapMergeOps, MapMutOps, MapOps, SetAlgebraOps, SetDiff, SetMutOps, SetOps,
+};
 
 use crate::{map, set, ChampMap, ChampSet};
 
@@ -69,6 +71,16 @@ where
     }
 }
 
+impl<K, V> MapMergeOps<K, V> for ChampMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn diff(&self, other: &Self) -> MapDiff<K, V> {
+        ChampMap::diff(self, other)
+    }
+}
+
 impl<K, V> EditInPlace<(K, V)> for ChampMap<K, V>
 where
     K: Clone + Eq + Hash,
@@ -127,6 +139,27 @@ where
 
     fn iter(&self) -> Self::Elems<'_> {
         ChampSet::iter(self)
+    }
+}
+
+impl<T> SetAlgebraOps<T> for ChampSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn diff(&self, other: &Self) -> SetDiff<T> {
+        ChampSet::diff(self, other)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        ChampSet::union(self, other)
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        ChampSet::intersect(self, other)
+    }
+
+    fn difference(&self, other: &Self) -> Self {
+        ChampSet::difference(self, other)
     }
 }
 

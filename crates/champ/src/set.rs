@@ -466,6 +466,559 @@ impl<T: Clone + Eq + Hash> Node<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Structural set algebra: lockstep node walks (mirrors `axiom::set`, with
+// the split datamap/nodemap bitmaps instead of the 2-bit `SlotBitmap`).
+// CHAMP's canonical form makes `Arc::ptr_eq` a sound subtree-equivalence
+// test, so shared subtrees short-circuit and bulk ops cost O(changed).
+// ---------------------------------------------------------------------------
+
+/// What one lockstep walk found at a mask position.
+enum At<'a, T> {
+    Nothing,
+    Elem(&'a T),
+    Sub(&'a Arc<Node<T>>),
+}
+
+fn at<'a, T>(b: &'a BitmapNode<T>, bit: u32) -> At<'a, T> {
+    if b.datamap & bit != 0 {
+        match &b.slots[b.data_index(bit)] {
+            Slot::Elem(e) => At::Elem(e),
+            Slot::Child(_) => unreachable!("datamap says element"),
+        }
+    } else if b.nodemap & bit != 0 {
+        match &b.slots[b.node_index(bit)] {
+            Slot::Child(c) => At::Sub(c),
+            Slot::Elem(_) => unreachable!("nodemap says child"),
+        }
+    } else {
+        At::Nothing
+    }
+}
+
+/// A shrinking walk's result, driving canonicalization on the way up.
+enum Cut<T> {
+    /// The result equals the left operand's subtree: reuse its `Arc`.
+    Unchanged,
+    /// Nothing survives below this branch.
+    Empty,
+    /// Exactly one element survives: the parent inlines it.
+    One(T),
+    /// A rebuilt (canonical) node.
+    Node(Node<T>),
+}
+
+/// Elements below `node` (walked, not stored; only non-shared subtrees are
+/// ever counted, keeping bulk ops O(changed)).
+fn node_len<T>(node: &Node<T>) -> usize {
+    match node {
+        Node::Collision(c) => c.elems.len(),
+        Node::Bitmap(b) => b
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Elem(_) => 1,
+                Slot::Child(c) => node_len(c),
+            })
+            .sum(),
+    }
+}
+
+fn for_each_elem<T>(node: &Node<T>, f: &mut impl FnMut(&T)) {
+    match node {
+        Node::Collision(c) => c.elems.iter().for_each(&mut *f),
+        Node::Bitmap(b) => {
+            for s in &b.slots {
+                match s {
+                    Slot::Elem(e) => f(e),
+                    Slot::Child(c) => for_each_elem(c, f),
+                }
+            }
+        }
+    }
+}
+
+/// Assembles a canonical bitmap node from the walked groups, collapsing
+/// degenerate shapes (`Cut::Empty` / `Cut::One`) for the parent to inline.
+fn assemble<T>(
+    datamap: u32,
+    nodemap: u32,
+    mut payload: Vec<Slot<T>>,
+    children: Vec<Slot<T>>,
+) -> Cut<T> {
+    match (payload.len(), children.len()) {
+        (0, 0) => Cut::Empty,
+        (1, 0) => match payload.pop() {
+            Some(Slot::Elem(e)) => Cut::One(e),
+            _ => unreachable!("payload group holds elements"),
+        },
+        _ => {
+            payload.extend(children);
+            Cut::Node(Node::Bitmap(BitmapNode {
+                datamap,
+                nodemap,
+                slots: payload.into_boxed_slice(),
+            }))
+        }
+    }
+}
+
+/// Lockstep union. Returns `(None, 0)` when the result equals `a` (the
+/// caller reuses the `Arc`), else the new node plus how many elements it
+/// gained relative to `a`.
+fn union_nodes<T: Clone + Eq + Hash>(
+    a: &Node<T>,
+    b: &Node<T>,
+    shift: u32,
+) -> (Option<Node<T>>, usize) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            let fresh: Vec<&T> = y.elems.iter().filter(|e| !x.elems.contains(e)).collect();
+            if fresh.is_empty() {
+                return (None, 0);
+            }
+            let added = fresh.len();
+            let mut elems = x.elems.clone();
+            elems.extend(fresh.into_iter().cloned());
+            (
+                Some(Node::Collision(CollisionNode {
+                    hash: x.hash,
+                    elems,
+                })),
+                added,
+            )
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            let mut datamap = 0u32;
+            let mut nodemap = 0u32;
+            let mut payload: Vec<Slot<T>> = Vec::new();
+            let mut children: Vec<Slot<T>> = Vec::new();
+            let mut added = 0usize;
+            let mut changed = false;
+            for m in 0..32u32 {
+                let bit = bit_pos(m);
+                match (at(x, bit), at(y, bit)) {
+                    (At::Nothing, At::Nothing) => {}
+                    (At::Elem(ea), At::Nothing) => {
+                        datamap |= bit;
+                        payload.push(Slot::Elem(ea.clone()));
+                    }
+                    (At::Nothing, At::Elem(eb)) => {
+                        datamap |= bit;
+                        payload.push(Slot::Elem(eb.clone()));
+                        added += 1;
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Nothing) => {
+                        nodemap |= bit;
+                        children.push(Slot::Child(Arc::clone(ac)));
+                    }
+                    (At::Nothing, At::Sub(bc)) => {
+                        nodemap |= bit;
+                        added += node_len(bc);
+                        children.push(Slot::Child(Arc::clone(bc)));
+                        changed = true;
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea == eb {
+                            datamap |= bit;
+                            payload.push(Slot::Elem(ea.clone()));
+                        } else {
+                            nodemap |= bit;
+                            let child = Node::pair(
+                                hash32(ea),
+                                ea.clone(),
+                                hash32(eb),
+                                eb.clone(),
+                                next_shift(shift),
+                            );
+                            children.push(Slot::Child(Arc::new(child)));
+                            added += 1;
+                            changed = true;
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        // `a`'s lone element joins (or is absorbed by) `b`'s
+                        // subtree; either way the slot becomes a child.
+                        nodemap |= bit;
+                        match bc.inserted(hash32(ea), next_shift(shift), ea) {
+                            None => {
+                                added += node_len(bc) - 1;
+                                children.push(Slot::Child(Arc::clone(bc)));
+                            }
+                            Some(n) => {
+                                added += node_len(bc);
+                                children.push(Slot::Child(Arc::new(n)));
+                            }
+                        }
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        nodemap |= bit;
+                        match ac.inserted(hash32(eb), next_shift(shift), eb) {
+                            None => children.push(Slot::Child(Arc::clone(ac))),
+                            Some(n) => {
+                                children.push(Slot::Child(Arc::new(n)));
+                                added += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        nodemap |= bit;
+                        if Arc::ptr_eq(ac, bc) {
+                            children.push(Slot::Child(Arc::clone(ac)));
+                        } else {
+                            match union_nodes(ac, bc, next_shift(shift)) {
+                                (None, _) => children.push(Slot::Child(Arc::clone(ac))),
+                                (Some(n), add) => {
+                                    children.push(Slot::Child(Arc::new(n)));
+                                    added += add;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return (None, 0);
+            }
+            payload.extend(children);
+            (
+                Some(Node::Bitmap(BitmapNode {
+                    datamap,
+                    nodemap,
+                    slots: payload.into_boxed_slice(),
+                })),
+                added,
+            )
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
+/// Lockstep intersection. Returns the surviving shape plus how many of `a`'s
+/// elements were dropped (`Cut::Unchanged` ⇒ 0).
+fn intersect_nodes<T: Clone + Eq + Hash>(a: &Node<T>, b: &Node<T>, shift: u32) -> (Cut<T>, usize) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            let mut kept: Vec<T> = x
+                .elems
+                .iter()
+                .filter(|e| y.elems.contains(e))
+                .cloned()
+                .collect();
+            let removed = x.elems.len() - kept.len();
+            match kept.len() {
+                n if n == x.elems.len() => (Cut::Unchanged, 0),
+                0 => (Cut::Empty, removed),
+                1 => (Cut::One(kept.pop().expect("len == 1")), removed),
+                _ => (
+                    Cut::Node(Node::Collision(CollisionNode {
+                        hash: x.hash,
+                        elems: kept,
+                    })),
+                    removed,
+                ),
+            }
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            let mut datamap = 0u32;
+            let mut nodemap = 0u32;
+            let mut payload: Vec<Slot<T>> = Vec::new();
+            let mut children: Vec<Slot<T>> = Vec::new();
+            let mut removed = 0usize;
+            let mut changed = false;
+            for m in 0..32u32 {
+                let bit = bit_pos(m);
+                let pos_a = at(x, bit);
+                if matches!(pos_a, At::Nothing) {
+                    continue;
+                }
+                match (pos_a, at(y, bit)) {
+                    (At::Elem(_), At::Nothing) => {
+                        removed += 1;
+                        changed = true;
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea == eb {
+                            datamap |= bit;
+                            payload.push(Slot::Elem(ea.clone()));
+                        } else {
+                            removed += 1;
+                            changed = true;
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        if bc.contains(hash32(ea), next_shift(shift), ea) {
+                            datamap |= bit;
+                            payload.push(Slot::Elem(ea.clone()));
+                        } else {
+                            removed += 1;
+                            changed = true;
+                        }
+                    }
+                    (At::Sub(ac), At::Nothing) => {
+                        removed += node_len(ac);
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        let total = node_len(ac);
+                        if ac.contains(hash32(eb), next_shift(shift), eb) {
+                            // The intersection of this subtree with a lone
+                            // element is that element, inlined.
+                            datamap |= bit;
+                            payload.push(Slot::Elem(eb.clone()));
+                            removed += total - 1;
+                        } else {
+                            removed += total;
+                        }
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        if Arc::ptr_eq(ac, bc) {
+                            nodemap |= bit;
+                            children.push(Slot::Child(Arc::clone(ac)));
+                            continue;
+                        }
+                        match intersect_nodes(ac, bc, next_shift(shift)) {
+                            (Cut::Unchanged, _) => {
+                                nodemap |= bit;
+                                children.push(Slot::Child(Arc::clone(ac)));
+                            }
+                            (Cut::Empty, r) => {
+                                removed += r;
+                                changed = true;
+                            }
+                            (Cut::One(e), r) => {
+                                datamap |= bit;
+                                payload.push(Slot::Elem(e));
+                                removed += r;
+                                changed = true;
+                            }
+                            (Cut::Node(n), r) => {
+                                nodemap |= bit;
+                                children.push(Slot::Child(Arc::new(n)));
+                                removed += r;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Nothing, _) => unreachable!("filtered above"),
+                }
+            }
+            if !changed {
+                return (Cut::Unchanged, 0);
+            }
+            (assemble(datamap, nodemap, payload, children), removed)
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
+/// Lockstep difference (`a \ b`). Returns the surviving shape plus how many
+/// elements survive (`Cut::Unchanged` ⇒ the whole subtree, counted).
+fn difference_nodes<T: Clone + Eq + Hash>(a: &Node<T>, b: &Node<T>, shift: u32) -> (Cut<T>, usize) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            let mut kept: Vec<T> = x
+                .elems
+                .iter()
+                .filter(|e| !y.elems.contains(e))
+                .cloned()
+                .collect();
+            match kept.len() {
+                n if n == x.elems.len() => (Cut::Unchanged, n),
+                0 => (Cut::Empty, 0),
+                1 => (Cut::One(kept.pop().expect("len == 1")), 1),
+                n => (
+                    Cut::Node(Node::Collision(CollisionNode {
+                        hash: x.hash,
+                        elems: kept,
+                    })),
+                    n,
+                ),
+            }
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            let mut datamap = 0u32;
+            let mut nodemap = 0u32;
+            let mut payload: Vec<Slot<T>> = Vec::new();
+            let mut children: Vec<Slot<T>> = Vec::new();
+            let mut kept = 0usize;
+            let mut changed = false;
+            for m in 0..32u32 {
+                let bit = bit_pos(m);
+                let pos_a = at(x, bit);
+                if matches!(pos_a, At::Nothing) {
+                    continue;
+                }
+                match (pos_a, at(y, bit)) {
+                    (At::Elem(ea), At::Nothing) => {
+                        datamap |= bit;
+                        payload.push(Slot::Elem(ea.clone()));
+                        kept += 1;
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea == eb {
+                            changed = true;
+                        } else {
+                            datamap |= bit;
+                            payload.push(Slot::Elem(ea.clone()));
+                            kept += 1;
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        if bc.contains(hash32(ea), next_shift(shift), ea) {
+                            changed = true;
+                        } else {
+                            datamap |= bit;
+                            payload.push(Slot::Elem(ea.clone()));
+                            kept += 1;
+                        }
+                    }
+                    (At::Sub(ac), At::Nothing) => {
+                        nodemap |= bit;
+                        children.push(Slot::Child(Arc::clone(ac)));
+                        kept += node_len(ac);
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        match ac.removed(hash32(eb), next_shift(shift), eb) {
+                            Removed::NotFound => {
+                                nodemap |= bit;
+                                children.push(Slot::Child(Arc::clone(ac)));
+                                kept += node_len(ac);
+                            }
+                            Removed::Node(n) => {
+                                kept += node_len(&n);
+                                nodemap |= bit;
+                                children.push(Slot::Child(Arc::new(n)));
+                                changed = true;
+                            }
+                            Removed::Single(e) => {
+                                datamap |= bit;
+                                payload.push(Slot::Elem(e));
+                                kept += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        if Arc::ptr_eq(ac, bc) {
+                            // The entire shared subtree cancels out.
+                            changed = true;
+                            continue;
+                        }
+                        match difference_nodes(ac, bc, next_shift(shift)) {
+                            (Cut::Unchanged, k) => {
+                                nodemap |= bit;
+                                children.push(Slot::Child(Arc::clone(ac)));
+                                kept += k;
+                            }
+                            (Cut::Empty, _) => changed = true,
+                            (Cut::One(e), _) => {
+                                datamap |= bit;
+                                payload.push(Slot::Elem(e));
+                                kept += 1;
+                                changed = true;
+                            }
+                            (Cut::Node(n), k) => {
+                                nodemap |= bit;
+                                children.push(Slot::Child(Arc::new(n)));
+                                kept += k;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Nothing, _) => unreachable!("filtered above"),
+                }
+            }
+            if !changed {
+                return (Cut::Unchanged, kept);
+            }
+            (assemble(datamap, nodemap, payload, children), kept)
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
+/// Lockstep diff (`a` old, `b` new): pointer-identical subtrees emit
+/// nothing, so the output and the walk are both O(changed).
+fn diff_nodes<T: Clone + Eq + Hash>(
+    a: &Node<T>,
+    b: &Node<T>,
+    shift: u32,
+    out: &mut trie_common::ops::SetDiff<T>,
+) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            for e in &x.elems {
+                if !y.elems.contains(e) {
+                    out.removed.push(e.clone());
+                }
+            }
+            for e in &y.elems {
+                if !x.elems.contains(e) {
+                    out.added.push(e.clone());
+                }
+            }
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            for m in 0..32u32 {
+                let bit = bit_pos(m);
+                match (at(x, bit), at(y, bit)) {
+                    (At::Nothing, At::Nothing) => {}
+                    (At::Elem(ea), At::Nothing) => out.removed.push(ea.clone()),
+                    (At::Nothing, At::Elem(eb)) => out.added.push(eb.clone()),
+                    (At::Sub(ac), At::Nothing) => {
+                        for_each_elem(ac, &mut |e| out.removed.push(e.clone()));
+                    }
+                    (At::Nothing, At::Sub(bc)) => {
+                        for_each_elem(bc, &mut |e| out.added.push(e.clone()));
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea != eb {
+                            out.removed.push(ea.clone());
+                            out.added.push(eb.clone());
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        if !bc.contains(hash32(ea), next_shift(shift), ea) {
+                            out.removed.push(ea.clone());
+                        }
+                        for_each_elem(bc, &mut |e| {
+                            if e != ea {
+                                out.added.push(e.clone());
+                            }
+                        });
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        if !ac.contains(hash32(eb), next_shift(shift), eb) {
+                            out.added.push(eb.clone());
+                        }
+                        for_each_elem(ac, &mut |e| {
+                            if e != eb {
+                                out.removed.push(e.clone());
+                            }
+                        });
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        if !Arc::ptr_eq(ac, bc) {
+                            diff_nodes(ac, bc, next_shift(shift), out);
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
 /// A persistent hash set with the CHAMP encoding. See the
 /// [module documentation](self).
 pub struct ChampSet<T> {
@@ -584,8 +1137,105 @@ impl<T: Clone + Eq + Hash> ChampSet<T> {
         }
     }
 
-    /// Union of two sets.
+    /// Rebuilds the one-element set (canonicalization helper).
+    fn singleton(value: T) -> Self {
+        let root = Node::empty()
+            .inserted(hash32(&value), 0, &value)
+            .expect("inserting into empty");
+        ChampSet {
+            root: Arc::new(root),
+            len: 1,
+        }
+    }
+
+    /// Union of two sets via a lockstep structural walk: subtrees the
+    /// operands share by pointer are reused wholesale, so the cost is
+    /// O(changed) — and a self-union returns `self` without allocating.
     pub fn union(&self, other: &Self) -> Self {
+        if other.is_empty() || Arc::ptr_eq(&self.root, &other.root) {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        match union_nodes(&self.root, &other.root, 0) {
+            (None, _) => self.clone(),
+            (Some(node), added) => ChampSet {
+                root: Arc::new(node),
+                len: self.len + added,
+            },
+        }
+    }
+
+    /// Intersection of two sets via a lockstep structural walk (shared
+    /// subtrees survive by pointer, cost O(changed)).
+    pub fn intersect(&self, other: &Self) -> Self {
+        if self.is_empty() || Arc::ptr_eq(&self.root, &other.root) {
+            return self.clone();
+        }
+        if other.is_empty() {
+            return ChampSet::new();
+        }
+        match intersect_nodes(&self.root, &other.root, 0) {
+            (Cut::Unchanged, _) => self.clone(),
+            (Cut::Empty, _) => ChampSet::new(),
+            (Cut::One(e), _) => Self::singleton(e),
+            (Cut::Node(n), removed) => ChampSet {
+                root: Arc::new(n),
+                len: self.len - removed,
+            },
+        }
+    }
+
+    /// Deprecated spelling of [`intersect`](Self::intersect).
+    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.intersect(other)
+    }
+
+    /// Elements of `self` not in `other`, via a lockstep structural walk
+    /// (a shared subtree cancels out in O(1)).
+    pub fn difference(&self, other: &Self) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        if Arc::ptr_eq(&self.root, &other.root) {
+            return ChampSet::new();
+        }
+        match difference_nodes(&self.root, &other.root, 0) {
+            (Cut::Unchanged, _) => self.clone(),
+            (Cut::Empty, _) => ChampSet::new(),
+            (Cut::One(e), _) => Self::singleton(e),
+            (Cut::Node(n), kept) => ChampSet {
+                root: Arc::new(n),
+                len: kept,
+            },
+        }
+    }
+
+    /// What changed between `self` (old) and `other` (new): pointer-shared
+    /// subtrees emit nothing, so output and walk are both O(changed).
+    pub fn diff(&self, other: &Self) -> trie_common::ops::SetDiff<T> {
+        let mut out = trie_common::ops::SetDiff::new();
+        if Arc::ptr_eq(&self.root, &other.root) {
+            return out;
+        }
+        if self.is_empty() {
+            out.added.extend(other.iter().cloned());
+            return out;
+        }
+        if other.is_empty() {
+            out.removed.extend(self.iter().cloned());
+            return out;
+        }
+        diff_nodes(&self.root, &other.root, 0, &mut out);
+        out
+    }
+
+    /// Element-wise union: iterates the smaller into the larger. Retained as
+    /// the documented fallback path (differential-testing and benchmark
+    /// baseline for the structural walk).
+    pub fn union_elementwise(&self, other: &Self) -> Self {
         let (big, small) = if self.len >= other.len {
             (self, other)
         } else {
@@ -598,8 +1248,10 @@ impl<T: Clone + Eq + Hash> ChampSet<T> {
         out
     }
 
-    /// Intersection of two sets.
-    pub fn intersection(&self, other: &Self) -> Self {
+    /// Element-wise intersection: scans the smaller, probes the larger.
+    /// Retained as the documented fallback path (differential-testing and
+    /// benchmark baseline for the structural walk).
+    pub fn intersect_elementwise(&self, other: &Self) -> Self {
         let (probe, scan) = if self.len >= other.len {
             (self, other)
         } else {
@@ -614,8 +1266,10 @@ impl<T: Clone + Eq + Hash> ChampSet<T> {
         out
     }
 
-    /// Elements of `self` not in `other`.
-    pub fn difference(&self, other: &Self) -> Self {
+    /// Element-wise difference: probes `other` per element. Retained as the
+    /// documented fallback path (differential-testing and benchmark baseline
+    /// for the structural walk).
+    pub fn difference_elementwise(&self, other: &Self) -> Self {
         let mut out = ChampSet::new();
         for v in self.iter() {
             if !other.contains(v) {
@@ -687,6 +1341,33 @@ fn validate<T: Clone + Eq + Hash>(node: &Node<T>, shift: u32) -> usize {
 impl<T: Clone + Eq + Hash> Default for ChampSet<T> {
     fn default() -> Self {
         ChampSet::new()
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::ops::BitOr for &ChampSet<T> {
+    type Output = ChampSet<T>;
+
+    /// `a | b` is the structural [`union`](ChampSet::union).
+    fn bitor(self, rhs: Self) -> ChampSet<T> {
+        self.union(rhs)
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::ops::BitAnd for &ChampSet<T> {
+    type Output = ChampSet<T>;
+
+    /// `a & b` is the structural [`intersect`](ChampSet::intersect).
+    fn bitand(self, rhs: Self) -> ChampSet<T> {
+        self.intersect(rhs)
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::ops::Sub for &ChampSet<T> {
+    type Output = ChampSet<T>;
+
+    /// `a - b` is the structural [`difference`](ChampSet::difference).
+    fn sub(self, rhs: Self) -> ChampSet<T> {
+        self.difference(rhs)
     }
 }
 
@@ -887,9 +1568,70 @@ mod tests {
         let a: ChampSet<u32> = (0..20).collect();
         let b: ChampSet<u32> = (10..30).collect();
         assert_eq!(a.union(&b).len(), 30);
-        assert_eq!(a.intersection(&b).len(), 10);
+        assert_eq!(a.intersect(&b).len(), 10);
         assert_eq!(a.difference(&b).len(), 10);
-        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.intersect(&b).is_subset(&a));
+        // Structural and element-wise paths agree.
+        assert_eq!(a.union(&b), a.union_elementwise(&b));
+        assert_eq!(a.intersect(&b), a.intersect_elementwise(&b));
+        assert_eq!(a.difference(&b), a.difference_elementwise(&b));
+        // Operator sugar routes through the structural walks.
+        assert_eq!(&a | &b, a.union(&b));
+        assert_eq!(&a & &b, a.intersect(&b));
+        assert_eq!(&a - &b, a.difference(&b));
+        #[allow(deprecated)]
+        {
+            assert_eq!(a.intersection(&b), a.intersect(&b));
+        }
+    }
+
+    #[test]
+    fn algebra_shares_structure() {
+        let a: ChampSet<u32> = (0..1000).collect();
+        let b = a.inserted(5000);
+        assert_eq!(a.union(&b), b);
+        let self_union = a.union(&a.clone());
+        assert!(Arc::ptr_eq(&self_union.root, &a.root));
+        let back = b.union(&a);
+        assert!(Arc::ptr_eq(&back.root, &b.root));
+        let inter = a.intersect(&b);
+        assert!(Arc::ptr_eq(&inter.root, &a.root));
+        assert!(a.difference(&a.clone()).is_empty());
+        assert_eq!(b.difference(&a).len(), 1);
+        a.union(&b).assert_invariants();
+    }
+
+    #[test]
+    fn diff_is_sparse() {
+        let a: ChampSet<u32> = (0..1000).collect();
+        let mut b = a.clone();
+        b.insert_mut(7777);
+        b.remove_mut(&13);
+        let d = a.diff(&b);
+        assert_eq!(d.added, vec![7777]);
+        assert_eq!(d.removed, vec![13]);
+        assert!(a.diff(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn algebra_with_collisions() {
+        let a: ChampSet<Collide> = (0..40).map(|id| Collide { bucket: id % 4, id }).collect();
+        let b: ChampSet<Collide> = (20..60).map(|id| Collide { bucket: id % 4, id }).collect();
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        let diff = a.difference(&b);
+        assert_eq!(union.len(), 60);
+        assert_eq!(inter.len(), 20);
+        assert_eq!(diff.len(), 20);
+        assert_eq!(union, a.union_elementwise(&b));
+        assert_eq!(inter, a.intersect_elementwise(&b));
+        assert_eq!(diff, a.difference_elementwise(&b));
+        union.assert_invariants();
+        inter.assert_invariants();
+        diff.assert_invariants();
+        let d = a.diff(&b);
+        assert_eq!(d.added.len(), 20);
+        assert_eq!(d.removed.len(), 20);
     }
 
     #[test]

@@ -78,7 +78,7 @@ proptest! {
         let sb: ChampSet<u16> = b.iter().copied().collect();
         prop_assert_eq!(sa.union(&sb), sb.union(&sa));
         prop_assert_eq!(sa.union(&sa), sa.clone());
-        prop_assert_eq!(sa.intersection(&sa), sa.clone());
+        prop_assert_eq!(sa.intersect(&sa), sa.clone());
         prop_assert!(sa.difference(&sa).is_empty());
     }
 

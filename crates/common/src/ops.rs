@@ -246,6 +246,311 @@ pub trait MultiMapOps<K, V>: Clone {
 }
 
 // ---------------------------------------------------------------------------
+// Structural set algebra.
+// ---------------------------------------------------------------------------
+
+/// The delta between two sets: `self.diff(other)` reports what `other` has
+/// that `self` lacks (`added`) and what `self` has that `other` lacks
+/// (`removed`). Orientation: `self` is the *old* version, `other` the *new*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetDiff<T> {
+    /// Elements present in `other` but not in `self`.
+    pub added: Vec<T>,
+    /// Elements present in `self` but not in `other`.
+    pub removed: Vec<T>,
+}
+
+impl<T> SetDiff<T> {
+    /// An empty delta (the two sets are equal).
+    pub fn new() -> Self {
+        SetDiff {
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// True if the two sets were equal.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of differing elements.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// The delta between two maps (`self` old, `other` new): keys only in
+/// `other` (`added`), keys only in `self` (`removed`), and keys present in
+/// both whose values differ (`changed`, as `(key, old, new)`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapDiff<K, V> {
+    /// Entries whose key is present in `other` but not in `self`.
+    pub added: Vec<(K, V)>,
+    /// Entries whose key is present in `self` but not in `other`.
+    pub removed: Vec<(K, V)>,
+    /// Keys present in both with differing values, as `(key, old, new)`.
+    pub changed: Vec<(K, V, V)>,
+}
+
+impl<K, V> MapDiff<K, V> {
+    /// An empty delta (the two maps are equal).
+    pub fn new() -> Self {
+        MapDiff {
+            added: Vec::new(),
+            removed: Vec::new(),
+            changed: Vec::new(),
+        }
+    }
+
+    /// True if the two maps were equal.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Total number of differing entries.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len() + self.changed.len()
+    }
+}
+
+/// The delta between two multi-maps (`self` old, `other` new), reported at
+/// tuple granularity: a key whose value set changed contributes one entry
+/// per differing value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiMapDiff<K, V> {
+    /// Tuples present in `other` but not in `self`.
+    pub added: Vec<(K, V)>,
+    /// Tuples present in `self` but not in `other`.
+    pub removed: Vec<(K, V)>,
+}
+
+impl<K, V> MultiMapDiff<K, V> {
+    /// An empty delta (the two relations are equal).
+    pub fn new() -> Self {
+        MultiMapDiff {
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// True if the two relations were equal.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of differing tuples.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// Set algebra over a persistent set: `union` / `intersect` / `difference` /
+/// `diff`, one surface for every set in the workspace.
+///
+/// Every operation has a *documented element-wise fallback* as its default
+/// body, expressed through [`SetAlgebraOps::diff`]: `union` inserts
+/// `diff.added`, `intersect` removes `diff.removed` from `self`, and
+/// `difference` rebuilds from `diff.removed`. A trie that overrides `diff`
+/// with a structural lockstep node walk (short-circuiting shared subtrees
+/// via pointer equality) therefore turns *all four* operations into
+/// O(changed) at once — the hash tries additionally override the algebra
+/// methods themselves with node-merging walks that also share result
+/// structure with the operands.
+///
+/// Naming: the operation is `intersect` (matching the relational layer);
+/// `intersection` survives as a deprecated alias for one release.
+pub trait SetAlgebraOps<T: Clone>: SetOps<T> {
+    /// The element-level delta from `self` (old) to `other` (new).
+    ///
+    /// Default: element-wise O(|self| + |other|) membership probing — the
+    /// documented fallback path. Structural implementations walk both tries
+    /// in lockstep and emit nothing for pointer-identical subtrees, making
+    /// this O(changed) for operands that share structure.
+    fn diff(&self, other: &Self) -> SetDiff<T> {
+        let mut out = SetDiff::new();
+        for v in other.iter() {
+            if !self.contains(v) {
+                out.added.push(v.clone());
+            }
+        }
+        for v in self.iter() {
+            if !other.contains(v) {
+                out.removed.push(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Elements in `self` or `other`.
+    fn union(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.added
+            .into_iter()
+            .fold(self.clone(), |acc, v| acc.inserted(v))
+    }
+
+    /// Elements in both `self` and `other`.
+    fn intersect(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.removed
+            .into_iter()
+            .fold(self.clone(), |acc, v| acc.removed(&v))
+    }
+
+    /// Deprecated alias for [`SetAlgebraOps::intersect`].
+    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
+    fn intersection(&self, other: &Self) -> Self {
+        self.intersect(other)
+    }
+
+    /// Elements in `self` but not in `other`.
+    fn difference(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.removed
+            .into_iter()
+            .fold(Self::empty(), |acc, v| acc.inserted(v))
+    }
+}
+
+/// Merge algebra over a persistent map, mirroring [`SetAlgebraOps`] with
+/// map semantics: `merged` is right-biased (`other` wins on conflicting
+/// values), `merged_with` resolves conflicts through a callback, `intersect`
+/// keeps `self`'s values for keys present in both, and `difference` keeps
+/// `self`'s entries whose keys `other` lacks.
+///
+/// All defaults route through [`MapMergeOps::diff`], so a structural `diff`
+/// override upgrades every operation to O(changed) at once.
+pub trait MapMergeOps<K: Clone, V: Clone + PartialEq>: MapOps<K, V> {
+    /// The entry-level delta from `self` (old) to `other` (new).
+    ///
+    /// Default: element-wise probing (the documented fallback). Structural
+    /// implementations skip pointer-identical subtrees.
+    fn diff(&self, other: &Self) -> MapDiff<K, V> {
+        let mut out = MapDiff::new();
+        for (k, v) in other.entries() {
+            match self.get(k) {
+                None => out.added.push((k.clone(), v.clone())),
+                Some(mine) if mine != v => {
+                    out.changed.push((k.clone(), mine.clone(), v.clone()));
+                }
+                Some(_) => {}
+            }
+        }
+        for (k, v) in self.entries() {
+            if !other.contains_key(k) {
+                out.removed.push((k.clone(), v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Right-biased union: every key of either map, with `other`'s value
+    /// winning where both bind the same key.
+    fn merged(&self, other: &Self) -> Self {
+        self.merged_with(other, |_, _, theirs| theirs.clone())
+    }
+
+    /// Union with explicit conflict resolution: keys bound by both maps to
+    /// differing values are resolved by `resolve(key, self's, other's)`.
+    fn merged_with<F>(&self, other: &Self, mut resolve: F) -> Self
+    where
+        F: FnMut(&K, &V, &V) -> V,
+    {
+        let d = self.diff(other);
+        let mut out = self.clone();
+        for (k, v) in d.added {
+            out = out.inserted(k, v);
+        }
+        for (k, mine, theirs) in d.changed {
+            let v = resolve(&k, &mine, &theirs);
+            out = out.inserted(k, v);
+        }
+        out
+    }
+
+    /// Keys present in both maps, keeping `self`'s values.
+    fn intersect(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.removed
+            .into_iter()
+            .fold(self.clone(), |acc, (k, _)| acc.removed(&k))
+    }
+
+    /// Deprecated alias for [`MapMergeOps::intersect`].
+    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
+    fn intersection(&self, other: &Self) -> Self {
+        self.intersect(other)
+    }
+
+    /// Entries of `self` whose keys are not bound by `other`.
+    fn difference(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.removed
+            .into_iter()
+            .fold(Self::empty(), |acc, (k, v)| acc.inserted(k, v))
+    }
+}
+
+/// Set algebra over a persistent multi-map, at tuple granularity: the
+/// relation is treated as a set of `(key, value)` tuples.
+///
+/// All defaults route through [`MultiMapAlgebraOps::diff`], so a structural
+/// `diff` override (lockstep trie walk with `CAT1`/`CAT2` bag merging)
+/// upgrades every operation to O(changed) at once.
+pub trait MultiMapAlgebraOps<K: Clone, V: Clone>: MultiMapOps<K, V> {
+    /// The tuple-level delta from `self` (old) to `other` (new).
+    ///
+    /// Default: element-wise probing (the documented fallback). Structural
+    /// implementations skip pointer-identical subtrees and diff shared-key
+    /// value bags structurally.
+    fn diff(&self, other: &Self) -> MultiMapDiff<K, V> {
+        let mut out = MultiMapDiff::new();
+        for (k, v) in other.tuples() {
+            if !self.contains_tuple(k, v) {
+                out.added.push((k.clone(), v.clone()));
+            }
+        }
+        for (k, v) in self.tuples() {
+            if !other.contains_tuple(k, v) {
+                out.removed.push((k.clone(), v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Tuples in `self` or `other`.
+    fn union(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.added
+            .into_iter()
+            .fold(self.clone(), |acc, (k, v)| acc.inserted(k, v))
+    }
+
+    /// Tuples in both `self` and `other`.
+    fn intersect(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.removed
+            .into_iter()
+            .fold(self.clone(), |acc, (k, v)| acc.tuple_removed(&k, &v))
+    }
+
+    /// Deprecated alias for [`MultiMapAlgebraOps::intersect`].
+    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
+    fn intersection(&self, other: &Self) -> Self {
+        self.intersect(other)
+    }
+
+    /// Tuples in `self` but not in `other`.
+    fn difference(&self, other: &Self) -> Self {
+        let d = self.diff(other);
+        d.removed
+            .into_iter()
+            .fold(Self::empty(), |acc, (k, v)| acc.inserted(k, v))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The in-place mutation surface (`_mut` families).
 // ---------------------------------------------------------------------------
 

@@ -1297,6 +1297,306 @@ impl<'a, V, B: ValueBag<V>> std::fmt::Debug for ValuesOf<'a, V, B> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Structural relation diff: a lockstep node walk.
+// ---------------------------------------------------------------------------
+//
+// `diff_nodes` walks two multi-map tries in lockstep, comparing the branch
+// under each 5-bit mask. Pointer-identical sub-tries (`Arc::ptr_eq`) are
+// skipped wholesale — the sharing the AXIOM canonical form guarantees after
+// persistent edits — so the walk is O(changed) for operands that share
+// structure. Bindings compare at tuple granularity: a `CAT1`×`CAT2` pair at
+// the same mask (a promoted or demoted key) contributes only the values that
+// actually differ, and `CAT2`×`CAT2` pairs diff their bags value by value.
+
+/// What one multi-map node holds under a 5-bit mask.
+enum AtM<'a, K, V, B> {
+    Nothing,
+    /// `CAT1`: an inlined `1:1` tuple.
+    One(&'a K, &'a V),
+    /// `CAT2`: a key with a nested bag of ≥ 2 values.
+    Many(&'a K, &'a B),
+    /// `NODE`: a sub-trie.
+    Sub(&'a Arc<Node<K, V, B>>),
+}
+
+fn at_m<'a, K, V, B>(b: &'a BitmapNode<K, V, B>, m: u32) -> AtM<'a, K, V, B> {
+    let (cat, idx) = b.bitmap.locate(m);
+    match cat {
+        Category::Empty => AtM::Nothing,
+        Category::Cat1 => match &b.slots[idx] {
+            Slot::One(k, v) => AtM::One(k, v),
+            _ => unreachable!("CAT1 tag over a non-1:1 slot"),
+        },
+        Category::Cat2 => match &b.slots[idx] {
+            Slot::Many(k, bag) => AtM::Many(k, bag),
+            _ => unreachable!("CAT2 tag over a non-1:n slot"),
+        },
+        Category::Node => match &b.slots[idx] {
+            Slot::Child(c) => AtM::Sub(c),
+            _ => unreachable!("NODE tag over a payload slot"),
+        },
+    }
+}
+
+/// Invokes `f` for every `(key, value)` tuple stored in the sub-trie.
+fn for_each_tuple_node<K, V, B>(node: &Node<K, V, B>, f: &mut impl FnMut(&K, &V))
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    match node {
+        Node::Bitmap(b) => {
+            for slot in b.slots.iter() {
+                match slot {
+                    Slot::One(k, v) => f(k, v),
+                    Slot::Many(k, bag) => {
+                        for v in bag.iter() {
+                            f(k, v);
+                        }
+                    }
+                    Slot::Child(c) => for_each_tuple_node(c, f),
+                }
+            }
+        }
+        Node::Collision(c) => {
+            for (k, binding) in &c.entries {
+                for v in BindingRef::of(binding).iter() {
+                    f(k, v);
+                }
+            }
+        }
+    }
+}
+
+/// Emits the tuple-level delta between two same-key bindings into `out`.
+/// Bindings under distinct keys never reach here.
+fn diff_bindings<K, V, B>(
+    key: &K,
+    a: BindingRef<'_, V, B>,
+    b: BindingRef<'_, V, B>,
+    out: &mut trie_common::ops::MultiMapDiff<K, V>,
+) where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    for v in a.iter() {
+        if !b.contains(v) {
+            out.removed.push((key.clone(), v.clone()));
+        }
+    }
+    for v in b.iter() {
+        if !a.contains(v) {
+            out.added.push((key.clone(), v.clone()));
+        }
+    }
+}
+
+/// Emits every tuple of `binding` under `key` into `sink`.
+fn emit_binding<K, V, B>(key: &K, binding: BindingRef<'_, V, B>, sink: &mut Vec<(K, V)>)
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    for v in binding.iter() {
+        sink.push((key.clone(), v.clone()));
+    }
+}
+
+/// Emits the delta between a payload binding on one side and a sub-trie on
+/// the other. `payload_is_old` tells which orientation the pair has: true
+/// when the binding comes from `self` (the old side) and the sub-trie from
+/// `other`.
+fn diff_binding_vs_sub<K, V, B>(
+    key: &K,
+    binding: BindingRef<'_, V, B>,
+    sub: &Node<K, V, B>,
+    shift: u32,
+    payload_is_old: bool,
+    out: &mut trie_common::ops::MultiMapDiff<K, V>,
+) where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    let in_sub = sub.get(hash32(key), next_shift(shift), key);
+    // Tuples of the payload binding missing from the sub-trie.
+    for v in binding.iter() {
+        let present = in_sub.is_some_and(|theirs| theirs.contains(v));
+        if !present {
+            let pair = (key.clone(), v.clone());
+            if payload_is_old {
+                out.removed.push(pair);
+            } else {
+                out.added.push(pair);
+            }
+        }
+    }
+    // Tuples of the sub-trie missing from the payload binding: every tuple
+    // under a different key, plus same-key values the binding lacks.
+    for_each_tuple_node(sub, &mut |k, v| {
+        if k == key && binding.contains(v) {
+            return;
+        }
+        let pair = (k.clone(), v.clone());
+        if payload_is_old {
+            out.added.push(pair);
+        } else {
+            out.removed.push(pair);
+        }
+    });
+}
+
+/// Lockstep diff of two multi-map sub-tries at the same depth, accumulating
+/// tuple-granularity added/removed entries into `out` (`a` old, `b` new).
+fn diff_nodes<K, V, B>(
+    a: &Node<K, V, B>,
+    b: &Node<K, V, B>,
+    shift: u32,
+    out: &mut trie_common::ops::MultiMapDiff<K, V>,
+) where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    match (a, b) {
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            for m in 0..32u32 {
+                match (at_m(x, m), at_m(y, m)) {
+                    (AtM::Nothing, AtM::Nothing) => {}
+                    (AtM::One(k, v), AtM::Nothing) => {
+                        out.removed.push((k.clone(), v.clone()));
+                    }
+                    (AtM::Many(k, bag), AtM::Nothing) => {
+                        emit_binding::<K, V, B>(k, BindingRef::Many(bag), &mut out.removed);
+                    }
+                    (AtM::Sub(ac), AtM::Nothing) => {
+                        for_each_tuple_node(ac, &mut |k, v| {
+                            out.removed.push((k.clone(), v.clone()));
+                        });
+                    }
+                    (AtM::Nothing, AtM::One(k, v)) => {
+                        out.added.push((k.clone(), v.clone()));
+                    }
+                    (AtM::Nothing, AtM::Many(k, bag)) => {
+                        emit_binding::<K, V, B>(k, BindingRef::Many(bag), &mut out.added);
+                    }
+                    (AtM::Nothing, AtM::Sub(bc)) => {
+                        for_each_tuple_node(bc, &mut |k, v| {
+                            out.added.push((k.clone(), v.clone()));
+                        });
+                    }
+                    (AtM::One(ka, va), AtM::One(kb, vb)) => {
+                        if ka == kb {
+                            if va != vb {
+                                out.removed.push((ka.clone(), va.clone()));
+                                out.added.push((kb.clone(), vb.clone()));
+                            }
+                        } else {
+                            out.removed.push((ka.clone(), va.clone()));
+                            out.added.push((kb.clone(), vb.clone()));
+                        }
+                    }
+                    (AtM::One(ka, va), AtM::Many(kb, bb)) => {
+                        if ka == kb {
+                            // Promotion: the key gained values (and may have
+                            // swapped its original one).
+                            diff_bindings::<K, V, B>(
+                                ka,
+                                BindingRef::One(va),
+                                BindingRef::Many(bb),
+                                out,
+                            );
+                        } else {
+                            out.removed.push((ka.clone(), va.clone()));
+                            emit_binding::<K, V, B>(kb, BindingRef::Many(bb), &mut out.added);
+                        }
+                    }
+                    (AtM::Many(ka, ba), AtM::One(kb, vb)) => {
+                        if ka == kb {
+                            // Demotion: the key shed values down to one.
+                            diff_bindings::<K, V, B>(
+                                ka,
+                                BindingRef::Many(ba),
+                                BindingRef::One(vb),
+                                out,
+                            );
+                        } else {
+                            emit_binding::<K, V, B>(ka, BindingRef::Many(ba), &mut out.removed);
+                            out.added.push((kb.clone(), vb.clone()));
+                        }
+                    }
+                    (AtM::Many(ka, ba), AtM::Many(kb, bb)) => {
+                        if ka == kb {
+                            if ba != bb {
+                                diff_bindings::<K, V, B>(
+                                    ka,
+                                    BindingRef::Many(ba),
+                                    BindingRef::Many(bb),
+                                    out,
+                                );
+                            }
+                        } else {
+                            emit_binding::<K, V, B>(ka, BindingRef::Many(ba), &mut out.removed);
+                            emit_binding::<K, V, B>(kb, BindingRef::Many(bb), &mut out.added);
+                        }
+                    }
+                    (AtM::One(ka, va), AtM::Sub(bc)) => {
+                        diff_binding_vs_sub(ka, BindingRef::One(va), bc, shift, true, out);
+                    }
+                    (AtM::Many(ka, ba), AtM::Sub(bc)) => {
+                        diff_binding_vs_sub(ka, BindingRef::Many(ba), bc, shift, true, out);
+                    }
+                    (AtM::Sub(ac), AtM::One(kb, vb)) => {
+                        diff_binding_vs_sub(kb, BindingRef::One(vb), ac, shift, false, out);
+                    }
+                    (AtM::Sub(ac), AtM::Many(kb, bag)) => {
+                        diff_binding_vs_sub(kb, BindingRef::Many(bag), ac, shift, false, out);
+                    }
+                    (AtM::Sub(ac), AtM::Sub(bc)) => {
+                        if !Arc::ptr_eq(ac, bc) {
+                            diff_nodes(ac, bc, next_shift(shift), out);
+                        }
+                    }
+                }
+            }
+        }
+        (Node::Collision(x), Node::Collision(y)) => {
+            for (k, binding_a) in &x.entries {
+                match y.entries.iter().find(|(ky, _)| ky == k) {
+                    None => {
+                        emit_binding::<K, V, B>(k, BindingRef::of(binding_a), &mut out.removed);
+                    }
+                    Some((_, binding_b)) => {
+                        if !binding_a.eq(binding_b) {
+                            diff_bindings::<K, V, B>(
+                                k,
+                                BindingRef::of(binding_a),
+                                BindingRef::of(binding_b),
+                                out,
+                            );
+                        }
+                    }
+                }
+            }
+            for (k, binding_b) in &y.entries {
+                if !x.entries.iter().any(|(kx, _)| kx == k) {
+                    emit_binding::<K, V, B>(k, BindingRef::of(binding_b), &mut out.added);
+                }
+            }
+        }
+        // At equal depth a collision node only appears once the hash is
+        // exhausted, where the canonical form forces the other side to be a
+        // collision node too.
+        (Node::Bitmap(_), Node::Collision(_)) | (Node::Collision(_), Node::Bitmap(_)) => {
+            unreachable!("bitmap/collision mix at equal depth")
+        }
+    }
+}
+
 /// A persistent (immutable, structurally shared) multi-map on the AXIOM
 /// encoding. See the [module documentation](self).
 ///
@@ -1500,6 +1800,70 @@ where
         ValuesOf {
             inner: self.get(key).map(|binding| binding.iter()),
         }
+    }
+
+    /// The tuple-level delta from `self` (old) to `other` (new), computed by
+    /// a lockstep structural walk that skips pointer-identical sub-tries.
+    ///
+    /// For operands derived from a common ancestor by k tuple edits the walk
+    /// touches O(k · depth) nodes, independent of relation size. Bindings
+    /// compare at tuple granularity: a key promoted from `1:1` to `1:n` (or
+    /// demoted back) contributes only the values that actually differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use axiom::AxiomMultiMap;
+    ///
+    /// let old = AxiomMultiMap::<&str, u32>::new().inserted("D", 4);
+    /// let new = old.inserted("D", 5); // promotes "D" to 1:n
+    /// let d = old.diff(&new);
+    /// assert_eq!(d.added, vec![("D", 5)]);
+    /// assert!(d.removed.is_empty());
+    /// ```
+    pub fn diff(&self, other: &Self) -> trie_common::ops::MultiMapDiff<K, V> {
+        let mut out = trie_common::ops::MultiMapDiff::new();
+        if Arc::ptr_eq(&self.root, &other.root) {
+            return out;
+        }
+        if self.is_empty() {
+            out.added
+                .extend(other.iter().map(|(k, v)| (k.clone(), v.clone())));
+            return out;
+        }
+        if other.is_empty() {
+            out.removed
+                .extend(self.iter().map(|(k, v)| (k.clone(), v.clone())));
+            return out;
+        }
+        diff_nodes(&self.root, &other.root, 0, &mut out);
+        out
+    }
+
+    /// Tuples in `self` or `other`.
+    ///
+    /// Two regimes: a much smaller `other` is folded in tuple by tuple
+    /// (O(|other|) probes); similar-sized operands typically share structure
+    /// from a common ancestor, so they route through the structural
+    /// [`AxiomMultiMap::diff`] and cost O(changed).
+    pub fn union(&self, other: &Self) -> Self {
+        if Arc::ptr_eq(&self.root, &other.root) || other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let mut out = self.clone();
+        if other.tuples * 8 < self.tuples {
+            for (k, v) in other.iter() {
+                out.insert_mut(k.clone(), v.clone());
+            }
+        } else {
+            for (k, v) in self.diff(other).added {
+                out.insert_mut(k, v);
+            }
+        }
+        out
     }
 
     pub(crate) fn root_node(&self) -> &Node<K, V, B> {

@@ -9,7 +9,8 @@
 use std::hash::Hash;
 
 use trie_common::ops::{
-    EditInPlace, MapMutOps, MapOps, MultiMapMutOps, MultiMapOps, SetMutOps, SetOps,
+    EditInPlace, MapDiff, MapMergeOps, MapMutOps, MapOps, MultiMapAlgebraOps, MultiMapDiff,
+    MultiMapMutOps, MultiMapOps, SetAlgebraOps, SetDiff, SetMutOps, SetOps,
 };
 
 use crate::bag::ValueBag;
@@ -76,6 +77,16 @@ where
     }
 }
 
+impl<K, V> MapMergeOps<K, V> for AxiomMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn diff(&self, other: &Self) -> MapDiff<K, V> {
+        AxiomMap::diff(self, other)
+    }
+}
+
 impl<K, V> EditInPlace<(K, V)> for AxiomMap<K, V>
 where
     K: Clone + Eq + Hash,
@@ -134,6 +145,27 @@ where
 
     fn iter(&self) -> Self::Elems<'_> {
         AxiomSet::iter(self)
+    }
+}
+
+impl<T> SetAlgebraOps<T> for AxiomSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn diff(&self, other: &Self) -> SetDiff<T> {
+        AxiomSet::diff(self, other)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        AxiomSet::union(self, other)
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        AxiomSet::intersect(self, other)
+    }
+
+    fn difference(&self, other: &Self) -> Self {
+        AxiomSet::difference(self, other)
     }
 }
 
@@ -232,6 +264,21 @@ where
 
     fn values_of<'a>(&'a self, key: &K) -> Self::ValuesOf<'a> {
         AxiomMultiMap::values_of(self, key)
+    }
+}
+
+impl<K, V, B> MultiMapAlgebraOps<K, V> for AxiomMultiMap<K, V, B>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+    B: ValueBag<V>,
+{
+    fn diff(&self, other: &Self) -> MultiMapDiff<K, V> {
+        AxiomMultiMap::diff(self, other)
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        AxiomMultiMap::union(self, other)
     }
 }
 

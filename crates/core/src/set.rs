@@ -493,6 +493,548 @@ impl<T: Clone + Eq + Hash> Node<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Structural set algebra: lockstep node walks.
+//
+// Both operands are walked in lockstep over the union of their occupied
+// masks; pointer-identical subtrees short-circuit (`Arc::ptr_eq` is a sound
+// subtree-equivalence test because canonical tries represent equal sets with
+// identical structure), and results canonicalize on the way up through
+// `Cut`. Element counts travel as deltas so a short-circuited subtree costs
+// nothing to account for.
+// ---------------------------------------------------------------------------
+
+/// What one lockstep walk found at a mask position.
+enum At<'a, T> {
+    Nothing,
+    Elem(&'a T),
+    Sub(&'a Arc<Node<T>>),
+}
+
+fn at<'a, T>(b: &'a BitmapNode<T>, m: u32) -> At<'a, T> {
+    match b.bitmap.locate(m) {
+        (Category::Empty, _) => At::Nothing,
+        (Category::Cat1, idx) => match &b.slots[idx] {
+            Slot::Elem(e) => At::Elem(e),
+            Slot::Child(_) => unreachable!("bitmap says CAT1"),
+        },
+        (Category::Node, idx) => match &b.slots[idx] {
+            Slot::Child(c) => At::Sub(c),
+            Slot::Elem(_) => unreachable!("bitmap says NODE"),
+        },
+        (Category::Cat2, _) => unreachable!("sets never use CAT2"),
+    }
+}
+
+/// A shrinking walk's result, driving canonicalization on the way up.
+enum Cut<T> {
+    /// The result equals the left operand's subtree: reuse its `Arc`.
+    Unchanged,
+    /// Nothing survives below this branch.
+    Empty,
+    /// Exactly one element survives: the parent inlines it.
+    One(T),
+    /// A rebuilt (canonical) node.
+    Node(Node<T>),
+}
+
+/// Elements below `node` (walked, not stored; only non-shared subtrees are
+/// ever counted, keeping bulk ops O(changed)).
+fn node_len<T>(node: &Node<T>) -> usize {
+    match node {
+        Node::Collision(c) => c.elems.len(),
+        Node::Bitmap(b) => b
+            .slots
+            .iter()
+            .map(|s| match s {
+                Slot::Elem(_) => 1,
+                Slot::Child(c) => node_len(c),
+            })
+            .sum(),
+    }
+}
+
+fn for_each_elem<T>(node: &Node<T>, f: &mut impl FnMut(&T)) {
+    match node {
+        Node::Collision(c) => c.elems.iter().for_each(&mut *f),
+        Node::Bitmap(b) => {
+            for s in &b.slots {
+                match s {
+                    Slot::Elem(e) => f(e),
+                    Slot::Child(c) => for_each_elem(c, f),
+                }
+            }
+        }
+    }
+}
+
+/// Assembles a canonical bitmap node from the walked groups, collapsing
+/// degenerate shapes (`Cut::Empty` / `Cut::One`) for the parent to inline.
+fn assemble<T>(bitmap: SlotBitmap, mut payload: Vec<Slot<T>>, children: Vec<Slot<T>>) -> Cut<T> {
+    match (payload.len(), children.len()) {
+        (0, 0) => Cut::Empty,
+        (1, 0) => match payload.pop() {
+            Some(Slot::Elem(e)) => Cut::One(e),
+            _ => unreachable!("payload group holds elements"),
+        },
+        _ => {
+            payload.extend(children);
+            Cut::Node(Node::Bitmap(BitmapNode {
+                bitmap,
+                slots: payload.into_boxed_slice(),
+            }))
+        }
+    }
+}
+
+/// Lockstep union. Returns `(None, 0)` when the result equals `a` (the
+/// caller reuses the `Arc`), else the new node plus how many elements it
+/// gained relative to `a`.
+fn union_nodes<T: Clone + Eq + Hash>(
+    a: &Node<T>,
+    b: &Node<T>,
+    shift: u32,
+) -> (Option<Node<T>>, usize) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            let fresh: Vec<&T> = y.elems.iter().filter(|e| !x.elems.contains(e)).collect();
+            if fresh.is_empty() {
+                return (None, 0);
+            }
+            let added = fresh.len();
+            let mut elems = x.elems.clone();
+            elems.extend(fresh.into_iter().cloned());
+            (
+                Some(Node::Collision(CollisionNode {
+                    hash: x.hash,
+                    elems,
+                })),
+                added,
+            )
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            let mut bitmap = SlotBitmap::EMPTY;
+            let mut payload: Vec<Slot<T>> = Vec::new();
+            let mut children: Vec<Slot<T>> = Vec::new();
+            let mut added = 0usize;
+            let mut changed = false;
+            for m in 0..32u32 {
+                match (at(x, m), at(y, m)) {
+                    (At::Nothing, At::Nothing) => {}
+                    (At::Elem(ea), At::Nothing) => {
+                        bitmap = bitmap.with(m, Category::Cat1);
+                        payload.push(Slot::Elem(ea.clone()));
+                    }
+                    (At::Nothing, At::Elem(eb)) => {
+                        bitmap = bitmap.with(m, Category::Cat1);
+                        payload.push(Slot::Elem(eb.clone()));
+                        added += 1;
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Nothing) => {
+                        bitmap = bitmap.with(m, Category::Node);
+                        children.push(Slot::Child(Arc::clone(ac)));
+                    }
+                    (At::Nothing, At::Sub(bc)) => {
+                        bitmap = bitmap.with(m, Category::Node);
+                        added += node_len(bc);
+                        children.push(Slot::Child(Arc::clone(bc)));
+                        changed = true;
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea == eb {
+                            bitmap = bitmap.with(m, Category::Cat1);
+                            payload.push(Slot::Elem(ea.clone()));
+                        } else {
+                            bitmap = bitmap.with(m, Category::Node);
+                            let child = Node::pair(
+                                hash32(ea),
+                                ea.clone(),
+                                hash32(eb),
+                                eb.clone(),
+                                next_shift(shift),
+                            );
+                            children.push(Slot::Child(Arc::new(child)));
+                            added += 1;
+                            changed = true;
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        // `a`'s lone element joins (or is absorbed by) `b`'s
+                        // subtree; either way the slot becomes NODE.
+                        bitmap = bitmap.with(m, Category::Node);
+                        match bc.inserted(hash32(ea), next_shift(shift), ea) {
+                            None => {
+                                added += node_len(bc) - 1;
+                                children.push(Slot::Child(Arc::clone(bc)));
+                            }
+                            Some(n) => {
+                                added += node_len(bc);
+                                children.push(Slot::Child(Arc::new(n)));
+                            }
+                        }
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        bitmap = bitmap.with(m, Category::Node);
+                        match ac.inserted(hash32(eb), next_shift(shift), eb) {
+                            None => children.push(Slot::Child(Arc::clone(ac))),
+                            Some(n) => {
+                                children.push(Slot::Child(Arc::new(n)));
+                                added += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        bitmap = bitmap.with(m, Category::Node);
+                        if Arc::ptr_eq(ac, bc) {
+                            children.push(Slot::Child(Arc::clone(ac)));
+                        } else {
+                            match union_nodes(ac, bc, next_shift(shift)) {
+                                (None, _) => children.push(Slot::Child(Arc::clone(ac))),
+                                (Some(n), add) => {
+                                    children.push(Slot::Child(Arc::new(n)));
+                                    added += add;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return (None, 0);
+            }
+            payload.extend(children);
+            (
+                Some(Node::Bitmap(BitmapNode {
+                    bitmap,
+                    slots: payload.into_boxed_slice(),
+                })),
+                added,
+            )
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
+/// Lockstep intersection. Returns the surviving shape plus how many of `a`'s
+/// elements were dropped (`Cut::Unchanged` ⇒ 0).
+fn intersect_nodes<T: Clone + Eq + Hash>(a: &Node<T>, b: &Node<T>, shift: u32) -> (Cut<T>, usize) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            let mut kept: Vec<T> = x
+                .elems
+                .iter()
+                .filter(|e| y.elems.contains(e))
+                .cloned()
+                .collect();
+            let removed = x.elems.len() - kept.len();
+            match kept.len() {
+                n if n == x.elems.len() => (Cut::Unchanged, 0),
+                0 => (Cut::Empty, removed),
+                1 => (Cut::One(kept.pop().expect("len == 1")), removed),
+                _ => (
+                    Cut::Node(Node::Collision(CollisionNode {
+                        hash: x.hash,
+                        elems: kept,
+                    })),
+                    removed,
+                ),
+            }
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            let mut bitmap = SlotBitmap::EMPTY;
+            let mut payload: Vec<Slot<T>> = Vec::new();
+            let mut children: Vec<Slot<T>> = Vec::new();
+            let mut removed = 0usize;
+            let mut changed = false;
+            for m in 0..32u32 {
+                let pos_a = at(x, m);
+                if matches!(pos_a, At::Nothing) {
+                    continue;
+                }
+                match (pos_a, at(y, m)) {
+                    (At::Elem(_), At::Nothing) => {
+                        removed += 1;
+                        changed = true;
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea == eb {
+                            bitmap = bitmap.with(m, Category::Cat1);
+                            payload.push(Slot::Elem(ea.clone()));
+                        } else {
+                            removed += 1;
+                            changed = true;
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        if bc.contains(hash32(ea), next_shift(shift), ea) {
+                            bitmap = bitmap.with(m, Category::Cat1);
+                            payload.push(Slot::Elem(ea.clone()));
+                        } else {
+                            removed += 1;
+                            changed = true;
+                        }
+                    }
+                    (At::Sub(ac), At::Nothing) => {
+                        removed += node_len(ac);
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        let total = node_len(ac);
+                        if ac.contains(hash32(eb), next_shift(shift), eb) {
+                            // The intersection of this subtree with a lone
+                            // element is that element, inlined.
+                            bitmap = bitmap.with(m, Category::Cat1);
+                            payload.push(Slot::Elem(eb.clone()));
+                            removed += total - 1;
+                        } else {
+                            removed += total;
+                        }
+                        changed = true;
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        if Arc::ptr_eq(ac, bc) {
+                            bitmap = bitmap.with(m, Category::Node);
+                            children.push(Slot::Child(Arc::clone(ac)));
+                            continue;
+                        }
+                        match intersect_nodes(ac, bc, next_shift(shift)) {
+                            (Cut::Unchanged, _) => {
+                                bitmap = bitmap.with(m, Category::Node);
+                                children.push(Slot::Child(Arc::clone(ac)));
+                            }
+                            (Cut::Empty, r) => {
+                                removed += r;
+                                changed = true;
+                            }
+                            (Cut::One(e), r) => {
+                                bitmap = bitmap.with(m, Category::Cat1);
+                                payload.push(Slot::Elem(e));
+                                removed += r;
+                                changed = true;
+                            }
+                            (Cut::Node(n), r) => {
+                                bitmap = bitmap.with(m, Category::Node);
+                                children.push(Slot::Child(Arc::new(n)));
+                                removed += r;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Nothing, _) => unreachable!("filtered above"),
+                }
+            }
+            if !changed {
+                return (Cut::Unchanged, 0);
+            }
+            (assemble(bitmap, payload, children), removed)
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
+/// Lockstep difference (`a \ b`). Returns the surviving shape plus how many
+/// elements survive (`Cut::Unchanged` ⇒ the whole subtree, counted).
+fn difference_nodes<T: Clone + Eq + Hash>(a: &Node<T>, b: &Node<T>, shift: u32) -> (Cut<T>, usize) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            let mut kept: Vec<T> = x
+                .elems
+                .iter()
+                .filter(|e| !y.elems.contains(e))
+                .cloned()
+                .collect();
+            match kept.len() {
+                n if n == x.elems.len() => (Cut::Unchanged, n),
+                0 => (Cut::Empty, 0),
+                1 => (Cut::One(kept.pop().expect("len == 1")), 1),
+                n => (
+                    Cut::Node(Node::Collision(CollisionNode {
+                        hash: x.hash,
+                        elems: kept,
+                    })),
+                    n,
+                ),
+            }
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            let mut bitmap = SlotBitmap::EMPTY;
+            let mut payload: Vec<Slot<T>> = Vec::new();
+            let mut children: Vec<Slot<T>> = Vec::new();
+            let mut kept = 0usize;
+            let mut changed = false;
+            for m in 0..32u32 {
+                let pos_a = at(x, m);
+                if matches!(pos_a, At::Nothing) {
+                    continue;
+                }
+                match (pos_a, at(y, m)) {
+                    (At::Elem(ea), At::Nothing) => {
+                        bitmap = bitmap.with(m, Category::Cat1);
+                        payload.push(Slot::Elem(ea.clone()));
+                        kept += 1;
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea == eb {
+                            changed = true;
+                        } else {
+                            bitmap = bitmap.with(m, Category::Cat1);
+                            payload.push(Slot::Elem(ea.clone()));
+                            kept += 1;
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        if bc.contains(hash32(ea), next_shift(shift), ea) {
+                            changed = true;
+                        } else {
+                            bitmap = bitmap.with(m, Category::Cat1);
+                            payload.push(Slot::Elem(ea.clone()));
+                            kept += 1;
+                        }
+                    }
+                    (At::Sub(ac), At::Nothing) => {
+                        bitmap = bitmap.with(m, Category::Node);
+                        children.push(Slot::Child(Arc::clone(ac)));
+                        kept += node_len(ac);
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        match ac.removed(hash32(eb), next_shift(shift), eb) {
+                            Removed::NotFound => {
+                                bitmap = bitmap.with(m, Category::Node);
+                                children.push(Slot::Child(Arc::clone(ac)));
+                                kept += node_len(ac);
+                            }
+                            Removed::Node(n) => {
+                                kept += node_len(&n);
+                                bitmap = bitmap.with(m, Category::Node);
+                                children.push(Slot::Child(Arc::new(n)));
+                                changed = true;
+                            }
+                            Removed::Single(e) => {
+                                bitmap = bitmap.with(m, Category::Cat1);
+                                payload.push(Slot::Elem(e));
+                                kept += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        if Arc::ptr_eq(ac, bc) {
+                            // The entire shared subtree cancels out.
+                            changed = true;
+                            continue;
+                        }
+                        match difference_nodes(ac, bc, next_shift(shift)) {
+                            (Cut::Unchanged, k) => {
+                                bitmap = bitmap.with(m, Category::Node);
+                                children.push(Slot::Child(Arc::clone(ac)));
+                                kept += k;
+                            }
+                            (Cut::Empty, _) => changed = true,
+                            (Cut::One(e), _) => {
+                                bitmap = bitmap.with(m, Category::Cat1);
+                                payload.push(Slot::Elem(e));
+                                kept += 1;
+                                changed = true;
+                            }
+                            (Cut::Node(n), k) => {
+                                bitmap = bitmap.with(m, Category::Node);
+                                children.push(Slot::Child(Arc::new(n)));
+                                kept += k;
+                                changed = true;
+                            }
+                        }
+                    }
+                    (At::Nothing, _) => unreachable!("filtered above"),
+                }
+            }
+            if !changed {
+                return (Cut::Unchanged, kept);
+            }
+            (assemble(bitmap, payload, children), kept)
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
+/// Lockstep diff (`a` old, `b` new): pointer-identical subtrees emit
+/// nothing, so the output and the walk are both O(changed).
+fn diff_nodes<T: Clone + Eq + Hash>(
+    a: &Node<T>,
+    b: &Node<T>,
+    shift: u32,
+    out: &mut trie_common::ops::SetDiff<T>,
+) {
+    match (a, b) {
+        (Node::Collision(x), Node::Collision(y)) => {
+            debug_assert_eq!(x.hash, y.hash, "lockstep paths fix the full hash");
+            for e in &x.elems {
+                if !y.elems.contains(e) {
+                    out.removed.push(e.clone());
+                }
+            }
+            for e in &y.elems {
+                if !x.elems.contains(e) {
+                    out.added.push(e.clone());
+                }
+            }
+        }
+        (Node::Bitmap(x), Node::Bitmap(y)) => {
+            for m in 0..32u32 {
+                match (at(x, m), at(y, m)) {
+                    (At::Nothing, At::Nothing) => {}
+                    (At::Elem(ea), At::Nothing) => out.removed.push(ea.clone()),
+                    (At::Nothing, At::Elem(eb)) => out.added.push(eb.clone()),
+                    (At::Sub(ac), At::Nothing) => {
+                        for_each_elem(ac, &mut |e| out.removed.push(e.clone()));
+                    }
+                    (At::Nothing, At::Sub(bc)) => {
+                        for_each_elem(bc, &mut |e| out.added.push(e.clone()));
+                    }
+                    (At::Elem(ea), At::Elem(eb)) => {
+                        if ea != eb {
+                            out.removed.push(ea.clone());
+                            out.added.push(eb.clone());
+                        }
+                    }
+                    (At::Elem(ea), At::Sub(bc)) => {
+                        if !bc.contains(hash32(ea), next_shift(shift), ea) {
+                            out.removed.push(ea.clone());
+                        }
+                        for_each_elem(bc, &mut |e| {
+                            if e != ea {
+                                out.added.push(e.clone());
+                            }
+                        });
+                    }
+                    (At::Sub(ac), At::Elem(eb)) => {
+                        if !ac.contains(hash32(eb), next_shift(shift), eb) {
+                            out.added.push(eb.clone());
+                        }
+                        for_each_elem(ac, &mut |e| {
+                            if e != eb {
+                                out.removed.push(e.clone());
+                            }
+                        });
+                    }
+                    (At::Sub(ac), At::Sub(bc)) => {
+                        if !Arc::ptr_eq(ac, bc) {
+                            diff_nodes(ac, bc, next_shift(shift), out);
+                        }
+                    }
+                }
+            }
+        }
+        _ => unreachable!("canonical tries align node kinds at equal depth"),
+    }
+}
+
 /// A persistent (immutable, structurally shared) hash set.
 ///
 /// Cheap to clone (`O(1)`, bumps one reference count); every update returns a
@@ -647,8 +1189,105 @@ impl<T: Clone + Eq + Hash> AxiomSet<T> {
         Iter::new(&self.root, self.len)
     }
 
-    /// Union of two sets: iterates the smaller into the larger.
+    /// Rebuilds the one-element set (canonicalization helper).
+    fn singleton(value: T) -> Self {
+        let root = Node::empty()
+            .inserted(hash32(&value), 0, &value)
+            .expect("inserting into empty");
+        AxiomSet {
+            root: Arc::new(root),
+            len: 1,
+        }
+    }
+
+    /// Union of two sets via a lockstep structural walk: subtrees the
+    /// operands share by pointer are reused wholesale, so the cost is
+    /// O(changed) — and a self-union returns `self` without allocating.
     pub fn union(&self, other: &Self) -> Self {
+        if other.is_empty() || Arc::ptr_eq(&self.root, &other.root) {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
+        match union_nodes(&self.root, &other.root, 0) {
+            (None, _) => self.clone(),
+            (Some(node), added) => AxiomSet {
+                root: Arc::new(node),
+                len: self.len + added,
+            },
+        }
+    }
+
+    /// Intersection of two sets via a lockstep structural walk (shared
+    /// subtrees survive by pointer, cost O(changed)).
+    pub fn intersect(&self, other: &Self) -> Self {
+        if self.is_empty() || Arc::ptr_eq(&self.root, &other.root) {
+            return self.clone();
+        }
+        if other.is_empty() {
+            return AxiomSet::new();
+        }
+        match intersect_nodes(&self.root, &other.root, 0) {
+            (Cut::Unchanged, _) => self.clone(),
+            (Cut::Empty, _) => AxiomSet::new(),
+            (Cut::One(e), _) => Self::singleton(e),
+            (Cut::Node(n), removed) => AxiomSet {
+                root: Arc::new(n),
+                len: self.len - removed,
+            },
+        }
+    }
+
+    /// Deprecated spelling of [`intersect`](Self::intersect).
+    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.intersect(other)
+    }
+
+    /// Elements of `self` not in `other`, via a lockstep structural walk
+    /// (a shared subtree cancels out in O(1)).
+    pub fn difference(&self, other: &Self) -> Self {
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        if Arc::ptr_eq(&self.root, &other.root) {
+            return AxiomSet::new();
+        }
+        match difference_nodes(&self.root, &other.root, 0) {
+            (Cut::Unchanged, _) => self.clone(),
+            (Cut::Empty, _) => AxiomSet::new(),
+            (Cut::One(e), _) => Self::singleton(e),
+            (Cut::Node(n), kept) => AxiomSet {
+                root: Arc::new(n),
+                len: kept,
+            },
+        }
+    }
+
+    /// What changed between `self` (old) and `other` (new): pointer-shared
+    /// subtrees emit nothing, so output and walk are both O(changed).
+    pub fn diff(&self, other: &Self) -> trie_common::ops::SetDiff<T> {
+        let mut out = trie_common::ops::SetDiff::new();
+        if Arc::ptr_eq(&self.root, &other.root) {
+            return out;
+        }
+        if self.is_empty() {
+            out.added.extend(other.iter().cloned());
+            return out;
+        }
+        if other.is_empty() {
+            out.removed.extend(self.iter().cloned());
+            return out;
+        }
+        diff_nodes(&self.root, &other.root, 0, &mut out);
+        out
+    }
+
+    /// Element-wise union: iterates the smaller into the larger. Retained as
+    /// the documented fallback path (differential-testing and benchmark
+    /// baseline for the structural walk).
+    pub fn union_elementwise(&self, other: &Self) -> Self {
         let (big, small) = if self.len >= other.len {
             (self, other)
         } else {
@@ -661,8 +1300,10 @@ impl<T: Clone + Eq + Hash> AxiomSet<T> {
         out
     }
 
-    /// Intersection of two sets: scans the smaller, probes the larger.
-    pub fn intersection(&self, other: &Self) -> Self {
+    /// Element-wise intersection: scans the smaller, probes the larger.
+    /// Retained as the documented fallback path (differential-testing and
+    /// benchmark baseline for the structural walk).
+    pub fn intersect_elementwise(&self, other: &Self) -> Self {
         let (probe, scan) = if self.len >= other.len {
             (self, other)
         } else {
@@ -677,8 +1318,10 @@ impl<T: Clone + Eq + Hash> AxiomSet<T> {
         out
     }
 
-    /// Elements of `self` not in `other`.
-    pub fn difference(&self, other: &Self) -> Self {
+    /// Element-wise difference: probes `other` per element. Retained as the
+    /// documented fallback path (differential-testing and benchmark baseline
+    /// for the structural walk).
+    pub fn difference_elementwise(&self, other: &Self) -> Self {
         let mut out = AxiomSet::new();
         for v in self.iter() {
             if !other.contains(v) {
@@ -776,6 +1419,33 @@ fn validate<T: Clone + Eq + Hash>(node: &Node<T>, shift: u32, prefix: Option<u32
 impl<T: Clone + Eq + Hash> Default for AxiomSet<T> {
     fn default() -> Self {
         AxiomSet::new()
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::ops::BitOr for &AxiomSet<T> {
+    type Output = AxiomSet<T>;
+
+    /// `a | b` is the structural [`union`](AxiomSet::union).
+    fn bitor(self, rhs: Self) -> AxiomSet<T> {
+        self.union(rhs)
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::ops::BitAnd for &AxiomSet<T> {
+    type Output = AxiomSet<T>;
+
+    /// `a & b` is the structural [`intersect`](AxiomSet::intersect).
+    fn bitand(self, rhs: Self) -> AxiomSet<T> {
+        self.intersect(rhs)
+    }
+}
+
+impl<T: Clone + Eq + Hash> std::ops::Sub for &AxiomSet<T> {
+    type Output = AxiomSet<T>;
+
+    /// `a - b` is the structural [`difference`](AxiomSet::difference).
+    fn sub(self, rhs: Self) -> AxiomSet<T> {
+        self.difference(rhs)
     }
 }
 
@@ -1132,7 +1802,7 @@ mod tests {
         let a: AxiomSet<u32> = (0..10).collect();
         let b: AxiomSet<u32> = (5..15).collect();
         let union = a.union(&b);
-        let inter = a.intersection(&b);
+        let inter = a.intersect(&b);
         let diff = a.difference(&b);
         assert_eq!(union.len(), 15);
         assert_eq!(inter.len(), 5);
@@ -1142,6 +1812,73 @@ mod tests {
         assert!(a.is_subset(&union));
         union.assert_invariants();
         inter.assert_invariants();
+        // Structural and element-wise paths agree.
+        assert_eq!(union, a.union_elementwise(&b));
+        assert_eq!(inter, a.intersect_elementwise(&b));
+        assert_eq!(diff, a.difference_elementwise(&b));
+        // Operator sugar routes through the structural walks.
+        assert_eq!(&a | &b, union);
+        assert_eq!(&a & &b, inter);
+        assert_eq!(&a - &b, diff);
+        #[allow(deprecated)]
+        {
+            assert_eq!(a.intersection(&b), inter);
+        }
+    }
+
+    #[test]
+    fn set_algebra_shares_structure() {
+        let a: AxiomSet<u32> = (0..1000).collect();
+        // A successor differing by one element shares almost everything.
+        let b = a.inserted(5000);
+        let u = a.union(&b);
+        assert_eq!(u, b);
+        // Union with self (or an equal-rooted successor) reuses the root Arc.
+        let self_union = a.union(&a.clone());
+        assert!(Arc::ptr_eq(&self_union.root, &a.root));
+        // Union where `other` adds nothing also reuses the root.
+        let back = b.union(&a);
+        assert!(Arc::ptr_eq(&back.root, &b.root));
+        // Intersection with a superset keeps `self` unchanged by pointer.
+        let inter = a.intersect(&b);
+        assert!(Arc::ptr_eq(&inter.root, &a.root));
+        // Difference against self is empty; against the successor drops 0.
+        assert!(a.difference(&a.clone()).is_empty());
+        assert_eq!(b.difference(&a).len(), 1);
+        u.assert_invariants();
+    }
+
+    #[test]
+    fn set_diff_is_sparse() {
+        let a: AxiomSet<u32> = (0..1000).collect();
+        let mut b = a.clone();
+        b.insert_mut(7777);
+        b.remove_mut(&13);
+        let d = a.diff(&b);
+        assert_eq!(d.added, vec![7777]);
+        assert_eq!(d.removed, vec![13]);
+        assert!(a.diff(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn set_algebra_with_collisions() {
+        let a: AxiomSet<Collide> = (0..40).map(|id| Collide { bucket: id % 4, id }).collect();
+        let b: AxiomSet<Collide> = (20..60).map(|id| Collide { bucket: id % 4, id }).collect();
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        let diff = a.difference(&b);
+        assert_eq!(union.len(), 60);
+        assert_eq!(inter.len(), 20);
+        assert_eq!(diff.len(), 20);
+        assert_eq!(union, a.union_elementwise(&b));
+        assert_eq!(inter, a.intersect_elementwise(&b));
+        assert_eq!(diff, a.difference_elementwise(&b));
+        union.assert_invariants();
+        inter.assert_invariants();
+        diff.assert_invariants();
+        let d = a.diff(&b);
+        assert_eq!(d.added.len(), 20);
+        assert_eq!(d.removed.len(), 20);
     }
 
     #[test]

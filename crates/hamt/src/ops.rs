@@ -6,7 +6,9 @@
 
 use std::hash::Hash;
 
-use trie_common::ops::{EditInPlace, MapMutOps, MapOps, SetMutOps, SetOps};
+use trie_common::ops::{
+    EditInPlace, MapDiff, MapMergeOps, MapMutOps, MapOps, SetAlgebraOps, SetDiff, SetMutOps, SetOps,
+};
 
 use crate::{map, memo, set, HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
 
@@ -59,6 +61,16 @@ where
     }
     fn values(&self) -> Self::Values<'_> {
         HamtMap::values(self)
+    }
+}
+
+impl<K, V> MapMergeOps<K, V> for HamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+    fn diff(&self, other: &Self) -> MapDiff<K, V> {
+        HamtMap::diff(self, other)
     }
 }
 
@@ -138,6 +150,15 @@ where
     }
 }
 
+// The memoized wrapper keeps no structural root of its own, so it rides the
+// documented element-wise fallbacks of the algebra traits.
+impl<K, V> MapMergeOps<K, V> for MemoHamtMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + PartialEq,
+{
+}
+
 impl<K, V> EditInPlace<(K, V)> for MemoHamtMap<K, V>
 where
     K: Clone + Eq + Hash,
@@ -191,6 +212,15 @@ where
     }
     fn iter(&self) -> Self::Elems<'_> {
         HamtSet::iter(self)
+    }
+}
+
+impl<T> SetAlgebraOps<T> for HamtSet<T>
+where
+    T: Clone + Eq + Hash,
+{
+    fn diff(&self, other: &Self) -> SetDiff<T> {
+        HamtSet::diff(self, other)
     }
 }
 
@@ -260,6 +290,10 @@ where
         MemoHamtSet::remove_mut(self, value)
     }
 }
+
+// See the `MemoHamtMap` note: the memoized set uses the element-wise
+// fallback defaults.
+impl<T> SetAlgebraOps<T> for MemoHamtSet<T> where T: Clone + Eq + Hash {}
 
 impl<T> EditInPlace<T> for MemoHamtSet<T>
 where

@@ -109,6 +109,17 @@ impl<T: Clone + Eq + Hash> HamtSet<T> {
         self.iter().next().expect("len == 1")
     }
 
+    /// What changed between `self` (old) and `other` (new), via the inner
+    /// map's lockstep structural walk (pointer-shared subtrees are skipped;
+    /// non-canonical shapes fall back to content recursion).
+    pub fn diff(&self, other: &Self) -> trie_common::ops::SetDiff<T> {
+        let d = self.map.diff(&other.map);
+        let mut out = trie_common::ops::SetDiff::new();
+        out.added.extend(d.added.into_iter().map(|(k, ())| k));
+        out.removed.extend(d.removed.into_iter().map(|(k, ())| k));
+        out
+    }
+
     pub(crate) fn inner(&self) -> &HamtMap<T, ()> {
         &self.map
     }

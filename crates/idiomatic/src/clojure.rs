@@ -12,7 +12,7 @@ use std::hash::Hash;
 use hamt::{HamtMap, HamtSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
 use trie_common::iter::{MaybeIter, TuplesOf};
-use trie_common::ops::{EditInPlace, MultiMapMutOps, MultiMapOps};
+use trie_common::ops::{EditInPlace, MultiMapAlgebraOps, MultiMapMutOps, MultiMapOps};
 
 /// A key's binding: the dynamic either-value-or-set the Clojure protocol
 /// dispatches on.
@@ -314,6 +314,15 @@ where
     fn remove_key_mut(&mut self, key: &K) -> usize {
         ClojureMultiMap::remove_key_mut(self, key)
     }
+}
+
+// The idiomatic emulation layers on a map of sets, so the tuple algebra
+// rides the element-wise fallback defaults.
+impl<K, V> MultiMapAlgebraOps<K, V> for ClojureMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
 }
 
 impl<K, V> MultiMapOps<K, V> for ClojureMultiMap<K, V>

@@ -17,7 +17,7 @@ use std::hash::Hash;
 use hamt::{MemoHamtMap, MemoHamtSet};
 use heapmodel::{Accounting, JvmArch, JvmFootprint, JvmSize, LayoutPolicy, RustFootprint};
 use trie_common::iter::{MaybeIter, TuplesOf};
-use trie_common::ops::{EditInPlace, MultiMapMutOps, MultiMapOps};
+use trie_common::ops::{EditInPlace, MultiMapAlgebraOps, MultiMapMutOps, MultiMapOps};
 
 /// An immutable Scala-style set: `Set1..Set4` field specializations with a
 /// hash-trie overflow (`HashSet`) beyond four elements.
@@ -407,6 +407,15 @@ where
     fn remove_key_mut(&mut self, key: &K) -> usize {
         ScalaMultiMap::remove_key_mut(self, key)
     }
+}
+
+// The idiomatic emulation layers on a memoized map of sets, so the tuple
+// algebra rides the element-wise fallback defaults.
+impl<K, V> MultiMapAlgebraOps<K, V> for ScalaMultiMap<K, V>
+where
+    K: Clone + Eq + Hash,
+    V: Clone + Eq + Hash,
+{
 }
 
 impl<K, V> MultiMapOps<K, V> for ScalaMultiMap<K, V>

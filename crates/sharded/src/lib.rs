@@ -75,10 +75,10 @@ mod set;
 mod shards;
 mod snapshot;
 
-pub use map::{MapSnapshot, ShardedMap, SnapshotEntries};
-pub use multimap::{MultiMapSnapshot, ShardedMultiMap, SnapshotTuples};
+pub use map::{MapEpoch, MapSnapshot, ShardedMap, SnapshotEntries};
+pub use multimap::{MultiMapEpoch, MultiMapSnapshot, ShardedMultiMap, SnapshotTuples};
 pub use partition::{partition_by, partition_tuples, Partition, MAX_SHARDS};
-pub use set::{SetSnapshot, ShardedSet, SnapshotElems};
+pub use set::{SetEpoch, SetSnapshot, ShardedSet, SnapshotElems};
 
 /// Default shard count: the available parallelism rounded up to a power of
 /// two (capped at [`MAX_SHARDS`]; 1 when parallelism cannot be queried).

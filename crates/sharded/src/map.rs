@@ -6,11 +6,11 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use axiom::AxiomMap;
-use trie_common::ops::{Builder, MapEdit, MapMutOps, MapOps, TransientOps};
+use trie_common::ops::{Builder, MapDiff, MapEdit, MapMergeOps, MapMutOps, MapOps, TransientOps};
 
 use crate::default_shard_count;
 use crate::partition::Partition;
-use crate::shards::ShardSet;
+use crate::shards::{EpochCore, ShardSet};
 
 /// A concurrent map: `N` persistent trie maps published as atomically
 /// swappable snapshots. Defaults to [`AxiomMap`] shards.
@@ -102,6 +102,77 @@ where
         V: Clone,
     {
         self.core.shard_for(key).load().get(key).cloned()
+    }
+
+    /// Captures the current epoch: every shard's publication counter plus
+    /// its frozen snapshot. Feed it to [`ShardedMap::changes_since`] later
+    /// to get the entry-level delta without rescanning unchanged shards.
+    pub fn epoch(&self) -> MapEpoch<K, V, M> {
+        MapEpoch {
+            core: self.core.epoch(),
+            _entry: PhantomData,
+        }
+    }
+}
+
+impl<K, V, M> ShardedMap<K, V, M>
+where
+    K: Hash + Clone + Send,
+    V: Clone + PartialEq + Send,
+    M: MapMergeOps<K, V> + Send + Sync,
+{
+    /// The entry-level delta since `epoch` (`epoch` old, current state
+    /// new). Shards whose publication counter is unchanged are skipped
+    /// outright; each changed shard is diffed structurally on its own
+    /// scoped worker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` was captured from a map with a different partition.
+    pub fn changes_since(&self, epoch: &MapEpoch<K, V, M>) -> MapDiff<K, V> {
+        let parts = self
+            .core
+            .diff_since_parallel(&epoch.core, |old, current| old.diff(current));
+        let mut out = MapDiff::new();
+        for d in parts {
+            out.added.extend(d.added);
+            out.removed.extend(d.removed);
+            out.changed.extend(d.changed);
+        }
+        out
+    }
+
+    /// Pairwise right-biased shard merge with `other` (`other` wins on
+    /// conflicting keys), one scoped worker per shard pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two maps have different shard counts.
+    pub fn merged_with(&self, other: &Self) -> Self {
+        Self::from_core(self.core.combine_parallel(&other.core, |a, b| a.merged(b)))
+    }
+}
+
+/// A captured epoch of a [`ShardedMap`]: per-shard publication counters and
+/// frozen snapshots. Created by [`ShardedMap::epoch`], consumed by
+/// [`ShardedMap::changes_since`].
+pub struct MapEpoch<K, V, M = AxiomMap<K, V>> {
+    core: EpochCore<M>,
+    _entry: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, M> Clone for MapEpoch<K, V, M> {
+    fn clone(&self) -> Self {
+        MapEpoch {
+            core: self.core.clone(),
+            _entry: PhantomData,
+        }
+    }
+}
+
+impl<K, V, M> std::fmt::Debug for MapEpoch<K, V, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MapEpoch { .. }")
     }
 }
 

@@ -11,11 +11,14 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use axiom::AxiomMultiMap;
-use trie_common::ops::{Builder, MultiMapEdit, MultiMapMutOps, MultiMapOps, TransientOps};
+use trie_common::ops::{
+    Builder, MultiMapAlgebraOps, MultiMapDiff, MultiMapEdit, MultiMapMutOps, MultiMapOps,
+    TransientOps,
+};
 
 use crate::default_shard_count;
 use crate::partition::Partition;
-use crate::shards::ShardSet;
+use crate::shards::{EpochCore, ShardSet};
 
 /// A concurrent multi-map: `N` persistent tries (one per slice of the key
 /// space), each published as an atomically swappable snapshot.
@@ -137,6 +140,79 @@ where
     /// Number of values associated with `key` (0 if absent).
     pub fn value_count(&self, key: &K) -> usize {
         self.core.shard_for(key).load().value_count(key)
+    }
+
+    /// Captures the current epoch: every shard's publication counter plus
+    /// its frozen snapshot. Feed it to [`ShardedMultiMap::changes_since`]
+    /// later to get the tuple-level delta without rescanning unchanged
+    /// shards.
+    pub fn epoch(&self) -> MultiMapEpoch<K, V, M> {
+        MultiMapEpoch {
+            core: self.core.epoch(),
+            _tuple: PhantomData,
+        }
+    }
+}
+
+impl<K, V, M> ShardedMultiMap<K, V, M>
+where
+    K: Hash + Clone + Send,
+    V: Clone + Send,
+    M: MultiMapAlgebraOps<K, V> + Send + Sync,
+{
+    /// The tuple-level delta since `epoch` (`epoch` old, current state
+    /// new). Shards whose publication counter is unchanged are skipped
+    /// outright; each changed shard is diffed structurally on its own
+    /// scoped worker thread, so the cost tracks the number of edited
+    /// tuples, not the relation size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` was captured from a multi-map with a different
+    /// partition.
+    pub fn changes_since(&self, epoch: &MultiMapEpoch<K, V, M>) -> MultiMapDiff<K, V> {
+        let parts = self
+            .core
+            .diff_since_parallel(&epoch.core, |old, current| old.diff(current));
+        let mut out = MultiMapDiff::new();
+        for d in parts {
+            out.added.extend(d.added);
+            out.removed.extend(d.removed);
+        }
+        out
+    }
+
+    /// Pairwise shard union with `other` (tuple granularity), one scoped
+    /// worker per shard pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two multi-maps have different shard counts.
+    pub fn union_with(&self, other: &Self) -> Self {
+        Self::from_core(self.core.combine_parallel(&other.core, |a, b| a.union(b)))
+    }
+}
+
+/// A captured epoch of a [`ShardedMultiMap`]: per-shard publication
+/// counters and frozen snapshots. Created by [`ShardedMultiMap::epoch`],
+/// consumed by [`ShardedMultiMap::changes_since`].
+pub struct MultiMapEpoch<K, V, M = AxiomMultiMap<K, V>> {
+    core: EpochCore<M>,
+    _tuple: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V, M> Clone for MultiMapEpoch<K, V, M> {
+    fn clone(&self) -> Self {
+        MultiMapEpoch {
+            core: self.core.clone(),
+            _tuple: PhantomData,
+        }
+    }
+}
+
+impl<K, V, M> std::fmt::Debug for MultiMapEpoch<K, V, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MultiMapEpoch { .. }")
     }
 }
 

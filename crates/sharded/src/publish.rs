@@ -45,14 +45,26 @@ impl<C> Shard<C> {
         self.current.lock().expect("shard cell poisoned").clone()
     }
 
+    /// Acquires the current snapshot together with the publication counter
+    /// it was published under — a consistent pair, because [`Shard::publish`]
+    /// bumps the counter while still holding the swap mutex. The epoch/diff
+    /// machinery relies on this: equal counters imply identical snapshots.
+    pub(crate) fn load_versioned(&self) -> (u64, Arc<C>) {
+        let guard = self.current.lock().expect("shard cell poisoned");
+        (self.version.load(Ordering::Acquire), guard.clone())
+    }
+
     /// The publication counter (monotonically increasing).
     pub(crate) fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
-    /// Atomically replaces the snapshot and bumps the version.
+    /// Atomically replaces the snapshot and bumps the version (both under
+    /// the swap mutex, so [`Shard::load_versioned`] observes a consistent
+    /// pair).
     pub(crate) fn publish(&self, next: Arc<C>) {
-        *self.current.lock().expect("shard cell poisoned") = next;
+        let mut guard = self.current.lock().expect("shard cell poisoned");
+        *guard = next;
         self.version.fetch_add(1, Ordering::AcqRel);
     }
 

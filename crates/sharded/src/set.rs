@@ -6,11 +6,11 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use axiom::AxiomSet;
-use trie_common::ops::{Builder, SetEdit, SetMutOps, SetOps, TransientOps};
+use trie_common::ops::{Builder, SetAlgebraOps, SetDiff, SetEdit, SetMutOps, SetOps, TransientOps};
 
 use crate::default_shard_count;
 use crate::partition::Partition;
-use crate::shards::ShardSet;
+use crate::shards::{EpochCore, ShardSet};
 
 /// A concurrent set: `N` persistent trie sets published as atomically
 /// swappable snapshots. Defaults to [`AxiomSet`] shards.
@@ -93,6 +93,102 @@ where
     /// Membership test against the current shard snapshot.
     pub fn contains(&self, value: &T) -> bool {
         self.core.shard_for(value).load().contains(value)
+    }
+
+    /// Captures the current epoch: every shard's publication counter plus
+    /// its frozen snapshot. Feed it to [`ShardedSet::changes_since`] later
+    /// to get the element-level delta without rescanning unchanged shards.
+    pub fn epoch(&self) -> SetEpoch<T, S> {
+        SetEpoch {
+            core: self.core.epoch(),
+            _elem: PhantomData,
+        }
+    }
+}
+
+impl<T, S> ShardedSet<T, S>
+where
+    T: Hash + Clone + Send,
+    S: SetAlgebraOps<T> + Send + Sync,
+{
+    /// The element-level delta since `epoch` (`epoch` old, current state
+    /// new). Shards whose publication counter is unchanged are skipped
+    /// outright; each changed shard is diffed structurally on its own
+    /// scoped worker thread, so the cost is O(changed shards × changed
+    /// elements), not O(set size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` was captured from a set with a different partition.
+    pub fn changes_since(&self, epoch: &SetEpoch<T, S>) -> SetDiff<T> {
+        let parts = self
+            .core
+            .diff_since_parallel(&epoch.core, |old, current| old.diff(current));
+        let mut out = SetDiff::new();
+        for d in parts {
+            out.added.extend(d.added);
+            out.removed.extend(d.removed);
+        }
+        out
+    }
+
+    /// Pairwise shard union with `other`, one scoped worker per shard pair,
+    /// each running the underlying trie's structural (sharing-aware) union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different shard counts.
+    pub fn union_with(&self, other: &Self) -> Self {
+        Self::from_core(self.core.combine_parallel(&other.core, |a, b| a.union(b)))
+    }
+
+    /// Pairwise shard intersection with `other` (see
+    /// [`ShardedSet::union_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different shard counts.
+    pub fn intersect_with(&self, other: &Self) -> Self {
+        Self::from_core(
+            self.core
+                .combine_parallel(&other.core, |a, b| a.intersect(b)),
+        )
+    }
+
+    /// Pairwise shard difference with `other` (see
+    /// [`ShardedSet::union_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different shard counts.
+    pub fn difference_with(&self, other: &Self) -> Self {
+        Self::from_core(
+            self.core
+                .combine_parallel(&other.core, |a, b| a.difference(b)),
+        )
+    }
+}
+
+/// A captured epoch of a [`ShardedSet`]: per-shard publication counters and
+/// frozen snapshots. Created by [`ShardedSet::epoch`], consumed by
+/// [`ShardedSet::changes_since`].
+pub struct SetEpoch<T, S = AxiomSet<T>> {
+    core: EpochCore<S>,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T, S> Clone for SetEpoch<T, S> {
+    fn clone(&self) -> Self {
+        SetEpoch {
+            core: self.core.clone(),
+            _elem: PhantomData,
+        }
+    }
+}
+
+impl<T, S> std::fmt::Debug for SetEpoch<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SetEpoch { .. }")
     }
 }
 

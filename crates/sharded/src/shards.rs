@@ -69,6 +69,115 @@ impl<C> ShardSet<C> {
     }
 }
 
+/// A point-in-time capture of every shard: the publication counter and the
+/// frozen snapshot, read as a consistent pair per shard. The counters let
+/// [`ShardSet::diff_since_parallel`] skip shards that have not republished
+/// since the capture without touching their tries at all.
+#[derive(Debug)]
+pub(crate) struct EpochCore<C> {
+    partition: Partition,
+    shards: Box<[(u64, Arc<C>)]>,
+}
+
+impl<C> Clone for EpochCore<C> {
+    fn clone(&self) -> Self {
+        EpochCore {
+            partition: self.partition,
+            shards: self.shards.clone(),
+        }
+    }
+}
+
+impl<C> ShardSet<C> {
+    /// Captures the current epoch: each shard's `(version, snapshot)` pair.
+    /// Like `load_all`, this is a consistent cut per shard, not a global
+    /// serialization point.
+    pub(crate) fn epoch(&self) -> EpochCore<C> {
+        EpochCore {
+            partition: self.partition,
+            shards: self.shards.iter().map(Shard::load_versioned).collect(),
+        }
+    }
+}
+
+impl<C: Send + Sync> ShardSet<C> {
+    /// Diffs the current state against a captured epoch, one scoped worker
+    /// per shard whose publication counter advanced. Version-unchanged
+    /// shards are skipped without loading or walking their tries; `diff`
+    /// receives `(captured, current)` and its per-shard results come back in
+    /// shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` was captured from a shard set with a different
+    /// partition.
+    pub(crate) fn diff_since_parallel<D: Send>(
+        &self,
+        epoch: &EpochCore<C>,
+        diff: impl Fn(&C, &C) -> D + Sync,
+    ) -> Vec<D> {
+        assert_eq!(
+            self.partition, epoch.partition,
+            "epoch captured from a shard set with a different partition"
+        );
+        let changed: Vec<(Arc<C>, Arc<C>)> = self
+            .shards
+            .iter()
+            .zip(epoch.shards.iter())
+            .filter_map(|(shard, (old_version, old))| {
+                let (version, current) = shard.load_versioned();
+                (version != *old_version).then(|| (Arc::clone(old), current))
+            })
+            .collect();
+        let diff = &diff;
+        thread::scope(|scope| {
+            let workers: Vec<_> = changed
+                .iter()
+                .map(|(old, current)| scope.spawn(move || diff(old, current)))
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard differ panicked"))
+                .collect()
+        })
+    }
+
+    /// Combines two shard sets pairwise into a new one, one scoped worker
+    /// per shard pair (the parallel drive behind the sharded set algebra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two shard sets have different partitions.
+    pub(crate) fn combine_parallel(
+        &self,
+        other: &ShardSet<C>,
+        combine: impl Fn(&C, &C) -> C + Sync,
+    ) -> ShardSet<C> {
+        assert_eq!(
+            self.partition, other.partition,
+            "sharded algebra requires operands with the same partition"
+        );
+        let pairs: Vec<(Arc<C>, Arc<C>)> = self
+            .shards
+            .iter()
+            .zip(other.shards.iter())
+            .map(|(a, b)| (a.load(), b.load()))
+            .collect();
+        let combine = &combine;
+        let combined: Vec<C> = thread::scope(|scope| {
+            let workers: Vec<_> = pairs
+                .iter()
+                .map(|(a, b)| scope.spawn(move || combine(a, b)))
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard combiner panicked"))
+                .collect()
+        });
+        ShardSet::new(self.partition, combined)
+    }
+}
+
 impl<C: Clone> ShardSet<C> {
     /// One single-key read-modify-write: clone the key's shard, edit the
     /// clone, publish.

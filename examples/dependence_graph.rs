@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example dependence_graph`.
 
 use axiom_repro::axiom::AxiomMultiMap;
-use axiom_repro::cfg_analysis::relational::{compose, domain, image, inverse, union};
+use axiom_repro::cfg_analysis::relational::{compose, domain, image, inverse};
 
 type Rel = AxiomMultiMap<u32, u32>;
 
@@ -59,8 +59,10 @@ fn main() {
     }
     println!("transitive closure from node {root}: {reached} reachable deps");
 
-    // Persistence: derive a patched graph; the original is unchanged.
-    let patched = union(&deps, &Rel::new().inserted(42, 7));
+    // Persistence: derive a patched graph; the original is unchanged. The
+    // union comes from the relation-algebra trait, whose AXIOM impl diffs
+    // structurally — here it costs one tuple, not a rescan of `deps`.
+    let patched = deps.union(&Rel::new().inserted(42, 7));
     assert_eq!(patched.tuple_count(), deps.tuple_count() + 1);
     assert_ne!(patched.tuple_count(), deps.tuple_count());
     println!(

@@ -151,7 +151,7 @@ proptest! {
         let sa: ChampSet<u16> = a.iter().copied().collect();
         let sb: ChampSet<u16> = b.iter().copied().collect();
         let union = sa.union(&sb);
-        let inter = sa.intersection(&sb);
+        let inter = sa.intersect(&sb);
         let diff = sa.difference(&sb);
         prop_assert_eq!(union.len(), a.union(&b).count());
         prop_assert_eq!(inter.len(), a.intersection(&b).count());
@@ -170,7 +170,7 @@ proptest! {
         let sa: AxiomSet<u16> = a.iter().copied().collect();
         let sb: AxiomSet<u16> = b.iter().copied().collect();
         prop_assert_eq!(sa.union(&sb).len(), a.union(&b).count());
-        prop_assert_eq!(sa.intersection(&sb).len(), a.intersection(&b).count());
+        prop_assert_eq!(sa.intersect(&sb).len(), a.intersection(&b).count());
         prop_assert_eq!(sa.difference(&sb).len(), a.difference(&b).count());
         prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
     }

@@ -48,6 +48,33 @@ fn readme_snapshot_quick_start() {
 }
 
 #[test]
+fn readme_set_algebra() {
+    use axiom_repro::axiom::AxiomSet;
+    use axiom_repro::trie_common::ops::SetAlgebraOps;
+
+    // Two versions sharing structure: freeze, then edit.
+    let v1: AxiomSet<u32> = (0..1_000).collect();
+    let v2 = v1.removed(&3).inserted(1_000);
+
+    // Node-merging walks that skip shared subtrees; `|`, `&`, `-` sugar.
+    let union = v1.union(&v2);
+    assert_eq!(union.len(), 1_001);
+    assert_eq!(&v1 | &v2, union);
+    assert_eq!((&v1 - &v2).len(), 1);
+
+    // diff reports exactly the edits between the versions.
+    let d = v1.diff(&v2);
+    assert_eq!((d.added, d.removed), (vec![1_000], vec![3]));
+
+    // The surface is generic: write the algorithm once, run it over any
+    // set in the workspace (same for maps and multi-maps).
+    fn sym_diff<S: SetAlgebraOps<u32>>(a: &S, b: &S) -> S {
+        a.difference(b).union(&b.difference(a))
+    }
+    assert_eq!(sym_diff(&v1, &v2).len(), 2);
+}
+
+#[test]
 fn readme_quick_start() {
     let deps = AxiomMultiMap::<&str, &str>::built_from([
         ("typeck", "parser"),

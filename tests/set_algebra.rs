@@ -1,0 +1,485 @@
+//! Differential tests for the structural set-algebra surface
+//! (`SetAlgebraOps` / `MapMergeOps` / `MultiMapAlgebraOps`): every
+//! implementation must agree with `BTreeSet`/`BTreeMap` models on
+//! `union`/`intersect`/`difference`/`diff`, including under pathological
+//! hash collisions, and a frozen snapshot edited in `k` places must diff in
+//! exactly `k` entries. The sharded layer's epoch/`changes_since` and the
+//! parallel combinators are covered at the end.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use axiom_repro::axiom::{AxiomFusedMultiMap, AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::{ChampMap, ChampSet};
+use axiom_repro::hamt::{HamtMap, HamtSet, MemoHamtMap, MemoHamtSet};
+use axiom_repro::idiomatic::{ClojureMultiMap, NestedChampMultiMap, ScalaMultiMap};
+use axiom_repro::sharded::{ShardedMap, ShardedMultiMap, ShardedSet};
+use axiom_repro::trie_common::ops::{MapMergeOps, MultiMapAlgebraOps, SetAlgebraOps};
+
+/// Key wrapper hashing into five buckets: small scripts already exercise
+/// deep sub-trie chains and full-hash collision nodes in every walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Collide(u16);
+
+impl Hash for Collide {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u16(self.0 % 5);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic model checkers.
+// ---------------------------------------------------------------------------
+
+fn check_set_algebra<T, S>(xs: &[T], ys: &[T])
+where
+    T: Clone + Ord + Debug,
+    S: SetAlgebraOps<T>,
+{
+    let a = xs.iter().cloned().fold(S::empty(), |s, v| s.inserted(v));
+    let b = ys.iter().cloned().fold(S::empty(), |s, v| s.inserted(v));
+    let ma: BTreeSet<T> = xs.iter().cloned().collect();
+    let mb: BTreeSet<T> = ys.iter().cloned().collect();
+    let to_model = |s: &S| -> BTreeSet<T> { s.iter().cloned().collect() };
+
+    let union = a.union(&b);
+    assert_eq!(to_model(&union), &ma | &mb, "{} union", S::NAME);
+    assert_eq!(union.len(), (&ma | &mb).len(), "{} union len", S::NAME);
+    assert_eq!(
+        to_model(&a.intersect(&b)),
+        &ma & &mb,
+        "{} intersect",
+        S::NAME
+    );
+    assert_eq!(
+        to_model(&a.difference(&b)),
+        &ma - &mb,
+        "{} difference",
+        S::NAME
+    );
+
+    let d = a.diff(&b);
+    let mut added = d.added;
+    added.sort();
+    assert_eq!(
+        added,
+        (&mb - &ma).into_iter().collect::<Vec<_>>(),
+        "{} diff.added",
+        S::NAME
+    );
+    let mut removed = d.removed;
+    removed.sort();
+    assert_eq!(
+        removed,
+        (&ma - &mb).into_iter().collect::<Vec<_>>(),
+        "{} diff.removed",
+        S::NAME
+    );
+
+    // Reflexive fast paths: a set against itself is a fixed point.
+    assert!(a.diff(&a).is_empty(), "{} self-diff", S::NAME);
+    assert_eq!(to_model(&a.union(&a)), ma, "{} self-union", S::NAME);
+    assert_eq!(to_model(&a.intersect(&a)), ma, "{} self-intersect", S::NAME);
+    assert!(a.difference(&a).is_empty(), "{} self-difference", S::NAME);
+}
+
+fn check_map_algebra<K, V, M>(xs: &[(K, V)], ys: &[(K, V)])
+where
+    K: Clone + Ord + Debug,
+    V: Clone + Ord + PartialEq + Debug,
+    M: MapMergeOps<K, V>,
+{
+    let a = xs
+        .iter()
+        .cloned()
+        .fold(M::empty(), |m, (k, v)| m.inserted(k, v));
+    let b = ys
+        .iter()
+        .cloned()
+        .fold(M::empty(), |m, (k, v)| m.inserted(k, v));
+    let ma: BTreeMap<K, V> = xs.iter().cloned().collect();
+    let mb: BTreeMap<K, V> = ys.iter().cloned().collect();
+    let to_model =
+        |m: &M| -> BTreeMap<K, V> { m.entries().map(|(k, v)| (k.clone(), v.clone())).collect() };
+
+    // Right-biased merge: other's value wins on conflicts.
+    let mut merged_model = ma.clone();
+    merged_model.extend(mb.clone());
+    assert_eq!(to_model(&a.merged(&b)), merged_model, "{} merged", M::NAME);
+
+    // Left-biased resolution through the callback.
+    let mut left_model = mb.clone();
+    left_model.extend(ma.clone());
+    assert_eq!(
+        to_model(&a.merged_with(&b, |_, mine, _| mine.clone())),
+        left_model,
+        "{} merged_with(left)",
+        M::NAME
+    );
+
+    let intersect_model: BTreeMap<K, V> = ma
+        .iter()
+        .filter(|(k, _)| mb.contains_key(k))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(
+        to_model(&a.intersect(&b)),
+        intersect_model,
+        "{} intersect",
+        M::NAME
+    );
+
+    let difference_model: BTreeMap<K, V> = ma
+        .iter()
+        .filter(|(k, _)| !mb.contains_key(k))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(
+        to_model(&a.difference(&b)),
+        difference_model,
+        "{} difference",
+        M::NAME
+    );
+
+    let d = a.diff(&b);
+    let mut added = d.added;
+    added.sort();
+    let added_model: Vec<(K, V)> = mb
+        .iter()
+        .filter(|(k, _)| !ma.contains_key(k))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(added, added_model, "{} diff.added", M::NAME);
+    let mut removed = d.removed;
+    removed.sort();
+    let removed_model: Vec<(K, V)> = ma
+        .iter()
+        .filter(|(k, _)| !mb.contains_key(k))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(removed, removed_model, "{} diff.removed", M::NAME);
+    let mut changed = d.changed;
+    changed.sort();
+    let changed_model: Vec<(K, V, V)> = ma
+        .iter()
+        .filter_map(|(k, old)| {
+            mb.get(k)
+                .filter(|new| *new != old)
+                .map(|new| (k.clone(), old.clone(), new.clone()))
+        })
+        .collect();
+    assert_eq!(changed, changed_model, "{} diff.changed", M::NAME);
+
+    assert!(a.diff(&a).is_empty(), "{} self-diff", M::NAME);
+    assert_eq!(to_model(&a.merged(&a)), ma, "{} self-merge", M::NAME);
+}
+
+fn check_multimap_algebra<K, V, M>(xs: &[(K, V)], ys: &[(K, V)])
+where
+    K: Clone + Ord + Debug,
+    V: Clone + Ord + Debug,
+    M: MultiMapAlgebraOps<K, V>,
+{
+    let a = xs
+        .iter()
+        .cloned()
+        .fold(M::empty(), |m, (k, v)| m.inserted(k, v));
+    let b = ys
+        .iter()
+        .cloned()
+        .fold(M::empty(), |m, (k, v)| m.inserted(k, v));
+    let ma: BTreeSet<(K, V)> = xs.iter().cloned().collect();
+    let mb: BTreeSet<(K, V)> = ys.iter().cloned().collect();
+    let to_model =
+        |m: &M| -> BTreeSet<(K, V)> { m.tuples().map(|(k, v)| (k.clone(), v.clone())).collect() };
+
+    let union = a.union(&b);
+    assert_eq!(to_model(&union), &ma | &mb, "{} union", M::NAME);
+    assert_eq!(union.tuple_count(), (&ma | &mb).len(), "{} union", M::NAME);
+    assert_eq!(
+        to_model(&a.intersect(&b)),
+        &ma & &mb,
+        "{} intersect",
+        M::NAME
+    );
+    assert_eq!(
+        to_model(&a.difference(&b)),
+        &ma - &mb,
+        "{} difference",
+        M::NAME
+    );
+
+    let d = a.diff(&b);
+    let mut added = d.added;
+    added.sort();
+    assert_eq!(
+        added,
+        (&mb - &ma).into_iter().collect::<Vec<_>>(),
+        "{} diff.added",
+        M::NAME
+    );
+    let mut removed = d.removed;
+    removed.sort();
+    assert_eq!(
+        removed,
+        (&ma - &mb).into_iter().collect::<Vec<_>>(),
+        "{} diff.removed",
+        M::NAME
+    );
+
+    assert!(a.diff(&a).is_empty(), "{} self-diff", M::NAME);
+    assert_eq!(to_model(&a.union(&a)), ma, "{} self-union", M::NAME);
+}
+
+// ---------------------------------------------------------------------------
+// Proptest differential suite: every implementation against the model.
+// ---------------------------------------------------------------------------
+
+/// Operand pairs drawn from a small domain so the two sides overlap,
+/// diverge and nest in all combinations.
+fn elems() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(any::<u16>().prop_map(|v| v % 96), 0..120)
+}
+
+fn entries() -> impl Strategy<Value = Vec<(u16, u8)>> {
+    prop::collection::vec(
+        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| (k % 64, v % 8)),
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sets_match_btreeset_model(xs in elems(), ys in elems()) {
+        check_set_algebra::<u16, AxiomSet<u16>>(&xs, &ys);
+        check_set_algebra::<u16, ChampSet<u16>>(&xs, &ys);
+        check_set_algebra::<u16, HamtSet<u16>>(&xs, &ys);
+        check_set_algebra::<u16, MemoHamtSet<u16>>(&xs, &ys);
+    }
+
+    #[test]
+    fn sets_match_model_under_collisions(xs in elems(), ys in elems()) {
+        let xs: Vec<Collide> = xs.into_iter().map(Collide).collect();
+        let ys: Vec<Collide> = ys.into_iter().map(Collide).collect();
+        check_set_algebra::<Collide, AxiomSet<Collide>>(&xs, &ys);
+        check_set_algebra::<Collide, ChampSet<Collide>>(&xs, &ys);
+        check_set_algebra::<Collide, HamtSet<Collide>>(&xs, &ys);
+    }
+
+    #[test]
+    fn maps_match_btreemap_model(xs in entries(), ys in entries()) {
+        check_map_algebra::<u16, u8, AxiomMap<u16, u8>>(&xs, &ys);
+        check_map_algebra::<u16, u8, ChampMap<u16, u8>>(&xs, &ys);
+        check_map_algebra::<u16, u8, HamtMap<u16, u8>>(&xs, &ys);
+        check_map_algebra::<u16, u8, MemoHamtMap<u16, u8>>(&xs, &ys);
+    }
+
+    #[test]
+    fn maps_match_model_under_collisions(xs in entries(), ys in entries()) {
+        let xs: Vec<(Collide, u8)> = xs.into_iter().map(|(k, v)| (Collide(k), v)).collect();
+        let ys: Vec<(Collide, u8)> = ys.into_iter().map(|(k, v)| (Collide(k), v)).collect();
+        check_map_algebra::<Collide, u8, AxiomMap<Collide, u8>>(&xs, &ys);
+        check_map_algebra::<Collide, u8, ChampMap<Collide, u8>>(&xs, &ys);
+        check_map_algebra::<Collide, u8, HamtMap<Collide, u8>>(&xs, &ys);
+    }
+
+    #[test]
+    fn multimaps_match_tuple_set_model(xs in entries(), ys in entries()) {
+        check_multimap_algebra::<u16, u8, AxiomMultiMap<u16, u8>>(&xs, &ys);
+        check_multimap_algebra::<u16, u8, AxiomFusedMultiMap<u16, u8>>(&xs, &ys);
+        check_multimap_algebra::<u16, u8, NestedChampMultiMap<u16, u8>>(&xs, &ys);
+        check_multimap_algebra::<u16, u8, ClojureMultiMap<u16, u8>>(&xs, &ys);
+        check_multimap_algebra::<u16, u8, ScalaMultiMap<u16, u8>>(&xs, &ys);
+    }
+
+    #[test]
+    fn multimaps_match_model_under_collisions(xs in entries(), ys in entries()) {
+        let xs: Vec<(Collide, u8)> = xs.into_iter().map(|(k, v)| (Collide(k), v)).collect();
+        let ys: Vec<(Collide, u8)> = ys.into_iter().map(|(k, v)| (Collide(k), v)).collect();
+        check_multimap_algebra::<Collide, u8, AxiomMultiMap<Collide, u8>>(&xs, &ys);
+        check_multimap_algebra::<Collide, u8, AxiomFusedMultiMap<Collide, u8>>(&xs, &ys);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Freeze-then-edit: a diff prices exactly the edits, nothing else.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn set_frozen_then_edited_k_times_diffs_exactly_k() {
+    fn run<S: SetAlgebraOps<u32>>() {
+        let base = (0..1000u32).fold(S::empty(), |s, v| s.inserted(v));
+        let mut edited = base.clone();
+        for i in 0..7u32 {
+            edited = edited.removed(&(i * 101)); // distinct members of base
+        }
+        for i in 0..9u32 {
+            edited = edited.inserted(10_000 + i); // fresh elements
+        }
+        let d = base.diff(&edited);
+        assert_eq!(d.removed.len(), 7, "{}", S::NAME);
+        assert_eq!(d.added.len(), 9, "{}", S::NAME);
+        assert_eq!(d.len(), 16, "{}", S::NAME);
+    }
+    run::<AxiomSet<u32>>();
+    run::<ChampSet<u32>>();
+    run::<HamtSet<u32>>();
+}
+
+#[test]
+fn map_frozen_then_overwritten_k_times_diffs_exactly_k() {
+    fn run<M: MapMergeOps<u32, u32>>() {
+        let base = (0..1000u32).fold(M::empty(), |m, k| m.inserted(k, k * 2));
+        let mut edited = base.clone();
+        for i in 0..11u32 {
+            let k = i * 83; // distinct keys of base
+            edited = edited.inserted(k, u32::MAX - i); // overwrite
+        }
+        let d = base.diff(&edited);
+        assert!(d.added.is_empty(), "{}", M::NAME);
+        assert!(d.removed.is_empty(), "{}", M::NAME);
+        assert_eq!(d.changed.len(), 11, "{}", M::NAME);
+        for (k, old, new) in &d.changed {
+            assert_eq!(*old, k * 2, "{}", M::NAME);
+            assert!(*new > u32::MAX - 11, "{}", M::NAME);
+        }
+    }
+    run::<AxiomMap<u32, u32>>();
+    run::<ChampMap<u32, u32>>();
+    run::<HamtMap<u32, u32>>();
+}
+
+#[test]
+fn multimap_frozen_then_extended_k_times_diffs_exactly_k() {
+    fn run<M: MultiMapAlgebraOps<u32, u32>>() {
+        let base = (0..1000u32).fold(M::empty(), |m, k| m.inserted(k % 250, k));
+        let mut edited = base.clone();
+        for i in 0..13u32 {
+            edited = edited.inserted(i * 17, 5_000 + i); // fresh tuples
+        }
+        let d = base.diff(&edited);
+        assert!(d.removed.is_empty(), "{}", M::NAME);
+        assert_eq!(d.added.len(), 13, "{}", M::NAME);
+    }
+    run::<AxiomMultiMap<u32, u32>>();
+    run::<AxiomFusedMultiMap<u32, u32>>();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded layer: epochs, changes_since, parallel combinators.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_set_changes_since_epoch() {
+    let s: ShardedSet<u32> = ShardedSet::build_parallel(4, 0..1000);
+    let epoch = s.epoch();
+    assert!(s.changes_since(&epoch).is_empty());
+
+    s.insert(5000);
+    s.insert(5001);
+    s.remove(&3);
+    let d = s.changes_since(&epoch);
+    let mut added = d.added;
+    added.sort();
+    assert_eq!(added, vec![5000, 5001]);
+    assert_eq!(d.removed, vec![3]);
+
+    // A fresh epoch re-baselines.
+    let epoch2 = s.epoch();
+    assert!(s.changes_since(&epoch2).is_empty());
+}
+
+#[test]
+fn sharded_set_parallel_algebra_matches_model() {
+    let a: ShardedSet<u32> = ShardedSet::build_parallel(4, 0..600);
+    let b: ShardedSet<u32> = ShardedSet::build_parallel(4, 300..900);
+
+    let union = a.union_with(&b);
+    assert_eq!(union.len(), 900);
+    let intersect = a.intersect_with(&b);
+    assert_eq!(intersect.len(), 300);
+    assert!(intersect.contains(&450) && !intersect.contains(&100));
+    let difference = a.difference_with(&b);
+    assert_eq!(difference.len(), 300);
+    assert!(difference.contains(&100) && !difference.contains(&450));
+    // Operands are untouched (persistence survives the sharded layer).
+    assert_eq!(a.len(), 600);
+    assert_eq!(b.len(), 600);
+}
+
+#[test]
+fn sharded_map_changes_and_merge() {
+    let a: ShardedMap<u32, u32> = ShardedMap::build_parallel(4, (0..500).map(|k| (k, k)));
+    let epoch = a.epoch();
+    a.insert(77, 7700); // overwrite
+    a.insert(9999, 1); // fresh key
+    a.remove(&13);
+    let d = a.changes_since(&epoch);
+    assert_eq!(d.added, vec![(9999, 1)]);
+    assert_eq!(d.removed, vec![(13, 13)]);
+    assert_eq!(d.changed, vec![(77, 77, 7700)]);
+
+    let b: ShardedMap<u32, u32> = ShardedMap::build_parallel(4, (400..600).map(|k| (k, 0)));
+    let merged = a.merged_with(&b);
+    assert_eq!(merged.get_cloned(&450), Some(0)); // right bias
+    assert_eq!(merged.get_cloned(&77), Some(7700));
+    assert_eq!(merged.len(), a.len() + 100);
+}
+
+#[test]
+fn sharded_multimap_changes_and_union() {
+    let a: ShardedMultiMap<u32, u32> =
+        ShardedMultiMap::build_parallel(4, (0..800u32).map(|i| (i % 200, i)));
+    let epoch = a.epoch();
+    assert!(a.changes_since(&epoch).is_empty());
+    a.insert(3, 9999);
+    a.remove_tuple(&5, &5);
+    let d = a.changes_since(&epoch);
+    assert_eq!(d.added, vec![(3, 9999)]);
+    assert_eq!(d.removed, vec![(5, 5)]);
+
+    let b: ShardedMultiMap<u32, u32> =
+        ShardedMultiMap::build_parallel(4, (0..100u32).map(|i| (i, 100_000 + i)));
+    let union = a.union_with(&b);
+    assert_eq!(union.tuple_count(), a.tuple_count() + b.tuple_count());
+    assert!(union.contains_tuple(&3, &9999));
+    assert!(union.contains_tuple(&42, &100_042));
+}
+
+// ---------------------------------------------------------------------------
+// Operator sugar and the deprecated alias.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn set_operators_are_the_algebra() {
+    let a: AxiomSet<u32> = (0..10).collect();
+    let b: AxiomSet<u32> = (5..15).collect();
+    assert_eq!(&a | &b, a.union(&b));
+    assert_eq!(&a & &b, a.intersect(&b));
+    assert_eq!(&a - &b, a.difference(&b));
+
+    let a: ChampSet<u32> = (0..10).collect();
+    let b: ChampSet<u32> = (5..15).collect();
+    assert_eq!(&a | &b, a.union(&b));
+    assert_eq!(&a & &b, a.intersect(&b));
+    assert_eq!(&a - &b, a.difference(&b));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_intersection_alias_still_works() {
+    let a: AxiomSet<u32> = (0..10).collect();
+    let b: AxiomSet<u32> = (5..15).collect();
+    assert_eq!(a.intersection(&b), a.intersect(&b));
+    let am: AxiomMap<u32, u32> = (0..10).map(|k| (k, k)).collect();
+    let bm: AxiomMap<u32, u32> = (5..15).map(|k| (k, k)).collect();
+    assert_eq!(
+        MapMergeOps::intersection(&am, &bm),
+        MapMergeOps::intersect(&am, &bm)
+    );
+}

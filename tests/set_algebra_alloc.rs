@@ -1,0 +1,67 @@
+//! Allocation-behaviour assertions for the structural set algebra: the
+//! pointer-equality fast paths must be observable at the allocator, not
+//! just by timing. Self-union (and friends) of a trie with itself touches
+//! the `Arc::ptr_eq` short-circuit at the root and must perform **zero**
+//! heap allocations — only refcount bumps.
+//!
+//! Lives in its own test binary because the counting allocator is
+//! process-global; see `heapmodel::alloc_counter`.
+
+use axiom_repro::axiom::{AxiomMap, AxiomMultiMap, AxiomSet};
+use axiom_repro::champ::ChampSet;
+use axiom_repro::hamt::HamtSet;
+use axiom_repro::heapmodel::alloc_counter::{measure, CountingAlloc};
+use axiom_repro::trie_common::ops::{MapMergeOps, MultiMapAlgebraOps, SetAlgebraOps};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::system();
+
+/// One test function so no sibling test thread allocates concurrently.
+#[test]
+fn self_algebra_allocates_nothing() {
+    let set: AxiomSet<u64> = (0..10_000).collect();
+    let champ: ChampSet<u64> = (0..10_000).collect();
+    let hamt: HamtSet<u64> = (0..10_000).collect();
+    let map: AxiomMap<u64, u64> = (0..10_000).map(|k| (k, k)).collect();
+    let mm: AxiomMultiMap<u64, u64> = (0..10_000).map(|i| (i % 2_500, i)).collect();
+
+    // Self-union: the root pointers are equal, so the structural walk
+    // returns a clone of `self` without visiting a single child.
+    let (u, allocs) = measure(|| set.union(&set));
+    assert_eq!(allocs, 0, "AxiomSet self-union allocated");
+    assert_eq!(u.len(), set.len());
+
+    let (u, allocs) = measure(|| champ.union(&champ));
+    assert_eq!(allocs, 0, "ChampSet self-union allocated");
+    assert_eq!(u.len(), champ.len());
+
+    // Same fast path for intersect and difference-shaped walks...
+    let (i, allocs) = measure(|| set.intersect(&set));
+    assert_eq!(allocs, 0, "AxiomSet self-intersect allocated");
+    assert_eq!(i.len(), set.len());
+
+    // ...and for self-diff across all three kinds, including the HAMT
+    // (whose non-canonical form only gets the one-way ptr_eq shortcut —
+    // which is exactly the one self-diff exercises).
+    let (d, allocs) = measure(|| SetAlgebraOps::diff(&set, &set));
+    assert_eq!(allocs, 0, "AxiomSet self-diff allocated");
+    assert!(d.is_empty());
+
+    let (d, allocs) = measure(|| SetAlgebraOps::diff(&hamt, &hamt));
+    assert_eq!(allocs, 0, "HamtSet self-diff allocated");
+    assert!(d.is_empty());
+
+    let (d, allocs) = measure(|| MapMergeOps::diff(&map, &map));
+    assert_eq!(allocs, 0, "AxiomMap self-diff allocated");
+    assert!(d.is_empty());
+
+    let (d, allocs) = measure(|| MultiMapAlgebraOps::diff(&mm, &mm));
+    assert_eq!(allocs, 0, "AxiomMultiMap self-diff allocated");
+    assert!(d.is_empty());
+
+    // A frozen copy (clone) shares the root: still zero allocations.
+    let frozen = set.clone();
+    let (d, allocs) = measure(|| frozen.diff(&set));
+    assert_eq!(allocs, 0, "clone-vs-original diff allocated");
+    assert!(d.is_empty());
+}

@@ -125,7 +125,7 @@ fn sets_and_direct_apis_resolve() {
     assert!(set.contains(&63));
 
     let champ_set: ChampSet<u32> = (0..64).collect();
-    assert_eq!(champ_set.intersection(&champ_set).len(), 64);
+    assert_eq!(champ_set.intersect(&champ_set).len(), 64);
 
     // Inherent (non-trait) API of the headline type.
     let mm = AxiomMultiMap::<&str, u32>::new()
