@@ -1187,12 +1187,6 @@ impl<T: Clone + Eq + Hash> ChampSet<T> {
         }
     }
 
-    /// Deprecated spelling of [`intersect`](Self::intersect).
-    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
-    pub fn intersection(&self, other: &Self) -> Self {
-        self.intersect(other)
-    }
-
     /// Elements of `self` not in `other`, via a lockstep structural walk
     /// (a shared subtree cancels out in O(1)).
     pub fn difference(&self, other: &Self) -> Self {
@@ -1579,10 +1573,6 @@ mod tests {
         assert_eq!(&a | &b, a.union(&b));
         assert_eq!(&a & &b, a.intersect(&b));
         assert_eq!(&a - &b, a.difference(&b));
-        #[allow(deprecated)]
-        {
-            assert_eq!(a.intersection(&b), a.intersect(&b));
-        }
     }
 
     #[test]

@@ -358,8 +358,8 @@ impl<K, V> MultiMapDiff<K, V> {
 /// methods themselves with node-merging walks that also share result
 /// structure with the operands.
 ///
-/// Naming: the operation is `intersect` (matching the relational layer);
-/// `intersection` survives as a deprecated alias for one release.
+/// Naming: the operation is `intersect`, matching the relational layer.
+/// (The `intersection` alias from the rename release has been removed.)
 pub trait SetAlgebraOps<T: Clone>: SetOps<T> {
     /// The element-level delta from `self` (old) to `other` (new).
     ///
@@ -396,12 +396,6 @@ pub trait SetAlgebraOps<T: Clone>: SetOps<T> {
         d.removed
             .into_iter()
             .fold(self.clone(), |acc, v| acc.removed(&v))
-    }
-
-    /// Deprecated alias for [`SetAlgebraOps::intersect`].
-    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
-    fn intersection(&self, other: &Self) -> Self {
-        self.intersect(other)
     }
 
     /// Elements in `self` but not in `other`.
@@ -477,12 +471,6 @@ pub trait MapMergeOps<K: Clone, V: Clone + PartialEq>: MapOps<K, V> {
             .fold(self.clone(), |acc, (k, _)| acc.removed(&k))
     }
 
-    /// Deprecated alias for [`MapMergeOps::intersect`].
-    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
-    fn intersection(&self, other: &Self) -> Self {
-        self.intersect(other)
-    }
-
     /// Entries of `self` whose keys are not bound by `other`.
     fn difference(&self, other: &Self) -> Self {
         let d = self.diff(other);
@@ -533,12 +521,6 @@ pub trait MultiMapAlgebraOps<K: Clone, V: Clone>: MultiMapOps<K, V> {
         d.removed
             .into_iter()
             .fold(self.clone(), |acc, (k, v)| acc.tuple_removed(&k, &v))
-    }
-
-    /// Deprecated alias for [`MultiMapAlgebraOps::intersect`].
-    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
-    fn intersection(&self, other: &Self) -> Self {
-        self.intersect(other)
     }
 
     /// Tuples in `self` but not in `other`.

@@ -1239,12 +1239,6 @@ impl<T: Clone + Eq + Hash> AxiomSet<T> {
         }
     }
 
-    /// Deprecated spelling of [`intersect`](Self::intersect).
-    #[deprecated(note = "renamed to `intersect`; this alias will be removed next release")]
-    pub fn intersection(&self, other: &Self) -> Self {
-        self.intersect(other)
-    }
-
     /// Elements of `self` not in `other`, via a lockstep structural walk
     /// (a shared subtree cancels out in O(1)).
     pub fn difference(&self, other: &Self) -> Self {
@@ -1820,10 +1814,6 @@ mod tests {
         assert_eq!(&a | &b, union);
         assert_eq!(&a & &b, inter);
         assert_eq!(&a - &b, diff);
-        #[allow(deprecated)]
-        {
-            assert_eq!(a.intersection(&b), inter);
-        }
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Writer admission: staged write batches, one applier per shard.
+//!
+//! Writers never edit tries themselves. [`Engine::stage`](crate::Engine::stage)
+//! splits a batch by shard and enqueues each slice on that shard's *lane*;
+//! a dedicated applier thread per lane drains everything queued, applies
+//! the whole drain through the store's batched `_mut` path, and publishes
+//! it as one epoch. Consequences:
+//!
+//! - **Readers never block on writers** — they pin epochs; nothing on the
+//!   write path touches the read path except the pointer swap.
+//! - **Writers never contend on trie editing** — each shard has exactly one
+//!   applier, so the per-shard write lock in `sharded` is never contended
+//!   by staged traffic, and queued batches coalesce into one publication.
+//! - **Backpressure-free acks** — the caller gets a [`WriteTicket`]
+//!   immediately and can `wait()` for the epoch at which its batch became
+//!   visible (or fire and forget).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Progress of one staged write batch.
+struct WriteProgress {
+    /// Lanes that still hold a slice of this batch.
+    remaining: usize,
+    /// Highest epoch observed after a slice of this batch committed; once
+    /// `remaining == 0` every edit is visible at (or before) this epoch.
+    visible_at: u64,
+}
+
+pub(crate) struct WriteState {
+    progress: Mutex<WriteProgress>,
+    done: Condvar,
+}
+
+impl WriteState {
+    pub(crate) fn new(remaining: usize, visible_at: u64) -> Self {
+        WriteState {
+            progress: Mutex::new(WriteProgress {
+                remaining,
+                visible_at,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn complete_one(&self, epoch: u64) {
+        let mut p = self.progress.lock().expect("write ticket poisoned");
+        p.remaining -= 1;
+        p.visible_at = p.visible_at.max(epoch);
+        if p.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Acknowledgement handle for a staged write batch. Cheap to clone; any
+/// clone can wait.
+#[derive(Clone)]
+pub struct WriteTicket {
+    pub(crate) state: Arc<WriteState>,
+}
+
+impl WriteTicket {
+    /// Blocks until every edit of the staged batch has been applied and
+    /// published; returns an epoch at which the whole batch is visible.
+    pub fn wait(&self) -> u64 {
+        let mut p = self.state.progress.lock().expect("write ticket poisoned");
+        while p.remaining > 0 {
+            p = self.state.done.wait(p).expect("write ticket poisoned");
+        }
+        p.visible_at
+    }
+
+    /// Non-blocking probe: the visibility epoch if the batch has fully
+    /// applied, `None` if slices are still queued.
+    pub fn try_epoch(&self) -> Option<u64> {
+        let p = self.state.progress.lock().expect("write ticket poisoned");
+        (p.remaining == 0).then_some(p.visible_at)
+    }
+}
+
+impl std::fmt::Debug for WriteTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteTicket")
+            .field("done", &self.try_epoch().is_some())
+            .finish()
+    }
+}
+
+struct Staged<E> {
+    edits: Vec<E>,
+    ticket: Arc<WriteState>,
+}
+
+struct Lane<E> {
+    queue: Mutex<VecDeque<Staged<E>>>,
+    ready: Condvar,
+}
+
+/// The per-shard admission queues shared between stagers and appliers.
+pub(crate) struct Lanes<E> {
+    lanes: Box<[Lane<E>]>,
+    stop: AtomicBool,
+}
+
+impl<E> Lanes<E> {
+    pub(crate) fn new(shards: usize) -> Self {
+        Lanes {
+            lanes: (0..shards)
+                .map(|_| Lane {
+                    queue: Mutex::new(VecDeque::new()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues one shard-local slice of a staged batch.
+    pub(crate) fn push(&self, shard: usize, edits: Vec<E>, ticket: Arc<WriteState>) {
+        let lane = &self.lanes[shard];
+        lane.queue
+            .lock()
+            .expect("admission lane poisoned")
+            .push_back(Staged { edits, ticket });
+        lane.ready.notify_one();
+    }
+
+    /// Blocks until lane `shard` has work, then drains **all** of it (the
+    /// coalescing step: everything queued becomes one publication). Returns
+    /// `None` when the engine is shutting down and the lane is empty.
+    pub(crate) fn drain(&self, shard: usize) -> Option<(Vec<E>, Vec<Arc<WriteState>>)> {
+        let lane = &self.lanes[shard];
+        let mut q = lane.queue.lock().expect("admission lane poisoned");
+        loop {
+            if !q.is_empty() {
+                let mut edits = Vec::new();
+                let mut tickets = Vec::with_capacity(q.len());
+                for staged in q.drain(..) {
+                    edits.extend(staged.edits);
+                    tickets.push(staged.ticket);
+                }
+                return Some((edits, tickets));
+            }
+            if self.stop.load(Ordering::Acquire) {
+                return None;
+            }
+            q = lane.ready.wait(q).expect("admission lane poisoned");
+        }
+    }
+
+    /// Signals every applier to drain what is queued and exit.
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        for lane in &self.lanes {
+            // Acquire the lock so a sleeping applier cannot miss the wake.
+            drop(lane.queue.lock().expect("admission lane poisoned"));
+            lane.ready.notify_all();
+        }
+    }
+}

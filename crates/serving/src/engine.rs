@@ -1,0 +1,363 @@
+//! The request engine: a read worker pool plus per-shard write appliers
+//! over one [`Serve`] store.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::admit::{Lanes, WriteState, WriteTicket};
+use crate::store::Serve;
+use crate::txn::{Txn, TxnError, TxnOutcome};
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Read worker threads serving queued batches (defaults to the
+    /// available parallelism).
+    pub read_workers: usize,
+    /// Attempts a [`Engine::transact`] call makes before giving up
+    /// (first try included).
+    pub txn_attempts: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            read_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            txn_attempts: 16,
+        }
+    }
+}
+
+/// All replies of one read batch, answered against a single pinned epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReply<R> {
+    /// The epoch every reply in the batch was answered at.
+    pub epoch: u64,
+    /// One reply per submitted op, in submission order.
+    pub replies: Vec<R>,
+}
+
+struct ReadState<R> {
+    slot: Mutex<Option<BatchReply<R>>>,
+    done: Condvar,
+}
+
+/// Handle to an in-flight read batch submitted with [`Engine::submit`].
+pub struct ReadTicket<R> {
+    state: Arc<ReadState<R>>,
+}
+
+impl<R> ReadTicket<R> {
+    /// Blocks until the batch has been served, returning all replies.
+    pub fn wait(self) -> BatchReply<R> {
+        let mut slot = self.state.slot.lock().expect("read ticket poisoned");
+        loop {
+            if let Some(reply) = slot.take() {
+                return reply;
+            }
+            slot = self.state.done.wait(slot).expect("read ticket poisoned");
+        }
+    }
+}
+
+struct ReadJob<S: Serve> {
+    ops: Vec<S::Read>,
+    state: Arc<ReadState<S::Reply>>,
+}
+
+struct ReadQueue<S: Serve> {
+    jobs: Mutex<VecDeque<ReadJob<S>>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+/// Monotone operation counters, readable at any time via
+/// [`Engine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Read batches served (queued and synchronous).
+    pub read_batches: u64,
+    /// Individual read ops answered.
+    pub read_ops: u64,
+    /// Write batches staged through admission.
+    pub write_batches: u64,
+    /// Individual edits staged.
+    pub write_edits: u64,
+    /// Publications performed by the appliers (coalesced drains).
+    pub applier_commits: u64,
+    /// Transactions that committed.
+    pub txn_commits: u64,
+    /// Epoch conflicts observed by transactions (each costs one retry).
+    pub txn_conflicts: u64,
+}
+
+#[derive(Default)]
+struct StatsCore {
+    read_batches: AtomicU64,
+    read_ops: AtomicU64,
+    write_batches: AtomicU64,
+    write_edits: AtomicU64,
+    applier_commits: AtomicU64,
+    txn_commits: AtomicU64,
+    txn_conflicts: AtomicU64,
+}
+
+impl StatsCore {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            read_batches: self.read_batches.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
+            write_edits: self.write_edits.load(Ordering::Relaxed),
+            applier_commits: self.applier_commits.load(Ordering::Relaxed),
+            txn_commits: self.txn_commits.load(Ordering::Relaxed),
+            txn_conflicts: self.txn_conflicts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The serving engine: MVCC reads, admitted writes, and optimistic
+/// transactions over one [`Serve`] store.
+///
+/// - **Reads** go through [`Engine::submit`] (queued, served by the worker
+///   pool) or [`Engine::execute`] (on the caller's thread). Either way a
+///   batch is answered against **one** pinned epoch, so its replies are
+///   mutually consistent across shards.
+/// - **Writes** go through [`Engine::stage`]: split by shard, queued on
+///   per-shard admission lanes, applied by one dedicated applier per shard.
+/// - **Read-modify-write** goes through [`Engine::transact`]: the body runs
+///   against a pinned epoch, and the commit validates every shard it read
+///   or wrote, retrying on conflict.
+///
+/// Dropping the engine drains both queues, then joins all threads; the
+/// store itself (an `Arc`) survives and can be served again.
+pub struct Engine<S: Serve> {
+    store: Arc<S>,
+    reads: Arc<ReadQueue<S>>,
+    lanes: Arc<Lanes<S::Edit>>,
+    stats: Arc<StatsCore>,
+    txn_attempts: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: Serve> Engine<S> {
+    /// Spawns the engine over `store` with default tuning.
+    pub fn new(store: Arc<S>) -> Self {
+        Self::with_config(store, EngineConfig::default())
+    }
+
+    /// Spawns the engine: `config.read_workers` read threads plus one
+    /// applier thread per shard of the store.
+    pub fn with_config(store: Arc<S>, config: EngineConfig) -> Self {
+        let reads = Arc::new(ReadQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let lanes = Arc::new(Lanes::new(store.shard_count()));
+        let stats = Arc::new(StatsCore::default());
+        let mut workers = Vec::new();
+        for _ in 0..config.read_workers.max(1) {
+            let store = Arc::clone(&store);
+            let reads = Arc::clone(&reads);
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || {
+                read_worker::<S>(&store, &reads, &stats)
+            }));
+        }
+        for shard in 0..store.shard_count() {
+            let store = Arc::clone(&store);
+            let lanes = Arc::clone(&lanes);
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || {
+                applier::<S>(&store, &lanes, shard, &stats)
+            }));
+        }
+        Engine {
+            store,
+            reads,
+            lanes,
+            stats,
+            txn_attempts: config.txn_attempts.max(1),
+            workers,
+        }
+    }
+
+    /// The served store.
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
+    }
+
+    /// Current operation counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot()
+    }
+
+    /// Pins the store's current epoch (for ad-hoc reads outside the
+    /// engine's batching).
+    pub fn pin(&self) -> S::Snapshot {
+        self.store.pin()
+    }
+
+    /// Blocks until the epoch advances past `epoch`, then pins — the
+    /// long-poll primitive ("give me a view newer than what I last saw").
+    pub fn pin_after(&self, epoch: u64) -> S::Snapshot {
+        self.store.pin_after(epoch)
+    }
+
+    /// Enqueues a read batch for the worker pool; returns immediately with
+    /// a ticket to [`ReadTicket::wait`] on.
+    pub fn submit(&self, ops: Vec<S::Read>) -> ReadTicket<S::Reply> {
+        let state = Arc::new(ReadState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        self.reads
+            .jobs
+            .lock()
+            .expect("read queue poisoned")
+            .push_back(ReadJob {
+                ops,
+                state: Arc::clone(&state),
+            });
+        self.reads.ready.notify_one();
+        ReadTicket { state }
+    }
+
+    /// Serves a read batch synchronously on the caller's thread (same
+    /// single-pin consistency as [`Engine::submit`], no queueing).
+    pub fn execute(&self, ops: &[S::Read]) -> BatchReply<S::Reply> {
+        let reply = answer_batch::<S>(&self.store.pin(), ops);
+        self.stats.read_batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .read_ops
+            .fetch_add(ops.len() as u64, Ordering::Relaxed);
+        reply
+    }
+
+    /// Stages a write batch: splits it by shard and queues each slice on
+    /// that shard's admission lane. Returns immediately; the ticket
+    /// resolves (with a visibility epoch) once every slice has been applied
+    /// and published.
+    pub fn stage(&self, batch: impl IntoIterator<Item = S::Edit>) -> WriteTicket {
+        let mut groups: Vec<Vec<S::Edit>> =
+            (0..self.store.shard_count()).map(|_| Vec::new()).collect();
+        let mut edits = 0u64;
+        for edit in batch {
+            groups[self.store.edit_shard(&edit)].push(edit);
+            edits += 1;
+        }
+        let touched = groups.iter().filter(|g| !g.is_empty()).count();
+        // An empty batch is vacuously visible at the current epoch.
+        let state = Arc::new(WriteState::new(touched, self.store.current_epoch()));
+        for (shard, group) in groups.into_iter().enumerate() {
+            if !group.is_empty() {
+                self.lanes.push(shard, group, Arc::clone(&state));
+            }
+        }
+        self.stats.write_batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.write_edits.fetch_add(edits, Ordering::Relaxed);
+        WriteTicket { state }
+    }
+
+    /// Runs `body` as an optimistic read-modify-write transaction: it reads
+    /// through (and writes into) a [`Txn`] pinned at the current epoch, and
+    /// the commit succeeds only if no shard it read or wrote was
+    /// republished in between. On conflict the body is re-run against a
+    /// fresh pin, up to the configured attempt budget.
+    ///
+    /// The commit bypasses the admission lanes (it must validate-and-apply
+    /// atomically), so transactional writers can contend with appliers on
+    /// the per-shard write locks — the intended trade: staged traffic for
+    /// throughput, transactions for coherence.
+    pub fn transact<R>(
+        &self,
+        mut body: impl FnMut(&mut Txn<S>) -> R,
+    ) -> Result<TxnOutcome<R>, TxnError> {
+        let mut last = None;
+        for attempt in 1..=self.txn_attempts {
+            let mut txn = Txn::pinned(self.store.pin());
+            let value = body(&mut txn);
+            let (snap, reads, writes) = txn.into_parts();
+            match self.store.apply_validated(&snap, &reads, writes) {
+                Ok(delta) => {
+                    self.stats.txn_commits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(TxnOutcome {
+                        value,
+                        delta,
+                        attempts: attempt,
+                    });
+                }
+                Err(conflict) => {
+                    self.stats.txn_conflicts.fetch_add(1, Ordering::Relaxed);
+                    last = Some(conflict);
+                }
+            }
+        }
+        Err(TxnError::Exhausted {
+            attempts: self.txn_attempts,
+            last: last.expect("at least one attempt ran"),
+        })
+    }
+}
+
+impl<S: Serve> Drop for Engine<S> {
+    fn drop(&mut self) {
+        self.reads.stop.store(true, Ordering::Release);
+        {
+            // Hold the lock while notifying so no worker misses the wake.
+            let _guard = self.reads.jobs.lock().expect("read queue poisoned");
+            self.reads.ready.notify_all();
+        }
+        self.lanes.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn answer_batch<S: Serve>(snap: &S::Snapshot, ops: &[S::Read]) -> BatchReply<S::Reply> {
+    BatchReply {
+        epoch: S::epoch_of(snap),
+        replies: ops.iter().map(|op| S::answer(snap, op)).collect(),
+    }
+}
+
+fn read_worker<S: Serve>(store: &S, queue: &ReadQueue<S>, stats: &StatsCore) {
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().expect("read queue poisoned");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                if queue.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                jobs = queue.ready.wait(jobs).expect("read queue poisoned");
+            }
+        };
+        let reply = answer_batch::<S>(&store.pin(), &job.ops);
+        stats.read_batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .read_ops
+            .fetch_add(job.ops.len() as u64, Ordering::Relaxed);
+        *job.state.slot.lock().expect("read ticket poisoned") = Some(reply);
+        job.state.done.notify_all();
+    }
+}
+
+fn applier<S: Serve>(store: &S, lanes: &Lanes<S::Edit>, shard: usize, stats: &StatsCore) {
+    while let Some((edits, tickets)) = lanes.drain(shard) {
+        store.apply(edits);
+        let epoch = store.current_epoch();
+        stats.applier_commits.fetch_add(1, Ordering::Relaxed);
+        for ticket in tickets {
+            ticket.complete_one(epoch);
+        }
+    }
+}

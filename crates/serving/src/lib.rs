@@ -1,0 +1,234 @@
+//! **serving** — an in-process MVCC query-serving engine over the sharded
+//! persistent hash tries.
+//!
+//! The persistent collections give O(1) freeze-to-snapshot; the `sharded`
+//! crate scales their write path across shards and (since the epoch
+//! rework) publishes every shard under **one** global epoch sequence. This
+//! crate turns that substrate into a request/response engine:
+//!
+//! - **Consistent epoch pins** — every read batch is answered against one
+//!   pinned epoch ([`Serve::Snapshot`]), so a fan-out that touches many
+//!   shards can never observe a half-applied write batch.
+//! - **A request engine** ([`Engine`]) — typed read ops
+//!   ([`MapRead`]/[`SetRead`]/[`MultiMapRead`]) submitted as batches and
+//!   served by a worker pool; typed replies come back in submission order
+//!   tagged with the answering epoch.
+//! - **Writer admission** ([`Engine::stage`]) — write batches are split by
+//!   shard onto admission lanes and applied by a single applier per shard,
+//!   coalescing queued batches into one publication; readers never block
+//!   and writers never contend on trie editing.
+//! - **Optimistic transactions** ([`Engine::transact`]) — read-modify-write
+//!   bodies run against a pin and commit only if every shard they read or
+//!   wrote is still at its pinned version, retrying on [`EpochConflict`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use serving::{Engine, MapRead, MapReply};
+//! use sharded::ShardedMap;
+//! use trie_common::ops::MapEdit;
+//!
+//! let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(4));
+//! let engine = Engine::new(Arc::clone(&store));
+//!
+//! // Stage a write batch; wait for its visibility epoch.
+//! let ticket = engine.stage((0..100u32).map(|i| MapEdit::Insert(i, i * 2)));
+//! ticket.wait();
+//!
+//! // A read batch is answered against one pinned epoch.
+//! let reply = engine
+//!     .submit(vec![MapRead::Get(7), MapRead::Len])
+//!     .wait();
+//! assert_eq!(reply.replies[0], MapReply::Value(Some(14)));
+//! assert_eq!(reply.replies[1], MapReply::Count(100));
+//!
+//! // Read-modify-write with commit-time validation.
+//! let out = engine
+//!     .transact(|txn| {
+//!         let MapReply::Value(v) = txn.read(&MapRead::Get(7)) else { unreachable!() };
+//!         txn.write(MapEdit::Insert(7, v.unwrap() + 1));
+//!     })
+//!     .unwrap();
+//! assert_eq!(out.delta, 0); // overwrote an existing key
+//! ```
+
+#![warn(missing_docs)]
+
+mod admit;
+mod engine;
+mod ops;
+mod store;
+mod txn;
+
+pub use admit::WriteTicket;
+pub use engine::{BatchReply, Engine, EngineConfig, EngineStats, ReadTicket};
+pub use ops::{MapRead, MapReply, MultiMapRead, MultiMapReply, SetRead, SetReply};
+pub use sharded::EpochConflict;
+pub use store::Serve;
+pub use txn::{Txn, TxnError, TxnOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharded::{ShardedMap, ShardedMultiMap, ShardedSet};
+    use std::sync::Arc;
+    use trie_common::ops::{MapEdit, MultiMapEdit, SetEdit};
+
+    #[test]
+    fn map_reads_and_writes_roundtrip() {
+        let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(4));
+        let engine = Engine::new(Arc::clone(&store));
+        let epoch = engine
+            .stage((0..500u32).map(|i| MapEdit::Insert(i, i)))
+            .wait();
+        assert!(epoch >= 1);
+        let reply = engine.submit(vec![
+            MapRead::Get(3),
+            MapRead::Contains(499),
+            MapRead::Contains(500),
+            MapRead::Len,
+            MapRead::Scan { limit: 10 },
+        ]);
+        let reply = reply.wait();
+        assert_eq!(reply.replies[0], MapReply::Value(Some(3)));
+        assert_eq!(reply.replies[1], MapReply::Bool(true));
+        assert_eq!(reply.replies[2], MapReply::Bool(false));
+        assert_eq!(reply.replies[3], MapReply::Count(500));
+        match &reply.replies[4] {
+            MapReply::Entries(e) => assert_eq!(e.len(), 10),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.read_batches, 1);
+        assert_eq!(stats.read_ops, 5);
+        assert_eq!(stats.write_batches, 1);
+        assert_eq!(stats.write_edits, 500);
+    }
+
+    #[test]
+    fn staged_batches_coalesce_but_all_ack() {
+        let store: Arc<ShardedSet<u32>> = Arc::new(ShardedSet::with_shards(2));
+        let engine = Engine::new(Arc::clone(&store));
+        let tickets: Vec<_> = (0..50u32)
+            .map(|i| engine.stage([SetEdit::Insert(i)]))
+            .collect();
+        for t in &tickets {
+            t.wait();
+        }
+        assert_eq!(store.len(), 50);
+        let reply = engine.execute(&[SetRead::Len, SetRead::Contains(49)]);
+        assert_eq!(reply.replies[0], SetReply::Count(50));
+        assert_eq!(reply.replies[1], SetReply::Bool(true));
+    }
+
+    #[test]
+    fn empty_write_batch_resolves_immediately() {
+        let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(2));
+        let engine = Engine::new(store);
+        let ticket = engine.stage(std::iter::empty());
+        assert_eq!(ticket.try_epoch(), Some(0));
+    }
+
+    #[test]
+    fn multimap_fanout_is_single_pin() {
+        let store: Arc<ShardedMultiMap<u32, u32>> = Arc::new(ShardedMultiMap::with_shards(4));
+        let engine = Engine::new(Arc::clone(&store));
+        engine
+            .stage((0..300u32).map(|i| MultiMapEdit::Insert(i % 30, i)))
+            .wait();
+        let reply = engine.execute(&[
+            MultiMapRead::FanOut((0..30).collect()),
+            MultiMapRead::TupleCount,
+        ]);
+        let MultiMapReply::FanOut(per_key) = &reply.replies[0] else {
+            panic!("unexpected reply {:?}", reply.replies[0]);
+        };
+        assert_eq!(per_key.len(), 30);
+        assert!(per_key.iter().all(|(_, vs)| vs.len() == 10));
+        assert_eq!(reply.replies[1], MultiMapReply::Count(300));
+    }
+
+    #[test]
+    fn transactions_retry_past_interference() {
+        let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(2));
+        store.insert(0, 0);
+        let engine = Arc::new(Engine::new(Arc::clone(&store)));
+        // 4 threads each increment key 0 transactionally 25 times; every
+        // increment must be preserved despite conflicts.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let engine = Arc::clone(&engine);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        engine
+                            .transact(|txn| {
+                                let MapReply::Value(v) = txn.read(&MapRead::Get(0)) else {
+                                    unreachable!()
+                                };
+                                txn.write(MapEdit::Insert(0, v.unwrap() + 1));
+                            })
+                            .expect("attempt budget is large enough");
+                    }
+                });
+            }
+        });
+        assert_eq!(store.get_cloned(&0), Some(100));
+        assert_eq!(engine.stats().txn_commits, 100);
+    }
+
+    #[test]
+    fn transact_reports_exhaustion() {
+        let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(1));
+        store.insert(0, 0);
+        let engine = Engine::with_config(
+            Arc::clone(&store),
+            EngineConfig {
+                read_workers: 1,
+                txn_attempts: 3,
+            },
+        );
+        // The body itself invalidates its own pin, so no attempt can ever
+        // commit.
+        let err = engine
+            .transact(|txn| {
+                let _ = txn.read(&MapRead::Get(0));
+                store.insert(0, 1);
+                txn.write(MapEdit::Insert(0, 2));
+            })
+            .unwrap_err();
+        let TxnError::Exhausted { attempts, .. } = err;
+        assert_eq!(attempts, 3);
+        assert_eq!(engine.stats().txn_conflicts, 3);
+    }
+
+    #[test]
+    fn pin_after_long_polls() {
+        let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(2));
+        let engine = Arc::new(Engine::new(Arc::clone(&store)));
+        let seen = engine.pin();
+        std::thread::scope(|s| {
+            let e = Arc::clone(&engine);
+            let seen_epoch = seen.epoch();
+            let waiter = s.spawn(move || e.pin_after(seen_epoch));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            engine.stage([MapEdit::Insert(1, 1)]).wait();
+            let fresh = waiter.join().unwrap();
+            assert!(fresh.epoch() > seen.epoch());
+            assert_eq!(fresh.get(&1), Some(&1));
+        });
+    }
+
+    #[test]
+    fn engine_drop_drains_staged_writes() {
+        let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(4));
+        {
+            let engine = Engine::new(Arc::clone(&store));
+            for i in 0..100u32 {
+                engine.stage([MapEdit::Insert(i, i)]);
+            }
+            // No waits: drop must still apply everything queued.
+        }
+        assert_eq!(store.len(), 100);
+    }
+}

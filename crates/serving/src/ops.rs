@@ -1,0 +1,99 @@
+//! The typed read operations a serving request can carry, and their typed
+//! replies.
+//!
+//! One request batch is a `Vec` of these ops; the engine answers the whole
+//! batch against **one** pinned epoch, so every reply in a
+//! [`BatchReply`](crate::BatchReply) is mutually consistent — including
+//! replies that touched different shards.
+
+/// A read against a served [`ShardedMap`](sharded::ShardedMap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapRead<K> {
+    /// Point lookup: the value bound to a key, if any.
+    Get(K),
+    /// Membership probe (no value copy).
+    Contains(K),
+    /// Iterate up to `limit` entries (shard by shard; hash order).
+    Scan {
+        /// Maximum number of entries to return.
+        limit: usize,
+    },
+    /// Total entry count over the pinned epoch.
+    Len,
+}
+
+/// The reply to a [`MapRead`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapReply<K, V> {
+    /// Reply to [`MapRead::Get`].
+    Value(Option<V>),
+    /// Reply to [`MapRead::Contains`].
+    Bool(bool),
+    /// Reply to [`MapRead::Scan`].
+    Entries(Vec<(K, V)>),
+    /// Reply to [`MapRead::Len`].
+    Count(usize),
+}
+
+/// A read against a served [`ShardedSet`](sharded::ShardedSet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetRead<T> {
+    /// Membership probe.
+    Contains(T),
+    /// Iterate up to `limit` elements (shard by shard; hash order).
+    Scan {
+        /// Maximum number of elements to return.
+        limit: usize,
+    },
+    /// Total element count over the pinned epoch.
+    Len,
+}
+
+/// The reply to a [`SetRead`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetReply<T> {
+    /// Reply to [`SetRead::Contains`].
+    Bool(bool),
+    /// Reply to [`SetRead::Scan`].
+    Elems(Vec<T>),
+    /// Reply to [`SetRead::Len`].
+    Count(usize),
+}
+
+/// A read against a served [`ShardedMultiMap`](sharded::ShardedMultiMap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiMapRead<K, V> {
+    /// All values bound to one key (a "timeline" read).
+    ValuesOf(K),
+    /// Fan-out: the values of *many* keys, answered from one pin — the
+    /// aggregation a feed/timeline service performs per request. Because
+    /// the whole fan-out runs against a single epoch, the assembled view
+    /// can never mix shard versions.
+    FanOut(Vec<K>),
+    /// True if the key has at least one value.
+    ContainsKey(K),
+    /// True if the exact tuple is present.
+    ContainsTuple(K, V),
+    /// Iterate up to `limit` tuples (shard by shard; hash order).
+    Scan {
+        /// Maximum number of tuples to return.
+        limit: usize,
+    },
+    /// Total tuple count over the pinned epoch.
+    TupleCount,
+}
+
+/// The reply to a [`MultiMapRead`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiMapReply<K, V> {
+    /// Reply to [`MultiMapRead::ValuesOf`].
+    Values(Vec<V>),
+    /// Reply to [`MultiMapRead::FanOut`]: per requested key, its values.
+    FanOut(Vec<(K, Vec<V>)>),
+    /// Reply to the membership probes.
+    Bool(bool),
+    /// Reply to [`MultiMapRead::Scan`].
+    Tuples(Vec<(K, V)>),
+    /// Reply to [`MultiMapRead::TupleCount`].
+    Count(usize),
+}

@@ -1,0 +1,92 @@
+//! Optimistic read-modify-write transactions over a pinned epoch.
+
+use sharded::EpochConflict;
+
+use crate::store::Serve;
+
+/// The transaction context handed to an [`Engine::transact`] body: reads
+/// answered from one pinned epoch, writes buffered until commit, and every
+/// shard touched by either recorded for commit-time validation.
+///
+/// [`Engine::transact`]: crate::Engine::transact
+pub struct Txn<S: Serve> {
+    snap: S::Snapshot,
+    reads: Vec<usize>,
+    writes: Vec<S::Edit>,
+}
+
+impl<S: Serve> Txn<S> {
+    pub(crate) fn pinned(snap: S::Snapshot) -> Self {
+        Txn {
+            snap,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// The epoch this attempt is pinned at.
+    pub fn epoch(&self) -> u64 {
+        S::epoch_of(&self.snap)
+    }
+
+    /// Answers a read from the pinned epoch, recording the shards it
+    /// touched in the transaction's read set (validated at commit).
+    pub fn read(&mut self, op: &S::Read) -> S::Reply {
+        S::read_shards(&self.snap, op, &mut self.reads);
+        S::answer(&self.snap, op)
+    }
+
+    /// Buffers a write; nothing is applied until the commit validates.
+    pub fn write(&mut self, edit: S::Edit) {
+        self.writes.push(edit);
+    }
+
+    /// Raw access to the pinned snapshot. Reads made through it are **not**
+    /// added to the read set and therefore not validated at commit — use
+    /// [`Txn::read`] for anything the transaction's outcome depends on.
+    pub fn snapshot(&self) -> &S::Snapshot {
+        &self.snap
+    }
+
+    pub(crate) fn into_parts(self) -> (S::Snapshot, Vec<usize>, Vec<S::Edit>) {
+        let mut reads = self.reads;
+        reads.sort_unstable();
+        reads.dedup();
+        (self.snap, reads, self.writes)
+    }
+}
+
+/// The result of a committed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnOutcome<R> {
+    /// What the (final run of the) body returned.
+    pub value: R,
+    /// The store's count delta from the committed writes.
+    pub delta: isize,
+    /// How many attempts ran (1 = no conflicts).
+    pub attempts: usize,
+}
+
+/// Why a transaction failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnError {
+    /// Every attempt hit an epoch conflict.
+    Exhausted {
+        /// How many attempts ran before giving up.
+        attempts: usize,
+        /// The conflict that killed the final attempt.
+        last: EpochConflict,
+    },
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Exhausted { attempts, last } => {
+                write!(f, "transaction gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}

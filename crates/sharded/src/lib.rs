@@ -21,25 +21,30 @@
 //!    ([`MultiMapMutOps`](trie_common::ops::MultiMapMutOps) and friends).
 //!    Nothing concurrent ever touches a trie under mutation: successors are
 //!    thread-private until frozen.
-//! 3. **Atomic publish** — a finished shard value is frozen into an
-//!    `Arc` snapshot and installed with one pointer swap
-//!    (`publish`). Readers grab the `Arc` (one refcount bump) and query the
-//!    immutable trie lock-free for as long as they like; they always see a
-//!    complete shard, never a partial batch.
+//! 3. **Atomic publish** — finished shard values are frozen into `Arc`
+//!    snapshots and installed with one pointer swap of the global epoch
+//!    bundle (`publish`). Readers pin the bundle (one refcount bump) and
+//!    query the immutable tries lock-free for as long as they like; they
+//!    always see a complete batch, never a partial one.
 //!
 //! # Consistency model
 //!
-//! Per-shard linearizable, cross-shard fuzzy: every key lives in exactly one
-//! shard, so all single-key operations (and any batch touching one shard)
-//! are atomic. A multi-shard [`ShardedMultiMap::snapshot`] collects each
-//! shard's current snapshot in sequence; it is a *consistent cut per shard*,
-//! not a global serialization point — the standard trade of sharded stores.
+//! Globally serializable publication: all shards publish under **one**
+//! epoch sequence, and every commit — even a batch spanning many shards —
+//! swaps the whole bundle atomically. A [`ShardedMultiMap::snapshot`] pins
+//! one epoch, so any two reads answered from the same snapshot are mutually
+//! consistent *across shards* (the MVCC guarantee the serving engine builds
+//! on). Optimistic read-modify-write is available through the
+//! `apply_validated` methods, which re-check the pinned per-shard versions
+//! at commit and report an [`EpochConflict`] instead of clobbering
+//! concurrent writes.
 //!
 //! # `Send`/`Sync` reasoning
 //!
-//! `ShardedMultiMap<K, V, M>` is `Send + Sync` whenever `M` is: shard state
-//! is `Mutex<Arc<M>>` + `AtomicU64` (both `Send + Sync` for `M: Send +
-//! Sync`), and the trie handles themselves are `Arc`-based persistent
+//! `ShardedMultiMap<K, V, M>` is `Send + Sync` whenever `M` is: published
+//! state is a `Mutex<Arc<…>>` bundle plus per-shard `Mutex<()>` write locks
+//! (all `Send + Sync` for `M: Send + Sync`), and the trie handles
+//! themselves are `Arc`-based persistent
 //! structures that are `Send + Sync` for `Send + Sync` element types. The
 //! aliasing discipline that makes this sound is the `Arc::get_mut`
 //! uniqueness protocol of the `_mut` families: a writer's staged successor
@@ -78,6 +83,7 @@ mod snapshot;
 pub use map::{MapEpoch, MapSnapshot, ShardedMap, SnapshotEntries};
 pub use multimap::{MultiMapEpoch, MultiMapSnapshot, ShardedMultiMap, SnapshotTuples};
 pub use partition::{partition_by, partition_tuples, Partition, MAX_SHARDS};
+pub use publish::EpochConflict;
 pub use set::{SetEpoch, SetSnapshot, ShardedSet, SnapshotElems};
 
 /// Default shard count: the available parallelism rounded up to a power of

@@ -10,10 +10,11 @@ use trie_common::ops::{Builder, MapDiff, MapEdit, MapMergeOps, MapMutOps, MapOps
 
 use crate::default_shard_count;
 use crate::partition::Partition;
-use crate::shards::{EpochCore, ShardSet};
+use crate::publish::{EpochConflict, EpochCore};
+use crate::shards::ShardSet;
 
-/// A concurrent map: `N` persistent trie maps published as atomically
-/// swappable snapshots. Defaults to [`AxiomMap`] shards.
+/// A concurrent map: `N` persistent trie maps published under one global
+/// epoch sequence. Defaults to [`AxiomMap`] shards.
 ///
 /// # Examples
 ///
@@ -71,18 +72,40 @@ where
         self.core.count()
     }
 
-    /// Takes a consistent-per-shard snapshot (lock-free to query).
+    /// The shard a key routes to (top bits of its 32-bit trie hash).
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.core.shard_of(key)
+    }
+
+    /// Pins the current epoch: every shard at one global publication point
+    /// (one `Arc` clone, no per-shard loads). All queries on the snapshot
+    /// are lock-free and mutually consistent across shards.
     pub fn snapshot(&self) -> MapSnapshot<K, V, M> {
         MapSnapshot {
-            shards: self.core.load_all(),
-            partition: self.core.partition(),
+            pin: self.core.pin(),
             _entry: PhantomData,
         }
     }
 
-    /// Number of entries (sums the current shard snapshots).
+    /// Blocks until the published epoch advances past `epoch`, then returns
+    /// the new pinned snapshot (the long-poll/subscription primitive).
+    pub fn snapshot_after(&self, epoch: u64) -> MapSnapshot<K, V, M> {
+        MapSnapshot {
+            pin: self.core.pin_after(epoch),
+            _entry: PhantomData,
+        }
+    }
+
+    /// The global publication epoch (bumps once per commit, however many
+    /// shards the commit touched); cheap staleness check for cached
+    /// readers.
+    pub fn current_epoch(&self) -> u64 {
+        self.core.epoch_now()
+    }
+
+    /// Number of entries (over one pinned epoch).
     pub fn len(&self) -> usize {
-        self.core.sum_loaded(M::len)
+        self.core.sum_pinned(M::len)
     }
 
     /// True if no shard holds an entry.
@@ -92,7 +115,7 @@ where
 
     /// True if `key` has a binding.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.core.shard_for(key).load().contains_key(key)
+        self.core.load_for(key).contains_key(key)
     }
 
     /// Looks up `key`, cloning the value out of the current shard snapshot
@@ -101,15 +124,15 @@ where
     where
         V: Clone,
     {
-        self.core.shard_for(key).load().get(key).cloned()
+        self.core.load_for(key).get(key).cloned()
     }
 
-    /// Captures the current epoch: every shard's publication counter plus
-    /// its frozen snapshot. Feed it to [`ShardedMap::changes_since`] later
-    /// to get the entry-level delta without rescanning unchanged shards.
+    /// Captures the current epoch for [`ShardedMap::changes_since`]
+    /// (identical to [`ShardedMap::snapshot`]'s pin; kept as its own type
+    /// for the delta API).
     pub fn epoch(&self) -> MapEpoch<K, V, M> {
         MapEpoch {
-            core: self.core.epoch(),
+            core: self.core.pin(),
             _entry: PhantomData,
         }
     }
@@ -157,14 +180,14 @@ where
 /// frozen snapshots. Created by [`ShardedMap::epoch`], consumed by
 /// [`ShardedMap::changes_since`].
 pub struct MapEpoch<K, V, M = AxiomMap<K, V>> {
-    core: EpochCore<M>,
+    core: Arc<EpochCore<M>>,
     _entry: PhantomData<fn() -> (K, V)>,
 }
 
 impl<K, V, M> Clone for MapEpoch<K, V, M> {
     fn clone(&self) -> Self {
         MapEpoch {
-            core: self.core.clone(),
+            core: Arc::clone(&self.core),
             _entry: PhantomData,
         }
     }
@@ -172,7 +195,9 @@ impl<K, V, M> Clone for MapEpoch<K, V, M> {
 
 impl<K, V, M> std::fmt::Debug for MapEpoch<K, V, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("MapEpoch { .. }")
+        f.debug_struct("MapEpoch")
+            .field("epoch", &self.core.epoch)
+            .finish()
     }
 }
 
@@ -183,7 +208,8 @@ where
 {
     /// Binds `key` to `value`. Returns true if a new key was added.
     pub fn insert(&self, key: K, value: V) -> bool {
-        self.core.shard_for(&key).update(|m| {
+        let shard = self.core.shard_of(&key);
+        self.core.update_at(shard, |m| {
             let mut next = m.clone();
             let grew = next.insert_mut(key, value);
             (next, grew)
@@ -195,11 +221,31 @@ where
         self.core.update_for(key, |m| m.remove_mut(key))
     }
 
-    /// Applies a batch of edits grouped by shard; each touched shard
-    /// publishes once. Returns the entry-count delta.
+    /// Applies a batch of edits grouped by shard; all touched shards
+    /// publish as **one** epoch (a pinned reader sees none or all of the
+    /// batch). Returns the entry-count delta.
     pub fn apply<I: IntoIterator<Item = MapEdit<K, V>>>(&self, batch: I) -> isize {
         self.core
             .apply_grouped(batch, |e| self.core.shard_of(e.key()), M::apply_mut)
+    }
+
+    /// Optimistically applies `batch` against the epoch pinned by `base`:
+    /// the commit succeeds only if every shard the batch writes — plus
+    /// every shard in `read_shards` (the shards a transaction read from) —
+    /// is still at the version `base` pinned. On conflict nothing is
+    /// staged; re-pin and retry.
+    pub fn apply_validated<I: IntoIterator<Item = MapEdit<K, V>>>(
+        &self,
+        base: &MapSnapshot<K, V, M>,
+        read_shards: &[usize],
+        batch: I,
+    ) -> Result<isize, EpochConflict> {
+        self.core.apply_grouped_validated(
+            batch,
+            |e| self.core.shard_of(e.key()),
+            M::apply_mut,
+            Some((&base.pin, read_shards)),
+        )
     }
 }
 
@@ -258,18 +304,17 @@ where
     }
 }
 
-/// An immutable point-in-time view of a [`ShardedMap`].
+/// An immutable pinned epoch of a [`ShardedMap`]: every shard at one global
+/// publication point.
 pub struct MapSnapshot<K, V, M = AxiomMap<K, V>> {
-    shards: Box<[Arc<M>]>,
-    partition: Partition,
+    pin: Arc<EpochCore<M>>,
     _entry: PhantomData<fn() -> (K, V)>,
 }
 
 impl<K, V, M> Clone for MapSnapshot<K, V, M> {
     fn clone(&self) -> Self {
         MapSnapshot {
-            shards: self.shards.clone(),
-            partition: self.partition,
+            pin: Arc::clone(&self.pin),
             _entry: PhantomData,
         }
     }
@@ -281,22 +326,38 @@ where
     M: MapOps<K, V>,
 {
     fn shard_for(&self, key: &K) -> &M {
-        &self.shards[self.partition.shard_of(key)]
+        &self.pin.shards[self.pin.partition.shard_of(key)].1
+    }
+
+    /// The global epoch this snapshot was pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch
+    }
+
+    /// The publication counter shard `index` was pinned at (what a
+    /// validated commit re-checks).
+    pub fn shard_version(&self, index: usize) -> u64 {
+        self.pin.shards[index].0
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.pin.partition.shard_of(key)
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.pin.shards.len()
     }
 
     /// Borrow of one shard's frozen trie.
     pub fn shard(&self, index: usize) -> &M {
-        &self.shards[index]
+        &self.pin.shards[index].1
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|m| m.len()).sum()
+        self.pin.shards.iter().map(|(_, m)| m.len()).sum()
     }
 
     /// True if the snapshot holds no entries.
@@ -317,7 +378,7 @@ where
     /// Iterates all `(key, value)` entries, shard by shard.
     pub fn entries(&self) -> SnapshotEntries<'_, K, V, M> {
         SnapshotEntries {
-            rest: self.shards.iter(),
+            rest: self.pin.shards.iter(),
             current: None,
             _entry: PhantomData,
         }
@@ -331,7 +392,7 @@ where
     K: 'a,
     V: 'a,
 {
-    rest: std::slice::Iter<'a, Arc<M>>,
+    rest: std::slice::Iter<'a, (u64, Arc<M>)>,
     current: Option<M::Entries<'a>>,
     _entry: PhantomData<fn() -> (K, V)>,
 }
@@ -349,7 +410,7 @@ where
                     return Some(e);
                 }
             }
-            self.current = Some(self.rest.next()?.entries());
+            self.current = Some(self.rest.next()?.1.entries());
         }
     }
 }
@@ -392,6 +453,37 @@ mod tests {
         assert_eq!(m.extend_parallel((3000..3100).map(|i| (i, i))), 100);
         assert_eq!(m.len(), 3100);
         assert_eq!(snap.len(), 3000);
+    }
+
+    #[test]
+    fn batches_commit_as_one_epoch() {
+        let m: ShardedMap<u32, u32> = ShardedMap::with_shards(8);
+        let e0 = m.current_epoch();
+        // 64 keys spread over all 8 shards, one apply: one epoch.
+        m.apply((0..64).map(|i| MapEdit::Insert(i, i)));
+        assert_eq!(m.current_epoch(), e0 + 1);
+        assert_eq!(m.snapshot().epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn validated_apply_detects_read_write_conflicts() {
+        let m: ShardedMap<u32, u32> = ShardedMap::with_shards(4);
+        m.apply((0..32).map(|i| MapEdit::Insert(i, 0)));
+        let base = m.snapshot();
+        let read_shard = base.shard_of(&7);
+        // An interposed writer bumps the shard we read from.
+        m.insert(7, 99);
+        let err = m
+            .apply_validated(&base, &[read_shard], [MapEdit::Insert(100, 1)])
+            .unwrap_err();
+        assert_eq!(err.shard, read_shard);
+        // Retry against a fresh pin succeeds.
+        let fresh = m.snapshot();
+        let delta = m
+            .apply_validated(&fresh, &[fresh.shard_of(&7)], [MapEdit::Insert(100, 1)])
+            .unwrap();
+        assert_eq!(delta, 1);
+        assert_eq!(m.get_cloned(&100), Some(1));
     }
 
     #[test]

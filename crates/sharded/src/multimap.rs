@@ -2,9 +2,10 @@
 //!
 //! See the [crate documentation](crate) for the architecture; this module
 //! holds the write-side handle [`ShardedMultiMap`], the read-side
-//! [`MultiMapSnapshot`], and the snapshot's flattened tuple iterator. The
-//! shard-array machinery itself (routing, batching, the scoped-thread
-//! drivers) lives once in the crate-private `ShardSet`.
+//! [`MultiMapSnapshot`] (a pinned epoch), and the snapshot's flattened
+//! tuple iterator. The shard-array machinery itself (routing, batching,
+//! the epoch cell, the scoped-thread drivers) lives once in the
+//! crate-private `ShardSet`.
 
 use std::hash::Hash;
 use std::marker::PhantomData;
@@ -18,16 +19,18 @@ use trie_common::ops::{
 
 use crate::default_shard_count;
 use crate::partition::Partition;
-use crate::shards::{EpochCore, ShardSet};
+use crate::publish::{EpochConflict, EpochCore};
+use crate::shards::ShardSet;
 
 /// A concurrent multi-map: `N` persistent tries (one per slice of the key
-/// space), each published as an atomically swappable snapshot.
+/// space) published under one global epoch sequence.
 ///
 /// Writers batch edits into shard-local successors built through the `_mut`
-/// protocol and publish per shard with one pointer swap; readers take
-/// [`MultiMapSnapshot`]s and query them lock-free. The backing trie `M`
-/// defaults to [`AxiomMultiMap`] but any [`MultiMapOps`] +
-/// [`MultiMapMutOps`] + [`TransientOps`] implementation works.
+/// protocol and publish with one pointer swap (a multi-shard batch commits
+/// as **one** epoch); readers pin [`MultiMapSnapshot`]s and query them
+/// lock-free. The backing trie `M` defaults to [`AxiomMultiMap`] but any
+/// [`MultiMapOps`] + [`MultiMapMutOps`] + [`TransientOps`] implementation
+/// works.
 ///
 /// # Examples
 ///
@@ -40,7 +43,7 @@ use crate::shards::{EpochCore, ShardSet};
 /// mm.insert(2, 20);
 /// assert_eq!(mm.tuple_count(), 3);
 ///
-/// let snap = mm.snapshot();       // immutable, lock-free to query
+/// let snap = mm.snapshot();       // pinned epoch, lock-free to query
 /// mm.remove_key(&1);
 /// assert_eq!(snap.value_count(&1), 2); // the snapshot is unaffected
 /// assert_eq!(mm.tuple_count(), 1);
@@ -94,32 +97,48 @@ where
         self.core.shard_of(key)
     }
 
-    /// Takes a consistent-per-shard snapshot: each shard is the complete
-    /// result of some prefix of its published batches. Acquisition costs one
-    /// `Arc` clone per shard; all queries on the snapshot are lock-free.
+    /// Pins the current epoch: every shard at one global publication point
+    /// (one `Arc` clone, no per-shard loads). All queries on the snapshot
+    /// are lock-free, and any two reads answered from the same snapshot
+    /// are mutually consistent — including across shards.
     pub fn snapshot(&self) -> MultiMapSnapshot<K, V, M> {
         MultiMapSnapshot {
-            shards: self.core.load_all(),
-            partition: self.core.partition(),
+            pin: self.core.pin(),
             _tuple: PhantomData,
         }
     }
 
-    /// Sum of the shard publication counters; changes whenever any shard
-    /// publishes, so cached readers can cheaply detect staleness.
-    pub fn version(&self) -> u64 {
-        self.core.version()
+    /// Blocks until the published epoch advances past `epoch`, then returns
+    /// the new pinned snapshot (the long-poll/subscription primitive).
+    pub fn snapshot_after(&self, epoch: u64) -> MultiMapSnapshot<K, V, M> {
+        MultiMapSnapshot {
+            pin: self.core.pin_after(epoch),
+            _tuple: PhantomData,
+        }
     }
 
-    /// Total number of tuples (sums the current shard snapshots).
+    /// The global publication epoch (bumps once per commit, however many
+    /// shards the commit touched); cheap staleness check for cached
+    /// readers.
+    pub fn current_epoch(&self) -> u64 {
+        self.core.epoch_now()
+    }
+
+    /// The global publication epoch (alias of
+    /// [`ShardedMultiMap::current_epoch`], kept for PR 4 callers).
+    pub fn version(&self) -> u64 {
+        self.current_epoch()
+    }
+
+    /// Total number of tuples (over one pinned epoch).
     pub fn tuple_count(&self) -> usize {
-        self.core.sum_loaded(M::tuple_count)
+        self.core.sum_pinned(M::tuple_count)
     }
 
     /// Number of distinct keys (keys never span shards, so the sum is
     /// exact).
     pub fn key_count(&self) -> usize {
-        self.core.sum_loaded(M::key_count)
+        self.core.sum_pinned(M::key_count)
     }
 
     /// True if no shard holds a tuple.
@@ -129,26 +148,25 @@ where
 
     /// True if `key` maps to at least one value.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.core.shard_for(key).load().contains_key(key)
+        self.core.load_for(key).contains_key(key)
     }
 
     /// True if the exact tuple `(key, value)` is present.
     pub fn contains_tuple(&self, key: &K, value: &V) -> bool {
-        self.core.shard_for(key).load().contains_tuple(key, value)
+        self.core.load_for(key).contains_tuple(key, value)
     }
 
     /// Number of values associated with `key` (0 if absent).
     pub fn value_count(&self, key: &K) -> usize {
-        self.core.shard_for(key).load().value_count(key)
+        self.core.load_for(key).value_count(key)
     }
 
-    /// Captures the current epoch: every shard's publication counter plus
-    /// its frozen snapshot. Feed it to [`ShardedMultiMap::changes_since`]
-    /// later to get the tuple-level delta without rescanning unchanged
-    /// shards.
+    /// Captures the current epoch for [`ShardedMultiMap::changes_since`]
+    /// (identical to [`ShardedMultiMap::snapshot`]'s pin; kept as its own
+    /// type for the delta API).
     pub fn epoch(&self) -> MultiMapEpoch<K, V, M> {
         MultiMapEpoch {
-            core: self.core.epoch(),
+            core: self.core.pin(),
             _tuple: PhantomData,
         }
     }
@@ -197,14 +215,14 @@ where
 /// counters and frozen snapshots. Created by [`ShardedMultiMap::epoch`],
 /// consumed by [`ShardedMultiMap::changes_since`].
 pub struct MultiMapEpoch<K, V, M = AxiomMultiMap<K, V>> {
-    core: EpochCore<M>,
+    core: Arc<EpochCore<M>>,
     _tuple: PhantomData<fn() -> (K, V)>,
 }
 
 impl<K, V, M> Clone for MultiMapEpoch<K, V, M> {
     fn clone(&self) -> Self {
         MultiMapEpoch {
-            core: self.core.clone(),
+            core: Arc::clone(&self.core),
             _tuple: PhantomData,
         }
     }
@@ -212,7 +230,9 @@ impl<K, V, M> Clone for MultiMapEpoch<K, V, M> {
 
 impl<K, V, M> std::fmt::Debug for MultiMapEpoch<K, V, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("MultiMapEpoch { .. }")
+        f.debug_struct("MultiMapEpoch")
+            .field("epoch", &self.core.epoch)
+            .finish()
     }
 }
 
@@ -226,7 +246,8 @@ where
     /// One-tuple batches pay a full shard publication each; prefer
     /// [`ShardedMultiMap::apply`] for anything that arrives in groups.
     pub fn insert(&self, key: K, value: V) -> bool {
-        self.core.shard_for(&key).update(|m| {
+        let shard = self.core.shard_of(&key);
+        self.core.update_at(shard, |m| {
             let mut next = m.clone();
             let grew = next.insert_mut(key, value);
             (next, grew)
@@ -246,14 +267,36 @@ where
 
     /// Applies a batch of edits: groups them by shard (preserving input
     /// order within each shard), stages every group on a shard-local
-    /// successor through the `_mut` protocol, and publishes each touched
-    /// shard atomically. Returns the total tuple-count delta.
+    /// successor through the `_mut` protocol, and publishes all touched
+    /// shards as **one** epoch — a pinned reader observes either none or
+    /// all of the batch, even across shards. Returns the total tuple-count
+    /// delta.
     ///
-    /// Concurrent `apply` calls to disjoint shards run fully in parallel;
-    /// calls touching the same shard serialize on that shard's write lock.
+    /// Concurrent `apply` calls to disjoint shards stage fully in
+    /// parallel; calls touching the same shard serialize on that shard's
+    /// write lock, and only the pointer swap itself serializes globally.
     pub fn apply<I: IntoIterator<Item = MultiMapEdit<K, V>>>(&self, batch: I) -> isize {
         self.core
             .apply_grouped(batch, |e| self.core.shard_of(e.key()), M::apply_mut)
+    }
+
+    /// Optimistically applies `batch` against the epoch pinned by `base`:
+    /// the commit succeeds only if every shard the batch writes — plus
+    /// every shard in `read_shards` (the shards a transaction read from) —
+    /// is still at the version `base` pinned. On conflict nothing is
+    /// staged; re-pin and retry.
+    pub fn apply_validated<I: IntoIterator<Item = MultiMapEdit<K, V>>>(
+        &self,
+        base: &MultiMapSnapshot<K, V, M>,
+        read_shards: &[usize],
+        batch: I,
+    ) -> Result<isize, EpochConflict> {
+        self.core.apply_grouped_validated(
+            batch,
+            |e| self.core.shard_of(e.key()),
+            M::apply_mut,
+            Some((&base.pin, read_shards)),
+        )
     }
 }
 
@@ -315,20 +358,19 @@ where
     }
 }
 
-/// An immutable point-in-time view of a [`ShardedMultiMap`]: one frozen
-/// persistent trie per shard. Every query is lock-free; the snapshot stays
-/// valid (and unchanged) no matter what writers publish afterwards.
+/// An immutable pinned epoch of a [`ShardedMultiMap`]: one frozen
+/// persistent trie per shard, all captured at a single global publication
+/// point. Every query is lock-free; the snapshot stays valid (and
+/// unchanged) no matter what writers publish afterwards.
 pub struct MultiMapSnapshot<K, V, M = AxiomMultiMap<K, V>> {
-    shards: Box<[Arc<M>]>,
-    partition: Partition,
+    pin: Arc<EpochCore<M>>,
     _tuple: PhantomData<fn() -> (K, V)>,
 }
 
 impl<K, V, M> Clone for MultiMapSnapshot<K, V, M> {
     fn clone(&self) -> Self {
         MultiMapSnapshot {
-            shards: self.shards.clone(),
-            partition: self.partition,
+            pin: Arc::clone(&self.pin),
             _tuple: PhantomData,
         }
     }
@@ -340,27 +382,43 @@ where
     M: MultiMapOps<K, V>,
 {
     fn shard_for(&self, key: &K) -> &M {
-        &self.shards[self.partition.shard_of(key)]
+        &self.pin.shards[self.pin.partition.shard_of(key)].1
+    }
+
+    /// The global epoch this snapshot was pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch
+    }
+
+    /// The publication counter shard `index` was pinned at (what a
+    /// validated commit re-checks).
+    pub fn shard_version(&self, index: usize) -> u64 {
+        self.pin.shards[index].0
+    }
+
+    /// The shard a key routes to.
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.pin.partition.shard_of(key)
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.pin.shards.len()
     }
 
     /// Borrow of one shard's frozen trie (e.g. to run per-shard analytics).
     pub fn shard(&self, index: usize) -> &M {
-        &self.shards[index]
+        &self.pin.shards[index].1
     }
 
     /// Total number of tuples.
     pub fn tuple_count(&self) -> usize {
-        self.shards.iter().map(|m| m.tuple_count()).sum()
+        self.pin.shards.iter().map(|(_, m)| m.tuple_count()).sum()
     }
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.shards.iter().map(|m| m.key_count()).sum()
+        self.pin.shards.iter().map(|(_, m)| m.key_count()).sum()
     }
 
     /// True if the snapshot holds no tuples.
@@ -391,7 +449,7 @@ where
     /// Iterates all `(key, value)` tuples, shard by shard.
     pub fn tuples(&self) -> SnapshotTuples<'_, K, V, M> {
         SnapshotTuples {
-            rest: self.shards.iter(),
+            rest: self.pin.shards.iter(),
             current: None,
             _tuple: PhantomData,
         }
@@ -405,7 +463,7 @@ where
     K: 'a,
     V: 'a,
 {
-    rest: std::slice::Iter<'a, Arc<M>>,
+    rest: std::slice::Iter<'a, (u64, Arc<M>)>,
     current: Option<M::Tuples<'a>>,
     _tuple: PhantomData<fn() -> (K, V)>,
 }
@@ -423,7 +481,7 @@ where
                     return Some(t);
                 }
             }
-            self.current = Some(self.rest.next()?.tuples());
+            self.current = Some(self.rest.next()?.1.tuples());
         }
     }
 }
@@ -479,6 +537,14 @@ mod tests {
         assert_eq!(delta, 2);
         assert_eq!(mm.tuple_count(), 2);
         assert_eq!(mm.apply([MultiMapEdit::RemoveKey(1)]), -1);
+    }
+
+    #[test]
+    fn multi_shard_apply_is_one_epoch() {
+        let mm = Mm::with_shards(8);
+        let before = mm.current_epoch();
+        mm.apply((0..64).map(|i| MultiMapEdit::Insert(i, i)));
+        assert_eq!(mm.current_epoch(), before + 1);
     }
 
     #[test]

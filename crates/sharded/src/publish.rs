@@ -1,83 +1,244 @@
-//! The per-shard publication cell: atomic snapshot swap plus a write lock
-//! that serializes read-modify-write batches without ever blocking readers.
+//! The global publication cell: every shard publishes under **one** epoch
+//! sequence, and readers pin all shards at once with a single `Arc` clone.
 //!
-//! # Why not a `RwLock` around the collection?
+//! # Why a global bundle instead of per-shard swaps?
 //!
-//! Rebuilding a shard (clone handle → `_mut` batch → freeze) can take
-//! milliseconds for large batches. Readers must not wait on that, so the
-//! shard's current value is an `Arc` snapshot: acquiring it is a single
-//! reference-count bump inside a mutex held for nanoseconds, and everything
-//! a reader does *with* the snapshot is lock-free on the immutable trie.
-//! Writers stage their whole batch on a private successor (the persistent
-//! trie's structural sharing makes the clone O(1)) and publish it with one
-//! pointer swap — readers always observe either the complete old or the
-//! complete new shard, never a partial edit.
+//! Through PR 6 each shard carried its own `Mutex<Arc<M>>` cell, swapped
+//! independently. That kept point reads cheap but meant two reads inside one
+//! request could observe *different* shard versions: a snapshot loaded the
+//! shard pointers one after another while writers kept swapping them, so a
+//! cross-shard batch could see shard 3 from before a commit and shard 5 from
+//! after it. The serving engine needs the MVCC guarantee instead: a reader
+//! pins **one** epoch and every read in the batch is answered from that
+//! consistent cut.
+//!
+//! The fix is to make publication itself atomic across shards. The entire
+//! published state lives in a single [`EpochCore`] — the epoch number, and
+//! per shard a `(version, Arc<trie>)` pair — behind one mutex. Committing a
+//! batch builds the successor bundle (O(shards) `Arc` clones, no trie
+//! walks) and swaps it under the mutex; pinning is one lock acquisition and
+//! one `Arc` clone, after which everything the reader does is lock-free on
+//! immutable tries. Writers still stage their (expensive) trie edits
+//! *outside* the publication lock, serialized per shard by dedicated write
+//! locks, so the global critical section stays at pointer-swap length.
+//!
+//! The per-shard version counters survive inside the bundle: they are what
+//! lets `changes_since` skip shards that have not republished, and what the
+//! serving engine's transactions validate at commit time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// One shard: a versioned, atomically swappable `Arc` snapshot plus a write
-/// lock serializing batch application.
+use crate::partition::Partition;
+
+/// A consistent cut of the whole shard array, published atomically: the
+/// global epoch it was committed at, plus each shard's publication counter
+/// and frozen snapshot. This is simultaneously the reader's pin, the
+/// snapshot backing store, and the `changes_since` capture.
 #[derive(Debug)]
-pub(crate) struct Shard<C> {
-    /// The published snapshot. The mutex guards only the pointer swap/clone
-    /// (a few nanoseconds), never a trie traversal or rebuild.
-    current: Mutex<Arc<C>>,
-    /// Bumped on every publication; lets cached readers detect staleness
-    /// without acquiring `current`.
-    version: AtomicU64,
-    /// Held across a whole read-modify-write batch so concurrent writers to
-    /// the same shard cannot lose updates. Readers never touch it.
-    write: Mutex<()>,
+pub(crate) struct EpochCore<C> {
+    /// Global publication sequence number (bumped once per commit, however
+    /// many shards the commit touched).
+    pub(crate) epoch: u64,
+    pub(crate) partition: Partition,
+    /// Per shard: `(publication counter, frozen snapshot)`. The counter
+    /// bumps exactly when that shard's pointer changes, so equal counters
+    /// imply identical snapshots.
+    pub(crate) shards: Box<[(u64, Arc<C>)]>,
 }
 
-impl<C> Shard<C> {
-    pub(crate) fn new(value: C) -> Self {
-        Shard {
-            current: Mutex::new(Arc::new(value)),
-            version: AtomicU64::new(0),
-            write: Mutex::new(()),
+/// A shard-version mismatch reported by a validated commit: the shard was
+/// republished between the pin and the commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochConflict {
+    /// The shard whose version moved.
+    pub shard: usize,
+    /// That shard's publication counter in the validating pin.
+    pub pinned: u64,
+    /// Its publication counter at commit time.
+    pub current: u64,
+}
+
+impl std::fmt::Display for EpochConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} republished since the pin (version {} -> {})",
+            self.shard, self.pinned, self.current
+        )
+    }
+}
+
+impl std::error::Error for EpochConflict {}
+
+/// The publication cell: the pinned bundle plus per-shard write locks that
+/// serialize read-modify-write staging without ever blocking readers.
+#[derive(Debug)]
+pub(crate) struct EpochCell<C> {
+    /// The single published state. The mutex guards only pointer swaps and
+    /// bundle clones (O(shards) refcount bumps), never a trie traversal.
+    pinned: Mutex<Arc<EpochCore<C>>>,
+    /// Notified on every commit (the long-poll/subscription hook).
+    published: Condvar,
+    /// Held across a whole read-modify-write batch per shard, so concurrent
+    /// writers to one shard cannot lose updates. Readers never touch these.
+    write_locks: Box<[Mutex<()>]>,
+}
+
+impl<C> EpochCell<C> {
+    /// Builds the cell with every shard at version 0, epoch 0.
+    pub(crate) fn new(partition: Partition, parts: impl IntoIterator<Item = C>) -> Self {
+        let shards: Box<[(u64, Arc<C>)]> = parts.into_iter().map(|c| (0, Arc::new(c))).collect();
+        assert_eq!(shards.len(), partition.count(), "one collection per shard");
+        let write_locks = (0..shards.len()).map(|_| Mutex::new(())).collect();
+        EpochCell {
+            pinned: Mutex::new(Arc::new(EpochCore {
+                epoch: 0,
+                partition,
+                shards,
+            })),
+            published: Condvar::new(),
+            write_locks,
         }
     }
 
-    /// Acquires the current snapshot (one `Arc` clone under the swap mutex).
-    pub(crate) fn load(&self) -> Arc<C> {
-        self.current.lock().expect("shard cell poisoned").clone()
+    /// Pins the current epoch: one lock acquisition, one `Arc` clone. The
+    /// returned bundle is immutable — every read answered from it is
+    /// mutually consistent, across shards, forever.
+    pub(crate) fn pin(&self) -> Arc<EpochCore<C>> {
+        self.pinned
+            .lock()
+            .expect("publication cell poisoned")
+            .clone()
     }
 
-    /// Acquires the current snapshot together with the publication counter
-    /// it was published under — a consistent pair, because [`Shard::publish`]
-    /// bumps the counter while still holding the swap mutex. The epoch/diff
-    /// machinery relies on this: equal counters imply identical snapshots.
-    pub(crate) fn load_versioned(&self) -> (u64, Arc<C>) {
-        let guard = self.current.lock().expect("shard cell poisoned");
-        (self.version.load(Ordering::Acquire), guard.clone())
+    /// The current shard snapshot for `index` (used by point reads that
+    /// need only one shard).
+    pub(crate) fn load(&self, index: usize) -> Arc<C> {
+        Arc::clone(
+            &self
+                .pinned
+                .lock()
+                .expect("publication cell poisoned")
+                .shards[index]
+                .1,
+        )
     }
 
-    /// The publication counter (monotonically increasing).
-    pub(crate) fn version(&self) -> u64 {
-        self.version.load(Ordering::Acquire)
+    /// Blocks until the published epoch advances past `epoch` (the
+    /// long-poll primitive; returns the new pin).
+    pub(crate) fn wait_past(&self, epoch: u64) -> Arc<EpochCore<C>> {
+        let mut guard = self.pinned.lock().expect("publication cell poisoned");
+        while guard.epoch <= epoch {
+            guard = self
+                .published
+                .wait(guard)
+                .expect("publication cell poisoned");
+        }
+        guard.clone()
     }
 
-    /// Atomically replaces the snapshot and bumps the version (both under
-    /// the swap mutex, so [`Shard::load_versioned`] observes a consistent
-    /// pair).
-    pub(crate) fn publish(&self, next: Arc<C>) {
-        let mut guard = self.current.lock().expect("shard cell poisoned");
-        *guard = next;
-        self.version.fetch_add(1, Ordering::AcqRel);
+    /// Acquires the write locks for `shards` (which must be sorted
+    /// ascending — the global lock order that makes multi-shard commits
+    /// deadlock-free).
+    fn lock_writers(&self, shards: &[usize]) -> Vec<MutexGuard<'_, ()>> {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        shards
+            .iter()
+            .map(|&i| {
+                self.write_locks[i]
+                    .lock()
+                    .expect("shard write lock poisoned")
+            })
+            .collect()
     }
 
-    /// Runs one read-modify-write batch under the shard's write lock: `f`
-    /// sees the current value and returns the successor plus a result. The
-    /// successor is published atomically; readers holding the old snapshot
-    /// are unaffected.
-    pub(crate) fn update<R>(&self, f: impl FnOnce(&C) -> (C, R)) -> R {
-        let _batch = self.write.lock().expect("shard write lock poisoned");
-        let current = self.load();
+    /// Atomically publishes successors for several shards as **one** epoch:
+    /// clones the bundle, replaces the given slots (bumping their
+    /// per-shard counters), bumps the global epoch, swaps. Callers must
+    /// hold the write locks of every touched shard.
+    fn commit(&self, entries: Vec<(usize, Arc<C>)>) -> u64 {
+        let mut guard = self.pinned.lock().expect("publication cell poisoned");
+        let old = &**guard;
+        let mut shards = old.shards.clone();
+        for (index, next) in entries {
+            shards[index] = (shards[index].0 + 1, next);
+        }
+        let epoch = old.epoch + 1;
+        *guard = Arc::new(EpochCore {
+            epoch,
+            partition: old.partition,
+            shards,
+        });
+        self.published.notify_all();
+        epoch
+    }
+
+    /// Runs one read-modify-write batch against shard `index`: `f` sees the
+    /// current value and returns the successor plus a result. Staging runs
+    /// outside the publication lock (other shards commit freely meanwhile);
+    /// the successor is published as its own epoch.
+    pub(crate) fn update<R>(&self, index: usize, f: impl FnOnce(&C) -> (C, R)) -> R {
+        let _batch = self.write_locks[index]
+            .lock()
+            .expect("shard write lock poisoned");
+        let current = self.load(index);
         let (next, out) = f(&current);
-        self.publish(Arc::new(next));
+        self.commit(vec![(index, Arc::new(next))]);
         out
+    }
+
+    /// The multi-shard batched write path: `stage` produces a successor for
+    /// each listed shard (given its current value), and all successors are
+    /// published as **one** epoch — a reader pin observes either none or
+    /// all of the batch. `touched` must be sorted ascending and deduped.
+    ///
+    /// When `validate` carries a pin, every shard in `touched` ∪
+    /// `validate.1` is checked against that pin's per-shard versions first
+    /// (under the write locks, so the check cannot race another commit);
+    /// any mismatch aborts with [`EpochConflict`] before staging.
+    pub(crate) fn update_many<R>(
+        &self,
+        touched: &[usize],
+        validate: Option<(&EpochCore<C>, &[usize])>,
+        mut stage: impl FnMut(usize, &C) -> (C, R),
+    ) -> Result<Vec<R>, EpochConflict> {
+        // Lock order: the union of staged and validated shards, ascending.
+        let locked: Vec<usize> = match validate {
+            Some((_, reads)) => {
+                let mut all: Vec<usize> = touched.iter().chain(reads).copied().collect();
+                all.sort_unstable();
+                all.dedup();
+                all
+            }
+            None => touched.to_vec(),
+        };
+        let _guards = self.lock_writers(&locked);
+        if let Some((base, _)) = validate {
+            let current = self.pin();
+            for &shard in &locked {
+                let pinned = base.shards[shard].0;
+                let now = current.shards[shard].0;
+                if pinned != now {
+                    return Err(EpochConflict {
+                        shard,
+                        pinned,
+                        current: now,
+                    });
+                }
+            }
+        }
+        let mut entries = Vec::with_capacity(touched.len());
+        let mut results = Vec::with_capacity(touched.len());
+        for &index in touched {
+            let current = self.load(index);
+            let (next, out) = stage(index, &current);
+            entries.push((index, Arc::new(next)));
+            results.push(out);
+        }
+        if !entries.is_empty() {
+            self.commit(entries);
+        }
+        Ok(results)
     }
 }
 
@@ -85,40 +246,86 @@ impl<C> Shard<C> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn publish_bumps_version_and_swaps() {
-        let shard = Shard::new(1u32);
-        assert_eq!(*shard.load(), 1);
-        assert_eq!(shard.version(), 0);
-        shard.publish(Arc::new(2));
-        assert_eq!(*shard.load(), 2);
-        assert_eq!(shard.version(), 1);
+    fn cell(parts: Vec<u32>) -> EpochCell<u32> {
+        let partition = Partition::new(parts.len());
+        EpochCell::new(partition, parts)
     }
 
     #[test]
-    fn update_sees_current_and_returns_result() {
-        let shard = Shard::new(10u32);
-        let old = shard.load();
-        let out = shard.update(|v| (*v + 5, *v));
-        assert_eq!(out, 10);
-        assert_eq!(*shard.load(), 15);
-        // The pre-update snapshot is untouched.
-        assert_eq!(*old, 10);
+    fn pin_is_consistent_and_commit_bumps_epoch() {
+        let c = cell(vec![1, 2]);
+        let pin = c.pin();
+        assert_eq!(pin.epoch, 0);
+        assert_eq!(*pin.shards[0].1, 1);
+        c.update(0, |v| (*v + 10, ()));
+        assert_eq!(*pin.shards[0].1, 1, "old pin frozen");
+        let pin = c.pin();
+        assert_eq!(pin.epoch, 1);
+        assert_eq!(pin.shards[0].0, 1, "touched shard's version bumped");
+        assert_eq!(pin.shards[1].0, 0, "untouched shard's version kept");
+        assert_eq!(*pin.shards[0].1, 11);
     }
 
     #[test]
-    fn concurrent_updates_serialize() {
-        let shard = Shard::new(0u64);
+    fn update_many_publishes_one_epoch() {
+        let c = cell(vec![0, 0, 0, 0]);
+        let out = c
+            .update_many(&[1, 3], None, |i, v| (*v + i as u32, *v))
+            .unwrap();
+        assert_eq!(out, vec![0, 0]);
+        let pin = c.pin();
+        assert_eq!(pin.epoch, 1, "two shards, one epoch");
+        assert_eq!((*pin.shards[1].1, *pin.shards[3].1), (1, 3));
+    }
+
+    #[test]
+    fn validated_commit_detects_conflicts() {
+        let c = cell(vec![0, 0]);
+        let base = c.pin();
+        c.update(0, |v| (*v + 1, ()));
+        // Writing shard 1 is fine while validating only shard 1...
+        c.update_many(&[1], Some((&base, &[])), |_, v| (*v + 1, ()))
+            .unwrap();
+        // ...but validating shard 0 against the stale pin conflicts.
+        let base2 = c.pin();
+        c.update(0, |v| (*v + 1, ()));
+        let err = c
+            .update_many(&[1], Some((&base2, &[0])), |_, v| (*v + 1, ()))
+            .unwrap_err();
+        assert_eq!(err.shard, 0);
+        assert_eq!(err.current, err.pinned + 1);
+    }
+
+    #[test]
+    fn concurrent_updates_serialize_per_shard() {
+        let c = cell(vec![0, 0]);
         std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for _ in 0..100 {
-                        shard.update(|v| (*v + 1, ()));
-                    }
-                });
+            for shard in 0..2 {
+                for _ in 0..2 {
+                    let c = &c;
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            c.update(shard, |v| (*v + 1, ()));
+                        }
+                    });
+                }
             }
         });
-        assert_eq!(*shard.load(), 400);
-        assert_eq!(shard.version(), 400);
+        let pin = c.pin();
+        assert_eq!(pin.epoch, 400, "2 shards x 2 threads x 100 commits");
+        assert_eq!((*pin.shards[0].1, *pin.shards[1].1), (200, 200));
+        assert_eq!((pin.shards[0].0, pin.shards[1].0), (200, 200));
+    }
+
+    #[test]
+    fn wait_past_unblocks_on_commit() {
+        let c = cell(vec![0]);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| c.wait_past(0));
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            c.update(0, |v| (*v + 1, ()));
+            let pin = waiter.join().unwrap();
+            assert!(pin.epoch >= 1);
+        });
     }
 }

@@ -10,10 +10,11 @@ use trie_common::ops::{Builder, SetAlgebraOps, SetDiff, SetEdit, SetMutOps, SetO
 
 use crate::default_shard_count;
 use crate::partition::Partition;
-use crate::shards::{EpochCore, ShardSet};
+use crate::publish::{EpochConflict, EpochCore};
+use crate::shards::ShardSet;
 
-/// A concurrent set: `N` persistent trie sets published as atomically
-/// swappable snapshots. Defaults to [`AxiomSet`] shards.
+/// A concurrent set: `N` persistent trie sets published under one global
+/// epoch sequence. Defaults to [`AxiomSet`] shards.
 ///
 /// # Examples
 ///
@@ -71,18 +72,39 @@ where
         self.core.count()
     }
 
-    /// Takes a consistent-per-shard snapshot (lock-free to query).
+    /// The shard an element routes to (top bits of its 32-bit trie hash).
+    pub fn shard_of(&self, value: &T) -> usize {
+        self.core.shard_of(value)
+    }
+
+    /// Pins the current epoch: every shard at one global publication point.
+    /// All queries on the snapshot are lock-free and mutually consistent,
+    /// including across shards.
     pub fn snapshot(&self) -> SetSnapshot<T, S> {
         SetSnapshot {
-            shards: self.core.load_all(),
-            partition: self.core.partition(),
+            pin: self.core.pin(),
             _elem: PhantomData,
         }
     }
 
-    /// Number of elements (sums the current shard snapshots).
+    /// Blocks until the published epoch advances past `epoch`, then returns
+    /// the new pinned snapshot (the long-poll/subscription primitive).
+    pub fn snapshot_after(&self, epoch: u64) -> SetSnapshot<T, S> {
+        SetSnapshot {
+            pin: self.core.pin_after(epoch),
+            _elem: PhantomData,
+        }
+    }
+
+    /// The global publication epoch (bumps once per commit, however many
+    /// shards the commit touched).
+    pub fn current_epoch(&self) -> u64 {
+        self.core.epoch_now()
+    }
+
+    /// Number of elements (over one pinned epoch).
     pub fn len(&self) -> usize {
-        self.core.sum_loaded(S::len)
+        self.core.sum_pinned(S::len)
     }
 
     /// True if no shard holds an element.
@@ -92,7 +114,7 @@ where
 
     /// Membership test against the current shard snapshot.
     pub fn contains(&self, value: &T) -> bool {
-        self.core.shard_for(value).load().contains(value)
+        self.core.load_for(value).contains(value)
     }
 
     /// Captures the current epoch: every shard's publication counter plus
@@ -100,7 +122,7 @@ where
     /// to get the element-level delta without rescanning unchanged shards.
     pub fn epoch(&self) -> SetEpoch<T, S> {
         SetEpoch {
-            core: self.core.epoch(),
+            core: self.core.pin(),
             _elem: PhantomData,
         }
     }
@@ -173,14 +195,14 @@ where
 /// frozen snapshots. Created by [`ShardedSet::epoch`], consumed by
 /// [`ShardedSet::changes_since`].
 pub struct SetEpoch<T, S = AxiomSet<T>> {
-    core: EpochCore<S>,
+    core: Arc<EpochCore<S>>,
     _elem: PhantomData<fn() -> T>,
 }
 
 impl<T, S> Clone for SetEpoch<T, S> {
     fn clone(&self) -> Self {
         SetEpoch {
-            core: self.core.clone(),
+            core: Arc::clone(&self.core),
             _elem: PhantomData,
         }
     }
@@ -188,7 +210,9 @@ impl<T, S> Clone for SetEpoch<T, S> {
 
 impl<T, S> std::fmt::Debug for SetEpoch<T, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("SetEpoch { .. }")
+        f.debug_struct("SetEpoch")
+            .field("epoch", &self.core.epoch)
+            .finish()
     }
 }
 
@@ -199,7 +223,8 @@ where
 {
     /// Inserts `value`. Returns true if the set grew.
     pub fn insert(&self, value: T) -> bool {
-        self.core.shard_for(&value).update(|s| {
+        let shard = self.core.shard_of(&value);
+        self.core.update_at(shard, |s| {
             let mut next = s.clone();
             let grew = next.insert_mut(value);
             (next, grew)
@@ -211,11 +236,29 @@ where
         self.core.update_for(value, |s| s.remove_mut(value))
     }
 
-    /// Applies a batch of edits grouped by shard; each touched shard
-    /// publishes once. Returns the element-count delta.
+    /// Applies a batch of edits grouped by shard; all touched shards
+    /// publish as **one** epoch. Returns the element-count delta.
     pub fn apply<I: IntoIterator<Item = SetEdit<T>>>(&self, batch: I) -> isize {
         self.core
             .apply_grouped(batch, |e| self.core.shard_of(e.key()), S::apply_mut)
+    }
+
+    /// Optimistically applies `batch` against the epoch pinned by `base`:
+    /// the commit succeeds only if every shard the batch writes — plus
+    /// every shard in `read_shards` — is still at the version `base`
+    /// pinned. On conflict nothing is staged; re-pin and retry.
+    pub fn apply_validated<I: IntoIterator<Item = SetEdit<T>>>(
+        &self,
+        base: &SetSnapshot<T, S>,
+        read_shards: &[usize],
+        batch: I,
+    ) -> Result<isize, EpochConflict> {
+        self.core.apply_grouped_validated(
+            batch,
+            |e| self.core.shard_of(e.key()),
+            S::apply_mut,
+            Some((&base.pin, read_shards)),
+        )
     }
 }
 
@@ -273,18 +316,17 @@ where
     }
 }
 
-/// An immutable point-in-time view of a [`ShardedSet`].
+/// An immutable pinned epoch of a [`ShardedSet`]: one frozen persistent
+/// trie per shard, all captured at a single global publication point.
 pub struct SetSnapshot<T, S = AxiomSet<T>> {
-    shards: Box<[Arc<S>]>,
-    partition: Partition,
+    pin: Arc<EpochCore<S>>,
     _elem: PhantomData<fn() -> T>,
 }
 
 impl<T, S> Clone for SetSnapshot<T, S> {
     fn clone(&self) -> Self {
         SetSnapshot {
-            shards: self.shards.clone(),
-            partition: self.partition,
+            pin: Arc::clone(&self.pin),
             _elem: PhantomData,
         }
     }
@@ -295,19 +337,35 @@ where
     T: Hash,
     S: SetOps<T>,
 {
+    /// The global epoch this snapshot was pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch
+    }
+
+    /// The publication counter shard `index` was pinned at (what a
+    /// validated commit re-checks).
+    pub fn shard_version(&self, index: usize) -> u64 {
+        self.pin.shards[index].0
+    }
+
+    /// The shard an element routes to.
+    pub fn shard_of(&self, value: &T) -> usize {
+        self.pin.partition.shard_of(value)
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.pin.shards.len()
     }
 
     /// Borrow of one shard's frozen trie.
     pub fn shard(&self, index: usize) -> &S {
-        &self.shards[index]
+        &self.pin.shards[index].1
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
+        self.pin.shards.iter().map(|(_, s)| s.len()).sum()
     }
 
     /// True if the snapshot holds no elements.
@@ -317,13 +375,15 @@ where
 
     /// Membership test.
     pub fn contains(&self, value: &T) -> bool {
-        self.shards[self.partition.shard_of(value)].contains(value)
+        self.pin.shards[self.pin.partition.shard_of(value)]
+            .1
+            .contains(value)
     }
 
     /// Iterates all elements, shard by shard.
     pub fn iter(&self) -> SnapshotElems<'_, T, S> {
         SnapshotElems {
-            rest: self.shards.iter(),
+            rest: self.pin.shards.iter(),
             current: None,
             _elem: PhantomData,
         }
@@ -336,7 +396,7 @@ where
     S: SetOps<T> + 'a,
     T: 'a,
 {
-    rest: std::slice::Iter<'a, Arc<S>>,
+    rest: std::slice::Iter<'a, (u64, Arc<S>)>,
     current: Option<S::Elems<'a>>,
     _elem: PhantomData<fn() -> T>,
 }
@@ -354,7 +414,7 @@ where
                     return Some(e);
                 }
             }
-            self.current = Some(self.rest.next()?.iter());
+            self.current = Some(self.rest.next()?.1.iter());
         }
     }
 }
@@ -388,6 +448,20 @@ mod tests {
         for v in 0..2500 {
             assert!(s.contains(&v));
         }
+    }
+
+    #[test]
+    fn validated_apply_roundtrip() {
+        let s: ShardedSet<u32> = ShardedSet::with_shards(4);
+        let base = s.snapshot();
+        assert_eq!(s.apply_validated(&base, &[], [SetEdit::Insert(1)]), Ok(1));
+        // base is now stale for shard_of(1): a second validated write to the
+        // same shard must conflict.
+        let shard = s.shard_of(&1);
+        let err = s
+            .apply_validated(&base, &[shard], [SetEdit::Insert(1)])
+            .unwrap_err();
+        assert_eq!(err.shard, shard);
     }
 
     #[test]

@@ -1,32 +1,34 @@
 //! The shared shard-array machinery behind all three public wrappers.
 //!
-//! [`ShardSet`] owns the `Box<[Shard<C>]>` + [`Partition`] pair and
-//! implements everything that does not depend on collection semantics: key
-//! routing, snapshot acquisition, the group-by-shard batch loop, and the
-//! scoped-thread parallel build/extend drivers. The multimap/map/set
-//! modules stay thin delegations, so the concurrency-critical code exists
-//! exactly once.
+//! [`ShardSet`] owns the [`EpochCell`] + [`Partition`] pair and implements
+//! everything that does not depend on collection semantics: key routing,
+//! epoch pinning, the group-by-shard batch loop (with optional epoch
+//! validation), and the scoped-thread parallel build/extend drivers. The
+//! multimap/map/set modules stay thin delegations, so the
+//! concurrency-critical code exists exactly once.
 
 use std::hash::Hash;
 use std::sync::Arc;
 use std::thread;
 
 use crate::partition::Partition;
-use crate::publish::Shard;
+use crate::publish::{EpochCell, EpochConflict, EpochCore};
 
-/// A partitioned array of published shards (see the module docs).
+/// A partitioned shard array published under one global epoch sequence
+/// (see the module docs and [`crate::publish`]).
 #[derive(Debug)]
 pub(crate) struct ShardSet<C> {
-    shards: Box<[Shard<C>]>,
+    cell: EpochCell<C>,
     partition: Partition,
 }
 
 impl<C> ShardSet<C> {
     /// Builds a shard set from one collection per shard.
     pub(crate) fn new(partition: Partition, parts: impl IntoIterator<Item = C>) -> Self {
-        let shards: Box<[Shard<C>]> = parts.into_iter().map(Shard::new).collect();
-        assert_eq!(shards.len(), partition.count(), "one collection per shard");
-        ShardSet { shards, partition }
+        ShardSet {
+            cell: EpochCell::new(partition, parts),
+            partition,
+        }
     }
 
     /// Builds a shard set by invoking `make` once per shard.
@@ -36,76 +38,133 @@ impl<C> ShardSet<C> {
     }
 
     pub(crate) fn count(&self) -> usize {
-        self.shards.len()
-    }
-
-    pub(crate) fn partition(&self) -> Partition {
-        self.partition
+        self.partition.count()
     }
 
     pub(crate) fn shard_of<K: Hash + ?Sized>(&self, key: &K) -> usize {
         self.partition.shard_of(key)
     }
 
-    /// The publication cell a key routes to.
-    pub(crate) fn shard_for<K: Hash + ?Sized>(&self, key: &K) -> &Shard<C> {
-        &self.shards[self.partition.shard_of(key)]
+    /// Pins the current epoch: one `Arc` clone covering every shard at a
+    /// single publication point (the consistency statement the serving
+    /// engine builds on).
+    pub(crate) fn pin(&self) -> Arc<EpochCore<C>> {
+        self.cell.pin()
     }
 
-    /// Current snapshot of every shard (one `Arc` clone each).
-    pub(crate) fn load_all(&self) -> Box<[Arc<C>]> {
-        self.shards.iter().map(Shard::load).collect()
+    /// Blocks until the epoch advances past `epoch`, returning the new pin
+    /// (the long-poll primitive).
+    pub(crate) fn pin_after(&self, epoch: u64) -> Arc<EpochCore<C>> {
+        self.cell.wait_past(epoch)
     }
 
-    /// Sum of the shard publication counters.
-    pub(crate) fn version(&self) -> u64 {
-        self.shards.iter().map(Shard::version).sum()
+    /// The current snapshot of the shard `key` routes to (point reads).
+    pub(crate) fn load_for<K: Hash + ?Sized>(&self, key: &K) -> Arc<C> {
+        self.cell.load(self.partition.shard_of(key))
     }
 
-    /// Folds a read over every shard's current snapshot (used for the
-    /// aggregate counts).
-    pub(crate) fn sum_loaded(&self, f: impl Fn(&C) -> usize) -> usize {
-        self.shards.iter().map(|s| f(&s.load())).sum()
+    /// The global publication epoch (bumps once per commit).
+    pub(crate) fn epoch_now(&self) -> u64 {
+        self.cell.pin().epoch
+    }
+
+    /// Folds a read over every shard of one pinned epoch (used for the
+    /// aggregate counts; consistent because the pin is).
+    pub(crate) fn sum_pinned(&self, f: impl Fn(&C) -> usize) -> usize {
+        self.pin().shards.iter().map(|(_, c)| f(c)).sum()
+    }
+
+    /// One single-shard read-modify-write: stage a successor for shard
+    /// `index` under its write lock, publish as one epoch.
+    pub(crate) fn update_at<R>(&self, index: usize, f: impl FnOnce(&C) -> (C, R)) -> R {
+        self.cell.update(index, f)
+    }
+
+    /// One single-key read-modify-write: stage a successor for the key's
+    /// shard under its write lock, publish as one epoch.
+    pub(crate) fn update_keyed<K: Hash + ?Sized, R>(
+        &self,
+        key: &K,
+        f: impl FnOnce(&C) -> (C, R),
+    ) -> R {
+        self.update_at(self.partition.shard_of(key), f)
     }
 }
 
-/// A point-in-time capture of every shard: the publication counter and the
-/// frozen snapshot, read as a consistent pair per shard. The counters let
-/// [`ShardSet::diff_since_parallel`] skip shards that have not republished
-/// since the capture without touching their tries at all.
-#[derive(Debug)]
-pub(crate) struct EpochCore<C> {
-    partition: Partition,
-    shards: Box<[(u64, Arc<C>)]>,
-}
+impl<C: Clone> ShardSet<C> {
+    /// One single-key clone-edit-publish (the convenience form of
+    /// [`ShardSet::update_keyed`]).
+    pub(crate) fn update_for<K: Hash + ?Sized, R>(
+        &self,
+        key: &K,
+        edit: impl FnOnce(&mut C) -> R,
+    ) -> R {
+        self.update_keyed(key, |c| {
+            let mut next = c.clone();
+            let out = edit(&mut next);
+            (next, out)
+        })
+    }
 
-impl<C> Clone for EpochCore<C> {
-    fn clone(&self) -> Self {
-        EpochCore {
-            partition: self.partition,
-            shards: self.shards.clone(),
+    /// The batched write path: groups `batch` by shard (preserving input
+    /// order within each shard), stages every group on a shard-local clone
+    /// through `apply`, and publishes all touched shards as **one** epoch —
+    /// a pinned reader observes none or all of the batch. Returns the
+    /// summed per-edit deltas.
+    pub(crate) fn apply_grouped<E>(
+        &self,
+        batch: impl IntoIterator<Item = E>,
+        shard_of: impl Fn(&E) -> usize,
+        apply: impl FnMut(&mut C, E) -> isize,
+    ) -> isize {
+        self.apply_grouped_validated(batch, shard_of, apply, None)
+            .expect("unvalidated commit cannot conflict")
+    }
+
+    /// [`ShardSet::apply_grouped`] with optional optimistic validation:
+    /// when `validate` carries `(base, read_shards)`, the commit succeeds
+    /// only if every touched shard *and* every listed read shard still has
+    /// the per-shard version recorded in `base` — otherwise nothing is
+    /// staged and the conflict is reported for the caller to retry.
+    pub(crate) fn apply_grouped_validated<E>(
+        &self,
+        batch: impl IntoIterator<Item = E>,
+        shard_of: impl Fn(&E) -> usize,
+        mut apply: impl FnMut(&mut C, E) -> isize,
+        validate: Option<(&EpochCore<C>, &[usize])>,
+    ) -> Result<isize, EpochConflict> {
+        let mut groups: Vec<Vec<E>> = (0..self.count()).map(|_| Vec::new()).collect();
+        for edit in batch {
+            groups[shard_of(&edit)].push(edit);
         }
+        let touched: Vec<usize> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let mut groups: Vec<Option<Vec<E>>> = groups.into_iter().map(Some).collect();
+        let deltas = self
+            .cell
+            .update_many(&touched, validate, |index, current| {
+                let mut next = current.clone();
+                let group = groups[index].take().expect("each shard staged once");
+                let d = group
+                    .into_iter()
+                    .map(|e| apply(&mut next, e))
+                    .sum::<isize>();
+                (next, d)
+            })?;
+        Ok(deltas.into_iter().sum())
     }
 }
 
 impl<C> ShardSet<C> {
-    /// Captures the current epoch: each shard's `(version, snapshot)` pair.
-    /// Like `load_all`, this is a consistent cut per shard, not a global
-    /// serialization point.
-    pub(crate) fn epoch(&self) -> EpochCore<C> {
-        EpochCore {
-            partition: self.partition,
-            shards: self.shards.iter().map(Shard::load_versioned).collect(),
-        }
-    }
-}
-
-impl<C: Send + Sync> ShardSet<C> {
-    /// Diffs the current state against a captured epoch, one scoped worker
+    /// Diffs the current state against a pinned epoch, one scoped worker
     /// per shard whose publication counter advanced. Version-unchanged
-    /// shards are skipped without loading or walking their tries; `diff`
-    /// receives `(captured, current)` and its per-shard results come back in
-    /// shard order.
+    /// shards are skipped without walking their tries; `diff` receives
+    /// `(pinned, current)` and its per-shard results come back in shard
+    /// order.
     ///
     /// # Panics
     ///
@@ -115,24 +174,27 @@ impl<C: Send + Sync> ShardSet<C> {
         &self,
         epoch: &EpochCore<C>,
         diff: impl Fn(&C, &C) -> D + Sync,
-    ) -> Vec<D> {
+    ) -> Vec<D>
+    where
+        C: Send + Sync,
+    {
         assert_eq!(
             self.partition, epoch.partition,
             "epoch captured from a shard set with a different partition"
         );
-        let changed: Vec<(Arc<C>, Arc<C>)> = self
+        let now = self.pin();
+        let changed: Vec<(&Arc<C>, &Arc<C>)> = now
             .shards
             .iter()
             .zip(epoch.shards.iter())
-            .filter_map(|(shard, (old_version, old))| {
-                let (version, current) = shard.load_versioned();
-                (version != *old_version).then(|| (Arc::clone(old), current))
+            .filter_map(|((version, current), (old_version, old))| {
+                (version != old_version).then_some((old, current))
             })
             .collect();
         let diff = &diff;
         thread::scope(|scope| {
             let workers: Vec<_> = changed
-                .iter()
+                .into_iter()
                 .map(|(old, current)| scope.spawn(move || diff(old, current)))
                 .collect();
             workers
@@ -144,6 +206,7 @@ impl<C: Send + Sync> ShardSet<C> {
 
     /// Combines two shard sets pairwise into a new one, one scoped worker
     /// per shard pair (the parallel drive behind the sharded set algebra).
+    /// Each operand contributes one pinned epoch.
     ///
     /// # Panics
     ///
@@ -152,22 +215,22 @@ impl<C: Send + Sync> ShardSet<C> {
         &self,
         other: &ShardSet<C>,
         combine: impl Fn(&C, &C) -> C + Sync,
-    ) -> ShardSet<C> {
+    ) -> ShardSet<C>
+    where
+        C: Send + Sync,
+    {
         assert_eq!(
             self.partition, other.partition,
             "sharded algebra requires operands with the same partition"
         );
-        let pairs: Vec<(Arc<C>, Arc<C>)> = self
-            .shards
-            .iter()
-            .zip(other.shards.iter())
-            .map(|(a, b)| (a.load(), b.load()))
-            .collect();
+        let (left, right) = (self.pin(), other.pin());
         let combine = &combine;
         let combined: Vec<C> = thread::scope(|scope| {
-            let workers: Vec<_> = pairs
+            let workers: Vec<_> = left
+                .shards
                 .iter()
-                .map(|(a, b)| scope.spawn(move || combine(a, b)))
+                .zip(right.shards.iter())
+                .map(|((_, a), (_, b))| scope.spawn(move || combine(a, b)))
                 .collect();
             workers
                 .into_iter()
@@ -175,53 +238,6 @@ impl<C: Send + Sync> ShardSet<C> {
                 .collect()
         });
         ShardSet::new(self.partition, combined)
-    }
-}
-
-impl<C: Clone> ShardSet<C> {
-    /// One single-key read-modify-write: clone the key's shard, edit the
-    /// clone, publish.
-    pub(crate) fn update_for<K: Hash + ?Sized, R>(
-        &self,
-        key: &K,
-        edit: impl FnOnce(&mut C) -> R,
-    ) -> R {
-        self.shard_for(key).update(|c| {
-            let mut next = c.clone();
-            let out = edit(&mut next);
-            (next, out)
-        })
-    }
-
-    /// The batched write path: groups `batch` by shard (preserving input
-    /// order within each shard), stages every group on a shard-local clone
-    /// through `apply`, and publishes each touched shard once. Returns the
-    /// summed per-edit deltas.
-    pub(crate) fn apply_grouped<E>(
-        &self,
-        batch: impl IntoIterator<Item = E>,
-        shard_of: impl Fn(&E) -> usize,
-        mut apply: impl FnMut(&mut C, E) -> isize,
-    ) -> isize {
-        let mut groups: Vec<Vec<E>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for edit in batch {
-            groups[shard_of(&edit)].push(edit);
-        }
-        let mut delta = 0;
-        for (shard, group) in self.shards.iter().zip(groups) {
-            if group.is_empty() {
-                continue;
-            }
-            delta += shard.update(|c| {
-                let mut next = c.clone();
-                let d = group
-                    .into_iter()
-                    .map(|e| apply(&mut next, e))
-                    .sum::<isize>();
-                (next, d)
-            });
-        }
-        delta
     }
 }
 
@@ -261,22 +277,25 @@ impl<C: Send> ShardSet<C> {
 
 impl<C: Send + Sync> ShardSet<C> {
     /// The parallel bulk-extend driver: one scoped worker per touched
-    /// shard, each staging through `extend` and publishing. Returns the
-    /// summed per-shard results.
+    /// shard, each staging through `extend` (trie work off the publication
+    /// lock) and committing its shard as its own epoch. Returns the summed
+    /// per-shard results.
     pub(crate) fn extend_parallel<I: Send>(
         &self,
         parts: Vec<Vec<I>>,
         extend: impl Fn(&C, Vec<I>) -> (C, usize) + Sync,
     ) -> usize {
-        assert_eq!(parts.len(), self.shards.len(), "one partition per shard");
+        assert_eq!(parts.len(), self.count(), "one partition per shard");
         let extend = &extend;
         thread::scope(|scope| {
-            let workers: Vec<_> = self
-                .shards
-                .iter()
-                .zip(parts)
+            let workers: Vec<_> = parts
+                .into_iter()
+                .enumerate()
                 .filter(|(_, part)| !part.is_empty())
-                .map(|(shard, part)| scope.spawn(move || shard.update(|c| extend(c, part))))
+                .map(|(index, part)| {
+                    let cell = &self.cell;
+                    scope.spawn(move || cell.update(index, |c| extend(c, part)))
+                })
                 .collect();
             workers
                 .into_iter()
@@ -297,13 +316,13 @@ mod tests {
         let parts = vec![vec![1u32, 2, 3], Vec::new(), Vec::new(), Vec::new()];
         let set: ShardSet<Vec<u32>> = ShardSet::build_parallel(Partition::new(4), parts, |p| p);
         assert_eq!(set.count(), 4);
-        let snaps = set.load_all();
-        assert_eq!(snaps[0].len(), 3);
-        assert!(snaps[1..].iter().all(|s| s.is_empty()));
+        let pin = set.pin();
+        assert_eq!(pin.shards[0].1.len(), 3);
+        assert!(pin.shards[1..].iter().all(|(_, s)| s.is_empty()));
     }
 
     #[test]
-    fn apply_grouped_routes_and_sums() {
+    fn apply_grouped_routes_sums_and_publishes_one_epoch() {
         let set: ShardSet<Vec<u32>> = ShardSet::filled(Partition::new(2), Vec::new);
         let delta = set.apply_grouped(
             [0usize, 1, 1, 0],
@@ -314,10 +333,53 @@ mod tests {
             },
         );
         assert_eq!(delta, 4);
-        let snaps = set.load_all();
-        assert_eq!(snaps[0].len(), 2);
-        assert_eq!(snaps[1].len(), 2);
+        let pin = set.pin();
+        assert_eq!(pin.epoch, 1, "two shards touched, one epoch");
+        assert_eq!(pin.shards[0].1.len(), 2);
         // Order within a shard preserves input order.
-        assert_eq!(&*snaps[1], &vec![1, 1]);
+        assert_eq!(&*pin.shards[1].1, &vec![1, 1]);
+    }
+
+    #[test]
+    fn validated_apply_conflicts_on_read_shards_too() {
+        let set: ShardSet<Vec<u32>> = ShardSet::filled(Partition::new(2), Vec::new);
+        let base = set.pin();
+        // Concurrent writer republishes shard 0.
+        set.apply_grouped(
+            [0usize],
+            |&t| t,
+            |s, _| {
+                s.push(9);
+                1
+            },
+        );
+        // Writing only shard 1, but having read shard 0 at the base pin:
+        // the commit must conflict.
+        let err = set
+            .apply_grouped_validated(
+                [1usize],
+                |&t| t,
+                |s, _| {
+                    s.push(1);
+                    1
+                },
+                Some((&base, &[0])),
+            )
+            .unwrap_err();
+        assert_eq!(err.shard, 0);
+        // Against a fresh pin the same commit goes through.
+        let fresh = set.pin();
+        let delta = set
+            .apply_grouped_validated(
+                [1usize],
+                |&t| t,
+                |s, _| {
+                    s.push(1);
+                    1
+                },
+                Some((&fresh, &[0])),
+            )
+            .unwrap();
+        assert_eq!(delta, 1);
     }
 }

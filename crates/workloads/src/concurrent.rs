@@ -10,7 +10,12 @@
 //! * **mixed read/write** — a base relation plus writer batch scripts
 //!   ([`MultiMapEdit`] sequences skewed toward inserts) and a read probe
 //!   sequence mixing present and absent keys, modelling a query-heavy
-//!   service taking a steady trickle of updates.
+//!   service taking a steady trickle of updates;
+//! * **serving traffic** — request batches for the serving engine:
+//!   Zipf-skewed key popularity, hot-key storm phases, and fan-out
+//!   timeline reads ([`serving_workload`]). Probes are expressed in the
+//!   neutral [`ReadProbe`] vocabulary so this crate stays independent of
+//!   the engine; the bench maps them onto its typed ops.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +94,207 @@ pub fn concurrent_workload(
     }
 }
 
+/// A Zipf(s) sampler over ranks `0..n`: rank `r` is drawn with probability
+/// proportional to `1 / (r + 1)^s`. Built once (O(n) table), sampled by
+/// binary search over the precomputed CDF (O(log n) per draw) — fast
+/// enough to generate millions of probes and exactly reproducible per
+/// seed, unlike rejection-based samplers.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; `s ≈ 1` is the classic web/social popularity curve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = rng.gen::<f64>();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// How request keys are drawn in a [`serving_workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyMix {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-skewed popularity with the given exponent (rank 0 hottest).
+    Zipf {
+        /// The Zipf exponent (`s ≈ 1` for web-like skew).
+        exponent: f64,
+    },
+    /// Zipf background traffic plus hot-key storms: during storm batches
+    /// (the middle third of the request timeline), `storm_share` of probes
+    /// all target the `hot_keys` most popular keys — the "celebrity post"
+    /// scenario that concentrates load on a handful of shards.
+    Storm {
+        /// Background Zipf exponent.
+        exponent: f64,
+        /// How many of the hottest keys the storm hammers.
+        hot_keys: usize,
+        /// Probability a storm-phase probe targets a hot key.
+        storm_share: f64,
+    },
+}
+
+/// One serving read probe, in engine-neutral vocabulary (the bench maps
+/// these onto the serving crate's typed ops).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadProbe {
+    /// Fetch all values of one key (a timeline read).
+    ValuesOf(u32),
+    /// Existence probe.
+    ContainsKey(u32),
+    /// Fetch the values of many keys at once (a feed aggregation); the
+    /// whole fan-out must be answered from one consistent view.
+    FanOut(Vec<u32>),
+}
+
+/// Shape parameters for a [`serving_workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingProfile {
+    /// Distinct keys in the base relation.
+    pub keys: usize,
+    /// Number of read request batches.
+    pub read_batches: usize,
+    /// Probes per read batch.
+    pub reads_per_batch: usize,
+    /// Number of writer batches.
+    pub write_batches: usize,
+    /// Edits per writer batch.
+    pub writes_per_batch: usize,
+    /// Key popularity model for reads *and* writes.
+    pub mix: KeyMix,
+    /// Every `fanout_every`-th probe is a fan-out (0 disables them).
+    pub fanout_every: usize,
+    /// Keys per fan-out probe.
+    pub fanout_width: usize,
+}
+
+/// A generated serving scenario: bulk-load `base`, then drive
+/// `read_batches` and `write_batches` at the engine concurrently.
+#[derive(Debug, Clone)]
+pub struct ServingWorkload {
+    /// The tuples the relation is bulk-loaded with before traffic starts.
+    pub base: Vec<(u32, u32)>,
+    /// Request batches for the read path, in timeline order.
+    pub read_batches: Vec<Vec<ReadProbe>>,
+    /// Writer batches for the admission path, in timeline order.
+    pub write_batches: Vec<Vec<MultiMapEdit<u32, u32>>>,
+}
+
+/// Generates serving traffic over a `profile.keys`-key base relation,
+/// deterministic per `seed`.
+///
+/// Popularity ranks are assigned to a seed-dependent shuffle of the key
+/// set, so hot keys land on different (and multiple) shards run to run —
+/// matching real deployments, where popularity is uncorrelated with hash
+/// placement. Under [`KeyMix::Storm`], batches in the middle third of the
+/// timeline are storm batches; the rest draw from the background mix.
+pub fn serving_workload(profile: &ServingProfile, seed: u64) -> ServingWorkload {
+    let w = multimap_workload(profile.keys, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e41_11f0);
+
+    // Rank -> key: shuffle so popularity is uncorrelated with key value.
+    let mut ranked = w.keys.clone();
+    for i in (1..ranked.len()).rev() {
+        ranked.swap(i, rng.gen_range(0..=i));
+    }
+
+    let (background, storm): (Zipf, Option<(usize, f64)>) = match profile.mix {
+        KeyMix::Uniform => (Zipf::new(ranked.len(), 0.0), None),
+        KeyMix::Zipf { exponent } => (Zipf::new(ranked.len(), exponent), None),
+        KeyMix::Storm {
+            exponent,
+            hot_keys,
+            storm_share,
+        } => (
+            Zipf::new(ranked.len(), exponent),
+            Some((hot_keys.clamp(1, ranked.len()), storm_share)),
+        ),
+    };
+    let storm_window = (profile.read_batches / 3)..(2 * profile.read_batches / 3);
+
+    let draw_key = |rng: &mut StdRng, stormy: bool| -> u32 {
+        if let (true, Some((hot, share))) = (stormy, storm) {
+            if rng.gen::<f64>() < share {
+                return ranked[rng.gen_range(0..hot)];
+            }
+        }
+        ranked[background.sample(rng)]
+    };
+
+    let mut probe_no = 0usize;
+    let read_batches: Vec<Vec<ReadProbe>> = (0..profile.read_batches)
+        .map(|b| {
+            let stormy = storm_window.contains(&b);
+            (0..profile.reads_per_batch)
+                .map(|_| {
+                    probe_no += 1;
+                    if profile.fanout_every > 0 && probe_no.is_multiple_of(profile.fanout_every) {
+                        ReadProbe::FanOut(
+                            (0..profile.fanout_width)
+                                .map(|_| draw_key(&mut rng, stormy))
+                                .collect(),
+                        )
+                    } else if probe_no % 5 == 4 {
+                        ReadProbe::ContainsKey(draw_key(&mut rng, stormy))
+                    } else {
+                        ReadProbe::ValuesOf(draw_key(&mut rng, stormy))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let storm_writes = (profile.write_batches / 3)..(2 * profile.write_batches / 3);
+    let write_batches: Vec<Vec<MultiMapEdit<u32, u32>>> = (0..profile.write_batches)
+        .map(|b| {
+            let stormy = storm_writes.contains(&b);
+            (0..profile.writes_per_batch)
+                .map(|_| {
+                    let k = draw_key(&mut rng, stormy);
+                    let roll = rng.gen::<f64>();
+                    if roll < INSERT_SHARE {
+                        MultiMapEdit::Insert(k, rng.gen())
+                    } else if roll < INSERT_SHARE + 0.25 {
+                        let (k, v) = w.tuples[rng.gen_range(0..w.tuples.len())];
+                        MultiMapEdit::RemoveTuple(k, v)
+                    } else {
+                        MultiMapEdit::RemoveKey(k)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    ServingWorkload {
+        base: w.tuples,
+        read_batches,
+        write_batches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +342,120 @@ mod tests {
             }
         }
         assert!(ins > rt && rt > 0 && rk > 0, "{ins}/{rt}/{rk}");
+    }
+
+    fn probe_keys(batch: &[ReadProbe]) -> Vec<u32> {
+        batch
+            .iter()
+            .flat_map(|p| match p {
+                ReadProbe::ValuesOf(k) | ReadProbe::ContainsKey(k) => vec![*k],
+                ReadProbe::FanOut(ks) => ks.clone(),
+            })
+            .collect()
+    }
+
+    fn small_profile(mix: KeyMix) -> ServingProfile {
+        ServingProfile {
+            keys: 400,
+            read_batches: 30,
+            reads_per_batch: 64,
+            write_batches: 9,
+            writes_per_batch: 32,
+            mix,
+            fanout_every: 10,
+            fanout_width: 8,
+        }
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_on_low_ranks() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let draws = 20_000;
+        let hot = (0..draws).filter(|_| z.sample(&mut rng) < 100).count();
+        // Top 1% of ranks carries H(100)/H(10000) ≈ 53% of the mass.
+        let share = hot as f64 / draws as f64;
+        assert!((0.45..0.60).contains(&share), "hot share {share}");
+        // Uniform (s = 0) gives the same 1% about 1%.
+        let u = Zipf::new(10_000, 0.0);
+        let hot = (0..draws).filter(|_| u.sample(&mut rng) < 100).count();
+        assert!((hot as f64 / draws as f64) < 0.05);
+    }
+
+    #[test]
+    fn serving_workload_is_deterministic_and_shaped() {
+        let p = small_profile(KeyMix::Zipf { exponent: 1.0 });
+        let a = serving_workload(&p, 5);
+        let b = serving_workload(&p, 5);
+        assert_eq!(a.read_batches, b.read_batches);
+        assert_eq!(a.write_batches, b.write_batches);
+        assert_eq!(a.base, b.base);
+        assert_ne!(
+            a.read_batches,
+            serving_workload(&p, 6).read_batches,
+            "seed must matter"
+        );
+        assert_eq!(a.read_batches.len(), p.read_batches);
+        assert!(a.read_batches.iter().all(|b| b.len() == p.reads_per_batch));
+        assert_eq!(a.write_batches.len(), p.write_batches);
+        let fanouts = a
+            .read_batches
+            .iter()
+            .flatten()
+            .filter(|p| matches!(p, ReadProbe::FanOut(_)))
+            .count();
+        assert!(fanouts > 0, "fan-out probes present");
+    }
+
+    #[test]
+    fn storm_batches_concentrate_on_hot_keys() {
+        let p = small_profile(KeyMix::Storm {
+            exponent: 0.0, // uniform background isolates the storm effect
+            hot_keys: 4,
+            storm_share: 0.9,
+        });
+        let w = serving_workload(&p, 17);
+        // Hottest keys = the 4 most frequent keys inside the storm window.
+        let storm_keys: Vec<u32> = (10..20)
+            .flat_map(|b| probe_keys(&w.read_batches[b]))
+            .collect();
+        let calm_keys: Vec<u32> = (0..10)
+            .flat_map(|b| probe_keys(&w.read_batches[b]))
+            .collect();
+        let mut freq = std::collections::HashMap::new();
+        for k in &storm_keys {
+            *freq.entry(*k).or_insert(0usize) += 1;
+        }
+        let mut counts: Vec<_> = freq.into_iter().collect();
+        counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let hot: HashSet<u32> = counts.iter().take(4).map(|&(k, _)| k).collect();
+        let storm_hot = storm_keys.iter().filter(|k| hot.contains(k)).count();
+        let calm_hot = calm_keys.iter().filter(|k| hot.contains(k)).count();
+        let storm_share = storm_hot as f64 / storm_keys.len() as f64;
+        let calm_share = calm_hot as f64 / calm_keys.len() as f64;
+        assert!(storm_share > 0.7, "storm share {storm_share}");
+        assert!(calm_share < 0.2, "calm share {calm_share}");
+    }
+
+    #[test]
+    fn serving_write_batches_follow_the_mix() {
+        let p = small_profile(KeyMix::Zipf { exponent: 1.1 });
+        let w = serving_workload(&p, 23);
+        let base_keys: HashSet<u32> = w.base.iter().map(|(k, _)| *k).collect();
+        let mut ins = 0;
+        for e in w.write_batches.iter().flatten() {
+            match e {
+                MultiMapEdit::Insert(k, _) => {
+                    assert!(base_keys.contains(k));
+                    ins += 1;
+                }
+                MultiMapEdit::RemoveTuple(k, _) | MultiMapEdit::RemoveKey(k) => {
+                    assert!(base_keys.contains(k));
+                }
+            }
+        }
+        let total = p.write_batches * p.writes_per_batch;
+        assert!(ins * 10 > total * 4, "inserts dominate: {ins}/{total}");
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub use champ;
 pub use hamt;
 pub use heapmodel;
 pub use idiomatic;
+pub use serving;
 pub use sharded;
 pub use trie_common;
 pub use workloads;

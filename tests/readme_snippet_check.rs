@@ -93,3 +93,39 @@ fn readme_quick_start() {
     t.insert_all_mut([("parser", "lexer"), ("lexer", "unicode")]);
     assert_eq!(t.build().key_count(), 3);
 }
+
+#[test]
+fn readme_serving_engine() {
+    use std::sync::Arc;
+
+    use axiom_repro::serving::{Engine, MapRead, MapReply};
+    use axiom_repro::sharded::ShardedMap;
+    use axiom_repro::trie_common::ops::MapEdit;
+
+    let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(8));
+    let engine = Engine::new(Arc::clone(&store));
+
+    // Writes go through admission; the ack reports their visibility epoch.
+    let visible = engine
+        .stage(vec![MapEdit::Insert(1, 10), MapEdit::Insert(2, 20)])
+        .wait();
+
+    // A read batch is answered from one epoch — never a torn view.
+    let reply = engine.submit(vec![MapRead::Get(1), MapRead::Len]).wait();
+    assert!(reply.epoch >= visible);
+    assert_eq!(reply.replies[0], MapReply::Value(Some(10)));
+    assert_eq!(reply.replies[1], MapReply::Count(2));
+
+    // Optimistic transaction: reads are validated at commit, retried on
+    // conflict, so concurrent increments never lose updates.
+    let out = engine
+        .transact(|txn| {
+            let MapReply::Value(v) = txn.read(&MapRead::Get(1)) else {
+                unreachable!()
+            };
+            txn.write(MapEdit::Insert(1, v.unwrap_or(0) + 1));
+        })
+        .unwrap();
+    assert_eq!(out.attempts, 1);
+    assert_eq!(store.get_cloned(&1), Some(11));
+}

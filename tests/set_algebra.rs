@@ -469,17 +469,3 @@ fn set_operators_are_the_algebra() {
     assert_eq!(&a & &b, a.intersect(&b));
     assert_eq!(&a - &b, a.difference(&b));
 }
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_intersection_alias_still_works() {
-    let a: AxiomSet<u32> = (0..10).collect();
-    let b: AxiomSet<u32> = (5..15).collect();
-    assert_eq!(a.intersection(&b), a.intersect(&b));
-    let am: AxiomMap<u32, u32> = (0..10).map(|k| (k, k)).collect();
-    let bm: AxiomMap<u32, u32> = (5..15).map(|k| (k, k)).collect();
-    assert_eq!(
-        MapMergeOps::intersection(&am, &bm),
-        MapMergeOps::intersect(&am, &bm)
-    );
-}
