@@ -1,8 +1,10 @@
 //! Machine-readable serving-engine benchmark (`BENCH_serving.json` at the
 //! repository root): sustained throughput and request-latency percentiles
 //! for the epoch-pinned engine under uniform, Zipf-skewed, and hot-key
-//! storm traffic, plus the engine's overhead over raw snapshot reads and
-//! the optimistic-transaction conflict rate.
+//! storm traffic, plus an overload scenario against capacity-bounded
+//! lanes (shed rate and read tail latency under an unpaced `try_stage`
+//! storm), the engine's overhead over raw snapshot reads, and the
+//! optimistic-transaction conflict rate.
 //!
 //! Latency is reported per *request* (one submitted batch of probes,
 //! answered against one pinned epoch by the worker pool) as p50/p99/p999
@@ -139,7 +141,7 @@ fn bench_mix(name: &'static str, mix: KeyMix, keys: usize, min_secs: f64) -> Mix
                 while !done.load(Ordering::Relaxed) {
                     let ops = requests[i % requests.len()].clone();
                     let t = Instant::now();
-                    let reply = engine.submit(ops).wait();
+                    let reply = engine.submit(ops).wait().expect("no read worker faulted");
                     local.push(t.elapsed().as_nanos() as u64);
                     std::hint::black_box(reply.replies.len());
                     i += SUBMITTERS;
@@ -151,7 +153,10 @@ fn bench_mix(name: &'static str, mix: KeyMix, keys: usize, min_secs: f64) -> Mix
         // the next so the queue depth stays bounded.
         while start.elapsed().as_secs_f64() < min_secs {
             for batch in &w.write_batches {
-                engine.stage(batch.iter().cloned()).wait();
+                engine
+                    .stage(batch.iter().cloned())
+                    .wait()
+                    .expect("no applier faulted");
                 edits.fetch_add(batch.len(), Ordering::Relaxed);
             }
         }
@@ -175,6 +180,123 @@ fn bench_mix(name: &'static str, mix: KeyMix, keys: usize, min_secs: f64) -> Mix
         p99_us: percentile(&lat, 0.99),
         p999_us: percentile(&lat, 0.999),
     }
+}
+
+/// Admission under deliberate overload: `OVERLOAD_WRITERS` threads storm a
+/// capacity-bounded engine with `try_stage` and no pacing — offering well
+/// beyond what the appliers drain — while the usual submitters keep
+/// reading. Reports the shed rate (sheds over offered batches) and the
+/// read tail latency the bounded lanes preserve under that pressure: the
+/// graceful-degradation numbers from the failure model (`DESIGN.md` §9).
+fn bench_overload(keys: usize, min_secs: f64) -> String {
+    const LANE_CAPACITY: usize = 2;
+    const OVERLOAD_WRITERS: usize = 4;
+    let profile = ServingProfile {
+        keys,
+        read_batches: 256,
+        reads_per_batch: PROBES_PER_REQUEST,
+        write_batches: 64,
+        writes_per_batch: 32,
+        mix: KeyMix::Zipf { exponent: 1.0 },
+        fanout_every: 16,
+        fanout_width: 8,
+    };
+    let w = serving_workload(&profile, SEED);
+    let requests: Vec<Vec<MultiMapRead<u32, u32>>> = w
+        .read_batches
+        .iter()
+        .map(|b| b.iter().map(to_op).collect())
+        .collect();
+
+    let store: Arc<Store> = Arc::new(ShardedMultiMap::build_parallel(
+        SHARDS,
+        w.base.iter().copied(),
+    ));
+    let engine = Engine::with_config(
+        Arc::clone(&store),
+        EngineConfig {
+            lane_capacity: Some(LANE_CAPACITY),
+            ..EngineConfig::default()
+        },
+    );
+
+    let done = AtomicBool::new(false);
+    let offered = AtomicUsize::new(0);
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for sub in 0..SUBMITTERS {
+            let engine = &engine;
+            let requests = &requests;
+            let done = &done;
+            let samples = &samples;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = sub;
+                while !done.load(Ordering::Relaxed) {
+                    let ops = requests[i % requests.len()].clone();
+                    let t = Instant::now();
+                    let reply = engine.submit(ops).wait().expect("no read worker faulted");
+                    local.push(t.elapsed().as_nanos() as u64);
+                    std::hint::black_box(reply.replies.len());
+                    i += SUBMITTERS;
+                }
+                samples.lock().unwrap().extend(local);
+            });
+        }
+        for wtr in 0..OVERLOAD_WRITERS {
+            let engine = &engine;
+            let w = &w;
+            let done = &done;
+            let offered = &offered;
+            scope.spawn(move || {
+                let mut pending = Vec::new();
+                let mut i = wtr;
+                while !done.load(Ordering::Relaxed) {
+                    let batch = w.write_batches[i % w.write_batches.len()].clone();
+                    offered.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(t) = engine.try_stage(batch) {
+                        pending.push(t);
+                        // Ack in bulk so pending tickets stay bounded
+                        // without pacing the offered load.
+                        if pending.len() >= 64 {
+                            for t in pending.drain(..) {
+                                t.wait().expect("no applier faulted");
+                            }
+                        }
+                    }
+                    i += OVERLOAD_WRITERS;
+                }
+                for t in pending {
+                    t.wait().expect("no applier faulted");
+                }
+            });
+        }
+        while start.elapsed().as_secs_f64() < min_secs {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let stats = engine.stats();
+    let offered = offered.load(Ordering::Relaxed) as u64;
+    let shed = stats.shed_writes;
+    let admitted = offered.saturating_sub(shed);
+    let shed_rate = shed as f64 / offered.max(1) as f64;
+    let mut lat = samples.into_inner().unwrap();
+    lat.sort_unstable();
+    let (p50, p99) = (percentile(&lat, 0.50), percentile(&lat, 0.99));
+    eprintln!(
+        "overload: {offered} batches offered, {admitted} admitted, shed rate {shed_rate:.3}, \
+         read p50 {p50:.0}µs p99 {p99:.0}µs"
+    );
+    format!(
+        "    {{\"kind\": \"overload\", \"keys\": {keys}, \"shards\": {SHARDS}, \
+         \"lane_capacity\": {LANE_CAPACITY}, \"writers\": {OVERLOAD_WRITERS}, \
+         \"offered_batches\": {offered}, \"admitted_batches\": {admitted}, \
+         \"shed_batches\": {shed}, \"shed_rate\": {shed_rate:.4}, \
+         \"read_p50_us\": {p50:.1}, \"read_p99_us\": {p99:.1}}}"
+    )
 }
 
 /// The engine's constant factor over the critical path: answering the same
@@ -360,13 +482,15 @@ fn main() {
         );
         mix_rows.push(row);
     }
+    eprintln!("overload at {keys} keys ({SUBMITTERS} submitters + 4 storm writers)");
+    let overload_row = bench_overload(keys, min_secs);
     let overhead_row = bench_overhead(keys, reps);
     let txn_row = bench_txn(keys, min_secs);
 
     let body: Vec<String> = mix_rows
         .iter()
         .map(MixRow::json)
-        .chain([overhead_row, txn_row])
+        .chain([overload_row, overhead_row, txn_row])
         .collect();
     let json = format!(
         "{{\n  \"schema\": \"axiom-serving-v1\",\n  \"profile\": \"{}\",\n  \"seed\": {},\n  \

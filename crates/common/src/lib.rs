@@ -18,7 +18,11 @@
 //!   owned in-place families) shared by the CHAMP/HAMT node encodings;
 //! * [`snapshot`] — the versioned binary snapshot codec
 //!   (`SnapshotWrite`/`SnapshotRead`) every collection and the sharded
-//!   layer persist through.
+//!   layer persist through;
+//! * [`sync`] — poison-recovering lock helpers the serving stack uses so
+//!   one panicked worker never wedges the process;
+//! * [`faults`] — deterministic fault-injection sites (registry compiled
+//!   only under the `fault-injection` feature).
 //!
 //! [HAMT]: https://en.wikipedia.org/wiki/Hash_array_mapped_trie
 //! [CHAMP]: https://doi.org/10.1145/2814270.2814312
@@ -42,11 +46,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bits;
+pub mod faults;
 pub mod hash;
 pub mod iter;
 pub mod ops;
 pub mod slices;
 pub mod snapshot;
+pub mod sync;
 
 pub use bits::{bit_pos, index_in, mask, BITS_PER_LEVEL, FANOUT, HASH_BITS, LEVEL_MASK};
 pub use hash::hash32;

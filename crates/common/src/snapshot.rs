@@ -15,18 +15,25 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"AXSN"
-//! 4       2     format version (little-endian u16, currently 1)
+//! 4       2     format version (little-endian u16, currently 2)
 //! 6       1     kind   (1 = set, 2 = map, 3 = multi-map)
 //! 7       1     reserved (0)
 //! 8       4     shard count N (little-endian u32; 1 for plain collections)
-//! 12      16·N  shard table: per shard, item count u64 + payload bytes u64
-//! 12+16N  ...   the N shard payloads, concatenated in table order
+//! 12      24·N  shard table: per shard, item count u64 + payload bytes u64
+//!               + FNV-1a-64 payload checksum u64
+//! 12+24N  ...   the N shard payloads, concatenated in table order
 //! ```
 //!
+//! Version-1 frames — 16-byte table entries with no checksum column —
+//! still parse (the checksum verification is simply skipped), so
+//! pre-checksum snapshots remain restorable. Writers always emit the
+//! current version.
+//!
 //! Every length is validated against the actual buffer before any element
-//! is decoded ([`inspect`] performs exactly this validation), all
-//! arithmetic is checked, and nothing is preallocated from attacker-chosen
-//! counts — corrupt input yields a [`SnapshotError`], never a panic or an
+//! is decoded ([`inspect`] performs exactly this validation), each shard
+//! payload is checksummed against its table entry, all arithmetic is
+//! checked, and nothing is preallocated from attacker-chosen counts —
+//! corrupt input yields a [`SnapshotError`], never a panic or an
 //! allocation spike.
 //!
 //! # Payload encoding
@@ -50,14 +57,32 @@ use crate::ops::{Builder, TransientOps};
 /// First four bytes of every snapshot.
 pub const MAGIC: [u8; 4] = *b"AXSN";
 
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version. Version 2 added the per-shard payload
+/// checksum column to the shard table; version-1 frames still parse.
+pub const VERSION: u16 = 2;
 
 /// Size of the fixed header that precedes the shard table.
 pub const HEADER_BYTES: usize = 12;
 
-/// Bytes per shard-table entry (item count + payload length).
-pub const SHARD_ENTRY_BYTES: usize = 16;
+/// Bytes per shard-table entry in the current format (item count +
+/// payload length + payload checksum).
+pub const SHARD_ENTRY_BYTES: usize = 24;
+
+/// Bytes per shard-table entry in version-1 frames (no checksum column).
+pub const SHARD_ENTRY_BYTES_V1: usize = 16;
+
+/// The FNV-1a 64-bit hash used as the per-shard payload checksum.
+///
+/// Not cryptographic — it exists to catch torn writes and bit rot, and a
+/// single-bit flip anywhere in a payload always changes it.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// The collection shape a snapshot holds. Sharded wrappers reuse the
 /// element kind (a sharded multi-map writes [`Kind::MultiMap`] with more
@@ -127,9 +152,25 @@ pub enum SnapshotError {
         /// How many bytes were left over.
         left: usize,
     },
+    /// A shard payload does not match its shard-table checksum (torn
+    /// write, bit rot, or tampering). Only version ≥ 2 frames carry
+    /// checksums.
+    ChecksumMismatch {
+        /// Which shard section.
+        shard: usize,
+        /// The checksum stored in the shard table.
+        stored: u64,
+        /// The checksum computed over the actual payload bytes.
+        computed: u64,
+    },
     /// An element failed to encode or decode (bad tag, invalid UTF-8,
     /// value out of range for the target type, …).
     Codec(String),
+    /// A parallel snapshot worker thread panicked; the save or restore
+    /// was abandoned (nothing was published or partially written).
+    WorkerPanicked,
+    /// Reading or writing the snapshot file failed.
+    Io(String),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -150,7 +191,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (this build reads {VERSION})"
+                    "unsupported snapshot version {v} (this build reads up to {VERSION})"
                 )
             }
             SnapshotError::UnknownKind(byte) => write!(f, "unknown collection kind {byte}"),
@@ -168,7 +209,20 @@ impl std::fmt::Display for SnapshotError {
                     "shard {shard} payload has {left} bytes past its declared items"
                 )
             }
+            SnapshotError::ChecksumMismatch {
+                shard,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "shard {shard} payload checksum mismatch: table says {stored:#018x}, \
+                 payload hashes to {computed:#018x}"
+            ),
             SnapshotError::Codec(msg) => write!(f, "element codec: {msg}"),
+            SnapshotError::WorkerPanicked => {
+                f.write_str("a snapshot worker thread panicked; the operation was abandoned")
+            }
+            SnapshotError::Io(msg) => write!(f, "snapshot i/o: {msg}"),
         }
     }
 }
@@ -201,6 +255,13 @@ pub trait SnapshotWrite {
         self.write_snapshot(&mut out)?;
         Ok(out)
     }
+
+    /// Atomically writes a snapshot of `self` to `path` via
+    /// [`save_atomic`]: a crash mid-save leaves either the previous file
+    /// or the new one, never a torn mixture.
+    fn save_to_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        save_atomic(path.as_ref(), &self.snapshot_bytes()?)
+    }
 }
 
 /// A collection that can rebuild itself from the snapshot format.
@@ -212,6 +273,61 @@ pub trait SnapshotWrite {
 pub trait SnapshotRead: Sized {
     /// Validates `bytes` and rebuilds the collection.
     fn read_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError>;
+
+    /// Reads a snapshot file and rebuilds the collection from it.
+    fn load_from_path(path: impl AsRef<std::path::Path>) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::read_snapshot(&bytes)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the data goes to a unique
+/// temporary sibling first, is `fsync`ed, and only then renamed over
+/// `path` (with a best-effort directory sync so the rename itself is
+/// durable). A crash at any point leaves either the old file or the new
+/// one — never a torn mixture — and the temporary is cleaned up on error.
+pub fn save_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let io_err = |e: std::io::Error| SnapshotError::Io(e.to_string());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| SnapshotError::Io(format!("save path {path:?} has no file name")))?;
+    // pid + process-wide counter keeps concurrent savers (and crashed
+    // predecessors) from colliding on the temporary name.
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    );
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp_path = match dir {
+        Some(dir) => dir.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp_path).map_err(io_err)?;
+        file.write_all(bytes).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+        drop(file);
+        std::fs::rename(&tmp_path, path).map_err(io_err)?;
+        if let Some(dir) = dir {
+            // Directory sync is best-effort: not all platforms allow
+            // opening a directory for sync, and the rename already
+            // guarantees atomicity — this only hardens durability.
+            if let Ok(dir_file) = std::fs::File::open(dir) {
+                let _ = dir_file.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
 }
 
 // ---------------------------------------------------------------- framing
@@ -254,6 +370,7 @@ pub fn write_frame(
     for section in sections {
         out.extend_from_slice(&section.count.to_le_bytes());
         out.extend_from_slice(&(section.bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&section.bytes).to_le_bytes());
     }
     for section in sections {
         out.extend_from_slice(&section.bytes);
@@ -302,24 +419,34 @@ impl<'a> Frame<'a> {
             ]));
         }
         let version = u16::from_le_bytes(reader.take(2)?.try_into().expect("2 bytes"));
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
+        // Version 1 tables have no checksum column; its payloads parse
+        // unverified (the column simply did not exist yet).
+        let has_checksums = version >= 2;
         let kind = Kind::from_u8(reader.u8()?);
         let _reserved = reader.u8()?;
         let kind = kind?;
         let shard_count = u32::from_le_bytes(reader.take(4)?.try_into().expect("4 bytes"));
         // Table entries are read (not preallocated) one by one, so a corrupt
-        // shard count costs at most one failed 16-byte read.
+        // shard count costs at most one failed entry-sized read.
         let mut table = Vec::new();
         for _ in 0..shard_count {
             let count = u64::from_le_bytes(reader.take(8)?.try_into().expect("8 bytes"));
             let len = u64::from_le_bytes(reader.take(8)?.try_into().expect("8 bytes"));
-            table.push((count, len));
+            let checksum = if has_checksums {
+                Some(u64::from_le_bytes(
+                    reader.take(8)?.try_into().expect("8 bytes"),
+                ))
+            } else {
+                None
+            };
+            table.push((count, len, checksum));
         }
         let declared = table
             .iter()
-            .try_fold(0u64, |sum, (_, len)| sum.checked_add(*len))
+            .try_fold(0u64, |sum, (_, len, _)| sum.checked_add(*len))
             .ok_or(SnapshotError::LengthOverflow)?;
         if declared != reader.remaining() as u64 {
             return Err(SnapshotError::SectionSizeMismatch {
@@ -328,12 +455,23 @@ impl<'a> Frame<'a> {
             });
         }
         let mut sections = Vec::with_capacity(table.len());
-        for (index, (count, len)) in table.into_iter().enumerate() {
+        for (index, (count, len, checksum)) in table.into_iter().enumerate() {
             let len = usize::try_from(len).map_err(|_| SnapshotError::LengthOverflow)?;
+            let payload = reader.take(len)?;
+            if let Some(stored) = checksum {
+                let computed = fnv1a64(payload);
+                if stored != computed {
+                    return Err(SnapshotError::ChecksumMismatch {
+                        shard: index,
+                        stored,
+                        computed,
+                    });
+                }
+            }
             sections.push(FrameSection {
                 index,
                 count,
-                payload: reader.take(len)?,
+                payload,
             });
         }
         Ok(Frame { kind, sections })
@@ -1030,6 +1168,113 @@ mod tests {
             section.decode_each(|t: (u32, u32)| seen.push(t)).unwrap();
         }
         assert_eq!(seen, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+    }
+
+    /// Builds a version-1 frame (16-byte table entries, no checksums) the
+    /// way pre-checksum builds wrote them.
+    fn write_frame_v1(kind: Kind, sections: &[Section]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.push(kind as u8);
+        out.push(0);
+        out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        for section in sections {
+            out.extend_from_slice(&section.count.to_le_bytes());
+            out.extend_from_slice(&(section.bytes.len() as u64).to_le_bytes());
+        }
+        for section in sections {
+            out.extend_from_slice(&section.bytes);
+        }
+        out
+    }
+
+    #[test]
+    fn version_1_frames_still_parse() {
+        let sections = [
+            encode_section((0..4u32).map(|i| (i, i + 100))).unwrap(),
+            encode_section([(9u32, 900u32)]).unwrap(),
+        ];
+        let bytes = write_frame_v1(Kind::Map, &sections);
+        let frame = Frame::parse(&bytes).unwrap();
+        assert_eq!(frame.kind(), Kind::Map);
+        assert_eq!(frame.item_count(), 5);
+        let mut seen = Vec::new();
+        for section in frame.sections() {
+            section.decode_each(|t: (u32, u32)| seen.push(t)).unwrap();
+        }
+        assert_eq!(seen.len(), 5);
+        assert!(seen.contains(&(9, 900)));
+    }
+
+    #[test]
+    fn versions_past_current_are_rejected() {
+        let section = encode_section([(1u32, 2u32)]).unwrap();
+        let mut bytes = Vec::new();
+        write_frame(Kind::Map, std::slice::from_ref(&section), &mut bytes).unwrap();
+        bytes[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        assert_eq!(
+            Frame::parse(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion(VERSION + 1)
+        );
+        bytes[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(
+            Frame::parse(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion(0)
+        );
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_the_checksum() {
+        let sections = [
+            encode_section((0..8u32).map(|i| (i, i * 3))).unwrap(),
+            encode_section((8..16u32).map(|i| (i, i * 3))).unwrap(),
+        ];
+        let mut good = Vec::new();
+        write_frame(Kind::Map, &sections, &mut good).unwrap();
+        let payload_start = HEADER_BYTES + 2 * SHARD_ENTRY_BYTES;
+        let second_payload = payload_start + sections[0].bytes.len();
+        for (offset, bit, shard) in [
+            (payload_start, 0, 0),
+            (payload_start + 3, 5, 0),
+            (second_payload, 7, 1),
+            (good.len() - 1, 1, 1),
+        ] {
+            let mut bad = good.clone();
+            bad[offset] ^= 1 << bit;
+            match Frame::parse(&bad).unwrap_err() {
+                SnapshotError::ChecksumMismatch {
+                    shard: named,
+                    stored,
+                    computed,
+                } => {
+                    assert_eq!(named, shard, "flip at {offset} blamed the wrong shard");
+                    assert_ne!(stored, computed);
+                }
+                other => panic!("flip at {offset} gave {other:?}, not a checksum mismatch"),
+            }
+        }
+        assert!(Frame::parse(&good).is_ok(), "unflipped frame must parse");
+    }
+
+    #[test]
+    fn save_atomic_roundtrips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("axsn_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.axsn");
+        save_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // Overwrite: readers see either the old or the new bytes, and no
+        // temporary survives the save.
+        save_atomic(&path, b"second-longer-payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second-longer-payload");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|name| name.to_string_lossy() != "snap.axsn")
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

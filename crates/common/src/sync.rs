@@ -1,0 +1,102 @@
+//! Poison-recovering lock helpers.
+//!
+//! A `std::sync::Mutex` is *poisoned* when a thread panics while holding
+//! it; every later `lock()` then returns `Err(PoisonError)`, and code that
+//! `expect`s the guard turns one panicked worker into a permanently wedged
+//! process. The serving stack must keep answering from the last published
+//! epoch even while a worker is faulting, so all of its locks go through
+//! these helpers instead: they hand back the guard regardless of poison.
+//!
+//! Recovering from poison is only sound when no invariant of the guarded
+//! data can be *mid-mutation* across a panic. Every lock in this workspace
+//! satisfies that by construction:
+//!
+//! - publication cells swap a fully-built `Arc` bundle (build outside the
+//!   lock, assign under it — a panic leaves either the old or the new
+//!   value, both valid);
+//! - admission queues push/pop whole `VecDeque` nodes;
+//! - ticket slots assign whole `Option`s.
+//!
+//! None of them run caller code under the lock on a path that could leave
+//! a partial write behind, so a poisoned guard always protects consistent
+//! data.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the reacquired guard if the mutex was
+/// poisoned while this thread slept.
+pub fn wait_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`wait_recover`] with a timeout; the flag reports whether the wait
+/// timed out (spurious wakeups still require re-checking the predicate).
+pub fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let m = Mutex::new(7u32);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(result.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7, "data still readable after poison");
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_recover_reports_timeouts() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = lock_recover(&m);
+        let (_guard, result) = wait_timeout_recover(&cv, guard, Duration::from_millis(1));
+        assert!(result.timed_out());
+    }
+
+    #[test]
+    fn wait_recover_wakes_on_notify_after_poison() {
+        let m = std::sync::Arc::new(Mutex::new(false));
+        let cv = std::sync::Arc::new(Condvar::new());
+        // Poison the mutex first; the waiter must still work.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison");
+        }));
+        let waiter = {
+            let m = std::sync::Arc::clone(&m);
+            let cv = std::sync::Arc::clone(&cv);
+            std::thread::spawn(move || {
+                let mut done = lock_recover(&m);
+                while !*done {
+                    done = wait_recover(&cv, done);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        *lock_recover(&m) = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+}

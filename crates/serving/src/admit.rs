@@ -1,4 +1,4 @@
-//! Writer admission: staged write batches, one applier per shard.
+//! Writer admission: bounded staged write batches, one applier per shard.
 //!
 //! Writers never edit tries themselves. [`Engine::stage`](crate::Engine::stage)
 //! splits a batch by shard and enqueues each slice on that shard's *lane*;
@@ -11,20 +11,36 @@
 //! - **Writers never contend on trie editing** — each shard has exactly one
 //!   applier, so the per-shard write lock in `sharded` is never contended
 //!   by staged traffic, and queued batches coalesce into one publication.
-//! - **Backpressure-free acks** — the caller gets a [`WriteTicket`]
-//!   immediately and can `wait()` for the epoch at which its batch became
-//!   visible (or fire and forget).
+//! - **Back-pressure, not unbounded queues** — each lane holds at most
+//!   `capacity` staged batches. Admission is all-or-nothing per batch:
+//!   either every shard slice is enqueued or none is, so a shed batch comes
+//!   back whole and an admitted one always fully resolves. Blocking
+//!   admission waits for space (optionally up to a deadline); try-admission
+//!   sheds immediately.
+//! - **Fault isolation** — a panicking applier faults exactly the tickets
+//!   it drained ([`WriteTicket::wait`] reports
+//!   [`WriteError::Faulted`]); all locks recover from poison, so the lanes
+//!   keep admitting while a worker respawns.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use trie_common::faults::{fire as fault_point, site};
+use trie_common::sync::{lock_recover, wait_recover, wait_timeout_recover};
+
+use crate::error::WriteError;
 
 /// Progress of one staged write batch.
 struct WriteProgress {
     /// Lanes that still hold a slice of this batch.
     remaining: usize,
+    /// Slices whose applier panicked instead of publishing them.
+    faulted: usize,
     /// Highest epoch observed after a slice of this batch committed; once
-    /// `remaining == 0` every edit is visible at (or before) this epoch.
+    /// `remaining == 0` every applied edit is visible at (or before) this
+    /// epoch.
     visible_at: u64,
 }
 
@@ -38,16 +54,21 @@ impl WriteState {
         WriteState {
             progress: Mutex::new(WriteProgress {
                 remaining,
+                faulted: 0,
                 visible_at,
             }),
             done: Condvar::new(),
         }
     }
 
-    pub(crate) fn complete_one(&self, epoch: u64) {
-        let mut p = self.progress.lock().expect("write ticket poisoned");
+    /// One slice finished: applied and published (`ok`) or faulted.
+    pub(crate) fn complete_one(&self, epoch: u64, ok: bool) {
+        let mut p = lock_recover(&self.progress);
         p.remaining -= 1;
         p.visible_at = p.visible_at.max(epoch);
+        if !ok {
+            p.faulted += 1;
+        }
         if p.remaining == 0 {
             self.done.notify_all();
         }
@@ -62,28 +83,62 @@ pub struct WriteTicket {
 }
 
 impl WriteTicket {
-    /// Blocks until every edit of the staged batch has been applied and
-    /// published; returns an epoch at which the whole batch is visible.
-    pub fn wait(&self) -> u64 {
-        let mut p = self.state.progress.lock().expect("write ticket poisoned");
+    /// Blocks until every slice of the staged batch has resolved. `Ok`
+    /// carries an epoch at which the whole batch is visible;
+    /// [`WriteError::Faulted`] means some slices hit a panicking applier
+    /// and were not applied.
+    pub fn wait(&self) -> Result<u64, WriteError> {
+        let mut p = lock_recover(&self.state.progress);
         while p.remaining > 0 {
-            p = self.state.done.wait(p).expect("write ticket poisoned");
+            p = wait_recover(&self.state.done, p);
         }
-        p.visible_at
+        finish(&p)
     }
 
-    /// Non-blocking probe: the visibility epoch if the batch has fully
-    /// applied, `None` if slices are still queued.
+    /// [`WriteTicket::wait`] with a deadline. `Err(Deadline)` leaves the
+    /// ticket untouched and claimable — the batch is still in flight and a
+    /// later `wait` (or `wait_timeout`) still resolves it.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<u64, WriteError> {
+        let deadline = Instant::now() + timeout;
+        let mut p = lock_recover(&self.state.progress);
+        while p.remaining > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WriteError::Deadline);
+            }
+            let (guard, _timed_out) = wait_timeout_recover(&self.state.done, p, deadline - now);
+            p = guard;
+        }
+        finish(&p)
+    }
+
+    /// Non-blocking probe: the visibility epoch if the batch fully applied
+    /// without faults, `None` while slices are still in flight (or if any
+    /// faulted — use [`WriteTicket::try_outcome`] to distinguish).
     pub fn try_epoch(&self) -> Option<u64> {
-        let p = self.state.progress.lock().expect("write ticket poisoned");
-        (p.remaining == 0).then_some(p.visible_at)
+        self.try_outcome().and_then(Result::ok)
+    }
+
+    /// Non-blocking probe with fault visibility: `None` while in flight,
+    /// otherwise the same outcome [`WriteTicket::wait`] would return.
+    pub fn try_outcome(&self) -> Option<Result<u64, WriteError>> {
+        let p = lock_recover(&self.state.progress);
+        (p.remaining == 0).then(|| finish(&p))
+    }
+}
+
+fn finish(p: &WriteProgress) -> Result<u64, WriteError> {
+    if p.faulted > 0 {
+        Err(WriteError::Faulted { slices: p.faulted })
+    } else {
+        Ok(p.visible_at)
     }
 }
 
 impl std::fmt::Debug for WriteTicket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WriteTicket")
-            .field("done", &self.try_epoch().is_some())
+            .field("done", &self.try_outcome().is_some())
             .finish()
     }
 }
@@ -95,44 +150,148 @@ struct Staged<E> {
 
 struct Lane<E> {
     queue: Mutex<VecDeque<Staged<E>>>,
+    /// Signals appliers that work arrived.
     ready: Condvar,
+    /// Signals blocked stagers that a drain freed queue slots.
+    space: Condvar,
+}
+
+/// Why an admission attempt did not enqueue; always hands the batch's
+/// shard groups back untouched.
+pub(crate) enum Refused<E> {
+    /// Lane `.0` was at capacity.
+    Full(usize, Vec<(usize, Vec<E>)>),
+    /// The engine is shutting down; nothing further is admitted.
+    Shutdown(Vec<(usize, Vec<E>)>),
+    /// The deadline passed before every full lane freed a slot.
+    Deadline(Vec<(usize, Vec<E>)>),
+}
+
+impl<E> Refused<E> {
+    pub(crate) fn into_groups(self) -> Vec<(usize, Vec<E>)> {
+        match self {
+            Refused::Full(_, g) | Refused::Shutdown(g) | Refused::Deadline(g) => g,
+        }
+    }
 }
 
 /// The per-shard admission queues shared between stagers and appliers.
 pub(crate) struct Lanes<E> {
     lanes: Box<[Lane<E>]>,
+    /// Maximum staged batches per lane (`usize::MAX` = unbounded).
+    capacity: usize,
     stop: AtomicBool,
 }
 
 impl<E> Lanes<E> {
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
         Lanes {
             lanes: (0..shards)
                 .map(|_| Lane {
                     queue: Mutex::new(VecDeque::new()),
                     ready: Condvar::new(),
+                    space: Condvar::new(),
                 })
                 .collect(),
+            capacity: capacity.max(1),
             stop: AtomicBool::new(false),
         }
     }
 
-    /// Enqueues one shard-local slice of a staged batch.
-    pub(crate) fn push(&self, shard: usize, edits: Vec<E>, ticket: Arc<WriteState>) {
-        let lane = &self.lanes[shard];
-        lane.queue
-            .lock()
-            .expect("admission lane poisoned")
-            .push_back(Staged { edits, ticket });
-        lane.ready.notify_one();
+    /// All-or-nothing admission: enqueues every `(shard, edits)` group, or
+    /// none of them. Groups must be sorted by shard ascending (the lock
+    /// order). On refusal the groups come back untouched in the error.
+    pub(crate) fn try_push_all(
+        &self,
+        groups: Vec<(usize, Vec<E>)>,
+        ticket: &Arc<WriteState>,
+    ) -> Result<(), Refused<E>> {
+        debug_assert!(
+            groups.windows(2).all(|w| w[0].0 < w[1].0),
+            "groups sorted by shard"
+        );
+        if self.stop.load(Ordering::Acquire) {
+            return Err(Refused::Shutdown(groups));
+        }
+        // Hold every target lane's lock at once so the capacity check and
+        // the pushes are one atomic step: a concurrent admitter cannot
+        // fill a lane between our check and our push.
+        let mut guards = Vec::with_capacity(groups.len());
+        for &(shard, _) in &groups {
+            guards.push(lock_recover(&self.lanes[shard].queue));
+        }
+        if let Some(pos) = guards.iter().position(|q| q.len() >= self.capacity) {
+            let shard = groups[pos].0;
+            drop(guards);
+            return Err(Refused::Full(shard, groups));
+        }
+        for (guard, (shard, edits)) in guards.iter_mut().zip(groups) {
+            guard.push_back(Staged {
+                edits,
+                ticket: Arc::clone(ticket),
+            });
+            self.lanes[shard].ready.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Blocking admission: retries [`Lanes::try_push_all`], sleeping on the
+    /// first full lane's `space` condvar between attempts. `deadline`
+    /// bounds the total wait; `None` blocks until admitted or shutdown.
+    pub(crate) fn push_all_blocking(
+        &self,
+        mut groups: Vec<(usize, Vec<E>)>,
+        ticket: &Arc<WriteState>,
+        deadline: Option<Instant>,
+    ) -> Result<(), Refused<E>> {
+        loop {
+            let (full_shard, returned) = match self.try_push_all(groups, ticket) {
+                Ok(()) => return Ok(()),
+                Err(Refused::Full(shard, g)) => (shard, g),
+                Err(other) => return Err(other),
+            };
+            groups = returned;
+            let lane = &self.lanes[full_shard];
+            let mut q = lock_recover(&lane.queue);
+            loop {
+                // Re-check shedding conditions *under the lock*: shutdown
+                // sets `stop` before notifying, so checking here cannot
+                // miss the wake.
+                if self.stop.load(Ordering::Acquire) {
+                    return Err(Refused::Shutdown(groups));
+                }
+                if q.len() < self.capacity {
+                    break;
+                }
+                match deadline {
+                    None => q = wait_recover(&lane.space, q),
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(Refused::Deadline(groups));
+                        }
+                        let (guard, _timed_out) =
+                            wait_timeout_recover(&lane.space, q, deadline - now);
+                        q = guard;
+                    }
+                }
+            }
+            // Slot spotted; drop the single-lane lock and retry the
+            // all-or-nothing admission from scratch.
+            drop(q);
+        }
     }
 
     /// Blocks until lane `shard` has work, then drains **all** of it (the
     /// coalescing step: everything queued becomes one publication). Returns
     /// `None` when the engine is shutting down and the lane is empty.
     pub(crate) fn drain(&self, shard: usize) -> Option<(Vec<E>, Vec<Arc<WriteState>>)> {
+        // Fault site fires before the queue is touched: an injected panic
+        // here kills the applier with every staged batch still queued, so
+        // the respawned applier loses nothing.
+        fault_point(site::APPLIER_DRAIN);
         let lane = &self.lanes[shard];
-        let mut q = lane.queue.lock().expect("admission lane poisoned");
+        let mut q = lock_recover(&lane.queue);
         loop {
             if !q.is_empty() {
                 let mut edits = Vec::new();
@@ -141,22 +300,25 @@ impl<E> Lanes<E> {
                     edits.extend(staged.edits);
                     tickets.push(staged.ticket);
                 }
+                lane.space.notify_all();
                 return Some((edits, tickets));
             }
             if self.stop.load(Ordering::Acquire) {
                 return None;
             }
-            q = lane.ready.wait(q).expect("admission lane poisoned");
+            q = wait_recover(&lane.ready, q);
         }
     }
 
-    /// Signals every applier to drain what is queued and exit.
+    /// Signals every applier to drain what is queued and exit, and every
+    /// blocked stager to shed with [`Refused::Shutdown`].
     pub(crate) fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
         for lane in &self.lanes {
-            // Acquire the lock so a sleeping applier cannot miss the wake.
-            drop(lane.queue.lock().expect("admission lane poisoned"));
+            // Acquire the lock so a sleeping worker cannot miss the wake.
+            drop(lock_recover(&lane.queue));
             lane.ready.notify_all();
+            lane.space.notify_all();
         }
     }
 }

@@ -1,14 +1,36 @@
-//! The request engine: a read worker pool plus per-shard write appliers
-//! over one [`Serve`] store.
+//! The request engine: a self-healing read worker pool plus per-shard
+//! write appliers over one [`Serve`] store.
+//!
+//! # Fault model
+//!
+//! Worker panics are isolated at two levels. Each *job* runs under
+//! `catch_unwind`: a panic while answering a read batch or applying a
+//! write drain resolves exactly those tickets with a fault
+//! ([`ReadError::Faulted`] / [`WriteError::Faulted`]) and the worker moves
+//! on. A panic *outside* a job guard (e.g. an injected fault at the drain
+//! site) kills the worker thread — a supervisor loop respawns it and the
+//! queues lose nothing, because drains only dequeue after the fault
+//! window. Every lock involved recovers from poison
+//! ([`trie_common::sync`]), so readers keep answering from the last
+//! published epoch no matter what any writer or worker did.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crate::admit::{Lanes, WriteState, WriteTicket};
+use trie_common::faults::{fire as fault_point, site};
+use trie_common::sync::{lock_recover, wait_recover, wait_timeout_recover};
+
+use crate::admit::{Lanes, Refused, WriteState, WriteTicket};
+use crate::error::{Overloaded, ReadError};
 use crate::store::Serve;
 use crate::txn::{Txn, TxnError, TxnOutcome};
+
+/// A batch split into `(shard, edits)` groups, ascending by shard.
+type ShardGroups<E> = Vec<(usize, Vec<E>)>;
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -19,6 +41,15 @@ pub struct EngineConfig {
     /// Attempts a [`Engine::transact`] call makes before giving up
     /// (first try included).
     pub txn_attempts: usize,
+    /// Per-shard admission-lane capacity, in staged batches. `None`
+    /// (default) keeps the lanes unbounded; `Some(n)` bounds each lane at
+    /// `n` queued batches, making [`Engine::try_stage`] shed and
+    /// [`Engine::stage`] block under pressure.
+    pub lane_capacity: Option<usize>,
+    /// Read-queue capacity, in queued batches. `None` (default) keeps the
+    /// queue unbounded; `Some(n)` makes [`Engine::try_submit`] shed and
+    /// [`Engine::submit`] block when `n` batches are already queued.
+    pub read_queue_capacity: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -28,6 +59,8 @@ impl Default for EngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             txn_attempts: 16,
+            lane_capacity: None,
+            read_queue_capacity: None,
         }
     }
 }
@@ -42,7 +75,7 @@ pub struct BatchReply<R> {
 }
 
 struct ReadState<R> {
-    slot: Mutex<Option<BatchReply<R>>>,
+    slot: Mutex<Option<Result<BatchReply<R>, ReadError>>>,
     done: Condvar,
 }
 
@@ -52,15 +85,42 @@ pub struct ReadTicket<R> {
 }
 
 impl<R> ReadTicket<R> {
-    /// Blocks until the batch has been served, returning all replies.
-    pub fn wait(self) -> BatchReply<R> {
-        let mut slot = self.state.slot.lock().expect("read ticket poisoned");
+    /// Blocks until the batch has been served. `Ok` carries the replies;
+    /// [`ReadError::Faulted`] means the answering worker panicked.
+    pub fn wait(self) -> Result<BatchReply<R>, ReadError> {
+        let mut slot = lock_recover(&self.state.slot);
         loop {
-            if let Some(reply) = slot.take() {
-                return reply;
+            if let Some(outcome) = slot.take() {
+                return outcome;
             }
-            slot = self.state.done.wait(slot).expect("read ticket poisoned");
+            slot = wait_recover(&self.state.done, slot);
         }
+    }
+
+    /// [`ReadTicket::wait`] with a deadline. `Err(Deadline)` leaves the
+    /// ticket untouched and claimable — a later wait still resolves it.
+    /// (Like `wait`, a success hands the replies over exactly once.)
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<BatchReply<R>, ReadError> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock_recover(&self.state.slot);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ReadError::Deadline);
+            }
+            let (guard, _timed_out) = wait_timeout_recover(&self.state.done, slot, deadline - now);
+            slot = guard;
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for ReadTicket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = lock_recover(&self.state.slot).is_some();
+        f.debug_struct("ReadTicket").field("done", &done).finish()
     }
 }
 
@@ -72,6 +132,10 @@ struct ReadJob<S: Serve> {
 struct ReadQueue<S: Serve> {
     jobs: Mutex<VecDeque<ReadJob<S>>>,
     ready: Condvar,
+    /// Signals blocked submitters that a worker dequeued a batch.
+    space: Condvar,
+    /// Maximum queued batches (`usize::MAX` = unbounded).
+    capacity: usize,
     stop: AtomicBool,
 }
 
@@ -93,6 +157,18 @@ pub struct EngineStats {
     pub txn_commits: u64,
     /// Epoch conflicts observed by transactions (each costs one retry).
     pub txn_conflicts: u64,
+    /// Read batches consumed by a panicking worker (resolved as
+    /// [`ReadError::Faulted`]).
+    pub read_faults: u64,
+    /// Write tickets resolved with a faulted slice by a panicking applier.
+    pub write_faults: u64,
+    /// Write batches shed by bounded admission (`try_stage` full, or a
+    /// `stage_timeout` deadline).
+    pub shed_writes: u64,
+    /// Read batches shed by the bounded read queue.
+    pub shed_reads: u64,
+    /// Worker threads respawned after a panic outside a job guard.
+    pub worker_respawns: u64,
 }
 
 #[derive(Default)]
@@ -104,6 +180,11 @@ struct StatsCore {
     applier_commits: AtomicU64,
     txn_commits: AtomicU64,
     txn_conflicts: AtomicU64,
+    read_faults: AtomicU64,
+    write_faults: AtomicU64,
+    shed_writes: AtomicU64,
+    shed_reads: AtomicU64,
+    worker_respawns: AtomicU64,
 }
 
 impl StatsCore {
@@ -116,6 +197,11 @@ impl StatsCore {
             applier_commits: self.applier_commits.load(Ordering::Relaxed),
             txn_commits: self.txn_commits.load(Ordering::Relaxed),
             txn_conflicts: self.txn_conflicts.load(Ordering::Relaxed),
+            read_faults: self.read_faults.load(Ordering::Relaxed),
+            write_faults: self.write_faults.load(Ordering::Relaxed),
+            shed_writes: self.shed_writes.load(Ordering::Relaxed),
+            shed_reads: self.shed_reads.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
         }
     }
 }
@@ -129,6 +215,8 @@ impl StatsCore {
 ///   mutually consistent across shards.
 /// - **Writes** go through [`Engine::stage`]: split by shard, queued on
 ///   per-shard admission lanes, applied by one dedicated applier per shard.
+///   With a bounded [`EngineConfig::lane_capacity`], [`Engine::try_stage`]
+///   sheds under overload and [`Engine::stage_timeout`] bounds the wait.
 /// - **Read-modify-write** goes through [`Engine::transact`]: the body runs
 ///   against a pinned epoch, and the commit validates every shard it read
 ///   or wrote, retrying on conflict.
@@ -151,14 +239,20 @@ impl<S: Serve> Engine<S> {
     }
 
     /// Spawns the engine: `config.read_workers` read threads plus one
-    /// applier thread per shard of the store.
+    /// applier thread per shard of the store. Each worker runs under a
+    /// supervisor that respawns it if it panics outside a job guard.
     pub fn with_config(store: Arc<S>, config: EngineConfig) -> Self {
         let reads = Arc::new(ReadQueue {
             jobs: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: config.read_queue_capacity.unwrap_or(usize::MAX).max(1),
             stop: AtomicBool::new(false),
         });
-        let lanes = Arc::new(Lanes::new(store.shard_count()));
+        let lanes = Arc::new(Lanes::new(
+            store.shard_count(),
+            config.lane_capacity.unwrap_or(usize::MAX),
+        ));
         let stats = Arc::new(StatsCore::default());
         let mut workers = Vec::new();
         for _ in 0..config.read_workers.max(1) {
@@ -166,7 +260,7 @@ impl<S: Serve> Engine<S> {
             let reads = Arc::clone(&reads);
             let stats = Arc::clone(&stats);
             workers.push(std::thread::spawn(move || {
-                read_worker::<S>(&store, &reads, &stats)
+                supervise(&stats, || read_worker::<S>(&store, &reads, &stats))
             }));
         }
         for shard in 0..store.shard_count() {
@@ -174,7 +268,7 @@ impl<S: Serve> Engine<S> {
             let lanes = Arc::clone(&lanes);
             let stats = Arc::clone(&stats);
             workers.push(std::thread::spawn(move || {
-                applier::<S>(&store, &lanes, shard, &stats)
+                supervise(&stats, || applier::<S>(&store, &lanes, shard, &stats))
             }));
         }
         Engine {
@@ -209,23 +303,52 @@ impl<S: Serve> Engine<S> {
         self.store.pin_after(epoch)
     }
 
-    /// Enqueues a read batch for the worker pool; returns immediately with
-    /// a ticket to [`ReadTicket::wait`] on.
+    /// Enqueues a read batch for the worker pool; returns a ticket to
+    /// [`ReadTicket::wait`] on. With a bounded
+    /// [`EngineConfig::read_queue_capacity`], blocks until the queue has
+    /// room (use [`Engine::try_submit`] to shed instead).
     pub fn submit(&self, ops: Vec<S::Read>) -> ReadTicket<S::Reply> {
         let state = Arc::new(ReadState {
             slot: Mutex::new(None),
             done: Condvar::new(),
         });
-        self.reads
-            .jobs
-            .lock()
-            .expect("read queue poisoned")
-            .push_back(ReadJob {
+        let mut jobs = lock_recover(&self.reads.jobs);
+        while jobs.len() >= self.reads.capacity && !self.reads.stop.load(Ordering::Acquire) {
+            jobs = wait_recover(&self.reads.space, jobs);
+        }
+        jobs.push_back(ReadJob {
+            ops,
+            state: Arc::clone(&state),
+        });
+        drop(jobs);
+        self.reads.ready.notify_one();
+        ReadTicket { state }
+    }
+
+    /// Non-blocking [`Engine::submit`]: sheds with [`Overloaded`] (handing
+    /// the ops back) when the bounded read queue is full.
+    pub fn try_submit(
+        &self,
+        ops: Vec<S::Read>,
+    ) -> Result<ReadTicket<S::Reply>, Overloaded<Vec<S::Read>>> {
+        let state = Arc::new(ReadState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        {
+            let mut jobs = lock_recover(&self.reads.jobs);
+            if jobs.len() >= self.reads.capacity {
+                drop(jobs);
+                self.stats.shed_reads.fetch_add(1, Ordering::Relaxed);
+                return Err(Overloaded(ops));
+            }
+            jobs.push_back(ReadJob {
                 ops,
                 state: Arc::clone(&state),
             });
+        }
         self.reads.ready.notify_one();
-        ReadTicket { state }
+        Ok(ReadTicket { state })
     }
 
     /// Serves a read batch synchronously on the caller's thread (same
@@ -240,28 +363,118 @@ impl<S: Serve> Engine<S> {
     }
 
     /// Stages a write batch: splits it by shard and queues each slice on
-    /// that shard's admission lane. Returns immediately; the ticket
-    /// resolves (with a visibility epoch) once every slice has been applied
-    /// and published.
+    /// that shard's admission lane. The ticket resolves (with a visibility
+    /// epoch) once every slice has been applied and published.
+    ///
+    /// Admission is all-or-nothing: with a bounded lane capacity this
+    /// blocks until every touched lane has room. If the engine shuts down
+    /// first, the ticket resolves with [`WriteError::Faulted`] for the
+    /// whole batch (nothing was enqueued).
+    ///
+    /// [`WriteError::Faulted`]: crate::WriteError::Faulted
     pub fn stage(&self, batch: impl IntoIterator<Item = S::Edit>) -> WriteTicket {
-        let mut groups: Vec<Vec<S::Edit>> =
+        match self.admit(batch, None) {
+            Ok(ticket) => ticket,
+            Err((state, refused)) => {
+                // Shutdown raced the stage: fail every unstaged slice so
+                // the ticket resolves instead of hanging forever.
+                let groups = refused.into_groups();
+                for _ in &groups {
+                    state.complete_one(0, false);
+                }
+                self.stats
+                    .write_faults
+                    .fetch_add(groups.len() as u64, Ordering::Relaxed);
+                WriteTicket { state }
+            }
+        }
+    }
+
+    /// [`Engine::stage`] with a deadline on admission: if the touched
+    /// lanes cannot all make room within `timeout`, the batch is shed with
+    /// [`Overloaded`] handing every edit back (grouped by shard, document
+    /// order within each shard). The deadline covers admission only — once
+    /// admitted, use [`WriteTicket::wait_timeout`] to bound the apply wait.
+    ///
+    /// [`WriteTicket::wait_timeout`]: crate::WriteTicket::wait_timeout
+    pub fn stage_timeout(
+        &self,
+        batch: impl IntoIterator<Item = S::Edit>,
+        timeout: Duration,
+    ) -> Result<WriteTicket, Overloaded<Vec<S::Edit>>> {
+        let deadline = Instant::now() + timeout;
+        match self.admit(batch, Some(deadline)) {
+            Ok(ticket) => Ok(ticket),
+            Err((_, refused)) => {
+                self.stats.shed_writes.fetch_add(1, Ordering::Relaxed);
+                Err(Overloaded(flatten(refused.into_groups())))
+            }
+        }
+    }
+
+    /// Non-blocking [`Engine::stage`]: sheds immediately with
+    /// [`Overloaded`] (handing every edit back) when any touched lane is
+    /// at capacity, instead of queueing or blocking. The all-or-nothing
+    /// admission means a shed batch left **no** slice behind.
+    pub fn try_stage(
+        &self,
+        batch: impl IntoIterator<Item = S::Edit>,
+    ) -> Result<WriteTicket, Overloaded<Vec<S::Edit>>> {
+        let (groups, edits) = self.group(batch);
+        let state = Arc::new(WriteState::new(groups.len(), self.store.current_epoch()));
+        match self.lanes.try_push_all(groups, &state) {
+            Ok(()) => {
+                self.count_staged(edits);
+                Ok(WriteTicket { state })
+            }
+            Err(refused) => {
+                self.stats.shed_writes.fetch_add(1, Ordering::Relaxed);
+                Err(Overloaded(flatten(refused.into_groups())))
+            }
+        }
+    }
+
+    /// Shared admission path: groups the batch, then pushes blocking (with
+    /// an optional deadline). On refusal, hands back the write state and
+    /// the refused groups so the caller picks the failure shape.
+    fn admit(
+        &self,
+        batch: impl IntoIterator<Item = S::Edit>,
+        deadline: Option<Instant>,
+    ) -> Result<WriteTicket, (Arc<WriteState>, Refused<S::Edit>)> {
+        let (groups, edits) = self.group(batch);
+        // An empty batch is vacuously visible at the current epoch.
+        let state = Arc::new(WriteState::new(groups.len(), self.store.current_epoch()));
+        match self.lanes.push_all_blocking(groups, &state, deadline) {
+            Ok(()) => {
+                self.count_staged(edits);
+                Ok(WriteTicket { state })
+            }
+            Err(refused) => Err((state, refused)),
+        }
+    }
+
+    /// Splits a batch into per-shard groups (ascending shard order — the
+    /// admission lock order) and counts its edits.
+    fn group(&self, batch: impl IntoIterator<Item = S::Edit>) -> (ShardGroups<S::Edit>, u64) {
+        let mut by_shard: Vec<Vec<S::Edit>> =
             (0..self.store.shard_count()).map(|_| Vec::new()).collect();
         let mut edits = 0u64;
         for edit in batch {
-            groups[self.store.edit_shard(&edit)].push(edit);
+            by_shard[self.store.edit_shard(&edit)].push(edit);
             edits += 1;
         }
-        let touched = groups.iter().filter(|g| !g.is_empty()).count();
-        // An empty batch is vacuously visible at the current epoch.
-        let state = Arc::new(WriteState::new(touched, self.store.current_epoch()));
-        for (shard, group) in groups.into_iter().enumerate() {
-            if !group.is_empty() {
-                self.lanes.push(shard, group, Arc::clone(&state));
-            }
-        }
+        let groups = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect();
+        (groups, edits)
+    }
+
+    fn count_staged(&self, edits: u64) {
         self.stats.write_batches.fetch_add(1, Ordering::Relaxed);
         self.stats.write_edits.fetch_add(edits, Ordering::Relaxed);
-        WriteTicket { state }
     }
 
     /// Runs `body` as an optimistic read-modify-write transaction: it reads
@@ -305,18 +518,39 @@ impl<S: Serve> Engine<S> {
     }
 }
 
+/// Flattens per-shard groups back into one edit vector (shard order,
+/// document order within each shard) for the `Overloaded` payload.
+fn flatten<E>(groups: Vec<(usize, Vec<E>)>) -> Vec<E> {
+    groups.into_iter().flat_map(|(_, g)| g).collect()
+}
+
 impl<S: Serve> Drop for Engine<S> {
     fn drop(&mut self) {
         self.reads.stop.store(true, Ordering::Release);
         {
             // Hold the lock while notifying so no worker misses the wake.
-            let _guard = self.reads.jobs.lock().expect("read queue poisoned");
+            let _guard = lock_recover(&self.reads.jobs);
             self.reads.ready.notify_all();
+            self.reads.space.notify_all();
         }
         self.lanes.shutdown();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// Runs `work` until it returns cleanly, respawning it (in place, on the
+/// same thread) every time it panics outside a job guard.
+fn supervise(stats: &StatsCore, work: impl Fn()) {
+    loop {
+        // The workers share no unwind-unsafe state: every structure they
+        // touch is lock-protected and poison-recovering (see the module
+        // doc), so re-entering after a panic observes only whole values.
+        if catch_unwind(AssertUnwindSafe(&work)).is_ok() {
+            return;
+        }
+        stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -330,34 +564,61 @@ fn answer_batch<S: Serve>(snap: &S::Snapshot, ops: &[S::Read]) -> BatchReply<S::
 fn read_worker<S: Serve>(store: &S, queue: &ReadQueue<S>, stats: &StatsCore) {
     loop {
         let job = {
-            let mut jobs = queue.jobs.lock().expect("read queue poisoned");
+            let mut jobs = lock_recover(&queue.jobs);
             loop {
                 if let Some(job) = jobs.pop_front() {
+                    queue.space.notify_one();
                     break job;
                 }
                 if queue.stop.load(Ordering::Acquire) {
                     return;
                 }
-                jobs = queue.ready.wait(jobs).expect("read queue poisoned");
+                jobs = wait_recover(&queue.ready, jobs);
             }
         };
-        let reply = answer_batch::<S>(&store.pin(), &job.ops);
-        stats.read_batches.fetch_add(1, Ordering::Relaxed);
-        stats
-            .read_ops
-            .fetch_add(job.ops.len() as u64, Ordering::Relaxed);
-        *job.state.slot.lock().expect("read ticket poisoned") = Some(reply);
+        // The job guard: a panic while answering faults this batch only.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            fault_point(site::READ_WORKER);
+            answer_batch::<S>(&store.pin(), &job.ops)
+        }));
+        let outcome = match outcome {
+            Ok(reply) => {
+                stats.read_batches.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .read_ops
+                    .fetch_add(job.ops.len() as u64, Ordering::Relaxed);
+                Ok(reply)
+            }
+            Err(_) => {
+                stats.read_faults.fetch_add(1, Ordering::Relaxed);
+                Err(ReadError::Faulted)
+            }
+        };
+        *lock_recover(&job.state.slot) = Some(outcome);
         job.state.done.notify_all();
     }
 }
 
 fn applier<S: Serve>(store: &S, lanes: &Lanes<S::Edit>, shard: usize, stats: &StatsCore) {
     while let Some((edits, tickets)) = lanes.drain(shard) {
-        store.apply(edits);
+        // The job guard: a panic inside apply faults exactly the tickets
+        // of this drain; the publication cell recovers from the poison and
+        // the next drain applies normally.
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            fault_point(site::APPLIER_APPLY);
+            store.apply(edits);
+        }))
+        .is_ok();
         let epoch = store.current_epoch();
-        stats.applier_commits.fetch_add(1, Ordering::Relaxed);
+        if ok {
+            stats.applier_commits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats
+                .write_faults
+                .fetch_add(tickets.len() as u64, Ordering::Relaxed);
+        }
         for ticket in tickets {
-            ticket.complete_one(epoch);
+            ticket.complete_one(epoch, ok);
         }
     }
 }

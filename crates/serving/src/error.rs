@@ -1,0 +1,107 @@
+//! Typed failure modes of the serving engine: overload shedding, missed
+//! deadlines, faulted workers, and reply-shape mismatches.
+//!
+//! The engine's contract under stress is *graceful degradation*: overload
+//! sheds with the payload handed back (never silently dropped), deadlines
+//! expire without losing the ticket, and a panicked worker faults only the
+//! requests it was carrying — every error here is a per-request outcome,
+//! never a poisoned engine.
+
+/// An admission queue had no room (or could not make room before the
+/// deadline). Carries the rejected payload back to the caller — a shed
+/// batch is returned whole, so nothing acked is ever lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded<T>(
+    /// The rejected payload, exactly as submitted (write batches come back
+    /// grouped by shard, in document order within each shard).
+    pub T,
+);
+
+impl<T> Overloaded<T> {
+    /// The rejected payload, for resubmission or spilling.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::fmt::Display for Overloaded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("admission queue full: request shed, payload returned")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for Overloaded<T> {}
+
+/// Why a staged write batch did not resolve with a visibility epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// `wait_timeout` expired before the batch finished applying. The
+    /// ticket is untouched — wait again to keep claiming the ack.
+    Deadline,
+    /// One or more per-shard slices of the batch hit a panicking applier
+    /// (or the engine shut down before they were admitted); those edits
+    /// were not applied. Slices on healthy lanes still applied normally.
+    Faulted {
+        /// How many of the batch's per-shard slices faulted.
+        slices: usize,
+    },
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::Deadline => f.write_str("write deadline expired (ticket still claimable)"),
+            WriteError::Faulted { slices } => {
+                write!(f, "{slices} slice(s) of the write batch faulted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Why a submitted read batch did not resolve with replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// `wait_timeout` expired before the batch was answered. The ticket is
+    /// untouched — wait again to keep claiming the reply.
+    Deadline,
+    /// The worker answering this batch panicked; the batch was consumed
+    /// without replies. The engine itself stays healthy.
+    Faulted,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Deadline => f.write_str("read deadline expired (ticket still claimable)"),
+            ReadError::Faulted => f.write_str("the worker answering this read batch panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A reply held a different variant than the accessor asked for (e.g.
+/// calling `into_value` on a `Count` reply). Returned by the typed
+/// accessors on [`MapReply`](crate::MapReply) and friends, replacing the
+/// panic-on-mismatch idiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyMismatch {
+    /// The variant the accessor expected.
+    pub expected: &'static str,
+    /// The variant the reply actually held.
+    pub found: &'static str,
+}
+
+impl std::fmt::Display for ReplyMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reply mismatch: expected {}, found {}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for ReplyMismatch {}

@@ -20,26 +20,38 @@
 //! - **Optimistic transactions** ([`Engine::transact`]) — read-modify-write
 //!   bodies run against a pin and commit only if every shard they read or
 //!   wrote is still at its pinned version, retrying on [`EpochConflict`].
+//! - **Fault tolerance** — bounded admission lanes shed with [`Overloaded`]
+//!   instead of growing without bound ([`Engine::try_stage`] /
+//!   [`Engine::stage_timeout`]), ticket waits take deadlines without losing
+//!   the ticket, and a panicking worker faults only the requests it carried
+//!   ([`WriteError::Faulted`] / [`ReadError::Faulted`]) while a supervisor
+//!   respawns it — the engine never wedges on a poisoned lock.
 //!
 //! # Example
 //!
 //! ```
 //! use std::sync::Arc;
-//! use serving::{Engine, MapRead, MapReply};
+//! use serving::{Engine, EngineConfig, MapRead, MapReply};
 //! use sharded::ShardedMap;
 //! use trie_common::ops::MapEdit;
 //!
 //! let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(4));
-//! let engine = Engine::new(Arc::clone(&store));
+//! // Bound each admission lane at 64 staged batches: `stage` now applies
+//! // back-pressure and `try_stage` sheds (returning the batch) when full.
+//! let engine = Engine::with_config(
+//!     Arc::clone(&store),
+//!     EngineConfig { lane_capacity: Some(64), ..EngineConfig::default() },
+//! );
 //!
 //! // Stage a write batch; wait for its visibility epoch.
 //! let ticket = engine.stage((0..100u32).map(|i| MapEdit::Insert(i, i * 2)));
-//! ticket.wait();
+//! ticket.wait().expect("no applier faulted");
 //!
 //! // A read batch is answered against one pinned epoch.
 //! let reply = engine
 //!     .submit(vec![MapRead::Get(7), MapRead::Len])
-//!     .wait();
+//!     .wait()
+//!     .expect("no read worker faulted");
 //! assert_eq!(reply.replies[0], MapReply::Value(Some(14)));
 //! assert_eq!(reply.replies[1], MapReply::Count(100));
 //!
@@ -57,12 +69,14 @@
 
 mod admit;
 mod engine;
+mod error;
 mod ops;
 mod store;
 mod txn;
 
 pub use admit::WriteTicket;
 pub use engine::{BatchReply, Engine, EngineConfig, EngineStats, ReadTicket};
+pub use error::{Overloaded, ReadError, ReplyMismatch, WriteError};
 pub use ops::{MapRead, MapReply, MultiMapRead, MultiMapReply, SetRead, SetReply};
 pub use sharded::EpochConflict;
 pub use store::Serve;
@@ -81,7 +95,8 @@ mod tests {
         let engine = Engine::new(Arc::clone(&store));
         let epoch = engine
             .stage((0..500u32).map(|i| MapEdit::Insert(i, i)))
-            .wait();
+            .wait()
+            .expect("no applier faulted");
         assert!(epoch >= 1);
         let reply = engine.submit(vec![
             MapRead::Get(3),
@@ -90,15 +105,16 @@ mod tests {
             MapRead::Len,
             MapRead::Scan { limit: 10 },
         ]);
-        let reply = reply.wait();
+        let reply = reply.wait().expect("no read worker faulted");
         assert_eq!(reply.replies[0], MapReply::Value(Some(3)));
         assert_eq!(reply.replies[1], MapReply::Bool(true));
         assert_eq!(reply.replies[2], MapReply::Bool(false));
         assert_eq!(reply.replies[3], MapReply::Count(500));
-        match &reply.replies[4] {
-            MapReply::Entries(e) => assert_eq!(e.len(), 10),
-            other => panic!("unexpected reply {other:?}"),
-        }
+        let entries = reply.replies[4]
+            .clone()
+            .into_entries()
+            .expect("scan answers with entries");
+        assert_eq!(entries.len(), 10);
         let stats = engine.stats();
         assert_eq!(stats.read_batches, 1);
         assert_eq!(stats.read_ops, 5);
@@ -114,7 +130,7 @@ mod tests {
             .map(|i| engine.stage([SetEdit::Insert(i)]))
             .collect();
         for t in &tickets {
-            t.wait();
+            t.wait().expect("no applier faulted");
         }
         assert_eq!(store.len(), 50);
         let reply = engine.execute(&[SetRead::Len, SetRead::Contains(49)]);
@@ -136,14 +152,16 @@ mod tests {
         let engine = Engine::new(Arc::clone(&store));
         engine
             .stage((0..300u32).map(|i| MultiMapEdit::Insert(i % 30, i)))
-            .wait();
+            .wait()
+            .expect("no applier faulted");
         let reply = engine.execute(&[
             MultiMapRead::FanOut((0..30).collect()),
             MultiMapRead::TupleCount,
         ]);
-        let MultiMapReply::FanOut(per_key) = &reply.replies[0] else {
-            panic!("unexpected reply {:?}", reply.replies[0]);
-        };
+        let per_key = reply.replies[0]
+            .clone()
+            .into_fan_out()
+            .expect("fan-out answers with per-key values");
         assert_eq!(per_key.len(), 30);
         assert!(per_key.iter().all(|(_, vs)| vs.len() == 10));
         assert_eq!(reply.replies[1], MultiMapReply::Count(300));
@@ -186,6 +204,7 @@ mod tests {
             EngineConfig {
                 read_workers: 1,
                 txn_attempts: 3,
+                ..EngineConfig::default()
             },
         );
         // The body itself invalidates its own pin, so no attempt can ever
@@ -212,7 +231,10 @@ mod tests {
             let seen_epoch = seen.epoch();
             let waiter = s.spawn(move || e.pin_after(seen_epoch));
             std::thread::sleep(std::time::Duration::from_millis(5));
-            engine.stage([MapEdit::Insert(1, 1)]).wait();
+            engine
+                .stage([MapEdit::Insert(1, 1)])
+                .wait()
+                .expect("no applier faulted");
             let fresh = waiter.join().unwrap();
             assert!(fresh.epoch() > seen.epoch());
             assert_eq!(fresh.get(&1), Some(&1));
@@ -230,5 +252,21 @@ mod tests {
             // No waits: drop must still apply everything queued.
         }
         assert_eq!(store.len(), 100);
+    }
+
+    #[test]
+    fn mismatched_reply_accessors_error_instead_of_panicking() {
+        let reply: MapReply<u32, u32> = MapReply::Count(3);
+        let err = reply.into_value().unwrap_err();
+        assert_eq!(err.expected, "Value");
+        assert_eq!(err.found, "Count");
+        assert_eq!(
+            err.to_string(),
+            "reply mismatch: expected Value, found Count"
+        );
+        let reply: MultiMapReply<u32, u32> = MultiMapReply::Bool(true);
+        assert!(reply.into_fan_out().is_err());
+        let reply: SetReply<u32> = SetReply::Elems(vec![1, 2]);
+        assert_eq!(reply.into_elems().unwrap(), vec![1, 2]);
     }
 }

@@ -5,6 +5,45 @@
 //! batch against **one** pinned epoch, so every reply in a
 //! [`BatchReply`](crate::BatchReply) is mutually consistent — including
 //! replies that touched different shards.
+//!
+//! Each reply enum carries typed `into_*` accessors returning
+//! [`ReplyMismatch`] instead of panicking when the variant doesn't match —
+//! a malformed batch (or a bug pairing ops with replies) surfaces as a
+//! handleable error, never a crash in the consumer.
+
+use crate::error::ReplyMismatch;
+
+/// Builds the `into_*` accessors for a reply enum: each takes the reply by
+/// value and returns its payload, or [`ReplyMismatch`] naming both
+/// variants.
+macro_rules! reply_accessors {
+    ($reply:ident < $($gen:ident),* > , {
+        $($(#[$meta:meta])* $method:ident => $variant:ident ( $out:ty )),* $(,)?
+    }) => {
+        impl<$($gen),*> $reply<$($gen),*> {
+            /// The variant's name, as the typed accessors report it in
+            /// [`ReplyMismatch`].
+            pub fn variant_name(&self) -> &'static str {
+                match self {
+                    $($reply::$variant(..) => stringify!($variant),)*
+                }
+            }
+
+            $(
+                $(#[$meta])*
+                pub fn $method(self) -> Result<$out, ReplyMismatch> {
+                    match self {
+                        $reply::$variant(v) => Ok(v),
+                        other => Err(ReplyMismatch {
+                            expected: stringify!($variant),
+                            found: other.variant_name(),
+                        }),
+                    }
+                }
+            )*
+        }
+    };
+}
 
 /// A read against a served [`ShardedMap`](sharded::ShardedMap).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +74,17 @@ pub enum MapReply<K, V> {
     Count(usize),
 }
 
+reply_accessors!(MapReply<K, V>, {
+    /// The `Get` payload, or the mismatching variant's name.
+    into_value => Value(Option<V>),
+    /// The `Contains` payload, or the mismatching variant's name.
+    into_bool => Bool(bool),
+    /// The `Scan` payload, or the mismatching variant's name.
+    into_entries => Entries(Vec<(K, V)>),
+    /// The `Len` payload, or the mismatching variant's name.
+    into_count => Count(usize),
+});
+
 /// A read against a served [`ShardedSet`](sharded::ShardedSet).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SetRead<T> {
@@ -59,6 +109,15 @@ pub enum SetReply<T> {
     /// Reply to [`SetRead::Len`].
     Count(usize),
 }
+
+reply_accessors!(SetReply<T>, {
+    /// The `Contains` payload, or the mismatching variant's name.
+    into_bool => Bool(bool),
+    /// The `Scan` payload, or the mismatching variant's name.
+    into_elems => Elems(Vec<T>),
+    /// The `Len` payload, or the mismatching variant's name.
+    into_count => Count(usize),
+});
 
 /// A read against a served [`ShardedMultiMap`](sharded::ShardedMultiMap).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,3 +156,16 @@ pub enum MultiMapReply<K, V> {
     /// Reply to [`MultiMapRead::TupleCount`].
     Count(usize),
 }
+
+reply_accessors!(MultiMapReply<K, V>, {
+    /// The `ValuesOf` payload, or the mismatching variant's name.
+    into_values => Values(Vec<V>),
+    /// The `FanOut` payload, or the mismatching variant's name.
+    into_fan_out => FanOut(Vec<(K, Vec<V>)>),
+    /// The membership-probe payload, or the mismatching variant's name.
+    into_bool => Bool(bool),
+    /// The `Scan` payload, or the mismatching variant's name.
+    into_tuples => Tuples(Vec<(K, V)>),
+    /// The `TupleCount` payload, or the mismatching variant's name.
+    into_count => Count(usize),
+});

@@ -28,6 +28,9 @@
 
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use trie_common::faults::{fire as fault_point, site};
+use trie_common::sync::{lock_recover, wait_recover};
+
 use crate::partition::Partition;
 
 /// A consistent cut of the whole shard array, published atomically: the
@@ -105,34 +108,26 @@ impl<C> EpochCell<C> {
     /// returned bundle is immutable — every read answered from it is
     /// mutually consistent, across shards, forever.
     pub(crate) fn pin(&self) -> Arc<EpochCore<C>> {
-        self.pinned
-            .lock()
-            .expect("publication cell poisoned")
-            .clone()
+        // Poison-recovering locks throughout this cell: a worker panic
+        // while publishing must degrade that one commit, not wedge every
+        // future reader. Recovery is sound because the bundle is swapped
+        // whole (build outside the lock, assign under it) — a poisoned
+        // guard always still holds a complete, valid bundle.
+        lock_recover(&self.pinned).clone()
     }
 
     /// The current shard snapshot for `index` (used by point reads that
     /// need only one shard).
     pub(crate) fn load(&self, index: usize) -> Arc<C> {
-        Arc::clone(
-            &self
-                .pinned
-                .lock()
-                .expect("publication cell poisoned")
-                .shards[index]
-                .1,
-        )
+        Arc::clone(&lock_recover(&self.pinned).shards[index].1)
     }
 
     /// Blocks until the published epoch advances past `epoch` (the
     /// long-poll primitive; returns the new pin).
     pub(crate) fn wait_past(&self, epoch: u64) -> Arc<EpochCore<C>> {
-        let mut guard = self.pinned.lock().expect("publication cell poisoned");
+        let mut guard = lock_recover(&self.pinned);
         while guard.epoch <= epoch {
-            guard = self
-                .published
-                .wait(guard)
-                .expect("publication cell poisoned");
+            guard = wait_recover(&self.published, guard);
         }
         guard.clone()
     }
@@ -144,11 +139,7 @@ impl<C> EpochCell<C> {
         debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
         shards
             .iter()
-            .map(|&i| {
-                self.write_locks[i]
-                    .lock()
-                    .expect("shard write lock poisoned")
-            })
+            .map(|&i| lock_recover(&self.write_locks[i]))
             .collect()
     }
 
@@ -157,7 +148,11 @@ impl<C> EpochCell<C> {
     /// per-shard counters), bumps the global epoch, swaps. Callers must
     /// hold the write locks of every touched shard.
     fn commit(&self, entries: Vec<(usize, Arc<C>)>) -> u64 {
-        let mut guard = self.pinned.lock().expect("publication cell poisoned");
+        // Fault site fires before the publication lock is taken: an
+        // injected panic here aborts the commit with nothing published
+        // and no lock poisoned.
+        fault_point(site::PUBLISH_COMMIT);
+        let mut guard = lock_recover(&self.pinned);
         let old = &**guard;
         let mut shards = old.shards.clone();
         for (index, next) in entries {
@@ -178,9 +173,7 @@ impl<C> EpochCell<C> {
     /// outside the publication lock (other shards commit freely meanwhile);
     /// the successor is published as its own epoch.
     pub(crate) fn update<R>(&self, index: usize, f: impl FnOnce(&C) -> (C, R)) -> R {
-        let _batch = self.write_locks[index]
-            .lock()
-            .expect("shard write lock poisoned");
+        let _batch = lock_recover(&self.write_locks[index]);
         let current = self.load(index);
         let (next, out) = f(&current);
         self.commit(vec![(index, Arc::new(next))]);
@@ -315,6 +308,22 @@ mod tests {
         assert_eq!(pin.epoch, 400, "2 shards x 2 threads x 100 commits");
         assert_eq!((*pin.shards[0].1, *pin.shards[1].1), (200, 200));
         assert_eq!((pin.shards[0].0, pin.shards[1].0), (200, 200));
+    }
+
+    #[test]
+    fn panicked_writer_does_not_wedge_the_cell() {
+        let c = cell(vec![0]);
+        // Panic while holding the shard write lock: before the recover
+        // helpers this poisoned the lock and every later writer panicked.
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.update(0, |_| -> (u32, ()) { panic!("staging panic") })
+        }));
+        assert!(boom.is_err());
+        let pin = c.pin();
+        assert_eq!(pin.epoch, 0, "aborted commit published nothing");
+        c.update(0, |v| (*v + 1, ()));
+        assert_eq!(c.pin().epoch, 1, "cell still commits after the panic");
+        assert_eq!(*c.pin().shards[0].1, 1);
     }
 
     #[test]

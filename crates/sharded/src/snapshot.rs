@@ -21,6 +21,7 @@ use std::hash::Hash;
 use std::thread;
 
 use serde::{Deserialize, Serialize};
+use trie_common::faults::{fire as fault_point, site};
 use trie_common::ops::{MapOps, MultiMapOps, SetOps, TransientOps};
 use trie_common::snapshot::{
     encode_section, write_frame, Frame, FrameSection, Kind, Section, SnapshotError, SnapshotRead,
@@ -51,14 +52,20 @@ fn save_parallel<C: Sync>(
                 if is_empty(shard) {
                     None
                 } else {
-                    Some(scope.spawn(move || encode(shard)))
+                    Some(scope.spawn(move || {
+                        fault_point(site::SNAPSHOT_ENCODE);
+                        encode(shard)
+                    }))
                 }
             })
             .collect();
         workers
             .into_iter()
             .map(|worker| match worker {
-                Some(handle) => handle.join().expect("snapshot encoder panicked"),
+                // A panicked encoder fails this save with a typed error
+                // instead of aborting the process; the remaining workers
+                // still join (scoped threads), nothing is left running.
+                Some(handle) => handle.join().unwrap_or(Err(SnapshotError::WorkerPanicked)),
                 None => encode_section(std::iter::empty::<()>()),
             })
             .collect()
@@ -86,6 +93,7 @@ where
                     None
                 } else {
                     Some(scope.spawn(move || {
+                        fault_point(site::SNAPSHOT_DECODE);
                         let mut buckets: Vec<Vec<Item>> =
                             (0..new_count).map(|_| Vec::new()).collect();
                         section.decode_each(|item| buckets[route(&item)].push(item))?;
@@ -97,7 +105,9 @@ where
         workers
             .into_iter()
             .map(|worker| match worker {
-                Some(handle) => handle.join().expect("snapshot decoder panicked"),
+                // Same contract as the encode side: a panicked decoder
+                // fails the restore with a typed error, never the process.
+                Some(handle) => handle.join().unwrap_or(Err(SnapshotError::WorkerPanicked)),
                 None => Ok((0..new_count).map(|_| Vec::new()).collect()),
             })
             .collect()
@@ -172,6 +182,13 @@ where
     pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
         self.snapshot().save_snapshot()
     }
+
+    /// Saves a snapshot to `path` atomically (write-temp + fsync +
+    /// rename): a crash mid-checkpoint leaves the previous file intact,
+    /// never a torn one.
+    pub fn save_snapshot_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        trie_common::snapshot::save_atomic(path.as_ref(), &self.save_snapshot()?)
+    }
 }
 
 impl<K, V, M> ShardedMultiMap<K, V, M>
@@ -201,6 +218,17 @@ where
             parts,
             M::built_from,
         )))
+    }
+
+    /// Reads a snapshot file (as written by
+    /// [`ShardedMultiMap::save_snapshot_to`]) and restores it at `shards`
+    /// shards.
+    pub fn load_snapshot_from(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+    ) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::load_snapshot(&bytes, shards)
     }
 }
 
@@ -281,6 +309,12 @@ where
     pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
         self.snapshot().save_snapshot()
     }
+
+    /// Saves a snapshot to `path` atomically (see
+    /// [`ShardedMultiMap::save_snapshot_to`]).
+    pub fn save_snapshot_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        trie_common::snapshot::save_atomic(path.as_ref(), &self.save_snapshot()?)
+    }
 }
 
 impl<K, V, M> ShardedMap<K, V, M>
@@ -293,6 +327,19 @@ where
     /// [`ShardedMultiMap::load_snapshot`] for the contract).
     pub fn load_snapshot(bytes: &[u8], shards: usize) -> Result<Self, SnapshotError> {
         let frame = parse_expecting(bytes, Kind::Map)?;
+        Self::load_frame(&frame, shards)
+    }
+
+    /// Reads a snapshot file and restores it at `shards` shards.
+    pub fn load_snapshot_from(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+    ) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::load_snapshot(&bytes, shards)
+    }
+
+    fn load_frame(frame: &Frame<'_>, shards: usize) -> Result<Self, SnapshotError> {
         let partition = Partition::new(shards);
         let parts = decode_and_route(frame.sections(), partition.count(), |(k, _): &(K, V)| {
             partition.shard_of(k)
@@ -377,6 +424,12 @@ where
     pub fn save_snapshot(&self) -> Result<Vec<u8>, SnapshotError> {
         self.snapshot().save_snapshot()
     }
+
+    /// Saves a snapshot to `path` atomically (see
+    /// [`ShardedMultiMap::save_snapshot_to`]).
+    pub fn save_snapshot_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        trie_common::snapshot::save_atomic(path.as_ref(), &self.save_snapshot()?)
+    }
 }
 
 impl<T, S> ShardedSet<T, S>
@@ -397,6 +450,15 @@ where
             parts,
             S::built_from,
         )))
+    }
+
+    /// Reads a snapshot file and restores it at `shards` shards.
+    pub fn load_snapshot_from(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+    ) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::load_snapshot(&bytes, shards)
     }
 }
 

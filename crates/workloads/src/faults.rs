@@ -1,0 +1,106 @@
+//! Seeded chaos-plan generation for the fault-injection harness.
+//!
+//! [`trie_common::faults`] installs a [`FaultPlan`] mapping `(site, hit)`
+//! to a panic or delay; this module *generates* such plans from a seed, so
+//! a chaos test run is fully reproducible: same seed, same faults, same
+//! surviving replies. The generators only pick hit numbers and fault kinds
+//! — which sites participate is the caller's choice, keeping each chaos
+//! scenario explicit about what it degrades.
+//!
+//! Only compiled with the `fault-injection` feature (like the registry it
+//! feeds).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trie_common::faults::{Fault, FaultPlan};
+
+/// Tuning for [`chaos_plan`].
+#[derive(Debug, Clone)]
+pub struct ChaosProfile {
+    /// Sites to inject at, e.g. [`trie_common::faults::site::APPLIER_APPLY`].
+    pub sites: Vec<&'static str>,
+    /// Faults injected per site.
+    pub faults_per_site: usize,
+    /// Hit indices are drawn uniformly from `0..max_hit` (the registry
+    /// counts hits 0-based): sized to the traffic the scenario will push
+    /// through each site.
+    pub max_hit: u64,
+    /// Probability that an injected fault is a panic; the rest are delays.
+    pub panic_ratio: f64,
+    /// Upper bound for injected delays.
+    pub max_delay: Duration,
+}
+
+impl ChaosProfile {
+    /// Panic-only faults at the given sites: `faults_per_site` panics each,
+    /// scattered over the first `max_hit` executions.
+    pub fn panics(sites: Vec<&'static str>, faults_per_site: usize, max_hit: u64) -> Self {
+        ChaosProfile {
+            sites,
+            faults_per_site,
+            max_hit,
+            panic_ratio: 1.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Generates a deterministic chaos [`FaultPlan`] from `seed`: for each site
+/// in the profile, `faults_per_site` faults at distinct random hits.
+///
+/// Determinism contract: the plan depends only on `(profile, seed)`. What
+/// the plan *does* to a run also depends on scheduling (which worker
+/// reaches hit N), so chaos tests assert outcome *invariants* (acked data
+/// survives, engine keeps answering), not exact schedules.
+pub fn chaos_plan(profile: &ChaosProfile, seed: u64) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plan = FaultPlan::new();
+    for &site in &profile.sites {
+        let mut hits = Vec::with_capacity(profile.faults_per_site);
+        while hits.len() < profile.faults_per_site {
+            let hit = rng.gen_range(0..profile.max_hit.max(1));
+            if !hits.contains(&hit) {
+                hits.push(hit);
+            }
+        }
+        for hit in hits {
+            let fault = if rng.gen_bool(profile.panic_ratio.clamp(0.0, 1.0)) {
+                Fault::Panic
+            } else {
+                Fault::Delay(Duration::from_micros(
+                    rng.gen_range(0..=profile.max_delay.as_micros().max(1) as u64),
+                ))
+            };
+            plan = plan.fault_at(site, hit, fault);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trie_common::faults::site;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let profile = ChaosProfile {
+            sites: vec![site::APPLIER_APPLY, site::READ_WORKER],
+            faults_per_site: 5,
+            max_hit: 100,
+            panic_ratio: 0.5,
+            max_delay: Duration::from_millis(2),
+        };
+        assert_eq!(chaos_plan(&profile, 42), chaos_plan(&profile, 42));
+        assert_ne!(chaos_plan(&profile, 42), chaos_plan(&profile, 43));
+    }
+
+    #[test]
+    fn panic_profile_injects_only_panics() {
+        let profile = ChaosProfile::panics(vec![site::PUBLISH_COMMIT], 3, 10);
+        let plan = chaos_plan(&profile, 7);
+        assert!(!plan.is_empty());
+    }
+}

@@ -14,6 +14,9 @@
 //!   probes);
 //! * [`snapshot`] — save/restore scenarios for the persistence layer
 //!   (sized relations plus hit/partial/miss probe oracles);
+//! * [`faults`] (behind the `fault-injection` feature) — seeded chaos-plan
+//!   generation for the fault-injection harness, so panic/delay storms are
+//!   reproducible from a seed;
 //! * [`timing`] — JMH-like warmup + measurement iterations with median/MAD
 //!   statistics and box-plot-style ratio summaries;
 //! * [`report`] — markdown table emission so the binaries regenerate the
@@ -35,6 +38,8 @@
 pub mod build;
 pub mod concurrent;
 pub mod data;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod report;
 pub mod snapshot;
 pub mod timing;

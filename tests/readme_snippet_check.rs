@@ -98,20 +98,32 @@ fn readme_quick_start() {
 fn readme_serving_engine() {
     use std::sync::Arc;
 
-    use axiom_repro::serving::{Engine, MapRead, MapReply};
+    use axiom_repro::serving::{Engine, EngineConfig, MapRead, MapReply};
     use axiom_repro::sharded::ShardedMap;
     use axiom_repro::trie_common::ops::MapEdit;
 
     let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(8));
-    let engine = Engine::new(Arc::clone(&store));
+    // Bound each admission lane at 64 staged batches: `stage` now applies
+    // back-pressure and `try_stage` sheds (handing the batch back) when full.
+    let engine = Engine::with_config(
+        Arc::clone(&store),
+        EngineConfig {
+            lane_capacity: Some(64),
+            ..EngineConfig::default()
+        },
+    );
 
     // Writes go through admission; the ack reports their visibility epoch.
     let visible = engine
         .stage(vec![MapEdit::Insert(1, 10), MapEdit::Insert(2, 20)])
-        .wait();
+        .wait()
+        .expect("no applier faulted");
 
     // A read batch is answered from one epoch — never a torn view.
-    let reply = engine.submit(vec![MapRead::Get(1), MapRead::Len]).wait();
+    let reply = engine
+        .submit(vec![MapRead::Get(1), MapRead::Len])
+        .wait()
+        .expect("no read worker faulted");
     assert!(reply.epoch >= visible);
     assert_eq!(reply.replies[0], MapReply::Value(Some(10)));
     assert_eq!(reply.replies[1], MapReply::Count(2));

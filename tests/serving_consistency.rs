@@ -88,6 +88,7 @@ fn engine_read_batches_are_answered_from_one_epoch() {
         EngineConfig {
             read_workers: 2,
             txn_attempts: 8,
+            ..EngineConfig::default()
         },
     );
 
@@ -99,7 +100,7 @@ fn engine_read_batches_are_answered_from_one_epoch() {
             s.spawn(move || {
                 while !done.load(Ordering::Relaxed) {
                     let ops: Vec<MapRead<u32>> = keyspace().map(MapRead::Get).collect();
-                    let reply = engine.submit(ops).wait();
+                    let reply = engine.submit(ops).wait().expect("no read worker faulted");
                     let rounds: Vec<u32> = reply
                         .replies
                         .iter()
@@ -139,6 +140,7 @@ fn transactional_transfers_hold_the_invariant_in_every_epoch() {
         EngineConfig {
             read_workers: 1,
             txn_attempts: 1_000, // the storm is the point; never give up
+            ..EngineConfig::default()
         },
     ));
 

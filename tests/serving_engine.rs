@@ -69,6 +69,7 @@ fn run_script(shards: usize, cmds: Vec<Cmd>) {
         EngineConfig {
             read_workers: 2,
             txn_attempts: 4,
+            ..EngineConfig::default()
         },
     );
     let mut oracle: BTreeMap<u16, u16> = BTreeMap::new();
@@ -86,10 +87,13 @@ fn run_script(shards: usize, cmds: Vec<Cmd>) {
                         }
                     }
                 }
-                engine.stage(batch).wait();
+                engine.stage(batch).wait().expect("no applier faulted");
             }
             Cmd::Read(ops) => {
-                let reply = engine.submit(ops.clone()).wait();
+                let reply = engine
+                    .submit(ops.clone())
+                    .wait()
+                    .expect("no read worker faulted");
                 assert_eq!(reply.replies.len(), ops.len());
                 for (op, reply) in ops.iter().zip(&reply.replies) {
                     match (op, reply) {
@@ -130,7 +134,7 @@ fn run_script(shards: usize, cmds: Vec<Cmd>) {
 
     // Final exhaustive sweep: engine state == oracle, via the engine.
     let reply = engine.submit(vec![MapRead::Len, MapRead::Scan { limit: usize::MAX }]);
-    let reply = reply.wait();
+    let reply = reply.wait().expect("no read worker faulted");
     assert_eq!(reply.replies[0], MapReply::Count(oracle.len()));
     let MapReply::Entries(entries) = &reply.replies[1] else {
         panic!("scan reply shape");
@@ -189,7 +193,7 @@ fn multimap_engine_matches_oracle() {
                 }
             }
         }
-        engine.stage(batch).wait();
+        engine.stage(batch).wait().expect("no applier faulted");
 
         let keys: Vec<u16> = (0..48).collect();
         let reply = engine.execute(&[

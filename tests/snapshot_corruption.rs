@@ -12,7 +12,7 @@ use axiom_repro::axiom::{AxiomMultiMap, AxiomSet};
 use axiom_repro::sharded::ShardedMultiMap;
 use axiom_repro::trie_common::snapshot::{
     inspect, SnapshotError, SnapshotRead, SnapshotWrite, HEADER_BYTES, MAGIC, SHARD_ENTRY_BYTES,
-    VERSION,
+    SHARD_ENTRY_BYTES_V1, VERSION,
 };
 
 type Mm = AxiomMultiMap<u32, u32>;
@@ -118,9 +118,11 @@ fn mutated_fields_fail_with_named_errors() {
             check: |e| matches!(e, SnapshotError::SectionSizeMismatch { .. }),
         },
         Case {
-            name: "unknown value tag in the payload",
+            // Since v2 every payload carries a checksum, so a corrupted
+            // value tag is caught by framing before the codec ever runs.
+            name: "corrupted byte in the payload",
             bytes: patched(&good, HEADER_BYTES + SHARD_ENTRY_BYTES, &[0xFF]),
-            check: |e| matches!(e, SnapshotError::Codec(_)),
+            check: |e| matches!(e, SnapshotError::ChecksumMismatch { shard: 0, .. }),
         },
         Case {
             name: "empty buffer",
@@ -237,10 +239,93 @@ fn sharded_table_mutations_are_localized_errors() {
 #[test]
 fn magic_prefix_is_stable() {
     // The wire constants are load-bearing for cross-version compatibility;
-    // pin them so an accidental change fails loudly.
+    // pin them so an accidental change fails loudly. v2 added per-shard
+    // payload checksums to the table entries.
     assert_eq!(MAGIC, *b"AXSN");
-    assert_eq!(VERSION, 1);
+    assert_eq!(VERSION, 2);
     let good = valid_snapshot();
     assert_eq!(&good[0..4], b"AXSN");
-    assert_eq!(u16::from_le_bytes([good[4], good[5]]), 1);
+    assert_eq!(u16::from_le_bytes([good[4], good[5]]), 2);
+}
+
+/// Every single-bit flip anywhere in a shard payload is detected by that
+/// shard's checksum, and the error names the culprit shard.
+#[test]
+fn payload_bit_flips_are_detected_and_blamed() {
+    let good = valid_sharded_snapshot();
+    let info = inspect(&good).unwrap();
+    let payload_start = HEADER_BYTES + info.shards.len() * SHARD_ENTRY_BYTES;
+
+    // Walk the shard boundaries so every shard gets a flipped byte: first,
+    // middle and last byte of each payload.
+    let mut offset = payload_start;
+    for (shard, &(_, len)) in info.shards.iter().enumerate() {
+        let len = len as usize;
+        if len == 0 {
+            continue;
+        }
+        for at in [offset, offset + len / 2, offset + len - 1] {
+            for bit in [0, 4, 7] {
+                let mut bad = good.clone();
+                bad[at] ^= 1 << bit;
+                match ShardedMultiMap::<u32, u32>::load_snapshot(&bad, 8) {
+                    Err(SnapshotError::ChecksumMismatch {
+                        shard: blamed,
+                        stored,
+                        computed,
+                    }) => {
+                        assert_eq!(blamed, shard, "flip at byte {at} blamed the wrong shard");
+                        assert_ne!(stored, computed);
+                    }
+                    other => panic!(
+                        "flip at byte {at} bit {bit}: expected a checksum mismatch, got {other:?}"
+                    ),
+                }
+            }
+        }
+        offset += len;
+    }
+}
+
+/// Down-converts a v2 snapshot to the v1 framing (no checksums) so the
+/// backward-compatibility path is exercised end-to-end: snapshots written
+/// by the previous release must still restore.
+fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
+    let info = inspect(v2).unwrap();
+    let mut out = v2[..HEADER_BYTES].to_vec();
+    out[4..6].copy_from_slice(&1u16.to_le_bytes());
+    for (i, &(count, len)) in info.shards.iter().enumerate() {
+        let entry = HEADER_BYTES + i * SHARD_ENTRY_BYTES;
+        out.extend_from_slice(&v2[entry..entry + SHARD_ENTRY_BYTES_V1]);
+        debug_assert_eq!(
+            count,
+            u64::from_le_bytes(v2[entry..entry + 8].try_into().unwrap())
+        );
+        debug_assert_eq!(
+            len,
+            u64::from_le_bytes(v2[entry + 8..entry + 16].try_into().unwrap())
+        );
+    }
+    out.extend_from_slice(&v2[HEADER_BYTES + info.shards.len() * SHARD_ENTRY_BYTES..]);
+    out
+}
+
+#[test]
+fn version_1_snapshots_still_restore() {
+    let reference: ShardedMultiMap<u32, u32> =
+        ShardedMultiMap::build_parallel(8, (0..500u32).map(|i| (i % 50, i)));
+    let v1 = downgrade_to_v1(&reference.save_snapshot().unwrap());
+    assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), 1);
+
+    let restored = ShardedMultiMap::<u32, u32>::load_snapshot(&v1, 8).unwrap();
+    assert_eq!(restored.tuple_count(), 500);
+    assert_eq!(restored.key_count(), 50);
+
+    // v1 framing carries no checksums, so a payload flip falls through to
+    // the codec — it may error or decode to different data, but never
+    // panics (the pre-v2 guarantee, unchanged).
+    let payload_start = HEADER_BYTES + 8 * SHARD_ENTRY_BYTES_V1;
+    let mut bad = v1.clone();
+    bad[payload_start] ^= 0x10;
+    let _ = ShardedMultiMap::<u32, u32>::load_snapshot(&bad, 8);
 }
