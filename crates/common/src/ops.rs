@@ -659,6 +659,122 @@ impl<K, V> MultiMapEdit<K, V> {
 }
 
 // ---------------------------------------------------------------------------
+// Wire encoding of the edit scripts.
+//
+// Each edit serializes through the snapshot value codec as one sequence
+// `[code, fields...]` with frozen per-enum op codes (new variants append,
+// existing ones never renumber) — the same convention as the serving op
+// enums, so a remote writer's batch decodes into exactly these scripts.
+// The code tables live in `DESIGN.md` §10.
+// ---------------------------------------------------------------------------
+
+/// Builds the wire surface of an edit enum: `op_code()`, the code → name
+/// table, and `Serialize`/`Deserialize` as `[code, fields...]` sequences.
+macro_rules! edit_wire {
+    ($name:ident < $($gen:ident),* > expecting $exp:literal, {
+        $($code:literal => $variant:ident ( $($field:ident),* )),* $(,)?
+    }) => {
+        impl<$($gen),*> $name<$($gen),*> {
+            /// The variant's stable wire op code (frozen; never renumbered).
+            pub fn op_code(&self) -> u16 {
+                match self {
+                    $($name::$variant ( $(edit_wire!(@skip $field)),* ) => $code,)*
+                }
+            }
+
+            /// The variant name a wire op code denotes, if defined.
+            pub fn name_of_code(code: u16) -> Option<&'static str> {
+                match code {
+                    $($code => Some(stringify!($variant)),)*
+                    _ => None,
+                }
+            }
+        }
+
+        impl<$($gen: serde::ser::Serialize),*> serde::ser::Serialize for $name<$($gen),*> {
+            fn serialize<Ser: serde::ser::Serializer>(
+                &self,
+                serializer: Ser,
+            ) -> Result<Ser::Ok, Ser::Error> {
+                use serde::ser::SerializeSeq;
+                match self {
+                    $($name::$variant ( $($field),* ) => {
+                        let arity = 1usize $( + { let _ = stringify!($field); 1 } )*;
+                        let mut seq = serializer.serialize_seq(Some(arity))?;
+                        seq.serialize_element(&($code as u64))?;
+                        $( seq.serialize_element($field)?; )*
+                        seq.end()
+                    })*
+                }
+            }
+        }
+
+        impl<'de, $($gen: serde::de::Deserialize<'de>),*> serde::de::Deserialize<'de>
+            for $name<$($gen),*>
+        {
+            fn deserialize<D: serde::de::Deserializer<'de>>(
+                deserializer: D,
+            ) -> Result<Self, D::Error> {
+                use serde::de::{Error as _, SeqAccess, Visitor};
+                struct WireVisitor<$($gen),*>(std::marker::PhantomData<($($gen,)*)>);
+                impl<'de, $($gen: serde::de::Deserialize<'de>),*> Visitor<'de>
+                    for WireVisitor<$($gen),*>
+                {
+                    type Value = $name<$($gen),*>;
+
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str($exp)
+                    }
+
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let code: u64 = seq
+                            .next_element()?
+                            .ok_or_else(|| A::Error::custom("edit value ended before its code"))?;
+                        match code {
+                            $($code => Ok($name::$variant ( $(
+                                {
+                                    seq.next_element()?.ok_or_else(|| A::Error::custom(
+                                        concat!(
+                                            "edit value ended before ",
+                                            stringify!($field)
+                                        ),
+                                    ))?
+                                }
+                            ),* )),)*
+                            other => Err(A::Error::custom(format!(
+                                concat!("unknown ", stringify!($name), " op code {}"),
+                                other
+                            ))),
+                        }
+                    }
+                }
+                deserializer.deserialize_seq(WireVisitor(std::marker::PhantomData))
+            }
+        }
+    };
+    (@skip $f:ident) => { _ };
+}
+
+edit_wire!(MapEdit<K, V> expecting "a MapEdit script", {
+    1 => Insert(k, v),
+    2 => Remove(k),
+});
+
+edit_wire!(SetEdit<T> expecting "a SetEdit script", {
+    1 => Insert(v),
+    2 => Remove(v),
+});
+
+edit_wire!(MultiMapEdit<K, V> expecting "a MultiMapEdit script", {
+    1 => Insert(k, v),
+    2 => RemoveTuple(k, v),
+    3 => RemoveKey(k),
+});
+
+// ---------------------------------------------------------------------------
 // The transient builder protocol.
 // ---------------------------------------------------------------------------
 

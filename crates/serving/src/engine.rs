@@ -171,6 +171,86 @@ pub struct EngineStats {
     pub worker_respawns: u64,
 }
 
+impl EngineStats {
+    /// The counters in wire order (the order they serialize in — field
+    /// declaration order, frozen; new counters append at the end).
+    fn wire_fields(&self) -> [u64; 12] {
+        [
+            self.read_batches,
+            self.read_ops,
+            self.write_batches,
+            self.write_edits,
+            self.applier_commits,
+            self.txn_commits,
+            self.txn_conflicts,
+            self.read_faults,
+            self.write_faults,
+            self.shed_writes,
+            self.shed_reads,
+            self.worker_respawns,
+        ]
+    }
+}
+
+// `EngineStats` serializes through the snapshot value codec as a flat
+// sequence of its counters in declaration order, so a remote operator's
+// `Stats` op decodes into exactly this struct. A shorter sequence (an
+// older peer) leaves the missing trailing counters at zero; extra trailing
+// counters (a newer peer) are ignored.
+impl serde::ser::Serialize for EngineStats {
+    fn serialize<S: serde::ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeSeq;
+        let fields = self.wire_fields();
+        let mut seq = serializer.serialize_seq(Some(fields.len()))?;
+        for field in &fields {
+            seq.serialize_element(field)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> serde::de::Deserialize<'de> for EngineStats {
+    fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::{SeqAccess, Visitor};
+        struct StatsVisitor;
+        impl<'de> Visitor<'de> for StatsVisitor {
+            type Value = EngineStats;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("an EngineStats counter sequence")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut fields = [0u64; 12];
+                for slot in fields.iter_mut() {
+                    match seq.next_element()? {
+                        Some(v) => *slot = v,
+                        None => break,
+                    }
+                }
+                while seq.next_element::<u64>()?.is_some() {}
+                let [read_batches, read_ops, write_batches, write_edits, applier_commits, txn_commits, txn_conflicts, read_faults, write_faults, shed_writes, shed_reads, worker_respawns] =
+                    fields;
+                Ok(EngineStats {
+                    read_batches,
+                    read_ops,
+                    write_batches,
+                    write_edits,
+                    applier_commits,
+                    txn_commits,
+                    txn_conflicts,
+                    read_faults,
+                    write_faults,
+                    shed_writes,
+                    shed_reads,
+                    worker_respawns,
+                })
+            }
+        }
+        deserializer.deserialize_seq(StatsVisitor)
+    }
+}
+
 #[derive(Default)]
 struct StatsCore {
     read_batches: AtomicU64,
@@ -354,7 +434,34 @@ impl<S: Serve> Engine<S> {
     /// Serves a read batch synchronously on the caller's thread (same
     /// single-pin consistency as [`Engine::submit`], no queueing).
     pub fn execute(&self, ops: &[S::Read]) -> BatchReply<S::Reply> {
-        let reply = answer_batch::<S>(&self.store.pin(), ops);
+        self.answer_with(self.store.pin(), ops)
+    }
+
+    /// [`Engine::execute`] with a visibility floor: the batch is answered
+    /// against an epoch `>= min_epoch`, blocking (via
+    /// [`Serve::pin_after`]) until the store publishes one if necessary.
+    ///
+    /// This is the session primitive behind cross-connection
+    /// read-your-writes: pass the visibility epoch a write ack carried and
+    /// the reply is guaranteed to include that write. A floor of `0` never
+    /// blocks. Beware floors above anything the store will ever publish —
+    /// they block until the store catches up (the wire server rejects such
+    /// floors up front with `FutureEpoch` instead of parking a handler).
+    pub fn execute_at_least(&self, min_epoch: u64, ops: &[S::Read]) -> BatchReply<S::Reply> {
+        let snap = self.store.pin();
+        let snap = if S::epoch_of(&snap) >= min_epoch {
+            snap
+        } else {
+            // `pin_after(e)` waits for an epoch strictly beyond `e`, so
+            // the floor `min_epoch` maps to `pin_after(min_epoch - 1)`
+            // (the zero floor was satisfied by any pin above).
+            self.store.pin_after(min_epoch - 1)
+        };
+        self.answer_with(snap, ops)
+    }
+
+    fn answer_with(&self, snap: S::Snapshot, ops: &[S::Read]) -> BatchReply<S::Reply> {
+        let reply = answer_batch::<S>(&snap, ops);
         self.stats.read_batches.fetch_add(1, Ordering::Relaxed);
         self.stats
             .read_ops

@@ -26,6 +26,11 @@
 //!   the ticket, and a panicking worker faults only the requests it carried
 //!   ([`WriteError::Faulted`] / [`ReadError::Faulted`]) while a supervisor
 //!   respawns it — the engine never wedges on a poisoned lock.
+//! - **A wire protocol** — [`Server`] frames the same batches over TCP
+//!   ([`proto`]: validated binary frames riding the snapshot value codec)
+//!   and [`Client`] carries the visibility epoch as a session floor, so
+//!   `pin_after` read-your-writes works across connections; every engine
+//!   failure mode maps onto a stable numeric [`Status`] code.
 //!
 //! # Example
 //!
@@ -70,14 +75,20 @@
 mod admit;
 mod engine;
 mod error;
+pub mod net;
 mod ops;
+pub mod proto;
+pub mod session;
 mod store;
 mod txn;
 
 pub use admit::WriteTicket;
 pub use engine::{BatchReply, Engine, EngineConfig, EngineStats, ReadTicket};
-pub use error::{Overloaded, ReadError, ReplyMismatch, WriteError};
+pub use error::{Overloaded, ReadError, ReplyMismatch, Status, WriteError, ALL_STATUSES};
+pub use net::{Server, ServerConfig};
 pub use ops::{MapRead, MapReply, MultiMapRead, MultiMapReply, SetRead, SetReply};
+pub use proto::{Frame, OpCode, WireError};
+pub use session::{Client, ClientError, MapClient, MultiMapClient, SetClient};
 pub use sharded::EpochConflict;
 pub use store::Serve;
 pub use txn::{Txn, TxnError, TxnOutcome};

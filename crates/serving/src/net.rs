@@ -1,0 +1,402 @@
+//! The blocking TCP server: an acceptor thread plus one handler thread
+//! per connection, feeding the existing [`Engine`] queues.
+//!
+//! Each handler reads [`proto`](crate::proto) frames off its socket,
+//! dispatches them into the engine (reads answer on the handler thread
+//! against an epoch-pinned snapshot; writes stage through the admission
+//! lanes and wait for their visibility epoch), and writes the response
+//! frame back. Every engine failure mode maps onto a wire
+//! [`Status`]: shed admission → `Overloaded`, expired deadlines →
+//! `Deadline`, panicking workers (or a panic anywhere in dispatch —
+//! handlers run requests under `catch_unwind`) → `Faulted`, malformed
+//! frames → `BadRequest`. A protocol-level framing error (bad magic,
+//! unknown version) poisons the byte stream, so the handler sends one
+//! `BadRequest` best-effort and closes; a payload that fails to decode
+//! leaves the framing intact and only fails that request.
+//!
+//! Shutdown is graceful: [`Server::shutdown`] (or drop) stops the
+//! acceptor, and every handler finishes the request it is currently
+//! carrying — its ticket waits included — before closing its connection.
+//! Idle connections close at the next poll tick.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+
+use crate::engine::Engine;
+use crate::error::Status;
+use crate::proto::{
+    decode_header, decode_value, encode_value, write_frame, Frame, OpCode, WireError,
+    DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+};
+use crate::store::Serve;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Hard cap on request payload size; larger frames are rejected at the
+    /// header, before allocation.
+    pub max_payload: usize,
+    /// Deadline for admitting a write batch onto its lanes. `Some(t)`
+    /// sheds with `Overloaded` after `t` (via [`Engine::stage_timeout`]);
+    /// `None` blocks until admitted.
+    pub admission_timeout: Option<Duration>,
+    /// Deadline for an admitted batch to apply and publish. `Some(t)`
+    /// answers `Deadline` after `t`; `None` waits indefinitely.
+    pub apply_timeout: Option<Duration>,
+    /// How often blocked accept/read calls wake to check the stop flag
+    /// (bounds shutdown latency; does not bound request latency).
+    pub poll_interval: Duration,
+    /// How long a handler keeps waiting for the rest of a half-received
+    /// frame after shutdown begins, before abandoning the connection.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            admission_timeout: None,
+            apply_timeout: None,
+            poll_interval: Duration::from_millis(20),
+            drain_grace: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A running wire server over one [`Engine`]. Returned by
+/// [`Server::spawn`]; dropping it (or calling [`Server::shutdown`])
+/// stops the acceptor and drains every connection gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and starts serving `engine` with default tuning.
+    /// Bind to port 0 to let the OS pick (see [`Server::local_addr`]).
+    pub fn spawn<S>(engine: Arc<Engine<S>>, addr: impl ToSocketAddrs) -> std::io::Result<Server>
+    where
+        S: Serve,
+        S::Read: for<'de> Deserialize<'de>,
+        S::Reply: Serialize,
+        S::Edit: for<'de> Deserialize<'de>,
+    {
+        Self::spawn_with(engine, addr, ServerConfig::default())
+    }
+
+    /// [`Server::spawn`] with explicit tuning.
+    pub fn spawn_with<S>(
+        engine: Arc<Engine<S>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server>
+    where
+        S: Serve,
+        S::Read: for<'de> Deserialize<'de>,
+        S::Reply: Serialize,
+        S::Edit: for<'de> Deserialize<'de>,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, engine, config, stop))
+        };
+        Ok(Server {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains every in-flight request, joins all
+    /// threads. Equivalent to dropping the server, but explicit.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("stopping", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn accept_loop<S>(
+    listener: TcpListener,
+    engine: Arc<Engine<S>>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+) where
+    S: Serve,
+    S::Read: for<'de> Deserialize<'de>,
+    S::Reply: Serialize,
+    S::Edit: for<'de> Deserialize<'de>,
+{
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(&engine);
+                let config = config.clone();
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || {
+                    // Connection setup failures just drop the connection;
+                    // the client sees a closed socket and retries.
+                    let _ = handle_connection(stream, &engine, &config, &stop);
+                }));
+                // Opportunistically reap finished handlers so a
+                // long-lived server does not accumulate joined threads.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(config.poll_interval);
+            }
+            Err(_) => std::thread::sleep(config.poll_interval),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// What reading the next request frame produced.
+enum NextFrame {
+    /// A well-framed request (its payload may still fail to decode).
+    Frame(Frame),
+    /// The client closed between frames.
+    Closed,
+    /// Shutdown began while the connection was idle (or a half-received
+    /// frame outlived the drain grace).
+    Stopped,
+    /// The byte stream is no longer frame-aligned; unrecoverable.
+    Malformed,
+}
+
+fn handle_connection<S>(
+    mut stream: TcpStream,
+    engine: &Engine<S>,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) -> std::io::Result<()>
+where
+    S: Serve,
+    S::Read: for<'de> Deserialize<'de>,
+    S::Reply: Serialize,
+    S::Edit: for<'de> Deserialize<'de>,
+{
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(false)?;
+    // Reads wake at every poll tick so an idle handler notices shutdown.
+    stream.set_read_timeout(Some(config.poll_interval))?;
+    loop {
+        let frame = match next_request(&mut stream, config, stop) {
+            NextFrame::Frame(frame) => frame,
+            NextFrame::Closed | NextFrame::Stopped => return Ok(()),
+            NextFrame::Malformed => {
+                // Framing is lost: one best-effort error, then hang up.
+                let current = engine.store().current_epoch();
+                let _ = write_frame(&mut stream, &Frame::error(Status::BadRequest, current));
+                return Ok(());
+            }
+        };
+        // The request guard: a panic anywhere in dispatch (a poisoned
+        // store, an injected fault) faults this request, not the server.
+        let response = catch_unwind(AssertUnwindSafe(|| dispatch(engine, config, frame)))
+            .unwrap_or_else(|_| Frame::error(Status::Faulted, 0));
+        if let Err(WireError::Io(e)) = write_frame(&mut stream, &response) {
+            return Err(e);
+        }
+        // Graceful shutdown: the in-flight request above was finished and
+        // answered; new requests on this connection are no longer taken.
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads one frame, polling the stop flag while idle. Distinguishes
+/// "closed between frames" (clean) from "closed mid-frame" (malformed).
+fn next_request(stream: &mut TcpStream, config: &ServerConfig, stop: &AtomicBool) -> NextFrame {
+    let mut header = [0u8; HEADER_LEN];
+    match fill(stream, &mut header, config, stop, true) {
+        Fill::Full => {}
+        Fill::Closed => return NextFrame::Closed,
+        Fill::Stopped => return NextFrame::Stopped,
+        Fill::Failed => return NextFrame::Malformed,
+    }
+    let (mut frame, payload_len) = match decode_header(&header, config.max_payload) {
+        Ok(parsed) => parsed,
+        Err(_) => return NextFrame::Malformed,
+    };
+    if payload_len > 0 {
+        let mut payload = vec![0u8; payload_len];
+        match fill(stream, &mut payload, config, stop, false) {
+            Fill::Full => frame.payload = payload,
+            Fill::Closed | Fill::Stopped => return NextFrame::Stopped,
+            Fill::Failed => return NextFrame::Malformed,
+        }
+    }
+    NextFrame::Frame(frame)
+}
+
+enum Fill {
+    Full,
+    Closed,
+    Stopped,
+    Failed,
+}
+
+/// `read_exact` with stop-flag polling. `idle` marks the read as sitting
+/// between frames: a clean close or a stop before the first byte is not
+/// an error there, while mid-frame both mean the frame will never finish.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    idle: bool,
+) -> Fill {
+    let mut filled = 0;
+    let mut drain_deadline: Option<Instant> = None;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && idle {
+                    Fill::Closed
+                } else {
+                    Fill::Failed
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    if filled == 0 && idle {
+                        return Fill::Stopped;
+                    }
+                    // Mid-frame: keep draining, but only for the grace
+                    // period — a stalled peer must not block shutdown.
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + config.drain_grace);
+                    if Instant::now() >= deadline {
+                        return Fill::Stopped;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Fill::Failed,
+        }
+    }
+    Fill::Full
+}
+
+fn dispatch<S>(engine: &Engine<S>, config: &ServerConfig, frame: Frame) -> Frame
+where
+    S: Serve,
+    S::Read: for<'de> Deserialize<'de>,
+    S::Reply: Serialize,
+    S::Edit: for<'de> Deserialize<'de>,
+{
+    let current = engine.store().current_epoch();
+    if !frame.status.is_ok() || !frame.op.is_request() {
+        return Frame::error(Status::BadRequest, current);
+    }
+    match frame.op {
+        OpCode::ReadReq => {
+            let ops: Vec<S::Read> = match decode_value(&frame.payload) {
+                Ok(ops) => ops,
+                Err(_) => return Frame::error(Status::BadRequest, current),
+            };
+            // A floor above everything published would park this handler
+            // in `pin_after` forever; acks always trail publication, so a
+            // floor from a real session is never ahead of `current`.
+            if frame.epoch > current {
+                return Frame::error(Status::FutureEpoch, current);
+            }
+            let batch = engine.execute_at_least(frame.epoch, &ops);
+            match encode_value(&batch.replies) {
+                Ok(payload) => Frame {
+                    op: OpCode::ReadResp,
+                    status: Status::Ok,
+                    epoch: batch.epoch,
+                    payload,
+                },
+                Err(_) => Frame::error(Status::Faulted, batch.epoch),
+            }
+        }
+        OpCode::WriteReq => {
+            let edits: Vec<S::Edit> = match decode_value(&frame.payload) {
+                Ok(edits) => edits,
+                Err(_) => return Frame::error(Status::BadRequest, current),
+            };
+            let ticket = match config.admission_timeout {
+                Some(timeout) => match engine.stage_timeout(edits, timeout) {
+                    Ok(ticket) => ticket,
+                    Err(_overloaded) => return Frame::error(Status::Overloaded, current),
+                },
+                None => engine.stage(edits),
+            };
+            let waited = match config.apply_timeout {
+                Some(timeout) => ticket.wait_timeout(timeout),
+                None => ticket.wait(),
+            };
+            match waited {
+                Ok(epoch) => Frame {
+                    op: OpCode::WriteResp,
+                    status: Status::Ok,
+                    epoch,
+                    payload: Vec::new(),
+                },
+                Err(e) => Frame::error(Status::from(e), current),
+            }
+        }
+        OpCode::StatsReq => match encode_value(&engine.stats()) {
+            Ok(payload) => Frame {
+                op: OpCode::StatsResp,
+                status: Status::Ok,
+                epoch: current,
+                payload,
+            },
+            Err(_) => Frame::error(Status::Faulted, current),
+        },
+        // Response codes are never valid as requests.
+        OpCode::ReadResp | OpCode::WriteResp | OpCode::StatsResp | OpCode::ErrorResp => {
+            Frame::error(Status::BadRequest, current)
+        }
+    }
+}

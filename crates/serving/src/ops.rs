@@ -1,34 +1,137 @@
 //! The typed read operations a serving request can carry, and their typed
-//! replies.
+//! replies — *wire-first*: every variant has a stable numeric op code and
+//! the enums serialize through the `trie_common::snapshot` value codec.
 //!
 //! One request batch is a `Vec` of these ops; the engine answers the whole
 //! batch against **one** pinned epoch, so every reply in a
 //! [`BatchReply`](crate::BatchReply) is mutually consistent — including
 //! replies that touched different shards.
 //!
+//! # Wire encoding
+//!
+//! Each op or reply value is one codec sequence whose first element is the
+//! variant's op code (`op_code()`), followed by the variant's fields in
+//! declaration order. The codes are frozen per enum — new variants append,
+//! existing ones never renumber — so frames survive version skew the same
+//! way snapshot frames do. `MapReply::Value` carries its `Option` as a
+//! presence `bool` followed by the value when present (the value codec has
+//! no native option type). The full table lives in `DESIGN.md` §10.
+//!
 //! Each reply enum carries typed `into_*` accessors returning
 //! [`ReplyMismatch`] instead of panicking when the variant doesn't match —
 //! a malformed batch (or a bug pairing ops with replies) surfaces as a
 //! handleable error, never a crash in the consumer.
 
+use serde::de::{self, Deserialize, Deserializer, SeqAccess, Visitor};
+use serde::ser::{Serialize, SerializeSeq, Serializer};
+
 use crate::error::ReplyMismatch;
+
+/// Reads the next sequence element or errors with the missing field's
+/// name (the wire decoder's "value ended early" failure).
+fn next_field<'de, T, A>(seq: &mut A, what: &'static str) -> Result<T, A::Error>
+where
+    T: Deserialize<'de>,
+    A: SeqAccess<'de>,
+{
+    seq.next_element()?
+        .ok_or_else(|| de::Error::custom(format!("op value ended before {what}")))
+}
+
+/// Builds the wire surface of an op/reply enum: a stable `op_code()` per
+/// variant, the code → name table behind `variant_name()`, and
+/// `Serialize`/`Deserialize` through the snapshot value codec (one
+/// sequence: `[code, fields...]`).
+macro_rules! wire_enum {
+    ($name:ident < $($gen:ident),* > expecting $exp:literal, {
+        $($code:literal => $variant:ident
+            $( ( $($tf:ident),+ ) )?
+            $( { $($sf:ident),+ } )?
+        ),* $(,)?
+    }) => {
+        impl<$($gen),*> $name<$($gen),*> {
+            /// The variant's stable wire op code (frozen; never renumbered).
+            pub fn op_code(&self) -> u16 {
+                match self {
+                    $($name::$variant $( ( $(wire_enum!(@skip $tf)),+ ) )?
+                                      $( { $($sf: _),+ } )? => $code,)*
+                }
+            }
+
+            /// The variant name a wire op code denotes, if defined.
+            pub fn name_of_code(code: u16) -> Option<&'static str> {
+                match code {
+                    $($code => Some(stringify!($variant)),)*
+                    _ => None,
+                }
+            }
+
+            /// The variant's name, derived from the op-code table (used by
+            /// [`ReplyMismatch`] and diagnostics).
+            pub fn variant_name(&self) -> &'static str {
+                Self::name_of_code(self.op_code()).expect("own code is in the table")
+            }
+        }
+
+        impl<$($gen: Serialize),*> Serialize for $name<$($gen),*> {
+            fn serialize<Ser: Serializer>(&self, serializer: Ser) -> Result<Ser::Ok, Ser::Error> {
+                match self {
+                    $($name::$variant $( ( $($tf),+ ) )? $( { $($sf),+ } )? => {
+                        let arity = 1usize
+                            $( $( + { let _ = stringify!($tf); 1 } )+ )?
+                            $( $( + { let _ = stringify!($sf); 1 } )+ )?;
+                        let mut seq = serializer.serialize_seq(Some(arity))?;
+                        seq.serialize_element(&($code as u64))?;
+                        $( $( seq.serialize_element($tf)?; )+ )?
+                        $( $( seq.serialize_element($sf)?; )+ )?
+                        seq.end()
+                    })*
+                }
+            }
+        }
+
+        impl<'de, $($gen: Deserialize<'de>),*> Deserialize<'de> for $name<$($gen),*> {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct WireVisitor<$($gen),*>(std::marker::PhantomData<($($gen,)*)>);
+                impl<'de, $($gen: Deserialize<'de>),*> Visitor<'de> for WireVisitor<$($gen),*> {
+                    type Value = $name<$($gen),*>;
+
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str($exp)
+                    }
+
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let code: u64 = next_field(&mut seq, "an op code")?;
+                        match code {
+                            $($code => Ok($name::$variant
+                                $( ( $( next_field(&mut seq, stringify!($tf))? ),+ ) )?
+                                $( { $($sf: next_field(&mut seq, stringify!($sf))?),+ } )?
+                            ),)*
+                            other => Err(de::Error::custom(format!(
+                                concat!("unknown ", stringify!($name), " op code {}"),
+                                other
+                            ))),
+                        }
+                    }
+                }
+                deserializer.deserialize_seq(WireVisitor(std::marker::PhantomData))
+            }
+        }
+    };
+    (@skip $f:ident) => { _ };
+}
 
 /// Builds the `into_*` accessors for a reply enum: each takes the reply by
 /// value and returns its payload, or [`ReplyMismatch`] naming both
-/// variants.
+/// variants (via the op-code table from [`wire_enum!`]).
 macro_rules! reply_accessors {
     ($reply:ident < $($gen:ident),* > , {
         $($(#[$meta:meta])* $method:ident => $variant:ident ( $out:ty )),* $(,)?
     }) => {
         impl<$($gen),*> $reply<$($gen),*> {
-            /// The variant's name, as the typed accessors report it in
-            /// [`ReplyMismatch`].
-            pub fn variant_name(&self) -> &'static str {
-                match self {
-                    $($reply::$variant(..) => stringify!($variant),)*
-                }
-            }
-
             $(
                 $(#[$meta])*
                 pub fn $method(self) -> Result<$out, ReplyMismatch> {
@@ -61,6 +164,13 @@ pub enum MapRead<K> {
     Len,
 }
 
+wire_enum!(MapRead<K> expecting "a MapRead op", {
+    1 => Get(k),
+    2 => Contains(k),
+    3 => Scan { limit },
+    4 => Len,
+});
+
 /// The reply to a [`MapRead`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapReply<K, V> {
@@ -72,6 +182,106 @@ pub enum MapReply<K, V> {
     Entries(Vec<(K, V)>),
     /// Reply to [`MapRead::Len`].
     Count(usize),
+}
+
+// `MapReply` is wired by hand: `Value` carries an `Option`, which the
+// value codec spells as a presence bool (+ the value when present).
+impl<K, V> MapReply<K, V> {
+    /// The variant's stable wire op code (frozen; never renumbered).
+    pub fn op_code(&self) -> u16 {
+        match self {
+            MapReply::Value(_) => 1,
+            MapReply::Bool(_) => 2,
+            MapReply::Entries(_) => 3,
+            MapReply::Count(_) => 4,
+        }
+    }
+
+    /// The variant name a wire op code denotes, if defined.
+    pub fn name_of_code(code: u16) -> Option<&'static str> {
+        match code {
+            1 => Some("Value"),
+            2 => Some("Bool"),
+            3 => Some("Entries"),
+            4 => Some("Count"),
+            _ => None,
+        }
+    }
+
+    /// The variant's name, derived from the op-code table (used by
+    /// [`ReplyMismatch`] and diagnostics).
+    pub fn variant_name(&self) -> &'static str {
+        Self::name_of_code(self.op_code()).expect("own code is in the table")
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for MapReply<K, V> {
+    fn serialize<Ser: Serializer>(&self, serializer: Ser) -> Result<Ser::Ok, Ser::Error> {
+        match self {
+            MapReply::Value(v) => {
+                let mut seq = serializer.serialize_seq(Some(if v.is_some() { 3 } else { 2 }))?;
+                seq.serialize_element(&1u64)?;
+                seq.serialize_element(&v.is_some())?;
+                if let Some(v) = v {
+                    seq.serialize_element(v)?;
+                }
+                seq.end()
+            }
+            MapReply::Bool(b) => {
+                let mut seq = serializer.serialize_seq(Some(2))?;
+                seq.serialize_element(&2u64)?;
+                seq.serialize_element(b)?;
+                seq.end()
+            }
+            MapReply::Entries(entries) => {
+                let mut seq = serializer.serialize_seq(Some(2))?;
+                seq.serialize_element(&3u64)?;
+                seq.serialize_element(entries)?;
+                seq.end()
+            }
+            MapReply::Count(n) => {
+                let mut seq = serializer.serialize_seq(Some(2))?;
+                seq.serialize_element(&4u64)?;
+                seq.serialize_element(n)?;
+                seq.end()
+            }
+        }
+    }
+}
+
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de> for MapReply<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V2<K, V>(std::marker::PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Visitor<'de> for V2<K, V> {
+            type Value = MapReply<K, V>;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a MapReply value")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let code: u64 = next_field(&mut seq, "an op code")?;
+                match code {
+                    1 => {
+                        let present: bool = next_field(&mut seq, "a presence flag")?;
+                        let value = if present {
+                            Some(next_field(&mut seq, "a value")?)
+                        } else {
+                            None
+                        };
+                        Ok(MapReply::Value(value))
+                    }
+                    2 => Ok(MapReply::Bool(next_field(&mut seq, "a bool")?)),
+                    3 => Ok(MapReply::Entries(next_field(&mut seq, "entries")?)),
+                    4 => Ok(MapReply::Count(next_field(&mut seq, "a count")?)),
+                    other => Err(de::Error::custom(format!(
+                        "unknown MapReply op code {other}"
+                    ))),
+                }
+            }
+        }
+        deserializer.deserialize_seq(V2(std::marker::PhantomData))
+    }
 }
 
 reply_accessors!(MapReply<K, V>, {
@@ -99,6 +309,12 @@ pub enum SetRead<T> {
     Len,
 }
 
+wire_enum!(SetRead<T> expecting "a SetRead op", {
+    1 => Contains(v),
+    2 => Scan { limit },
+    3 => Len,
+});
+
 /// The reply to a [`SetRead`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SetReply<T> {
@@ -109,6 +325,12 @@ pub enum SetReply<T> {
     /// Reply to [`SetRead::Len`].
     Count(usize),
 }
+
+wire_enum!(SetReply<T> expecting "a SetReply value", {
+    1 => Bool(b),
+    2 => Elems(elems),
+    3 => Count(n),
+});
 
 reply_accessors!(SetReply<T>, {
     /// The `Contains` payload, or the mismatching variant's name.
@@ -142,6 +364,15 @@ pub enum MultiMapRead<K, V> {
     TupleCount,
 }
 
+wire_enum!(MultiMapRead<K, V> expecting "a MultiMapRead op", {
+    1 => ValuesOf(k),
+    2 => FanOut(keys),
+    3 => ContainsKey(k),
+    4 => ContainsTuple(k, v),
+    5 => Scan { limit },
+    6 => TupleCount,
+});
+
 /// The reply to a [`MultiMapRead`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MultiMapReply<K, V> {
@@ -157,6 +388,14 @@ pub enum MultiMapReply<K, V> {
     Count(usize),
 }
 
+wire_enum!(MultiMapReply<K, V> expecting "a MultiMapReply value", {
+    1 => Values(vs),
+    2 => FanOut(per_key),
+    3 => Bool(b),
+    4 => Tuples(tuples),
+    5 => Count(n),
+});
+
 reply_accessors!(MultiMapReply<K, V>, {
     /// The `ValuesOf` payload, or the mismatching variant's name.
     into_values => Values(Vec<V>),
@@ -169,3 +408,93 @@ reply_accessors!(MultiMapReply<K, V>, {
     /// The `TupleCount` payload, or the mismatching variant's name.
     into_count => Count(usize),
 });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trie_common::snapshot::{decode_value, encode_value};
+
+    fn roundtrip<T>(value: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        decode_value(&encode_value(value).expect("encode")).expect("decode")
+    }
+
+    #[test]
+    fn map_ops_roundtrip_with_stable_codes() {
+        let ops: Vec<MapRead<u32>> = vec![
+            MapRead::Get(7),
+            MapRead::Contains(9),
+            MapRead::Scan { limit: 3 },
+            MapRead::Len,
+        ];
+        assert_eq!(
+            ops.iter().map(MapRead::op_code).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(roundtrip(&ops), ops);
+
+        let replies: Vec<MapReply<u32, String>> = vec![
+            MapReply::Value(Some("x".into())),
+            MapReply::Value(None),
+            MapReply::Bool(true),
+            MapReply::Entries(vec![(1, "one".into())]),
+            MapReply::Count(17),
+        ];
+        assert_eq!(roundtrip(&replies), replies);
+        assert_eq!(replies[0].op_code(), 1);
+        assert_eq!(MapReply::<u32, u32>::name_of_code(3), Some("Entries"));
+        assert_eq!(MapReply::<u32, u32>::name_of_code(99), None);
+    }
+
+    #[test]
+    fn set_and_multimap_ops_roundtrip() {
+        let ops: Vec<SetRead<String>> = vec![
+            SetRead::Contains("a".into()),
+            SetRead::Scan { limit: 10 },
+            SetRead::Len,
+        ];
+        assert_eq!(roundtrip(&ops), ops);
+        let replies: Vec<SetReply<String>> = vec![
+            SetReply::Bool(false),
+            SetReply::Elems(vec!["x".into()]),
+            SetReply::Count(0),
+        ];
+        assert_eq!(roundtrip(&replies), replies);
+
+        let ops: Vec<MultiMapRead<u32, u32>> = vec![
+            MultiMapRead::ValuesOf(4),
+            MultiMapRead::FanOut(vec![1, 2, 3]),
+            MultiMapRead::ContainsKey(5),
+            MultiMapRead::ContainsTuple(5, 50),
+            MultiMapRead::Scan { limit: 2 },
+            MultiMapRead::TupleCount,
+        ];
+        assert_eq!(
+            ops.iter().map(MultiMapRead::op_code).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(roundtrip(&ops), ops);
+        let replies: Vec<MultiMapReply<u32, u32>> = vec![
+            MultiMapReply::Values(vec![1, 2]),
+            MultiMapReply::FanOut(vec![(1, vec![10]), (2, vec![])]),
+            MultiMapReply::Bool(true),
+            MultiMapReply::Tuples(vec![(1, 10)]),
+            MultiMapReply::Count(3),
+        ];
+        assert_eq!(roundtrip(&replies), replies);
+    }
+
+    #[test]
+    fn unknown_op_codes_error_cleanly() {
+        // A Len op with its code patched to an undefined number must fail
+        // to decode with a typed codec error, not panic or misparse.
+        let bytes = encode_value(&MapRead::<u32>::Len).unwrap();
+        let mut patched = bytes.clone();
+        // [SEQ, count=1, U64 tag, code=4] — the code varint is the last byte.
+        *patched.last_mut().unwrap() = 99;
+        assert!(decode_value::<MapRead<u32>>(&patched).is_err());
+        assert!(decode_value::<MapRead<u32>>(&bytes).is_ok());
+    }
+}

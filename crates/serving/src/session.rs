@@ -1,0 +1,198 @@
+//! The typed wire client and its session semantics.
+//!
+//! A [`Client`] owns one reused TCP connection and a *session epoch*: the
+//! highest visibility epoch any of its acks or replies has carried. Every
+//! read request sends that epoch as its visibility floor, so a session
+//! always reads its own writes — the server answers from a snapshot at
+//! least as new as everything the session has been told about, blocking
+//! briefly (via the engine's `pin_after`) if the publication has not
+//! landed yet.
+//!
+//! The session epoch is plain data, which is what makes read-your-writes
+//! work *across* connections: carry [`Client::last_epoch`] to a second
+//! connection (even to a different process) and seed it with
+//! [`Client::resume_at`] — its reads then see everything the first
+//! session saw. Epoch zero means "no floor"; a fresh client starts there.
+//!
+//! Remote failures arrive as [`ClientError::Remote`] carrying the wire
+//! [`Status`] — the same taxonomy local engine callers match on.
+
+use std::io::Write;
+use std::marker::PhantomData;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+
+use crate::engine::{BatchReply, EngineStats};
+use crate::error::Status;
+use crate::ops::{MapRead, MapReply, MultiMapRead, MultiMapReply, SetRead, SetReply};
+use crate::proto::{
+    decode_value, encode_value, read_frame, write_frame, Frame, OpCode, WireError,
+    DEFAULT_MAX_PAYLOAD,
+};
+
+/// A client-side request failure: either the wire broke, or the server
+/// answered with a non-`Ok` status.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing failed (connection loss, truncation,
+    /// malformed or unexpected frames, undecodable payloads).
+    Wire(WireError),
+    /// The server processed the exchange and reported a failure — the
+    /// engine's taxonomy, carried by its stable wire code.
+    Remote(Status),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Remote(status) => write!(f, "server answered {status}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+impl From<trie_common::snapshot::SnapshotError> for ClientError {
+    fn from(e: trie_common::snapshot::SnapshotError) -> ClientError {
+        ClientError::Wire(WireError::Codec(e))
+    }
+}
+
+/// A typed wire client over one reused connection: `Q` is the read-op
+/// type, `R` its reply, `E` the edit type — matching the served store's
+/// [`Serve`](crate::Serve) vocabulary. Use the aliases ([`MapClient`],
+/// [`SetClient`], [`MultiMapClient`]) for the built-in stores.
+pub struct Client<Q, R, E> {
+    stream: TcpStream,
+    max_payload: usize,
+    last_epoch: u64,
+    _vocabulary: PhantomData<fn(Q, E) -> R>,
+}
+
+/// A client for a served [`ShardedMap`](sharded::ShardedMap).
+pub type MapClient<K, V> = Client<MapRead<K>, MapReply<K, V>, trie_common::ops::MapEdit<K, V>>;
+
+/// A client for a served [`ShardedSet`](sharded::ShardedSet).
+pub type SetClient<T> = Client<SetRead<T>, SetReply<T>, trie_common::ops::SetEdit<T>>;
+
+/// A client for a served [`ShardedMultiMap`](sharded::ShardedMultiMap).
+pub type MultiMapClient<K, V> =
+    Client<MultiMapRead<K, V>, MultiMapReply<K, V>, trie_common::ops::MultiMapEdit<K, V>>;
+
+impl<Q, R, E> Client<Q, R, E> {
+    /// Connects with the default payload cap and an empty session (no
+    /// visibility floor).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// [`Client::connect`] with an explicit cap on *response* payload
+    /// size (frames above it are rejected before allocation).
+    pub fn connect_with(addr: impl ToSocketAddrs, max_payload: usize) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_payload,
+            last_epoch: 0,
+            _vocabulary: PhantomData,
+        })
+    }
+
+    /// The session epoch: the newest visibility epoch this client's acks
+    /// and replies have carried. Hand it to another connection's
+    /// [`Client::resume_at`] to extend read-your-writes across
+    /// connections.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Raises the session epoch to `epoch` (a floor from another
+    /// session, a durable cursor, …). Lower values are ignored — the
+    /// session epoch never moves backwards.
+    pub fn resume_at(&mut self, epoch: u64) {
+        self.last_epoch = self.last_epoch.max(epoch);
+    }
+
+    /// One request/response exchange on the reused connection.
+    fn exchange(&mut self, request: &Frame, want: OpCode) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        self.stream.flush()?;
+        let response = read_frame(&mut self.stream, self.max_payload)?;
+        if !response.status.is_ok() {
+            return Err(ClientError::Remote(response.status));
+        }
+        if response.op != want {
+            return Err(ClientError::Wire(WireError::UnexpectedFrame(response.op)));
+        }
+        self.last_epoch = self.last_epoch.max(response.epoch);
+        Ok(response)
+    }
+
+    /// Fetches the server engine's operation counters.
+    pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
+        let request = Frame::request(OpCode::StatsReq, self.last_epoch, Vec::new());
+        let response = self.exchange(&request, OpCode::StatsResp)?;
+        Ok(decode_value(&response.payload).map_err(WireError::Codec)?)
+    }
+}
+
+impl<Q: Serialize, R: for<'de> Deserialize<'de>, E> Client<Q, R, E> {
+    /// Sends a read batch floored at the session epoch: the reply is
+    /// answered against one snapshot that includes every write this
+    /// session has been acked (read-your-writes), tagged with its epoch.
+    pub fn read(&mut self, ops: Vec<Q>) -> Result<BatchReply<R>, ClientError> {
+        self.read_at(self.last_epoch, ops)
+    }
+
+    /// [`Client::read`] with an explicit visibility floor (pass `0` for
+    /// "whatever is current"). Floors above the server's published epoch
+    /// are rejected with [`Status::FutureEpoch`] rather than waiting.
+    pub fn read_at(&mut self, min_epoch: u64, ops: Vec<Q>) -> Result<BatchReply<R>, ClientError> {
+        let payload = encode_value(&ops)?;
+        let request = Frame::request(OpCode::ReadReq, min_epoch, payload);
+        let response = self.exchange(&request, OpCode::ReadResp)?;
+        let replies: Vec<R> = decode_value(&response.payload).map_err(WireError::Codec)?;
+        Ok(BatchReply {
+            epoch: response.epoch,
+            replies,
+        })
+    }
+}
+
+impl<Q, R, E: Serialize> Client<Q, R, E> {
+    /// Stages a write batch on the server and waits for its visibility
+    /// epoch. The epoch is folded into the session, so a subsequent
+    /// [`Client::read`] — on this connection or any connection resumed
+    /// from [`Client::last_epoch`] — sees the batch.
+    pub fn write(&mut self, edits: Vec<E>) -> Result<u64, ClientError> {
+        let payload = encode_value(&edits)?;
+        let request = Frame::request(OpCode::WriteReq, self.last_epoch, payload);
+        let response = self.exchange(&request, OpCode::WriteResp)?;
+        Ok(response.epoch)
+    }
+}
+
+impl<Q, R, E> std::fmt::Debug for Client<Q, R, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("last_epoch", &self.last_epoch)
+            .finish()
+    }
+}

@@ -295,6 +295,23 @@ pub fn serving_workload(profile: &ServingProfile, seed: u64) -> ServingWorkload 
     }
 }
 
+/// Deals `items` round-robin across `lanes` queues, preserving relative
+/// order within each lane — how a bench or driver splits one generated
+/// batch timeline across N concurrent client connections without skewing
+/// any lane toward one phase of the timeline (a contiguous-chunk split
+/// would give one client all the storm batches, say).
+///
+/// Always returns exactly `max(lanes, 1)` lanes; with fewer items than
+/// lanes, the trailing lanes are empty.
+pub fn round_robin<T>(items: impl IntoIterator<Item = T>, lanes: usize) -> Vec<Vec<T>> {
+    let lanes = lanes.max(1);
+    let mut out: Vec<Vec<T>> = (0..lanes).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % lanes].push(item);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +473,18 @@ mod tests {
         }
         let total = p.write_batches * p.writes_per_batch;
         assert!(ins * 10 > total * 4, "inserts dominate: {ins}/{total}");
+    }
+
+    #[test]
+    fn round_robin_deals_in_order() {
+        let lanes = round_robin(0..10, 3);
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes[0], vec![0, 3, 6, 9]);
+        assert_eq!(lanes[1], vec![1, 4, 7]);
+        assert_eq!(lanes[2], vec![2, 5, 8]);
+        // Degenerate shapes stay well-formed.
+        assert_eq!(round_robin(0..2, 0), vec![vec![0, 1]]);
+        assert_eq!(round_robin(std::iter::empty::<u32>(), 4).len(), 4);
     }
 
     #[test]

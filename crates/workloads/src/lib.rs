@@ -46,8 +46,8 @@ pub mod timing;
 
 pub use build::{map_persistent, map_transient, multimap_persistent, multimap_transient};
 pub use concurrent::{
-    concurrent_workload, serving_workload, ConcurrentWorkload, KeyMix, ReadProbe, ServingProfile,
-    ServingWorkload, Zipf,
+    concurrent_workload, round_robin, serving_workload, ConcurrentWorkload, KeyMix, ReadProbe,
+    ServingProfile, ServingWorkload, Zipf,
 };
 pub use data::{
     map_workload, multimap_workload, multimap_workload_with, size_sweep, MapWorkload,

@@ -95,6 +95,37 @@ fn readme_quick_start() {
 }
 
 #[test]
+fn readme_wire_protocol() {
+    use std::sync::Arc;
+
+    use axiom_repro::serving::{Engine, MapClient, MapRead, MapReply, Server};
+    use axiom_repro::sharded::ShardedMap;
+    use axiom_repro::trie_common::ops::MapEdit;
+
+    let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(8));
+    let server = Server::spawn(Arc::new(Engine::new(store)), "127.0.0.1:0").unwrap();
+
+    // A typed client; write batches return their visibility epoch...
+    let mut writer: MapClient<u32, u32> = MapClient::connect(server.local_addr()).unwrap();
+    let epoch = writer
+        .write(vec![MapEdit::Insert(1, 10), MapEdit::Insert(2, 20)])
+        .unwrap();
+
+    // ...and a *different* connection can resume at that epoch:
+    // read-your-writes across connections, carried in the frame header.
+    let mut reader: MapClient<u32, u32> = MapClient::connect(server.local_addr()).unwrap();
+    reader.resume_at(epoch);
+    let reply = reader.read(vec![MapRead::Get(1), MapRead::Len]).unwrap();
+    assert!(reply.epoch >= epoch);
+    assert_eq!(reply.replies[0], MapReply::Value(Some(10)));
+    assert_eq!(reply.replies[1], MapReply::Count(2));
+
+    // Engine counters cross the wire too (the Stats op).
+    assert_eq!(reader.stats().unwrap().write_edits, 2);
+    server.shutdown();
+}
+
+#[test]
 fn readme_serving_engine() {
     use std::sync::Arc;
 

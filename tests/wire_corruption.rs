@@ -1,0 +1,293 @@
+//! Corruption posture of the wire protocol, mirroring
+//! `tests/snapshot_corruption.rs`: every malformed input — truncated
+//! frames, bad magic/version/op/status bytes, hostile length prefixes,
+//! undecodable payloads, raw byte fuzz — must yield a typed error (or a
+//! typed `BadRequest` status from the server), never a panic, a hang, or
+//! an allocation sized by attacker-controlled bytes.
+//!
+//! Client-side decoding is exercised directly on byte buffers (no socket
+//! needed); server-side behaviour is exercised over loopback with raw
+//! frames, asserting after every abuse that the server still answers a
+//! well-formed request.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use axiom_repro::serving::proto::{
+    decode_value, encode_value, read_frame, write_frame, Frame, OpCode, WireError,
+    DEFAULT_MAX_PAYLOAD, HEADER_LEN, WIRE_MAGIC, WIRE_VERSION,
+};
+use axiom_repro::serving::session::MapClient;
+use axiom_repro::serving::{Engine, MapRead, MapReply, Server, Status};
+use axiom_repro::sharded::ShardedMap;
+use axiom_repro::trie_common::ops::MapEdit;
+
+fn spawn_server() -> (Server, SocketAddr) {
+    let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(2));
+    let engine = Arc::new(Engine::new(store));
+    let server = Server::spawn(engine, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn read_req(payload: Vec<u8>) -> Frame {
+    Frame::request(OpCode::ReadReq, 0, payload)
+}
+
+fn valid_read_bytes() -> Vec<u8> {
+    let payload = encode_value(&vec![MapRead::<u32>::Len]).expect("encode ops");
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &read_req(payload)).expect("frame to bytes");
+    bytes
+}
+
+/// The server must answer a well-formed request — proof it survived
+/// whatever abuse came before this call.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client: MapClient<u32, u32> = MapClient::connect(addr).expect("reconnect");
+    let reply = client.read(vec![MapRead::Len]).expect("healthy reply");
+    assert!(matches!(reply.replies[0], MapReply::Count(_)));
+}
+
+// ---------------------------------------------------------------------------
+// Client-side decoding over raw byte buffers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_truncation_of_a_frame_errors_cleanly() {
+    let bytes = valid_read_bytes();
+    for cut in 0..bytes.len() {
+        match read_frame(&mut &bytes[..cut], DEFAULT_MAX_PAYLOAD) {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}")
+            }
+            other => panic!("cut {cut}: expected truncation error, got {other:?}"),
+        }
+    }
+    assert!(read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD).is_ok());
+}
+
+#[test]
+fn corrupt_header_fields_yield_their_typed_errors() {
+    let bytes = valid_read_bytes();
+    struct Case {
+        name: &'static str,
+        patch: fn(&mut Vec<u8>),
+        check: fn(&WireError) -> bool,
+    }
+    let cases = [
+        Case {
+            name: "magic",
+            patch: |b| b[0] ^= 0xFF,
+            check: |e| matches!(e, WireError::BadMagic(_)),
+        },
+        Case {
+            name: "version",
+            patch: |b| b[4] = 0x7F,
+            check: |e| matches!(e, WireError::UnsupportedVersion(_)),
+        },
+        Case {
+            name: "op code",
+            patch: |b| b[6] = 0x6E,
+            check: |e| matches!(e, WireError::UnknownOp(0x6E)),
+        },
+        Case {
+            name: "status code",
+            patch: |b| b[8] = 0xEE,
+            check: |e| matches!(e, WireError::UnknownStatus(0xEE)),
+        },
+        Case {
+            name: "reserved byte",
+            patch: |b| b[7] = 1,
+            check: |e| matches!(e, WireError::ReservedNonZero),
+        },
+        Case {
+            name: "hostile length prefix",
+            patch: |b| b[20..24].copy_from_slice(&u32::MAX.to_le_bytes()),
+            check: |e| matches!(e, WireError::PayloadTooLarge { .. }),
+        },
+    ];
+    for case in cases {
+        let mut corrupted = bytes.clone();
+        (case.patch)(&mut corrupted);
+        match read_frame(&mut corrupted.as_slice(), DEFAULT_MAX_PAYLOAD) {
+            Err(e) => assert!((case.check)(&e), "{}: wrong error {e:?}", case.name),
+            Ok(f) => panic!("{}: corrupt frame decoded as {f:?}", case.name),
+        }
+    }
+}
+
+#[test]
+fn hostile_length_prefix_is_rejected_before_allocation() {
+    // A 24-byte header claiming a 4 GiB payload, with no payload behind
+    // it: the reader must reject from the header alone. If it allocated
+    // first, this test would OOM or hang waiting for bytes.
+    let mut header = vec![0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&WIRE_MAGIC);
+    header[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    header[6] = OpCode::ReadReq.code();
+    header[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+    match read_frame(&mut header.as_slice(), DEFAULT_MAX_PAYLOAD) {
+        Err(WireError::PayloadTooLarge { len, max }) => {
+            assert_eq!(len, u32::MAX as usize);
+            assert_eq!(max, DEFAULT_MAX_PAYLOAD);
+        }
+        other => panic!("expected PayloadTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_byte_fuzz_never_panics_the_decoder() {
+    // Deterministic xorshift fuzz over the op-vector payload: every
+    // single-byte corruption either round-trips to a different value or
+    // errors typed — it must never panic or misbehave.
+    let payload = encode_value(&vec![
+        MapRead::Get(77u32),
+        MapRead::Scan { limit: 5 },
+        MapRead::Len,
+    ])
+    .expect("encode ops");
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..2000 {
+        let mut fuzzed = payload.clone();
+        let flips = (rand() % 4 + 1) as usize;
+        for _ in 0..flips {
+            let pos = (rand() as usize) % fuzzed.len();
+            fuzzed[pos] ^= (rand() % 255 + 1) as u8;
+        }
+        // Either outcome is fine; panicking or looping is not.
+        let _ = decode_value::<Vec<MapRead<u32>>>(&fuzzed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server-side behaviour over loopback.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn garbage_bytes_get_bad_request_and_a_hangup() {
+    let (server, addr) = spawn_server();
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(b"GET / HTTP/1.1\r\nHost: not-this-protocol\r\n\r\n")
+        .expect("send garbage");
+    raw.flush().unwrap();
+    // The server answers one typed BadRequest, then hangs up.
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let frame = read_frame(&mut raw, DEFAULT_MAX_PAYLOAD).expect("error frame");
+    assert_eq!(frame.op, OpCode::ErrorResp);
+    assert_eq!(frame.status, Status::BadRequest);
+    assert_eq!(frame.status.code(), 7);
+    // The hangup may surface as a clean EOF or (with unread bytes still
+    // in the server's receive buffer) a reset; either way, no more frames.
+    let mut rest = Vec::new();
+    if let Ok(n) = raw.read_to_end(&mut rest) {
+        assert_eq!(n, 0);
+    }
+    assert_still_serving(addr);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_then_hangup_leaves_the_server_healthy() {
+    let (server, addr) = spawn_server();
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        // A valid header promising 100 payload bytes, then only 10, then
+        // a hangup mid-frame.
+        let payload = vec![0u8; 100];
+        let mut frame_bytes = Vec::new();
+        write_frame(&mut frame_bytes, &read_req(payload)).unwrap();
+        raw.write_all(&frame_bytes[..HEADER_LEN + 10]).unwrap();
+        raw.flush().unwrap();
+    }
+    assert_still_serving(addr);
+    server.shutdown();
+}
+
+#[test]
+fn undecodable_payload_fails_the_request_not_the_connection() {
+    let (server, addr) = spawn_server();
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // Well-framed, but the payload bytes are not an op vector.
+    write_frame(&mut raw, &read_req(b"not a codec value".to_vec())).expect("send");
+    let frame = read_frame(&mut raw, DEFAULT_MAX_PAYLOAD).expect("error frame");
+    assert_eq!(frame.op, OpCode::ErrorResp);
+    assert_eq!(frame.status, Status::BadRequest);
+
+    // Same connection, now a valid request: framing was never lost.
+    let payload = encode_value(&vec![MapRead::<u32>::Len]).unwrap();
+    write_frame(&mut raw, &read_req(payload)).expect("send valid");
+    let frame = read_frame(&mut raw, DEFAULT_MAX_PAYLOAD).expect("good frame");
+    assert_eq!(frame.op, OpCode::ReadResp);
+    assert_eq!(frame.status, Status::Ok);
+    let replies: Vec<MapReply<u32, u32>> = decode_value(&frame.payload).expect("decode replies");
+    assert_eq!(replies, vec![MapReply::Count(0)]);
+    server.shutdown();
+}
+
+#[test]
+fn response_op_codes_are_rejected_as_requests() {
+    let (server, addr) = spawn_server();
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let frame = Frame {
+        op: OpCode::WriteResp,
+        status: Status::Ok,
+        epoch: 3,
+        payload: Vec::new(),
+    };
+    write_frame(&mut raw, &frame).expect("send");
+    let reply = read_frame(&mut raw, DEFAULT_MAX_PAYLOAD).expect("error frame");
+    assert_eq!(reply.op, OpCode::ErrorResp);
+    assert_eq!(reply.status, Status::BadRequest);
+    assert_still_serving(addr);
+    server.shutdown();
+}
+
+#[test]
+fn frame_byte_fuzz_never_kills_the_server() {
+    let (server, addr) = spawn_server();
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let template = {
+        let payload = encode_value(&vec![MapEdit::<u32, u32>::Insert(1, 2)]).unwrap();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Frame::request(OpCode::WriteReq, 0, payload)).unwrap();
+        bytes
+    };
+    for round in 0..32 {
+        let mut bytes = template.clone();
+        let flips = (rand() % 6 + 1) as usize;
+        for _ in 0..flips {
+            let pos = (rand() as usize) % bytes.len();
+            bytes[pos] ^= (rand() % 255 + 1) as u8;
+        }
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        raw.write_all(&bytes).expect("send fuzz");
+        raw.flush().unwrap();
+        // Whatever the server does with the corruption — error frame,
+        // hangup, or (if the fuzz left the frame valid) a real response —
+        // it must keep serving. Don't wait for a reply; just move on.
+        drop(raw);
+        if round % 8 == 7 {
+            assert_still_serving(addr);
+        }
+    }
+    assert_still_serving(addr);
+    server.shutdown();
+}
