@@ -13,8 +13,11 @@
 //! read tail latency under write pressure, through the full wire path.
 //! The `rtt` row is the floor underneath those numbers: a single
 //! connection ping-ponging one-op batches, which is what the protocol
-//! plus loopback costs before any real answering work. Probe counts come
-//! back over the wire too, via the Stats op.
+//! plus loopback costs before any real answering work. The `pipeline`
+//! rows send the same one-op requests through [`Client::pipeline`] at
+//! window depths 1/8/32 — the depth-1 row should track `rtt`, and the
+//! deeper rows show how much of the per-request round trip pipelining
+//! recovers. Probe counts come back over the wire too, via the Stats op.
 //!
 //! Knobs via environment:
 //!
@@ -24,7 +27,10 @@
 //!   stdout only);
 //! * `AXIOM_NET_GATE` — when set, exit nonzero unless on the uniform
 //!   mix: `p99_us ≤ AXIOM_NET_MAX_P99_US` (default 50000) and
-//!   `read_probes_per_sec ≥ AXIOM_NET_MIN_PROBES` (default 5000).
+//!   `read_probes_per_sec ≥ AXIOM_NET_MIN_PROBES` (default 5000), and
+//!   pipelined depth-8 throughput is at least
+//!   `AXIOM_NET_MIN_PIPELINE_SPEEDUP` (default 3.0) times the same
+//!   run's `rtt` ping-pong rate.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -32,7 +38,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use axiom::AxiomMultiMap;
-use serving::{Engine, MultiMapClient, MultiMapRead, Server};
+use serving::{Engine, MultiMapClient, MultiMapRead, ScriptOp, Server};
 use sharded::ShardedMultiMap;
 use trie_common::ops::MultiMapEdit;
 use workloads::concurrent::{round_robin, serving_workload, KeyMix, ReadProbe, ServingProfile};
@@ -194,10 +200,70 @@ fn bench_mix(name: &'static str, mix: KeyMix, keys: usize, min_secs: f64) -> Mix
     }
 }
 
+/// One pipelined-throughput measurement: one connection, one-op read
+/// requests, `depth` frames in flight per window.
+struct PipelineRow {
+    depth: usize,
+    requests: usize,
+    reqs_per_sec: f64,
+}
+
+impl PipelineRow {
+    fn json(&self, rtt_rps: f64) -> String {
+        format!(
+            "    {{\"kind\": \"pipeline\", \"depth\": {}, \"requests\": {}, \
+             \"reqs_per_sec\": {:.0}, \"speedup_vs_rtt\": {:.2}}}",
+            self.depth,
+            self.requests,
+            self.reqs_per_sec,
+            self.reqs_per_sec / rtt_rps.max(1.0)
+        )
+    }
+}
+
+/// The same one-op requests as `bench_rtt`, but issued through the
+/// pipelined client at several window depths over one connection. The
+/// depth-1 row should track `rtt`; deeper rows show the round trips the
+/// pipeline recovers (depth-d total time ≈ one round trip + d service
+/// times, not d round trips).
+fn bench_pipeline(min_secs: f64) -> Vec<PipelineRow> {
+    let base: Vec<(u32, u32)> = (0..1024u32).map(|i| (i % 128, i)).collect();
+    let (server, addr) = spawn_server(&base);
+    let mut client: MultiMapClient<u32, u32> = MultiMapClient::connect(addr).expect("connect");
+
+    let mut rows = Vec::new();
+    for depth in [1usize, 8, 32] {
+        client.set_pipeline_window(depth);
+        let mut served = 0usize;
+        let mut i = 0u32;
+        let start = Instant::now();
+        while start.elapsed().as_secs_f64() < min_secs {
+            let script: Vec<ScriptOp<MultiMapRead<u32, u32>, MultiMapEdit<u32, u32>>> = (0..depth)
+                .map(|j| ScriptOp::Read(vec![MultiMapRead::ContainsKey((i + j as u32) % 128)]))
+                .collect();
+            let replies = client.pipeline(script).expect("pipelined reads");
+            std::hint::black_box(replies.len());
+            served += depth;
+            i = i.wrapping_add(depth as u32);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let rps = served as f64 / secs;
+        eprintln!("pipeline depth {depth}: {rps:.0} reqs/s");
+        rows.push(PipelineRow {
+            depth,
+            requests: served,
+            reqs_per_sec: rps,
+        });
+    }
+    server.shutdown();
+    rows
+}
+
 /// The protocol-plus-loopback floor: a single connection ping-ponging
 /// one-op batches against a small store. Everything in the mix rows sits
-/// on top of this round trip.
-fn bench_rtt(min_secs: f64) -> String {
+/// on top of this round trip. Returns the row and its request rate (the
+/// baseline the pipeline gate compares against).
+fn bench_rtt(min_secs: f64) -> (String, f64) {
     let base: Vec<(u32, u32)> = (0..1024u32).map(|i| (i % 128, i)).collect();
     let (server, addr) = spawn_server(&base);
     let mut client: MultiMapClient<u32, u32> = MultiMapClient::connect(addr).expect("connect");
@@ -221,11 +287,12 @@ fn bench_rtt(min_secs: f64) -> String {
     let (p50, p99) = (percentile(&lat, 0.50), percentile(&lat, 0.99));
     let rps = lat.len() as f64 / secs;
     eprintln!("rtt: {rps:.0} reqs/s, p50 {p50:.0}µs p99 {p99:.0}µs");
-    format!(
+    let row = format!(
         "    {{\"kind\": \"rtt\", \"requests\": {}, \"reqs_per_sec\": {rps:.0}, \
          \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}}}",
         lat.len()
-    )
+    );
+    (row, rps)
 }
 
 fn main() {
@@ -256,15 +323,23 @@ fn main() {
         );
         mix_rows.push(row);
     }
-    let rtt_row = bench_rtt(min_secs.min(0.5));
+    let (rtt_row, rtt_rps) = bench_rtt(min_secs.min(0.5));
+    let pipeline_rows = bench_pipeline(min_secs.min(0.5));
 
-    let body: Vec<String> = mix_rows.iter().map(MixRow::json).chain([rtt_row]).collect();
+    let body: Vec<String> = mix_rows
+        .iter()
+        .map(MixRow::json)
+        .chain([rtt_row])
+        .chain(pipeline_rows.iter().map(|r| r.json(rtt_rps)))
+        .collect();
     let json = format!(
         "{{\n  \"schema\": \"axiom-net-v1\",\n  \"profile\": \"{}\",\n  \"seed\": {},\n  \
          \"cpus\": {},\n  \"note\": \"latency is a full loopback round trip per framed request \
          (client encode, kernel, server decode, epoch-pinned answering, reply frame) under \
          write pressure from one writer connection; the rtt row is the single-connection \
-         one-op floor underneath the mixes; probes/s comes from the server's own counters \
+         one-op floor underneath the mixes; the pipeline rows send the same one-op requests \
+         with depth frames in flight per window, so speedup_vs_rtt is the round-trip cost \
+         pipelining recovers on the same run; probes/s comes from the server's own counters \
          fetched over the wire via the Stats op\",\n  \"results\": [\n{}\n  ]\n}}\n",
         profile,
         SEED,
@@ -307,11 +382,32 @@ fn main() {
             );
             failed = true;
         }
+        // Pipelining must actually pipeline: depth-8 throughput is
+        // gated against the same run's ping-pong rate, so a server
+        // that silently serializes its connections again fails CI.
+        let min_speedup: f64 = std::env::var("AXIOM_NET_MIN_PIPELINE_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3.0);
+        let depth8 = pipeline_rows
+            .iter()
+            .find(|r| r.depth == 8)
+            .expect("depth-8 pipeline row measured");
+        let speedup = depth8.reqs_per_sec / rtt_rps.max(1.0);
+        if speedup < min_speedup {
+            eprintln!(
+                "GATE FAILED: depth-8 pipelining {:.0} reqs/s is only {speedup:.2}x the \
+                 rtt floor {rtt_rps:.0} reqs/s (required {min_speedup:.1}x)",
+                depth8.reqs_per_sec
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
         eprintln!(
-            "gate ok: uniform mix p99 {:.0}µs, {:.0} probes/s on {cpus} cpu(s)",
+            "gate ok: uniform mix p99 {:.0}µs, {:.0} probes/s, depth-8 pipelining \
+             {speedup:.2}x rtt on {cpus} cpu(s)",
             row.p99_us, row.read_probes_per_sec
         );
     }

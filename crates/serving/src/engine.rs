@@ -97,6 +97,12 @@ impl<R> ReadTicket<R> {
         }
     }
 
+    /// Non-blocking probe: true once the batch has resolved (the outcome
+    /// itself is still unclaimed — [`ReadTicket::wait`] hands it over).
+    pub fn is_done(&self) -> bool {
+        lock_recover(&self.state.slot).is_some()
+    }
+
     /// [`ReadTicket::wait`] with a deadline. `Err(Deadline)` leaves the
     /// ticket untouched and claimable — a later wait still resolves it.
     /// (Like `wait`, a success hands the replies over exactly once.)
@@ -125,6 +131,13 @@ impl<R> std::fmt::Debug for ReadTicket<R> {
 }
 
 struct ReadJob<S: Serve> {
+    /// The epoch pin taken when the batch was submitted. Pinning at
+    /// submission (not at service) makes answering epochs follow
+    /// submission order: a caller that submits R1 then R2 never sees R2
+    /// answered from an *older* view than R1, no matter which pool
+    /// worker serves which — the property the pipelined wire server
+    /// relies on for monotone per-connection epochs.
+    snap: S::Snapshot,
     ops: Vec<S::Read>,
     state: Arc<ReadState<S::Reply>>,
 }
@@ -336,11 +349,10 @@ impl<S: Serve> Engine<S> {
         let stats = Arc::new(StatsCore::default());
         let mut workers = Vec::new();
         for _ in 0..config.read_workers.max(1) {
-            let store = Arc::clone(&store);
             let reads = Arc::clone(&reads);
             let stats = Arc::clone(&stats);
             workers.push(std::thread::spawn(move || {
-                supervise(&stats, || read_worker::<S>(&store, &reads, &stats))
+                supervise(&stats, || read_worker::<S>(&reads, &stats))
             }));
         }
         for shard in 0..store.shard_count() {
@@ -384,10 +396,28 @@ impl<S: Serve> Engine<S> {
     }
 
     /// Enqueues a read batch for the worker pool; returns a ticket to
-    /// [`ReadTicket::wait`] on. With a bounded
-    /// [`EngineConfig::read_queue_capacity`], blocks until the queue has
-    /// room (use [`Engine::try_submit`] to shed instead).
+    /// [`ReadTicket::wait`] on. The epoch is pinned *at submission*, so
+    /// tickets resolve with epochs in submission order (queueing delay
+    /// never makes a later submission answer from an older view). With a
+    /// bounded [`EngineConfig::read_queue_capacity`], blocks until the
+    /// queue has room (use [`Engine::try_submit`] to shed instead).
     pub fn submit(&self, ops: Vec<S::Read>) -> ReadTicket<S::Reply> {
+        self.submit_pinned(self.store.pin(), ops)
+    }
+
+    /// [`Engine::submit`] with a visibility floor: the batch is pinned at
+    /// an epoch `>= min_epoch` *on the calling thread* (blocking via
+    /// [`Serve::pin_after`] until the store publishes one if necessary),
+    /// then queued — the asynchronous twin of
+    /// [`Engine::execute_at_least`], and the read path of the pipelined
+    /// wire server. The same floor caveat applies: a floor above
+    /// anything the store will ever publish blocks here forever, so
+    /// callers must pre-check against [`Serve::current_epoch`].
+    pub fn submit_at_least(&self, min_epoch: u64, ops: Vec<S::Read>) -> ReadTicket<S::Reply> {
+        self.submit_pinned(self.pin_at_least(min_epoch), ops)
+    }
+
+    fn submit_pinned(&self, snap: S::Snapshot, ops: Vec<S::Read>) -> ReadTicket<S::Reply> {
         let state = Arc::new(ReadState {
             slot: Mutex::new(None),
             done: Condvar::new(),
@@ -397,6 +427,7 @@ impl<S: Serve> Engine<S> {
             jobs = wait_recover(&self.reads.space, jobs);
         }
         jobs.push_back(ReadJob {
+            snap,
             ops,
             state: Arc::clone(&state),
         });
@@ -415,6 +446,7 @@ impl<S: Serve> Engine<S> {
             slot: Mutex::new(None),
             done: Condvar::new(),
         });
+        let snap = self.store.pin();
         {
             let mut jobs = lock_recover(&self.reads.jobs);
             if jobs.len() >= self.reads.capacity {
@@ -423,6 +455,7 @@ impl<S: Serve> Engine<S> {
                 return Err(Overloaded(ops));
             }
             jobs.push_back(ReadJob {
+                snap,
                 ops,
                 state: Arc::clone(&state),
             });
@@ -448,16 +481,21 @@ impl<S: Serve> Engine<S> {
     /// they block until the store catches up (the wire server rejects such
     /// floors up front with `FutureEpoch` instead of parking a handler).
     pub fn execute_at_least(&self, min_epoch: u64, ops: &[S::Read]) -> BatchReply<S::Reply> {
+        self.answer_with(self.pin_at_least(min_epoch), ops)
+    }
+
+    /// Pins an epoch `>= min_epoch`, long-polling if the store has not
+    /// published one yet.
+    fn pin_at_least(&self, min_epoch: u64) -> S::Snapshot {
         let snap = self.store.pin();
-        let snap = if S::epoch_of(&snap) >= min_epoch {
+        if S::epoch_of(&snap) >= min_epoch {
             snap
         } else {
             // `pin_after(e)` waits for an epoch strictly beyond `e`, so
             // the floor `min_epoch` maps to `pin_after(min_epoch - 1)`
             // (the zero floor was satisfied by any pin above).
             self.store.pin_after(min_epoch - 1)
-        };
-        self.answer_with(snap, ops)
+        }
     }
 
     fn answer_with(&self, snap: S::Snapshot, ops: &[S::Read]) -> BatchReply<S::Reply> {
@@ -668,7 +706,7 @@ fn answer_batch<S: Serve>(snap: &S::Snapshot, ops: &[S::Read]) -> BatchReply<S::
     }
 }
 
-fn read_worker<S: Serve>(store: &S, queue: &ReadQueue<S>, stats: &StatsCore) {
+fn read_worker<S: Serve>(queue: &ReadQueue<S>, stats: &StatsCore) {
     loop {
         let job = {
             let mut jobs = lock_recover(&queue.jobs);
@@ -686,7 +724,7 @@ fn read_worker<S: Serve>(store: &S, queue: &ReadQueue<S>, stats: &StatsCore) {
         // The job guard: a panic while answering faults this batch only.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             fault_point(site::READ_WORKER);
-            answer_batch::<S>(&store.pin(), &job.ops)
+            answer_batch::<S>(&job.snap, &job.ops)
         }));
         let outcome = match outcome {
             Ok(reply) => {

@@ -88,7 +88,9 @@ pub use error::{Overloaded, ReadError, ReplyMismatch, Status, WriteError, ALL_ST
 pub use net::{Server, ServerConfig};
 pub use ops::{MapRead, MapReply, MultiMapRead, MultiMapReply, SetRead, SetReply};
 pub use proto::{Frame, OpCode, WireError};
-pub use session::{Client, ClientError, MapClient, MultiMapClient, SetClient};
+pub use session::{
+    Client, ClientError, MapClient, MultiMapClient, ScriptOp, ScriptReply, SetClient,
+};
 pub use sharded::EpochConflict;
 pub use store::Serve;
 pub use txn::{Txn, TxnError, TxnOutcome};

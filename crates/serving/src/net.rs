@@ -1,42 +1,91 @@
-//! The blocking TCP server: an acceptor thread plus one handler thread
-//! per connection, feeding the existing [`Engine`] queues.
+//! The blocking TCP server: an acceptor thread plus one *pair* of
+//! threads per connection — a reader half and a writer half — feeding
+//! the existing [`Engine`] queues.
 //!
-//! Each handler reads [`proto`](crate::proto) frames off its socket,
-//! dispatches them into the engine (reads answer on the handler thread
-//! against an epoch-pinned snapshot; writes stage through the admission
-//! lanes and wait for their visibility epoch), and writes the response
-//! frame back. Every engine failure mode maps onto a wire
-//! [`Status`]: shed admission → `Overloaded`, expired deadlines →
-//! `Deadline`, panicking workers (or a panic anywhere in dispatch —
-//! handlers run requests under `catch_unwind`) → `Faulted`, malformed
-//! frames → `BadRequest`. A protocol-level framing error (bad magic,
-//! unknown version) poisons the byte stream, so the handler sends one
-//! `BadRequest` best-effort and closes; a payload that fails to decode
-//! leaves the framing intact and only fails that request.
+//! # Pipelined connections
+//!
+//! The reader half decodes [`proto`](crate::proto) frames off the
+//! socket and dispatches each one into the engine *asynchronously*:
+//! reads go through [`Engine::submit_at_least`] and writes through the
+//! admission lanes ([`Engine::stage`]), both returning tickets
+//! immediately instead of blocking the connection on the answer. Each
+//! dispatched request is pushed — still unresolved — onto a bounded
+//! per-connection completion queue, which the writer half drains in
+//! FIFO order, waiting on each ticket and encoding its response. Because
+//! the queue preserves submission order, the k-th response on a
+//! connection always answers the k-th request (Redis-style pipelining),
+//! while up to [`ServerConfig::pipeline_depth`] frames per connection
+//! overlap inside the engine.
+//!
+//! Pipelining is what lets write batches from *different* connections
+//! coalesce: many staged batches pile onto the shared admission lanes
+//! while their connections keep reading, and one applier drain commits
+//! them under a single `EpochCell` publication.
+//!
+//! Two ordering guarantees hold per connection:
+//!
+//! - **Monotone read epochs.** Reads are pinned at submission (see
+//!   [`Engine::submit`]), so a later read on the same connection is
+//!   never answered from an older epoch than an earlier one. (Write
+//!   acks carry their true publication epochs, which may interleave
+//!   across shards' independent lanes; the barrier below guarantees
+//!   later reads cover them.)
+//! - **Read-your-writes within the pipeline.** Before dispatching a
+//!   read, the reader half settles every write it has dispatched earlier
+//!   on this connection (a write→read barrier) and folds their
+//!   visibility epochs into the connection's floor, so a pipelined
+//!   `write; read` script observes its own write without waiting for the
+//!   write's *response* to come back first.
+//!
+//! Every engine failure mode maps onto a wire [`Status`]: shed
+//! admission → `Overloaded`, expired deadlines → `Deadline`, panicking
+//! workers (or a panic anywhere in dispatch — the reader runs requests
+//! under `catch_unwind`) → `Faulted`, malformed frames → `BadRequest`.
+//! A protocol-level framing error (bad magic, unknown version) poisons
+//! the byte stream, so the connection enqueues one `BadRequest` *behind*
+//! the requests already in flight — they are still answered in order —
+//! and closes; a payload that fails to decode leaves the framing intact
+//! and only fails that request.
 //!
 //! Shutdown is graceful: [`Server::shutdown`] (or drop) stops the
-//! acceptor, and every handler finishes the request it is currently
-//! carrying — its ticket waits included — before closing its connection.
-//! Idle connections close at the next poll tick.
+//! acceptor, every reader stops taking new requests, and every writer
+//! drains the responses already in its completion queue — ticket waits
+//! included — before the connection closes. Idle connections close at
+//! the next poll tick; a peer trickling a half-finished frame is
+//! abandoned once [`ServerConfig::drain_grace`] expires.
 
-use std::io::Read;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::de::Deserialize;
 use serde::ser::Serialize;
 
-use crate::engine::Engine;
+use trie_common::sync::{lock_recover, wait_recover};
+
+use crate::admit::WriteTicket;
+use crate::engine::{Engine, ReadTicket};
 use crate::error::Status;
 use crate::proto::{
-    decode_header, decode_value, encode_value, write_frame, Frame, OpCode, WireError,
-    DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+    append_frame, decode_header, decode_value, encode_value, Frame, OpCode, DEFAULT_MAX_PAYLOAD,
+    HEADER_LEN,
 };
 use crate::store::Serve;
+
+/// Responses already resolved past the first one coalesce into a single
+/// socket write until the buffer reaches this size.
+const COALESCE_BYTES: usize = 64 * 1024;
+
+/// Writes the reader half has dispatched but not yet settled into the
+/// connection floor are pruned (resolved tickets dropped, their epochs
+/// folded in) once the list grows past this, so an all-write pipeline
+/// stays bounded.
+const PENDING_WRITE_PRUNE: usize = 32;
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -54,9 +103,14 @@ pub struct ServerConfig {
     /// How often blocked accept/read calls wake to check the stop flag
     /// (bounds shutdown latency; does not bound request latency).
     pub poll_interval: Duration,
-    /// How long a handler keeps waiting for the rest of a half-received
-    /// frame after shutdown begins, before abandoning the connection.
+    /// How long a reader keeps draining a half-received frame after
+    /// shutdown begins, before abandoning the connection.
     pub drain_grace: Duration,
+    /// Most requests in flight per connection: the reader half stops
+    /// taking new frames once this many dispatched requests await their
+    /// responses. Clamped to at least 1; depth 1 degenerates to the old
+    /// one-frame-at-a-time ping-pong.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +121,7 @@ impl Default for ServerConfig {
             apply_timeout: None,
             poll_interval: Duration::from_millis(20),
             drain_grace: Duration::from_millis(500),
+            pipeline_depth: 128,
         }
     }
 }
@@ -77,6 +132,7 @@ impl Default for ServerConfig {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<AtomicUsize>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -109,13 +165,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicUsize::new(0));
         let acceptor = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(listener, engine, config, stop))
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(listener, engine, config, stop, conns))
         };
         Ok(Server {
             addr,
             stop,
+            conns,
             acceptor: Some(acceptor),
         })
     }
@@ -123,6 +182,15 @@ impl Server {
     /// The bound address (resolves port 0 binds).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections whose handler threads have not finished, as of the
+    /// acceptor's last reap. The acceptor reaps finished handlers on
+    /// every accept *and* on every idle poll tick, so this converges to
+    /// the live count within one `poll_interval` of connections closing
+    /// — even on a server that has gone quiet.
+    pub fn active_connections(&self) -> usize {
+        self.conns.load(Ordering::Acquire)
     }
 
     /// Stops accepting, drains every in-flight request, joins all
@@ -149,6 +217,7 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.addr)
+            .field("connections", &self.conns.load(Ordering::Relaxed))
             .field("stopping", &self.stop.load(Ordering::Relaxed))
             .finish()
     }
@@ -159,6 +228,7 @@ fn accept_loop<S>(
     engine: Arc<Engine<S>>,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
+    conns: Arc<AtomicUsize>,
 ) where
     S: Serve,
     S::Read: for<'de> Deserialize<'de>,
@@ -177,18 +247,150 @@ fn accept_loop<S>(
                     // the client sees a closed socket and retries.
                     let _ = handle_connection(stream, &engine, &config, &stop);
                 }));
-                // Opportunistically reap finished handlers so a
-                // long-lived server does not accumulate joined threads.
-                handlers.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(config.poll_interval);
             }
             Err(_) => std::thread::sleep(config.poll_interval),
         }
+        // Reap finished handlers on every pass — accepts *and* idle poll
+        // ticks — so a server that goes quiet after a connection burst
+        // releases its joined threads instead of holding every handle
+        // until shutdown.
+        handlers.retain(|h| !h.is_finished());
+        conns.store(handlers.len(), Ordering::Release);
     }
     for handle in handlers {
         let _ = handle.join();
+    }
+    conns.store(0, Ordering::Release);
+}
+
+/// One dispatched request awaiting its response: either the response is
+/// already known, or a ticket will deliver it. Queued in request order.
+enum Pending<S: Serve> {
+    /// The response frame is already fully determined (errors, stats).
+    Ready(Frame),
+    /// A read in flight in the engine's read queues. `epoch` is the
+    /// visibility floor it was submitted with, kept for error frames.
+    Read {
+        /// The ticket the writer half waits on.
+        ticket: ReadTicket<S::Reply>,
+        /// Fallback epoch if the read faults before answering.
+        epoch: u64,
+    },
+    /// A write staged onto the admission lanes. `epoch` is the published
+    /// epoch at dispatch, kept for error frames.
+    Write {
+        /// The ticket the writer half waits on.
+        ticket: WriteTicket,
+        /// Fallback epoch if the write sheds or faults.
+        epoch: u64,
+    },
+}
+
+impl<S: Serve> Pending<S> {
+    /// Non-blocking: would resolving this pending response not block?
+    fn is_resolved(&self) -> bool {
+        match self {
+            Pending::Ready(_) => true,
+            Pending::Read { ticket, .. } => ticket.is_done(),
+            Pending::Write { ticket, .. } => ticket.try_outcome().is_some(),
+        }
+    }
+}
+
+/// The bounded per-connection completion queue between the reader half
+/// (producer) and the writer half (consumer). FIFO order here is what
+/// keeps responses in request order.
+struct ConnQueue<S: Serve> {
+    inner: Mutex<VecDeque<Pending<S>>>,
+    /// Signalled when a pending response is pushed or the queue closes.
+    ready: Condvar,
+    /// Signalled when the writer pops and capacity frees up.
+    space: Condvar,
+    capacity: usize,
+    /// Reader is done; the writer drains what remains, then exits.
+    closed: AtomicBool,
+    /// The writer's socket died; the reader stops taking requests.
+    broken: AtomicBool,
+}
+
+impl<S: Serve> ConnQueue<S> {
+    fn new(capacity: usize) -> ConnQueue<S> {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            closed: AtomicBool::new(false),
+            broken: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues a pending response, blocking while the pipeline is at
+    /// capacity. A broken pipe drops the response — nobody can read it.
+    fn push(&self, pending: Pending<S>) {
+        let mut queue = lock_recover(&self.inner);
+        while queue.len() >= self.capacity && !self.broken.load(Ordering::Acquire) {
+            queue = wait_recover(&self.space, queue);
+        }
+        if self.broken.load(Ordering::Acquire) {
+            return;
+        }
+        queue.push_back(pending);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next pending response; `None` once the queue is
+    /// closed and drained (or the pipe broke).
+    fn pop(&self) -> Option<Pending<S>> {
+        let mut queue = lock_recover(&self.inner);
+        loop {
+            if self.broken.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(pending) = queue.pop_front() {
+                self.space.notify_one();
+                return Some(pending);
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = wait_recover(&self.ready, queue);
+        }
+    }
+
+    /// Pops the front only if resolving it would not block — the
+    /// coalescing probe: already-resolved responses ride along in the
+    /// same socket write, unresolved ones wait for the next.
+    fn pop_resolved(&self) -> Option<Pending<S>> {
+        let mut queue = lock_recover(&self.inner);
+        if queue.front().is_some_and(Pending::is_resolved) {
+            self.space.notify_one();
+            queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Reader half is done producing; wakes the writer to drain and exit.
+    fn close(&self) {
+        let _guard = lock_recover(&self.inner);
+        self.closed.store(true, Ordering::Release);
+        self.ready.notify_all();
+    }
+
+    /// Writer half lost its socket; wakes a reader blocked on capacity.
+    fn break_pipe(&self) {
+        let _guard = lock_recover(&self.inner);
+        self.broken.store(true, Ordering::Release);
+        self.space.notify_all();
+        self.ready.notify_all();
+    }
+
+    fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Acquire)
     }
 }
 
@@ -205,9 +407,14 @@ enum NextFrame {
     Malformed,
 }
 
+/// The reader half. Spawns the writer half, then loops: read a frame,
+/// dispatch it into the engine, enqueue the pending response. On exit —
+/// clean close, shutdown, framing loss, or a broken write pipe — it
+/// closes the queue and joins the writer, which drains every response
+/// already in flight before the connection drops.
 fn handle_connection<S>(
     mut stream: TcpStream,
-    engine: &Engine<S>,
+    engine: &Arc<Engine<S>>,
     config: &ServerConfig,
     stop: &AtomicBool,
 ) -> std::io::Result<()>
@@ -219,30 +426,130 @@ where
 {
     stream.set_nodelay(true)?;
     stream.set_nonblocking(false)?;
-    // Reads wake at every poll tick so an idle handler notices shutdown.
+    // Reads wake at every poll tick so an idle reader notices shutdown.
     stream.set_read_timeout(Some(config.poll_interval))?;
+    let queue = Arc::new(ConnQueue::<S>::new(config.pipeline_depth));
+    let writer = {
+        let stream = stream.try_clone()?;
+        let queue = Arc::clone(&queue);
+        let engine = Arc::clone(engine);
+        let apply_timeout = config.apply_timeout;
+        std::thread::spawn(move || writer_loop(stream, &queue, &engine, apply_timeout))
+    };
+    // Writes dispatched on this connection whose visibility epochs have
+    // not yet been folded into `conn_floor` (the write→read barrier).
+    let mut pending_writes: Vec<WriteTicket> = Vec::new();
+    let mut conn_floor: u64 = 0;
     loop {
-        let frame = match next_request(&mut stream, config, stop) {
-            NextFrame::Frame(frame) => frame,
-            NextFrame::Closed | NextFrame::Stopped => return Ok(()),
-            NextFrame::Malformed => {
-                // Framing is lost: one best-effort error, then hang up.
-                let current = engine.store().current_epoch();
-                let _ = write_frame(&mut stream, &Frame::error(Status::BadRequest, current));
-                return Ok(());
-            }
-        };
-        // The request guard: a panic anywhere in dispatch (a poisoned
-        // store, an injected fault) faults this request, not the server.
-        let response = catch_unwind(AssertUnwindSafe(|| dispatch(engine, config, frame)))
-            .unwrap_or_else(|_| Frame::error(Status::Faulted, 0));
-        if let Err(WireError::Io(e)) = write_frame(&mut stream, &response) {
-            return Err(e);
+        if queue.is_broken() {
+            break;
         }
-        // Graceful shutdown: the in-flight request above was finished and
-        // answered; new requests on this connection are no longer taken.
-        if stop.load(Ordering::Acquire) {
-            return Ok(());
+        match next_request(&mut stream, config, stop) {
+            NextFrame::Frame(frame) => {
+                // The request guard: a panic anywhere in dispatch (a
+                // poisoned store, an injected fault) faults this request,
+                // not the server — answered at the current epoch, the
+                // same visibility information the non-panicking error
+                // paths report.
+                let current = engine.store().current_epoch();
+                let pending = catch_unwind(AssertUnwindSafe(|| {
+                    dispatch_async(engine, config, frame, &mut pending_writes, &mut conn_floor)
+                }))
+                .unwrap_or_else(|_| Pending::Ready(Frame::error(Status::Faulted, current)));
+                queue.push(pending);
+                // Graceful shutdown: everything dispatched (this request
+                // included) will be answered; nothing new is taken.
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            NextFrame::Closed | NextFrame::Stopped => break,
+            NextFrame::Malformed => {
+                // Framing is lost: requests already in the pipeline are
+                // still answered in order, then one best-effort error,
+                // then hang up.
+                let current = engine.store().current_epoch();
+                queue.push(Pending::Ready(Frame::error(Status::BadRequest, current)));
+                break;
+            }
+        }
+    }
+    queue.close();
+    let _ = writer.join();
+    Ok(())
+}
+
+/// The writer half: drains the completion queue in FIFO order, resolving
+/// each pending response (ticket waits happen here, off the read path)
+/// and writing it back. Consecutive responses that are already resolved
+/// coalesce into one socket write.
+fn writer_loop<S>(
+    mut stream: TcpStream,
+    queue: &ConnQueue<S>,
+    engine: &Engine<S>,
+    apply_timeout: Option<Duration>,
+) where
+    S: Serve,
+    S::Reply: Serialize,
+{
+    let mut buf = Vec::new();
+    while let Some(pending) = queue.pop() {
+        buf.clear();
+        append_frame(&mut buf, &resolve(engine, apply_timeout, pending));
+        while buf.len() < COALESCE_BYTES {
+            match queue.pop_resolved() {
+                Some(next) => append_frame(&mut buf, &resolve(engine, apply_timeout, next)),
+                None => break,
+            }
+        }
+        if stream.write_all(&buf).is_err() {
+            queue.break_pipe();
+            return;
+        }
+    }
+}
+
+/// Turns a pending response into its wire frame, blocking on the ticket
+/// if needed. Error frames carry the freshest visibility information
+/// available: at least the epoch recorded at dispatch, raised to the
+/// currently published epoch at resolution time.
+fn resolve<S>(engine: &Engine<S>, apply_timeout: Option<Duration>, pending: Pending<S>) -> Frame
+where
+    S: Serve,
+    S::Reply: Serialize,
+{
+    match pending {
+        Pending::Ready(frame) => frame,
+        Pending::Read { ticket, epoch } => match ticket.wait() {
+            Ok(batch) => match encode_value(&batch.replies) {
+                Ok(payload) => Frame {
+                    op: OpCode::ReadResp,
+                    status: Status::Ok,
+                    epoch: batch.epoch,
+                    payload,
+                },
+                Err(_) => Frame::error(Status::Faulted, batch.epoch),
+            },
+            Err(e) => Frame::error(Status::from(e), epoch.max(engine.store().current_epoch())),
+        },
+        Pending::Write { ticket, epoch } => {
+            let waited = match apply_timeout {
+                Some(timeout) => ticket.wait_timeout(timeout),
+                None => ticket.wait(),
+            };
+            match waited {
+                Ok(applied) => Frame {
+                    op: OpCode::WriteResp,
+                    status: Status::Ok,
+                    epoch: applied,
+                    payload: Vec::new(),
+                },
+                // A `Deadline` here does not cancel the write — it may
+                // still publish later; the fresh epoch (plus the client
+                // ratcheting its session from every frame) narrows how
+                // stale this session's view can be. See `session` docs.
+                Err(e) => Frame::error(Status::from(e), epoch.max(engine.store().current_epoch())),
+            }
         }
     }
 }
@@ -292,6 +599,22 @@ fn fill(
     let mut filled = 0;
     let mut drain_deadline: Option<Instant> = None;
     while filled < buf.len() {
+        // The stop check runs at the top of every iteration — not only
+        // when the socket goes quiet — so a peer trickling one byte per
+        // poll tick (which never hits the `WouldBlock` arm) still cannot
+        // extend the drain past `drain_grace`.
+        if stop.load(Ordering::Acquire) {
+            if filled == 0 && idle {
+                return Fill::Stopped;
+            }
+            // Mid-frame: keep draining, but only for the grace period —
+            // a stalled or trickling peer must not block shutdown.
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + config.drain_grace);
+            if Instant::now() >= deadline {
+                return Fill::Stopped;
+            }
+        }
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
                 return if filled == 0 && idle {
@@ -303,21 +626,7 @@ fn fill(
             Ok(n) => filled += n,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::Acquire) {
-                    if filled == 0 && idle {
-                        return Fill::Stopped;
-                    }
-                    // Mid-frame: keep draining, but only for the grace
-                    // period — a stalled peer must not block shutdown.
-                    let deadline =
-                        *drain_deadline.get_or_insert_with(|| Instant::now() + config.drain_grace);
-                    if Instant::now() >= deadline {
-                        return Fill::Stopped;
-                    }
-                }
-            }
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return Fill::Failed,
         }
@@ -325,7 +634,15 @@ fn fill(
     Fill::Full
 }
 
-fn dispatch<S>(engine: &Engine<S>, config: &ServerConfig, frame: Frame) -> Frame
+/// Dispatches one request into the engine without waiting for its
+/// answer, returning what the writer half should eventually send.
+fn dispatch_async<S>(
+    engine: &Engine<S>,
+    config: &ServerConfig,
+    frame: Frame,
+    pending_writes: &mut Vec<WriteTicket>,
+    conn_floor: &mut u64,
+) -> Pending<S>
 where
     S: Serve,
     S::Read: for<'de> Deserialize<'de>,
@@ -334,58 +651,65 @@ where
 {
     let current = engine.store().current_epoch();
     if !frame.status.is_ok() || !frame.op.is_request() {
-        return Frame::error(Status::BadRequest, current);
+        return Pending::Ready(Frame::error(Status::BadRequest, current));
     }
     match frame.op {
         OpCode::ReadReq => {
             let ops: Vec<S::Read> = match decode_value(&frame.payload) {
                 Ok(ops) => ops,
-                Err(_) => return Frame::error(Status::BadRequest, current),
+                Err(_) => return Pending::Ready(Frame::error(Status::BadRequest, current)),
             };
-            // A floor above everything published would park this handler
-            // in `pin_after` forever; acks always trail publication, so a
+            // A floor above everything published would park this read in
+            // `pin_after` forever; acks always trail publication, so a
             // floor from a real session is never ahead of `current`.
             if frame.epoch > current {
-                return Frame::error(Status::FutureEpoch, current);
+                return Pending::Ready(Frame::error(Status::FutureEpoch, current));
             }
-            let batch = engine.execute_at_least(frame.epoch, &ops);
-            match encode_value(&batch.replies) {
-                Ok(payload) => Frame {
-                    op: OpCode::ReadResp,
-                    status: Status::Ok,
-                    epoch: batch.epoch,
-                    payload,
-                },
-                Err(_) => Frame::error(Status::Faulted, batch.epoch),
+            // The write→read barrier: settle every write dispatched
+            // earlier on this connection so the read's floor covers them
+            // (read-your-writes within a pipeline). Tickets settle here,
+            // not responses — the writer half may still be behind.
+            settle_writes(pending_writes, conn_floor, config.apply_timeout);
+            let floor = frame.epoch.max(*conn_floor);
+            let ticket = engine.submit_at_least(floor, ops);
+            Pending::Read {
+                ticket,
+                epoch: current.max(floor),
             }
         }
         OpCode::WriteReq => {
             let edits: Vec<S::Edit> = match decode_value(&frame.payload) {
                 Ok(edits) => edits,
-                Err(_) => return Frame::error(Status::BadRequest, current),
+                Err(_) => return Pending::Ready(Frame::error(Status::BadRequest, current)),
             };
+            // Keep the barrier list bounded on all-write pipelines:
+            // fold already-resolved tickets into the floor and drop them.
+            if pending_writes.len() >= PENDING_WRITE_PRUNE {
+                pending_writes.retain(|ticket| match ticket.try_outcome() {
+                    Some(Ok(epoch)) => {
+                        *conn_floor = (*conn_floor).max(epoch);
+                        false
+                    }
+                    Some(Err(_)) => false,
+                    None => true,
+                });
+            }
             let ticket = match config.admission_timeout {
                 Some(timeout) => match engine.stage_timeout(edits, timeout) {
                     Ok(ticket) => ticket,
-                    Err(_overloaded) => return Frame::error(Status::Overloaded, current),
+                    Err(_overloaded) => {
+                        return Pending::Ready(Frame::error(Status::Overloaded, current))
+                    }
                 },
                 None => engine.stage(edits),
             };
-            let waited = match config.apply_timeout {
-                Some(timeout) => ticket.wait_timeout(timeout),
-                None => ticket.wait(),
-            };
-            match waited {
-                Ok(epoch) => Frame {
-                    op: OpCode::WriteResp,
-                    status: Status::Ok,
-                    epoch,
-                    payload: Vec::new(),
-                },
-                Err(e) => Frame::error(Status::from(e), current),
+            pending_writes.push(ticket.clone());
+            Pending::Write {
+                ticket,
+                epoch: current,
             }
         }
-        OpCode::StatsReq => match encode_value(&engine.stats()) {
+        OpCode::StatsReq => Pending::Ready(match encode_value(&engine.stats()) {
             Ok(payload) => Frame {
                 op: OpCode::StatsResp,
                 status: Status::Ok,
@@ -393,10 +717,33 @@ where
                 payload,
             },
             Err(_) => Frame::error(Status::Faulted, current),
-        },
+        }),
         // Response codes are never valid as requests.
         OpCode::ReadResp | OpCode::WriteResp | OpCode::StatsResp | OpCode::ErrorResp => {
-            Frame::error(Status::BadRequest, current)
+            Pending::Ready(Frame::error(Status::BadRequest, current))
         }
+    }
+}
+
+/// Waits out every write dispatched earlier on this connection and folds
+/// the visibility epochs of the successful ones into the connection
+/// floor. All tickets are settled — not just the newest — because a
+/// multi-shard batch publishes per admission lane and lanes drain
+/// independently, so tickets can resolve out of dispatch order.
+fn settle_writes(
+    pending: &mut Vec<WriteTicket>,
+    conn_floor: &mut u64,
+    apply_timeout: Option<Duration>,
+) {
+    for ticket in pending.drain(..) {
+        let outcome = match apply_timeout {
+            Some(timeout) => ticket.wait_timeout(timeout),
+            None => ticket.wait(),
+        };
+        if let Ok(epoch) = outcome {
+            *conn_floor = (*conn_floor).max(epoch);
+        }
+        // A failed write contributes nothing to the floor; its own
+        // response frame carries the failure.
     }
 }

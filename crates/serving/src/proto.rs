@@ -26,6 +26,14 @@
 //! The `epoch` field is the session layer's carrier: on requests it is the
 //! client's visibility floor (0 = none), on responses the epoch the answer
 //! is valid at — see `DESIGN.md` §10 for the full semantics.
+//!
+//! Frames are self-delimiting, and nothing in the framing ties a response
+//! to its request by id: the protocol is *pipelined* Redis-style instead.
+//! A client may have any number of request frames in flight on one
+//! connection, and the server guarantees responses come back **in request
+//! order** — the k-th response frame on a connection answers the k-th
+//! request frame ([`append_frame`] is the batching primitive both sides
+//! use to pack a window of frames into one socket write).
 
 use std::io::{Read, Write};
 
@@ -278,6 +286,16 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), WireError> 
     w.write_all(&frame.payload)?;
     w.flush()?;
     Ok(())
+}
+
+/// Appends one frame's wire bytes to `buf` without touching a socket —
+/// the batching primitive underneath pipelining: a client window or a
+/// server writer half packs many frames into one buffer and pays a
+/// single `write_all` for all of them.
+pub fn append_frame(buf: &mut Vec<u8>, frame: &Frame) {
+    debug_assert!(frame.payload.len() <= u32::MAX as usize);
+    buf.extend_from_slice(&encode_header(frame));
+    buf.extend_from_slice(&frame.payload);
 }
 
 /// Reads one frame from `r`, validating the header before allocating for

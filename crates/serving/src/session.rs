@@ -16,6 +16,43 @@
 //!
 //! Remote failures arrive as [`ClientError::Remote`] carrying the wire
 //! [`Status`] — the same taxonomy local engine callers match on.
+//!
+//! # Pipelining
+//!
+//! [`Client::pipeline`] sends a *script* — a sequence of read and write
+//! batches — with many requests in flight at once, and returns one
+//! [`ScriptReply`] per op, in script order. The server answers each
+//! connection's requests strictly in request order and runs a
+//! write→read barrier per connection, so a pipelined `write; read`
+//! script still reads its own write, and the session-epoch ratchet is
+//! preserved: every response frame's epoch is folded into
+//! [`Client::last_epoch`] exactly as in the one-at-a-time calls. Per-op
+//! failures (`Overloaded`, `Deadline`, …) surface as
+//! [`ScriptReply::Failed`] without aborting the rest of the script;
+//! only transport/framing loss fails the whole call.
+//!
+//! Requests go out in windows of [`Client::pipeline_window`] frames
+//! (default 32): each window is written in one syscall, then its
+//! replies are collected before the next window goes out. This bounds
+//! how many response bytes can pile up in the socket ahead of the
+//! client reading them — with an unbounded window, both directions'
+//! kernel buffers can fill and deadlock the exchange. Keep the window
+//! modest if replies are huge (e.g. large `Scan`s).
+//!
+//! # Timed-out writes and visibility
+//!
+//! A write answered `Deadline` (or any non-`Ok` status after admission)
+//! was *not* cancelled — the batch stays in the admission lanes and may
+//! publish after the error frame was already sent. The session cannot
+//! learn that write's exact epoch, so strict read-your-writes does not
+//! cover it. Two mechanisms bound the hazard: error frames carry the
+//! server's freshest published epoch at answer time, and the client
+//! ratchets its session epoch from **every** response frame, errors
+//! included. A timed-out write that published before its error frame
+//! was built is therefore already under the session floor; one that
+//! publishes later stays invisible to this session's floored reads only
+//! until any subsequent frame raises the floor past it. Treat
+//! `Deadline` on a write as "outcome unknown", not "did not happen".
 
 use std::io::Write;
 use std::marker::PhantomData;
@@ -28,7 +65,7 @@ use crate::engine::{BatchReply, EngineStats};
 use crate::error::Status;
 use crate::ops::{MapRead, MapReply, MultiMapRead, MultiMapReply, SetRead, SetReply};
 use crate::proto::{
-    decode_value, encode_value, read_frame, write_frame, Frame, OpCode, WireError,
+    append_frame, decode_value, encode_value, read_frame, write_frame, Frame, OpCode, WireError,
     DEFAULT_MAX_PAYLOAD,
 };
 
@@ -73,6 +110,30 @@ impl From<trie_common::snapshot::SnapshotError> for ClientError {
     }
 }
 
+/// One op in a pipelined script: a read batch or a write batch, in the
+/// served store's vocabulary. See [`Client::pipeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptOp<Q, E> {
+    /// A read batch, floored at the session epoch when its window is
+    /// sent (the server's per-connection barrier extends the floor over
+    /// writes earlier in the script).
+    Read(Vec<Q>),
+    /// A write batch, staged through the server's admission lanes.
+    Write(Vec<E>),
+}
+
+/// The in-order reply to one [`ScriptOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptReply<R> {
+    /// The read's replies, tagged with the answering epoch.
+    Read(BatchReply<R>),
+    /// The write's visibility epoch.
+    Write(u64),
+    /// The server answered this op with a failure status; the rest of
+    /// the script was still processed.
+    Failed(Status),
+}
+
 /// A typed wire client over one reused connection: `Q` is the read-op
 /// type, `R` its reply, `E` the edit type — matching the served store's
 /// [`Serve`](crate::Serve) vocabulary. Use the aliases ([`MapClient`],
@@ -81,6 +142,7 @@ pub struct Client<Q, R, E> {
     stream: TcpStream,
     max_payload: usize,
     last_epoch: u64,
+    pipeline_window: usize,
     _vocabulary: PhantomData<fn(Q, E) -> R>,
 }
 
@@ -110,8 +172,23 @@ impl<Q, R, E> Client<Q, R, E> {
             stream,
             max_payload,
             last_epoch: 0,
+            pipeline_window: 32,
             _vocabulary: PhantomData,
         })
+    }
+
+    /// Requests per window in [`Client::pipeline`]: a window's frames go
+    /// out in one write, then its replies are read before the next
+    /// window. Default 32.
+    pub fn pipeline_window(&self) -> usize {
+        self.pipeline_window
+    }
+
+    /// Sets [`Client::pipeline_window`] (clamped to at least 1). Shrink
+    /// it when replies are large; grow it to amortize syscalls further
+    /// on small-op scripts.
+    pub fn set_pipeline_window(&mut self, window: usize) {
+        self.pipeline_window = window.max(1);
     }
 
     /// The session epoch: the newest visibility epoch this client's acks
@@ -134,13 +211,17 @@ impl<Q, R, E> Client<Q, R, E> {
         write_frame(&mut self.stream, request)?;
         self.stream.flush()?;
         let response = read_frame(&mut self.stream, self.max_payload)?;
+        // Ratchet from *every* response frame, error frames included —
+        // an error frame's epoch is real visibility information (see the
+        // module docs on timed-out writes), and skipping it would leave
+        // a read-your-writes hole after a `Deadline`-answered write.
+        self.last_epoch = self.last_epoch.max(response.epoch);
         if !response.status.is_ok() {
             return Err(ClientError::Remote(response.status));
         }
         if response.op != want {
             return Err(ClientError::Wire(WireError::UnexpectedFrame(response.op)));
         }
-        self.last_epoch = self.last_epoch.max(response.epoch);
         Ok(response)
     }
 
@@ -185,6 +266,80 @@ impl<Q, R, E: Serialize> Client<Q, R, E> {
         let request = Frame::request(OpCode::WriteReq, self.last_epoch, payload);
         let response = self.exchange(&request, OpCode::WriteResp)?;
         Ok(response.epoch)
+    }
+}
+
+impl<Q, R, E> Client<Q, R, E>
+where
+    Q: Serialize,
+    R: for<'de> Deserialize<'de>,
+    E: Serialize,
+{
+    /// Runs a pipelined script: many requests in flight on the one
+    /// connection, replies collected strictly in script order.
+    ///
+    /// Requests are sent in windows of [`Client::pipeline_window`]
+    /// frames — one buffered write per window, then that window's
+    /// replies — so an N-op script costs roughly one round trip per
+    /// window instead of one per op. Reads are floored at the session
+    /// epoch as of their window; the server's per-connection write→read
+    /// barrier makes a read later in the script observe writes earlier
+    /// in it, even within one window. The session epoch ratchets from
+    /// every reply, errors included.
+    ///
+    /// Per-op server failures come back as [`ScriptReply::Failed`] in
+    /// the op's slot; `Err` is reserved for transport/framing loss,
+    /// after which the connection is unusable.
+    pub fn pipeline(
+        &mut self,
+        script: Vec<ScriptOp<Q, E>>,
+    ) -> Result<Vec<ScriptReply<R>>, ClientError> {
+        let mut replies = Vec::with_capacity(script.len());
+        let mut buf = Vec::new();
+        for window in script.chunks(self.pipeline_window) {
+            buf.clear();
+            for op in window {
+                let frame = match op {
+                    ScriptOp::Read(ops) => {
+                        Frame::request(OpCode::ReadReq, self.last_epoch, encode_value(ops)?)
+                    }
+                    ScriptOp::Write(edits) => {
+                        Frame::request(OpCode::WriteReq, self.last_epoch, encode_value(edits)?)
+                    }
+                };
+                append_frame(&mut buf, &frame);
+            }
+            self.stream.write_all(&buf)?;
+            self.stream.flush()?;
+            for op in window {
+                let response = read_frame(&mut self.stream, self.max_payload)?;
+                self.last_epoch = self.last_epoch.max(response.epoch);
+                if !response.status.is_ok() {
+                    replies.push(ScriptReply::Failed(response.status));
+                    continue;
+                }
+                replies.push(match op {
+                    ScriptOp::Read(_) => {
+                        if response.op != OpCode::ReadResp {
+                            return Err(ClientError::Wire(WireError::UnexpectedFrame(response.op)));
+                        }
+                        let batch: Vec<R> =
+                            decode_value(&response.payload).map_err(WireError::Codec)?;
+                        ScriptReply::Read(BatchReply {
+                            epoch: response.epoch,
+                            replies: batch,
+                        })
+                    }
+                    ScriptOp::Write(_) => {
+                        if response.op != OpCode::WriteResp {
+                            return Err(ClientError::Wire(WireError::UnexpectedFrame(response.op)));
+                        }
+                        ScriptReply::Write(response.epoch)
+                    }
+                });
+            }
+        }
+        Ok(replies)
     }
 }
 

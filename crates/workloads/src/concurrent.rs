@@ -312,6 +312,43 @@ pub fn round_robin<T>(items: impl IntoIterator<Item = T>, lanes: usize) -> Vec<V
     out
 }
 
+/// Interleaves two batch timelines into one pipelined script, preserving
+/// relative order within each: after every `reads_per_write` read
+/// batches, one write batch is spliced in, and whichever timeline runs
+/// out first lets the other drain in order. This is how a wire driver
+/// turns a [`ServingWorkload`]'s separate read/write timelines into a
+/// single connection's script (`Client::pipeline` in the serving crate),
+/// where the server's per-connection write→read barrier makes every
+/// spliced write visible to the reads behind it.
+///
+/// `reads_per_write == 0` is treated as 1. The mapping closures lift the
+/// two batch types into the caller's script-op type.
+pub fn interleave_script<R, W, S>(
+    reads: impl IntoIterator<Item = R>,
+    writes: impl IntoIterator<Item = W>,
+    reads_per_write: usize,
+    mut read_op: impl FnMut(R) -> S,
+    mut write_op: impl FnMut(W) -> S,
+) -> Vec<S> {
+    let stride = reads_per_write.max(1);
+    let mut reads = reads.into_iter();
+    let mut writes = writes.into_iter();
+    let mut script = Vec::new();
+    loop {
+        let mut drained = true;
+        for read in reads.by_ref().take(stride) {
+            script.push(read_op(read));
+            drained = false;
+        }
+        match writes.next() {
+            Some(write) => script.push(write_op(write)),
+            None if drained => break,
+            None => {}
+        }
+    }
+    script
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +522,36 @@ mod tests {
         // Degenerate shapes stay well-formed.
         assert_eq!(round_robin(0..2, 0), vec![vec![0, 1]]);
         assert_eq!(round_robin(std::iter::empty::<u32>(), 4).len(), 4);
+    }
+
+    #[test]
+    fn interleave_script_splices_and_drains_in_order() {
+        #[derive(Debug, PartialEq)]
+        enum Op {
+            R(u32),
+            W(u32),
+        }
+        // Three reads per write, both timelines ordered.
+        let script = interleave_script(0..7u32, 0..2u32, 3, Op::R, Op::W);
+        assert_eq!(
+            script,
+            vec![
+                Op::R(0),
+                Op::R(1),
+                Op::R(2),
+                Op::W(0),
+                Op::R(3),
+                Op::R(4),
+                Op::R(5),
+                Op::W(1),
+                Op::R(6),
+            ]
+        );
+        // Either timeline may run out first; the other drains in order.
+        let only_writes = interleave_script(std::iter::empty(), 0..3u32, 2, Op::R, Op::W);
+        assert_eq!(only_writes, vec![Op::W(0), Op::W(1), Op::W(2)]);
+        let only_reads = interleave_script(0..3u32, std::iter::empty(), 0, Op::R, Op::W);
+        assert_eq!(only_reads, vec![Op::R(0), Op::R(1), Op::R(2)]);
     }
 
     #[test]

@@ -98,27 +98,42 @@ fn readme_quick_start() {
 fn readme_wire_protocol() {
     use std::sync::Arc;
 
-    use axiom_repro::serving::{Engine, MapClient, MapRead, MapReply, Server};
+    use axiom_repro::serving::{
+        Engine, MapClient, MapRead, MapReply, ScriptOp, ScriptReply, Server,
+    };
     use axiom_repro::sharded::ShardedMap;
     use axiom_repro::trie_common::ops::MapEdit;
 
     let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(8));
     let server = Server::spawn(Arc::new(Engine::new(store)), "127.0.0.1:0").unwrap();
 
-    // A typed client; write batches return their visibility epoch...
-    let mut writer: MapClient<u32, u32> = MapClient::connect(server.local_addr()).unwrap();
-    let epoch = writer
-        .write(vec![MapEdit::Insert(1, 10), MapEdit::Insert(2, 20)])
+    // A pipelined script: many requests in flight on one connection,
+    // replies strictly in script order — and a read later in the script
+    // observes writes earlier in it (the server's write→read barrier),
+    // even though neither response had come back when the read was sent.
+    let mut client: MapClient<u32, u32> = MapClient::connect(server.local_addr()).unwrap();
+    let replies = client
+        .pipeline(vec![
+            ScriptOp::Write(vec![MapEdit::Insert(1, 10), MapEdit::Insert(2, 20)]),
+            ScriptOp::Read(vec![MapRead::Get(1), MapRead::Len]),
+        ])
         .unwrap();
+    let ScriptReply::Write(epoch) = replies[0] else {
+        unreachable!()
+    };
+    let ScriptReply::Read(batch) = &replies[1] else {
+        unreachable!()
+    };
+    assert!(batch.epoch >= epoch);
+    assert_eq!(batch.replies[0], MapReply::Value(Some(10)));
+    assert_eq!(batch.replies[1], MapReply::Count(2));
 
-    // ...and a *different* connection can resume at that epoch:
+    // A *different* connection can resume at the session's epoch:
     // read-your-writes across connections, carried in the frame header.
     let mut reader: MapClient<u32, u32> = MapClient::connect(server.local_addr()).unwrap();
-    reader.resume_at(epoch);
-    let reply = reader.read(vec![MapRead::Get(1), MapRead::Len]).unwrap();
-    assert!(reply.epoch >= epoch);
-    assert_eq!(reply.replies[0], MapReply::Value(Some(10)));
-    assert_eq!(reply.replies[1], MapReply::Count(2));
+    reader.resume_at(client.last_epoch());
+    let reply = reader.read(vec![MapRead::Get(2)]).unwrap();
+    assert_eq!(reply.replies[0], MapReply::Value(Some(20)));
 
     // Engine counters cross the wire too (the Stats op).
     assert_eq!(reader.stats().unwrap().write_edits, 2);

@@ -2,9 +2,12 @@
 //! writer storms, deadline waits that never lose the ticket, and read-queue
 //! back-pressure.
 //!
-//! Determinism comes from a `SlowStore` wrapper whose `apply`/`pin` block
-//! on explicit gates: the tests fill lanes and queues to exact depths
-//! before asserting what admission does, instead of racing real appliers.
+//! Determinism comes from a `SlowStore` wrapper whose `apply`/`answer`
+//! block on explicit gates: the tests fill lanes and queues to exact
+//! depths before asserting what admission does, instead of racing real
+//! appliers. The read gate lives in `answer` (carried by the snapshot)
+//! rather than `pin`, because reads pin at *submission* — a gate in `pin`
+//! would stall the submitting caller, not the read worker.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -44,13 +47,30 @@ impl Gate {
 type Inner = ShardedMap<u32, u32>;
 
 /// Delegates to a real sharded map but lets the test block the apply and
-/// pin paths, holding appliers/read-workers mid-job on demand.
+/// answer paths, holding appliers/read-workers mid-job on demand.
 struct SlowStore {
     inner: Inner,
     write_gate: Gate,
-    read_gate: Gate,
+    read_gate: Arc<Gate>,
     applies_entered: AtomicUsize,
-    pins_entered: AtomicUsize,
+    answers_entered: Arc<AtomicUsize>,
+}
+
+/// A pinned snapshot that carries the read gate: `answer` (which runs on
+/// the read worker, with the snapshot pinned long before) blocks on it.
+#[derive(Clone)]
+struct SlowSnap {
+    inner: <Inner as Serve>::Snapshot,
+    read_gate: Arc<Gate>,
+    answers_entered: Arc<AtomicUsize>,
+}
+
+impl std::ops::Deref for SlowSnap {
+    type Target = <Inner as Serve>::Snapshot;
+
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
 }
 
 impl SlowStore {
@@ -66,9 +86,17 @@ impl SlowStore {
         SlowStore {
             inner: ShardedMap::with_shards(shards),
             write_gate,
-            read_gate,
+            read_gate: Arc::new(read_gate),
             applies_entered: AtomicUsize::new(0),
-            pins_entered: AtomicUsize::new(0),
+            answers_entered: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn wrap(&self, inner: <Inner as Serve>::Snapshot) -> SlowSnap {
+        SlowSnap {
+            inner,
+            read_gate: Arc::clone(&self.read_gate),
+            answers_entered: Arc::clone(&self.answers_entered),
         }
     }
 
@@ -85,20 +113,18 @@ impl Serve for SlowStore {
     type Read = <Inner as Serve>::Read;
     type Reply = <Inner as Serve>::Reply;
     type Edit = <Inner as Serve>::Edit;
-    type Snapshot = <Inner as Serve>::Snapshot;
+    type Snapshot = SlowSnap;
 
     fn pin(&self) -> Self::Snapshot {
-        self.pins_entered.fetch_add(1, Ordering::Release);
-        self.read_gate.pass();
-        self.inner.pin()
+        self.wrap(self.inner.pin())
     }
 
     fn pin_after(&self, epoch: u64) -> Self::Snapshot {
-        self.inner.pin_after(epoch)
+        self.wrap(self.inner.pin_after(epoch))
     }
 
     fn epoch_of(snap: &Self::Snapshot) -> u64 {
-        <Inner as Serve>::epoch_of(snap)
+        <Inner as Serve>::epoch_of(&snap.inner)
     }
 
     fn current_epoch(&self) -> u64 {
@@ -110,11 +136,13 @@ impl Serve for SlowStore {
     }
 
     fn answer(snap: &Self::Snapshot, op: &Self::Read) -> Self::Reply {
-        <Inner as Serve>::answer(snap, op)
+        snap.answers_entered.fetch_add(1, Ordering::Release);
+        snap.read_gate.pass();
+        <Inner as Serve>::answer(&snap.inner, op)
     }
 
     fn read_shards(snap: &Self::Snapshot, op: &Self::Read, out: &mut Vec<usize>) {
-        <Inner as Serve>::read_shards(snap, op, out)
+        <Inner as Serve>::read_shards(&snap.inner, op, out)
     }
 
     fn edit_shard(&self, edit: &Self::Edit) -> usize {
@@ -133,7 +161,7 @@ impl Serve for SlowStore {
         read_shards: &[usize],
         batch: Vec<Self::Edit>,
     ) -> Result<isize, EpochConflict> {
-        self.inner.apply_validated(base, read_shards, batch)
+        self.inner.apply_validated(&base.inner, read_shards, batch)
     }
 }
 
@@ -289,10 +317,10 @@ fn bounded_read_queue_sheds_try_submit() {
         },
     );
 
-    // The single worker dequeues the first batch and blocks in pin; the
-    // second occupies the queue's only slot.
+    // The single worker dequeues the first batch and blocks in answer;
+    // the second occupies the queue's only slot.
     let first = engine.submit(vec![MapRead::Len]);
-    SlowStore::await_count(&store.pins_entered, 1);
+    SlowStore::await_count(&store.answers_entered, 1);
     let second = engine.submit(vec![MapRead::Contains(1)]);
 
     let shed = engine

@@ -236,6 +236,42 @@ fn undecodable_payload_fails_the_request_not_the_connection() {
 }
 
 #[test]
+fn malformed_frame_mid_pipeline_still_answers_earlier_requests() {
+    let (server, addr) = spawn_server();
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // Three valid requests and then framing garbage, all in one burst:
+    // the requests already in the pipeline must be answered, in order,
+    // before the BadRequest for the framing loss and the hangup.
+    let payload = encode_value(&vec![MapRead::<u32>::Len]).unwrap();
+    let mut burst = Vec::new();
+    for _ in 0..3 {
+        write_frame(&mut burst, &read_req(payload.clone())).unwrap();
+    }
+    burst.extend_from_slice(&[0xFF; HEADER_LEN]);
+    raw.write_all(&burst).expect("send burst");
+    raw.flush().unwrap();
+
+    for i in 0..3 {
+        let frame = read_frame(&mut raw, DEFAULT_MAX_PAYLOAD).expect("pipelined reply");
+        assert_eq!(frame.op, OpCode::ReadResp, "in-flight reply {i}");
+        assert_eq!(frame.status, Status::Ok, "in-flight reply {i}");
+        let replies: Vec<MapReply<u32, u32>> = decode_value(&frame.payload).expect("decode");
+        assert_eq!(replies, vec![MapReply::Count(0)]);
+    }
+    let frame = read_frame(&mut raw, DEFAULT_MAX_PAYLOAD).expect("error frame");
+    assert_eq!(frame.op, OpCode::ErrorResp);
+    assert_eq!(frame.status, Status::BadRequest);
+    let mut rest = Vec::new();
+    if let Ok(n) = raw.read_to_end(&mut rest) {
+        assert_eq!(n, 0, "no frames after the framing-loss hangup");
+    }
+    assert_still_serving(addr);
+    server.shutdown();
+}
+
+#[test]
 fn response_op_codes_are_rejected_as_requests() {
     let (server, addr) = spawn_server();
     let mut raw = TcpStream::connect(addr).expect("connect raw");

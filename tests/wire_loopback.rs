@@ -246,6 +246,11 @@ impl Gate {
 /// panic — deterministic Faulted outcomes on either path.
 const POISON_KEY: u32 = 0xdead;
 
+/// Routing this key panics `edit_shard` — a panic *inside dispatch*, on
+/// the connection's own thread, exercising its `catch_unwind` fallback
+/// rather than the engine's job guards.
+const DISPATCH_POISON_KEY: u32 = 0xbeef;
+
 type Inner = ShardedMap<u32, u32>;
 
 /// Wraps a real sharded map: `apply` blocks on a gate (so lanes can be
@@ -310,6 +315,9 @@ impl Serve for GatedStore {
     }
 
     fn edit_shard(&self, edit: &Self::Edit) -> usize {
+        if *edit.key() == DISPATCH_POISON_KEY {
+            panic!("poisoned dispatch");
+        }
         self.inner.edit_shard(edit)
     }
 
@@ -442,4 +450,178 @@ fn graceful_shutdown_finishes_the_inflight_request() {
 
     // And the server is really gone.
     assert!(MapClient::<u32, u32>::connect(addr).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests for the wire-layer lifecycle bugs fixed alongside
+// pipelining: trickle-proof shutdown, Faulted frames with real epochs,
+// session ratchet from error frames, handler reap on idle.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trickling_peer_cannot_stall_shutdown_past_drain_grace() {
+    use axiom_repro::serving::proto::{HEADER_LEN, WIRE_MAGIC, WIRE_VERSION};
+    use axiom_repro::serving::OpCode;
+    use std::io::Write as _;
+
+    let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(1));
+    let engine = Arc::new(Engine::new(store));
+    let server = Server::spawn_with(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            poll_interval: Duration::from_millis(5),
+            drain_grace: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // A peer sends a valid header promising a large payload, then
+    // trickles the payload one byte per poll tick. Every byte lands as a
+    // successful read — the connection never looks quiet — so the drain
+    // deadline must be enforced on every iteration, not only in the
+    // would-block arm.
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+    let mut header = vec![0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&WIRE_MAGIC);
+    header[4..6].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    header[6] = OpCode::ReadReq.code();
+    header[20..24].copy_from_slice(&65_536u32.to_le_bytes());
+    raw.write_all(&header).expect("send header");
+    raw.flush().unwrap();
+    let trickler = std::thread::spawn(move || {
+        for _ in 0..1_000 {
+            if raw.write_all(&[0u8]).is_err() || raw.flush().is_err() {
+                break; // the server abandoned the connection — the point
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    // Let the server get mid-frame, then shut down under the trickle.
+    std::thread::sleep(Duration::from_millis(30));
+    let start = std::time::Instant::now();
+    server.shutdown();
+    let took = start.elapsed();
+    assert!(
+        took < Duration::from_secs(2),
+        "shutdown took {took:?}; a trickling peer extended the drain past its grace"
+    );
+    trickler.join().expect("trickler thread");
+}
+
+#[test]
+fn faulted_frames_carry_the_published_epoch() {
+    let store = Arc::new(GatedStore::new(1));
+    store.write_gate.open();
+    let engine = Arc::new(Engine::new(Arc::clone(&store)));
+    let server = Server::spawn(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut seeder: MapClient<u32, u32> = MapClient::connect(addr).expect("connect");
+    let epoch = seeder
+        .write(vec![MapEdit::Insert(1, 1)])
+        .expect("seed write");
+    assert!(epoch >= 1);
+
+    // A panic on the read path (inside a read worker's job guard)…
+    let mut fresh: MapClient<u32, u32> = MapClient::connect(addr).expect("connect");
+    let status = remote_status(
+        fresh
+            .read_at(0, vec![MapRead::Get(POISON_KEY)])
+            .unwrap_err(),
+    );
+    assert_eq!(status, Status::Faulted);
+    assert!(
+        fresh.last_epoch() >= epoch,
+        "read-path Faulted frame carried epoch {} < {epoch}",
+        fresh.last_epoch()
+    );
+
+    // …and a panic inside dispatch itself (the connection thread's
+    // catch_unwind fallback) both answer at a real published epoch,
+    // not the epoch-0 placeholder.
+    let mut fresh: MapClient<u32, u32> = MapClient::connect(addr).expect("connect");
+    let status = remote_status(
+        fresh
+            .write(vec![MapEdit::Insert(DISPATCH_POISON_KEY, 0)])
+            .unwrap_err(),
+    );
+    assert_eq!(status, Status::Faulted);
+    assert!(
+        fresh.last_epoch() >= epoch,
+        "dispatch-path Faulted frame carried epoch {} < {epoch}",
+        fresh.last_epoch()
+    );
+
+    // The server survives both panics.
+    let reply = seeder.read(vec![MapRead::Get(1)]).expect("still serving");
+    assert_eq!(reply.replies[0], MapReply::Value(Some(1)));
+    server.shutdown();
+}
+
+#[test]
+fn error_frames_ratchet_the_session_epoch() {
+    let (_engine, server, addr) = spawn_map_server(2);
+    let mut writer: MapClient<u32, u32> = MapClient::connect(addr).expect("connect");
+    let epoch = writer
+        .write((0..10u32).map(|i| MapEdit::Insert(i, i)).collect())
+        .expect("write acks");
+
+    // A fresh session learns the published epoch from an *error* frame:
+    // the FutureEpoch rejection carries it, and the client must fold it
+    // into the session even though the request failed.
+    let mut fresh: MapClient<u32, u32> = MapClient::connect(addr).expect("connect");
+    assert_eq!(fresh.last_epoch(), 0);
+    let status = remote_status(fresh.read_at(u64::MAX, vec![MapRead::Len]).unwrap_err());
+    assert_eq!(status, Status::FutureEpoch);
+    assert!(
+        fresh.last_epoch() >= epoch,
+        "error frame did not ratchet the session epoch"
+    );
+
+    // The ratcheted floor is real: this session read is answered at or
+    // after it and sees the other session's writes.
+    let reply = fresh.read(vec![MapRead::Get(3)]).expect("floored read");
+    assert!(reply.epoch >= epoch);
+    assert_eq!(reply.replies[0], MapReply::Value(Some(3)));
+    server.shutdown();
+}
+
+#[test]
+fn idle_acceptor_reaps_finished_handlers() {
+    let store: Arc<ShardedMap<u32, u32>> = Arc::new(ShardedMap::with_shards(1));
+    let engine = Arc::new(Engine::new(store));
+    let server = Server::spawn_with(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    assert_eq!(server.active_connections(), 0);
+
+    // A burst of connections that all finish…
+    for _ in 0..5 {
+        let mut client: MapClient<u32, u32> = MapClient::connect(addr).expect("connect");
+        client.read(vec![MapRead::Len]).expect("read answers");
+    }
+
+    // …must be reaped while the server sits idle: no further connection
+    // ever arrives, so only the poll-tick reap can release them.
+    let mut live = server.active_connections();
+    for _ in 0..400 {
+        live = server.active_connections();
+        if live == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(live, 0, "finished handlers held until shutdown");
+    server.shutdown();
 }
